@@ -1,0 +1,138 @@
+//! The guest-side view of the Sledge host ABI, plus DSL helpers shared by
+//! all applications.
+
+use sledge_guestc::dsl::*;
+use sledge_guestc::{Expr, FnRef, Local, ModuleBuilder, Scalar, Stmt};
+use sledge_wasm::types::ValType;
+
+/// Handles to the standard `env` imports.
+#[derive(Debug, Clone, Copy)]
+pub struct Env {
+    /// `i32 request_len()`
+    pub request_len: FnRef,
+    /// `i32 request_read(dst, len, src_off)`
+    pub request_read: FnRef,
+    /// `i32 response_write(src, len)`
+    pub response_write: FnRef,
+    /// `i64 clock_ns()`
+    pub clock_ns: FnRef,
+    /// `i32 io_delay(micros)` — emulated asynchronous I/O.
+    pub io_delay: FnRef,
+}
+
+/// Declare the standard imports on a fresh module builder.
+/// Must be called before any local function is declared.
+pub fn import_env(mb: &mut ModuleBuilder) -> Env {
+    use ValType::{I32, I64};
+    Env {
+        request_len: mb.import_func("env", "request_len", &[], Some(I32)),
+        request_read: mb.import_func("env", "request_read", &[I32, I32, I32], Some(I32)),
+        response_write: mb.import_func("env", "response_write", &[I32, I32], Some(I32)),
+        clock_ns: mb.import_func("env", "clock_ns", &[], Some(I64)),
+        io_delay: mb.import_func("env", "io_delay", &[I32], Some(I32)),
+    }
+}
+
+/// Statement: copy the whole request body to linear memory at `dst`,
+/// leaving its length in `len_local`.
+pub fn read_request(env: &Env, dst: i32, len_local: Local) -> Vec<Stmt> {
+    vec![
+        set(len_local, call(env.request_len, vec![])),
+        exec(call(
+            env.request_read,
+            vec![i32c(dst), local(len_local), i32c(0)],
+        )),
+    ]
+}
+
+/// Statement: send `len` bytes starting at `src` as the response body.
+pub fn write_response(env: &Env, src: Expr, len: Expr) -> Stmt {
+    exec(call(env.response_write, vec![src, len]))
+}
+
+// ---------------------------------------------------------------------
+// Array addressing helpers (f64 matrices / byte images in linear memory).
+// ---------------------------------------------------------------------
+
+/// Address of `base[i]` for f64 elements: `base + 8*i`.
+pub fn f64_addr1(base: i32, i: Expr) -> Expr {
+    add(i32c(base), mul(i, i32c(8)))
+}
+
+/// Address of `base[i][j]` for an f64 matrix with `ncols` columns.
+pub fn f64_addr2(base: i32, i: Expr, j: Expr, ncols: i32) -> Expr {
+    add(i32c(base), mul(add(mul(i, i32c(ncols)), j), i32c(8)))
+}
+
+/// Load `base[i]` (f64 vector).
+pub fn ld1(base: i32, i: Expr) -> Expr {
+    load(Scalar::F64, f64_addr1(base, i), 0)
+}
+
+/// Load `base[i][j]` (f64 matrix).
+pub fn ld2(base: i32, i: Expr, j: Expr, ncols: i32) -> Expr {
+    load(Scalar::F64, f64_addr2(base, i, j, ncols), 0)
+}
+
+/// Store `base[i] = v`.
+pub fn st1(base: i32, i: Expr, v: Expr) -> Stmt {
+    store(Scalar::F64, f64_addr1(base, i), 0, v)
+}
+
+/// Store `base[i][j] = v`.
+pub fn st2(base: i32, i: Expr, j: Expr, ncols: i32, v: Expr) -> Stmt {
+    store(Scalar::F64, f64_addr2(base, i, j, ncols), 0, v)
+}
+
+/// Address of `base[i]` for byte arrays.
+pub fn u8_addr1(base: i32, i: Expr) -> Expr {
+    add(i32c(base), i)
+}
+
+/// Address of `base[y][x]` for a byte image of width `w`.
+pub fn u8_addr2(base: i32, y: Expr, x: Expr, w: i32) -> Expr {
+    add(i32c(base), add(mul(y, i32c(w)), x))
+}
+
+/// Load a byte `base[y][x]` widened to i32.
+pub fn ldu8(base: i32, y: Expr, x: Expr, w: i32) -> Expr {
+    load(Scalar::U8, u8_addr2(base, y, x, w), 0)
+}
+
+/// Store the low byte of `v` at `base[y][x]`.
+pub fn stu8(base: i32, y: Expr, x: Expr, w: i32, v: Expr) -> Stmt {
+    store(Scalar::U8, u8_addr2(base, y, x, w), 0, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sledge_guestc::FuncBuilder;
+
+    #[test]
+    fn env_imports_build() {
+        let mut mb = ModuleBuilder::new("t");
+        mb.memory(1, Some(1));
+        let env = import_env(&mut mb);
+        let mut f = FuncBuilder::new(&[], Some(ValType::I32));
+        let n = f.local(ValType::I32);
+        let mut body = read_request(&env, 0, n);
+        body.push(write_response(&env, i32c(0), local(n)));
+        body.push(ret(Some(i32c(0))));
+        f.extend(body);
+        let main = mb.add_func("main", f);
+        mb.export_func(main, "main");
+        mb.build().unwrap();
+    }
+
+    #[test]
+    fn addressing_helpers_type_check() {
+        // f64_addr2(64, 2, 3, 10) = 64 + 8*(2*10+3) = 248.
+        let e = f64_addr2(64, i32c(2), i32c(3), 10);
+        assert_eq!(e.ty(), Some(ValType::I32));
+        let e = ldu8(0, i32c(1), i32c(2), 16);
+        assert_eq!(e.ty(), Some(ValType::I32));
+        let e = ld2(0, i32c(1), i32c(2), 4);
+        assert_eq!(e.ty(), Some(ValType::F64));
+    }
+}

@@ -1,0 +1,161 @@
+//! The guest applications evaluated in the Sledge paper, each implemented
+//! twice — once in the `sledge-guestc` DSL (compiled to Wasm and run in a
+//! sandbox) and once in plain Rust ("native", what a Nuclio shell function
+//! executes) — plus the full PolyBench/C kernel suite used for Figure 5 and
+//! Table 1.
+//!
+//! The two implementations of every workload are cross-validated
+//! byte-for-byte in this crate's tests, which is the correctness backbone of
+//! the whole reproduction: the engine, the DSL, and the native baselines
+//! must all agree.
+//!
+//! Applications (paper §5.2):
+//!
+//! | module | paper workload | class |
+//! |---|---|---|
+//! | [`ping`] | ping function (Fig. 6) | no-op |
+//! | [`echo`] | network transfer (Fig. 7) | memory copy |
+//! | [`gps_ekf`] | TinyEKF GPS (Fig. 8, Tables 2–3) | small dense linear algebra |
+//! | [`gocr`] | GOCR (Fig. 8, Table 2) | bitmap template matching |
+//! | [`cifar10`] | CMSIS-NN CIFAR-10 (Fig. 8, Table 2) | int8 CNN inference |
+//! | [`resize`] | SOD RESIZE (Fig. 8, Table 2) | image box filter |
+//! | [`lpd`] | SOD license-plate detection (Fig. 8, Table 2) | Sobel + window scan |
+//!
+//! # Examples
+//!
+//! ```
+//! use sledge_apps::{all_apps, AppSpec};
+//!
+//! for app in all_apps() {
+//!     let module = (app.module)();
+//!     assert!(module.exported_func("main").is_some(), "{}", app.name);
+//!     let input = (app.sample_input)();
+//!     let out = (app.native)(&input);
+//!     assert!(!out.is_empty() || app.name == "ping" && out.is_empty());
+//! }
+//! ```
+
+pub mod abi;
+pub mod cifar10;
+pub mod echo;
+pub mod gocr;
+pub mod gps_ekf;
+pub mod lpd;
+pub mod ping;
+pub mod polybench;
+pub mod resize;
+pub mod testutil;
+
+use sledge_wasm::module::Module;
+
+/// One evaluated application: guest builder, native twin, sample input.
+#[derive(Clone, Copy)]
+pub struct AppSpec {
+    /// Function name (also the runtime registration name).
+    pub name: &'static str,
+    /// Build the guest module.
+    pub module: fn() -> Module,
+    /// Native reference implementation (body → response).
+    pub native: fn(&[u8]) -> Vec<u8>,
+    /// A representative request body.
+    pub sample_input: fn() -> Vec<u8>,
+}
+
+impl std::fmt::Debug for AppSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AppSpec").field("name", &self.name).finish()
+    }
+}
+
+/// The real-world application set of Figure 8 / Table 2, in the paper's
+/// order (by increasing computational weight).
+pub fn real_world_apps() -> Vec<AppSpec> {
+    vec![
+        AppSpec {
+            name: "gps_ekf",
+            module: gps_ekf::module,
+            native: gps_ekf::native,
+            sample_input: gps_ekf::sample_input,
+        },
+        AppSpec {
+            name: "gocr",
+            module: gocr::module,
+            native: gocr::native,
+            sample_input: gocr::sample_input,
+        },
+        AppSpec {
+            name: "cifar10",
+            module: cifar10::module,
+            native: cifar10::native,
+            sample_input: cifar10::sample_input,
+        },
+        AppSpec {
+            name: "resize",
+            module: resize::module,
+            native: resize::native,
+            sample_input: resize::sample_input,
+        },
+        AppSpec {
+            name: "lpd",
+            module: lpd::module,
+            native: lpd::native,
+            sample_input: lpd::sample_input,
+        },
+    ]
+}
+
+/// All applications, including ping and echo.
+pub fn all_apps() -> Vec<AppSpec> {
+    let mut v = vec![
+        AppSpec {
+            name: "ping",
+            module: ping::module,
+            native: ping::native,
+            sample_input: ping::sample_input,
+        },
+        AppSpec {
+            name: "echo",
+            module: echo::module,
+            native: echo::native,
+            sample_input: echo::sample_input,
+        },
+    ];
+    v.extend(real_world_apps());
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::run_guest;
+
+    #[test]
+    fn every_app_cross_validates_on_sample_input() {
+        for app in all_apps() {
+            let module = (app.module)();
+            let input = (app.sample_input)();
+            let guest_out = run_guest(&module, &input);
+            let native_out = (app.native)(&input);
+            assert_eq!(
+                guest_out, native_out,
+                "guest and native disagree for {}",
+                app.name
+            );
+        }
+    }
+
+    #[test]
+    fn app_wasm_binaries_are_compact() {
+        // §5.1: AoT shared objects are ~100 KB; our uploaded .wasm binaries
+        // should be of that order, not megabytes.
+        for app in all_apps() {
+            let bytes = sledge_wasm::encode::encode_module(&(app.module)());
+            assert!(
+                bytes.len() < 192 * 1024,
+                "{} wasm is {} bytes",
+                app.name,
+                bytes.len()
+            );
+        }
+    }
+}

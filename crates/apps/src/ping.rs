@@ -1,0 +1,46 @@
+//! The ping function: no computation, replies with a single byte.
+//! Used for the paper's Figure 6 (throughput/latency vs. concurrency).
+
+use crate::abi::import_env;
+use sledge_guestc::dsl::*;
+use sledge_guestc::{FuncBuilder, ModuleBuilder, Scalar};
+use sledge_wasm::module::Module;
+use sledge_wasm::types::ValType;
+
+/// Build the ping guest module.
+pub fn module() -> Module {
+    let mut mb = ModuleBuilder::new("ping");
+    mb.memory(1, Some(1));
+    let env = import_env(&mut mb);
+    let mut f = FuncBuilder::new(&[], Some(ValType::I32));
+    f.extend([
+        store(Scalar::U8, i32c(0), 0, i32c(b'.' as i32)),
+        exec(call(env.response_write, vec![i32c(0), i32c(1)])),
+        ret(Some(i32c(0))),
+    ]);
+    let main = mb.add_func("main", f);
+    mb.export_func(main, "main");
+    mb.build().expect("ping module")
+}
+
+/// Native reference implementation (what a Nuclio shell function would run).
+pub fn native(_body: &[u8]) -> Vec<u8> {
+    vec![b'.']
+}
+
+/// A representative request body.
+pub fn sample_input() -> Vec<u8> {
+    Vec::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::run_guest;
+
+    #[test]
+    fn guest_matches_native() {
+        let out = run_guest(&module(), b"");
+        assert_eq!(out, native(b""));
+    }
+}

@@ -1,0 +1,1032 @@
+//! BLAS-shaped PolyBench kernels: gemm, 2mm, 3mm, atax, bicg, mvt, gemver,
+//! gesummv, symm, syr2k, syrk, trmm, doitgen.
+//!
+//! Each kernel is written twice with identical operation order: once in the
+//! guest DSL and once natively.
+
+use super::{for_i, init_expr, init_val, kernel_module, Kernel, A0};
+use crate::abi::{ld1, ld2, st1, st2};
+use sledge_guestc::dsl::*;
+use sledge_wasm::types::ValType::{F64, I32};
+
+const ALPHA: f64 = 1.5;
+const BETA: f64 = 1.2;
+
+// ------------------------------------------------------------------ gemm
+
+const GN: i32 = 28;
+
+pub(super) fn gemm() -> Kernel {
+    Kernel {
+        name: "gemm",
+        build: build_gemm,
+        native: native_gemm,
+    }
+}
+
+fn build_gemm() -> sledge_wasm::module::Module {
+    let n = GN;
+    let (a, b, c) = (A0, A0 + 8 * n * n, A0 + 16 * n * n);
+    kernel_module("gemm", 2, |f, cks| {
+        let i = f.local(I32);
+        let j = f.local(I32);
+        let k = f.local(I32);
+        f.extend([
+            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
+                st2(a, local(i), local(j), n, init_expr(local(i), 1, local(j), 1, 1, n)),
+                st2(b, local(i), local(j), n, init_expr(local(i), 1, local(j), 2, 2, n)),
+                st2(c, local(i), local(j), n, init_expr(local(i), 3, local(j), 1, 3, n)),
+            ])]),
+            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
+                st2(c, local(i), local(j), n, mul(ld2(c, local(i), local(j), n), f64c(BETA))),
+                for_i(k, 0, i32c(n), vec![
+                    st2(c, local(i), local(j), n, add(ld2(c, local(i), local(j), n),
+                        mul(mul(f64c(ALPHA), ld2(a, local(i), local(k), n)), ld2(b, local(k), local(j), n)))),
+                ]),
+            ])]),
+            set(cks, f64c(0.0)),
+            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
+                set(cks, add(local(cks), ld2(c, local(i), local(j), n))),
+            ])]),
+        ]);
+    })
+}
+
+fn native_gemm() -> f64 {
+    let n = GN as usize;
+    let mut a = vec![0.0f64; n * n];
+    let mut b = vec![0.0f64; n * n];
+    let mut c = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            a[i * n + j] = init_val(i as i64, 1, j as i64, 1, 1, GN as i64);
+            b[i * n + j] = init_val(i as i64, 1, j as i64, 2, 2, GN as i64);
+            c[i * n + j] = init_val(i as i64, 3, j as i64, 1, 3, GN as i64);
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            c[i * n + j] *= BETA;
+            for k in 0..n {
+                c[i * n + j] += ALPHA * a[i * n + k] * b[k * n + j];
+            }
+        }
+    }
+    c.iter().sum()
+}
+
+// ------------------------------------------------------------------- 2mm
+
+const TN: i32 = 22;
+
+pub(super) fn two_mm() -> Kernel {
+    Kernel {
+        name: "2mm",
+        build: build_2mm,
+        native: native_2mm,
+    }
+}
+
+fn build_2mm() -> sledge_wasm::module::Module {
+    let n = TN;
+    let (a, b, tmp, c, d) = (
+        A0,
+        A0 + 8 * n * n,
+        A0 + 16 * n * n,
+        A0 + 24 * n * n,
+        A0 + 32 * n * n,
+    );
+    kernel_module("2mm", 2, |f, cks| {
+        let i = f.local(I32);
+        let j = f.local(I32);
+        let k = f.local(I32);
+        let acc = f.local(F64);
+        f.extend([
+            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
+                st2(a, local(i), local(j), n, init_expr(local(i), 1, local(j), 1, 0, n)),
+                st2(b, local(i), local(j), n, init_expr(local(i), 1, local(j), 2, 1, n)),
+                st2(c, local(i), local(j), n, init_expr(local(i), 3, local(j), 1, 2, n)),
+                st2(d, local(i), local(j), n, init_expr(local(i), 2, local(j), 2, 3, n)),
+            ])]),
+            // tmp = alpha A B
+            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
+                set(acc, f64c(0.0)),
+                for_i(k, 0, i32c(n), vec![
+                    set(acc, add(local(acc), mul(mul(f64c(ALPHA), ld2(a, local(i), local(k), n)), ld2(b, local(k), local(j), n)))),
+                ]),
+                st2(tmp, local(i), local(j), n, local(acc)),
+            ])]),
+            // D = tmp C + beta D
+            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
+                st2(d, local(i), local(j), n, mul(ld2(d, local(i), local(j), n), f64c(BETA))),
+                for_i(k, 0, i32c(n), vec![
+                    st2(d, local(i), local(j), n, add(ld2(d, local(i), local(j), n),
+                        mul(ld2(tmp, local(i), local(k), n), ld2(c, local(k), local(j), n)))),
+                ]),
+            ])]),
+            set(cks, f64c(0.0)),
+            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
+                set(cks, add(local(cks), ld2(d, local(i), local(j), n))),
+            ])]),
+        ]);
+    })
+}
+
+fn native_2mm() -> f64 {
+    let n = TN as usize;
+    let m = TN as i64;
+    let mut a = vec![0.0; n * n];
+    let mut b = vec![0.0; n * n];
+    let mut tmp = vec![0.0; n * n];
+    let mut c = vec![0.0; n * n];
+    let mut d = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            a[i * n + j] = init_val(i as i64, 1, j as i64, 1, 0, m);
+            b[i * n + j] = init_val(i as i64, 1, j as i64, 2, 1, m);
+            c[i * n + j] = init_val(i as i64, 3, j as i64, 1, 2, m);
+            d[i * n + j] = init_val(i as i64, 2, j as i64, 2, 3, m);
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for k in 0..n {
+                acc += ALPHA * a[i * n + k] * b[k * n + j];
+            }
+            tmp[i * n + j] = acc;
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            d[i * n + j] *= BETA;
+            for k in 0..n {
+                d[i * n + j] += tmp[i * n + k] * c[k * n + j];
+            }
+        }
+    }
+    d.iter().sum()
+}
+
+// ------------------------------------------------------------------- 3mm
+
+const HN: i32 = 20;
+
+pub(super) fn three_mm() -> Kernel {
+    Kernel {
+        name: "3mm",
+        build: build_3mm,
+        native: native_3mm,
+    }
+}
+
+fn build_3mm() -> sledge_wasm::module::Module {
+    let n = HN;
+    let sz = 8 * n * n;
+    let (a, b, c, d, e, fm, g) = (
+        A0,
+        A0 + sz,
+        A0 + 2 * sz,
+        A0 + 3 * sz,
+        A0 + 4 * sz,
+        A0 + 5 * sz,
+        A0 + 6 * sz,
+    );
+    kernel_module("3mm", 2, |fb, cks| {
+        let i = fb.local(I32);
+        let j = fb.local(I32);
+        let k = fb.local(I32);
+        let acc = fb.local(F64);
+        let mm = |x: i32, y: i32, z: i32, i: sledge_guestc::Local, j: sledge_guestc::Local, k: sledge_guestc::Local, acc: sledge_guestc::Local| {
+            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
+                set(acc, f64c(0.0)),
+                for_i(k, 0, i32c(n), vec![
+                    set(acc, add(local(acc), mul(ld2(x, local(i), local(k), n), ld2(y, local(k), local(j), n)))),
+                ]),
+                st2(z, local(i), local(j), n, local(acc)),
+            ])])
+        };
+        fb.extend([
+            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
+                st2(a, local(i), local(j), n, init_expr(local(i), 1, local(j), 1, 0, n)),
+                st2(b, local(i), local(j), n, init_expr(local(i), 1, local(j), 2, 1, n)),
+                st2(c, local(i), local(j), n, init_expr(local(i), 3, local(j), 1, 3, n)),
+                st2(d, local(i), local(j), n, init_expr(local(i), 2, local(j), 3, 2, n)),
+            ])]),
+            mm(a, b, e, i, j, k, acc),  // E = A B
+            mm(c, d, fm, i, j, k, acc), // F = C D
+            mm(e, fm, g, i, j, k, acc), // G = E F
+            set(cks, f64c(0.0)),
+            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
+                set(cks, add(local(cks), ld2(g, local(i), local(j), n))),
+            ])]),
+        ]);
+    })
+}
+
+fn native_3mm() -> f64 {
+    let n = HN as usize;
+    let m = HN as i64;
+    let mut a = vec![0.0; n * n];
+    let mut b = vec![0.0; n * n];
+    let mut c = vec![0.0; n * n];
+    let mut d = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            a[i * n + j] = init_val(i as i64, 1, j as i64, 1, 0, m);
+            b[i * n + j] = init_val(i as i64, 1, j as i64, 2, 1, m);
+            c[i * n + j] = init_val(i as i64, 3, j as i64, 1, 3, m);
+            d[i * n + j] = init_val(i as i64, 2, j as i64, 3, 2, m);
+        }
+    }
+    let mm = |x: &[f64], y: &[f64]| {
+        let mut z = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for k in 0..n {
+                    acc += x[i * n + k] * y[k * n + j];
+                }
+                z[i * n + j] = acc;
+            }
+        }
+        z
+    };
+    let e = mm(&a, &b);
+    let f = mm(&c, &d);
+    let g = mm(&e, &f);
+    g.iter().sum()
+}
+
+// ------------------------------------------------------------------ atax
+
+const AN: i32 = 72;
+
+pub(super) fn atax() -> Kernel {
+    Kernel {
+        name: "atax",
+        build: build_atax,
+        native: native_atax,
+    }
+}
+
+fn build_atax() -> sledge_wasm::module::Module {
+    let n = AN;
+    let a = A0;
+    let x = A0 + 8 * n * n;
+    let y = x + 8 * n;
+    let tmp = y + 8 * n;
+    kernel_module("atax", 2, |f, cks| {
+        let i = f.local(I32);
+        let j = f.local(I32);
+        let acc = f.local(F64);
+        f.extend([
+            for_i(i, 0, i32c(n), vec![
+                st1(x, local(i), init_expr(local(i), 1, i32c(0), 0, 1, n)),
+                st1(y, local(i), f64c(0.0)),
+                for_i(j, 0, i32c(n), vec![
+                    st2(a, local(i), local(j), n, init_expr(local(i), 1, local(j), 1, 0, n)),
+                ]),
+            ]),
+            // y = A^T (A x)
+            for_i(i, 0, i32c(n), vec![
+                set(acc, f64c(0.0)),
+                for_i(j, 0, i32c(n), vec![
+                    set(acc, add(local(acc), mul(ld2(a, local(i), local(j), n), ld1(x, local(j))))),
+                ]),
+                st1(tmp, local(i), local(acc)),
+            ]),
+            for_i(i, 0, i32c(n), vec![
+                for_i(j, 0, i32c(n), vec![
+                    st1(y, local(j), add(ld1(y, local(j)), mul(ld2(a, local(i), local(j), n), ld1(tmp, local(i))))),
+                ]),
+            ]),
+            set(cks, f64c(0.0)),
+            for_i(i, 0, i32c(n), vec![set(cks, add(local(cks), ld1(y, local(i))))]),
+        ]);
+    })
+}
+
+fn native_atax() -> f64 {
+    let n = AN as usize;
+    let m = AN as i64;
+    let mut a = vec![0.0; n * n];
+    let mut x = vec![0.0; n];
+    let mut y = vec![0.0; n];
+    let mut tmp = vec![0.0; n];
+    for i in 0..n {
+        x[i] = init_val(i as i64, 1, 0, 0, 1, m);
+        for j in 0..n {
+            a[i * n + j] = init_val(i as i64, 1, j as i64, 1, 0, m);
+        }
+    }
+    for i in 0..n {
+        let mut acc = 0.0;
+        for j in 0..n {
+            acc += a[i * n + j] * x[j];
+        }
+        tmp[i] = acc;
+    }
+    for i in 0..n {
+        for j in 0..n {
+            y[j] += a[i * n + j] * tmp[i];
+        }
+    }
+    y.iter().sum()
+}
+
+// ------------------------------------------------------------------ bicg
+
+const BN: i32 = 72;
+
+pub(super) fn bicg() -> Kernel {
+    Kernel {
+        name: "bicg",
+        build: build_bicg,
+        native: native_bicg,
+    }
+}
+
+fn build_bicg() -> sledge_wasm::module::Module {
+    let n = BN;
+    let a = A0;
+    let p = A0 + 8 * n * n;
+    let r = p + 8 * n;
+    let q = r + 8 * n;
+    let s = q + 8 * n;
+    kernel_module("bicg", 2, |f, cks| {
+        let i = f.local(I32);
+        let j = f.local(I32);
+        f.extend([
+            for_i(i, 0, i32c(n), vec![
+                st1(p, local(i), init_expr(local(i), 1, i32c(0), 0, 0, n)),
+                st1(r, local(i), init_expr(local(i), 2, i32c(0), 0, 1, n)),
+                st1(q, local(i), f64c(0.0)),
+                st1(s, local(i), f64c(0.0)),
+                for_i(j, 0, i32c(n), vec![
+                    st2(a, local(i), local(j), n, init_expr(local(i), 1, local(j), 2, 0, n)),
+                ]),
+            ]),
+            for_i(i, 0, i32c(n), vec![
+                for_i(j, 0, i32c(n), vec![
+                    st1(s, local(j), add(ld1(s, local(j)), mul(ld1(r, local(i)), ld2(a, local(i), local(j), n)))),
+                    st1(q, local(i), add(ld1(q, local(i)), mul(ld2(a, local(i), local(j), n), ld1(p, local(j))))),
+                ]),
+            ]),
+            set(cks, f64c(0.0)),
+            for_i(i, 0, i32c(n), vec![
+                set(cks, add(local(cks), add(ld1(q, local(i)), ld1(s, local(i))))),
+            ]),
+        ]);
+    })
+}
+
+fn native_bicg() -> f64 {
+    let n = BN as usize;
+    let m = BN as i64;
+    let mut a = vec![0.0; n * n];
+    let mut p = vec![0.0; n];
+    let mut r = vec![0.0; n];
+    let mut q = vec![0.0; n];
+    let mut s = vec![0.0; n];
+    for i in 0..n {
+        p[i] = init_val(i as i64, 1, 0, 0, 0, m);
+        r[i] = init_val(i as i64, 2, 0, 0, 1, m);
+        for j in 0..n {
+            a[i * n + j] = init_val(i as i64, 1, j as i64, 2, 0, m);
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            s[j] += r[i] * a[i * n + j];
+            q[i] += a[i * n + j] * p[j];
+        }
+    }
+    (0..n).map(|i| q[i] + s[i]).sum()
+}
+
+// ------------------------------------------------------------------- mvt
+
+const MN: i32 = 80;
+
+pub(super) fn mvt() -> Kernel {
+    Kernel {
+        name: "mvt",
+        build: build_mvt,
+        native: native_mvt,
+    }
+}
+
+fn build_mvt() -> sledge_wasm::module::Module {
+    let n = MN;
+    let a = A0;
+    let x1 = A0 + 8 * n * n;
+    let x2 = x1 + 8 * n;
+    let y1 = x2 + 8 * n;
+    let y2 = y1 + 8 * n;
+    kernel_module("mvt", 2, |f, cks| {
+        let i = f.local(I32);
+        let j = f.local(I32);
+        f.extend([
+            for_i(i, 0, i32c(n), vec![
+                st1(x1, local(i), init_expr(local(i), 1, i32c(0), 0, 0, n)),
+                st1(x2, local(i), init_expr(local(i), 1, i32c(0), 0, 1, n)),
+                st1(y1, local(i), init_expr(local(i), 3, i32c(0), 0, 2, n)),
+                st1(y2, local(i), init_expr(local(i), 2, i32c(0), 0, 3, n)),
+                for_i(j, 0, i32c(n), vec![
+                    st2(a, local(i), local(j), n, init_expr(local(i), 1, local(j), 1, 0, n)),
+                ]),
+            ]),
+            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
+                st1(x1, local(i), add(ld1(x1, local(i)), mul(ld2(a, local(i), local(j), n), ld1(y1, local(j))))),
+            ])]),
+            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
+                st1(x2, local(i), add(ld1(x2, local(i)), mul(ld2(a, local(j), local(i), n), ld1(y2, local(j))))),
+            ])]),
+            set(cks, f64c(0.0)),
+            for_i(i, 0, i32c(n), vec![
+                set(cks, add(local(cks), add(ld1(x1, local(i)), ld1(x2, local(i))))),
+            ]),
+        ]);
+    })
+}
+
+fn native_mvt() -> f64 {
+    let n = MN as usize;
+    let m = MN as i64;
+    let mut a = vec![0.0; n * n];
+    let mut x1 = vec![0.0; n];
+    let mut x2 = vec![0.0; n];
+    let mut y1 = vec![0.0; n];
+    let mut y2 = vec![0.0; n];
+    for i in 0..n {
+        x1[i] = init_val(i as i64, 1, 0, 0, 0, m);
+        x2[i] = init_val(i as i64, 1, 0, 0, 1, m);
+        y1[i] = init_val(i as i64, 3, 0, 0, 2, m);
+        y2[i] = init_val(i as i64, 2, 0, 0, 3, m);
+        for j in 0..n {
+            a[i * n + j] = init_val(i as i64, 1, j as i64, 1, 0, m);
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            x1[i] += a[i * n + j] * y1[j];
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            x2[i] += a[j * n + i] * y2[j];
+        }
+    }
+    (0..n).map(|i| x1[i] + x2[i]).sum()
+}
+
+// ---------------------------------------------------------------- gemver
+
+const VN: i32 = 64;
+
+pub(super) fn gemver() -> Kernel {
+    Kernel {
+        name: "gemver",
+        build: build_gemver,
+        native: native_gemver,
+    }
+}
+
+fn build_gemver() -> sledge_wasm::module::Module {
+    let n = VN;
+    let a = A0;
+    let u1 = A0 + 8 * n * n;
+    let v1 = u1 + 8 * n;
+    let u2 = v1 + 8 * n;
+    let v2 = u2 + 8 * n;
+    let w = v2 + 8 * n;
+    let x = w + 8 * n;
+    let y = x + 8 * n;
+    let z = y + 8 * n;
+    kernel_module("gemver", 2, |f, cks| {
+        let i = f.local(I32);
+        let j = f.local(I32);
+        f.extend([
+            for_i(i, 0, i32c(n), vec![
+                st1(u1, local(i), init_expr(local(i), 1, i32c(0), 0, 0, n)),
+                st1(u2, local(i), init_expr(local(i), 2, i32c(0), 0, 1, n)),
+                st1(v1, local(i), init_expr(local(i), 3, i32c(0), 0, 2, n)),
+                st1(v2, local(i), init_expr(local(i), 1, i32c(0), 0, 3, n)),
+                st1(y, local(i), init_expr(local(i), 2, i32c(0), 0, 4, n)),
+                st1(z, local(i), init_expr(local(i), 3, i32c(0), 0, 5, n)),
+                st1(x, local(i), f64c(0.0)),
+                st1(w, local(i), f64c(0.0)),
+                for_i(j, 0, i32c(n), vec![
+                    st2(a, local(i), local(j), n, init_expr(local(i), 1, local(j), 1, 0, n)),
+                ]),
+            ]),
+            // A = A + u1 v1^T + u2 v2^T
+            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
+                st2(a, local(i), local(j), n, add(ld2(a, local(i), local(j), n),
+                    add(mul(ld1(u1, local(i)), ld1(v1, local(j))),
+                        mul(ld1(u2, local(i)), ld1(v2, local(j)))))),
+            ])]),
+            // x = x + beta A^T y + z
+            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
+                st1(x, local(i), add(ld1(x, local(i)), mul(mul(f64c(BETA), ld2(a, local(j), local(i), n)), ld1(y, local(j))))),
+            ])]),
+            for_i(i, 0, i32c(n), vec![
+                st1(x, local(i), add(ld1(x, local(i)), ld1(z, local(i)))),
+            ]),
+            // w = alpha A x
+            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
+                st1(w, local(i), add(ld1(w, local(i)), mul(mul(f64c(ALPHA), ld2(a, local(i), local(j), n)), ld1(x, local(j))))),
+            ])]),
+            set(cks, f64c(0.0)),
+            for_i(i, 0, i32c(n), vec![set(cks, add(local(cks), ld1(w, local(i))))]),
+        ]);
+    })
+}
+
+fn native_gemver() -> f64 {
+    let n = VN as usize;
+    let m = VN as i64;
+    let mut a = vec![0.0; n * n];
+    let mut u1 = vec![0.0; n];
+    let mut v1 = vec![0.0; n];
+    let mut u2 = vec![0.0; n];
+    let mut v2 = vec![0.0; n];
+    let mut w = vec![0.0; n];
+    let mut x = vec![0.0; n];
+    let mut y = vec![0.0; n];
+    let mut z = vec![0.0; n];
+    for i in 0..n {
+        u1[i] = init_val(i as i64, 1, 0, 0, 0, m);
+        u2[i] = init_val(i as i64, 2, 0, 0, 1, m);
+        v1[i] = init_val(i as i64, 3, 0, 0, 2, m);
+        v2[i] = init_val(i as i64, 1, 0, 0, 3, m);
+        y[i] = init_val(i as i64, 2, 0, 0, 4, m);
+        z[i] = init_val(i as i64, 3, 0, 0, 5, m);
+        for j in 0..n {
+            a[i * n + j] = init_val(i as i64, 1, j as i64, 1, 0, m);
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            a[i * n + j] += u1[i] * v1[j] + u2[i] * v2[j];
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            x[i] += BETA * a[j * n + i] * y[j];
+        }
+    }
+    for i in 0..n {
+        x[i] += z[i];
+    }
+    for i in 0..n {
+        for j in 0..n {
+            w[i] += ALPHA * a[i * n + j] * x[j];
+        }
+    }
+    w.iter().sum()
+}
+
+// --------------------------------------------------------------- gesummv
+
+const SN: i32 = 64;
+
+pub(super) fn gesummv() -> Kernel {
+    Kernel {
+        name: "gesummv",
+        build: build_gesummv,
+        native: native_gesummv,
+    }
+}
+
+fn build_gesummv() -> sledge_wasm::module::Module {
+    let n = SN;
+    let a = A0;
+    let b = A0 + 8 * n * n;
+    let x = b + 8 * n * n;
+    let y = x + 8 * n;
+    let tmp = y + 8 * n;
+    kernel_module("gesummv", 2, |f, cks| {
+        let i = f.local(I32);
+        let j = f.local(I32);
+        f.extend([
+            for_i(i, 0, i32c(n), vec![
+                st1(x, local(i), init_expr(local(i), 1, i32c(0), 0, 0, n)),
+                for_i(j, 0, i32c(n), vec![
+                    st2(a, local(i), local(j), n, init_expr(local(i), 1, local(j), 1, 0, n)),
+                    st2(b, local(i), local(j), n, init_expr(local(i), 2, local(j), 1, 1, n)),
+                ]),
+            ]),
+            for_i(i, 0, i32c(n), vec![
+                st1(tmp, local(i), f64c(0.0)),
+                st1(y, local(i), f64c(0.0)),
+                for_i(j, 0, i32c(n), vec![
+                    st1(tmp, local(i), add(mul(ld2(a, local(i), local(j), n), ld1(x, local(j))), ld1(tmp, local(i)))),
+                    st1(y, local(i), add(mul(ld2(b, local(i), local(j), n), ld1(x, local(j))), ld1(y, local(i)))),
+                ]),
+                st1(y, local(i), add(mul(f64c(ALPHA), ld1(tmp, local(i))), mul(f64c(BETA), ld1(y, local(i))))),
+            ]),
+            set(cks, f64c(0.0)),
+            for_i(i, 0, i32c(n), vec![set(cks, add(local(cks), ld1(y, local(i))))]),
+        ]);
+    })
+}
+
+fn native_gesummv() -> f64 {
+    let n = SN as usize;
+    let m = SN as i64;
+    let mut a = vec![0.0; n * n];
+    let mut b = vec![0.0; n * n];
+    let mut x = vec![0.0; n];
+    let mut y = vec![0.0; n];
+    let mut tmp = vec![0.0; n];
+    for i in 0..n {
+        x[i] = init_val(i as i64, 1, 0, 0, 0, m);
+        for j in 0..n {
+            a[i * n + j] = init_val(i as i64, 1, j as i64, 1, 0, m);
+            b[i * n + j] = init_val(i as i64, 2, j as i64, 1, 1, m);
+        }
+    }
+    for i in 0..n {
+        tmp[i] = 0.0;
+        y[i] = 0.0;
+        for j in 0..n {
+            tmp[i] = a[i * n + j] * x[j] + tmp[i];
+            y[i] = b[i * n + j] * x[j] + y[i];
+        }
+        y[i] = ALPHA * tmp[i] + BETA * y[i];
+    }
+    y.iter().sum()
+}
+
+// ------------------------------------------------------------------ symm
+
+const YN: i32 = 24;
+
+pub(super) fn symm() -> Kernel {
+    Kernel {
+        name: "symm",
+        build: build_symm,
+        native: native_symm,
+    }
+}
+
+fn build_symm() -> sledge_wasm::module::Module {
+    let n = YN;
+    let a = A0;
+    let b = A0 + 8 * n * n;
+    let c = b + 8 * n * n;
+    kernel_module("symm", 2, |f, cks| {
+        let i = f.local(I32);
+        let j = f.local(I32);
+        let k = f.local(I32);
+        let temp2 = f.local(F64);
+        f.extend([
+            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
+                st2(a, local(i), local(j), n, init_expr(local(i), 1, local(j), 1, 0, n)),
+                st2(b, local(i), local(j), n, init_expr(local(i), 2, local(j), 1, 1, n)),
+                st2(c, local(i), local(j), n, init_expr(local(i), 1, local(j), 2, 2, n)),
+            ])]),
+            // symm (lower): C = alpha A B + beta C with A symmetric.
+            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
+                set(temp2, f64c(0.0)),
+                for_i(k, 0, local(i), vec![
+                    st2(c, local(k), local(j), n, add(ld2(c, local(k), local(j), n),
+                        mul(mul(f64c(ALPHA), ld2(b, local(i), local(j), n)), ld2(a, local(i), local(k), n)))),
+                    set(temp2, add(local(temp2), mul(ld2(b, local(k), local(j), n), ld2(a, local(i), local(k), n)))),
+                ]),
+                st2(c, local(i), local(j), n,
+                    add(add(mul(f64c(BETA), ld2(c, local(i), local(j), n)),
+                            mul(mul(f64c(ALPHA), ld2(b, local(i), local(j), n)), ld2(a, local(i), local(i), n))),
+                        mul(f64c(ALPHA), local(temp2)))),
+            ])]),
+            set(cks, f64c(0.0)),
+            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
+                set(cks, add(local(cks), ld2(c, local(i), local(j), n))),
+            ])]),
+        ]);
+    })
+}
+
+fn native_symm() -> f64 {
+    let n = YN as usize;
+    let m = YN as i64;
+    let mut a = vec![0.0; n * n];
+    let mut b = vec![0.0; n * n];
+    let mut c = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            a[i * n + j] = init_val(i as i64, 1, j as i64, 1, 0, m);
+            b[i * n + j] = init_val(i as i64, 2, j as i64, 1, 1, m);
+            c[i * n + j] = init_val(i as i64, 1, j as i64, 2, 2, m);
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            let mut temp2 = 0.0;
+            for k in 0..i {
+                c[k * n + j] += ALPHA * b[i * n + j] * a[i * n + k];
+                temp2 += b[k * n + j] * a[i * n + k];
+            }
+            c[i * n + j] =
+                BETA * c[i * n + j] + ALPHA * b[i * n + j] * a[i * n + i] + ALPHA * temp2;
+        }
+    }
+    c.iter().sum()
+}
+
+// ----------------------------------------------------------------- syr2k
+
+const KN: i32 = 24;
+
+pub(super) fn syr2k() -> Kernel {
+    Kernel {
+        name: "syr2k",
+        build: build_syr2k,
+        native: native_syr2k,
+    }
+}
+
+fn build_syr2k() -> sledge_wasm::module::Module {
+    let n = KN;
+    let a = A0;
+    let b = A0 + 8 * n * n;
+    let c = b + 8 * n * n;
+    kernel_module("syr2k", 2, |f, cks| {
+        let i = f.local(I32);
+        let j = f.local(I32);
+        let k = f.local(I32);
+        f.extend([
+            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
+                st2(a, local(i), local(j), n, init_expr(local(i), 1, local(j), 1, 0, n)),
+                st2(b, local(i), local(j), n, init_expr(local(i), 2, local(j), 1, 1, n)),
+                st2(c, local(i), local(j), n, init_expr(local(i), 1, local(j), 3, 2, n)),
+            ])]),
+            // Lower triangle: C = alpha (A B^T + B A^T) + beta C.
+            for_i(i, 0, i32c(n), vec![
+                for_loop(j, i32c(0), le_s(local(j), local(i)), 1, vec![
+                    st2(c, local(i), local(j), n, mul(ld2(c, local(i), local(j), n), f64c(BETA))),
+                ]),
+                for_i(k, 0, i32c(n), vec![
+                    for_loop(j, i32c(0), le_s(local(j), local(i)), 1, vec![
+                        st2(c, local(i), local(j), n, add(ld2(c, local(i), local(j), n),
+                            add(mul(mul(ld2(a, local(j), local(k), n), f64c(ALPHA)), ld2(b, local(i), local(k), n)),
+                                mul(mul(ld2(b, local(j), local(k), n), f64c(ALPHA)), ld2(a, local(i), local(k), n))))),
+                    ]),
+                ]),
+            ]),
+            set(cks, f64c(0.0)),
+            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
+                set(cks, add(local(cks), ld2(c, local(i), local(j), n))),
+            ])]),
+        ]);
+    })
+}
+
+fn native_syr2k() -> f64 {
+    let n = KN as usize;
+    let m = KN as i64;
+    let mut a = vec![0.0; n * n];
+    let mut b = vec![0.0; n * n];
+    let mut c = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            a[i * n + j] = init_val(i as i64, 1, j as i64, 1, 0, m);
+            b[i * n + j] = init_val(i as i64, 2, j as i64, 1, 1, m);
+            c[i * n + j] = init_val(i as i64, 1, j as i64, 3, 2, m);
+        }
+    }
+    for i in 0..n {
+        for j in 0..=i {
+            c[i * n + j] *= BETA;
+        }
+        for k in 0..n {
+            for j in 0..=i {
+                c[i * n + j] +=
+                    a[j * n + k] * ALPHA * b[i * n + k] + b[j * n + k] * ALPHA * a[i * n + k];
+            }
+        }
+    }
+    c.iter().sum()
+}
+
+// ------------------------------------------------------------------ syrk
+
+const RN: i32 = 26;
+
+pub(super) fn syrk() -> Kernel {
+    Kernel {
+        name: "syrk",
+        build: build_syrk,
+        native: native_syrk,
+    }
+}
+
+fn build_syrk() -> sledge_wasm::module::Module {
+    let n = RN;
+    let a = A0;
+    let c = A0 + 8 * n * n;
+    kernel_module("syrk", 2, |f, cks| {
+        let i = f.local(I32);
+        let j = f.local(I32);
+        let k = f.local(I32);
+        f.extend([
+            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
+                st2(a, local(i), local(j), n, init_expr(local(i), 1, local(j), 1, 0, n)),
+                st2(c, local(i), local(j), n, init_expr(local(i), 2, local(j), 1, 1, n)),
+            ])]),
+            for_i(i, 0, i32c(n), vec![
+                for_loop(j, i32c(0), le_s(local(j), local(i)), 1, vec![
+                    st2(c, local(i), local(j), n, mul(ld2(c, local(i), local(j), n), f64c(BETA))),
+                ]),
+                for_i(k, 0, i32c(n), vec![
+                    for_loop(j, i32c(0), le_s(local(j), local(i)), 1, vec![
+                        st2(c, local(i), local(j), n, add(ld2(c, local(i), local(j), n),
+                            mul(mul(f64c(ALPHA), ld2(a, local(i), local(k), n)), ld2(a, local(j), local(k), n)))),
+                    ]),
+                ]),
+            ]),
+            set(cks, f64c(0.0)),
+            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
+                set(cks, add(local(cks), ld2(c, local(i), local(j), n))),
+            ])]),
+        ]);
+    })
+}
+
+fn native_syrk() -> f64 {
+    let n = RN as usize;
+    let m = RN as i64;
+    let mut a = vec![0.0; n * n];
+    let mut c = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            a[i * n + j] = init_val(i as i64, 1, j as i64, 1, 0, m);
+            c[i * n + j] = init_val(i as i64, 2, j as i64, 1, 1, m);
+        }
+    }
+    for i in 0..n {
+        for j in 0..=i {
+            c[i * n + j] *= BETA;
+        }
+        for k in 0..n {
+            for j in 0..=i {
+                c[i * n + j] += ALPHA * a[i * n + k] * a[j * n + k];
+            }
+        }
+    }
+    c.iter().sum()
+}
+
+// ------------------------------------------------------------------ trmm
+
+const WN: i32 = 26;
+
+pub(super) fn trmm() -> Kernel {
+    Kernel {
+        name: "trmm",
+        build: build_trmm,
+        native: native_trmm,
+    }
+}
+
+fn build_trmm() -> sledge_wasm::module::Module {
+    let n = WN;
+    let a = A0;
+    let b = A0 + 8 * n * n;
+    kernel_module("trmm", 2, |f, cks| {
+        let i = f.local(I32);
+        let j = f.local(I32);
+        let k = f.local(I32);
+        f.extend([
+            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
+                st2(a, local(i), local(j), n, init_expr(local(i), 1, local(j), 1, 0, n)),
+                st2(b, local(i), local(j), n, init_expr(local(i), 3, local(j), 1, 1, n)),
+            ])]),
+            // B = alpha A^T B, A lower-unit-triangular.
+            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
+                for_loop(k, add(local(i), i32c(1)), lt_s(local(k), i32c(n)), 1, vec![
+                    st2(b, local(i), local(j), n, add(ld2(b, local(i), local(j), n),
+                        mul(ld2(a, local(k), local(i), n), ld2(b, local(k), local(j), n)))),
+                ]),
+                st2(b, local(i), local(j), n, mul(f64c(ALPHA), ld2(b, local(i), local(j), n))),
+            ])]),
+            set(cks, f64c(0.0)),
+            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
+                set(cks, add(local(cks), ld2(b, local(i), local(j), n))),
+            ])]),
+        ]);
+    })
+}
+
+fn native_trmm() -> f64 {
+    let n = WN as usize;
+    let m = WN as i64;
+    let mut a = vec![0.0; n * n];
+    let mut b = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            a[i * n + j] = init_val(i as i64, 1, j as i64, 1, 0, m);
+            b[i * n + j] = init_val(i as i64, 3, j as i64, 1, 1, m);
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            for k in i + 1..n {
+                b[i * n + j] += a[k * n + i] * b[k * n + j];
+            }
+            b[i * n + j] *= ALPHA;
+        }
+    }
+    b.iter().sum()
+}
+
+// --------------------------------------------------------------- doitgen
+
+const DQ: i32 = 14;
+
+pub(super) fn doitgen() -> Kernel {
+    Kernel {
+        name: "doitgen",
+        build: build_doitgen,
+        native: native_doitgen,
+    }
+}
+
+fn build_doitgen() -> sledge_wasm::module::Module {
+    let n = DQ; // NR = NQ = NP = n
+    let a = A0; // [r][q][p]
+    let c4 = A0 + 8 * n * n * n; // [p][p]
+    let sum = c4 + 8 * n * n; // [p]
+    kernel_module("doitgen", 2, |f, cks| {
+        let r = f.local(I32);
+        let q = f.local(I32);
+        let p = f.local(I32);
+        let s = f.local(I32);
+        let a3 = |rv: sledge_guestc::Local, qv: sledge_guestc::Local, pv: Expr| {
+            add(i32c(a), mul(add(mul(add(mul(local(rv), i32c(n)), local(qv)), i32c(n)), pv), i32c(8)))
+        };
+        f.extend([
+            for_i(r, 0, i32c(n), vec![for_i(q, 0, i32c(n), vec![for_i(p, 0, i32c(n), vec![
+                store(sledge_guestc::Scalar::F64, a3(r, q, local(p)), 0,
+                    init_expr(add(mul(local(r), i32c(n)), local(q)), 1, local(p), 1, 0, n)),
+            ])])]),
+            for_i(p, 0, i32c(n), vec![for_i(s, 0, i32c(n), vec![
+                st2(c4, local(p), local(s), n, init_expr(local(p), 1, local(s), 2, 1, n)),
+            ])]),
+            for_i(r, 0, i32c(n), vec![for_i(q, 0, i32c(n), vec![
+                for_i(p, 0, i32c(n), vec![
+                    st1(sum, local(p), f64c(0.0)),
+                    for_i(s, 0, i32c(n), vec![
+                        st1(sum, local(p), add(ld1(sum, local(p)),
+                            mul(load(sledge_guestc::Scalar::F64, a3(r, q, local(s)), 0), ld2(c4, local(s), local(p), n)))),
+                    ]),
+                ]),
+                for_i(p, 0, i32c(n), vec![
+                    store(sledge_guestc::Scalar::F64, a3(r, q, local(p)), 0, ld1(sum, local(p))),
+                ]),
+            ])]),
+            set(cks, f64c(0.0)),
+            for_i(r, 0, i32c(n), vec![for_i(q, 0, i32c(n), vec![for_i(p, 0, i32c(n), vec![
+                set(cks, add(local(cks), load(sledge_guestc::Scalar::F64, a3(r, q, local(p)), 0))),
+            ])])]),
+        ]);
+    })
+}
+
+fn native_doitgen() -> f64 {
+    let n = DQ as usize;
+    let m = DQ as i64;
+    let mut a = vec![0.0; n * n * n];
+    let mut c4 = vec![0.0; n * n];
+    let mut sum = vec![0.0; n];
+    for r in 0..n {
+        for q in 0..n {
+            for p in 0..n {
+                a[(r * n + q) * n + p] = init_val((r * n + q) as i64, 1, p as i64, 1, 0, m);
+            }
+        }
+    }
+    for p in 0..n {
+        for s in 0..n {
+            c4[p * n + s] = init_val(p as i64, 1, s as i64, 2, 1, m);
+        }
+    }
+    for r in 0..n {
+        for q in 0..n {
+            for p in 0..n {
+                sum[p] = 0.0;
+                for s in 0..n {
+                    sum[p] += a[(r * n + q) * n + s] * c4[s * n + p];
+                }
+            }
+            for p in 0..n {
+                a[(r * n + q) * n + p] = sum[p];
+            }
+        }
+    }
+    a.iter().sum()
+}
+
+use sledge_guestc::Expr;

@@ -1,0 +1,528 @@
+//! Data-mining and medley PolyBench kernels: correlation, covariance,
+//! deriche, floyd-warshall, nussinov.
+
+use super::{for_i, kernel_module, Kernel, A0};
+use sledge_guestc::Expr;
+use crate::abi::{ld1, ld2, st1, st2};
+use sledge_guestc::dsl::*;
+use sledge_wasm::types::ValType::{F64, I32};
+
+// ----------------------------------------------------------- correlation
+
+const CN: i32 = 26;
+
+pub(super) fn correlation() -> Kernel {
+    Kernel {
+        name: "correlation",
+        build: build_correlation,
+        native: native_correlation,
+    }
+}
+
+fn build_correlation() -> sledge_wasm::module::Module {
+    let n = CN; // observations = attributes = n for simplicity
+    let data = A0;
+    let corr = A0 + 8 * n * n;
+    let mean = corr + 8 * n * n;
+    let stddev = mean + 8 * n;
+    let eps = 0.1f64;
+    kernel_module("correlation", 2, |f, cks| {
+        let i = f.local(I32);
+        let j = f.local(I32);
+        let k = f.local(I32);
+        f.extend([
+            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
+                st2(data, local(i), local(j), n,
+                    add(div(i2d(mul(local(i), local(j))), f64c(n as f64)), i2d(local(i)))),
+            ])]),
+            // mean
+            for_i(j, 0, i32c(n), vec![
+                st1(mean, local(j), f64c(0.0)),
+                for_i(i, 0, i32c(n), vec![
+                    st1(mean, local(j), add(ld1(mean, local(j)), ld2(data, local(i), local(j), n))),
+                ]),
+                st1(mean, local(j), div(ld1(mean, local(j)), f64c(n as f64))),
+            ]),
+            // stddev
+            for_i(j, 0, i32c(n), vec![
+                st1(stddev, local(j), f64c(0.0)),
+                for_i(i, 0, i32c(n), vec![
+                    st1(stddev, local(j), add(ld1(stddev, local(j)),
+                        mul(sub(ld2(data, local(i), local(j), n), ld1(mean, local(j))),
+                            sub(ld2(data, local(i), local(j), n), ld1(mean, local(j)))))),
+                ]),
+                st1(stddev, local(j), sqrt(div(ld1(stddev, local(j)), f64c(n as f64)))),
+                st1(stddev, local(j), select(
+                    le_s(ld1(stddev, local(j)), f64c(eps)),
+                    f64c(1.0),
+                    ld1(stddev, local(j)))),
+            ]),
+            // center & reduce
+            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
+                st2(data, local(i), local(j), n, sub(ld2(data, local(i), local(j), n), ld1(mean, local(j)))),
+                st2(data, local(i), local(j), n, div(ld2(data, local(i), local(j), n),
+                    mul(sqrt(f64c(n as f64)), ld1(stddev, local(j))))),
+            ])]),
+            // correlation matrix (upper triangle).
+            for_i(i, 0, sub(i32c(n), i32c(1)), vec![
+                st2(corr, local(i), local(i), n, f64c(1.0)),
+                for_loop(j, add(local(i), i32c(1)), lt_s(local(j), i32c(n)), 1, vec![
+                    st2(corr, local(i), local(j), n, f64c(0.0)),
+                    for_i(k, 0, i32c(n), vec![
+                        st2(corr, local(i), local(j), n, add(ld2(corr, local(i), local(j), n),
+                            mul(ld2(data, local(k), local(i), n), ld2(data, local(k), local(j), n)))),
+                    ]),
+                    st2(corr, local(j), local(i), n, ld2(corr, local(i), local(j), n)),
+                ]),
+            ]),
+            st2(corr, i32c(n - 1), i32c(n - 1), n, f64c(1.0)),
+            set(cks, f64c(0.0)),
+            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
+                set(cks, add(local(cks), ld2(corr, local(i), local(j), n))),
+            ])]),
+        ]);
+    })
+}
+
+fn native_correlation() -> f64 {
+    let n = CN as usize;
+    let eps = 0.1f64;
+    let mut data = vec![0.0f64; n * n];
+    let mut corr = vec![0.0f64; n * n];
+    let mut mean = vec![0.0f64; n];
+    let mut stddev = vec![0.0f64; n];
+    for i in 0..n {
+        for j in 0..n {
+            data[i * n + j] = (i * j) as f64 / n as f64 + i as f64;
+        }
+    }
+    for j in 0..n {
+        for i in 0..n {
+            mean[j] += data[i * n + j];
+        }
+        mean[j] /= n as f64;
+    }
+    for j in 0..n {
+        for i in 0..n {
+            stddev[j] += (data[i * n + j] - mean[j]) * (data[i * n + j] - mean[j]);
+        }
+        stddev[j] = (stddev[j] / n as f64).sqrt();
+        if stddev[j] <= eps {
+            stddev[j] = 1.0;
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            data[i * n + j] -= mean[j];
+            data[i * n + j] /= (n as f64).sqrt() * stddev[j];
+        }
+    }
+    for i in 0..n - 1 {
+        corr[i * n + i] = 1.0;
+        for j in i + 1..n {
+            corr[i * n + j] = 0.0;
+            for k in 0..n {
+                corr[i * n + j] += data[k * n + i] * data[k * n + j];
+            }
+            corr[j * n + i] = corr[i * n + j];
+        }
+    }
+    corr[(n - 1) * n + n - 1] = 1.0;
+    corr.iter().sum()
+}
+
+// ------------------------------------------------------------ covariance
+
+const VN: i32 = 26;
+
+pub(super) fn covariance() -> Kernel {
+    Kernel {
+        name: "covariance",
+        build: build_covariance,
+        native: native_covariance,
+    }
+}
+
+fn build_covariance() -> sledge_wasm::module::Module {
+    let n = VN;
+    let data = A0;
+    let cov = A0 + 8 * n * n;
+    let mean = cov + 8 * n * n;
+    kernel_module("covariance", 2, |f, cks| {
+        let i = f.local(I32);
+        let j = f.local(I32);
+        let k = f.local(I32);
+        f.extend([
+            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
+                st2(data, local(i), local(j), n,
+                    div(i2d(mul(local(i), local(j))), f64c(n as f64))),
+            ])]),
+            for_i(j, 0, i32c(n), vec![
+                st1(mean, local(j), f64c(0.0)),
+                for_i(i, 0, i32c(n), vec![
+                    st1(mean, local(j), add(ld1(mean, local(j)), ld2(data, local(i), local(j), n))),
+                ]),
+                st1(mean, local(j), div(ld1(mean, local(j)), f64c(n as f64))),
+            ]),
+            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
+                st2(data, local(i), local(j), n, sub(ld2(data, local(i), local(j), n), ld1(mean, local(j)))),
+            ])]),
+            for_i(i, 0, i32c(n), vec![
+                for_loop(j, local(i), lt_s(local(j), i32c(n)), 1, vec![
+                    st2(cov, local(i), local(j), n, f64c(0.0)),
+                    for_i(k, 0, i32c(n), vec![
+                        st2(cov, local(i), local(j), n, add(ld2(cov, local(i), local(j), n),
+                            mul(ld2(data, local(k), local(i), n), ld2(data, local(k), local(j), n)))),
+                    ]),
+                    st2(cov, local(i), local(j), n, div(ld2(cov, local(i), local(j), n), f64c(n as f64 - 1.0))),
+                    st2(cov, local(j), local(i), n, ld2(cov, local(i), local(j), n)),
+                ]),
+            ]),
+            set(cks, f64c(0.0)),
+            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
+                set(cks, add(local(cks), ld2(cov, local(i), local(j), n))),
+            ])]),
+        ]);
+    })
+}
+
+fn native_covariance() -> f64 {
+    let n = VN as usize;
+    let mut data = vec![0.0f64; n * n];
+    let mut cov = vec![0.0f64; n * n];
+    let mut mean = vec![0.0f64; n];
+    for i in 0..n {
+        for j in 0..n {
+            data[i * n + j] = (i * j) as f64 / n as f64;
+        }
+    }
+    for j in 0..n {
+        for i in 0..n {
+            mean[j] += data[i * n + j];
+        }
+        mean[j] /= n as f64;
+    }
+    for i in 0..n {
+        for j in 0..n {
+            data[i * n + j] -= mean[j];
+        }
+    }
+    for i in 0..n {
+        for j in i..n {
+            cov[i * n + j] = 0.0;
+            for k in 0..n {
+                cov[i * n + j] += data[k * n + i] * data[k * n + j];
+            }
+            cov[i * n + j] /= n as f64 - 1.0;
+            cov[j * n + i] = cov[i * n + j];
+        }
+    }
+    cov.iter().sum()
+}
+
+// --------------------------------------------------------------- deriche
+
+const DW: i32 = 48;
+const DH: i32 = 36;
+
+pub(super) fn deriche() -> Kernel {
+    Kernel {
+        name: "deriche",
+        build: build_deriche,
+        native: native_deriche,
+    }
+}
+
+// Deriche recursive edge filter coefficients for alpha = 0.25.
+fn deriche_coeffs() -> (f64, [f64; 8], [f64; 4]) {
+    let alpha = 0.25f64;
+    let k = (1.0 - (-alpha).exp()) * (1.0 - (-alpha).exp())
+        / (1.0 + 2.0 * alpha * (-alpha).exp() - (-2.0 * alpha).exp());
+    let a1 = k;
+    let a2 = k * (-alpha).exp() * (alpha - 1.0);
+    let a3 = k * (-alpha).exp() * (alpha + 1.0);
+    let a4 = -k * (-2.0 * alpha).exp();
+    let b1 = 2.0f64.powf(-alpha); // deterministic stand-in: 2^-alpha
+    let b2 = -(-2.0 * alpha).exp();
+    let c1 = 1.0;
+    let c2 = 1.0;
+    (
+        alpha,
+        [a1, a2, a3, a4, a1, a2, a3, a4],
+        [b1, b2, c1, c2],
+    )
+}
+
+fn build_deriche() -> sledge_wasm::module::Module {
+    let (w, h) = (DW, DH);
+    let img_in = A0;
+    let y1 = A0 + 8 * w * h;
+    let y2 = y1 + 8 * w * h;
+    let img_out = y2 + 8 * w * h;
+    let (_, a, bc) = deriche_coeffs();
+    kernel_module("deriche", 4, |f, cks| {
+        let i = f.local(I32);
+        let j = f.local(I32);
+        let ym1 = f.local(F64);
+        let ym2 = f.local(F64);
+        let xm1 = f.local(F64);
+        let xp1 = f.local(F64);
+        let xp2 = f.local(F64);
+        let yp1 = f.local(F64);
+        let yp2 = f.local(F64);
+        f.extend([
+            for_i(i, 0, i32c(w), vec![for_i(j, 0, i32c(h), vec![
+                st2(img_in, local(i), local(j), h,
+                    div(i2d(rem(add(mul(local(i), i32c(313)), mul(local(j), i32c(991))), i32c(65536))), f64c(65535.0))),
+            ])]),
+            // Horizontal forward pass.
+            for_i(i, 0, i32c(w), vec![
+                set(ym1, f64c(0.0)),
+                set(ym2, f64c(0.0)),
+                set(xm1, f64c(0.0)),
+                for_i(j, 0, i32c(h), vec![
+                    st2(y1, local(i), local(j), h,
+                        add(add(mul(f64c(a[0]), ld2(img_in, local(i), local(j), h)),
+                                mul(f64c(a[1]), local(xm1))),
+                            add(mul(f64c(bc[0]), local(ym1)), mul(f64c(bc[1]), local(ym2))))),
+                    set(xm1, ld2(img_in, local(i), local(j), h)),
+                    set(ym2, local(ym1)),
+                    set(ym1, ld2(y1, local(i), local(j), h)),
+                ]),
+            ]),
+            // Horizontal backward pass.
+            for_i(i, 0, i32c(w), vec![
+                set(yp1, f64c(0.0)),
+                set(yp2, f64c(0.0)),
+                set(xp1, f64c(0.0)),
+                set(xp2, f64c(0.0)),
+                for_loop(j, i32c(h - 1), ge_s(local(j), i32c(0)), -1, vec![
+                    st2(y2, local(i), local(j), h,
+                        add(add(mul(f64c(a[2]), local(xp1)), mul(f64c(a[3]), local(xp2))),
+                            add(mul(f64c(bc[0]), local(yp1)), mul(f64c(bc[1]), local(yp2))))),
+                    set(xp2, local(xp1)),
+                    set(xp1, ld2(img_in, local(i), local(j), h)),
+                    set(yp2, local(yp1)),
+                    set(yp1, ld2(y2, local(i), local(j), h)),
+                ]),
+            ]),
+            // Combine.
+            for_i(i, 0, i32c(w), vec![for_i(j, 0, i32c(h), vec![
+                st2(img_out, local(i), local(j), h,
+                    mul(f64c(bc[2]), add(ld2(y1, local(i), local(j), h), ld2(y2, local(i), local(j), h)))),
+            ])]),
+            set(cks, f64c(0.0)),
+            for_i(i, 0, i32c(w), vec![for_i(j, 0, i32c(h), vec![
+                set(cks, add(local(cks), ld2(img_out, local(i), local(j), h))),
+            ])]),
+        ]);
+    })
+}
+
+fn native_deriche() -> f64 {
+    let (w, h) = (DW as usize, DH as usize);
+    let (_, a, bc) = deriche_coeffs();
+    let mut img_in = vec![0.0f64; w * h];
+    let mut y1 = vec![0.0f64; w * h];
+    let mut y2 = vec![0.0f64; w * h];
+    for i in 0..w {
+        for j in 0..h {
+            img_in[i * h + j] = (((i * 313 + j * 991) % 65536) as f64) / 65535.0;
+        }
+    }
+    for i in 0..w {
+        let (mut ym1, mut ym2, mut xm1) = (0.0, 0.0, 0.0);
+        for j in 0..h {
+            y1[i * h + j] = a[0] * img_in[i * h + j] + a[1] * xm1 + (bc[0] * ym1 + bc[1] * ym2);
+            xm1 = img_in[i * h + j];
+            ym2 = ym1;
+            ym1 = y1[i * h + j];
+        }
+    }
+    for i in 0..w {
+        let (mut yp1, mut yp2, mut xp1, mut xp2) = (0.0, 0.0, 0.0, 0.0);
+        for j in (0..h).rev() {
+            y2[i * h + j] = (a[2] * xp1 + a[3] * xp2) + (bc[0] * yp1 + bc[1] * yp2);
+            xp2 = xp1;
+            xp1 = img_in[i * h + j];
+            yp2 = yp1;
+            yp1 = y2[i * h + j];
+        }
+    }
+    let mut cks = 0.0;
+    for i in 0..w {
+        for j in 0..h {
+            cks += bc[2] * (y1[i * h + j] + y2[i * h + j]);
+        }
+    }
+    cks
+}
+
+// -------------------------------------------------------- floyd-warshall
+
+const FN: i32 = 26;
+
+pub(super) fn floyd_warshall() -> Kernel {
+    Kernel {
+        name: "floyd-warshall",
+        build: build_floyd,
+        native: native_floyd,
+    }
+}
+
+fn build_floyd() -> sledge_wasm::module::Module {
+    let n = FN;
+    let path = A0;
+    kernel_module("floyd-warshall", 2, |f, cks| {
+        let i = f.local(I32);
+        let j = f.local(I32);
+        let k = f.local(I32);
+        let alt = f.local(F64);
+        f.extend([
+            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
+                st2(path, local(i), local(j), n,
+                    select(eq(rem(add(mul(local(i), local(j)), add(local(i), local(j))), i32c(7)), i32c(0)),
+                        i2d(rem(add(mul(local(i), local(j)), i32c(1)), i32c(n))),
+                        f64c(999.0))),
+            ])]),
+            for_i(i, 0, i32c(n), vec![
+                st2(path, local(i), local(i), n, f64c(0.0)),
+            ]),
+            for_i(k, 0, i32c(n), vec![for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
+                set(alt, add(ld2(path, local(i), local(k), n), ld2(path, local(k), local(j), n))),
+                if_(lt_s(local(alt), ld2(path, local(i), local(j), n)), vec![
+                    st2(path, local(i), local(j), n, local(alt)),
+                ]),
+            ])])]),
+            set(cks, f64c(0.0)),
+            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
+                set(cks, add(local(cks), ld2(path, local(i), local(j), n))),
+            ])]),
+        ]);
+    })
+}
+
+fn native_floyd() -> f64 {
+    let n = FN as usize;
+    let mut path = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            path[i * n + j] = if (i * j + i + j) % 7 == 0 {
+                ((i * j + 1) % n) as f64
+            } else {
+                999.0
+            };
+        }
+    }
+    for i in 0..n {
+        path[i * n + i] = 0.0;
+    }
+    for k in 0..n {
+        for i in 0..n {
+            for j in 0..n {
+                let alt = path[i * n + k] + path[k * n + j];
+                if alt < path[i * n + j] {
+                    path[i * n + j] = alt;
+                }
+            }
+        }
+    }
+    path.iter().sum()
+}
+
+// -------------------------------------------------------------- nussinov
+
+const ZN: i32 = 30;
+
+pub(super) fn nussinov() -> Kernel {
+    Kernel {
+        name: "nussinov",
+        build: build_nussinov,
+        native: native_nussinov,
+    }
+}
+
+fn build_nussinov() -> sledge_wasm::module::Module {
+    let n = ZN;
+    let seq = A0; // i32 bases 0..3
+    let table = A0 + 4 * n; // f64 DP table, aligned afterwards
+    let tb = table + (8 - (table % 8)) % 8;
+    kernel_module("nussinov", 2, |f, cks| {
+        let i = f.local(I32);
+        let j = f.local(I32);
+        let k = f.local(I32);
+        let best = f.local(F64);
+        let cand = f.local(F64);
+        let seq_at = |idx: Expr| {
+            load(sledge_guestc::Scalar::I32, add(i32c(seq), mul(idx, i32c(4))), 0)
+        };
+        f.extend([
+            for_i(i, 0, i32c(n), vec![
+                store(sledge_guestc::Scalar::I32, add(i32c(seq), mul(local(i), i32c(4))), 0,
+                    rem(add(local(i), i32c(1)), i32c(4))),
+            ]),
+            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
+                st2(tb, local(i), local(j), n, f64c(0.0)),
+            ])]),
+            // i from n-1 down to 0, j from i+1 to n-1.
+            for_loop(i, i32c(n - 1), ge_s(local(i), i32c(0)), -1, vec![
+                for_loop(j, add(local(i), i32c(1)), lt_s(local(j), i32c(n)), 1, vec![
+                    set(best, ld2(tb, local(i), add(local(j), i32c(-1)), n)),
+                    set(cand, ld2(tb, add(local(i), i32c(1)), local(j), n)),
+                    if_(gt_s(local(cand), local(best)), vec![set(best, local(cand))]),
+                    // pair (i, j) if complementary and separated.
+                    if_(gt_s(sub(local(j), local(i)), i32c(1)), vec![
+                        set(cand, add(ld2(tb, add(local(i), i32c(1)), sub(local(j), i32c(1)), n),
+                            select(eq(add(seq_at(local(i)), seq_at(local(j))), i32c(3)), f64c(1.0), f64c(0.0)))),
+                        if_(gt_s(local(cand), local(best)), vec![set(best, local(cand))]),
+                    ]),
+                    // split
+                    for_loop(k, add(local(i), i32c(1)), lt_s(local(k), local(j)), 1, vec![
+                        set(cand, add(ld2(tb, local(i), local(k), n), ld2(tb, add(local(k), i32c(1)), local(j), n))),
+                        if_(gt_s(local(cand), local(best)), vec![set(best, local(cand))]),
+                    ]),
+                    st2(tb, local(i), local(j), n, local(best)),
+                ]),
+            ]),
+            set(cks, ld2(tb, i32c(0), i32c(n - 1), n)),
+            // Add the whole table for a stronger checksum.
+            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
+                set(cks, add(local(cks), ld2(tb, local(i), local(j), n))),
+            ])]),
+        ]);
+    })
+}
+
+fn native_nussinov() -> f64 {
+    let n = ZN as usize;
+    let seq: Vec<i32> = (0..n).map(|i| ((i + 1) % 4) as i32).collect();
+    let mut tb = vec![0.0f64; n * n];
+    for i in (0..n).rev() {
+        for j in i + 1..n {
+            let mut best = tb[i * n + (j - 1)];
+            let cand = tb[(i + 1) * n + j];
+            if cand > best {
+                best = cand;
+            }
+            if j - i > 1 {
+                let pair = if seq[i] + seq[j] == 3 { 1.0 } else { 0.0 };
+                let cand = tb[(i + 1) * n + (j - 1)] + pair;
+                if cand > best {
+                    best = cand;
+                }
+            }
+            for k in i + 1..j {
+                let cand = tb[i * n + k] + tb[(k + 1) * n + j];
+                if cand > best {
+                    best = cand;
+                }
+            }
+            tb[i * n + j] = best;
+        }
+    }
+    let mut cks = tb[n - 1];
+    for v in &tb {
+        cks += v;
+    }
+    cks
+}

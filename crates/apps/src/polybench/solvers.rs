@@ -1,0 +1,550 @@
+//! Linear-solver PolyBench kernels: cholesky, durbin, gramschmidt, lu,
+//! ludcmp, trisolv.
+
+use super::{for_i, kernel_module, Kernel, A0};
+use crate::abi::{ld1, ld2, st1, st2};
+use sledge_guestc::dsl::*;
+use sledge_guestc::Local;
+use sledge_wasm::types::ValType::{F64, I32};
+
+/// SPD matrix initializer used by the factorizations: A = B Bᵀ / n + n·I,
+/// where B[i][j] = ((i*j+1) % n)/n. Same construction in guest and native.
+fn spd_init_guest(
+    f: &mut sledge_guestc::FuncBuilder,
+    a: i32,
+    scratch: i32,
+    n: i32,
+    i: Local,
+    j: Local,
+    k: Local,
+    acc: Local,
+) -> Vec<sledge_guestc::Stmt> {
+    vec![
+        for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
+            st2(scratch, local(i), local(j), n,
+                div(i2d(rem(add(mul(local(i), local(j)), i32c(1)), i32c(n))), f64c(n as f64))),
+        ])]),
+        for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
+            set(acc, f64c(0.0)),
+            for_i(k, 0, i32c(n), vec![
+                set(acc, add(local(acc), mul(ld2(scratch, local(i), local(k), n), ld2(scratch, local(j), local(k), n)))),
+            ]),
+            st2(a, local(i), local(j), n,
+                add(div(local(acc), f64c(n as f64)),
+                    select(eq(local(i), local(j)), f64c(n as f64), f64c(0.0)))),
+        ])]),
+        {
+            let _ = f;
+            sledge_guestc::Stmt::Nop
+        },
+    ]
+}
+
+fn spd_init_native(n: usize) -> Vec<f64> {
+    let mut b = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            b[i * n + j] = (((i * j + 1) % n) as f64) / n as f64;
+        }
+    }
+    let mut a = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for k in 0..n {
+                acc += b[i * n + k] * b[j * n + k];
+            }
+            a[i * n + j] = acc / n as f64 + if i == j { n as f64 } else { 0.0 };
+        }
+    }
+    a
+}
+
+// -------------------------------------------------------------- cholesky
+
+const CN: i32 = 24;
+
+pub(super) fn cholesky() -> Kernel {
+    Kernel {
+        name: "cholesky",
+        build: build_cholesky,
+        native: native_cholesky,
+    }
+}
+
+fn build_cholesky() -> sledge_wasm::module::Module {
+    let n = CN;
+    let a = A0;
+    let scratch = A0 + 8 * n * n;
+    kernel_module("cholesky", 2, |f, cks| {
+        let i = f.local(I32);
+        let j = f.local(I32);
+        let k = f.local(I32);
+        let acc = f.local(F64);
+        let init = spd_init_guest(f, a, scratch, n, i, j, k, acc);
+        f.extend(init);
+        f.extend([
+            for_i(i, 0, i32c(n), vec![
+                // j < i
+                for_i(j, 0, local(i), vec![
+                    for_i(k, 0, local(j), vec![
+                        st2(a, local(i), local(j), n, sub(ld2(a, local(i), local(j), n),
+                            mul(ld2(a, local(i), local(k), n), ld2(a, local(j), local(k), n)))),
+                    ]),
+                    st2(a, local(i), local(j), n, div(ld2(a, local(i), local(j), n), ld2(a, local(j), local(j), n))),
+                ]),
+                // diagonal
+                for_i(k, 0, local(i), vec![
+                    st2(a, local(i), local(i), n, sub(ld2(a, local(i), local(i), n),
+                        mul(ld2(a, local(i), local(k), n), ld2(a, local(i), local(k), n)))),
+                ]),
+                st2(a, local(i), local(i), n, sqrt(ld2(a, local(i), local(i), n))),
+            ]),
+            set(cks, f64c(0.0)),
+            for_i(i, 0, i32c(n), vec![for_loop(j, i32c(0), le_s(local(j), local(i)), 1, vec![
+                set(cks, add(local(cks), ld2(a, local(i), local(j), n))),
+            ])]),
+        ]);
+    })
+}
+
+fn native_cholesky() -> f64 {
+    let n = CN as usize;
+    let mut a = spd_init_native(n);
+    for i in 0..n {
+        for j in 0..i {
+            for k in 0..j {
+                a[i * n + j] -= a[i * n + k] * a[j * n + k];
+            }
+            a[i * n + j] /= a[j * n + j];
+        }
+        for k in 0..i {
+            a[i * n + i] -= a[i * n + k] * a[i * n + k];
+        }
+        a[i * n + i] = a[i * n + i].sqrt();
+    }
+    let mut cks = 0.0;
+    for i in 0..n {
+        for j in 0..=i {
+            cks += a[i * n + j];
+        }
+    }
+    cks
+}
+
+// ---------------------------------------------------------------- durbin
+
+const UN: i32 = 80;
+
+pub(super) fn durbin() -> Kernel {
+    Kernel {
+        name: "durbin",
+        build: build_durbin,
+        native: native_durbin,
+    }
+}
+
+fn build_durbin() -> sledge_wasm::module::Module {
+    let n = UN;
+    let r = A0;
+    let y = A0 + 8 * n;
+    let z = y + 8 * n;
+    kernel_module("durbin", 2, |f, cks| {
+        let i = f.local(I32);
+        let k = f.local(I32);
+        let alpha = f.local(F64);
+        let beta = f.local(F64);
+        let sum = f.local(F64);
+        f.extend([
+            for_i(i, 0, i32c(n), vec![
+                st1(r, local(i), div(i2d(add(local(i), i32c(1))), f64c(n as f64 * 2.0))),
+            ]),
+            st1(y, i32c(0), neg(ld1(r, i32c(0)))),
+            set(beta, f64c(1.0)),
+            set(alpha, neg(ld1(r, i32c(0)))),
+            for_i(k, 1, i32c(n), vec![
+                set(beta, mul(sub(f64c(1.0), mul(local(alpha), local(alpha))), local(beta))),
+                set(sum, f64c(0.0)),
+                for_i(i, 0, local(k), vec![
+                    set(sum, add(local(sum), mul(ld1(r, sub(sub(local(k), local(i)), i32c(1))), ld1(y, local(i))))),
+                ]),
+                set(alpha, neg(div(add(ld1(r, local(k)), local(sum)), local(beta)))),
+                for_i(i, 0, local(k), vec![
+                    st1(z, local(i), add(ld1(y, local(i)),
+                        mul(local(alpha), ld1(y, sub(sub(local(k), local(i)), i32c(1)))))),
+                ]),
+                for_i(i, 0, local(k), vec![
+                    st1(y, local(i), ld1(z, local(i))),
+                ]),
+                st1(y, local(k), local(alpha)),
+            ]),
+            set(cks, f64c(0.0)),
+            for_i(i, 0, i32c(n), vec![set(cks, add(local(cks), ld1(y, local(i))))]),
+        ]);
+    })
+}
+
+fn native_durbin() -> f64 {
+    let n = UN as usize;
+    let mut r = vec![0.0f64; n];
+    for (i, v) in r.iter_mut().enumerate() {
+        *v = (i as f64 + 1.0) / (n as f64 * 2.0);
+    }
+    let mut y = vec![0.0f64; n];
+    let mut z = vec![0.0f64; n];
+    y[0] = -r[0];
+    let mut beta = 1.0f64;
+    let mut alpha = -r[0];
+    for k in 1..n {
+        beta = (1.0 - alpha * alpha) * beta;
+        let mut sum = 0.0;
+        for i in 0..k {
+            sum += r[k - i - 1] * y[i];
+        }
+        alpha = -(r[k] + sum) / beta;
+        for i in 0..k {
+            z[i] = y[i] + alpha * y[k - i - 1];
+        }
+        y[..k].copy_from_slice(&z[..k]);
+        y[k] = alpha;
+    }
+    y.iter().sum()
+}
+
+// ----------------------------------------------------------- gramschmidt
+
+const GN: i32 = 22;
+
+pub(super) fn gramschmidt() -> Kernel {
+    Kernel {
+        name: "gramschmidt",
+        build: build_gramschmidt,
+        native: native_gramschmidt,
+    }
+}
+
+fn build_gramschmidt() -> sledge_wasm::module::Module {
+    let n = GN;
+    let a = A0;
+    let r = A0 + 8 * n * n;
+    let q = r + 8 * n * n;
+    kernel_module("gramschmidt", 2, |f, cks| {
+        let i = f.local(I32);
+        let j = f.local(I32);
+        let k = f.local(I32);
+        let nrm = f.local(F64);
+        f.extend([
+            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
+                st2(a, local(i), local(j), n,
+                    add(div(i2d(rem(add(mul(local(i), local(j)), i32c(1)), i32c(n))), f64c(n as f64)),
+                        select(eq(local(i), local(j)), f64c(2.0), f64c(0.0)))),
+                st2(r, local(i), local(j), n, f64c(0.0)),
+                st2(q, local(i), local(j), n, f64c(0.0)),
+            ])]),
+            for_i(k, 0, i32c(n), vec![
+                set(nrm, f64c(0.0)),
+                for_i(i, 0, i32c(n), vec![
+                    set(nrm, add(local(nrm), mul(ld2(a, local(i), local(k), n), ld2(a, local(i), local(k), n)))),
+                ]),
+                st2(r, local(k), local(k), n, sqrt(local(nrm))),
+                for_i(i, 0, i32c(n), vec![
+                    st2(q, local(i), local(k), n, div(ld2(a, local(i), local(k), n), ld2(r, local(k), local(k), n))),
+                ]),
+                for_loop(j, add(local(k), i32c(1)), lt_s(local(j), i32c(n)), 1, vec![
+                    st2(r, local(k), local(j), n, f64c(0.0)),
+                    for_i(i, 0, i32c(n), vec![
+                        st2(r, local(k), local(j), n, add(ld2(r, local(k), local(j), n),
+                            mul(ld2(q, local(i), local(k), n), ld2(a, local(i), local(j), n)))),
+                    ]),
+                    for_i(i, 0, i32c(n), vec![
+                        st2(a, local(i), local(j), n, sub(ld2(a, local(i), local(j), n),
+                            mul(ld2(q, local(i), local(k), n), ld2(r, local(k), local(j), n)))),
+                    ]),
+                ]),
+            ]),
+            set(cks, f64c(0.0)),
+            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
+                set(cks, add(local(cks), add(ld2(r, local(i), local(j), n), ld2(q, local(i), local(j), n)))),
+            ])]),
+        ]);
+    })
+}
+
+fn native_gramschmidt() -> f64 {
+    let n = GN as usize;
+    let mut a = vec![0.0f64; n * n];
+    let mut r = vec![0.0f64; n * n];
+    let mut q = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            a[i * n + j] = (((i * j + 1) % n) as f64) / n as f64
+                + if i == j { 2.0 } else { 0.0 };
+        }
+    }
+    for k in 0..n {
+        let mut nrm = 0.0;
+        for i in 0..n {
+            nrm += a[i * n + k] * a[i * n + k];
+        }
+        r[k * n + k] = nrm.sqrt();
+        for i in 0..n {
+            q[i * n + k] = a[i * n + k] / r[k * n + k];
+        }
+        for j in k + 1..n {
+            r[k * n + j] = 0.0;
+            for i in 0..n {
+                r[k * n + j] += q[i * n + k] * a[i * n + j];
+            }
+            for i in 0..n {
+                a[i * n + j] -= q[i * n + k] * r[k * n + j];
+            }
+        }
+    }
+    let mut cks = 0.0;
+    for i in 0..n * n {
+        cks += r[i] + q[i];
+    }
+    cks
+}
+
+// -------------------------------------------------------------------- lu
+
+const LN: i32 = 24;
+
+pub(super) fn lu() -> Kernel {
+    Kernel {
+        name: "lu",
+        build: build_lu,
+        native: native_lu,
+    }
+}
+
+fn build_lu() -> sledge_wasm::module::Module {
+    let n = LN;
+    let a = A0;
+    let scratch = A0 + 8 * n * n;
+    kernel_module("lu", 2, |f, cks| {
+        let i = f.local(I32);
+        let j = f.local(I32);
+        let k = f.local(I32);
+        let acc = f.local(F64);
+        let init = spd_init_guest(f, a, scratch, n, i, j, k, acc);
+        f.extend(init);
+        f.extend([
+            for_i(i, 0, i32c(n), vec![
+                for_i(j, 0, local(i), vec![
+                    for_i(k, 0, local(j), vec![
+                        st2(a, local(i), local(j), n, sub(ld2(a, local(i), local(j), n),
+                            mul(ld2(a, local(i), local(k), n), ld2(a, local(k), local(j), n)))),
+                    ]),
+                    st2(a, local(i), local(j), n, div(ld2(a, local(i), local(j), n), ld2(a, local(j), local(j), n))),
+                ]),
+                for_loop(j, local(i), lt_s(local(j), i32c(n)), 1, vec![
+                    for_i(k, 0, local(i), vec![
+                        st2(a, local(i), local(j), n, sub(ld2(a, local(i), local(j), n),
+                            mul(ld2(a, local(i), local(k), n), ld2(a, local(k), local(j), n)))),
+                    ]),
+                ]),
+            ]),
+            set(cks, f64c(0.0)),
+            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
+                set(cks, add(local(cks), ld2(a, local(i), local(j), n))),
+            ])]),
+        ]);
+    })
+}
+
+fn native_lu() -> f64 {
+    let n = LN as usize;
+    let mut a = spd_init_native(n);
+    for i in 0..n {
+        for j in 0..i {
+            for k in 0..j {
+                a[i * n + j] -= a[i * n + k] * a[k * n + j];
+            }
+            a[i * n + j] /= a[j * n + j];
+        }
+        for j in i..n {
+            for k in 0..i {
+                a[i * n + j] -= a[i * n + k] * a[k * n + j];
+            }
+        }
+    }
+    a.iter().sum()
+}
+
+// ---------------------------------------------------------------- ludcmp
+
+const DN: i32 = 22;
+
+pub(super) fn ludcmp() -> Kernel {
+    Kernel {
+        name: "ludcmp",
+        build: build_ludcmp,
+        native: native_ludcmp,
+    }
+}
+
+fn build_ludcmp() -> sledge_wasm::module::Module {
+    let n = DN;
+    let a = A0;
+    let scratch = A0 + 8 * n * n;
+    let b = scratch + 8 * n * n;
+    let x = b + 8 * n;
+    let y = x + 8 * n;
+    kernel_module("ludcmp", 2, |f, cks| {
+        let i = f.local(I32);
+        let j = f.local(I32);
+        let k = f.local(I32);
+        let w = f.local(F64);
+        let acc = f.local(F64);
+        let init = spd_init_guest(f, a, scratch, n, i, j, k, acc);
+        f.extend(init);
+        f.extend([
+            for_i(i, 0, i32c(n), vec![
+                st1(b, local(i), div(i2d(add(local(i), i32c(1))), add(f64c(n as f64), f64c(4.0)))),
+            ]),
+            // LU factorization.
+            for_i(i, 0, i32c(n), vec![
+                for_i(j, 0, local(i), vec![
+                    set(w, ld2(a, local(i), local(j), n)),
+                    for_i(k, 0, local(j), vec![
+                        set(w, sub(local(w), mul(ld2(a, local(i), local(k), n), ld2(a, local(k), local(j), n)))),
+                    ]),
+                    st2(a, local(i), local(j), n, div(local(w), ld2(a, local(j), local(j), n))),
+                ]),
+                for_loop(j, local(i), lt_s(local(j), i32c(n)), 1, vec![
+                    set(w, ld2(a, local(i), local(j), n)),
+                    for_i(k, 0, local(i), vec![
+                        set(w, sub(local(w), mul(ld2(a, local(i), local(k), n), ld2(a, local(k), local(j), n)))),
+                    ]),
+                    st2(a, local(i), local(j), n, local(w)),
+                ]),
+            ]),
+            // Forward substitution.
+            for_i(i, 0, i32c(n), vec![
+                set(w, ld1(b, local(i))),
+                for_i(j, 0, local(i), vec![
+                    set(w, sub(local(w), mul(ld2(a, local(i), local(j), n), ld1(y, local(j))))),
+                ]),
+                st1(y, local(i), local(w)),
+            ]),
+            // Back substitution (i from n-1 down to 0).
+            for_loop(i, i32c(n - 1), ge_s(local(i), i32c(0)), -1, vec![
+                set(w, ld1(y, local(i))),
+                for_loop(j, add(local(i), i32c(1)), lt_s(local(j), i32c(n)), 1, vec![
+                    set(w, sub(local(w), mul(ld2(a, local(i), local(j), n), ld1(x, local(j))))),
+                ]),
+                st1(x, local(i), div(local(w), ld2(a, local(i), local(i), n))),
+            ]),
+            set(cks, f64c(0.0)),
+            for_i(i, 0, i32c(n), vec![set(cks, add(local(cks), ld1(x, local(i))))]),
+        ]);
+    })
+}
+
+fn native_ludcmp() -> f64 {
+    let n = DN as usize;
+    let mut a = spd_init_native(n);
+    let mut b = vec![0.0f64; n];
+    let mut x = vec![0.0f64; n];
+    let mut y = vec![0.0f64; n];
+    for (i, v) in b.iter_mut().enumerate() {
+        *v = (i as f64 + 1.0) / (n as f64 + 4.0);
+    }
+    for i in 0..n {
+        for j in 0..i {
+            let mut w = a[i * n + j];
+            for k in 0..j {
+                w -= a[i * n + k] * a[k * n + j];
+            }
+            a[i * n + j] = w / a[j * n + j];
+        }
+        for j in i..n {
+            let mut w = a[i * n + j];
+            for k in 0..i {
+                w -= a[i * n + k] * a[k * n + j];
+            }
+            a[i * n + j] = w;
+        }
+    }
+    for i in 0..n {
+        let mut w = b[i];
+        for j in 0..i {
+            w -= a[i * n + j] * y[j];
+        }
+        y[i] = w;
+    }
+    for i in (0..n).rev() {
+        let mut w = y[i];
+        for j in i + 1..n {
+            w -= a[i * n + j] * x[j];
+        }
+        x[i] = w / a[i * n + i];
+    }
+    x.iter().sum()
+}
+
+// --------------------------------------------------------------- trisolv
+
+const TN: i32 = 80;
+
+pub(super) fn trisolv() -> Kernel {
+    Kernel {
+        name: "trisolv",
+        build: build_trisolv,
+        native: native_trisolv,
+    }
+}
+
+fn build_trisolv() -> sledge_wasm::module::Module {
+    let n = TN;
+    let l = A0;
+    let x = A0 + 8 * n * n;
+    let b = x + 8 * n;
+    kernel_module("trisolv", 2, |f, cks| {
+        let i = f.local(I32);
+        let j = f.local(I32);
+        f.extend([
+            for_i(i, 0, i32c(n), vec![
+                st1(x, local(i), f64c(-999.0)),
+                st1(b, local(i), i2d(local(i))),
+                for_loop(j, i32c(0), le_s(local(j), local(i)), 1, vec![
+                    st2(l, local(i), local(j), n,
+                        div(i2d(add(add(local(i), i32c(n)), sub(local(i), local(j)))), mul(f64c(2.0), f64c(n as f64)))),
+                ]),
+            ]),
+            for_i(i, 0, i32c(n), vec![
+                st1(x, local(i), ld1(b, local(i))),
+                for_i(j, 0, local(i), vec![
+                    st1(x, local(i), sub(ld1(x, local(i)), mul(ld2(l, local(i), local(j), n), ld1(x, local(j))))),
+                ]),
+                st1(x, local(i), div(ld1(x, local(i)), ld2(l, local(i), local(i), n))),
+            ]),
+            set(cks, f64c(0.0)),
+            for_i(i, 0, i32c(n), vec![set(cks, add(local(cks), ld1(x, local(i))))]),
+        ]);
+    })
+}
+
+fn native_trisolv() -> f64 {
+    let n = TN as usize;
+    let mut l = vec![0.0f64; n * n];
+    let mut x = vec![0.0f64; n];
+    let mut b = vec![0.0f64; n];
+    for i in 0..n {
+        x[i] = -999.0;
+        b[i] = i as f64;
+        for j in 0..=i {
+            l[i * n + j] = ((i + n + (i - j)) as f64) / (2.0 * n as f64);
+        }
+    }
+    for i in 0..n {
+        x[i] = b[i];
+        for j in 0..i {
+            x[i] -= l[i * n + j] * x[j];
+        }
+        x[i] /= l[i * n + i];
+    }
+    x.iter().sum()
+}

@@ -1,0 +1,590 @@
+//! Stencil PolyBench kernels: adi, fdtd-2d, heat-3d, jacobi-1d, jacobi-2d,
+//! seidel-2d.
+
+use super::{for_i, kernel_module, Kernel, A0};
+use crate::abi::{ld1, ld2, st1, st2};
+use sledge_guestc::dsl::*;
+use sledge_guestc::Expr;
+use sledge_wasm::types::ValType::I32;
+
+// ------------------------------------------------------------- jacobi-1d
+
+const J1N: i32 = 400;
+const J1T: i32 = 40;
+
+pub(super) fn jacobi_1d() -> Kernel {
+    Kernel {
+        name: "jacobi-1d",
+        build: build_jacobi_1d,
+        native: native_jacobi_1d,
+    }
+}
+
+fn build_jacobi_1d() -> sledge_wasm::module::Module {
+    let n = J1N;
+    let a = A0;
+    let b = A0 + 8 * n;
+    kernel_module("jacobi-1d", 2, |f, cks| {
+        let i = f.local(I32);
+        let t = f.local(I32);
+        f.extend([
+            for_i(i, 0, i32c(n), vec![
+                st1(a, local(i), div(i2d(add(local(i), i32c(2))), f64c(n as f64))),
+                st1(b, local(i), div(i2d(add(local(i), i32c(3))), f64c(n as f64))),
+            ]),
+            for_i(t, 0, i32c(J1T), vec![
+                for_i(i, 1, i32c(n - 1), vec![
+                    st1(b, local(i), mul(f64c(0.33333),
+                        add(add(ld1(a, sub(local(i), i32c(1))), ld1(a, local(i))),
+                            ld1(a, add(local(i), i32c(1)))))),
+                ]),
+                for_i(i, 1, i32c(n - 1), vec![
+                    st1(a, local(i), mul(f64c(0.33333),
+                        add(add(ld1(b, sub(local(i), i32c(1))), ld1(b, local(i))),
+                            ld1(b, add(local(i), i32c(1)))))),
+                ]),
+            ]),
+            set(cks, f64c(0.0)),
+            for_i(i, 0, i32c(n), vec![set(cks, add(local(cks), ld1(a, local(i))))]),
+        ]);
+    })
+}
+
+fn native_jacobi_1d() -> f64 {
+    let n = J1N as usize;
+    let mut a = vec![0.0f64; n];
+    let mut b = vec![0.0f64; n];
+    for i in 0..n {
+        a[i] = (i as f64 + 2.0) / n as f64;
+        b[i] = (i as f64 + 3.0) / n as f64;
+    }
+    for _ in 0..J1T {
+        for i in 1..n - 1 {
+            b[i] = 0.33333 * (a[i - 1] + a[i] + a[i + 1]);
+        }
+        for i in 1..n - 1 {
+            a[i] = 0.33333 * (b[i - 1] + b[i] + b[i + 1]);
+        }
+    }
+    a.iter().sum()
+}
+
+// ------------------------------------------------------------- jacobi-2d
+
+const J2N: i32 = 40;
+const J2T: i32 = 12;
+
+pub(super) fn jacobi_2d() -> Kernel {
+    Kernel {
+        name: "jacobi-2d",
+        build: build_jacobi_2d,
+        native: native_jacobi_2d,
+    }
+}
+
+fn build_jacobi_2d() -> sledge_wasm::module::Module {
+    let n = J2N;
+    let a = A0;
+    let b = A0 + 8 * n * n;
+    kernel_module("jacobi-2d", 2, |f, cks| {
+        let i = f.local(I32);
+        let j = f.local(I32);
+        let t = f.local(I32);
+        let five = |arr: i32, i: &sledge_guestc::Local, j: &sledge_guestc::Local| -> Expr {
+            mul(f64c(0.2),
+                add(add(add(add(
+                    ld2(arr, local(*i), local(*j), n),
+                    ld2(arr, local(*i), sub(local(*j), i32c(1)), n)),
+                    ld2(arr, local(*i), add(local(*j), i32c(1)), n)),
+                    ld2(arr, add(local(*i), i32c(1)), local(*j), n)),
+                    ld2(arr, sub(local(*i), i32c(1)), local(*j), n)))
+        };
+        f.extend([
+            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
+                st2(a, local(i), local(j), n,
+                    div(mul(i2d(local(i)), add(i2d(local(j)), f64c(2.0))), f64c(n as f64))),
+                st2(b, local(i), local(j), n,
+                    div(mul(i2d(local(i)), add(i2d(local(j)), f64c(3.0))), f64c(n as f64))),
+            ])]),
+            for_i(t, 0, i32c(J2T), vec![
+                for_i(i, 1, i32c(n - 1), vec![for_i(j, 1, i32c(n - 1), vec![
+                    st2(b, local(i), local(j), n, five(a, &i, &j)),
+                ])]),
+                for_i(i, 1, i32c(n - 1), vec![for_i(j, 1, i32c(n - 1), vec![
+                    st2(a, local(i), local(j), n, five(b, &i, &j)),
+                ])]),
+            ]),
+            set(cks, f64c(0.0)),
+            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
+                set(cks, add(local(cks), ld2(a, local(i), local(j), n))),
+            ])]),
+        ]);
+    })
+}
+
+fn native_jacobi_2d() -> f64 {
+    let n = J2N as usize;
+    let mut a = vec![0.0f64; n * n];
+    let mut b = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            a[i * n + j] = i as f64 * (j as f64 + 2.0) / n as f64;
+            b[i * n + j] = i as f64 * (j as f64 + 3.0) / n as f64;
+        }
+    }
+    for _ in 0..J2T {
+        for i in 1..n - 1 {
+            for j in 1..n - 1 {
+                b[i * n + j] = 0.2
+                    * (a[i * n + j] + a[i * n + j - 1] + a[i * n + j + 1] + a[(i + 1) * n + j]
+                        + a[(i - 1) * n + j]);
+            }
+        }
+        for i in 1..n - 1 {
+            for j in 1..n - 1 {
+                a[i * n + j] = 0.2
+                    * (b[i * n + j] + b[i * n + j - 1] + b[i * n + j + 1] + b[(i + 1) * n + j]
+                        + b[(i - 1) * n + j]);
+            }
+        }
+    }
+    a.iter().sum()
+}
+
+// ------------------------------------------------------------- seidel-2d
+
+const SN: i32 = 40;
+const ST: i32 = 8;
+
+pub(super) fn seidel_2d() -> Kernel {
+    Kernel {
+        name: "seidel-2d",
+        build: build_seidel,
+        native: native_seidel,
+    }
+}
+
+fn build_seidel() -> sledge_wasm::module::Module {
+    let n = SN;
+    let a = A0;
+    kernel_module("seidel-2d", 2, |f, cks| {
+        let i = f.local(I32);
+        let j = f.local(I32);
+        let t = f.local(I32);
+        f.extend([
+            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
+                st2(a, local(i), local(j), n,
+                    div(add(mul(i2d(local(i)), add(i2d(local(j)), f64c(2.0))), f64c(2.0)), f64c(n as f64))),
+            ])]),
+            for_i(t, 0, i32c(ST), vec![
+                for_i(i, 1, i32c(n - 1), vec![for_i(j, 1, i32c(n - 1), vec![
+                    st2(a, local(i), local(j), n, div(
+                        add(add(add(add(add(add(add(add(
+                            ld2(a, sub(local(i), i32c(1)), sub(local(j), i32c(1)), n),
+                            ld2(a, sub(local(i), i32c(1)), local(j), n)),
+                            ld2(a, sub(local(i), i32c(1)), add(local(j), i32c(1)), n)),
+                            ld2(a, local(i), sub(local(j), i32c(1)), n)),
+                            ld2(a, local(i), local(j), n)),
+                            ld2(a, local(i), add(local(j), i32c(1)), n)),
+                            ld2(a, add(local(i), i32c(1)), sub(local(j), i32c(1)), n)),
+                            ld2(a, add(local(i), i32c(1)), local(j), n)),
+                            ld2(a, add(local(i), i32c(1)), add(local(j), i32c(1)), n)),
+                        f64c(9.0))),
+                ])]),
+            ]),
+            set(cks, f64c(0.0)),
+            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
+                set(cks, add(local(cks), ld2(a, local(i), local(j), n))),
+            ])]),
+        ]);
+    })
+}
+
+fn native_seidel() -> f64 {
+    let n = SN as usize;
+    let mut a = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            a[i * n + j] = (i as f64 * (j as f64 + 2.0) + 2.0) / n as f64;
+        }
+    }
+    for _ in 0..ST {
+        for i in 1..n - 1 {
+            for j in 1..n - 1 {
+                a[i * n + j] = (a[(i - 1) * n + j - 1]
+                    + a[(i - 1) * n + j]
+                    + a[(i - 1) * n + j + 1]
+                    + a[i * n + j - 1]
+                    + a[i * n + j]
+                    + a[i * n + j + 1]
+                    + a[(i + 1) * n + j - 1]
+                    + a[(i + 1) * n + j]
+                    + a[(i + 1) * n + j + 1])
+                    / 9.0;
+            }
+        }
+    }
+    a.iter().sum()
+}
+
+// --------------------------------------------------------------- fdtd-2d
+
+const FX: i32 = 36;
+const FY: i32 = 30;
+const FT: i32 = 12;
+
+pub(super) fn fdtd_2d() -> Kernel {
+    Kernel {
+        name: "fdtd-2d",
+        build: build_fdtd,
+        native: native_fdtd,
+    }
+}
+
+fn build_fdtd() -> sledge_wasm::module::Module {
+    let (nx, ny) = (FX, FY);
+    let ex = A0;
+    let ey = A0 + 8 * nx * ny;
+    let hz = ey + 8 * nx * ny;
+    kernel_module("fdtd-2d", 2, |f, cks| {
+        let i = f.local(I32);
+        let j = f.local(I32);
+        let t = f.local(I32);
+        f.extend([
+            for_i(i, 0, i32c(nx), vec![for_i(j, 0, i32c(ny), vec![
+                st2(ex, local(i), local(j), ny, div(mul(i2d(local(i)), add(i2d(local(j)), f64c(1.0))), f64c(nx as f64))),
+                st2(ey, local(i), local(j), ny, div(mul(i2d(local(i)), add(i2d(local(j)), f64c(2.0))), f64c(ny as f64))),
+                st2(hz, local(i), local(j), ny, div(mul(i2d(local(i)), add(i2d(local(j)), f64c(3.0))), f64c(nx as f64))),
+            ])]),
+            for_i(t, 0, i32c(FT), vec![
+                for_i(j, 0, i32c(ny), vec![
+                    st2(ey, i32c(0), local(j), ny, i2d(local(t))),
+                ]),
+                for_i(i, 1, i32c(nx), vec![for_i(j, 0, i32c(ny), vec![
+                    st2(ey, local(i), local(j), ny, sub(ld2(ey, local(i), local(j), ny),
+                        mul(f64c(0.5), sub(ld2(hz, local(i), local(j), ny), ld2(hz, sub(local(i), i32c(1)), local(j), ny))))),
+                ])]),
+                for_i(i, 0, i32c(nx), vec![for_i(j, 1, i32c(ny), vec![
+                    st2(ex, local(i), local(j), ny, sub(ld2(ex, local(i), local(j), ny),
+                        mul(f64c(0.5), sub(ld2(hz, local(i), local(j), ny), ld2(hz, local(i), sub(local(j), i32c(1)), ny))))),
+                ])]),
+                for_i(i, 0, i32c(nx - 1), vec![for_i(j, 0, i32c(ny - 1), vec![
+                    st2(hz, local(i), local(j), ny, sub(ld2(hz, local(i), local(j), ny),
+                        mul(f64c(0.7), sub(add(
+                            sub(ld2(ex, local(i), add(local(j), i32c(1)), ny), ld2(ex, local(i), local(j), ny)),
+                            ld2(ey, add(local(i), i32c(1)), local(j), ny)),
+                            ld2(ey, local(i), local(j), ny))))),
+                ])]),
+            ]),
+            set(cks, f64c(0.0)),
+            for_i(i, 0, i32c(nx), vec![for_i(j, 0, i32c(ny), vec![
+                set(cks, add(local(cks), add(add(ld2(ex, local(i), local(j), ny), ld2(ey, local(i), local(j), ny)), ld2(hz, local(i), local(j), ny)))),
+            ])]),
+        ]);
+    })
+}
+
+fn native_fdtd() -> f64 {
+    let (nx, ny) = (FX as usize, FY as usize);
+    let mut ex = vec![0.0f64; nx * ny];
+    let mut ey = vec![0.0f64; nx * ny];
+    let mut hz = vec![0.0f64; nx * ny];
+    for i in 0..nx {
+        for j in 0..ny {
+            ex[i * ny + j] = i as f64 * (j as f64 + 1.0) / nx as f64;
+            ey[i * ny + j] = i as f64 * (j as f64 + 2.0) / ny as f64;
+            hz[i * ny + j] = i as f64 * (j as f64 + 3.0) / nx as f64;
+        }
+    }
+    for t in 0..FT {
+        for j in 0..ny {
+            ey[j] = t as f64;
+        }
+        for i in 1..nx {
+            for j in 0..ny {
+                ey[i * ny + j] -= 0.5 * (hz[i * ny + j] - hz[(i - 1) * ny + j]);
+            }
+        }
+        for i in 0..nx {
+            for j in 1..ny {
+                ex[i * ny + j] -= 0.5 * (hz[i * ny + j] - hz[i * ny + j - 1]);
+            }
+        }
+        for i in 0..nx - 1 {
+            for j in 0..ny - 1 {
+                hz[i * ny + j] -= 0.7
+                    * (ex[i * ny + j + 1] - ex[i * ny + j] + ey[(i + 1) * ny + j]
+                        - ey[i * ny + j]);
+            }
+        }
+    }
+    let mut cks = 0.0;
+    for i in 0..nx * ny {
+        cks += ex[i] + ey[i] + hz[i];
+    }
+    cks
+}
+
+// --------------------------------------------------------------- heat-3d
+
+const HN: i32 = 14;
+const HT: i32 = 10;
+
+pub(super) fn heat_3d() -> Kernel {
+    Kernel {
+        name: "heat-3d",
+        build: build_heat,
+        native: native_heat,
+    }
+}
+
+fn build_heat() -> sledge_wasm::module::Module {
+    let n = HN;
+    let a = A0;
+    let b = A0 + 8 * n * n * n;
+    kernel_module("heat-3d", 2, |f, cks| {
+        let i = f.local(I32);
+        let j = f.local(I32);
+        let k = f.local(I32);
+        let t = f.local(I32);
+        let at = |base: i32, iv: Expr, jv: Expr, kv: Expr| {
+            load(sledge_guestc::Scalar::F64,
+                add(i32c(base), mul(add(mul(add(mul(iv, i32c(n)), jv), i32c(n)), kv), i32c(8))), 0)
+        };
+        let st_at = |base: i32, iv: Expr, jv: Expr, kv: Expr, v: Expr| {
+            store(sledge_guestc::Scalar::F64,
+                add(i32c(base), mul(add(mul(add(mul(iv, i32c(n)), jv), i32c(n)), kv), i32c(8))), 0, v)
+        };
+        let stencil = |src: i32, i: &sledge_guestc::Local, j: &sledge_guestc::Local, k: &sledge_guestc::Local| {
+            add(add(
+                mul(f64c(0.125), sub(add(at(src, add(local(*i), i32c(1)), local(*j), local(*k)),
+                    at(src, sub(local(*i), i32c(1)), local(*j), local(*k))),
+                    mul(f64c(2.0), at(src, local(*i), local(*j), local(*k))))),
+                mul(f64c(0.125), sub(add(at(src, local(*i), add(local(*j), i32c(1)), local(*k)),
+                    at(src, local(*i), sub(local(*j), i32c(1)), local(*k))),
+                    mul(f64c(2.0), at(src, local(*i), local(*j), local(*k)))))),
+                add(
+                    mul(f64c(0.125), sub(add(at(src, local(*i), local(*j), add(local(*k), i32c(1))),
+                        at(src, local(*i), local(*j), sub(local(*k), i32c(1)))),
+                        mul(f64c(2.0), at(src, local(*i), local(*j), local(*k))))),
+                    at(src, local(*i), local(*j), local(*k))))
+        };
+        f.extend([
+            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![for_i(k, 0, i32c(n), vec![
+                st_at(a, local(i), local(j), local(k),
+                    div(i2d(add(add(mul(local(i), local(j)), add(local(j), local(k))), i32c(10))), f64c(n as f64))),
+                st_at(b, local(i), local(j), local(k),
+                    div(i2d(add(add(mul(local(i), local(j)), add(local(j), local(k))), i32c(10))), f64c(n as f64))),
+            ])])]),
+            for_i(t, 0, i32c(HT), vec![
+                for_i(i, 1, i32c(n - 1), vec![for_i(j, 1, i32c(n - 1), vec![for_i(k, 1, i32c(n - 1), vec![
+                    st_at(b, local(i), local(j), local(k), stencil(a, &i, &j, &k)),
+                ])])]),
+                for_i(i, 1, i32c(n - 1), vec![for_i(j, 1, i32c(n - 1), vec![for_i(k, 1, i32c(n - 1), vec![
+                    st_at(a, local(i), local(j), local(k), stencil(b, &i, &j, &k)),
+                ])])]),
+            ]),
+            set(cks, f64c(0.0)),
+            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![for_i(k, 0, i32c(n), vec![
+                set(cks, add(local(cks), at(a, local(i), local(j), local(k)))),
+            ])])]),
+        ]);
+    })
+}
+
+fn native_heat() -> f64 {
+    let n = HN as usize;
+    let mut a = vec![0.0f64; n * n * n];
+    let mut b = vec![0.0f64; n * n * n];
+    let idx = |i: usize, j: usize, k: usize| (i * n + j) * n + k;
+    for i in 0..n {
+        for j in 0..n {
+            for k in 0..n {
+                let v = ((i * j + j + k + 10) as f64) / n as f64;
+                a[idx(i, j, k)] = v;
+                b[idx(i, j, k)] = v;
+            }
+        }
+    }
+    let stencil = |s: &[f64], i: usize, j: usize, k: usize| {
+        (0.125 * (s[idx(i + 1, j, k)] + s[idx(i - 1, j, k)] - 2.0 * s[idx(i, j, k)])
+            + 0.125 * (s[idx(i, j + 1, k)] + s[idx(i, j - 1, k)] - 2.0 * s[idx(i, j, k)]))
+            + (0.125 * (s[idx(i, j, k + 1)] + s[idx(i, j, k - 1)] - 2.0 * s[idx(i, j, k)])
+                + s[idx(i, j, k)])
+    };
+    for _ in 0..HT {
+        for i in 1..n - 1 {
+            for j in 1..n - 1 {
+                for k in 1..n - 1 {
+                    b[idx(i, j, k)] = stencil(&a, i, j, k);
+                }
+            }
+        }
+        for i in 1..n - 1 {
+            for j in 1..n - 1 {
+                for k in 1..n - 1 {
+                    a[idx(i, j, k)] = stencil(&b, i, j, k);
+                }
+            }
+        }
+    }
+    a.iter().sum()
+}
+
+// ------------------------------------------------------------------- adi
+
+const AN: i32 = 24;
+const AT: i32 = 6;
+
+pub(super) fn adi() -> Kernel {
+    Kernel {
+        name: "adi",
+        build: build_adi,
+        native: native_adi,
+    }
+}
+
+// ADI (alternating direction implicit) with Thomas-algorithm sweeps.
+fn adi_consts() -> (f64, f64, f64, f64, f64, f64) {
+    let n = AN as f64;
+    let t = AT as f64;
+    let dx = 1.0 / n;
+    let dy = 1.0 / n;
+    let dt = 1.0 / t;
+    let b1 = 2.0;
+    let b2 = 1.0;
+    let mul1 = b1 * dt / (dx * dx);
+    let mul2 = b2 * dt / (dy * dy);
+    (
+        -mul1 / 2.0,               // a
+        1.0 + mul1,                // b
+        -mul1 / 2.0,               // c
+        -mul2 / 2.0,               // d
+        1.0 + mul2,                // e
+        -mul2 / 2.0,               // f
+    )
+}
+
+fn build_adi() -> sledge_wasm::module::Module {
+    let n = AN;
+    let u = A0;
+    let v = A0 + 8 * n * n;
+    let p = v + 8 * n * n;
+    let q = p + 8 * n * n;
+    let (ca, cb, cc, cd, ce, cf) = adi_consts();
+    kernel_module("adi", 2, |f, cks| {
+        let i = f.local(I32);
+        let j = f.local(I32);
+        let t = f.local(I32);
+        f.extend([
+            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
+                st2(u, local(i), local(j), n,
+                    div(i2d(add(add(local(i), local(j)), i32c(n))), f64c(n as f64 * 3.0))),
+                st2(v, local(i), local(j), n, f64c(0.0)),
+                st2(p, local(i), local(j), n, f64c(0.0)),
+                st2(q, local(i), local(j), n, f64c(0.0)),
+            ])]),
+            for_i(t, 1, add(i32c(AT), i32c(1)), vec![
+                // Column sweep (implicit in y).
+                for_i(i, 1, i32c(n - 1), vec![
+                    st2(v, i32c(0), local(i), n, f64c(1.0)),
+                    st2(p, local(i), i32c(0), n, f64c(0.0)),
+                    st2(q, local(i), i32c(0), n, ld2(v, i32c(0), local(i), n)),
+                    for_i(j, 1, i32c(n - 1), vec![
+                        st2(p, local(i), local(j), n,
+                            div(neg(f64c(cc)), add(mul(f64c(ca), ld2(p, local(i), sub(local(j), i32c(1)), n)), f64c(cb)))),
+                        st2(q, local(i), local(j), n,
+                            div(sub(sub(add(mul(neg(f64c(cd)), ld2(u, local(j), sub(local(i), i32c(1)), n)),
+                                    mul(add(f64c(1.0), mul(f64c(2.0), f64c(cd))), ld2(u, local(j), local(i), n))),
+                                    mul(f64c(cf), ld2(u, local(j), add(local(i), i32c(1)), n))),
+                                    mul(f64c(ca), ld2(q, local(i), sub(local(j), i32c(1)), n))),
+                                add(mul(f64c(ca), ld2(p, local(i), sub(local(j), i32c(1)), n)), f64c(cb)))),
+                    ]),
+                    st2(v, i32c(n - 1), local(i), n, f64c(1.0)),
+                    for_loop(j, i32c(n - 2), ge_s(local(j), i32c(1)), -1, vec![
+                        st2(v, local(j), local(i), n,
+                            add(mul(ld2(p, local(i), local(j), n), ld2(v, add(local(j), i32c(1)), local(i), n)),
+                                ld2(q, local(i), local(j), n))),
+                    ]),
+                ]),
+                // Row sweep (implicit in x).
+                for_i(i, 1, i32c(n - 1), vec![
+                    st2(u, local(i), i32c(0), n, f64c(1.0)),
+                    st2(p, local(i), i32c(0), n, f64c(0.0)),
+                    st2(q, local(i), i32c(0), n, ld2(u, local(i), i32c(0), n)),
+                    for_i(j, 1, i32c(n - 1), vec![
+                        st2(p, local(i), local(j), n,
+                            div(neg(f64c(cf)), add(mul(f64c(cd), ld2(p, local(i), sub(local(j), i32c(1)), n)), f64c(ce)))),
+                        st2(q, local(i), local(j), n,
+                            div(sub(sub(add(mul(neg(f64c(ca)), ld2(v, sub(local(i), i32c(1)), local(j), n)),
+                                    mul(add(f64c(1.0), mul(f64c(2.0), f64c(ca))), ld2(v, local(i), local(j), n))),
+                                    mul(f64c(cc), ld2(v, add(local(i), i32c(1)), local(j), n))),
+                                    mul(f64c(cd), ld2(q, local(i), sub(local(j), i32c(1)), n))),
+                                add(mul(f64c(cd), ld2(p, local(i), sub(local(j), i32c(1)), n)), f64c(ce)))),
+                    ]),
+                    st2(u, local(i), i32c(n - 1), n, f64c(1.0)),
+                    for_loop(j, i32c(n - 2), ge_s(local(j), i32c(1)), -1, vec![
+                        st2(u, local(i), local(j), n,
+                            add(mul(ld2(p, local(i), local(j), n), ld2(u, local(i), add(local(j), i32c(1)), n)),
+                                ld2(q, local(i), local(j), n))),
+                    ]),
+                ]),
+            ]),
+            set(cks, f64c(0.0)),
+            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
+                set(cks, add(local(cks), ld2(u, local(i), local(j), n))),
+            ])]),
+        ]);
+    })
+}
+
+fn native_adi() -> f64 {
+    let n = AN as usize;
+    let (ca, cb, cc, cd, ce, cf) = adi_consts();
+    let mut u = vec![0.0f64; n * n];
+    let mut v = vec![0.0f64; n * n];
+    let mut p = vec![0.0f64; n * n];
+    let mut q = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            u[i * n + j] = ((i + j + n) as f64) / (n as f64 * 3.0);
+        }
+    }
+    for _t in 1..=AT as usize {
+        for i in 1..n - 1 {
+            v[i] = 1.0; // v[0][i]
+            p[i * n] = 0.0;
+            q[i * n] = v[i];
+            for j in 1..n - 1 {
+                p[i * n + j] = -cc / (ca * p[i * n + j - 1] + cb);
+                q[i * n + j] = (-cd * u[j * n + i - 1]
+                    + (1.0 + 2.0 * cd) * u[j * n + i]
+                    - cf * u[j * n + i + 1]
+                    - ca * q[i * n + j - 1])
+                    / (ca * p[i * n + j - 1] + cb);
+            }
+            v[(n - 1) * n + i] = 1.0;
+            for j in (1..=n - 2).rev() {
+                v[j * n + i] = p[i * n + j] * v[(j + 1) * n + i] + q[i * n + j];
+            }
+        }
+        for i in 1..n - 1 {
+            u[i * n] = 1.0;
+            p[i * n] = 0.0;
+            q[i * n] = u[i * n];
+            for j in 1..n - 1 {
+                p[i * n + j] = -cf / (cd * p[i * n + j - 1] + ce);
+                q[i * n + j] = (-ca * v[(i - 1) * n + j]
+                    + (1.0 + 2.0 * ca) * v[i * n + j]
+                    - cc * v[(i + 1) * n + j]
+                    - cd * q[i * n + j - 1])
+                    / (cd * p[i * n + j - 1] + ce);
+            }
+            u[i * n + n - 1] = 1.0;
+            for j in (1..=n - 2).rev() {
+                u[i * n + j] = p[i * n + j] * u[i * n + j + 1] + q[i * n + j];
+            }
+        }
+    }
+    u.iter().sum()
+}

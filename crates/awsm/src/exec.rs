@@ -1,0 +1,477 @@
+//! The resumable interpreter: executes translated code with fuel accounting
+//! and external preemption, returning control to the scheduler at safe
+//! points.
+
+use crate::code::{CompiledModule, LoadKind, Op, StoreKind};
+use crate::host::{Host, HostOutcome};
+use crate::memory::{Bounds, LinearMemory};
+use crate::value::Trap;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Result of driving a sandbox for one quantum.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StepResult {
+    /// The entry function returned (with its result slot, if any).
+    Complete(Option<u64>),
+    /// The fuel budget was exhausted; call `run` again to continue.
+    OutOfFuel,
+    /// The external preempt flag was observed; call `run` again to continue.
+    Preempted,
+    /// A host call returned [`HostOutcome::Pending`]; the sandbox is parked
+    /// until the embedding runtime decides to resume it.
+    Blocked,
+    /// The sandbox violated a safety condition and is dead.
+    Trapped(Trap),
+}
+
+/// Execution limits protecting the runtime from runaway guests.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum call depth.
+    pub max_frames: usize,
+    /// Maximum operand-stack slots.
+    pub max_stack: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_frames: 8192,
+            max_stack: 1 << 20,
+        }
+    }
+}
+
+/// One call frame.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Frame {
+    /// Index into `CompiledModule::funcs`.
+    pub func: u32,
+    /// Resume position.
+    pub pc: u32,
+    /// Base of this frame's locals in the locals stack.
+    pub locals_base: u32,
+    /// Operand-stack height at frame entry.
+    pub stack_base: u32,
+}
+
+/// A host call that returned `Pending` and must be re-issued on resume.
+#[derive(Debug, Clone)]
+pub(crate) struct PendingHost {
+    pub idx: u32,
+    pub args: Vec<u64>,
+}
+
+/// The complete, saveable execution state of one sandbox — the paper's
+/// "user-level context", kept outside linear memory (two-stack CFI).
+#[derive(Debug, Default)]
+pub(crate) struct ExecState {
+    pub stack: Vec<u64>,
+    pub frames: Vec<Frame>,
+    pub locals: Vec<u64>,
+    pub pending: Option<PendingHost>,
+}
+
+impl ExecState {
+    pub fn clear(&mut self) {
+        self.stack.clear();
+        self.frames.clear();
+        self.locals.clear();
+        self.pending = None;
+    }
+}
+
+macro_rules! check_budget {
+    ($fuel:ident, $preempt:ident, $st:ident, $pc:ident) => {
+        if *$fuel == 0 {
+            $st.frames.last_mut().expect("frame").pc = $pc as u32;
+            return StepResult::OutOfFuel;
+        }
+        *$fuel -= 1;
+        if $preempt.load(Ordering::Relaxed) {
+            $st.frames.last_mut().expect("frame").pc = $pc as u32;
+            return StepResult::Preempted;
+        }
+    };
+}
+
+/// Budget check for points where every frame's `pc` is already saved
+/// (immediately after a call pushed a fresh frame).
+macro_rules! check_budget_saved {
+    ($fuel:ident, $preempt:ident) => {
+        if *$fuel == 0 {
+            return StepResult::OutOfFuel;
+        }
+        *$fuel -= 1;
+        if $preempt.load(Ordering::Relaxed) {
+            return StepResult::Preempted;
+        }
+    };
+}
+
+/// Drive the sandbox until completion, trap, fuel exhaustion, preemption, or
+/// a blocking host call.
+///
+/// `NAIVE` selects the naive tier's accounting (fuel decremented on every
+/// instruction rather than only at branches and calls).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run<B: Bounds, const NAIVE: bool>(
+    m: &CompiledModule,
+    st: &mut ExecState,
+    mem: &mut LinearMemory,
+    globals: &mut [u64],
+    table: &[Option<u32>],
+    host: &mut dyn Host,
+    fuel: &mut u64,
+    preempt: &AtomicBool,
+    limits: &Limits,
+) -> StepResult {
+    // Re-issue a pending host call, if any.
+    if let Some(p) = st.pending.take() {
+        let imp = &m.host_funcs[p.idx as usize];
+        match host.call(p.idx, imp, &p.args, mem) {
+            HostOutcome::Value(v) => st.stack.push(v),
+            HostOutcome::Unit => {}
+            HostOutcome::Pending => {
+                st.pending = Some(p);
+                return StepResult::Blocked;
+            }
+            HostOutcome::Trap(t) => return StepResult::Trapped(t),
+        }
+    }
+
+    'frames: loop {
+        let (fidx, mut pc, lb, sb) = {
+            let f = match st.frames.last() {
+                Some(f) => f,
+                None => return StepResult::Complete(st.stack.pop().map(Some).unwrap_or(None)),
+            };
+            (f.func as usize, f.pc as usize, f.locals_base as usize, f.stack_base as usize)
+        };
+        let func = &m.funcs[fidx];
+        let code = &func.code[..];
+
+        loop {
+            if NAIVE {
+                check_budget!(fuel, preempt, st, pc);
+            }
+            debug_assert!(pc < code.len(), "pc ran off function end");
+            let op = &code[pc];
+            pc += 1;
+            match op {
+                Op::Unreachable => return StepResult::Trapped(Trap::Unreachable),
+                Op::Br(b) => {
+                    apply_branch(&mut st.stack, sb, b);
+                    pc = b.target as usize;
+                    if !NAIVE {
+                        check_budget!(fuel, preempt, st, pc);
+                    }
+                }
+                Op::BrIf(b) => {
+                    let c = st.stack.pop().expect("brif cond");
+                    if c as u32 != 0 {
+                        apply_branch(&mut st.stack, sb, b);
+                        pc = b.target as usize;
+                        if !NAIVE {
+                            check_budget!(fuel, preempt, st, pc);
+                        }
+                    }
+                }
+                Op::BrIfZ(b) => {
+                    let c = st.stack.pop().expect("brifz cond");
+                    if c as u32 == 0 {
+                        apply_branch(&mut st.stack, sb, b);
+                        pc = b.target as usize;
+                        if !NAIVE {
+                            check_budget!(fuel, preempt, st, pc);
+                        }
+                    }
+                }
+                Op::BrTable(payload) => {
+                    let i = st.stack.pop().expect("brtable index") as u32 as usize;
+                    let b = payload.targets.get(i).unwrap_or(&payload.default);
+                    apply_branch(&mut st.stack, sb, b);
+                    pc = b.target as usize;
+                    if !NAIVE {
+                        check_budget!(fuel, preempt, st, pc);
+                    }
+                }
+                Op::Return => {
+                    let result = if func.has_result {
+                        st.stack.pop()
+                    } else {
+                        None
+                    };
+                    st.stack.truncate(sb);
+                    st.locals.truncate(lb);
+                    st.frames.pop();
+                    if st.frames.is_empty() {
+                        return StepResult::Complete(result);
+                    }
+                    if let Some(v) = result {
+                        st.stack.push(v);
+                    }
+                    continue 'frames;
+                }
+                Op::Call(f) => {
+                    st.frames.last_mut().expect("frame").pc = pc as u32;
+                    if let Err(t) = push_call(m, st, *f, limits) {
+                        return StepResult::Trapped(t);
+                    }
+                    if !NAIVE {
+                        check_budget_saved!(fuel, preempt);
+                    }
+                    continue 'frames;
+                }
+                Op::CallHost(h) => {
+                    let imp = &m.host_funcs[*h as usize];
+                    let n = imp.nparams as usize;
+                    let at = st.stack.len() - n;
+                    let args: Vec<u64> = st.stack.split_off(at);
+                    match host.call(*h, imp, &args, mem) {
+                        HostOutcome::Value(v) => st.stack.push(v),
+                        HostOutcome::Unit => {}
+                        HostOutcome::Pending => {
+                            st.pending = Some(PendingHost { idx: *h, args });
+                            st.frames.last_mut().expect("frame").pc = pc as u32;
+                            return StepResult::Blocked;
+                        }
+                        HostOutcome::Trap(t) => return StepResult::Trapped(t),
+                    }
+                }
+                Op::CallIndirect(type_id) => {
+                    let i = st.stack.pop().expect("indirect index") as u32 as usize;
+                    let entry = match table.get(i) {
+                        Some(e) => e,
+                        None => return StepResult::Trapped(Trap::TableOutOfBounds),
+                    };
+                    let target = match entry {
+                        Some(t) => *t,
+                        None => return StepResult::Trapped(Trap::UndefinedElement),
+                    };
+                    let ni = m.num_imports();
+                    if target < ni {
+                        let imp = &m.host_funcs[target as usize];
+                        if imp.type_id != *type_id {
+                            return StepResult::Trapped(Trap::IndirectTypeMismatch);
+                        }
+                        let n = imp.nparams as usize;
+                        let at = st.stack.len() - n;
+                        let args: Vec<u64> = st.stack.split_off(at);
+                        match host.call(target, imp, &args, mem) {
+                            HostOutcome::Value(v) => st.stack.push(v),
+                            HostOutcome::Unit => {}
+                            HostOutcome::Pending => {
+                                st.pending = Some(PendingHost { idx: target, args });
+                                st.frames.last_mut().expect("frame").pc = pc as u32;
+                                return StepResult::Blocked;
+                            }
+                            HostOutcome::Trap(t) => return StepResult::Trapped(t),
+                        }
+                    } else {
+                        let f = target - ni;
+                        if m.funcs[f as usize].type_id != *type_id {
+                            return StepResult::Trapped(Trap::IndirectTypeMismatch);
+                        }
+                        st.frames.last_mut().expect("frame").pc = pc as u32;
+                        if let Err(t) = push_call(m, st, f, limits) {
+                            return StepResult::Trapped(t);
+                        }
+                        if !NAIVE {
+                            check_budget_saved!(fuel, preempt);
+                        }
+                        continue 'frames;
+                    }
+                }
+                Op::Drop => {
+                    st.stack.pop();
+                }
+                Op::Select => {
+                    let c = st.stack.pop().expect("select cond");
+                    let b2 = st.stack.pop().expect("select b");
+                    let a = st.stack.pop().expect("select a");
+                    st.stack.push(if c as u32 != 0 { a } else { b2 });
+                }
+                Op::LocalGet(i) => st.stack.push(st.locals[lb + *i as usize]),
+                Op::LocalSet(i) => {
+                    st.locals[lb + *i as usize] = st.stack.pop().expect("set value")
+                }
+                Op::LocalTee(i) => {
+                    st.locals[lb + *i as usize] = *st.stack.last().expect("tee value")
+                }
+                Op::GlobalGet(i) => st.stack.push(globals[*i as usize]),
+                Op::GlobalSet(i) => globals[*i as usize] = st.stack.pop().expect("global value"),
+                Op::Load(kind, off) => {
+                    let addr = st.stack.pop().expect("load addr") as u32;
+                    match do_load::<B>(mem, *kind, addr, *off) {
+                        Ok(v) => st.stack.push(v),
+                        Err(t) => return StepResult::Trapped(t),
+                    }
+                }
+                Op::LoadL(kind, local, off) => {
+                    let addr = st.locals[lb + *local as usize] as u32;
+                    match do_load::<B>(mem, *kind, addr, *off) {
+                        Ok(v) => st.stack.push(v),
+                        Err(t) => return StepResult::Trapped(t),
+                    }
+                }
+                Op::Store(kind, off) => {
+                    let val = st.stack.pop().expect("store value");
+                    let addr = st.stack.pop().expect("store addr") as u32;
+                    if let Err(t) = do_store::<B>(mem, *kind, addr, *off, val) {
+                        return StepResult::Trapped(t);
+                    }
+                }
+                Op::MemorySize => st.stack.push(mem.pages() as u64),
+                Op::MemoryGrow => {
+                    let n = st.stack.pop().expect("grow pages") as u32;
+                    let r = mem.grow(n);
+                    st.stack.push(r as u32 as u64);
+                }
+                Op::Const(c) => st.stack.push(*c),
+                Op::Bin(op) => {
+                    let y = st.stack.pop().expect("bin rhs");
+                    let x = st.stack.pop().expect("bin lhs");
+                    match crate::numeric::bin(*op, x, y) {
+                        Ok(v) => st.stack.push(v),
+                        Err(t) => return StepResult::Trapped(t),
+                    }
+                }
+                Op::Un(op) => {
+                    let x = st.stack.pop().expect("un operand");
+                    match crate::numeric::un(*op, x) {
+                        Ok(v) => st.stack.push(v),
+                        Err(t) => return StepResult::Trapped(t),
+                    }
+                }
+                Op::Bin2L(op, a, c) => {
+                    let x = st.locals[lb + *a as usize];
+                    let y = st.locals[lb + *c as usize];
+                    match crate::numeric::bin(*op, x, y) {
+                        Ok(v) => st.stack.push(v),
+                        Err(t) => return StepResult::Trapped(t),
+                    }
+                }
+                Op::BinRL(op, c) => {
+                    let y = st.locals[lb + *c as usize];
+                    let x = st.stack.pop().expect("binrl lhs");
+                    match crate::numeric::bin(*op, x, y) {
+                        Ok(v) => st.stack.push(v),
+                        Err(t) => return StepResult::Trapped(t),
+                    }
+                }
+                Op::BinRC(op, c) => {
+                    let x = st.stack.pop().expect("binrc lhs");
+                    match crate::numeric::bin(*op, x, *c) {
+                        Ok(v) => st.stack.push(v),
+                        Err(t) => return StepResult::Trapped(t),
+                    }
+                }
+                Op::Bin2LS(op, a, c, d) => {
+                    let x = st.locals[lb + *a as usize];
+                    let y = st.locals[lb + *c as usize];
+                    match crate::numeric::bin(*op, x, y) {
+                        Ok(v) => st.locals[lb + *d as usize] = v,
+                        Err(t) => return StepResult::Trapped(t),
+                    }
+                }
+                Op::IncI32(i, delta) => {
+                    let slot = &mut st.locals[lb + *i as usize];
+                    *slot = (*slot as u32).wrapping_add(*delta as u32) as u64;
+                }
+            }
+        }
+    }
+}
+
+#[inline(always)]
+fn apply_branch(stack: &mut Vec<u64>, sb: usize, b: &crate::code::Branch) {
+    let want = sb + b.height as usize;
+    if b.keep {
+        let v = *stack.last().expect("kept value");
+        stack.truncate(want);
+        stack.push(v);
+    } else {
+        stack.truncate(want);
+    }
+}
+
+#[inline(always)]
+fn push_call(
+    m: &CompiledModule,
+    st: &mut ExecState,
+    f: u32,
+    limits: &Limits,
+) -> Result<(), Trap> {
+    if st.frames.len() >= limits.max_frames || st.stack.len() >= limits.max_stack {
+        return Err(Trap::StackExhausted);
+    }
+    let callee = &m.funcs[f as usize];
+    let n = callee.nparams as usize;
+    let lb2 = st.locals.len();
+    let at = st.stack.len() - n;
+    st.locals.extend_from_slice(&st.stack[at..]);
+    st.stack.truncate(at);
+    st.locals.resize(lb2 + callee.nlocals as usize, 0);
+    st.frames.push(Frame {
+        func: f,
+        pc: 0,
+        locals_base: lb2 as u32,
+        stack_base: st.stack.len() as u32,
+    });
+    Ok(())
+}
+
+#[inline(always)]
+fn do_load<B: Bounds>(
+    mem: &LinearMemory,
+    kind: LoadKind,
+    addr: u32,
+    off: u32,
+) -> Result<u64, Trap> {
+    Ok(match kind {
+        LoadKind::I32 | LoadKind::F32 => {
+            u32::from_le_bytes(mem.load::<B, 4>(addr, off)?) as u64
+        }
+        LoadKind::I64 | LoadKind::F64 => u64::from_le_bytes(mem.load::<B, 8>(addr, off)?),
+        LoadKind::I32U8 => mem.load::<B, 1>(addr, off)?[0] as u64,
+        LoadKind::I32S8 => mem.load::<B, 1>(addr, off)?[0] as i8 as i32 as u32 as u64,
+        LoadKind::I32U16 => u16::from_le_bytes(mem.load::<B, 2>(addr, off)?) as u64,
+        LoadKind::I32S16 => {
+            u16::from_le_bytes(mem.load::<B, 2>(addr, off)?) as i16 as i32 as u32 as u64
+        }
+        LoadKind::I64U8 => mem.load::<B, 1>(addr, off)?[0] as u64,
+        LoadKind::I64S8 => mem.load::<B, 1>(addr, off)?[0] as i8 as i64 as u64,
+        LoadKind::I64U16 => u16::from_le_bytes(mem.load::<B, 2>(addr, off)?) as u64,
+        LoadKind::I64S16 => {
+            u16::from_le_bytes(mem.load::<B, 2>(addr, off)?) as i16 as i64 as u64
+        }
+        LoadKind::I64U32 => u32::from_le_bytes(mem.load::<B, 4>(addr, off)?) as u64,
+        LoadKind::I64S32 => {
+            u32::from_le_bytes(mem.load::<B, 4>(addr, off)?) as i32 as i64 as u64
+        }
+    })
+}
+
+#[inline(always)]
+fn do_store<B: Bounds>(
+    mem: &mut LinearMemory,
+    kind: StoreKind,
+    addr: u32,
+    off: u32,
+    val: u64,
+) -> Result<(), Trap> {
+    match kind {
+        StoreKind::I32 | StoreKind::F32 => {
+            mem.store::<B, 4>(addr, off, (val as u32).to_le_bytes())
+        }
+        StoreKind::I64 | StoreKind::F64 => mem.store::<B, 8>(addr, off, val.to_le_bytes()),
+        StoreKind::B8From32 | StoreKind::B8From64 => {
+            mem.store::<B, 1>(addr, off, [val as u8])
+        }
+        StoreKind::B16From32 | StoreKind::B16From64 => {
+            mem.store::<B, 2>(addr, off, (val as u16).to_le_bytes())
+        }
+        StoreKind::B32From64 => mem.store::<B, 4>(addr, off, (val as u32).to_le_bytes()),
+    }
+}

@@ -1,0 +1,59 @@
+//! The host-call interface: how sandboxed guests reach the runtime's
+//! POSIX-ish layer (the paper's stdin/stdout + asynchronous I/O surface).
+
+use crate::code::HostImport;
+use crate::memory::LinearMemory;
+use crate::value::Trap;
+
+/// Outcome of one host call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum HostOutcome {
+    /// The call completed and returned a value (slot-encoded).
+    Value(u64),
+    /// The call completed with no return value.
+    Unit,
+    /// The call cannot complete yet (asynchronous I/O in flight). The
+    /// sandbox blocks; the engine re-issues the same call with the same
+    /// arguments when resumed.
+    Pending,
+    /// The call failed; the sandbox traps.
+    Trap(Trap),
+}
+
+/// Implemented by the embedding runtime to service guest imports.
+///
+/// The engine resolves import *names* to indices at translation time; `idx`
+/// is the position within [`crate::CompiledModule::host_funcs`], and `import`
+/// is the corresponding metadata, so implementations can dispatch either way.
+///
+/// Blocking semantics: returning [`HostOutcome::Pending`] parks the sandbox
+/// (the engine reports [`crate::StepResult::Blocked`]); each subsequent
+/// `run` re-invokes the call with identical arguments until it completes.
+/// Implementations must therefore be idempotent across `Pending` returns.
+pub trait Host {
+    /// Service one guest import call.
+    fn call(
+        &mut self,
+        idx: u32,
+        import: &HostImport,
+        args: &[u64],
+        memory: &mut LinearMemory,
+    ) -> HostOutcome;
+}
+
+/// A host that rejects every import call; suitable for pure-compute modules
+/// (e.g. the PolyBench kernels).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullHost;
+
+impl Host for NullHost {
+    fn call(
+        &mut self,
+        _idx: u32,
+        _import: &HostImport,
+        _args: &[u64],
+        _memory: &mut LinearMemory,
+    ) -> HostOutcome {
+        HostOutcome::Trap(Trap::Unreachable)
+    }
+}

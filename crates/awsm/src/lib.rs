@@ -1,0 +1,358 @@
+//! aWsm: the ahead-of-time WebAssembly translation and execution engine of
+//! the Sledge reproduction.
+//!
+//! The pipeline mirrors the paper's compiler/runtime split:
+//!
+//! 1. [`translate`] performs the "heavyweight linking and loading": it
+//!    validates a `sledge-wasm` module and resolves it into an immutable
+//!    [`CompiledModule`] (flat code, direct jumps, pre-resolved imports,
+//!    optional super-instruction fusion). Done once per module.
+//! 2. [`Instance::new`] is the µs-level "optimized function startup": it
+//!    allocates only linear memory, the (separate) execution stacks, and a
+//!    context record.
+//! 3. [`Instance::run`] drives execution for a fuel quantum with an external
+//!    preempt flag, returning at safe points — the mechanism the Sledge
+//!    runtime uses for user-level preemptive round-robin scheduling.
+//!
+//! Bounds-checking is configurable per instance via [`BoundsStrategy`]
+//! (§3.2 of the paper); the execution [`Tier`] selects optimized vs. naive
+//! translation (the stand-ins for the LLVM- and Cranelift-class engines in
+//! the paper's Figure 5).
+//!
+//! # Examples
+//!
+//! ```
+//! use sledge_guestc::{dsl::*, FuncBuilder, ModuleBuilder};
+//! use sledge_wasm::types::ValType;
+//! use awsm::{translate, Tier, Instance, EngineConfig, NullHost, StepResult, Value};
+//! use std::sync::Arc;
+//!
+//! // Guest: add one.
+//! let mut mb = ModuleBuilder::new("inc");
+//! let mut f = FuncBuilder::new(&[ValType::I32], Some(ValType::I32));
+//! let x = f.arg(0);
+//! f.push(ret(Some(add(local(x), i32c(1)))));
+//! let main = mb.add_func("main", f);
+//! mb.export_func(main, "main");
+//! let module = mb.build()?;
+//!
+//! let compiled = Arc::new(translate(&module, Tier::Optimized)?);
+//! let mut inst = Instance::new(compiled, EngineConfig::default())?;
+//! inst.invoke_export("main", &[Value::I32(41)])?;
+//! let mut host = NullHost;
+//! match inst.run(&mut host, u64::MAX) {
+//!     StepResult::Complete(Some(v)) => assert_eq!(v as u32, 42),
+//!     other => panic!("unexpected {other:?}"),
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod code;
+mod exec;
+mod host;
+mod memory;
+mod numeric;
+mod translate;
+mod value;
+
+pub use code::{CompiledModule, HostImport};
+pub use exec::{Limits, StepResult};
+pub use host::{Host, HostOutcome, NullHost};
+pub use memory::{BoundsStrategy, LinearMemory};
+pub use translate::{translate, Tier, TranslateError};
+pub use value::{Trap, Value};
+
+use exec::{ExecState, Frame};
+use memory::{DynBounds, MaskBounds, MpxBounds, SoftwareBounds};
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+/// Per-instance engine configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineConfig {
+    /// Bounds-check strategy for linear-memory accesses.
+    pub bounds: BoundsStrategy,
+    /// Execution tier accounting (should match the tier the module was
+    /// translated for to get representative performance; semantics are
+    /// identical either way).
+    pub tier: Tier,
+    /// Guest resource limits.
+    pub limits: Limits,
+}
+
+/// Errors from instance setup and invocation.
+#[derive(Debug)]
+pub enum InstanceError {
+    /// The module's data segments do not fit its initial memory.
+    DataOutOfBounds,
+    /// No export with the requested name.
+    NoSuchExport(String),
+    /// The export is an imported function and cannot be an entry point.
+    ExportIsImport(String),
+    /// Wrong number of arguments for the entry function.
+    ArityMismatch {
+        /// Parameters the entry function declares.
+        expected: u32,
+        /// Arguments supplied.
+        got: u32,
+    },
+    /// An invocation is already in progress (or `run` was called idle).
+    InvalidState,
+    /// The instance already trapped and cannot be reused.
+    Dead(Trap),
+}
+
+impl fmt::Display for InstanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstanceError::DataOutOfBounds => write!(f, "data segment outside initial memory"),
+            InstanceError::NoSuchExport(n) => write!(f, "no exported function {n:?}"),
+            InstanceError::ExportIsImport(n) => {
+                write!(f, "export {n:?} is an import, not a local function")
+            }
+            InstanceError::ArityMismatch { expected, got } => {
+                write!(f, "entry function expects {expected} arguments, got {got}")
+            }
+            InstanceError::InvalidState => write!(f, "invalid instance state for this operation"),
+            InstanceError::Dead(t) => write!(f, "instance is dead after trap: {t}"),
+        }
+    }
+}
+
+impl Error for InstanceError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Idle,
+    Running,
+    Dead(Trap),
+}
+
+/// A sandbox: one lightweight instantiation of a [`CompiledModule`].
+///
+/// Creation is deliberately cheap (linear memory + stacks + context) — this
+/// is the function-startup path the paper measures in Table 3.
+#[derive(Debug)]
+pub struct Instance {
+    module: Arc<CompiledModule>,
+    memory: LinearMemory,
+    globals: Vec<u64>,
+    state: ExecState,
+    config: EngineConfig,
+    status: Status,
+    /// Preempt flag observed at safe points during [`Instance::run`];
+    /// shared so a timer thread can set it.
+    preempt: Arc<AtomicBool>,
+}
+
+impl Instance {
+    /// Instantiate `module`: allocate linear memory (initialized from the
+    /// module's data segments), globals, and an empty execution context.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InstanceError::DataOutOfBounds`] if a data segment lies
+    /// outside the initial memory.
+    pub fn new(module: Arc<CompiledModule>, config: EngineConfig) -> Result<Self, InstanceError> {
+        let spec = module.memory.unwrap_or(code::MemorySpec {
+            min_pages: 0,
+            max_pages: 0,
+        });
+        let mut memory = LinearMemory::new(spec.min_pages, spec.max_pages, config.bounds);
+        for (off, bytes) in &module.data {
+            memory
+                .write_bytes(*off, bytes)
+                .map_err(|_| InstanceError::DataOutOfBounds)?;
+        }
+        let globals = module.globals.clone();
+        Ok(Instance {
+            module,
+            memory,
+            globals,
+            state: ExecState::default(),
+            config,
+            status: Status::Idle,
+            preempt: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The module this instance runs.
+    pub fn module(&self) -> &Arc<CompiledModule> {
+        &self.module
+    }
+
+    /// The engine configuration this instance was created with.
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// Shared preempt flag: set it (from any thread) to force
+    /// [`run`](Self::run) to return [`StepResult::Preempted`] at the next
+    /// safe point.
+    pub fn preempt_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.preempt)
+    }
+
+    /// Guest linear memory (host view).
+    pub fn memory(&self) -> &LinearMemory {
+        &self.memory
+    }
+
+    /// Mutable guest linear memory (host view).
+    pub fn memory_mut(&mut self) -> &mut LinearMemory {
+        &mut self.memory
+    }
+
+    /// Whether an invocation is in progress.
+    pub fn is_running(&self) -> bool {
+        self.status == Status::Running
+    }
+
+    /// Begin executing the exported function `name` with `args`.
+    /// Drive it with [`run`](Self::run).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`InstanceError`] for unknown exports, arity mismatches,
+    /// or dead/busy instances.
+    pub fn invoke_export(&mut self, name: &str, args: &[Value]) -> Result<(), InstanceError> {
+        let idx = self
+            .module
+            .export(name)
+            .ok_or_else(|| InstanceError::NoSuchExport(name.to_string()))?;
+        self.invoke_index(idx, args, name)
+    }
+
+    fn invoke_index(&mut self, idx: u32, args: &[Value], name: &str) -> Result<(), InstanceError> {
+        match self.status {
+            Status::Dead(t) => return Err(InstanceError::Dead(t)),
+            Status::Running => return Err(InstanceError::InvalidState),
+            Status::Idle => {}
+        }
+        let ni = self.module.num_imports();
+        if idx < ni {
+            return Err(InstanceError::ExportIsImport(name.to_string()));
+        }
+        let local = idx - ni;
+        let func = &self.module.funcs[local as usize];
+        if func.nparams != args.len() as u32 {
+            return Err(InstanceError::ArityMismatch {
+                expected: func.nparams,
+                got: args.len() as u32,
+            });
+        }
+        self.state.clear();
+        for a in args {
+            self.state.locals.push(a.to_bits());
+        }
+        self.state.locals.resize(func.nlocals as usize, 0);
+        self.state.frames.push(Frame {
+            func: local,
+            pc: 0,
+            locals_base: 0,
+            stack_base: 0,
+        });
+        self.status = Status::Running;
+        Ok(())
+    }
+
+    /// Drive the current invocation for up to `fuel` accounting units.
+    ///
+    /// Returns [`StepResult::Complete`] with the function's raw result slot,
+    /// or an intermediate state ([`StepResult::OutOfFuel`] /
+    /// [`StepResult::Preempted`] / [`StepResult::Blocked`]) in which case
+    /// `run` may be called again to continue. After
+    /// [`StepResult::Trapped`] the instance is dead.
+    pub fn run(&mut self, host: &mut dyn Host, fuel: u64) -> StepResult {
+        match self.status {
+            Status::Running => {}
+            Status::Dead(t) => return StepResult::Trapped(t),
+            Status::Idle => return StepResult::Trapped(Trap::Unreachable),
+        }
+        let mut fuel = fuel;
+        let preempt = Arc::clone(&self.preempt);
+        let result = match (self.config.tier, self.config.bounds) {
+            (Tier::Optimized, BoundsStrategy::None | BoundsStrategy::GuardRegion) => {
+                self.dispatch::<MaskBounds, false>(host, &mut fuel, &preempt)
+            }
+            (Tier::Optimized, BoundsStrategy::Software) => {
+                self.dispatch::<SoftwareBounds, false>(host, &mut fuel, &preempt)
+            }
+            (Tier::Optimized, BoundsStrategy::MpxEmulated) => {
+                self.dispatch::<MpxBounds, false>(host, &mut fuel, &preempt)
+            }
+            (Tier::Naive, _) => self.dispatch::<DynBounds, true>(host, &mut fuel, &preempt),
+        };
+        match result {
+            StepResult::Complete(_) => self.status = Status::Idle,
+            StepResult::Trapped(t) => self.status = Status::Dead(t),
+            StepResult::Preempted => {
+                // One preemption request applies to one quantum.
+                self.preempt
+                    .store(false, std::sync::atomic::Ordering::Relaxed);
+            }
+            _ => {}
+        }
+        result
+    }
+
+    fn dispatch<B: memory::Bounds, const NAIVE: bool>(
+        &mut self,
+        host: &mut dyn Host,
+        fuel: &mut u64,
+        preempt: &AtomicBool,
+    ) -> StepResult {
+        exec::run::<B, NAIVE>(
+            &self.module,
+            &mut self.state,
+            &mut self.memory,
+            &mut self.globals,
+            &self.module.table,
+            host,
+            fuel,
+            preempt,
+            &self.config.limits,
+        )
+    }
+
+    /// Convenience: invoke an export and run it to completion with the given
+    /// host, resuming through fuel exhaustion, with no preemption.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Trap`] (boxed) if the sandbox traps, an
+    /// [`InstanceError`] for invocation problems, and an error if the guest
+    /// blocks (there is no event source to unblock it here — that is the
+    /// Sledge runtime's job).
+    pub fn call_complete(
+        &mut self,
+        name: &str,
+        args: &[Value],
+        host: &mut dyn Host,
+    ) -> Result<Option<u64>, Box<dyn Error + Send + Sync>> {
+        self.invoke_export(name, args)?;
+        loop {
+            match self.run(host, u64::MAX) {
+                StepResult::Complete(v) => return Ok(v),
+                StepResult::OutOfFuel | StepResult::Preempted => continue,
+                StepResult::Blocked => {
+                    return Err("sandbox blocked with no event source".into());
+                }
+                StepResult::Trapped(t) => return Err(Box::new(t)),
+            }
+        }
+    }
+
+    /// Approximate resident memory of this sandbox in bytes (linear memory +
+    /// stacks + context) — the per-instance footprint the paper contrasts
+    /// with VM/container footprints.
+    pub fn footprint_bytes(&self) -> usize {
+        self.memory.footprint_bytes()
+            + self.state.stack.capacity() * 8
+            + self.state.locals.capacity() * 8
+            + self.state.frames.capacity() * std::mem::size_of::<Frame>()
+            + std::mem::size_of::<Self>()
+    }
+}

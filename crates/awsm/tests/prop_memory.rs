@@ -1,0 +1,116 @@
+//! Property tests of guest memory behaviour across bounds strategies:
+//! random in-bounds access programs must behave identically under every
+//! strategy, and out-of-bounds accesses must trap under checking strategies.
+
+use awsm::{translate, BoundsStrategy, EngineConfig, Instance, NullHost, Tier, Trap};
+use proptest::prelude::*;
+use sledge_guestc::dsl::*;
+use sledge_guestc::{FuncBuilder, ModuleBuilder, Scalar};
+use sledge_wasm::module::Module;
+use sledge_wasm::types::ValType;
+use std::sync::Arc;
+
+/// Build a guest that performs a scripted sequence of stores then sums a
+/// scripted sequence of loads, all at the given (address, value) pairs.
+fn access_module(stores: &[(u32, u32)], loads: &[u32]) -> Module {
+    let mut mb = ModuleBuilder::new("mem");
+    mb.memory(2, Some(4));
+    let mut f = FuncBuilder::new(&[], Some(ValType::I32));
+    let acc = f.local(ValType::I32);
+    let mut body = Vec::new();
+    for (addr, val) in stores {
+        body.push(store(Scalar::I32, i32c(*addr as i32), 0, i32c(*val as i32)));
+    }
+    for addr in loads {
+        body.push(set(
+            acc,
+            add(local(acc), load(Scalar::I32, i32c(*addr as i32), 0)),
+        ));
+    }
+    body.push(ret(Some(local(acc))));
+    f.extend(body);
+    let main = mb.add_func("main", f);
+    mb.export_func(main, "main");
+    mb.build().expect("valid module")
+}
+
+fn run(m: &Module, tier: Tier, bounds: BoundsStrategy) -> Result<u32, Trap> {
+    let cm = Arc::new(translate(m, tier).expect("translate"));
+    let mut inst = Instance::new(
+        cm,
+        EngineConfig {
+            tier,
+            bounds,
+            ..Default::default()
+        },
+    )
+    .expect("instantiate");
+    match inst.call_complete("main", &[], &mut NullHost) {
+        Ok(v) => Ok(v.expect("result") as u32),
+        Err(e) => match e.downcast::<Trap>() {
+            Ok(t) => Err(*t),
+            Err(other) => panic!("non-trap failure: {other}"),
+        },
+    }
+}
+
+// 2 pages committed = 131072 bytes; keep i32 accesses within it.
+const LIMIT: u32 = 2 * 65536 - 4;
+
+proptest! {
+    #[test]
+    fn in_bounds_programs_agree_across_all_strategies(
+        stores in proptest::collection::vec((0u32..=LIMIT, any::<u32>()), 0..12),
+        loads in proptest::collection::vec(0u32..=LIMIT, 1..12),
+    ) {
+        let m = access_module(&stores, &loads);
+        let reference = run(&m, Tier::Optimized, BoundsStrategy::Software).expect("in bounds");
+        for (tier, bounds) in [
+            (Tier::Optimized, BoundsStrategy::GuardRegion),
+            (Tier::Optimized, BoundsStrategy::MpxEmulated),
+            (Tier::Optimized, BoundsStrategy::None),
+            (Tier::Naive, BoundsStrategy::Software),
+            (Tier::Naive, BoundsStrategy::GuardRegion),
+        ] {
+            prop_assert_eq!(
+                run(&m, tier, bounds).expect("in bounds"),
+                reference,
+                "strategy {:?}/{:?}", tier, bounds
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_loads_trap_under_checking_strategies(
+        base in LIMIT + 1..u32::MAX - 4,
+    ) {
+        let m = access_module(&[], &[base]);
+        for bounds in [BoundsStrategy::Software, BoundsStrategy::MpxEmulated] {
+            prop_assert_eq!(
+                run(&m, Tier::Optimized, bounds),
+                Err(Trap::OutOfBounds),
+                "bounds {:?}", bounds
+            );
+        }
+        // Guard-region wraps (documented substitution) but must not crash.
+        prop_assert!(run(&m, Tier::Optimized, BoundsStrategy::GuardRegion).is_ok());
+    }
+
+    #[test]
+    fn stores_then_loads_roundtrip_values(
+        addr in proptest::collection::vec(0u32..=LIMIT / 8, 1..8),
+        vals in proptest::collection::vec(any::<u32>(), 8),
+    ) {
+        // Non-overlapping 4-byte slots: scale addresses by 8.
+        let mut dedup: Vec<u32> = addr.iter().map(|a| a * 8).collect();
+        dedup.sort_unstable();
+        dedup.dedup();
+        let stores: Vec<(u32, u32)> =
+            dedup.iter().zip(&vals).map(|(a, v)| (*a, *v)).collect();
+        let loads: Vec<u32> = stores.iter().map(|(a, _)| *a).collect();
+        let expect: u32 = stores.iter().map(|(_, v)| *v).fold(0u32, u32::wrapping_add);
+        let m = access_module(&stores, &loads);
+        let got = run(&m, Tier::Optimized, BoundsStrategy::Software).expect("in bounds");
+        prop_assert_eq!(got, expect);
+    }
+}

@@ -1,0 +1,191 @@
+//! Property-based semantic tests: randomly generated guest programs must
+//! compute the same values as a native Rust evaluation, under every tier and
+//! bounds strategy, and under arbitrarily chopped (resumed) execution.
+
+use awsm::{translate, BoundsStrategy, EngineConfig, Instance, NullHost, StepResult, Tier, Value};
+use proptest::prelude::*;
+use sledge_guestc::dsl::*;
+use sledge_guestc::{Expr, FuncBuilder, ModuleBuilder};
+use sledge_wasm::module::Module;
+use sledge_wasm::types::ValType;
+use std::sync::Arc;
+
+/// A tiny arithmetic AST we can evaluate natively and compile to the DSL.
+#[derive(Debug, Clone)]
+enum Arith {
+    Const(i32),
+    X,
+    Y,
+    Add(Box<Arith>, Box<Arith>),
+    Sub(Box<Arith>, Box<Arith>),
+    Mul(Box<Arith>, Box<Arith>),
+    And(Box<Arith>, Box<Arith>),
+    Or(Box<Arith>, Box<Arith>),
+    Xor(Box<Arith>, Box<Arith>),
+    Shl(Box<Arith>, Box<Arith>),
+    ShrU(Box<Arith>, Box<Arith>),
+    /// `if c != 0 { a } else { b }` via wasm select.
+    Sel(Box<Arith>, Box<Arith>, Box<Arith>),
+}
+
+impl Arith {
+    fn eval(&self, x: i32, y: i32) -> i32 {
+        match self {
+            Arith::Const(c) => *c,
+            Arith::X => x,
+            Arith::Y => y,
+            Arith::Add(a, b) => a.eval(x, y).wrapping_add(b.eval(x, y)),
+            Arith::Sub(a, b) => a.eval(x, y).wrapping_sub(b.eval(x, y)),
+            Arith::Mul(a, b) => a.eval(x, y).wrapping_mul(b.eval(x, y)),
+            Arith::And(a, b) => a.eval(x, y) & b.eval(x, y),
+            Arith::Or(a, b) => a.eval(x, y) | b.eval(x, y),
+            Arith::Xor(a, b) => a.eval(x, y) ^ b.eval(x, y),
+            Arith::Shl(a, b) => a.eval(x, y).wrapping_shl(b.eval(x, y) as u32),
+            Arith::ShrU(a, b) => {
+                ((a.eval(x, y) as u32).wrapping_shr(b.eval(x, y) as u32)) as i32
+            }
+            Arith::Sel(c, a, b) => {
+                if c.eval(x, y) != 0 {
+                    a.eval(x, y)
+                } else {
+                    b.eval(x, y)
+                }
+            }
+        }
+    }
+
+    fn to_expr(&self, x: sledge_guestc::Local, y: sledge_guestc::Local) -> Expr {
+        match self {
+            Arith::Const(c) => i32c(*c),
+            Arith::X => local(x),
+            Arith::Y => local(y),
+            Arith::Add(a, b) => add(a.to_expr(x, y), b.to_expr(x, y)),
+            Arith::Sub(a, b) => sub(a.to_expr(x, y), b.to_expr(x, y)),
+            Arith::Mul(a, b) => mul(a.to_expr(x, y), b.to_expr(x, y)),
+            Arith::And(a, b) => and(a.to_expr(x, y), b.to_expr(x, y)),
+            Arith::Or(a, b) => or(a.to_expr(x, y), b.to_expr(x, y)),
+            Arith::Xor(a, b) => xor(a.to_expr(x, y), b.to_expr(x, y)),
+            Arith::Shl(a, b) => shl(a.to_expr(x, y), b.to_expr(x, y)),
+            Arith::ShrU(a, b) => shr_u(a.to_expr(x, y), b.to_expr(x, y)),
+            Arith::Sel(c, a, b) => select(
+                ne(c.to_expr(x, y), i32c(0)),
+                a.to_expr(x, y),
+                b.to_expr(x, y),
+            ),
+        }
+    }
+}
+
+fn arith_strategy() -> impl Strategy<Value = Arith> {
+    let leaf = prop_oneof![
+        any::<i32>().prop_map(Arith::Const),
+        Just(Arith::X),
+        Just(Arith::Y),
+    ];
+    leaf.prop_recursive(5, 64, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Arith::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Arith::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Arith::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Arith::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Arith::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Arith::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Arith::Shl(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Arith::ShrU(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(c, a, b)| Arith::Sel(Box::new(c), Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn build_module(e: &Arith) -> Module {
+    let mut mb = ModuleBuilder::new("prop");
+    let mut f = FuncBuilder::new(&[ValType::I32, ValType::I32], Some(ValType::I32));
+    let x = f.arg(0);
+    let y = f.arg(1);
+    f.push(ret(Some(e.to_expr(x, y))));
+    let main = mb.add_func("main", f);
+    mb.export_func(main, "main");
+    mb.build().expect("generated module must validate")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn random_expressions_match_native_all_configs(
+        e in arith_strategy(),
+        x in any::<i32>(),
+        y in any::<i32>(),
+    ) {
+        let m = build_module(&e);
+        let expect = e.eval(x, y) as u32 as u64;
+        for (tier, bounds) in [
+            (Tier::Optimized, BoundsStrategy::GuardRegion),
+            (Tier::Optimized, BoundsStrategy::Software),
+            (Tier::Naive, BoundsStrategy::GuardRegion),
+        ] {
+            let cm = Arc::new(translate(&m, tier).unwrap());
+            let mut inst = Instance::new(
+                cm,
+                EngineConfig { bounds, tier, ..Default::default() },
+            )
+            .unwrap();
+            let got = inst
+                .call_complete("main", &[Value::I32(x), Value::I32(y)], &mut NullHost)
+                .unwrap();
+            prop_assert_eq!(got, Some(expect), "tier={:?} bounds={:?}", tier, bounds);
+        }
+    }
+
+    #[test]
+    fn chopped_execution_is_deterministic(
+        e in arith_strategy(),
+        x in any::<i32>(),
+        y in any::<i32>(),
+        fuel in 1u64..50,
+    ) {
+        // A loop around the expression so there is something to chop.
+        let mut mb = ModuleBuilder::new("prop");
+        let mut f = FuncBuilder::new(&[ValType::I32, ValType::I32], Some(ValType::I32));
+        let xv = f.arg(0);
+        let yv = f.arg(1);
+        let acc = f.local(ValType::I32);
+        let i = f.local(ValType::I32);
+        f.extend([
+            for_loop(i, i32c(0), lt_s(local(i), i32c(50)), 1, vec![
+                set(acc, xor(local(acc), e.to_expr(xv, yv))),
+                set(acc, add(local(acc), local(i))),
+            ]),
+            ret(Some(local(acc))),
+        ]);
+        let main = mb.add_func("main", f);
+        mb.export_func(main, "main");
+        let m = mb.build().unwrap();
+
+        let cm = Arc::new(translate(&m, Tier::Optimized).unwrap());
+        let mut direct = Instance::new(cm.clone(), EngineConfig::default()).unwrap();
+        let want = direct
+            .call_complete("main", &[Value::I32(x), Value::I32(y)], &mut NullHost)
+            .unwrap();
+
+        let mut inst = Instance::new(cm, EngineConfig::default()).unwrap();
+        inst.invoke_export("main", &[Value::I32(x), Value::I32(y)]).unwrap();
+        let got = loop {
+            match inst.run(&mut NullHost, fuel) {
+                StepResult::Complete(v) => break v,
+                StepResult::OutOfFuel => continue,
+                other => panic!("unexpected {other:?}"),
+            }
+        };
+        prop_assert_eq!(got, want);
+    }
+}

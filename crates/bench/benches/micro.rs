@@ -1,0 +1,153 @@
+//! Criterion micro-benchmarks for the mechanisms the paper's design rests
+//! on: sandbox instantiation, module translation, work-stealing deque
+//! operations, HTTP parsing, and kernel execution per engine configuration.
+
+use awsm::{translate, BoundsStrategy, EngineConfig, Instance, StepResult, Tier};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sledge_apps::polybench::{kernel, PreparedKernel};
+use sledge_apps::testutil::BufferHost;
+use std::sync::Arc;
+
+fn bench_instantiation(c: &mut Criterion) {
+    let module = Arc::new(
+        translate(&sledge_apps::gps_ekf::module(), Tier::Optimized).expect("translate"),
+    );
+    c.bench_function("sandbox_instantiate_ekf", |b| {
+        b.iter(|| {
+            let inst = Instance::new(Arc::clone(&module), EngineConfig::default())
+                .expect("instantiate");
+            std::hint::black_box(inst.footprint_bytes())
+        })
+    });
+    c.bench_function("fork_exec_wait_true", |b| {
+        b.iter(|| sledge_baseline::fork_exec_wait("/bin/true").expect("spawn"))
+    });
+}
+
+fn bench_translate(c: &mut Criterion) {
+    let module = sledge_apps::gps_ekf::module();
+    c.bench_function("translate_ekf_optimized", |b| {
+        b.iter(|| translate(&module, Tier::Optimized).expect("translate"))
+    });
+    let wasm = sledge_wasm::encode::encode_module(&module);
+    c.bench_function("decode_validate_ekf", |b| {
+        b.iter(|| {
+            let m = sledge_wasm::decode::decode_module(&wasm).expect("decode");
+            sledge_wasm::validate::validate_module(&m).expect("validate");
+            m.num_funcs()
+        })
+    });
+}
+
+fn bench_kernel_configs(c: &mut Criterion) {
+    let k = kernel("gemm").expect("gemm");
+    let mut g = c.benchmark_group("gemm_by_config");
+    for (label, tier, bounds) in [
+        ("opt_vmguard", Tier::Optimized, BoundsStrategy::GuardRegion),
+        ("opt_software", Tier::Optimized, BoundsStrategy::Software),
+        ("opt_mpx", Tier::Optimized, BoundsStrategy::MpxEmulated),
+        ("naive_vmguard", Tier::Naive, BoundsStrategy::GuardRegion),
+    ] {
+        let prepared = PreparedKernel::new(&k, tier, bounds);
+        g.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| prepared.run())
+        });
+    }
+    g.finish();
+}
+
+fn bench_app_exec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("app_exec_sledge");
+    g.sample_size(20);
+    for app in sledge_apps::real_world_apps() {
+        let module = Arc::new(translate(&(app.module)(), Tier::Optimized).expect("translate"));
+        let body = (app.sample_input)();
+        g.bench_function(BenchmarkId::from_parameter(app.name), |b| {
+            b.iter(|| {
+                let mut inst = Instance::new(Arc::clone(&module), EngineConfig::default())
+                    .expect("instantiate");
+                let mut host = BufferHost::new(body.clone());
+                inst.invoke_export("main", &[]).expect("invoke");
+                loop {
+                    match inst.run(&mut host, u64::MAX) {
+                        StepResult::Complete(_) => break,
+                        StepResult::Trapped(t) => panic!("{t}"),
+                        _ => continue,
+                    }
+                }
+                host.response.len()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_deque(c: &mut Criterion) {
+    c.bench_function("deque_push_pop", |b| {
+        let d = sledge_deque::WorkStealingDeque::new();
+        b.iter(|| {
+            d.push(1u64);
+            d.pop()
+        })
+    });
+    c.bench_function("deque_push_steal", |b| {
+        let d = sledge_deque::WorkStealingDeque::new();
+        b.iter(|| {
+            d.push(1u64);
+            d.steal()
+        })
+    });
+}
+
+fn bench_http_parse(c: &mut Criterion) {
+    let req = b"POST /fn/echo HTTP/1.1\r\nHost: edge\r\nContent-Length: 512\r\n\r\n";
+    let body = vec![0x41u8; 512];
+    let mut full = req.to_vec();
+    full.extend_from_slice(&body);
+    c.bench_function("http_parse_request", |b| {
+        b.iter(|| {
+            let mut p = sledge_http::RequestParser::new(1 << 20);
+            p.feed(&full).expect("parse")
+        })
+    });
+}
+
+fn bench_preempt_overhead(c: &mut Criterion) {
+    // Cost of running a compute kernel with fine-grained fuel slicing vs one
+    // shot: the scheduling-overhead knob of §3.4.
+    let k = kernel("jacobi-1d").expect("jacobi-1d");
+    let m = (k.build)();
+    let compiled = Arc::new(translate(&m, Tier::Optimized).expect("translate"));
+    let mut g = c.benchmark_group("preemption_granularity");
+    g.sample_size(20);
+    for fuel in [1_000u64, 100_000, u64::MAX] {
+        g.bench_function(BenchmarkId::from_parameter(fuel), |b| {
+            b.iter(|| {
+                let mut inst = Instance::new(Arc::clone(&compiled), EngineConfig::default())
+                    .expect("instantiate");
+                let mut host = BufferHost::new(Vec::new());
+                inst.invoke_export("main", &[]).expect("invoke");
+                loop {
+                    match inst.run(&mut host, fuel) {
+                        StepResult::Complete(v) => break v,
+                        StepResult::Trapped(t) => panic!("{t}"),
+                        _ => continue,
+                    }
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_instantiation,
+    bench_translate,
+    bench_kernel_configs,
+    bench_app_exec,
+    bench_deque,
+    bench_http_parse,
+    bench_preempt_overhead
+);
+criterion_main!(benches);

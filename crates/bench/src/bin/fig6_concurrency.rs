@@ -1,0 +1,74 @@
+//! Figure 6: throughput and latency of the ping function with varying
+//! concurrency — Sledge vs. the Nuclio-style process baseline.
+//!
+//! Usage: `fig6_concurrency [--requests N]` (default 2000/point; the paper
+//! uses 10 k — set `SLEDGE_BENCH_FULL=1` or pass `--requests 10000`).
+
+use sledge_baseline::ProcessPool;
+use sledge_bench::{
+    baseline_function_table, drive_baseline, drive_sledge, fmt_dur, requests_per_point,
+};
+use sledge_core::{FunctionConfig, Runtime, RuntimeConfig};
+
+const CONCURRENCIES: &[usize] = &[1, 5, 10, 20, 40, 60, 80, 100];
+
+fn main() {
+    // Process-baseline children re-enter main here.
+    let table = baseline_function_table();
+    sledge_baseline::worker_child_main(&table);
+
+    let mut requests = requests_per_point(2000, 10_000);
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--requests" => {
+                requests = args[i + 1].parse().expect("--requests N");
+                i += 2;
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+
+    let rt = Runtime::new(RuntimeConfig::default());
+    let ping = rt
+        .register_module(FunctionConfig::new("ping"), &sledge_apps::ping::module())
+        .expect("register ping");
+
+    let exe = std::env::current_exe().expect("current exe");
+    // The paper tunes Nuclio's maxWorker to 16.
+    let pool = ProcessPool::new(exe, 16, 4096);
+
+    println!("# Figure 6: ping with varying concurrency ({requests} requests/point)");
+    println!(
+        "{:>5} | {:>12} {:>10} {:>10} | {:>12} {:>10} {:>10} | {:>7}",
+        "conc",
+        "sledge req/s",
+        "avg",
+        "p99",
+        "nuclio req/s",
+        "avg",
+        "p99",
+        "speedup"
+    );
+    for &c in CONCURRENCIES {
+        let s = drive_sledge(&rt, ping, b"", c, requests);
+        let b = drive_baseline(&pool, "ping", b"", c, requests);
+        println!(
+            "{:>5} | {:>12.0} {:>10} {:>10} | {:>12.0} {:>10} {:>10} | {:>6.2}x",
+            c,
+            s.throughput(),
+            fmt_dur(s.latency.avg),
+            fmt_dur(s.latency.p99),
+            b.throughput(),
+            fmt_dur(b.latency.avg),
+            fmt_dur(b.latency.p99),
+            s.throughput() / b.throughput()
+        );
+    }
+    println!();
+    println!("# Paper: Sledge ~3x Nuclio throughput across concurrency levels,");
+    println!("#   with significantly lower avg and p99 latency.");
+    pool.shutdown();
+    rt.shutdown();
+}

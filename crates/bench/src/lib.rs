@@ -1,0 +1,246 @@
+//! Shared harness utilities for regenerating the paper's tables and
+//! figures: closed-loop load generators (the `ab`-style clients of §5.2),
+//! latency statistics, and table formatting.
+//!
+//! Each table/figure has a dedicated binary in `src/bin/`; see DESIGN.md §5
+//! for the experiment index.
+
+use sledge_baseline::{FunctionTable, ProcessPool};
+use sledge_core::{FunctionId, Outcome, Runtime};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Latency statistics over a set of samples.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyStats {
+    /// Number of samples.
+    pub count: usize,
+    /// Mean latency.
+    pub avg: Duration,
+    /// 50th percentile.
+    pub p50: Duration,
+    /// 99th percentile.
+    pub p99: Duration,
+    /// Maximum.
+    pub max: Duration,
+}
+
+impl LatencyStats {
+    /// Compute stats from raw samples (sorted internally).
+    pub fn from_samples(mut samples: Vec<Duration>) -> Self {
+        assert!(!samples.is_empty(), "no samples");
+        samples.sort_unstable();
+        let count = samples.len();
+        let total: Duration = samples.iter().sum();
+        let pct = |p: f64| samples[(((count - 1) as f64) * p) as usize];
+        LatencyStats {
+            count,
+            avg: total / count as u32,
+            p50: pct(0.50),
+            p99: pct(0.99),
+            max: *samples.last().expect("non-empty"),
+        }
+    }
+}
+
+/// Result of one closed-loop load run.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadResult {
+    /// Successful requests.
+    pub completed: usize,
+    /// Failed/rejected requests.
+    pub failed: usize,
+    /// Wall-clock duration of the run.
+    pub wall: Duration,
+    /// Client-observed latencies.
+    pub latency: LatencyStats,
+}
+
+impl LoadResult {
+    /// Requests per second.
+    pub fn throughput(&self) -> f64 {
+        self.completed as f64 / self.wall.as_secs_f64()
+    }
+}
+
+/// Closed-loop load generator against the Sledge runtime: `concurrency`
+/// client threads each issue requests back-to-back until `total` requests
+/// have been issued (the `ab -c C -n N` model of §5.2).
+pub fn drive_sledge(
+    rt: &Runtime,
+    id: FunctionId,
+    body: &[u8],
+    concurrency: usize,
+    total: usize,
+) -> LoadResult {
+    let issued = Arc::new(AtomicUsize::new(0));
+    let start = Instant::now();
+    let results: Vec<(Vec<Duration>, usize)> = std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for _ in 0..concurrency {
+            let issued = Arc::clone(&issued);
+            let body = body.to_vec();
+            handles.push(s.spawn(move || {
+                let mut lats = Vec::new();
+                let mut failed = 0usize;
+                loop {
+                    if issued.fetch_add(1, Ordering::Relaxed) >= total {
+                        break;
+                    }
+                    let t0 = Instant::now();
+                    match rt.invoke(id, body.clone()).wait() {
+                        Some(c) if matches!(c.outcome, Outcome::Success(_)) => {
+                            lats.push(t0.elapsed());
+                        }
+                        _ => failed += 1,
+                    }
+                }
+                (lats, failed)
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("client")).collect()
+    });
+    let wall = start.elapsed();
+    let mut all = Vec::new();
+    let mut failed = 0;
+    for (lats, f) in results {
+        all.extend(lats);
+        failed += f;
+    }
+    LoadResult {
+        completed: all.len(),
+        failed,
+        wall,
+        latency: LatencyStats::from_samples(all),
+    }
+}
+
+/// Closed-loop load generator against the Nuclio-style process baseline.
+pub fn drive_baseline(
+    pool: &ProcessPool,
+    function: &str,
+    body: &[u8],
+    concurrency: usize,
+    total: usize,
+) -> LoadResult {
+    let issued = Arc::new(AtomicUsize::new(0));
+    let start = Instant::now();
+    let results: Vec<(Vec<Duration>, usize)> = std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for _ in 0..concurrency {
+            let issued = Arc::clone(&issued);
+            let body = body.to_vec();
+            handles.push(s.spawn(move || {
+                let mut lats = Vec::new();
+                let mut failed = 0usize;
+                loop {
+                    if issued.fetch_add(1, Ordering::Relaxed) >= total {
+                        break;
+                    }
+                    let t0 = Instant::now();
+                    match pool.invoke(function, body.clone()).wait() {
+                        Some(c) if c.ok => lats.push(t0.elapsed()),
+                        _ => failed += 1,
+                    }
+                }
+                (lats, failed)
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("client")).collect()
+    });
+    let wall = start.elapsed();
+    let mut all = Vec::new();
+    let mut failed = 0;
+    for (lats, f) in results {
+        all.extend(lats);
+        failed += f;
+    }
+    LoadResult {
+        completed: all.len(),
+        failed,
+        wall,
+        latency: LatencyStats::from_samples(all),
+    }
+}
+
+/// Register all application natives in a baseline function table; binaries
+/// driving [`ProcessPool`] must call this and
+/// [`sledge_baseline::worker_child_main`] first thing in `main`.
+pub fn baseline_function_table() -> FunctionTable {
+    let mut t = FunctionTable::new();
+    for app in sledge_apps::all_apps() {
+        t.register(app.name, app.native);
+    }
+    t
+}
+
+/// Number of requests per measurement point. The paper uses 10 k; the
+/// default here is reduced so the full suite completes quickly. Set
+/// `SLEDGE_BENCH_FULL=1` for paper-scale runs.
+pub fn requests_per_point(default_quick: usize, full: usize) -> usize {
+    if std::env::var("SLEDGE_BENCH_FULL").is_ok_and(|v| v == "1") {
+        full
+    } else {
+        default_quick
+    }
+}
+
+/// Print a duration in adaptive units, as the paper's tables do.
+pub fn fmt_dur(d: Duration) -> String {
+    let us = d.as_secs_f64() * 1e6;
+    if us < 1000.0 {
+        format!("{us:.1}µs")
+    } else if us < 1_000_000.0 {
+        format!("{:.2}ms", us / 1000.0)
+    } else {
+        format!("{:.3}s", us / 1e6)
+    }
+}
+
+/// Geometric mean of positive values.
+pub fn geomean(values: &[f64]) -> f64 {
+    let s: f64 = values.iter().map(|v| v.ln()).sum();
+    (s / values.len() as f64).exp()
+}
+
+/// Arithmetic mean.
+pub fn mean(values: &[f64]) -> f64 {
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Population standard deviation.
+pub fn stddev(values: &[f64]) -> f64 {
+    let m = mean(values);
+    (values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_stats_percentiles() {
+        let samples: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        let s = LatencyStats::from_samples(samples);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50, Duration::from_millis(50));
+        assert_eq!(s.p99, Duration::from_millis(99));
+        assert_eq!(s.max, Duration::from_millis(100));
+        assert_eq!(s.avg, Duration::from_micros(50500));
+    }
+
+    #[test]
+    fn aggregate_helpers() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert!((stddev(&[2.0, 2.0])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fmt_dur_units() {
+        assert_eq!(fmt_dur(Duration::from_micros(500)), "500.0µs");
+        assert_eq!(fmt_dur(Duration::from_millis(12)), "12.00ms");
+        assert_eq!(fmt_dur(Duration::from_secs(2)), "2.000s");
+    }
+}

@@ -1,0 +1,81 @@
+//! `sledged` — the standalone Sledge server: load a JSON configuration
+//! naming `.wasm` modules (as the paper's runtime does), bind the HTTP
+//! front end, and serve until killed.
+//!
+//! Usage: `sledged <config.json> [listen-addr]`
+//!
+//! Config format (paths are relative to the config file):
+//!
+//! ```json
+//! {
+//!   "workers": 4,
+//!   "quantum_us": 5000,
+//!   "bounds": "vm-guard",
+//!   "modules": [
+//!     {"name": "echo", "wasm": "echo.wasm", "route": "/echo"}
+//!   ]
+//! }
+//! ```
+
+use sledge_core::{parse_json, FunctionConfig, Json, Runtime, RuntimeConfig};
+use std::net::SocketAddr;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(config_path) = args.get(1) else {
+        eprintln!("usage: sledged <config.json> [listen-addr]");
+        std::process::exit(2);
+    };
+    let listen: SocketAddr = args
+        .get(2)
+        .map(String::as_str)
+        .unwrap_or("127.0.0.1:8080")
+        .parse()?;
+
+    let text = std::fs::read_to_string(config_path)?;
+    let (config, functions) = RuntimeConfig::from_json(&text)?;
+    let base = std::path::Path::new(config_path)
+        .parent()
+        .unwrap_or_else(|| std::path::Path::new("."))
+        .to_path_buf();
+
+    // Re-parse to pull each module's "wasm" path (FunctionConfig carries the
+    // runtime-facing fields; the binary location is sledged's concern).
+    let doc = parse_json(&text)?;
+    let module_paths: Vec<Option<String>> = doc
+        .get("modules")
+        .and_then(Json::as_array)
+        .map(|mods| {
+            mods.iter()
+                .map(|m| m.get("wasm").and_then(Json::as_str).map(str::to_string))
+                .collect()
+        })
+        .unwrap_or_default();
+
+    let rt = Runtime::with_http(config, listen)?;
+    let mut loaded = 0usize;
+    for (fc, wasm_rel) in functions.into_iter().zip(module_paths) {
+        let Some(rel) = wasm_rel else {
+            eprintln!("module {:?}: missing \"wasm\" path, skipping", fc.name);
+            continue;
+        };
+        let path = base.join(rel);
+        let bytes = std::fs::read(&path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let route = fc.http_route();
+        let name = fc.name.clone();
+        rt.register_wasm(FunctionConfig { ..fc }, &bytes)
+            .map_err(|e| format!("registering {name}: {e}"))?;
+        println!("loaded {:<12} {:>8} bytes  ->  POST {route}", name, bytes.len());
+        loaded += 1;
+    }
+
+    println!(
+        "sledged serving on http://{} ({loaded} functions)",
+        rt.http_addr().expect("http bound"),
+    );
+    println!("Ctrl-C to stop.");
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

@@ -1,0 +1,290 @@
+//! Runtime and per-function configuration, loadable from the JSON format
+//! the paper's runtime uses.
+
+use crate::json::{Json, JsonError};
+use awsm::{BoundsStrategy, Tier};
+use std::error::Error;
+use std::fmt;
+use std::time::Duration;
+
+/// Whole-runtime configuration.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Number of worker cores (threads). The listener runs on its own
+    /// thread, matching the paper's dedicated listener core.
+    pub workers: usize,
+    /// Preemption time slice (the paper uses 5 ms).
+    pub quantum: Duration,
+    /// Fuel budget per dispatch; the coarse-grained backstop under the
+    /// timer-driven preemption.
+    pub quantum_fuel: u64,
+    /// Admission limit: pending (not yet executing) requests beyond this
+    /// are rejected with 503.
+    pub max_pending: usize,
+    /// Largest accepted HTTP request (head + body).
+    pub max_request_size: usize,
+    /// Default bounds strategy for new sandboxes.
+    pub bounds: BoundsStrategy,
+    /// Engine tier.
+    pub tier: Tier,
+    /// Worker scheduling policy (preemptive RR is the paper's design; run-
+    /// to-completion exists as the ablation point §3.4 argues against).
+    pub policy: SchedPolicy,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            workers: num_cpus(),
+            quantum: Duration::from_millis(5),
+            quantum_fuel: 4_000_000,
+            max_pending: 8192,
+            max_request_size: 4 << 20,
+            bounds: BoundsStrategy::GuardRegion,
+            tier: Tier::Optimized,
+            policy: SchedPolicy::PreemptiveRr,
+        }
+    }
+}
+
+/// How workers schedule sandboxes on their core-local run queues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedPolicy {
+    /// Preemptive round-robin with the configured quantum — the paper's
+    /// serverless-first design, providing temporal isolation.
+    #[default]
+    PreemptiveRr,
+    /// Run each sandbox to completion (cooperative only at blocking I/O) —
+    /// the model the paper's §3.4 argues is unsafe for untrusted,
+    /// potentially unbounded computations. Kept as an ablation.
+    RunToCompletion,
+}
+
+/// Best-effort CPU count without external crates.
+pub fn num_cpus() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+/// Per-function (module) configuration.
+#[derive(Debug, Clone)]
+pub struct FunctionConfig {
+    /// Function name, also the default HTTP route (`/name`).
+    pub name: String,
+    /// HTTP route override.
+    pub route: Option<String>,
+    /// Exported entry point (default `"main"`).
+    pub entry: String,
+    /// Expected argument values for the entry point (most functions take
+    /// none and communicate via the request body).
+    pub args: Vec<awsm::Value>,
+}
+
+impl FunctionConfig {
+    /// Configuration with defaults for `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        FunctionConfig {
+            name: name.into(),
+            route: None,
+            entry: "main".into(),
+            args: Vec::new(),
+        }
+    }
+
+    /// The HTTP route this function serves.
+    pub fn http_route(&self) -> String {
+        self.route
+            .clone()
+            .unwrap_or_else(|| format!("/{}", self.name))
+    }
+}
+
+/// Error loading configuration.
+#[derive(Debug)]
+pub enum ConfigError {
+    /// JSON syntax error.
+    Json(JsonError),
+    /// Structurally valid JSON with missing/mistyped fields.
+    Schema(String),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::Json(e) => write!(f, "{e}"),
+            ConfigError::Schema(s) => write!(f, "config schema error: {s}"),
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+impl From<JsonError> for ConfigError {
+    fn from(e: JsonError) -> Self {
+        ConfigError::Json(e)
+    }
+}
+
+impl RuntimeConfig {
+    /// Parse a runtime configuration from the JSON format:
+    ///
+    /// ```json
+    /// {
+    ///   "workers": 15,
+    ///   "quantum_us": 5000,
+    ///   "max_pending": 8192,
+    ///   "bounds": "vm-guard",
+    ///   "tier": "aot-opt",
+    ///   "modules": [ {"name": "echo", "route": "/echo", "entry": "main"} ]
+    /// }
+    /// ```
+    ///
+    /// Returns the runtime config plus the declared function configs (the
+    /// module binaries themselves are registered programmatically).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for syntax or schema problems.
+    pub fn from_json(text: &str) -> Result<(RuntimeConfig, Vec<FunctionConfig>), ConfigError> {
+        let v = crate::json::parse(text)?;
+        let mut cfg = RuntimeConfig::default();
+        if let Some(w) = v.get("workers") {
+            cfg.workers = w
+                .as_u64()
+                .ok_or_else(|| ConfigError::Schema("workers must be a non-negative int".into()))?
+                as usize;
+        }
+        if let Some(q) = v.get("quantum_us") {
+            cfg.quantum = Duration::from_micros(
+                q.as_u64()
+                    .ok_or_else(|| ConfigError::Schema("quantum_us must be an int".into()))?,
+            );
+        }
+        if let Some(q) = v.get("quantum_fuel") {
+            cfg.quantum_fuel = q
+                .as_u64()
+                .ok_or_else(|| ConfigError::Schema("quantum_fuel must be an int".into()))?;
+        }
+        if let Some(p) = v.get("max_pending") {
+            cfg.max_pending = p
+                .as_u64()
+                .ok_or_else(|| ConfigError::Schema("max_pending must be an int".into()))?
+                as usize;
+        }
+        if let Some(s) = v.get("max_request_size") {
+            cfg.max_request_size = s
+                .as_u64()
+                .ok_or_else(|| ConfigError::Schema("max_request_size must be an int".into()))?
+                as usize;
+        }
+        if let Some(b) = v.get("bounds") {
+            cfg.bounds = match b.as_str() {
+                Some("no-checks") => BoundsStrategy::None,
+                Some("bounds-chk") => BoundsStrategy::Software,
+                Some("mpx") => BoundsStrategy::MpxEmulated,
+                Some("vm-guard") => BoundsStrategy::GuardRegion,
+                other => {
+                    return Err(ConfigError::Schema(format!(
+                        "unknown bounds strategy {other:?}"
+                    )))
+                }
+            };
+        }
+        if let Some(t) = v.get("tier") {
+            cfg.tier = match t.as_str() {
+                Some("aot-opt") => Tier::Optimized,
+                Some("aot-naive") => Tier::Naive,
+                other => return Err(ConfigError::Schema(format!("unknown tier {other:?}"))),
+            };
+        }
+        if let Some(pl) = v.get("policy") {
+            cfg.policy = match pl.as_str() {
+                Some("preemptive-rr") => SchedPolicy::PreemptiveRr,
+                Some("run-to-completion") => SchedPolicy::RunToCompletion,
+                other => return Err(ConfigError::Schema(format!("unknown policy {other:?}"))),
+            };
+        }
+        let mut funcs = Vec::new();
+        if let Some(mods) = v.get("modules") {
+            let arr = mods
+                .as_array()
+                .ok_or_else(|| ConfigError::Schema("modules must be an array".into()))?;
+            for m in arr {
+                funcs.push(parse_function(m)?);
+            }
+        }
+        Ok((cfg, funcs))
+    }
+}
+
+fn parse_function(m: &Json) -> Result<FunctionConfig, ConfigError> {
+    let name = m
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ConfigError::Schema("module missing \"name\"".into()))?;
+    let mut f = FunctionConfig::new(name);
+    if let Some(r) = m.get("route") {
+        f.route = Some(
+            r.as_str()
+                .ok_or_else(|| ConfigError::Schema("route must be a string".into()))?
+                .to_string(),
+        );
+    }
+    if let Some(e) = m.get("entry") {
+        f.entry = e
+            .as_str()
+            .ok_or_else(|| ConfigError::Schema("entry must be a string".into()))?
+            .to_string();
+    }
+    Ok(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_config_roundtrip() {
+        let text = r#"{
+            "workers": 15,
+            "quantum_us": 5000,
+            "quantum_fuel": 123456,
+            "max_pending": 64,
+            "max_request_size": 1048576,
+            "bounds": "bounds-chk",
+            "tier": "aot-naive",
+            "modules": [
+                {"name": "echo"},
+                {"name": "ekf", "route": "/gps", "entry": "run"}
+            ]
+        }"#;
+        let (cfg, funcs) = RuntimeConfig::from_json(text).unwrap();
+        assert_eq!(cfg.workers, 15);
+        assert_eq!(cfg.quantum, Duration::from_millis(5));
+        assert_eq!(cfg.quantum_fuel, 123456);
+        assert_eq!(cfg.max_pending, 64);
+        assert_eq!(cfg.bounds, BoundsStrategy::Software);
+        assert_eq!(cfg.tier, Tier::Naive);
+        assert_eq!(funcs.len(), 2);
+        assert_eq!(funcs[0].http_route(), "/echo");
+        assert_eq!(funcs[1].http_route(), "/gps");
+        assert_eq!(funcs[1].entry, "run");
+    }
+
+    #[test]
+    fn defaults_applied() {
+        let (cfg, funcs) = RuntimeConfig::from_json("{}").unwrap();
+        assert!(cfg.workers >= 1);
+        assert_eq!(cfg.quantum, Duration::from_millis(5));
+        assert!(funcs.is_empty());
+    }
+
+    #[test]
+    fn schema_errors() {
+        assert!(RuntimeConfig::from_json(r#"{"workers": "x"}"#).is_err());
+        assert!(RuntimeConfig::from_json(r#"{"bounds": "bogus"}"#).is_err());
+        assert!(RuntimeConfig::from_json(r#"{"modules": [{}]}"#).is_err());
+        assert!(RuntimeConfig::from_json("{").is_err());
+    }
+}

@@ -1,0 +1,350 @@
+//! A minimal JSON parser for the runtime's configuration files.
+//!
+//! The paper's runtime loads its module table from a JSON-based
+//! configuration file; this module provides just enough JSON (objects,
+//! arrays, strings, numbers, booleans, null, escapes) to support that,
+//! without adding a dependency.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Json>),
+    Object(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Member lookup for objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// String payload.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload as u64 (rejects negatives and fractions).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Number(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// Bool payload.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Array payload.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+/// JSON parse error with byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the error.
+    pub offset: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl Error for JsonError {}
+
+struct Parser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, m: impl Into<String>) -> JsonError {
+        JsonError {
+            offset: self.i,
+            message: m.into(),
+        }
+    }
+
+    fn ws(&mut self) {
+        while let Some(&c) = self.s.get(self.i) {
+            if matches!(c, b' ' | b'\t' | b'\n' | b'\r') {
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.s.get(self.i).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {:?}", c as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        self.ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::String(self.string()?)),
+            Some(b't') => self.lit("true", Json::Bool(true)),
+            Some(b'f') => self.lit("false", Json::Bool(false)),
+            Some(b'n') => self.lit("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.err(format!("unexpected byte {:?}", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Json) -> Result<Json, JsonError> {
+        if self.s[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(format!("expected {word}")))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.eat(b'{')?;
+        let mut map = BTreeMap::new();
+        self.ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(Json::Object(map));
+        }
+        loop {
+            self.ws();
+            let key = self.string()?;
+            self.ws();
+            self.eat(b':')?;
+            let val = self.value()?;
+            map.insert(key, val);
+            self.ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.i += 1;
+                }
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Json::Object(map));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.i += 1;
+                }
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    let c = self.peek().ok_or_else(|| self.err("bad escape"))?;
+                    self.i += 1;
+                    match c {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .s
+                                .get(self.i..self.i + 4)
+                                .ok_or_else(|| self.err("short \\u escape"))?;
+                            let code = u16::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| self.err("non-utf8 \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| self.err("bad \\u escape"))?;
+                            self.i += 4;
+                            out.push(
+                                char::from_u32(code as u32)
+                                    .ok_or_else(|| self.err("invalid codepoint"))?,
+                            );
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(c) => {
+                    // Accumulate a UTF-8 run.
+                    let start = self.i;
+                    let mut end = self.i;
+                    while end < self.s.len() && self.s[end] != b'"' && self.s[end] != b'\\' {
+                        end += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.s[start..end])
+                        .map_err(|_| self.err("invalid utf-8 in string"))?;
+                    out.push_str(chunk);
+                    self.i = end;
+                    let _ = c;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.i;
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.i += 1;
+        }
+        let text = std::str::from_utf8(&self.s[start..self.i]).expect("ascii");
+        text.parse::<f64>()
+            .map(Json::Number)
+            .map_err(|_| self.err(format!("bad number {text:?}")))
+    }
+}
+
+/// Parse a complete JSON document.
+///
+/// # Errors
+///
+/// Returns [`JsonError`] with the byte offset of the first problem,
+/// including trailing garbage after the document.
+pub fn parse(input: &str) -> Result<Json, JsonError> {
+    let mut p = Parser {
+        s: input.as_bytes(),
+        i: 0,
+    };
+    let v = p.value()?;
+    p.ws();
+    if p.i != p.s.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_document() {
+        let doc = r#"
+        {
+            "workers": 4,
+            "quantum_us": 5000.0,
+            "modules": [
+                {"name": "echo", "route": "/echo", "active": true},
+                {"name": "ekf", "route": "/ekf", "weights": [1.5, -2, 3e2]}
+            ],
+            "note": "tab\t and \"quotes\" and A"
+        }"#;
+        let v = parse(doc).unwrap();
+        assert_eq!(v.get("workers").unwrap().as_u64(), Some(4));
+        assert_eq!(v.get("quantum_us").unwrap().as_f64(), Some(5000.0));
+        let mods = v.get("modules").unwrap().as_array().unwrap();
+        assert_eq!(mods.len(), 2);
+        assert_eq!(mods[0].get("name").unwrap().as_str(), Some("echo"));
+        assert_eq!(mods[0].get("active").unwrap().as_bool(), Some(true));
+        assert_eq!(
+            mods[1].get("weights").unwrap().as_array().unwrap()[2].as_f64(),
+            Some(300.0)
+        );
+        assert_eq!(
+            v.get("note").unwrap().as_str(),
+            Some("tab\t and \"quotes\" and A")
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{\"a\" 1}").is_err());
+        assert!(parse("123 456").is_err());
+        assert!(parse("\"unterminated").is_err());
+        assert!(parse("nul").is_err());
+    }
+
+    #[test]
+    fn numbers_and_negatives() {
+        assert_eq!(parse("-12.5").unwrap().as_f64(), Some(-12.5));
+        assert_eq!(parse("0").unwrap().as_u64(), Some(0));
+        assert_eq!(parse("-1").unwrap().as_u64(), None);
+        assert_eq!(parse("1.5").unwrap().as_u64(), None);
+    }
+}

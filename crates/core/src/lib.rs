@@ -1,0 +1,322 @@
+//! The Sledge serverless-first runtime: a single-process, multi-tenant
+//! function runtime with work-stealing load balancing and preemptive
+//! user-level round-robin scheduling, reproducing the system described in
+//! *"Sledge: a Serverless-first, Light-weight Wasm Runtime for the Edge"*
+//! (Middleware '20).
+//!
+//! Architecture (the paper's Figure 4):
+//!
+//! * A **listener thread** accepts requests (from in-process [`Runtime::invoke`]
+//!   calls and/or an HTTP front end), instantiates a sandbox per request
+//!   (the µs-level startup path — the module was linked/loaded once at
+//!   registration), applies admission control, and pushes sandboxes onto the
+//!   **global work-stealing deque**.
+//! * **N worker threads** steal sandboxes, keep core-local run queues, and
+//!   schedule them with **preemptive round-robin** (default 5 ms quantum,
+//!   enforced by a timer thread through per-sandbox preempt flags).
+//! * Sandboxes that block on (emulated) asynchronous I/O park on the
+//!   worker's core-local event set and are woken by the worker's idle loop —
+//!   the libuv-analogue.
+//!
+//! # Examples
+//!
+//! ```
+//! use sledge_core::{Runtime, RuntimeConfig, FunctionConfig, Outcome};
+//! use sledge_guestc::{dsl::*, FuncBuilder, ModuleBuilder};
+//! use sledge_wasm::types::ValType;
+//!
+//! // A guest that echoes its request body.
+//! let mut mb = ModuleBuilder::new("echo");
+//! mb.memory(2, Some(16));
+//! let req_len = mb.import_func("env", "request_len", &[], Some(ValType::I32));
+//! let req_read = mb.import_func("env", "request_read",
+//!     &[ValType::I32, ValType::I32, ValType::I32], Some(ValType::I32));
+//! let resp_write = mb.import_func("env", "response_write",
+//!     &[ValType::I32, ValType::I32], Some(ValType::I32));
+//! let mut f = FuncBuilder::new(&[], Some(ValType::I32));
+//! let n = f.local(ValType::I32);
+//! f.extend([
+//!     set(n, call(req_len, vec![])),
+//!     exec(call(req_read, vec![i32c(0), local(n), i32c(0)])),
+//!     exec(call(resp_write, vec![i32c(0), local(n)])),
+//!     ret(Some(i32c(0))),
+//! ]);
+//! let main = mb.add_func("main", f);
+//! mb.export_func(main, "main");
+//! let module = mb.build()?;
+//!
+//! let rt = Runtime::new(RuntimeConfig { workers: 2, ..Default::default() });
+//! let id = rt.register_module(FunctionConfig::new("echo"), &module)?;
+//! let done = rt.invoke(id, &b"hello edge"[..]).wait().unwrap();
+//! assert!(matches!(done.outcome, Outcome::Success(ref b) if b == b"hello edge"));
+//! rt.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod config;
+mod json;
+mod listener;
+mod registry;
+mod sandbox;
+mod stats;
+mod worker;
+
+pub use config::{num_cpus, ConfigError, FunctionConfig, RuntimeConfig, SchedPolicy};
+pub use json::{parse as parse_json, Json, JsonError};
+pub use listener::AnyResponder;
+pub use registry::{FunctionId, RegisterError, RegisteredFunction, Registry};
+pub use sandbox::{Completion, Outcome, Sandbox, SandboxHost, Timings};
+pub use stats::{FunctionStats, FunctionStatsSnapshot, RuntimeStats, StatsSnapshot};
+
+use bytes::Bytes;
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use listener::Intake;
+use parking_lot::RwLock;
+use sledge_http::PollServer;
+use std::io;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// State shared between the listener, workers, and timer.
+pub(crate) struct Shared {
+    pub config: RuntimeConfig,
+    pub registry: RwLock<Registry>,
+    pub stats: RuntimeStats,
+    pub epoch: Instant,
+    pub shutdown: AtomicBool,
+    /// Sandboxes injected but not yet picked up by a worker.
+    pub pending: AtomicUsize,
+}
+
+/// Handle to a single in-flight invocation.
+#[derive(Debug)]
+pub struct InvocationHandle {
+    rx: Receiver<Completion>,
+}
+
+impl InvocationHandle {
+    /// Block until the function completes. Returns `None` if the runtime
+    /// shut down before the request finished.
+    pub fn wait(self) -> Option<Completion> {
+        self.rx.recv().ok()
+    }
+
+    /// Block with a timeout.
+    pub fn wait_timeout(&self, dur: std::time::Duration) -> Option<Completion> {
+        self.rx.recv_timeout(dur).ok()
+    }
+}
+
+/// The Sledge runtime. See the crate docs for the architecture.
+pub struct Runtime {
+    shared: Arc<Shared>,
+    intake: Sender<Intake>,
+    threads: Vec<JoinHandle<()>>,
+    http_addr: Option<SocketAddr>,
+}
+
+impl Runtime {
+    /// Start a runtime with in-process intake only.
+    pub fn new(config: RuntimeConfig) -> Runtime {
+        Self::build(config, None).expect("no I/O is involved without HTTP")
+    }
+
+    /// Start a runtime that additionally serves HTTP on `addr` (use port 0
+    /// for an ephemeral port, then read [`Runtime::http_addr`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from binding.
+    pub fn with_http(config: RuntimeConfig, addr: SocketAddr) -> io::Result<Runtime> {
+        Self::build(config, Some(addr))
+    }
+
+    fn build(config: RuntimeConfig, http: Option<SocketAddr>) -> io::Result<Runtime> {
+        let server = match http {
+            Some(addr) => Some(PollServer::bind(addr, config.max_request_size)?),
+            None => None,
+        };
+        let http_addr = match &server {
+            Some(s) => Some(s.local_addr()?),
+            None => None,
+        };
+
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            config,
+            registry: RwLock::new(Registry::new()),
+            stats: RuntimeStats::default(),
+            epoch: Instant::now(),
+            shutdown: AtomicBool::new(false),
+            pending: AtomicUsize::new(0),
+        });
+
+        let (deque, stealer) = sledge_deque::deque::<Box<Sandbox>>();
+        let (intake_tx, intake_rx) = unbounded::<Intake>();
+        let (reply_tx, reply_rx) = unbounded();
+
+        let mut threads = Vec::new();
+        let mut worker_shareds = Vec::new();
+        for i in 0..workers {
+            let ws = Arc::new(worker::WorkerShared::default());
+            worker_shareds.push(Arc::clone(&ws));
+            let shared = Arc::clone(&shared);
+            let stealer = stealer.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("sledge-worker-{i}"))
+                    .spawn(move || worker::worker_loop(shared, ws, stealer))
+                    .expect("spawn worker"),
+            );
+        }
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("sledge-timer".into())
+                    .spawn(move || worker::timer_loop(shared, worker_shareds))
+                    .expect("spawn timer"),
+            );
+        }
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("sledge-listener".into())
+                    .spawn(move || {
+                        listener::listener_loop(
+                            shared,
+                            deque,
+                            intake_rx,
+                            server,
+                            reply_rx,
+                            reply_tx,
+                        )
+                    })
+                    .expect("spawn listener"),
+            );
+        }
+
+        Ok(Runtime {
+            shared,
+            intake: intake_tx,
+            threads,
+            http_addr,
+        })
+    }
+
+    /// The HTTP listen address, if serving HTTP.
+    pub fn http_addr(&self) -> Option<SocketAddr> {
+        self.http_addr
+    }
+
+    /// Register a function from `.wasm` bytes. The heavyweight processing
+    /// (decode, validate, translate) happens here, once per function.
+    ///
+    /// # Errors
+    ///
+    /// See [`RegisterError`].
+    pub fn register_wasm(
+        &self,
+        config: FunctionConfig,
+        wasm: &[u8],
+    ) -> Result<FunctionId, RegisterError> {
+        self.shared
+            .registry
+            .write()
+            .register_wasm(config, wasm, self.shared.config.tier)
+    }
+
+    /// Register a function from an in-memory module.
+    ///
+    /// # Errors
+    ///
+    /// See [`RegisterError`].
+    pub fn register_module(
+        &self,
+        config: FunctionConfig,
+        module: &sledge_wasm::module::Module,
+    ) -> Result<FunctionId, RegisterError> {
+        let size = sledge_wasm::encode::encode_module(module).len();
+        self.shared
+            .registry
+            .write()
+            .register_module(config, module, self.shared.config.tier, size)
+    }
+
+    /// Invoke function `id` with the given request body; returns a handle to
+    /// wait on.
+    pub fn invoke(&self, id: FunctionId, body: impl Into<Bytes>) -> InvocationHandle {
+        let (tx, rx) = bounded(1);
+        let _ = self.intake.send(Intake::Invoke {
+            function: id,
+            body: body.into(),
+            responder: AnyResponder::Channel(tx),
+        });
+        InvocationHandle { rx }
+    }
+
+    /// Fire-and-forget invocation (used by load generators; only the global
+    /// counters observe the result).
+    pub fn invoke_detached(&self, id: FunctionId, body: impl Into<Bytes>) {
+        let _ = self.intake.send(Intake::Invoke {
+            function: id,
+            body: body.into(),
+            responder: AnyResponder::Discard,
+        });
+    }
+
+    /// Look up a function id by name.
+    pub fn function_by_name(&self, name: &str) -> Option<FunctionId> {
+        self.shared.registry.read().by_name(name).map(|rf| rf.id)
+    }
+
+    /// Per-function registration info (module sizes etc.).
+    pub fn function_info(&self, id: FunctionId) -> Option<Arc<RegisteredFunction>> {
+        self.shared.registry.read().get(id).cloned()
+    }
+
+    /// Current counter snapshot.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Per-function counter snapshot.
+    pub fn function_stats(&self, id: FunctionId) -> Option<FunctionStatsSnapshot> {
+        self.shared
+            .registry
+            .read()
+            .get(id)
+            .map(|rf| rf.stats.snapshot())
+    }
+
+    /// Number of requests injected but not yet started.
+    pub fn pending(&self) -> usize {
+        self.shared.pending.load(Ordering::Relaxed)
+    }
+
+    /// Stop all threads and drop in-flight work. Waiting invokers receive
+    /// `None` from [`InvocationHandle::wait`].
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        let _ = self.intake.send(Intake::Wake);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        if !self.threads.is_empty() {
+            self.shutdown_inner();
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! The listener core: request intake, sandbox instantiation, admission
+//! control, and load-balancer injection (it is the single owner of the
+//! global work-stealing deque, exactly as in the paper's Figure 4).
+
+use crate::registry::FunctionId;
+use crate::sandbox::{Completion, Outcome, Sandbox, Timings};
+use crate::Shared;
+use awsm::EngineConfig;
+use bytes::Bytes;
+use crossbeam::channel::{Receiver, Sender};
+use sledge_deque::Worker as DequeWorker;
+use sledge_http::{ConnectionEvent, PollServer, Response, StatusCode};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Connection id re-export from the HTTP layer.
+pub type ConnId = u64;
+
+/// Where a completion is delivered.
+pub enum AnyResponder {
+    /// In-process invoker.
+    Channel(Sender<Completion>),
+    /// HTTP client; the worker serializes the response and hands the bytes
+    /// back to the listener thread, which owns the socket.
+    Http {
+        /// Connection to respond on.
+        conn: ConnId,
+        /// Channel back to the listener.
+        reply: Sender<(ConnId, Vec<u8>)>,
+    },
+    /// Fire-and-forget (load generation).
+    Discard,
+}
+
+impl AnyResponder {
+    /// Deliver a completion.
+    pub fn deliver(self, completion: Completion) {
+        match self {
+            AnyResponder::Channel(tx) => {
+                let _ = tx.send(completion);
+            }
+            AnyResponder::Http { conn, reply } => {
+                let resp = match &completion.outcome {
+                    Outcome::Success(body) => Response::ok(body.clone()),
+                    Outcome::Trapped(t) => Response::error(
+                        StatusCode::InternalServerError,
+                        &format!("function trapped: {t}"),
+                    ),
+                    Outcome::Rejected(why) => {
+                        Response::error(StatusCode::ServiceUnavailable, why)
+                    }
+                };
+                let _ = reply.send((conn, resp.to_bytes()));
+            }
+            AnyResponder::Discard => {}
+        }
+    }
+}
+
+/// One intake message to the listener.
+pub(crate) enum Intake {
+    /// In-process invocation.
+    Invoke {
+        function: FunctionId,
+        body: Bytes,
+        responder: AnyResponder,
+    },
+    /// Ask the listener to exit promptly.
+    Wake,
+}
+
+fn reject(shared: &Shared, function: FunctionId, responder: AnyResponder, why: &'static str) {
+    shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+    let now = Instant::now();
+    responder.deliver(Completion {
+        function,
+        outcome: Outcome::Rejected(why),
+        timings: Timings {
+            arrival: now,
+            instantiation: Duration::ZERO,
+            queue_delay: Duration::ZERO,
+            execution: Duration::ZERO,
+            total: Duration::ZERO,
+            preemptions: 0,
+        },
+    });
+}
+
+/// Instantiate and inject one request. Runs on the listener thread.
+fn admit(
+    shared: &Shared,
+    deque: &DequeWorker<Box<Sandbox>>,
+    function: FunctionId,
+    body: Bytes,
+    responder: AnyResponder,
+) {
+    if shared.pending.load(Ordering::Relaxed) >= shared.config.max_pending {
+        reject(shared, function, responder, "admission queue full");
+        return;
+    }
+    let Some(rf) = shared.registry.read().get(function).cloned() else {
+        reject(shared, function, responder, "unknown function");
+        return;
+    };
+    let engine = EngineConfig {
+        bounds: shared.config.bounds,
+        tier: shared.config.tier,
+        ..Default::default()
+    };
+    // The µs-level function startup path: allocate + start.
+    let mut sandbox = match Sandbox::new(rf, engine, body, responder, shared.epoch) {
+        Ok(s) => s,
+        Err(_) => {
+            // Responder was moved into the failed sandbox only on success;
+            // reconstruct a rejection path. (Instantiation failures are
+            // configuration bugs, e.g. data segments out of bounds.)
+            shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+    };
+    if sandbox.start().is_err() {
+        reject(shared, function, sandbox.responder_take(), "bad entry point");
+        return;
+    }
+    shared.stats.record_instantiation(sandbox.instantiation);
+    shared.pending.fetch_add(1, Ordering::Relaxed);
+    deque.push(sandbox);
+}
+
+/// The listener loop. Owns the deque, the intake channel, and (optionally)
+/// the HTTP front end.
+pub(crate) fn listener_loop(
+    shared: Arc<Shared>,
+    deque: DequeWorker<Box<Sandbox>>,
+    intake: Receiver<Intake>,
+    mut http: Option<PollServer>,
+    http_reply: Receiver<(ConnId, Vec<u8>)>,
+    http_reply_tx: Sender<(ConnId, Vec<u8>)>,
+) {
+    loop {
+        let mut worked = false;
+
+        // Drain in-process invocations.
+        while let Ok(msg) = intake.try_recv() {
+            worked = true;
+            match msg {
+                Intake::Invoke {
+                    function,
+                    body,
+                    responder,
+                } => admit(&shared, &deque, function, body, responder),
+                Intake::Wake => {}
+            }
+        }
+
+        // Service the HTTP front end.
+        if let Some(server) = http.as_mut() {
+            // Flush completed responses owned by this thread.
+            while let Ok((conn, bytes)) = http_reply.try_recv() {
+                worked = true;
+                server.send(conn, &bytes);
+            }
+            for ev in server.poll() {
+                worked = true;
+                match ev {
+                    ConnectionEvent::Request(conn, req) => {
+                        let function = shared.registry.read().by_route(&req.path).map(|rf| rf.id);
+                        match function {
+                            Some(id) => admit(
+                                &shared,
+                                &deque,
+                                id,
+                                Bytes::from(req.body),
+                                AnyResponder::Http {
+                                    conn,
+                                    reply: http_reply_tx.clone(),
+                                },
+                            ),
+                            None => {
+                                server.send(
+                                    conn,
+                                    &Response::error(StatusCode::NotFound, "no such function")
+                                        .to_bytes(),
+                                );
+                            }
+                        }
+                    }
+                    ConnectionEvent::Closed(_) => {}
+                }
+            }
+        }
+
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        if !worked {
+            if http.is_some() {
+                // Keep polling the sockets at a modest rate.
+                std::thread::sleep(Duration::from_micros(100));
+            } else {
+                // Block on the intake channel (with a timeout so shutdown is
+                // observed).
+                match intake.recv_timeout(Duration::from_millis(5)) {
+                    Ok(Intake::Invoke {
+                        function,
+                        body,
+                        responder,
+                    }) => admit(&shared, &deque, function, body, responder),
+                    Ok(Intake::Wake) | Err(_) => {}
+                }
+            }
+        }
+    }
+}
+
+impl Sandbox {
+    /// Take the responder out (replacing it with a discard), used on error
+    /// paths where the sandbox is being abandoned.
+    pub(crate) fn responder_take(&mut self) -> AnyResponder {
+        std::mem::replace(&mut self.responder, AnyResponder::Discard)
+    }
+}

@@ -1,0 +1,220 @@
+//! The module registry: where the "heavyweight linking and loading" happens,
+//! once per function, decoupled from per-request instantiation.
+
+use crate::config::FunctionConfig;
+use crate::stats::FunctionStats;
+use awsm::{translate, CompiledModule, Tier, TranslateError};
+use sledge_wasm::module::Module;
+use sledge_wasm::DecodeError;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifier of a registered function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FunctionId(pub(crate) u32);
+
+/// A registered, fully translated function.
+#[derive(Debug)]
+pub struct RegisteredFunction {
+    /// Registry id.
+    pub id: FunctionId,
+    /// Configuration (name, route, entry).
+    pub config: FunctionConfig,
+    /// The shared, immutable translated module.
+    pub module: Arc<CompiledModule>,
+    /// Size of the uploaded `.wasm` binary in bytes.
+    pub wasm_size: usize,
+    /// Per-function counters, updated by the workers.
+    pub stats: FunctionStats,
+}
+
+/// Registration failure.
+#[derive(Debug)]
+pub enum RegisterError {
+    /// The `.wasm` binary failed to decode.
+    Decode(DecodeError),
+    /// The module failed validation/translation.
+    Translate(TranslateError),
+    /// The configured entry point is not an exported function.
+    NoEntry(String),
+    /// A function with this name already exists.
+    DuplicateName(String),
+}
+
+impl fmt::Display for RegisterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegisterError::Decode(e) => write!(f, "{e}"),
+            RegisterError::Translate(e) => write!(f, "{e}"),
+            RegisterError::NoEntry(e) => write!(f, "entry point {e:?} not exported"),
+            RegisterError::DuplicateName(n) => write!(f, "function {n:?} already registered"),
+        }
+    }
+}
+
+impl Error for RegisterError {}
+
+/// Registry of loaded functions, indexed by id, name, and HTTP route.
+#[derive(Debug, Default)]
+pub struct Registry {
+    functions: Vec<Arc<RegisteredFunction>>,
+    by_name: HashMap<String, FunctionId>,
+    by_route: HashMap<String, FunctionId>,
+}
+
+impl Registry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Register a function from raw `.wasm` bytes: decode, validate,
+    /// translate (once), and index it.
+    ///
+    /// # Errors
+    ///
+    /// See [`RegisterError`].
+    pub fn register_wasm(
+        &mut self,
+        config: FunctionConfig,
+        wasm: &[u8],
+        tier: Tier,
+    ) -> Result<FunctionId, RegisterError> {
+        let module = sledge_wasm::decode::decode_module(wasm).map_err(RegisterError::Decode)?;
+        self.register_module(config, &module, tier, wasm.len())
+    }
+
+    /// Register a function from an already-decoded module (used by tests and
+    /// in-process guests that skip the serialization roundtrip).
+    ///
+    /// # Errors
+    ///
+    /// See [`RegisterError`].
+    pub fn register_module(
+        &mut self,
+        config: FunctionConfig,
+        module: &Module,
+        tier: Tier,
+        wasm_size: usize,
+    ) -> Result<FunctionId, RegisterError> {
+        if self.by_name.contains_key(&config.name) {
+            return Err(RegisterError::DuplicateName(config.name.clone()));
+        }
+        let compiled = translate(module, tier).map_err(RegisterError::Translate)?;
+        if compiled.export(&config.entry).is_none() {
+            return Err(RegisterError::NoEntry(config.entry.clone()));
+        }
+        let id = FunctionId(self.functions.len() as u32);
+        let route = config.http_route();
+        let name = config.name.clone();
+        let rf = Arc::new(RegisteredFunction {
+            id,
+            config,
+            module: Arc::new(compiled),
+            wasm_size,
+            stats: FunctionStats::default(),
+        });
+        self.functions.push(rf);
+        self.by_name.insert(name, id);
+        self.by_route.insert(route, id);
+        Ok(id)
+    }
+
+    /// Look up by id.
+    pub fn get(&self, id: FunctionId) -> Option<&Arc<RegisteredFunction>> {
+        self.functions.get(id.0 as usize)
+    }
+
+    /// Look up by function name.
+    pub fn by_name(&self, name: &str) -> Option<&Arc<RegisteredFunction>> {
+        self.by_name.get(name).and_then(|id| self.get(*id))
+    }
+
+    /// Look up by HTTP route.
+    pub fn by_route(&self, route: &str) -> Option<&Arc<RegisteredFunction>> {
+        self.by_route.get(route).and_then(|id| self.get(*id))
+    }
+
+    /// All registered functions.
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<RegisteredFunction>> {
+        self.functions.iter()
+    }
+
+    /// Number of registered functions.
+    pub fn len(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// Whether no functions are registered.
+    pub fn is_empty(&self) -> bool {
+        self.functions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sledge_guestc::dsl::*;
+    use sledge_guestc::{FuncBuilder, ModuleBuilder};
+    use sledge_wasm::types::ValType;
+
+    fn tiny_module(name: &str) -> Module {
+        let mut mb = ModuleBuilder::new(name);
+        let mut f = FuncBuilder::new(&[], Some(ValType::I32));
+        f.push(ret(Some(i32c(7))));
+        let main = mb.add_func("main", f);
+        mb.export_func(main, "main");
+        mb.build().unwrap()
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut r = Registry::new();
+        let m = tiny_module("seven");
+        let wasm = sledge_wasm::encode::encode_module(&m);
+        let id = r
+            .register_wasm(FunctionConfig::new("seven"), &wasm, Tier::Optimized)
+            .unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.get(id).unwrap().config.name, "seven");
+        assert!(r.by_name("seven").is_some());
+        assert!(r.by_route("/seven").is_some());
+        assert!(r.by_name("eight").is_none());
+        assert_eq!(r.get(id).unwrap().wasm_size, wasm.len());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut r = Registry::new();
+        let m = tiny_module("dup");
+        r.register_module(FunctionConfig::new("dup"), &m, Tier::Optimized, 0)
+            .unwrap();
+        assert!(matches!(
+            r.register_module(FunctionConfig::new("dup"), &m, Tier::Optimized, 0),
+            Err(RegisterError::DuplicateName(_))
+        ));
+    }
+
+    #[test]
+    fn missing_entry_rejected() {
+        let mut r = Registry::new();
+        let m = tiny_module("f");
+        let mut cfg = FunctionConfig::new("f");
+        cfg.entry = "not_main".into();
+        assert!(matches!(
+            r.register_module(cfg, &m, Tier::Optimized, 0),
+            Err(RegisterError::NoEntry(_))
+        ));
+    }
+
+    #[test]
+    fn bad_wasm_rejected() {
+        let mut r = Registry::new();
+        assert!(matches!(
+            r.register_wasm(FunctionConfig::new("x"), b"garbage", Tier::Optimized),
+            Err(RegisterError::Decode(_))
+        ));
+    }
+}

@@ -1,0 +1,241 @@
+//! Sandboxes: one per request, created by the listener, executed by workers.
+//!
+//! A sandbox couples an `awsm::Instance` with the request body, the response
+//! buffer, and the host-call surface the guest sees (the paper's
+//! stdin/stdout-over-HTTP plus asynchronous I/O).
+
+use crate::registry::{FunctionId, RegisteredFunction};
+use awsm::{
+    EngineConfig, Host, HostImport, HostOutcome, Instance, InstanceError, LinearMemory,
+    StepResult, Trap,
+};
+use bytes::Bytes;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a request finished.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// Guest returned; body is the guest's stdout.
+    Success(Vec<u8>),
+    /// Guest trapped.
+    Trapped(Trap),
+    /// Request rejected before execution (admission control or routing).
+    Rejected(&'static str),
+}
+
+/// Timing record for one request, used by the benchmark harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Timings {
+    /// When the request was accepted by the listener.
+    pub arrival: Instant,
+    /// Sandbox allocation (instantiation) time.
+    pub instantiation: Duration,
+    /// Time from arrival to first execution on a worker.
+    pub queue_delay: Duration,
+    /// Accumulated guest execution time.
+    pub execution: Duration,
+    /// Arrival → response completion.
+    pub total: Duration,
+    /// Number of times the sandbox was preempted.
+    pub preemptions: u32,
+}
+
+/// The completed response delivered to the invoker.
+#[derive(Debug)]
+pub struct Completion {
+    /// Which function ran.
+    pub function: FunctionId,
+    /// Result.
+    pub outcome: Outcome,
+    /// Timings.
+    pub timings: Timings,
+}
+
+/// The host-call surface one sandbox sees.
+#[derive(Debug)]
+pub struct SandboxHost {
+    /// Request body ("stdin").
+    pub request: Bytes,
+    /// Response buffer ("stdout").
+    pub response: Vec<u8>,
+    /// Monotonic epoch for `clock_ns`.
+    pub epoch: Instant,
+    /// Deadline for an in-flight emulated async I/O (`io_delay`).
+    pub io_deadline: Option<Instant>,
+    /// Total host calls serviced (for tests/metrics).
+    pub calls: u64,
+}
+
+impl SandboxHost {
+    fn new(request: Bytes, epoch: Instant) -> Self {
+        SandboxHost {
+            request,
+            response: Vec::new(),
+            epoch,
+            io_deadline: None,
+            calls: 0,
+        }
+    }
+}
+
+impl Host for SandboxHost {
+    fn call(
+        &mut self,
+        _idx: u32,
+        import: &HostImport,
+        args: &[u64],
+        memory: &mut LinearMemory,
+    ) -> HostOutcome {
+        self.calls += 1;
+        if import.module != "env" {
+            return HostOutcome::Trap(Trap::Unreachable);
+        }
+        match import.name.as_str() {
+            // i32 request_len()
+            "request_len" => HostOutcome::Value(self.request.len() as u32 as u64),
+            // i32 request_read(dst: i32, len: i32, src_off: i32)
+            "request_read" => {
+                let dst = args[0] as u32;
+                let len = args[1] as u32 as usize;
+                let off = args[2] as u32 as usize;
+                if off >= self.request.len() {
+                    return HostOutcome::Value(0);
+                }
+                let n = len.min(self.request.len() - off);
+                match memory.write_bytes(dst, &self.request[off..off + n]) {
+                    Ok(()) => HostOutcome::Value(n as u64),
+                    Err(t) => HostOutcome::Trap(t),
+                }
+            }
+            // i32 response_write(src: i32, len: i32)
+            "response_write" => {
+                let src = args[0] as u32;
+                let len = args[1] as u32;
+                match memory.read_bytes(src, len) {
+                    Ok(bytes) => {
+                        self.response.extend_from_slice(bytes);
+                        HostOutcome::Value(len as u64)
+                    }
+                    Err(t) => HostOutcome::Trap(t),
+                }
+            }
+            // i64 clock_ns()
+            "clock_ns" => {
+                HostOutcome::Value(self.epoch.elapsed().as_nanos() as u64)
+            }
+            // i32 io_delay(micros: i32) — emulated asynchronous I/O: the
+            // first call arms a deadline and blocks; re-issues complete once
+            // the deadline passes.
+            "io_delay" => match self.io_deadline {
+                None => {
+                    let micros = args[0] as u32 as u64;
+                    self.io_deadline = Some(Instant::now() + Duration::from_micros(micros));
+                    HostOutcome::Pending
+                }
+                Some(d) => {
+                    if Instant::now() >= d {
+                        self.io_deadline = None;
+                        HostOutcome::Value(0)
+                    } else {
+                        HostOutcome::Pending
+                    }
+                }
+            },
+            _ => HostOutcome::Trap(Trap::Unreachable),
+        }
+    }
+}
+
+/// A request in execution: instance + host + bookkeeping.
+pub struct Sandbox {
+    /// The function being run.
+    pub function: Arc<RegisteredFunction>,
+    /// The engine instance.
+    pub instance: Instance,
+    /// Host surface.
+    pub host: SandboxHost,
+    /// Where the completion goes.
+    pub responder: crate::listener::AnyResponder,
+    /// Timing bookkeeping.
+    pub arrival: Instant,
+    /// Instantiation cost (measured by the listener).
+    pub instantiation: Duration,
+    /// First time a worker started running this sandbox.
+    pub first_run: Option<Instant>,
+    /// Accumulated execution time.
+    pub exec_time: Duration,
+    /// Preemption count.
+    pub preemptions: u32,
+}
+
+impl Sandbox {
+    /// Allocate a sandbox for `function` with the given request body — the
+    /// paper's µs-level function startup path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`InstanceError`] (e.g. data segments out of bounds).
+    pub fn new(
+        function: Arc<RegisteredFunction>,
+        engine: EngineConfig,
+        body: Bytes,
+        responder: crate::listener::AnyResponder,
+        epoch: Instant,
+    ) -> Result<Box<Sandbox>, InstanceError> {
+        let arrival = Instant::now();
+        let instance = Instance::new(Arc::clone(&function.module), engine)?;
+        let instantiation = arrival.elapsed();
+        Ok(Box::new(Sandbox {
+            function,
+            instance,
+            host: SandboxHost::new(body, epoch),
+            responder,
+            arrival,
+            instantiation,
+            first_run: None,
+            exec_time: Duration::ZERO,
+            preemptions: 0,
+        }))
+    }
+
+    /// Start the entry function. Must be called once before `run_quantum`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`InstanceError`] (unknown entry, arity mismatch).
+    pub fn start(&mut self) -> Result<(), InstanceError> {
+        let entry = self.function.config.entry.clone();
+        let args = self.function.config.args.clone();
+        self.instance.invoke_export(&entry, &args)
+    }
+
+    /// Run one scheduling quantum; updates accounting.
+    pub fn run_quantum(&mut self, fuel: u64) -> StepResult {
+        let started = Instant::now();
+        if self.first_run.is_none() {
+            self.first_run = Some(started);
+        }
+        let r = self.instance.run(&mut self.host, fuel);
+        self.exec_time += started.elapsed();
+        if matches!(r, StepResult::Preempted) {
+            self.preemptions += 1;
+        }
+        r
+    }
+
+    /// Build the final timing record.
+    pub fn timings(&self, now: Instant) -> Timings {
+        Timings {
+            arrival: self.arrival,
+            instantiation: self.instantiation,
+            queue_delay: self
+                .first_run
+                .map(|f| f.duration_since(self.arrival))
+                .unwrap_or_default(),
+            execution: self.exec_time,
+            total: now.duration_since(self.arrival),
+            preemptions: self.preemptions,
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Global runtime counters, exported for tests, examples, and benchmarks.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Monotonic counters updated by the listener and workers.
+#[derive(Debug, Default)]
+pub struct RuntimeStats {
+    /// Requests accepted by the listener.
+    pub admitted: AtomicU64,
+    /// Requests rejected by admission control.
+    pub rejected: AtomicU64,
+    /// Requests completed successfully.
+    pub completed: AtomicU64,
+    /// Requests that trapped.
+    pub trapped: AtomicU64,
+    /// Sandboxes stolen from the global deque by workers.
+    pub steals: AtomicU64,
+    /// Preemptions performed.
+    pub preemptions: AtomicU64,
+    /// Sandboxes that blocked on (emulated) I/O at least once.
+    pub blocked: AtomicU64,
+    /// Total instantiation time in nanoseconds (with `admitted` as count).
+    pub instantiation_ns: AtomicU64,
+    /// Total guest execution time in nanoseconds.
+    pub execution_ns: AtomicU64,
+}
+
+impl RuntimeStats {
+    /// Record an instantiation.
+    pub fn record_instantiation(&self, d: Duration) {
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        self.instantiation_ns
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// A snapshot suitable for printing.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            trapped: self.trapped.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            preemptions: self.preemptions.load(Ordering::Relaxed),
+            blocked: self.blocked.load(Ordering::Relaxed),
+            instantiation_ns: self.instantiation_ns.load(Ordering::Relaxed),
+            execution_ns: self.execution_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`RuntimeStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    pub admitted: u64,
+    pub rejected: u64,
+    pub completed: u64,
+    pub trapped: u64,
+    pub steals: u64,
+    pub preemptions: u64,
+    pub blocked: u64,
+    pub instantiation_ns: u64,
+    pub execution_ns: u64,
+}
+
+impl StatsSnapshot {
+    /// Mean instantiation time, if any requests were admitted.
+    pub fn mean_instantiation(&self) -> Option<Duration> {
+        if self.admitted == 0 {
+            None
+        } else {
+            Some(Duration::from_nanos(self.instantiation_ns / self.admitted))
+        }
+    }
+}
+
+/// Per-function counters, attached to each registered function.
+#[derive(Debug, Default)]
+pub struct FunctionStats {
+    /// Requests completed successfully.
+    pub completed: AtomicU64,
+    /// Requests that trapped.
+    pub trapped: AtomicU64,
+    /// Total guest execution time in nanoseconds.
+    pub execution_ns: AtomicU64,
+}
+
+impl FunctionStats {
+    /// A point-in-time copy.
+    pub fn snapshot(&self) -> FunctionStatsSnapshot {
+        FunctionStatsSnapshot {
+            completed: self.completed.load(Ordering::Relaxed),
+            trapped: self.trapped.load(Ordering::Relaxed),
+            execution_ns: self.execution_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`FunctionStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FunctionStatsSnapshot {
+    pub completed: u64,
+    pub trapped: u64,
+    pub execution_ns: u64,
+}
+
+impl FunctionStatsSnapshot {
+    /// Mean guest execution time per completed request.
+    pub fn mean_execution(&self) -> Option<Duration> {
+        let n = self.completed + self.trapped;
+        if n == 0 {
+            None
+        } else {
+            Some(Duration::from_nanos(self.execution_ns / n))
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Worker cores: steal sandboxes from the global deque, schedule them with
+//! preemptive round-robin on a core-local run queue, and service the
+//! core-local pending-I/O set (the libuv-event-loop analogue).
+
+use crate::sandbox::{Completion, Outcome, Sandbox};
+use crate::Shared;
+use awsm::StepResult;
+use parking_lot::Mutex;
+use sledge_deque::Stealer;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Per-worker state visible to the timer thread.
+#[derive(Debug, Default)]
+pub(crate) struct WorkerShared {
+    /// Preempt flag of the sandbox currently running on this worker, if any.
+    pub current: Mutex<Option<Arc<AtomicBool>>>,
+}
+
+/// The timer thread: fires every quantum and requests preemption of every
+/// currently-running sandbox — the SIGALRM-propagation analogue. Under
+/// run-to-completion it only fires once, at shutdown, so runaway guests
+/// cannot wedge `Runtime::shutdown`.
+pub(crate) fn timer_loop(shared: Arc<Shared>, workers: Vec<Arc<WorkerShared>>) {
+    let preemptive = shared.config.policy == crate::config::SchedPolicy::PreemptiveRr;
+    loop {
+        std::thread::sleep(shared.config.quantum);
+        let down = shared.shutdown.load(Ordering::Acquire);
+        if preemptive || down {
+            for w in &workers {
+                if let Some(flag) = w.current.lock().as_ref() {
+                    flag.store(true, Ordering::Relaxed);
+                }
+            }
+        }
+        if down {
+            return;
+        }
+    }
+}
+
+fn finish(shared: &Shared, mut sandbox: Box<Sandbox>, outcome: Outcome) {
+    let fn_stats = &sandbox.function.stats;
+    match &outcome {
+        Outcome::Success(_) => {
+            shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+            fn_stats.completed.fetch_add(1, Ordering::Relaxed);
+        }
+        Outcome::Trapped(_) => {
+            shared.stats.trapped.fetch_add(1, Ordering::Relaxed);
+            fn_stats.trapped.fetch_add(1, Ordering::Relaxed);
+        }
+        Outcome::Rejected(_) => {
+            shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    let exec_ns = sandbox.exec_time.as_nanos() as u64;
+    fn_stats.execution_ns.fetch_add(exec_ns, Ordering::Relaxed);
+    shared
+        .stats
+        .execution_ns
+        .fetch_add(exec_ns, Ordering::Relaxed);
+    let timings = sandbox.timings(Instant::now());
+    let function = sandbox.function.id;
+    let responder = sandbox.responder_take();
+    // Teardown: dropping the sandbox releases linear memory and stacks.
+    drop(sandbox);
+    responder.deliver(Completion {
+        function,
+        outcome,
+        timings,
+    });
+}
+
+/// The worker loop.
+pub(crate) fn worker_loop(
+    shared: Arc<Shared>,
+    me: Arc<WorkerShared>,
+    stealer: Stealer<Box<Sandbox>>,
+) {
+    let mut runqueue: VecDeque<Box<Sandbox>> = VecDeque::new();
+    // Sandboxes blocked on emulated async I/O, with their wake deadlines.
+    let mut io_wait: Vec<(Instant, Box<Sandbox>)> = Vec::new();
+    let preemptive = shared.config.policy == crate::config::SchedPolicy::PreemptiveRr;
+    let fuel = if preemptive {
+        shared.config.quantum_fuel
+    } else {
+        u64::MAX
+    };
+
+    loop {
+        // 0. Shutdown is observed even while long-running sandboxes keep the
+        //    run queue non-empty (they are preempted back to us every
+        //    quantum, so this check is reached promptly).
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+
+        // 1. Event loop: wake sandboxes whose I/O completed.
+        if !io_wait.is_empty() {
+            let now = Instant::now();
+            let mut i = 0;
+            while i < io_wait.len() {
+                if io_wait[i].0 <= now {
+                    let (_, sb) = io_wait.swap_remove(i);
+                    runqueue.push_back(sb);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+
+        // 2. Work conservation and fairness: admit new requests from the
+        //    global deque into the local round-robin rotation, so a
+        //    long-running sandbox cannot starve fresh arrivals on this core.
+        const ADMIT_LIMIT: usize = 128;
+        if runqueue.len() < ADMIT_LIMIT {
+            if let Some(sb) = stealer.steal() {
+                shared.pending.fetch_sub(1, Ordering::Relaxed);
+                shared.stats.steals.fetch_add(1, Ordering::Relaxed);
+                runqueue.push_back(sb);
+            }
+        }
+        let next = runqueue.pop_front();
+
+        let mut sandbox = match next {
+            Some(s) => s,
+            None => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                // Idle: wait for the earliest I/O deadline or a short poll
+                // interval before checking the deque again.
+                let nap = io_wait
+                    .iter()
+                    .map(|(d, _)| d.saturating_duration_since(Instant::now()))
+                    .min()
+                    .unwrap_or(Duration::from_micros(50))
+                    .min(Duration::from_micros(200));
+                if nap > Duration::ZERO {
+                    std::thread::sleep(nap);
+                }
+                continue;
+            }
+        };
+
+        // 3. Dispatch one quantum. The sandbox's preempt flag is published
+        //    for the timer thread (which fires per quantum under preemptive
+        //    RR, and once at shutdown under run-to-completion).
+        *me.current.lock() = Some(sandbox.instance.preempt_flag());
+        let result = sandbox.run_quantum(fuel);
+        *me.current.lock() = None;
+
+        match result {
+            StepResult::Complete(_) => {
+                let body = std::mem::take(&mut sandbox.host.response);
+                finish(&shared, sandbox, Outcome::Success(body));
+            }
+            StepResult::Trapped(t) => {
+                finish(&shared, sandbox, Outcome::Trapped(t));
+            }
+            StepResult::Preempted | StepResult::OutOfFuel => {
+                shared.stats.preemptions.fetch_add(1, Ordering::Relaxed);
+                // Round-robin: back of the local queue.
+                runqueue.push_back(sandbox);
+            }
+            StepResult::Blocked => {
+                shared.stats.blocked.fetch_add(1, Ordering::Relaxed);
+                let deadline = sandbox.host.io_deadline.unwrap_or_else(Instant::now);
+                io_wait.push((deadline, sandbox));
+            }
+        }
+    }
+}

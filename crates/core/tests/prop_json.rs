@@ -1,0 +1,91 @@
+//! Property tests for the configuration JSON parser: serializer-free
+//! round-trips via generated documents and robustness against mutations.
+
+use proptest::prelude::*;
+use sledge_core::{parse_json, Json};
+
+/// Serialize a Json value back to text (test-local; the runtime only
+/// parses).
+fn to_text(v: &Json) -> String {
+    match v {
+        Json::Null => "null".into(),
+        Json::Bool(b) => b.to_string(),
+        Json::Number(n) => {
+            if n.fract() == 0.0 && n.abs() < 1e15 {
+                format!("{}", *n as i64)
+            } else {
+                format!("{n:?}")
+            }
+        }
+        Json::String(s) => format!(
+            "\"{}\"",
+            s.chars()
+                .flat_map(|c| match c {
+                    '"' => "\\\"".chars().collect::<Vec<_>>(),
+                    '\\' => "\\\\".chars().collect(),
+                    '\n' => "\\n".chars().collect(),
+                    '\r' => "\\r".chars().collect(),
+                    '\t' => "\\t".chars().collect(),
+                    c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+                    c => vec![c],
+                })
+                .collect::<String>()
+        ),
+        Json::Array(items) => format!(
+            "[{}]",
+            items.iter().map(to_text).collect::<Vec<_>>().join(",")
+        ),
+        Json::Object(map) => format!(
+            "{{{}}}",
+            map.iter()
+                .map(|(k, v)| format!("{}:{}", to_text(&Json::String(k.clone())), to_text(v)))
+                .collect::<Vec<_>>()
+                .join(",")
+        ),
+    }
+}
+
+fn json_strategy() -> impl Strategy<Value = Json> {
+    let leaf = prop_oneof![
+        Just(Json::Null),
+        any::<bool>().prop_map(Json::Bool),
+        (-1_000_000i64..1_000_000).prop_map(|n| Json::Number(n as f64)),
+        "[ -~]{0,16}".prop_map(Json::String),
+    ];
+    leaf.prop_recursive(3, 48, 6, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..6).prop_map(Json::Array),
+            proptest::collection::btree_map("[a-z_]{1,8}", inner, 0..6)
+                .prop_map(Json::Object),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn generated_documents_roundtrip(v in json_strategy()) {
+        let text = to_text(&v);
+        let back = parse_json(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn parser_never_panics_on_mutations(
+        v in json_strategy(),
+        at in 0usize..64,
+        replacement in any::<u8>(),
+    ) {
+        let mut text = to_text(&v).into_bytes();
+        if at < text.len() {
+            text[at] = replacement;
+        }
+        if let Ok(s) = String::from_utf8(text) {
+            let _ = parse_json(&s); // must not panic
+        }
+    }
+
+    #[test]
+    fn parser_never_panics_on_garbage(s in "[ -~]{0,64}") {
+        let _ = parse_json(&s);
+    }
+}

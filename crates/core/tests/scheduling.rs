@@ -1,0 +1,125 @@
+//! Scheduler-policy ablation tests: the paper's preemptive round-robin vs.
+//! the run-to-completion model it argues against (§3.4).
+
+use sledge_core::{FunctionConfig, Outcome, Runtime, RuntimeConfig, SchedPolicy};
+use sledge_guestc::dsl::*;
+use sledge_guestc::{FuncBuilder, ModuleBuilder, Scalar};
+use sledge_wasm::module::Module;
+use sledge_wasm::types::ValType;
+use std::time::{Duration, Instant};
+
+/// A CPU hog: spins for the number of iterations in the request body.
+fn spin_module() -> Module {
+    let mut mb = ModuleBuilder::new("spin");
+    mb.memory(1, Some(1));
+    let req_read = mb.import_func(
+        "env",
+        "request_read",
+        &[ValType::I32, ValType::I32, ValType::I32],
+        Some(ValType::I32),
+    );
+    let resp_write = mb.import_func(
+        "env",
+        "response_write",
+        &[ValType::I32, ValType::I32],
+        Some(ValType::I32),
+    );
+    let mut f = FuncBuilder::new(&[], Some(ValType::I32));
+    let iters = f.local(ValType::I32);
+    let i = f.local(ValType::I32);
+    let acc = f.local(ValType::I32);
+    f.extend([
+        exec(call(req_read, vec![i32c(0), i32c(4), i32c(0)])),
+        set(iters, load(Scalar::I32, i32c(0), 0)),
+        for_loop(i, i32c(0), lt_u(local(i), local(iters)), 1, vec![
+            set(acc, add(mul(local(acc), i32c(31)), local(i))),
+        ]),
+        store(Scalar::I32, i32c(8), 0, local(acc)),
+        exec(call(resp_write, vec![i32c(8), i32c(4)])),
+        ret(Some(i32c(0))),
+    ]);
+    let main = mb.add_func("main", f);
+    mb.export_func(main, "main");
+    mb.build().unwrap()
+}
+
+fn mixed_workload_short_latency(policy: SchedPolicy) -> Duration {
+    let rt = Runtime::new(RuntimeConfig {
+        workers: 1,
+        quantum: Duration::from_millis(2),
+        quantum_fuel: 200_000,
+        policy,
+        ..Default::default()
+    });
+    let spin = rt
+        .register_module(FunctionConfig::new("spin"), &spin_module())
+        .expect("register");
+    // One long request (~hundreds of ms of interpretation), then a stream of
+    // short ones behind it.
+    rt.invoke_detached(spin, 60_000_000u32.to_le_bytes().to_vec());
+    std::thread::sleep(Duration::from_millis(10)); // let it start
+    let mut worst = Duration::ZERO;
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        let done = rt
+            .invoke(spin, 1_000u32.to_le_bytes().to_vec())
+            .wait()
+            .expect("completion");
+        assert!(matches!(done.outcome, Outcome::Success(_)));
+        worst = worst.max(t0.elapsed());
+    }
+    rt.shutdown();
+    worst
+}
+
+#[test]
+fn preemptive_rr_bounds_short_request_latency_behind_a_hog() {
+    let worst = mixed_workload_short_latency(SchedPolicy::PreemptiveRr);
+    // 5 short requests behind one hog on one core: each RR cycle is two
+    // quanta (hog + short), so even generously this stays well under the
+    // hog's total runtime.
+    assert!(
+        worst < Duration::from_millis(250),
+        "preemptive RR worst-case short latency: {worst:?}"
+    );
+}
+
+#[test]
+fn run_to_completion_exhibits_head_of_line_blocking() {
+    let worst = mixed_workload_short_latency(SchedPolicy::RunToCompletion);
+    // Under run-to-completion the short requests wait for the entire hog:
+    // the head-of-line blocking the paper's design eliminates.
+    assert!(
+        worst > Duration::from_millis(100),
+        "expected head-of-line blocking, got {worst:?}"
+    );
+}
+
+#[test]
+fn run_to_completion_shutdown_interrupts_runaway_guest() {
+    // Even with an unbounded guest, shutdown must complete (the timer fires
+    // a final preemption broadcast).
+    let rt = Runtime::new(RuntimeConfig {
+        workers: 1,
+        quantum: Duration::from_millis(2),
+        policy: SchedPolicy::RunToCompletion,
+        ..Default::default()
+    });
+    let spin = rt
+        .register_module(FunctionConfig::new("spin"), &spin_module())
+        .expect("register");
+    rt.invoke_detached(spin, u32::MAX.to_le_bytes().to_vec());
+    std::thread::sleep(Duration::from_millis(20));
+    let t0 = Instant::now();
+    rt.shutdown();
+    assert!(t0.elapsed() < Duration::from_secs(5), "shutdown hung");
+}
+
+#[test]
+fn policies_parse_from_json() {
+    let (cfg, _) = RuntimeConfig::from_json(r#"{"policy": "run-to-completion"}"#).unwrap();
+    assert_eq!(cfg.policy, SchedPolicy::RunToCompletion);
+    let (cfg, _) = RuntimeConfig::from_json(r#"{"policy": "preemptive-rr"}"#).unwrap();
+    assert_eq!(cfg.policy, SchedPolicy::PreemptiveRr);
+    assert!(RuntimeConfig::from_json(r#"{"policy": "bogus"}"#).is_err());
+}

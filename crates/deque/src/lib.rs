@@ -1,0 +1,438 @@
+//! A lock-free Chase–Lev work-stealing deque, implemented from scratch after
+//! the algorithms in Chase & Lev (SPAA '05) and Lê et al. (PPoPP '13) — the
+//! two papers the Sledge runtime cites for its load-balancing structure.
+//!
+//! The owner thread pushes and pops at the *bottom*; any number of thief
+//! threads steal from the *top*. In Sledge, the listener core owns the
+//! global deque and pushes freshly instantiated sandboxes; worker cores
+//! steal them (work-conservation without a global lock).
+//!
+//! Values are stored as boxed pointers so arbitrary `T: Send` payloads are
+//! supported without exposing uninitialized-memory hazards to users.
+//!
+//! # Examples
+//!
+//! ```
+//! use sledge_deque::WorkStealingDeque;
+//! use std::sync::Arc;
+//!
+//! let dq = Arc::new(WorkStealingDeque::new());
+//! dq.push(1);
+//! dq.push(2);
+//! let thief = Arc::clone(&dq);
+//! let stolen = std::thread::spawn(move || thief.steal()).join().unwrap();
+//! assert!(stolen.is_some());
+//! assert!(dq.pop().is_some());
+//! assert_eq!(dq.pop(), None);
+//! ```
+//!
+//! # Safety model
+//!
+//! `push`/`pop` must only be called by one thread at a time (the owner);
+//! this is enforced at compile time by requiring `&self` but documented as
+//! the single-owner protocol — the [`Worker`]/[`Stealer`] split below makes
+//! it impossible to misuse.
+
+use std::marker::PhantomData;
+use std::ptr;
+use std::sync::atomic::{AtomicIsize, AtomicPtr, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Circular array of raw pointers with power-of-two capacity.
+struct Buffer<T> {
+    ptr: Box<[AtomicPtr<T>]>,
+    cap: usize,
+}
+
+impl<T> Buffer<T> {
+    fn new(cap: usize) -> Self {
+        debug_assert!(cap.is_power_of_two());
+        let mut v = Vec::with_capacity(cap);
+        for _ in 0..cap {
+            v.push(AtomicPtr::new(ptr::null_mut()));
+        }
+        Buffer {
+            ptr: v.into_boxed_slice(),
+            cap,
+        }
+    }
+
+    #[inline]
+    fn slot(&self, i: isize) -> &AtomicPtr<T> {
+        &self.ptr[(i as usize) & (self.cap - 1)]
+    }
+}
+
+/// The shared deque state.
+struct Inner<T> {
+    top: AtomicIsize,
+    bottom: AtomicIsize,
+    /// Current buffer; replaced on growth. Old buffers are kept alive until
+    /// drop of the deque (epoch-free memory management: we leak at most
+    /// O(log n) retired buffers per deque, reclaimed in `Drop`).
+    buffer: AtomicPtr<Buffer<T>>,
+    retired: RetiredStack<T>,
+}
+
+/// A tiny lock-free Treiber stack of retired buffers (reclaimed on drop).
+struct RetiredStack<T> {
+    head: AtomicPtr<RetiredNode<T>>,
+}
+
+struct RetiredNode<T> {
+    buf: *mut Buffer<T>,
+    next: *mut RetiredNode<T>,
+}
+
+impl<T> RetiredStack<T> {
+    fn new() -> Self {
+        RetiredStack {
+            head: AtomicPtr::new(ptr::null_mut()),
+        }
+    }
+
+    fn retire(&self, buf: *mut Buffer<T>) {
+        let node = Box::into_raw(Box::new(RetiredNode {
+            buf,
+            next: ptr::null_mut(),
+        }));
+        loop {
+            let head = self.head.load(Ordering::Acquire);
+            // SAFETY: node was just allocated and is uniquely owned here.
+            unsafe { (*node).next = head };
+            if self
+                .head
+                .compare_exchange(head, node, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return;
+            }
+        }
+    }
+}
+
+/// A work-stealing deque usable directly through a shared reference.
+///
+/// This is the ergonomic single-type facade; the [`Worker`]/[`Stealer`] pair
+/// is the statically-checked variant. When using this type directly, `push`
+/// and `pop` must follow the single-owner protocol (one pushing/popping
+/// thread at a time); `steal` is safe from any thread. The Sledge runtime
+/// uses the split types.
+pub struct WorkStealingDeque<T> {
+    inner: Inner<T>,
+}
+
+// SAFETY: the deque transfers ownership of boxed `T`s between threads; all
+// shared state is atomic.
+unsafe impl<T: Send> Send for WorkStealingDeque<T> {}
+unsafe impl<T: Send> Sync for WorkStealingDeque<T> {}
+
+impl<T: Send> Default for WorkStealingDeque<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Send> WorkStealingDeque<T> {
+    /// Create an empty deque with a small initial capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(64)
+    }
+
+    /// Create an empty deque with at least `cap` slots pre-allocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        let cap = cap.next_power_of_two().max(2);
+        let buf = Box::into_raw(Box::new(Buffer::<T>::new(cap)));
+        WorkStealingDeque {
+            inner: Inner {
+                top: AtomicIsize::new(0),
+                bottom: AtomicIsize::new(0),
+                buffer: AtomicPtr::new(buf),
+                retired: RetiredStack::new(),
+            },
+        }
+    }
+
+    /// Push a value at the bottom (owner only).
+    pub fn push(&self, value: T) {
+        let inner = &self.inner;
+        let b = inner.bottom.load(Ordering::Relaxed);
+        let t = inner.top.load(Ordering::Acquire);
+        let mut buf = inner.buffer.load(Ordering::Relaxed);
+        // SAFETY: buffer pointer is always valid until deque drop.
+        let size = b - t;
+        if size >= unsafe { (*buf).cap } as isize - 1 {
+            buf = self.grow(b, t, buf);
+        }
+        let boxed = Box::into_raw(Box::new(value));
+        unsafe { (*buf).slot(b).store(boxed, Ordering::Relaxed) };
+        // Make the element visible to thieves before publishing bottom.
+        inner.bottom.store(b + 1, Ordering::Release);
+    }
+
+    fn grow(&self, b: isize, t: isize, old: *mut Buffer<T>) -> *mut Buffer<T> {
+        // SAFETY: old buffer valid; only the owner grows.
+        let old_ref = unsafe { &*old };
+        let new = Box::into_raw(Box::new(Buffer::<T>::new(old_ref.cap * 2)));
+        for i in t..b {
+            let v = old_ref.slot(i).load(Ordering::Relaxed);
+            unsafe { (*new).slot(i).store(v, Ordering::Relaxed) };
+        }
+        self.inner.buffer.store(new, Ordering::Release);
+        self.inner.retired.retire(old);
+        new
+    }
+
+    /// Pop from the bottom (owner only). LIFO with respect to `push`.
+    pub fn pop(&self) -> Option<T> {
+        let inner = &self.inner;
+        let b = inner.bottom.load(Ordering::Relaxed) - 1;
+        let buf = inner.buffer.load(Ordering::Relaxed);
+        inner.bottom.store(b, Ordering::Relaxed);
+        // The SeqCst fence of the canonical algorithm, expressed via a
+        // SeqCst RMW-free sequence: use a full fence.
+        std::sync::atomic::fence(Ordering::SeqCst);
+        let t = inner.top.load(Ordering::Relaxed);
+        let size = b - t;
+        if size < 0 {
+            // Empty: restore.
+            inner.bottom.store(b + 1, Ordering::Relaxed);
+            return None;
+        }
+        // SAFETY: slot at b was published by a prior push.
+        let p = unsafe { (*buf).slot(b).load(Ordering::Relaxed) };
+        if size > 0 {
+            // More than one element: uncontended.
+            return Some(unsafe { *Box::from_raw(p) });
+        }
+        // Exactly one element: race with thieves via CAS on top.
+        let won = inner
+            .top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_ok();
+        inner.bottom.store(b + 1, Ordering::Relaxed);
+        if won {
+            Some(unsafe { *Box::from_raw(p) })
+        } else {
+            None
+        }
+    }
+
+    /// Steal from the top (any thread). FIFO with respect to `push`.
+    pub fn steal(&self) -> Option<T> {
+        let inner = &self.inner;
+        loop {
+            let t = inner.top.load(Ordering::Acquire);
+            std::sync::atomic::fence(Ordering::SeqCst);
+            let b = inner.bottom.load(Ordering::Acquire);
+            if t >= b {
+                return None;
+            }
+            let buf = inner.buffer.load(Ordering::Acquire);
+            // SAFETY: buffer valid; slot published before bottom.
+            let p = unsafe { (*buf).slot(t).load(Ordering::Relaxed) };
+            if inner
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok()
+            {
+                return Some(unsafe { *Box::from_raw(p) });
+            }
+            // Lost the race: retry.
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Approximate number of queued items (may race).
+    pub fn len(&self) -> usize {
+        let b = self.inner.bottom.load(Ordering::Relaxed);
+        let t = self.inner.top.load(Ordering::Relaxed);
+        (b - t).max(0) as usize
+    }
+
+    /// Whether the deque appears empty (may race).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Drop for WorkStealingDeque<T> {
+    fn drop(&mut self) {
+        // Drain remaining elements.
+        let b = self.inner.bottom.load(Ordering::Relaxed);
+        let t = self.inner.top.load(Ordering::Relaxed);
+        let buf = self.inner.buffer.load(Ordering::Relaxed);
+        for i in t..b {
+            // SAFETY: exclusive access in drop; slots t..b are live.
+            unsafe {
+                let p = (*buf).slot(i).load(Ordering::Relaxed);
+                drop(Box::from_raw(p));
+            }
+        }
+        // SAFETY: exclusive access; free current and retired buffers.
+        unsafe {
+            drop(Box::from_raw(buf));
+            let mut node = self.inner.retired.head.load(Ordering::Relaxed);
+            while !node.is_null() {
+                let n = Box::from_raw(node);
+                drop(Box::from_raw(n.buf));
+                node = n.next;
+            }
+        }
+    }
+}
+
+/// Owner handle: can push and pop. Not `Clone`, so the single-owner
+/// protocol is statically enforced.
+pub struct Worker<T> {
+    deque: Arc<WorkStealingDeque<T>>,
+    _not_sync: PhantomData<*mut ()>,
+}
+
+// SAFETY: Worker is the unique owner handle; moving it between threads is
+// fine, concurrent use from two threads is prevented by !Clone + !Sync.
+unsafe impl<T: Send> Send for Worker<T> {}
+
+/// Thief handle: can only steal. Freely cloneable across threads.
+pub struct Stealer<T> {
+    deque: Arc<WorkStealingDeque<T>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            deque: Arc::clone(&self.deque),
+        }
+    }
+}
+
+/// Create a connected [`Worker`]/[`Stealer`] pair.
+pub fn deque<T: Send>() -> (Worker<T>, Stealer<T>) {
+    let d = Arc::new(WorkStealingDeque::new());
+    (
+        Worker {
+            deque: Arc::clone(&d),
+            _not_sync: PhantomData,
+        },
+        Stealer { deque: d },
+    )
+}
+
+impl<T: Send> Worker<T> {
+    /// Push a value at the bottom.
+    pub fn push(&self, value: T) {
+        self.deque.push(value);
+    }
+
+    /// Pop the most recently pushed value.
+    pub fn pop(&self) -> Option<T> {
+        self.deque.pop()
+    }
+
+    /// Approximate length.
+    pub fn len(&self) -> usize {
+        self.deque.len()
+    }
+
+    /// Whether the deque appears empty.
+    pub fn is_empty(&self) -> bool {
+        self.deque.is_empty()
+    }
+
+    /// A new thief handle.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            deque: Arc::clone(&self.deque),
+        }
+    }
+}
+
+impl<T: Send> Stealer<T> {
+    /// Steal the oldest value.
+    pub fn steal(&self) -> Option<T> {
+        self.deque.steal()
+    }
+
+    /// Approximate length.
+    pub fn len(&self) -> usize {
+        self.deque.len()
+    }
+
+    /// Whether the deque appears empty.
+    pub fn is_empty(&self) -> bool {
+        self.deque.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_for_owner_fifo_for_thief() {
+        let d = WorkStealingDeque::new();
+        d.push(1);
+        d.push(2);
+        d.push(3);
+        assert_eq!(d.steal(), Some(1)); // oldest
+        assert_eq!(d.pop(), Some(3)); // newest
+        assert_eq!(d.pop(), Some(2));
+        assert_eq!(d.pop(), None);
+        assert_eq!(d.steal(), None);
+    }
+
+    #[test]
+    fn growth_preserves_elements() {
+        let d = WorkStealingDeque::with_capacity(2);
+        for i in 0..1000 {
+            d.push(i);
+        }
+        assert_eq!(d.len(), 1000);
+        let mut seen = Vec::new();
+        while let Some(v) = d.steal() {
+            seen.push(v);
+        }
+        assert_eq!(seen, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn boxed_payloads_are_dropped_on_deque_drop() {
+        use std::sync::atomic::AtomicUsize;
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        {
+            let d = WorkStealingDeque::new();
+            for _ in 0..10 {
+                d.push(D);
+            }
+            drop(d.pop());
+            drop(d.steal());
+        }
+        assert_eq!(DROPS.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn worker_stealer_split() {
+        let (w, s) = deque::<u32>();
+        w.push(5);
+        let s2 = s.clone();
+        assert_eq!(s2.steal(), Some(5));
+        assert!(w.pop().is_none());
+        assert!(w.is_empty() && s.is_empty());
+    }
+}
+
+// Keep the unused-import lint honest: AtomicUsize is used in tests only.
+#[allow(unused)]
+fn _assert_traits() {
+    fn send<T: Send>() {}
+    send::<WorkStealingDeque<Vec<u8>>>();
+    send::<Worker<Vec<u8>>>();
+    send::<Stealer<Vec<u8>>>();
+    let _ = AtomicUsize::new(0);
+}

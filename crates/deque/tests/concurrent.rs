@@ -1,0 +1,133 @@
+//! Concurrency tests: every pushed item is consumed exactly once regardless
+//! of how owner pops and thief steals interleave.
+
+use sledge_deque::{deque, WorkStealingDeque};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+#[test]
+fn exactly_once_under_contention() {
+    const ITEMS: usize = 20_000;
+    const THIEVES: usize = 4;
+
+    let (w, s) = deque::<usize>();
+    let done = Arc::new(AtomicBool::new(false));
+    let stolen: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let mut handles = Vec::new();
+    for _ in 0..THIEVES {
+        let s = s.clone();
+        let done = Arc::clone(&done);
+        let stolen = Arc::clone(&stolen);
+        handles.push(thread::spawn(move || {
+            let mut mine = Vec::new();
+            loop {
+                match s.steal() {
+                    Some(v) => mine.push(v),
+                    None => {
+                        if done.load(Ordering::Acquire) && s.is_empty() {
+                            break;
+                        }
+                        std::hint::spin_loop();
+                    }
+                }
+            }
+            stolen.lock().unwrap().extend(mine);
+        }));
+    }
+
+    let mut popped = Vec::new();
+    for i in 0..ITEMS {
+        w.push(i);
+        // Interleave pops to stress the bottom/top race.
+        if i % 3 == 0 {
+            if let Some(v) = w.pop() {
+                popped.push(v);
+            }
+        }
+    }
+    while let Some(v) = w.pop() {
+        popped.push(v);
+    }
+    done.store(true, Ordering::Release);
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let stolen = stolen.lock().unwrap();
+    let mut all: Vec<usize> = popped.iter().chain(stolen.iter()).copied().collect();
+    assert_eq!(all.len(), ITEMS, "lost or duplicated items");
+    all.sort_unstable();
+    all.dedup();
+    assert_eq!(all.len(), ITEMS, "duplicated items");
+    assert_eq!(*all.last().unwrap(), ITEMS - 1);
+}
+
+#[test]
+fn single_element_race_never_duplicates() {
+    // The classic Chase-Lev hazard: one element, owner pops while thief
+    // steals. Repeat many rounds; exactly one side must win each round.
+    const ROUNDS: usize = 30_000;
+    let d = Arc::new(WorkStealingDeque::<usize>::new());
+    let barrier = Arc::new(std::sync::Barrier::new(2));
+
+    let thief = {
+        let d = Arc::clone(&d);
+        let barrier = Arc::clone(&barrier);
+        thread::spawn(move || {
+            let mut got = Vec::new();
+            for r in 0..ROUNDS {
+                barrier.wait();
+                if let Some(v) = d.steal() {
+                    got.push((r, v));
+                }
+                barrier.wait();
+            }
+            got
+        })
+    };
+
+    let mut owner_got = Vec::new();
+    for r in 0..ROUNDS {
+        d.push(r);
+        barrier.wait();
+        if let Some(v) = d.pop() {
+            owner_got.push((r, v));
+        }
+        barrier.wait();
+        assert!(d.is_empty(), "round {r} left residue");
+    }
+    let thief_got = thief.join().unwrap();
+
+    let owner: HashSet<usize> = owner_got.iter().map(|(_, v)| *v).collect();
+    let stolen: HashSet<usize> = thief_got.iter().map(|(_, v)| *v).collect();
+    assert!(owner.is_disjoint(&stolen), "an element was consumed twice");
+    assert_eq!(owner.len() + stolen.len(), ROUNDS, "an element was lost");
+}
+
+#[test]
+fn many_producur_rounds_with_growth() {
+    // Repeated fill/drain cycles across growth boundaries.
+    let (w, s) = deque::<u64>();
+    let mut next = 0u64;
+    let mut total_consumed = 0u64;
+    for round in 0..50 {
+        let n = 1 + (round * 37) % 400;
+        for _ in 0..n {
+            w.push(next);
+            next += 1;
+        }
+        let mut consumed = 0;
+        loop {
+            let got = if consumed % 2 == 0 { s.steal() } else { w.pop() };
+            match got {
+                Some(_) => consumed += 1,
+                None => break,
+            }
+        }
+        total_consumed += consumed;
+    }
+    assert_eq!(total_consumed, next);
+}

@@ -1,0 +1,485 @@
+//! Function and module builders: the DSL's code-generation entry points.
+
+use crate::emit::Emitter;
+use crate::expr::{FnRef, Local, SigRef};
+use crate::stmt::Stmt;
+use sledge_wasm::module::{
+    ConstExpr, DataSegment, ElementSegment, Export, FuncBody, Global, Import, Module,
+};
+use sledge_wasm::types::{FuncType, GlobalType, Limits, MemoryType, TableType, ValType};
+use sledge_wasm::ValidateError;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by [`ModuleBuilder::build`].
+#[derive(Debug)]
+pub enum BuildError {
+    /// A declared function was never given a body.
+    UndefinedFunc(String),
+    /// The assembled module failed Wasm validation — a bug in the guest
+    /// program or the DSL lowering.
+    Invalid(ValidateError),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UndefinedFunc(n) => write!(f, "function {n:?} declared but not defined"),
+            BuildError::Invalid(e) => write!(f, "generated module is invalid: {e}"),
+        }
+    }
+}
+
+impl Error for BuildError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BuildError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ValidateError> for BuildError {
+    fn from(e: ValidateError) -> Self {
+        BuildError::Invalid(e)
+    }
+}
+
+/// Builds one guest function: parameters, locals, and a statement body.
+///
+/// # Examples
+///
+/// See the crate-level example.
+#[derive(Debug, Clone)]
+pub struct FuncBuilder {
+    params: Vec<ValType>,
+    result: Option<ValType>,
+    locals: Vec<ValType>,
+    body: Vec<Stmt>,
+}
+
+impl FuncBuilder {
+    /// Start a function with the given parameter and result types.
+    pub fn new(params: &[ValType], result: Option<ValType>) -> Self {
+        FuncBuilder {
+            params: params.to_vec(),
+            result,
+            locals: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// Handle for parameter `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn arg(&self, i: usize) -> Local {
+        Local {
+            idx: i as u32,
+            ty: self.params[i],
+        }
+    }
+
+    /// Declare a new zero-initialized local of type `ty`.
+    pub fn local(&mut self, ty: ValType) -> Local {
+        let idx = (self.params.len() + self.locals.len()) as u32;
+        self.locals.push(ty);
+        Local { idx, ty }
+    }
+
+    /// Declare `n` locals of the same type.
+    pub fn locals(&mut self, ty: ValType, n: usize) -> Vec<Local> {
+        (0..n).map(|_| self.local(ty)).collect()
+    }
+
+    /// Append one statement.
+    pub fn push(&mut self, s: Stmt) -> &mut Self {
+        self.body.push(s);
+        self
+    }
+
+    /// Append many statements.
+    pub fn extend(&mut self, stmts: impl IntoIterator<Item = Stmt>) -> &mut Self {
+        self.body.extend(stmts);
+        self
+    }
+
+    fn finish(self) -> (FuncType, FuncBody) {
+        let ty = FuncType::new(
+            self.params,
+            self.result.map(|t| vec![t]).unwrap_or_default(),
+        );
+        let instrs = Emitter::new(self.result).emit_body(&self.body);
+        (ty, FuncBody::new(self.locals, instrs))
+    }
+}
+
+struct PendingFunc {
+    name: String,
+    ty: FuncType,
+    body: Option<FuncBody>,
+}
+
+/// Builds a whole guest module: imports, functions, memory, data, globals,
+/// a function table, and exports.
+///
+/// Import declarations must precede function declarations (imported
+/// functions occupy the front of the function index space).
+pub struct ModuleBuilder {
+    name: String,
+    /// Signatures interned for indirect calls; emitted first in the type
+    /// section so their indices are stable.
+    signatures: Vec<FuncType>,
+    imports: Vec<(String, String, FuncType)>,
+    funcs: Vec<PendingFunc>,
+    memory: Option<(u32, Option<u32>)>,
+    data: Vec<(u32, Vec<u8>)>,
+    globals: Vec<(GlobalType, ConstExpr)>,
+    exports: Vec<(String, FnRef)>,
+    export_memory: bool,
+    table: Vec<FnRef>,
+}
+
+impl ModuleBuilder {
+    /// Start a module named `name` (recorded in the custom name section).
+    pub fn new(name: impl Into<String>) -> Self {
+        ModuleBuilder {
+            name: name.into(),
+            signatures: Vec::new(),
+            imports: Vec::new(),
+            funcs: Vec::new(),
+            memory: None,
+            data: Vec::new(),
+            globals: Vec::new(),
+            exports: Vec::new(),
+            export_memory: false,
+            table: Vec::new(),
+        }
+    }
+
+    /// Intern a function signature for `call_indirect` use. Must be called
+    /// before [`build`](Self::build); indices are assigned eagerly.
+    pub fn signature(&mut self, params: &[ValType], result: Option<ValType>) -> SigRef {
+        let ty = FuncType::new(params.to_vec(), result.map(|t| vec![t]).unwrap_or_default());
+        let idx = match self.signatures.iter().position(|t| *t == ty) {
+            Some(i) => i as u32,
+            None => {
+                self.signatures.push(ty);
+                (self.signatures.len() - 1) as u32
+            }
+        };
+        SigRef {
+            idx,
+            params: params.to_vec(),
+            result,
+        }
+    }
+
+    /// Import a host function. Must be called before any `declare`/`add_func`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a local function has already been declared.
+    pub fn import_func(
+        &mut self,
+        module: impl Into<String>,
+        name: impl Into<String>,
+        params: &[ValType],
+        result: Option<ValType>,
+    ) -> FnRef {
+        assert!(
+            self.funcs.is_empty(),
+            "imports must be declared before local functions"
+        );
+        let idx = self.imports.len() as u32;
+        let ty = FuncType::new(params.to_vec(), result.map(|t| vec![t]).unwrap_or_default());
+        self.imports.push((module.into(), name.into(), ty));
+        FnRef {
+            idx,
+            nparams: params.len() as u32,
+            result,
+        }
+    }
+
+    /// Declare a function signature without a body (for recursion /
+    /// forward references). Define it later with [`ModuleBuilder::define`].
+    pub fn declare(
+        &mut self,
+        name: impl Into<String>,
+        params: &[ValType],
+        result: Option<ValType>,
+    ) -> FnRef {
+        let idx = (self.imports.len() + self.funcs.len()) as u32;
+        self.funcs.push(PendingFunc {
+            name: name.into(),
+            ty: FuncType::new(params.to_vec(), result.map(|t| vec![t]).unwrap_or_default()),
+            body: None,
+        });
+        FnRef {
+            idx,
+            nparams: params.len() as u32,
+            result,
+        }
+    }
+
+    /// Provide the body for a previously [`declare`](Self::declare)d function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is an import, already defined, or if the builder's
+    /// signature differs from the declaration.
+    pub fn define(&mut self, f: FnRef, fb: FuncBuilder) {
+        let local_idx = (f.idx as usize)
+            .checked_sub(self.imports.len())
+            .expect("cannot define an imported function");
+        let (ty, body) = fb.finish();
+        let slot = &mut self.funcs[local_idx];
+        assert_eq!(slot.ty, ty, "definition signature differs from declaration");
+        assert!(slot.body.is_none(), "function {:?} defined twice", slot.name);
+        slot.body = Some(body);
+    }
+
+    /// Declare and define a function in one step.
+    pub fn add_func(&mut self, name: impl Into<String>, fb: FuncBuilder) -> FnRef {
+        let f = self.declare(name, &fb.params.clone(), fb.result);
+        self.define(f, fb);
+        f
+    }
+
+    /// Give the module a linear memory of `min` pages (optionally bounded).
+    pub fn memory(&mut self, min: u32, max: Option<u32>) -> &mut Self {
+        self.memory = Some((min, max));
+        self
+    }
+
+    /// Also export the memory under the name `"memory"`.
+    pub fn export_memory(&mut self) -> &mut Self {
+        self.export_memory = true;
+        self
+    }
+
+    /// Add a data segment at byte `offset`.
+    pub fn data(&mut self, offset: u32, bytes: impl Into<Vec<u8>>) -> &mut Self {
+        self.data.push((offset, bytes.into()));
+        self
+    }
+
+    /// Add a mutable `i32` global; returns its index.
+    pub fn global_i32(&mut self, init: i32) -> u32 {
+        self.globals.push((
+            GlobalType {
+                value: ValType::I32,
+                mutable: true,
+            },
+            ConstExpr::I32(init),
+        ));
+        (self.globals.len() - 1) as u32
+    }
+
+    /// Add a mutable `f64` global; returns its index.
+    pub fn global_f64(&mut self, init: f64) -> u32 {
+        self.globals.push((
+            GlobalType {
+                value: ValType::F64,
+                mutable: true,
+            },
+            ConstExpr::F64(init),
+        ));
+        (self.globals.len() - 1) as u32
+    }
+
+    /// Export function `f` under `name`.
+    pub fn export_func(&mut self, f: FnRef, name: impl Into<String>) -> &mut Self {
+        self.exports.push((name.into(), f));
+        self
+    }
+
+    /// Populate the module's function table with `funcs` (for
+    /// `call_indirect`); slot `i` holds `funcs[i]`.
+    pub fn table(&mut self, funcs: &[FnRef]) -> &mut Self {
+        self.table = funcs.to_vec();
+        self
+    }
+
+    /// Assemble and validate the module.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::UndefinedFunc`] if any declared function lacks a
+    /// body, or [`BuildError::Invalid`] if the assembled module fails Wasm
+    /// validation (which would indicate a DSL bug or an ill-typed guest
+    /// program that slipped past the eager checks).
+    pub fn build(self) -> Result<Module, BuildError> {
+        let mut m = Module::new();
+        m.name = Some(self.name);
+        // Interned indirect-call signatures come first so SigRef indices
+        // are the final type indices.
+        for ty in self.signatures {
+            m.types.push(ty);
+        }
+        for (module, name, ty) in self.imports {
+            let t = m.push_type(ty);
+            m.imports.push(Import::func(module, name, t));
+        }
+        for f in self.funcs {
+            let body = f
+                .body
+                .ok_or(BuildError::UndefinedFunc(f.name))?;
+            let t = m.push_type(f.ty);
+            m.push_function(t, body);
+        }
+        if let Some((min, max)) = self.memory {
+            m.memories.push(MemoryType {
+                limits: Limits { min, max },
+            });
+        }
+        for (offset, bytes) in self.data {
+            m.data.push(DataSegment {
+                offset: ConstExpr::I32(offset as i32),
+                bytes,
+            });
+        }
+        for (ty, init) in self.globals {
+            m.globals.push(Global { ty, init });
+        }
+        for (name, f) in self.exports {
+            m.exports.push(Export::func(name, f.idx));
+        }
+        if self.export_memory {
+            m.exports.push(Export::memory("memory", 0));
+        }
+        if !self.table.is_empty() {
+            let n = self.table.len() as u32;
+            m.tables.push(TableType {
+                limits: Limits::bounded(n, n),
+            });
+            m.elements.push(ElementSegment {
+                offset: ConstExpr::I32(0),
+                funcs: self.table.iter().map(|f| f.idx).collect(),
+            });
+        }
+        sledge_wasm::validate::validate_module(&m)?;
+        Ok(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::*;
+    use crate::expr::Scalar;
+
+    #[test]
+    fn build_loop_function_validates() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = FuncBuilder::new(&[ValType::I32], Some(ValType::I32));
+        let n = f.arg(0);
+        let acc = f.local(ValType::I32);
+        let i = f.local(ValType::I32);
+        f.extend([
+            for_loop(i, i32c(0), lt_s(local(i), local(n)), 1, vec![
+                set(acc, add(local(acc), local(i))),
+            ]),
+            ret(Some(local(acc))),
+        ]);
+        let main = mb.add_func("main", f);
+        mb.export_func(main, "main");
+        mb.build().unwrap();
+    }
+
+    #[test]
+    fn break_and_continue_emit_correct_depths() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = FuncBuilder::new(&[], Some(ValType::I32));
+        let i = f.local(ValType::I32);
+        f.extend([
+            while_(i32c(1), vec![
+                set(i, add(local(i), i32c(1))),
+                if_(gt_s(local(i), i32c(10)), vec![brk()]),
+                if_(eq(rem(local(i), i32c(2)), i32c(0)), vec![cont()]),
+            ]),
+            ret(Some(local(i))),
+        ]);
+        let main = mb.add_func("main", f);
+        mb.export_func(main, "main");
+        mb.build().unwrap();
+    }
+
+    #[test]
+    fn memory_and_data_segments() {
+        let mut mb = ModuleBuilder::new("t");
+        mb.memory(1, Some(4));
+        mb.data(64, vec![1, 2, 3, 4]);
+        let mut f = FuncBuilder::new(&[], Some(ValType::I32));
+        f.push(ret(Some(load(Scalar::U8, i32c(64), 2))));
+        let main = mb.add_func("main", f);
+        mb.export_func(main, "main");
+        let m = mb.build().unwrap();
+        assert_eq!(m.data.len(), 1);
+    }
+
+    #[test]
+    fn recursion_via_declare_define() {
+        let mut mb = ModuleBuilder::new("t");
+        let fact = mb.declare("fact", &[ValType::I32], Some(ValType::I32));
+        let mut f = FuncBuilder::new(&[ValType::I32], Some(ValType::I32));
+        let n = f.arg(0);
+        f.push(if_else(
+            le_s(local(n), i32c(1)),
+            vec![ret(Some(i32c(1)))],
+            vec![ret(Some(mul(
+                local(n),
+                call(fact, vec![sub(local(n), i32c(1))]),
+            )))],
+        ));
+        mb.define(fact, f);
+        mb.export_func(fact, "fact");
+        mb.build().unwrap();
+    }
+
+    #[test]
+    fn undefined_function_is_an_error() {
+        let mut mb = ModuleBuilder::new("t");
+        mb.declare("ghost", &[], None);
+        assert!(matches!(mb.build(), Err(BuildError::UndefinedFunc(_))));
+    }
+
+    #[test]
+    fn imports_then_funcs_index_space() {
+        let mut mb = ModuleBuilder::new("t");
+        let h = mb.import_func("env", "clock_ns", &[], Some(ValType::I64));
+        let mut f = FuncBuilder::new(&[], Some(ValType::I64));
+        f.push(ret(Some(call(h, vec![]))));
+        let main = mb.add_func("main", f);
+        assert_eq!(h.index(), 0);
+        assert_eq!(main.index(), 1);
+        mb.export_func(main, "main");
+        mb.build().unwrap();
+    }
+
+    #[test]
+    fn table_for_indirect_calls() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f1 = FuncBuilder::new(&[], Some(ValType::I32));
+        f1.push(ret(Some(i32c(7))));
+        let a = mb.add_func("a", f1);
+        let mut f2 = FuncBuilder::new(&[], Some(ValType::I32));
+        f2.push(ret(Some(i32c(9))));
+        let b = mb.add_func("b", f2);
+        mb.table(&[a, b]);
+        mb.export_func(a, "a");
+        let m = mb.build().unwrap();
+        assert_eq!(m.elements[0].funcs, vec![a.index(), b.index()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "imports must be declared before local functions")]
+    fn late_import_panics() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = FuncBuilder::new(&[], None);
+        f.push(ret(None));
+        mb.add_func("main", f);
+        mb.import_func("env", "late", &[], None);
+    }
+}

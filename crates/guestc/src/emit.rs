@@ -1,0 +1,409 @@
+//! Lowering from the DSL's statement/expression trees to flat Wasm
+//! instruction sequences.
+
+use crate::expr::{BinOp, Cast, CmpOp, Expr, Scalar, UnOp};
+use crate::stmt::Stmt;
+use sledge_wasm::instr::{BlockType, Instr, MemArg};
+use sledge_wasm::types::ValType;
+
+/// What kind of branch target an open structured instruction provides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Label {
+    /// A `block` wrapped around a loop: `break` target.
+    LoopExit,
+    /// The `loop` instruction itself: `continue` target.
+    LoopHead,
+    /// An `if`/`else` arm or plain block: not a break/continue target.
+    Plain,
+}
+
+/// The per-function emitter.
+pub(crate) struct Emitter {
+    out: Vec<Instr>,
+    labels: Vec<Label>,
+    result: Option<ValType>,
+}
+
+impl Emitter {
+    pub(crate) fn new(result: Option<ValType>) -> Self {
+        Emitter {
+            out: Vec::new(),
+            labels: Vec::new(),
+            result,
+        }
+    }
+
+    /// Emit a full function body (appends the final `end` and, if the
+    /// function returns a value, a trapping fallback for control paths that
+    /// reach the end without `return`).
+    pub(crate) fn emit_body(mut self, stmts: &[Stmt]) -> Vec<Instr> {
+        for s in stmts {
+            self.stmt(s);
+        }
+        if self.result.is_some() {
+            // A value-returning function must not fall off the end; mirror
+            // C's undefined-return with an explicit trap.
+            self.out.push(Instr::Unreachable);
+        }
+        self.out.push(Instr::End);
+        self.out
+    }
+
+    fn branch_depth_to(&self, want: Label, what: &str) -> u32 {
+        for (d, l) in self.labels.iter().rev().enumerate() {
+            if *l == want {
+                return d as u32;
+            }
+        }
+        panic!("{what} outside of a loop");
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Set(l, e) => {
+                assert_eq!(e.ty(), Some(l.ty), "set: type mismatch for local {}", l.idx);
+                self.expr(e);
+                self.out.push(Instr::LocalSet(l.idx));
+            }
+            Stmt::SetGlobal(g, e) => {
+                assert!(e.ty().is_some(), "set_global: void expression");
+                self.expr(e);
+                self.out.push(Instr::GlobalSet(*g));
+            }
+            Stmt::Store(sc, addr, offset, value) => {
+                assert_eq!(addr.ty(), Some(ValType::I32), "store address must be i32");
+                assert_eq!(
+                    value.ty(),
+                    Some(sc.val_type()),
+                    "store value type mismatch for {sc:?}"
+                );
+                self.expr(addr);
+                self.expr(value);
+                let m = MemArg {
+                    align: 0,
+                    offset: *offset,
+                };
+                self.out.push(match sc {
+                    Scalar::I32 => Instr::I32Store(m),
+                    Scalar::I64 => Instr::I64Store(m),
+                    Scalar::F32 => Instr::F32Store(m),
+                    Scalar::F64 => Instr::F64Store(m),
+                    Scalar::U8 | Scalar::I8 => Instr::I32Store8(m),
+                    Scalar::U16 | Scalar::I16 => Instr::I32Store16(m),
+                });
+            }
+            Stmt::If(cond, then, els) => {
+                assert_eq!(cond.ty(), Some(ValType::I32), "if condition must be i32");
+                self.expr(cond);
+                self.out.push(Instr::If(BlockType::Empty));
+                self.labels.push(Label::Plain);
+                for s in then {
+                    self.stmt(s);
+                }
+                if !els.is_empty() {
+                    self.out.push(Instr::Else);
+                    for s in els {
+                        self.stmt(s);
+                    }
+                }
+                self.labels.pop();
+                self.out.push(Instr::End);
+            }
+            Stmt::While(cond, body) => {
+                assert_eq!(cond.ty(), Some(ValType::I32), "while condition must be i32");
+                self.out.push(Instr::Block(BlockType::Empty));
+                self.labels.push(Label::LoopExit);
+                self.out.push(Instr::Loop(BlockType::Empty));
+                self.labels.push(Label::LoopHead);
+                // if (!cond) break;
+                self.expr(cond);
+                self.out.push(Instr::I32Eqz);
+                self.out.push(Instr::BrIf(1));
+                for s in body {
+                    self.stmt(s);
+                }
+                self.out.push(Instr::Br(0)); // back to head
+                self.labels.pop();
+                self.out.push(Instr::End); // loop
+                self.labels.pop();
+                self.out.push(Instr::End); // block
+            }
+            Stmt::Loop(body) => {
+                self.out.push(Instr::Block(BlockType::Empty));
+                self.labels.push(Label::LoopExit);
+                self.out.push(Instr::Loop(BlockType::Empty));
+                self.labels.push(Label::LoopHead);
+                for s in body {
+                    self.stmt(s);
+                }
+                self.out.push(Instr::Br(0));
+                self.labels.pop();
+                self.out.push(Instr::End);
+                self.labels.pop();
+                self.out.push(Instr::End);
+            }
+            Stmt::Break => {
+                let d = self.branch_depth_to(Label::LoopExit, "break");
+                self.out.push(Instr::Br(d));
+            }
+            Stmt::Continue => {
+                let d = self.branch_depth_to(Label::LoopHead, "continue");
+                self.out.push(Instr::Br(d));
+            }
+            Stmt::Return(e) => {
+                match (e, self.result) {
+                    (Some(e), Some(r)) => {
+                        assert_eq!(e.ty(), Some(r), "return type mismatch");
+                        self.expr(e);
+                    }
+                    (None, None) => {}
+                    (Some(_), None) => panic!("return with value in void function"),
+                    (None, Some(_)) => panic!("return without value in non-void function"),
+                }
+                self.out.push(Instr::Return);
+            }
+            Stmt::Exec(e) => {
+                let t = e.ty();
+                self.expr(e);
+                if t.is_some() {
+                    self.out.push(Instr::Drop);
+                }
+            }
+            Stmt::Nop => {}
+            Stmt::Unreachable => self.out.push(Instr::Unreachable),
+            Stmt::Seq(list) => {
+                for s in list {
+                    self.stmt(s);
+                }
+            }
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        // Type-check eagerly so errors carry the offending subtree.
+        let _ = e.ty();
+        match e {
+            Expr::ConstI32(v) => self.out.push(Instr::I32Const(*v)),
+            Expr::ConstI64(v) => self.out.push(Instr::I64Const(*v)),
+            Expr::ConstF32(v) => self.out.push(Instr::F32Const(*v)),
+            Expr::ConstF64(v) => self.out.push(Instr::F64Const(*v)),
+            Expr::Local(l) => self.out.push(Instr::LocalGet(l.idx)),
+            Expr::GlobalGet(g, _) => self.out.push(Instr::GlobalGet(*g)),
+            Expr::Bin(op, a, b) => {
+                let t = a.ty().expect("checked");
+                self.expr(a);
+                self.expr(b);
+                self.out.push(bin_instr(*op, t));
+            }
+            Expr::Cmp(op, a, b) => {
+                let t = a.ty().expect("checked");
+                self.expr(a);
+                self.expr(b);
+                self.out.push(cmp_instr(*op, t));
+            }
+            Expr::Un(op, a) => {
+                let t = a.ty().expect("checked");
+                self.expr(a);
+                self.out.push(un_instr(*op, t));
+            }
+            Expr::Cast(c, a) => {
+                self.expr(a);
+                self.out.push(cast_instr(*c));
+            }
+            Expr::Load(sc, addr, offset) => {
+                self.expr(addr);
+                let m = MemArg {
+                    align: 0,
+                    offset: *offset,
+                };
+                self.out.push(match sc {
+                    Scalar::I32 => Instr::I32Load(m),
+                    Scalar::I64 => Instr::I64Load(m),
+                    Scalar::F32 => Instr::F32Load(m),
+                    Scalar::F64 => Instr::F64Load(m),
+                    Scalar::U8 => Instr::I32Load8U(m),
+                    Scalar::I8 => Instr::I32Load8S(m),
+                    Scalar::U16 => Instr::I32Load16U(m),
+                    Scalar::I16 => Instr::I32Load16S(m),
+                });
+            }
+            Expr::Call(f, args) => {
+                for a in args {
+                    self.expr(a);
+                }
+                self.out.push(Instr::Call(f.idx));
+            }
+            Expr::CallIndirect(sig, index, args) => {
+                for a in args {
+                    self.expr(a);
+                }
+                self.expr(index);
+                self.out.push(Instr::CallIndirect(sig.idx));
+            }
+            Expr::Select(c, a, b) => {
+                self.expr(a);
+                self.expr(b);
+                self.expr(c);
+                self.out.push(Instr::Select);
+            }
+            Expr::MemorySize => self.out.push(Instr::MemorySize),
+            Expr::MemoryGrow(n) => {
+                self.expr(n);
+                self.out.push(Instr::MemoryGrow);
+            }
+            Expr::Tee(l, v) => {
+                self.expr(v);
+                self.out.push(Instr::LocalTee(l.idx));
+            }
+        }
+    }
+}
+
+fn bin_instr(op: BinOp, t: ValType) -> Instr {
+    use BinOp::*;
+    use ValType::*;
+    match (op, t) {
+        (Add, I32) => Instr::I32Add,
+        (Sub, I32) => Instr::I32Sub,
+        (Mul, I32) => Instr::I32Mul,
+        (DivS, I32) => Instr::I32DivS,
+        (DivU, I32) => Instr::I32DivU,
+        (RemS, I32) => Instr::I32RemS,
+        (RemU, I32) => Instr::I32RemU,
+        (And, I32) => Instr::I32And,
+        (Or, I32) => Instr::I32Or,
+        (Xor, I32) => Instr::I32Xor,
+        (Shl, I32) => Instr::I32Shl,
+        (ShrS, I32) => Instr::I32ShrS,
+        (ShrU, I32) => Instr::I32ShrU,
+        (Rotl, I32) => Instr::I32Rotl,
+        (Rotr, I32) => Instr::I32Rotr,
+        (Add, I64) => Instr::I64Add,
+        (Sub, I64) => Instr::I64Sub,
+        (Mul, I64) => Instr::I64Mul,
+        (DivS, I64) => Instr::I64DivS,
+        (DivU, I64) => Instr::I64DivU,
+        (RemS, I64) => Instr::I64RemS,
+        (RemU, I64) => Instr::I64RemU,
+        (And, I64) => Instr::I64And,
+        (Or, I64) => Instr::I64Or,
+        (Xor, I64) => Instr::I64Xor,
+        (Shl, I64) => Instr::I64Shl,
+        (ShrS, I64) => Instr::I64ShrS,
+        (ShrU, I64) => Instr::I64ShrU,
+        (Rotl, I64) => Instr::I64Rotl,
+        (Rotr, I64) => Instr::I64Rotr,
+        (Add, F32) => Instr::F32Add,
+        (Sub, F32) => Instr::F32Sub,
+        (Mul, F32) => Instr::F32Mul,
+        (DivS, F32) => Instr::F32Div,
+        (Min, F32) => Instr::F32Min,
+        (Max, F32) => Instr::F32Max,
+        (Copysign, F32) => Instr::F32Copysign,
+        (Add, F64) => Instr::F64Add,
+        (Sub, F64) => Instr::F64Sub,
+        (Mul, F64) => Instr::F64Mul,
+        (DivS, F64) => Instr::F64Div,
+        (Min, F64) => Instr::F64Min,
+        (Max, F64) => Instr::F64Max,
+        (Copysign, F64) => Instr::F64Copysign,
+        (op, t) => panic!("binary operator {op:?} not defined for {t}"),
+    }
+}
+
+fn cmp_instr(op: CmpOp, t: ValType) -> Instr {
+    use CmpOp::*;
+    use ValType::*;
+    match (op, t) {
+        (Eq, I32) => Instr::I32Eq,
+        (Ne, I32) => Instr::I32Ne,
+        (LtS, I32) => Instr::I32LtS,
+        (LtU, I32) => Instr::I32LtU,
+        (GtS, I32) => Instr::I32GtS,
+        (GtU, I32) => Instr::I32GtU,
+        (LeS, I32) => Instr::I32LeS,
+        (LeU, I32) => Instr::I32LeU,
+        (GeS, I32) => Instr::I32GeS,
+        (GeU, I32) => Instr::I32GeU,
+        (Eq, I64) => Instr::I64Eq,
+        (Ne, I64) => Instr::I64Ne,
+        (LtS, I64) => Instr::I64LtS,
+        (LtU, I64) => Instr::I64LtU,
+        (GtS, I64) => Instr::I64GtS,
+        (GtU, I64) => Instr::I64GtU,
+        (LeS, I64) => Instr::I64LeS,
+        (LeU, I64) => Instr::I64LeU,
+        (GeS, I64) => Instr::I64GeS,
+        (GeU, I64) => Instr::I64GeU,
+        (Eq, F32) => Instr::F32Eq,
+        (Ne, F32) => Instr::F32Ne,
+        (LtS | LtU, F32) => Instr::F32Lt,
+        (GtS | GtU, F32) => Instr::F32Gt,
+        (LeS | LeU, F32) => Instr::F32Le,
+        (GeS | GeU, F32) => Instr::F32Ge,
+        (Eq, F64) => Instr::F64Eq,
+        (Ne, F64) => Instr::F64Ne,
+        (LtS | LtU, F64) => Instr::F64Lt,
+        (GtS | GtU, F64) => Instr::F64Gt,
+        (LeS | LeU, F64) => Instr::F64Le,
+        (GeS | GeU, F64) => Instr::F64Ge,
+    }
+}
+
+fn un_instr(op: UnOp, t: ValType) -> Instr {
+    use UnOp::*;
+    use ValType::*;
+    match (op, t) {
+        (Eqz, I32) => Instr::I32Eqz,
+        (Eqz, I64) => Instr::I64Eqz,
+        (Clz, I32) => Instr::I32Clz,
+        (Ctz, I32) => Instr::I32Ctz,
+        (Popcnt, I32) => Instr::I32Popcnt,
+        (Clz, I64) => Instr::I64Clz,
+        (Ctz, I64) => Instr::I64Ctz,
+        (Popcnt, I64) => Instr::I64Popcnt,
+        (Neg, F32) => Instr::F32Neg,
+        (Abs, F32) => Instr::F32Abs,
+        (Sqrt, F32) => Instr::F32Sqrt,
+        (Ceil, F32) => Instr::F32Ceil,
+        (Floor, F32) => Instr::F32Floor,
+        (Trunc, F32) => Instr::F32Trunc,
+        (Nearest, F32) => Instr::F32Nearest,
+        (Neg, F64) => Instr::F64Neg,
+        (Abs, F64) => Instr::F64Abs,
+        (Sqrt, F64) => Instr::F64Sqrt,
+        (Ceil, F64) => Instr::F64Ceil,
+        (Floor, F64) => Instr::F64Floor,
+        (Trunc, F64) => Instr::F64Trunc,
+        (Nearest, F64) => Instr::F64Nearest,
+        (op, t) => panic!("unary operator {op:?} not defined for {t}"),
+    }
+}
+
+fn cast_instr(c: Cast) -> Instr {
+    use Cast::*;
+    match c {
+        I32ToI64S => Instr::I64ExtendI32S,
+        I32ToI64U => Instr::I64ExtendI32U,
+        I64ToI32 => Instr::I32WrapI64,
+        I32ToF32S => Instr::F32ConvertI32S,
+        I32ToF32U => Instr::F32ConvertI32U,
+        I32ToF64S => Instr::F64ConvertI32S,
+        I32ToF64U => Instr::F64ConvertI32U,
+        I64ToF32S => Instr::F32ConvertI64S,
+        I64ToF64S => Instr::F64ConvertI64S,
+        I64ToF64U => Instr::F64ConvertI64U,
+        F32ToF64 => Instr::F64PromoteF32,
+        F64ToF32 => Instr::F32DemoteF64,
+        F32ToI32S => Instr::I32TruncF32S,
+        F32ToI32U => Instr::I32TruncF32U,
+        F64ToI32S => Instr::I32TruncF64S,
+        F64ToI32U => Instr::I32TruncF64U,
+        F64ToI64S => Instr::I64TruncF64S,
+        F64ToI64U => Instr::I64TruncF64U,
+        F64BitsToI64 => Instr::I64ReinterpretF64,
+        I64BitsToF64 => Instr::F64ReinterpretI64,
+        F32BitsToI32 => Instr::I32ReinterpretF32,
+        I32BitsToF32 => Instr::F32ReinterpretI32,
+    }
+}

@@ -1,0 +1,196 @@
+//! White-box tests of the DSL emitter: exact instruction sequences for the
+//! core lowering patterns (while, for, break/continue depths, if/else).
+
+use sledge_guestc::dsl::*;
+use sledge_guestc::{FuncBuilder, ModuleBuilder};
+use sledge_wasm::instr::{BlockType, Instr};
+use sledge_wasm::types::ValType;
+
+fn instrs_of(f: FuncBuilder) -> Vec<Instr> {
+    let mut mb = ModuleBuilder::new("t");
+    mb.memory(1, Some(1));
+    let main = mb.add_func("main", f);
+    mb.export_func(main, "main");
+    let m = mb.build().unwrap();
+    m.code[0].instrs.clone()
+}
+
+#[test]
+fn while_lowering_shape() {
+    let mut f = FuncBuilder::new(&[ValType::I32], None);
+    let n = f.arg(0);
+    f.extend([
+        while_(gt_s(local(n), i32c(0)), vec![set(n, sub(local(n), i32c(1)))]),
+        ret(None),
+    ]);
+    let got = instrs_of(f);
+    use Instr::*;
+    assert_eq!(
+        got,
+        vec![
+            Block(BlockType::Empty),
+            Loop(BlockType::Empty),
+            LocalGet(0),
+            I32Const(0),
+            I32GtS,
+            I32Eqz,
+            BrIf(1), // exit the block when the condition fails
+            LocalGet(0),
+            I32Const(1),
+            I32Sub,
+            LocalSet(0),
+            Br(0), // back to the loop head
+            End,
+            End,
+            Return,
+            End,
+        ]
+    );
+}
+
+#[test]
+fn break_targets_the_enclosing_block_continue_targets_the_loop() {
+    let mut f = FuncBuilder::new(&[], None);
+    let i = f.local(ValType::I32);
+    f.extend([
+        while_(i32c(1), vec![
+            if_(eq(local(i), i32c(3)), vec![brk()]),
+            if_(eq(local(i), i32c(1)), vec![cont()]),
+            set(i, add(local(i), i32c(1))),
+        ]),
+        ret(None),
+    ]);
+    let got = instrs_of(f);
+    // Find the two Br instructions emitted inside `if` arms: break must be
+    // depth 2 (if -> loop -> block) and continue depth 1 (if -> loop).
+    let brs: Vec<u32> = got
+        .windows(2)
+        .filter_map(|w| match (&w[0], &w[1]) {
+            // A Br directly before an End that is inside an If.
+            (Instr::Br(d), Instr::End) => Some(*d),
+            _ => None,
+        })
+        .collect();
+    assert!(brs.contains(&2), "break depth: {got:?}");
+    assert!(brs.contains(&1), "continue depth: {got:?}");
+}
+
+#[test]
+fn for_loop_emits_increment_after_body() {
+    let mut f = FuncBuilder::new(&[], None);
+    let i = f.local(ValType::I32);
+    f.extend([
+        for_loop(i, i32c(0), lt_s(local(i), i32c(4)), 2, vec![Stmt::Nop]),
+        ret(None),
+    ]);
+    let got = instrs_of(f);
+    use Instr::*;
+    // Init, then loop with condition and +2 increment.
+    assert_eq!(&got[0..2], &[I32Const(0), LocalSet(0)]);
+    assert!(got
+        .windows(3)
+        .any(|w| w == [LocalGet(0), I32Const(2), I32Add]));
+    let _ = got;
+}
+
+use sledge_guestc::Stmt;
+
+#[test]
+fn if_else_emits_both_arms() {
+    let mut f = FuncBuilder::new(&[ValType::I32], Some(ValType::I32));
+    let x = f.arg(0);
+    f.push(if_else(
+        eqz(local(x)),
+        vec![ret(Some(i32c(1)))],
+        vec![ret(Some(i32c(2)))],
+    ));
+    // Fallback return is a trap (value function falling off the end).
+    let got = instrs_of(f);
+    use Instr::*;
+    assert_eq!(
+        got,
+        vec![
+            LocalGet(0),
+            I32Eqz,
+            If(BlockType::Empty),
+            I32Const(1),
+            Return,
+            Else,
+            I32Const(2),
+            Return,
+            End,
+            Unreachable,
+            End,
+        ]
+    );
+}
+
+#[test]
+fn void_call_in_exec_is_not_dropped() {
+    let mut mb = ModuleBuilder::new("t");
+    mb.memory(1, Some(1));
+    let mut void_fn = FuncBuilder::new(&[], None);
+    void_fn.push(ret(None));
+    let v = mb.add_func("void", void_fn);
+    let mut f = FuncBuilder::new(&[], None);
+    f.extend([exec(call(v, vec![])), ret(None)]);
+    let main = mb.add_func("main", f);
+    mb.export_func(main, "main");
+    let m = mb.build().unwrap();
+    let got = &m.code[1].instrs;
+    assert!(
+        !got.contains(&Instr::Drop),
+        "void call must not emit Drop: {got:?}"
+    );
+    assert!(got.contains(&Instr::Call(0)));
+}
+
+#[test]
+#[should_panic(expected = "break outside of a loop")]
+fn break_outside_loop_panics() {
+    let mut f = FuncBuilder::new(&[], None);
+    f.push(brk());
+    let _ = instrs_of(f);
+}
+
+#[test]
+#[should_panic(expected = "set: type mismatch")]
+fn type_mismatch_in_set_panics() {
+    let mut f = FuncBuilder::new(&[], None);
+    let i = f.local(ValType::I32);
+    f.push(set(i, f64c(1.0)));
+    let _ = instrs_of(f);
+}
+
+#[test]
+fn indirect_calls_via_dsl_signature_dispatch_correctly() {
+    use awsm::{translate, EngineConfig, Instance, NullHost, Tier, Value};
+    let mut mb = ModuleBuilder::new("t");
+    mb.memory(1, Some(1));
+    let sig = mb.signature(&[ValType::I32], Some(ValType::I32));
+    let mut d = FuncBuilder::new(&[ValType::I32], Some(ValType::I32));
+    let x = d.arg(0);
+    d.push(ret(Some(mul(local(x), i32c(2)))));
+    let double = mb.add_func("double", d);
+    let mut q = FuncBuilder::new(&[ValType::I32], Some(ValType::I32));
+    let x = q.arg(0);
+    q.push(ret(Some(mul(local(x), local(x)))));
+    let square = mb.add_func("square", q);
+    mb.table(&[double, square]);
+
+    let mut m = FuncBuilder::new(&[ValType::I32, ValType::I32], Some(ValType::I32));
+    let (sel, v) = (m.arg(0), m.arg(1));
+    m.push(ret(Some(call_indirect(&sig, local(sel), vec![local(v)]))));
+    let main = mb.add_func("main", m);
+    mb.export_func(main, "main");
+    let module = mb.build().unwrap();
+
+    let cm = std::sync::Arc::new(translate(&module, Tier::Optimized).unwrap());
+    for (sel, v, want) in [(0, 21, 42u64), (1, 9, 81)] {
+        let mut inst = Instance::new(std::sync::Arc::clone(&cm), EngineConfig::default()).unwrap();
+        let got = inst
+            .call_complete("main", &[Value::I32(sel), Value::I32(v)], &mut NullHost)
+            .unwrap();
+        assert_eq!(got, Some(want));
+    }
+}

@@ -1,0 +1,35 @@
+//! Minimal HTTP/1.1 machinery for the Sledge runtime: an incremental
+//! request parser, a response serializer, and a non-blocking connection
+//! state machine used by the listener core.
+//!
+//! This plays the role of the paper's request-forwarding layer (epoll-based
+//! HTTP intake feeding function instantiation) without any external
+//! dependencies.
+//!
+//! # Examples
+//!
+//! ```
+//! use sledge_http::{RequestParser, ParseStatus, Response};
+//!
+//! let mut p = RequestParser::new(1 << 20);
+//! let bytes = b"POST /fn/echo HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+//! match p.feed(bytes).unwrap() {
+//!     ParseStatus::Complete(req) => {
+//!         assert_eq!(req.method, "POST");
+//!         assert_eq!(req.path, "/fn/echo");
+//!         assert_eq!(req.body, b"hello");
+//!     }
+//!     ParseStatus::NeedMore => panic!("request was complete"),
+//! }
+//!
+//! let resp = Response::ok(b"world".to_vec()).to_bytes();
+//! assert!(resp.starts_with(b"HTTP/1.1 200 OK\r\n"));
+//! ```
+
+mod parse;
+mod response;
+mod server;
+
+pub use parse::{HttpError, ParseStatus, Request, RequestParser};
+pub use response::{Response, StatusCode};
+pub use server::{Connection, ConnectionEvent, PollServer};

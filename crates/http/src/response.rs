@@ -1,0 +1,155 @@
+//! HTTP response construction and serialization.
+
+use std::fmt;
+
+/// The subset of status codes the runtime emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatusCode {
+    /// 200
+    Ok,
+    /// 400
+    BadRequest,
+    /// 404
+    NotFound,
+    /// 429
+    TooManyRequests,
+    /// 500
+    InternalServerError,
+    /// 503
+    ServiceUnavailable,
+}
+
+impl StatusCode {
+    /// Numeric code.
+    pub fn code(self) -> u16 {
+        match self {
+            StatusCode::Ok => 200,
+            StatusCode::BadRequest => 400,
+            StatusCode::NotFound => 404,
+            StatusCode::TooManyRequests => 429,
+            StatusCode::InternalServerError => 500,
+            StatusCode::ServiceUnavailable => 503,
+        }
+    }
+
+    /// Canonical reason phrase.
+    pub fn reason(self) -> &'static str {
+        match self {
+            StatusCode::Ok => "OK",
+            StatusCode::BadRequest => "Bad Request",
+            StatusCode::NotFound => "Not Found",
+            StatusCode::TooManyRequests => "Too Many Requests",
+            StatusCode::InternalServerError => "Internal Server Error",
+            StatusCode::ServiceUnavailable => "Service Unavailable",
+        }
+    }
+}
+
+impl fmt::Display for StatusCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.code(), self.reason())
+    }
+}
+
+/// An HTTP/1.1 response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status line code.
+    pub status: StatusCode,
+    /// Extra headers (`Content-Length` is added automatically).
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+    /// Whether to signal `Connection: close`.
+    pub close: bool,
+}
+
+impl Response {
+    /// A `200 OK` response with the given body.
+    pub fn ok(body: Vec<u8>) -> Self {
+        Response {
+            status: StatusCode::Ok,
+            headers: Vec::new(),
+            body,
+            close: false,
+        }
+    }
+
+    /// An error response with a short text body.
+    pub fn error(status: StatusCode, message: &str) -> Self {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: message.as_bytes().to_vec(),
+            close: false,
+        }
+    }
+
+    /// Add a header (builder style).
+    pub fn header(mut self, name: &str, value: &str) -> Self {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// Serialize to wire bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.body.len() + 128);
+        out.extend_from_slice(b"HTTP/1.1 ");
+        out.extend_from_slice(self.status.to_string().as_bytes());
+        out.extend_from_slice(b"\r\n");
+        for (n, v) in &self.headers {
+            out.extend_from_slice(n.as_bytes());
+            out.extend_from_slice(b": ");
+            out.extend_from_slice(v.as_bytes());
+            out.extend_from_slice(b"\r\n");
+        }
+        out.extend_from_slice(format!("Content-Length: {}\r\n", self.body.len()).as_bytes());
+        if self.close {
+            out.extend_from_slice(b"Connection: close\r\n");
+        }
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serializes_with_content_length() {
+        let r = Response::ok(b"abc".to_vec()).header("X-Fn", "echo");
+        let bytes = r.to_bytes();
+        let s = String::from_utf8(bytes).unwrap();
+        assert!(s.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(s.contains("X-Fn: echo\r\n"));
+        assert!(s.contains("Content-Length: 3\r\n"));
+        assert!(s.ends_with("\r\n\r\nabc"));
+    }
+
+    #[test]
+    fn error_statuses() {
+        for (st, code) in [
+            (StatusCode::BadRequest, 400),
+            (StatusCode::NotFound, 404),
+            (StatusCode::TooManyRequests, 429),
+            (StatusCode::InternalServerError, 500),
+            (StatusCode::ServiceUnavailable, 503),
+        ] {
+            assert_eq!(st.code(), code);
+            let bytes = Response::error(st, "nope").to_bytes();
+            assert!(String::from_utf8(bytes)
+                .unwrap()
+                .starts_with(&format!("HTTP/1.1 {code}")));
+        }
+    }
+
+    #[test]
+    fn close_header_emitted() {
+        let mut r = Response::ok(vec![]);
+        r.close = true;
+        let s = String::from_utf8(r.to_bytes()).unwrap();
+        assert!(s.contains("Connection: close\r\n"));
+    }
+}

@@ -1,0 +1,374 @@
+//! A non-blocking TCP accept/read/write loop for the listener core.
+//!
+//! This substitutes for the paper's epoll + libuv intake path: a single
+//! thread polls the listening socket and all client connections without
+//! blocking, parsing requests incrementally and queueing response bytes.
+
+use crate::parse::{ParseStatus, Request, RequestParser};
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+
+/// One client connection owned by the poll server.
+#[derive(Debug)]
+pub struct Connection {
+    stream: TcpStream,
+    parser: RequestParser,
+    /// Bytes queued for writing.
+    out: Vec<u8>,
+    /// Write progress within `out`.
+    written: usize,
+    /// Close once the output queue drains (armed only after a response has
+    /// been queued, so pending function responses are not cut off).
+    close_after_write: bool,
+    /// Whether any response bytes were ever queued.
+    responded: bool,
+    /// Requests parsed but not yet consumed by the runtime.
+    inbox: Vec<Request>,
+    dead: bool,
+}
+
+/// Unique id for a connection within a [`PollServer`].
+pub type ConnId = u64;
+
+/// Event surfaced by one poll iteration.
+#[derive(Debug)]
+pub enum ConnectionEvent {
+    /// A complete request arrived on the connection.
+    Request(ConnId, Request),
+    /// The connection closed (peer hangup, error, or after
+    /// `Connection: close`).
+    Closed(ConnId),
+}
+
+/// A minimal single-threaded non-blocking HTTP server front end.
+///
+/// Call [`poll`](Self::poll) in a loop; it accepts new connections, reads
+/// available bytes, parses requests, flushes queued responses, and returns
+/// the batch of events.
+#[derive(Debug)]
+pub struct PollServer {
+    listener: TcpListener,
+    conns: HashMap<ConnId, Connection>,
+    next_id: ConnId,
+    max_request_size: usize,
+}
+
+impl PollServer {
+    /// Bind to `addr` in non-blocking mode.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn bind(addr: SocketAddr, max_request_size: usize) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(PollServer {
+            listener,
+            conns: HashMap::new(),
+            next_id: 1,
+            max_request_size,
+        })
+    }
+
+    /// The bound local address (useful with port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Number of live connections.
+    pub fn connection_count(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// One non-blocking iteration: accept, read/parse, flush writes.
+    /// Returns all events produced by this iteration; an empty vector means
+    /// nothing was ready (caller may sleep briefly or do other work).
+    pub fn poll(&mut self) -> Vec<ConnectionEvent> {
+        let mut events = Vec::new();
+
+        // Accept as many as are pending.
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let id = self.next_id;
+                    self.next_id += 1;
+                    self.conns.insert(
+                        id,
+                        Connection {
+                            stream,
+                            parser: RequestParser::new(self.max_request_size),
+                            out: Vec::new(),
+                            written: 0,
+                            close_after_write: false,
+                            responded: false,
+                            inbox: Vec::new(),
+                            dead: false,
+                        },
+                    );
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+
+        let mut buf = [0u8; 16 * 1024];
+        let mut closed = Vec::new();
+        for (&id, conn) in self.conns.iter_mut() {
+            // Read available bytes.
+            loop {
+                match conn.stream.read(&mut buf) {
+                    Ok(0) => {
+                        conn.dead = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        match conn.parser.feed(&buf[..n]) {
+                            Ok(ParseStatus::Complete(req)) => {
+                                conn.inbox.push(req);
+                                // Drain any pipelined requests.
+                                while let Ok(ParseStatus::Complete(r)) = conn.parser.advance() {
+                                    conn.inbox.push(r);
+                                }
+                            }
+                            Ok(ParseStatus::NeedMore) => {}
+                            Err(_) => {
+                                // Malformed: 400 and close.
+                                let resp = crate::Response::error(
+                                    crate::StatusCode::BadRequest,
+                                    "malformed request",
+                                );
+                                conn.out.extend_from_slice(&resp.to_bytes());
+                                conn.close_after_write = true;
+                                conn.responded = true;
+                                break;
+                            }
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        conn.dead = true;
+                        break;
+                    }
+                }
+            }
+            for req in conn.inbox.drain(..) {
+                if req.close {
+                    conn.close_after_write = true;
+                }
+                events.push(ConnectionEvent::Request(id, req));
+            }
+            // Flush queued output.
+            while conn.written < conn.out.len() {
+                match conn.stream.write(&conn.out[conn.written..]) {
+                    Ok(0) => {
+                        conn.dead = true;
+                        break;
+                    }
+                    Ok(n) => conn.written += n,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        conn.dead = true;
+                        break;
+                    }
+                }
+            }
+            if conn.written == conn.out.len() {
+                conn.out.clear();
+                conn.written = 0;
+                if conn.close_after_write && conn.responded {
+                    conn.dead = true;
+                }
+            }
+            if conn.dead {
+                closed.push(id);
+            }
+        }
+        for id in closed {
+            self.conns.remove(&id);
+            events.push(ConnectionEvent::Closed(id));
+        }
+        events
+    }
+
+    /// Queue `bytes` to be written to connection `id`. Returns `false` if
+    /// the connection is gone.
+    pub fn send(&mut self, id: ConnId, bytes: &[u8]) -> bool {
+        match self.conns.get_mut(&id) {
+            Some(c) => {
+                c.out.extend_from_slice(bytes);
+                c.responded = true;
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Response;
+    use std::net::Shutdown;
+    use std::time::{Duration, Instant};
+
+    fn poll_until<F: FnMut(&mut PollServer) -> bool>(server: &mut PollServer, mut done: F) {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !done(server) {
+            assert!(Instant::now() < deadline, "poll_until timed out");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn end_to_end_request_response() {
+        let mut server =
+            PollServer::bind("127.0.0.1:0".parse().unwrap(), 1 << 20).unwrap();
+        let addr = server.local_addr().unwrap();
+
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(b"POST /fn/echo HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello")
+                .unwrap();
+            let mut resp = Vec::new();
+            s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            let mut buf = [0u8; 1024];
+            loop {
+                match s.read(&mut buf) {
+                    Ok(0) => break,
+                    Ok(n) => {
+                        resp.extend_from_slice(&buf[..n]);
+                        if resp.windows(4).any(|w| w == b"\r\n\r\n")
+                            && resp.ends_with(b"HELLO")
+                        {
+                            break;
+                        }
+                    }
+                    Err(_) => break,
+                }
+            }
+            let _ = s.shutdown(Shutdown::Both);
+            resp
+        });
+
+        let mut answered = false;
+        poll_until(&mut server, |srv| {
+            for ev in srv.poll() {
+                if let ConnectionEvent::Request(id, req) = ev {
+                    assert_eq!(req.path, "/fn/echo");
+                    let body = req.body.to_ascii_uppercase();
+                    srv.send(id, &Response::ok(body).to_bytes());
+                    answered = true;
+                }
+            }
+            answered
+        });
+        // Keep polling until the write drains and the client hangs up.
+        poll_until(&mut server, |srv| {
+            srv.poll();
+            srv.connection_count() == 0
+        });
+
+        let resp = client.join().unwrap();
+        let s = String::from_utf8(resp).unwrap();
+        assert!(s.starts_with("HTTP/1.1 200 OK"));
+        assert!(s.ends_with("HELLO"));
+    }
+
+    #[test]
+    fn malformed_request_gets_400_and_close() {
+        let mut server =
+            PollServer::bind("127.0.0.1:0".parse().unwrap(), 1 << 20).unwrap();
+        let addr = server.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(b"NOT-HTTP\r\n\r\n").unwrap();
+            let mut resp = Vec::new();
+            s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            let mut buf = [0u8; 1024];
+            while let Ok(n) = s.read(&mut buf) {
+                if n == 0 {
+                    break;
+                }
+                resp.extend_from_slice(&buf[..n]);
+            }
+            resp
+        });
+        poll_until(&mut server, |srv| {
+            srv.poll();
+            srv.connection_count() == 0
+        });
+        let resp = String::from_utf8(client.join().unwrap()).unwrap();
+        assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+    }
+
+    #[test]
+    fn many_concurrent_connections() {
+        let mut server =
+            PollServer::bind("127.0.0.1:0".parse().unwrap(), 1 << 20).unwrap();
+        let addr = server.local_addr().unwrap();
+        const N: usize = 32;
+        let clients: Vec<_> = (0..N)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let mut s = TcpStream::connect(addr).unwrap();
+                    let body = format!("client-{i}");
+                    s.write_all(
+                        format!(
+                            "POST /fn HTTP/1.1\r\nContent-Length: {}\r\n\r\n{}",
+                            body.len(),
+                            body
+                        )
+                        .as_bytes(),
+                    )
+                    .unwrap();
+                    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+                    let mut resp = Vec::new();
+                    let mut buf = [0u8; 1024];
+                    loop {
+                        match s.read(&mut buf) {
+                            Ok(0) | Err(_) => break,
+                            Ok(n) => {
+                                resp.extend_from_slice(&buf[..n]);
+                                if resp.ends_with(body.as_bytes()) {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    String::from_utf8(resp).unwrap()
+                })
+            })
+            .collect();
+
+        let mut served = 0;
+        poll_until(&mut server, |srv| {
+            for ev in srv.poll() {
+                if let ConnectionEvent::Request(id, req) = ev {
+                    srv.send(id, &Response::ok(req.body).to_bytes());
+                    served += 1;
+                }
+            }
+            served == N
+        });
+        // Drain writes.
+        for _ in 0..200 {
+            server.poll();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        for (i, c) in clients.into_iter().enumerate() {
+            let resp = c.join().unwrap();
+            assert!(resp.contains(&format!("client-{i}")));
+        }
+    }
+}

@@ -1,0 +1,665 @@
+//! Parse the WebAssembly binary format back into a [`Module`].
+
+use crate::instr::{BlockType, Instr, MemArg};
+use crate::leb128;
+use crate::module::{
+    ConstExpr, DataSegment, ElementSegment, Export, ExportKind, FuncBody, Import, ImportKind,
+    Module,
+};
+use crate::types::{GlobalType, Limits, MemoryType, TableType, ValType};
+use crate::DecodeError;
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> DecodeError {
+        DecodeError::new(self.pos, msg)
+    }
+
+    fn done(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn byte(&mut self) -> Result<u8, DecodeError> {
+        let b = *self
+            .bytes
+            .get(self.pos)
+            .ok_or_else(|| self.err("unexpected end of input"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+
+    fn slice(&mut self, len: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self
+            .pos
+            .checked_add(len)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| self.err("slice past end of input"))?;
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        let (v, n) = leb128::read_u32(self.bytes, self.pos)?;
+        self.pos += n;
+        Ok(v)
+    }
+
+    fn i32(&mut self) -> Result<i32, DecodeError> {
+        let (v, n) = leb128::read_i32(self.bytes, self.pos)?;
+        self.pos += n;
+        Ok(v)
+    }
+
+    fn i64(&mut self) -> Result<i64, DecodeError> {
+        let (v, n) = leb128::read_i64(self.bytes, self.pos)?;
+        self.pos += n;
+        Ok(v)
+    }
+
+    fn f32(&mut self) -> Result<f32, DecodeError> {
+        let s = self.slice(4)?;
+        Ok(f32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    fn f64(&mut self) -> Result<f64, DecodeError> {
+        let s = self.slice(8)?;
+        Ok(f64::from_le_bytes([
+            s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7],
+        ]))
+    }
+
+    fn name(&mut self) -> Result<String, DecodeError> {
+        let len = self.u32()? as usize;
+        let pos = self.pos;
+        let bytes = self.slice(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| DecodeError::new(pos, "name is not valid UTF-8"))
+    }
+
+    fn valtype(&mut self) -> Result<ValType, DecodeError> {
+        let b = self.byte()?;
+        ValType::from_byte(b).ok_or_else(|| self.err(format!("invalid value type 0x{b:02x}")))
+    }
+
+    fn limits(&mut self) -> Result<Limits, DecodeError> {
+        match self.byte()? {
+            0x00 => Ok(Limits::at_least(self.u32()?)),
+            0x01 => {
+                let min = self.u32()?;
+                let max = self.u32()?;
+                Ok(Limits::bounded(min, max))
+            }
+            f => Err(self.err(format!("invalid limits flag 0x{f:02x}"))),
+        }
+    }
+
+    fn global_type(&mut self) -> Result<GlobalType, DecodeError> {
+        let value = self.valtype()?;
+        let mutable = match self.byte()? {
+            0 => false,
+            1 => true,
+            m => return Err(self.err(format!("invalid mutability flag 0x{m:02x}"))),
+        };
+        Ok(GlobalType { value, mutable })
+    }
+
+    fn const_expr(&mut self) -> Result<ConstExpr, DecodeError> {
+        let e = match self.byte()? {
+            0x41 => ConstExpr::I32(self.i32()?),
+            0x42 => ConstExpr::I64(self.i64()?),
+            0x43 => ConstExpr::F32(self.f32()?),
+            0x44 => ConstExpr::F64(self.f64()?),
+            0x23 => ConstExpr::GlobalGet(self.u32()?),
+            op => return Err(self.err(format!("invalid const expr opcode 0x{op:02x}"))),
+        };
+        match self.byte()? {
+            0x0B => Ok(e),
+            _ => Err(self.err("const expr not terminated by end")),
+        }
+    }
+
+    fn block_type(&mut self) -> Result<BlockType, DecodeError> {
+        let b = self.byte()?;
+        if b == 0x40 {
+            return Ok(BlockType::Empty);
+        }
+        ValType::from_byte(b)
+            .map(BlockType::Value)
+            .ok_or_else(|| self.err(format!("invalid block type 0x{b:02x}")))
+    }
+
+    fn memarg(&mut self) -> Result<MemArg, DecodeError> {
+        let align = self.u32()?;
+        let offset = self.u32()?;
+        Ok(MemArg { align, offset })
+    }
+}
+
+/// Decode a complete `.wasm` binary into a [`Module`].
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] for any structural problem: bad magic, truncated
+/// sections, unknown opcodes, malformed LEB128, out-of-order sections, etc.
+/// Type errors are *not* detected here; run
+/// [`validate_module`](crate::validate::validate_module) afterwards.
+pub fn decode_module(bytes: &[u8]) -> Result<Module, DecodeError> {
+    let mut r = Reader::new(bytes);
+    if r.slice(4)? != b"\0asm" {
+        return Err(DecodeError::new(0, "bad magic number"));
+    }
+    if r.slice(4)? != [1, 0, 0, 0] {
+        return Err(DecodeError::new(4, "unsupported version"));
+    }
+
+    let mut m = Module::new();
+    let mut last_section = 0u8;
+    while !r.done() {
+        let id = r.byte()?;
+        let size = r.u32()? as usize;
+        let section_start = r.pos;
+        let section_end = section_start
+            .checked_add(size)
+            .filter(|&e| e <= r.bytes.len())
+            .ok_or_else(|| r.err("section size past end of input"))?;
+        if id != 0 {
+            if id <= last_section {
+                return Err(r.err(format!("section {id} out of order")));
+            }
+            if id > 11 {
+                return Err(r.err(format!("unknown section id {id}")));
+            }
+            last_section = id;
+        }
+        match id {
+            0 => {
+                // Custom section: read the module name if present, skip otherwise.
+                let name = r.name()?;
+                if name == "name" && r.pos < section_end {
+                    let sub_id = r.byte()?;
+                    let sub_len = r.u32()? as usize;
+                    if sub_id == 0 && r.pos + sub_len <= section_end {
+                        m.name = Some(r.name()?);
+                    }
+                }
+                r.pos = section_end;
+            }
+            1 => {
+                let n = r.u32()?;
+                for _ in 0..n {
+                    if r.byte()? != 0x60 {
+                        return Err(r.err("expected functype tag 0x60"));
+                    }
+                    let np = r.u32()?;
+                    let mut params = Vec::with_capacity(np as usize);
+                    for _ in 0..np {
+                        params.push(r.valtype()?);
+                    }
+                    let nr = r.u32()?;
+                    let mut results = Vec::with_capacity(nr as usize);
+                    for _ in 0..nr {
+                        results.push(r.valtype()?);
+                    }
+                    m.types.push(crate::types::FuncType { params, results });
+                }
+            }
+            2 => {
+                let n = r.u32()?;
+                for _ in 0..n {
+                    let module = r.name()?;
+                    let name = r.name()?;
+                    let kind = match r.byte()? {
+                        0x00 => ImportKind::Func(r.u32()?),
+                        0x01 => {
+                            if r.byte()? != 0x70 {
+                                return Err(r.err("expected funcref table element type"));
+                            }
+                            ImportKind::Table(TableType { limits: r.limits()? })
+                        }
+                        0x02 => ImportKind::Memory(MemoryType { limits: r.limits()? }),
+                        0x03 => ImportKind::Global(r.global_type()?),
+                        k => return Err(r.err(format!("invalid import kind 0x{k:02x}"))),
+                    };
+                    m.imports.push(Import { module, name, kind });
+                }
+            }
+            3 => {
+                let n = r.u32()?;
+                for _ in 0..n {
+                    m.functions.push(r.u32()?);
+                }
+            }
+            4 => {
+                let n = r.u32()?;
+                for _ in 0..n {
+                    if r.byte()? != 0x70 {
+                        return Err(r.err("expected funcref table element type"));
+                    }
+                    m.tables.push(TableType { limits: r.limits()? });
+                }
+            }
+            5 => {
+                let n = r.u32()?;
+                for _ in 0..n {
+                    m.memories.push(MemoryType { limits: r.limits()? });
+                }
+            }
+            6 => {
+                let n = r.u32()?;
+                for _ in 0..n {
+                    let ty = r.global_type()?;
+                    let init = r.const_expr()?;
+                    m.globals.push(crate::module::Global { ty, init });
+                }
+            }
+            7 => {
+                let n = r.u32()?;
+                for _ in 0..n {
+                    let name = r.name()?;
+                    let tag = r.byte()?;
+                    let idx = r.u32()?;
+                    let kind = match tag {
+                        0x00 => ExportKind::Func(idx),
+                        0x01 => ExportKind::Table(idx),
+                        0x02 => ExportKind::Memory(idx),
+                        0x03 => ExportKind::Global(idx),
+                        k => return Err(r.err(format!("invalid export kind 0x{k:02x}"))),
+                    };
+                    m.exports.push(Export { name, kind });
+                }
+            }
+            8 => {
+                m.start = Some(r.u32()?);
+            }
+            9 => {
+                let n = r.u32()?;
+                for _ in 0..n {
+                    let table = r.u32()?;
+                    if table != 0 {
+                        return Err(r.err("element segment table index must be 0"));
+                    }
+                    let offset = r.const_expr()?;
+                    let count = r.u32()?;
+                    let mut funcs = Vec::with_capacity(count as usize);
+                    for _ in 0..count {
+                        funcs.push(r.u32()?);
+                    }
+                    m.elements.push(ElementSegment { offset, funcs });
+                }
+            }
+            10 => {
+                let n = r.u32()?;
+                for _ in 0..n {
+                    let body_size = r.u32()? as usize;
+                    let body_end = r
+                        .pos
+                        .checked_add(body_size)
+                        .filter(|&e| e <= r.bytes.len())
+                        .ok_or_else(|| r.err("code body past end of input"))?;
+                    let body = decode_func_body(&mut r, body_end)?;
+                    if r.pos != body_end {
+                        return Err(r.err("code body has trailing bytes"));
+                    }
+                    m.code.push(body);
+                }
+            }
+            11 => {
+                let n = r.u32()?;
+                for _ in 0..n {
+                    let mem = r.u32()?;
+                    if mem != 0 {
+                        return Err(r.err("data segment memory index must be 0"));
+                    }
+                    let offset = r.const_expr()?;
+                    let len = r.u32()? as usize;
+                    let bytes = r.slice(len)?.to_vec();
+                    m.data.push(DataSegment { offset, bytes });
+                }
+            }
+            _ => unreachable!("section id already range-checked"),
+        }
+        if id != 0 && r.pos != section_end {
+            return Err(r.err(format!("section {id} size mismatch")));
+        }
+    }
+    if m.functions.len() != m.code.len() {
+        return Err(DecodeError::new(
+            bytes.len(),
+            "function and code section lengths differ",
+        ));
+    }
+    Ok(m)
+}
+
+fn decode_func_body(r: &mut Reader<'_>, end: usize) -> Result<FuncBody, DecodeError> {
+    let runs = r.u32()?;
+    let mut locals = Vec::new();
+    for _ in 0..runs {
+        let count = r.u32()?;
+        let ty = r.valtype()?;
+        if locals.len() as u64 + count as u64 > 1_000_000 {
+            return Err(r.err("too many locals"));
+        }
+        locals.extend(std::iter::repeat(ty).take(count as usize));
+    }
+    let mut instrs = Vec::new();
+    let mut depth: u32 = 0;
+    loop {
+        if r.pos >= end {
+            return Err(r.err("function body not terminated"));
+        }
+        let ins = decode_instr(r)?;
+        let is_end = matches!(ins, Instr::End);
+        if ins.opens_block() {
+            depth += 1;
+        }
+        instrs.push(ins);
+        if is_end {
+            if depth == 0 {
+                return Ok(FuncBody { locals, instrs });
+            }
+            depth -= 1;
+        }
+    }
+}
+
+/// Decode a single instruction from the reader.
+fn decode_instr(r: &mut Reader<'_>) -> Result<Instr, DecodeError> {
+    use Instr::*;
+    let op = r.byte()?;
+    Ok(match op {
+        0x00 => Unreachable,
+        0x01 => Nop,
+        0x02 => Block(r.block_type()?),
+        0x03 => Loop(r.block_type()?),
+        0x04 => If(r.block_type()?),
+        0x05 => Else,
+        0x0B => End,
+        0x0C => Br(r.u32()?),
+        0x0D => BrIf(r.u32()?),
+        0x0E => {
+            let n = r.u32()?;
+            let mut targets = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                targets.push(r.u32()?);
+            }
+            let default = r.u32()?;
+            BrTable(targets, default)
+        }
+        0x0F => Return,
+        0x10 => Call(r.u32()?),
+        0x11 => {
+            let ty = r.u32()?;
+            if r.byte()? != 0x00 {
+                return Err(r.err("call_indirect reserved byte must be 0"));
+            }
+            CallIndirect(ty)
+        }
+        0x1A => Drop,
+        0x1B => Select,
+        0x20 => LocalGet(r.u32()?),
+        0x21 => LocalSet(r.u32()?),
+        0x22 => LocalTee(r.u32()?),
+        0x23 => GlobalGet(r.u32()?),
+        0x24 => GlobalSet(r.u32()?),
+        0x28 => I32Load(r.memarg()?),
+        0x29 => I64Load(r.memarg()?),
+        0x2A => F32Load(r.memarg()?),
+        0x2B => F64Load(r.memarg()?),
+        0x2C => I32Load8S(r.memarg()?),
+        0x2D => I32Load8U(r.memarg()?),
+        0x2E => I32Load16S(r.memarg()?),
+        0x2F => I32Load16U(r.memarg()?),
+        0x30 => I64Load8S(r.memarg()?),
+        0x31 => I64Load8U(r.memarg()?),
+        0x32 => I64Load16S(r.memarg()?),
+        0x33 => I64Load16U(r.memarg()?),
+        0x34 => I64Load32S(r.memarg()?),
+        0x35 => I64Load32U(r.memarg()?),
+        0x36 => I32Store(r.memarg()?),
+        0x37 => I64Store(r.memarg()?),
+        0x38 => F32Store(r.memarg()?),
+        0x39 => F64Store(r.memarg()?),
+        0x3A => I32Store8(r.memarg()?),
+        0x3B => I32Store16(r.memarg()?),
+        0x3C => I64Store8(r.memarg()?),
+        0x3D => I64Store16(r.memarg()?),
+        0x3E => I64Store32(r.memarg()?),
+        0x3F => {
+            if r.byte()? != 0 {
+                return Err(r.err("memory.size reserved byte must be 0"));
+            }
+            MemorySize
+        }
+        0x40 => {
+            if r.byte()? != 0 {
+                return Err(r.err("memory.grow reserved byte must be 0"));
+            }
+            MemoryGrow
+        }
+        0x41 => I32Const(r.i32()?),
+        0x42 => I64Const(r.i64()?),
+        0x43 => F32Const(r.f32()?),
+        0x44 => F64Const(r.f64()?),
+        0x45 => I32Eqz,
+        0x46 => I32Eq,
+        0x47 => I32Ne,
+        0x48 => I32LtS,
+        0x49 => I32LtU,
+        0x4A => I32GtS,
+        0x4B => I32GtU,
+        0x4C => I32LeS,
+        0x4D => I32LeU,
+        0x4E => I32GeS,
+        0x4F => I32GeU,
+        0x50 => I64Eqz,
+        0x51 => I64Eq,
+        0x52 => I64Ne,
+        0x53 => I64LtS,
+        0x54 => I64LtU,
+        0x55 => I64GtS,
+        0x56 => I64GtU,
+        0x57 => I64LeS,
+        0x58 => I64LeU,
+        0x59 => I64GeS,
+        0x5A => I64GeU,
+        0x5B => F32Eq,
+        0x5C => F32Ne,
+        0x5D => F32Lt,
+        0x5E => F32Gt,
+        0x5F => F32Le,
+        0x60 => F32Ge,
+        0x61 => F64Eq,
+        0x62 => F64Ne,
+        0x63 => F64Lt,
+        0x64 => F64Gt,
+        0x65 => F64Le,
+        0x66 => F64Ge,
+        0x67 => I32Clz,
+        0x68 => I32Ctz,
+        0x69 => I32Popcnt,
+        0x6A => I32Add,
+        0x6B => I32Sub,
+        0x6C => I32Mul,
+        0x6D => I32DivS,
+        0x6E => I32DivU,
+        0x6F => I32RemS,
+        0x70 => I32RemU,
+        0x71 => I32And,
+        0x72 => I32Or,
+        0x73 => I32Xor,
+        0x74 => I32Shl,
+        0x75 => I32ShrS,
+        0x76 => I32ShrU,
+        0x77 => I32Rotl,
+        0x78 => I32Rotr,
+        0x79 => I64Clz,
+        0x7A => I64Ctz,
+        0x7B => I64Popcnt,
+        0x7C => I64Add,
+        0x7D => I64Sub,
+        0x7E => I64Mul,
+        0x7F => I64DivS,
+        0x80 => I64DivU,
+        0x81 => I64RemS,
+        0x82 => I64RemU,
+        0x83 => I64And,
+        0x84 => I64Or,
+        0x85 => I64Xor,
+        0x86 => I64Shl,
+        0x87 => I64ShrS,
+        0x88 => I64ShrU,
+        0x89 => I64Rotl,
+        0x8A => I64Rotr,
+        0x8B => F32Abs,
+        0x8C => F32Neg,
+        0x8D => F32Ceil,
+        0x8E => F32Floor,
+        0x8F => F32Trunc,
+        0x90 => F32Nearest,
+        0x91 => F32Sqrt,
+        0x92 => F32Add,
+        0x93 => F32Sub,
+        0x94 => F32Mul,
+        0x95 => F32Div,
+        0x96 => F32Min,
+        0x97 => F32Max,
+        0x98 => F32Copysign,
+        0x99 => F64Abs,
+        0x9A => F64Neg,
+        0x9B => F64Ceil,
+        0x9C => F64Floor,
+        0x9D => F64Trunc,
+        0x9E => F64Nearest,
+        0x9F => F64Sqrt,
+        0xA0 => F64Add,
+        0xA1 => F64Sub,
+        0xA2 => F64Mul,
+        0xA3 => F64Div,
+        0xA4 => F64Min,
+        0xA5 => F64Max,
+        0xA6 => F64Copysign,
+        0xA7 => I32WrapI64,
+        0xA8 => I32TruncF32S,
+        0xA9 => I32TruncF32U,
+        0xAA => I32TruncF64S,
+        0xAB => I32TruncF64U,
+        0xAC => I64ExtendI32S,
+        0xAD => I64ExtendI32U,
+        0xAE => I64TruncF32S,
+        0xAF => I64TruncF32U,
+        0xB0 => I64TruncF64S,
+        0xB1 => I64TruncF64U,
+        0xB2 => F32ConvertI32S,
+        0xB3 => F32ConvertI32U,
+        0xB4 => F32ConvertI64S,
+        0xB5 => F32ConvertI64U,
+        0xB6 => F32DemoteF64,
+        0xB7 => F64ConvertI32S,
+        0xB8 => F64ConvertI32U,
+        0xB9 => F64ConvertI64S,
+        0xBA => F64ConvertI64U,
+        0xBB => F64PromoteF32,
+        0xBC => I32ReinterpretF32,
+        0xBD => I64ReinterpretF64,
+        0xBE => F32ReinterpretI32,
+        0xBF => F64ReinterpretI64,
+        0xC0 => I32Extend8S,
+        0xC1 => I32Extend16S,
+        0xC2 => I64Extend8S,
+        0xC3 => I64Extend16S,
+        0xC4 => I64Extend32S,
+        _ => return Err(r.err(format!("unknown opcode 0x{op:02x}"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode_module;
+    use crate::module::FuncBody;
+    use crate::types::FuncType;
+
+    fn simple_module() -> Module {
+        let mut m = Module::new();
+        let t = m.push_type(FuncType::new(vec![ValType::I32], vec![ValType::I32]));
+        let f = m.push_function(
+            t,
+            FuncBody::new(
+                vec![ValType::I64],
+                vec![
+                    Instr::LocalGet(0),
+                    Instr::I32Const(1),
+                    Instr::I32Add,
+                    Instr::End,
+                ],
+            ),
+        );
+        m.exports.push(Export::func("inc", f));
+        m.memories.push(MemoryType {
+            limits: Limits::bounded(1, 4),
+        });
+        m.data.push(DataSegment {
+            offset: ConstExpr::I32(16),
+            bytes: vec![1, 2, 3],
+        });
+        m.name = Some("simple".into());
+        m
+    }
+
+    #[test]
+    fn roundtrip_simple_module() {
+        let m = simple_module();
+        let bytes = encode_module(&m);
+        let back = decode_module(&bytes).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert!(decode_module(b"\0bad\x01\0\0\0").is_err());
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let bytes = encode_module(&simple_module());
+        // Note: a cut at exactly 8 bytes (header only) is a *valid* empty
+        // module, so it is not in this list.
+        for cut in [3, 7, 9, 10, bytes.len() - 1] {
+            assert!(decode_module(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn out_of_order_sections_rejected() {
+        // Memory section (5) followed by type section (1).
+        let mut bytes = b"\0asm\x01\0\0\0".to_vec();
+        bytes.extend_from_slice(&[5, 3, 1, 0, 1]); // memory section
+        bytes.extend_from_slice(&[1, 1, 0]); // empty type section
+        assert!(decode_module(&bytes).is_err());
+    }
+
+    #[test]
+    fn code_function_count_mismatch_rejected() {
+        let mut m = simple_module();
+        m.code.clear(); // keep the function-section entry
+        let mut bytes = b"\0asm\x01\0\0\0".to_vec();
+        // type section with one empty type
+        bytes.extend_from_slice(&[1, 4, 1, 0x60, 0, 0]);
+        // function section referencing it
+        bytes.extend_from_slice(&[3, 2, 1, 0]);
+        // no code section
+        assert!(decode_module(&bytes).is_err());
+        let _ = m;
+    }
+}

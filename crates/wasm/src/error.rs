@@ -1,0 +1,64 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while decoding a WebAssembly binary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Byte offset in the input at which decoding failed.
+    pub offset: usize,
+    /// Human-readable reason.
+    pub message: String,
+}
+
+impl DecodeError {
+    pub(crate) fn new(offset: usize, message: impl Into<String>) -> Self {
+        DecodeError {
+            offset,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "decode error at offset {}: {}", self.offset, self.message)
+    }
+}
+
+impl Error for DecodeError {}
+
+/// Error produced while validating a decoded module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidateError {
+    /// Index of the offending function body, if the error is in code.
+    pub func: Option<u32>,
+    /// Human-readable reason.
+    pub message: String,
+}
+
+impl ValidateError {
+    pub(crate) fn module(message: impl Into<String>) -> Self {
+        ValidateError {
+            func: None,
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn in_func(func: u32, message: impl Into<String>) -> Self {
+        ValidateError {
+            func: Some(func),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.func {
+            Some(i) => write!(f, "validation error in function {}: {}", i, self.message),
+            None => write!(f, "validation error: {}", self.message),
+        }
+    }
+}
+
+impl Error for ValidateError {}

@@ -1,0 +1,227 @@
+//! LEB128 variable-length integer coding, as used by the Wasm binary format.
+//!
+//! Unsigned values use ULEB128; signed values use SLEB128 with sign
+//! extension. All readers return the decoded value together with the number
+//! of bytes consumed, and reject encodings longer than the type permits.
+//!
+//! # Examples
+//!
+//! ```
+//! let mut buf = Vec::new();
+//! sledge_wasm::leb128::write_u32(&mut buf, 624485);
+//! assert_eq!(buf, [0xE5, 0x8E, 0x26]);
+//! let (v, n) = sledge_wasm::leb128::read_u32(&buf, 0).unwrap();
+//! assert_eq!((v, n), (624485, 3));
+//! ```
+
+use crate::DecodeError;
+
+/// Append a ULEB128-encoded `u32` to `out`.
+pub fn write_u32(out: &mut Vec<u8>, mut value: u32) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Append a ULEB128-encoded `u64` to `out`.
+pub fn write_u64(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Append an SLEB128-encoded `i32` to `out`.
+pub fn write_i32(out: &mut Vec<u8>, value: i32) {
+    write_i64(out, i64::from(value));
+}
+
+/// Append an SLEB128-encoded `i64` to `out`.
+pub fn write_i64(out: &mut Vec<u8>, mut value: i64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        let sign = byte & 0x40 != 0;
+        let done = (value == 0 && !sign) || (value == -1 && sign);
+        if done {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Read a ULEB128 `u32` from `input` at `offset`.
+///
+/// Returns `(value, bytes_consumed)`.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on truncated input, on encodings longer than five
+/// bytes, or if the final byte carries bits beyond the 32-bit range.
+pub fn read_u32(input: &[u8], offset: usize) -> Result<(u32, usize), DecodeError> {
+    let (v, n) = read_unsigned(input, offset, 32)?;
+    Ok((v as u32, n))
+}
+
+/// Read a ULEB128 `u64` from `input` at `offset`.
+///
+/// Returns `(value, bytes_consumed)`.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on truncated or over-long input.
+pub fn read_u64(input: &[u8], offset: usize) -> Result<(u64, usize), DecodeError> {
+    read_unsigned(input, offset, 64)
+}
+
+fn read_unsigned(input: &[u8], offset: usize, bits: u32) -> Result<(u64, usize), DecodeError> {
+    let mut result: u64 = 0;
+    let mut shift: u32 = 0;
+    let mut consumed = 0usize;
+    loop {
+        let byte = *input
+            .get(offset + consumed)
+            .ok_or_else(|| DecodeError::new(offset + consumed, "unexpected end of leb128"))?;
+        consumed += 1;
+        let low = u64::from(byte & 0x7f);
+        if shift >= bits {
+            return Err(DecodeError::new(offset, "leb128 too long"));
+        }
+        // The final byte may only carry the bits that still fit.
+        if shift + 7 > bits && (low >> (bits - shift)) != 0 {
+            return Err(DecodeError::new(offset, "leb128 overflows target type"));
+        }
+        result |= low << shift;
+        if byte & 0x80 == 0 {
+            return Ok((result, consumed));
+        }
+        shift += 7;
+    }
+}
+
+/// Read an SLEB128 `i32` from `input` at `offset`.
+///
+/// Returns `(value, bytes_consumed)`.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on truncated or over-long input.
+pub fn read_i32(input: &[u8], offset: usize) -> Result<(i32, usize), DecodeError> {
+    let (v, n) = read_signed(input, offset, 32)?;
+    Ok((v as i32, n))
+}
+
+/// Read an SLEB128 `i64` from `input` at `offset`.
+///
+/// Returns `(value, bytes_consumed)`.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on truncated or over-long input.
+pub fn read_i64(input: &[u8], offset: usize) -> Result<(i64, usize), DecodeError> {
+    read_signed(input, offset, 64)
+}
+
+fn read_signed(input: &[u8], offset: usize, bits: u32) -> Result<(i64, usize), DecodeError> {
+    let mut result: i64 = 0;
+    let mut shift: u32 = 0;
+    let mut consumed = 0usize;
+    loop {
+        let byte = *input
+            .get(offset + consumed)
+            .ok_or_else(|| DecodeError::new(offset + consumed, "unexpected end of leb128"))?;
+        consumed += 1;
+        if shift >= bits {
+            return Err(DecodeError::new(offset, "leb128 too long"));
+        }
+        result |= i64::from(byte & 0x7f) << shift;
+        shift += 7;
+        if byte & 0x80 == 0 {
+            if shift < 64 && byte & 0x40 != 0 {
+                // Sign-extend.
+                result |= -1i64 << shift;
+            }
+            if bits < 64 {
+                let trunc = (result << (64 - bits)) >> (64 - bits);
+                if trunc != result {
+                    return Err(DecodeError::new(offset, "leb128 overflows target type"));
+                }
+            }
+            return Ok((result, consumed));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u32_roundtrip_edge_values() {
+        for v in [0u32, 1, 127, 128, 624485, u32::MAX] {
+            let mut buf = Vec::new();
+            write_u32(&mut buf, v);
+            let (back, n) = read_u32(&buf, 0).unwrap();
+            assert_eq!(back, v);
+            assert_eq!(n, buf.len());
+        }
+    }
+
+    #[test]
+    fn i32_roundtrip_edge_values() {
+        for v in [0i32, 1, -1, 63, 64, -64, -65, i32::MIN, i32::MAX] {
+            let mut buf = Vec::new();
+            write_i32(&mut buf, v);
+            let (back, n) = read_i32(&buf, 0).unwrap();
+            assert_eq!(back, v, "value {v}");
+            assert_eq!(n, buf.len());
+        }
+    }
+
+    #[test]
+    fn i64_roundtrip_edge_values() {
+        for v in [0i64, -1, i64::MIN, i64::MAX, 1 << 40, -(1 << 40)] {
+            let mut buf = Vec::new();
+            write_i64(&mut buf, v);
+            let (back, n) = read_i64(&buf, 0).unwrap();
+            assert_eq!(back, v);
+            assert_eq!(n, buf.len());
+        }
+    }
+
+    #[test]
+    fn truncated_input_is_rejected() {
+        assert!(read_u32(&[0x80], 0).is_err());
+        assert!(read_i64(&[0xff, 0xff], 0).is_err());
+        assert!(read_u32(&[], 0).is_err());
+    }
+
+    #[test]
+    fn overlong_u32_is_rejected() {
+        // Six continuation bytes exceed the 5-byte ceiling for u32.
+        assert!(read_u32(&[0x80, 0x80, 0x80, 0x80, 0x80, 0x01], 0).is_err());
+        // A fifth byte with bits above 2^32 is also invalid.
+        assert!(read_u32(&[0xff, 0xff, 0xff, 0xff, 0x7f], 0).is_err());
+    }
+
+    #[test]
+    fn nonzero_offset_reads() {
+        let mut buf = vec![0xAA, 0xBB];
+        write_u32(&mut buf, 300);
+        let (v, n) = read_u32(&buf, 2).unwrap();
+        assert_eq!(v, 300);
+        assert_eq!(n, 2);
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests: LEB128 and module encode/decode roundtrips over
+//! randomly generated inputs.
+
+use proptest::prelude::*;
+use sledge_wasm::instr::Instr;
+use sledge_wasm::module::{ConstExpr, DataSegment, Export, FuncBody, Module};
+use sledge_wasm::types::{FuncType, Limits, MemoryType, ValType};
+use sledge_wasm::{decode, encode, leb128};
+
+proptest! {
+    #[test]
+    fn leb_u32_roundtrip(v in any::<u32>()) {
+        let mut buf = Vec::new();
+        leb128::write_u32(&mut buf, v);
+        let (back, n) = leb128::read_u32(&buf, 0).unwrap();
+        prop_assert_eq!(back, v);
+        prop_assert_eq!(n, buf.len());
+        prop_assert!(buf.len() <= 5);
+    }
+
+    #[test]
+    fn leb_i32_roundtrip(v in any::<i32>()) {
+        let mut buf = Vec::new();
+        leb128::write_i32(&mut buf, v);
+        let (back, n) = leb128::read_i32(&buf, 0).unwrap();
+        prop_assert_eq!(back, v);
+        prop_assert_eq!(n, buf.len());
+    }
+
+    #[test]
+    fn leb_i64_roundtrip(v in any::<i64>()) {
+        let mut buf = Vec::new();
+        leb128::write_i64(&mut buf, v);
+        let (back, n) = leb128::read_i64(&buf, 0).unwrap();
+        prop_assert_eq!(back, v);
+        prop_assert_eq!(n, buf.len());
+    }
+
+    #[test]
+    fn leb_u64_roundtrip(v in any::<u64>()) {
+        let mut buf = Vec::new();
+        leb128::write_u64(&mut buf, v);
+        let (back, n) = leb128::read_u64(&buf, 0).unwrap();
+        prop_assert_eq!(back, v);
+        prop_assert_eq!(n, buf.len());
+    }
+
+    #[test]
+    fn leb_decoding_random_bytes_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..12)) {
+        let _ = leb128::read_u32(&bytes, 0);
+        let _ = leb128::read_i32(&bytes, 0);
+        let _ = leb128::read_u64(&bytes, 0);
+        let _ = leb128::read_i64(&bytes, 0);
+    }
+
+    #[test]
+    fn decoder_survives_random_input(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Never panics; random bytes are (almost) never a valid module.
+        let _ = decode::decode_module(&bytes);
+    }
+
+    #[test]
+    fn decoder_survives_corrupted_valid_module(
+        flip_at in 0usize..200,
+        flip_bits in 1u8..=255,
+    ) {
+        let m = sample_module(3, 7);
+        let mut bytes = encode::encode_module(&m);
+        if flip_at < bytes.len() {
+            bytes[flip_at] ^= flip_bits;
+        }
+        let _ = decode::decode_module(&bytes); // must not panic
+    }
+}
+
+fn valtype_strategy() -> impl Strategy<Value = ValType> {
+    prop_oneof![
+        Just(ValType::I32),
+        Just(ValType::I64),
+        Just(ValType::F32),
+        Just(ValType::F64),
+    ]
+}
+
+fn sample_module(consts: i32, locals: usize) -> Module {
+    let mut m = Module::new();
+    let t = m.push_type(FuncType::new(vec![ValType::I32], vec![ValType::I32]));
+    let mut instrs = Vec::new();
+    for c in 0..consts {
+        instrs.push(Instr::I32Const(c));
+        instrs.push(Instr::Drop);
+    }
+    instrs.push(Instr::LocalGet(0));
+    instrs.push(Instr::End);
+    let f = m.push_function(t, FuncBody::new(vec![ValType::I64; locals], instrs));
+    m.exports.push(Export::func("main", f));
+    m.memories.push(MemoryType {
+        limits: Limits::bounded(1, 2),
+    });
+    m.data.push(DataSegment {
+        offset: ConstExpr::I32(0),
+        bytes: vec![7; 16],
+    });
+    m
+}
+
+proptest! {
+    #[test]
+    fn module_roundtrip_with_random_shapes(
+        nfuncs in 1usize..5,
+        nlocals in 0usize..10,
+        param_tys in proptest::collection::vec(valtype_strategy(), 0..4),
+        consts in proptest::collection::vec(any::<i32>(), 0..20),
+        data in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let mut m = Module::new();
+        let t = m.push_type(FuncType::new(param_tys.clone(), vec![ValType::I32]));
+        for i in 0..nfuncs {
+            let mut instrs = Vec::new();
+            for c in &consts {
+                instrs.push(Instr::I32Const(*c));
+                instrs.push(Instr::Drop);
+            }
+            instrs.push(Instr::I32Const(i as i32));
+            instrs.push(Instr::End);
+            let f = m.push_function(t, FuncBody::new(vec![ValType::F64; nlocals], instrs));
+            m.exports.push(Export::func(format!("f{i}"), f));
+        }
+        m.memories.push(MemoryType { limits: Limits::bounded(1, 4) });
+        if !data.is_empty() {
+            m.data.push(DataSegment { offset: ConstExpr::I32(8), bytes: data });
+        }
+        m.name = Some("prop".into());
+
+        let bytes = encode::encode_module(&m);
+        let back = decode::decode_module(&bytes).unwrap();
+        prop_assert_eq!(&m, &back);
+        // And the roundtripped module still validates.
+        sledge_wasm::validate::validate_module(&back).unwrap();
+    }
+}

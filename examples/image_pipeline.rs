@@ -1,0 +1,69 @@
+//! Surveillance-camera scenario (the paper's drone/smart-city motivation):
+//! frames flow through two chained edge functions — license-plate detection
+//! on the full frame, then a half-resolution thumbnail of the annotated
+//! frame for upstreaming.
+//!
+//! Run with: `cargo run --release --example image_pipeline`
+
+use sledge::apps::{lpd, resize};
+use sledge::runtime::{FunctionConfig, Outcome, Runtime, RuntimeConfig};
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let rt = Runtime::new(RuntimeConfig::default());
+    let detect = rt.register_module(FunctionConfig::new("lpd"), &lpd::module())?;
+    let thumb = rt.register_module(FunctionConfig::new("resize"), &resize::module())?;
+
+    // Six frames from a simulated camera, plate moving across the scene.
+    let frames: Vec<(usize, usize, Vec<u8>)> = (0..6)
+        .map(|i| {
+            let (px, py) = (20 + i * 18, 16 + i * 14);
+            (px, py, lpd::synth_scene(160, 120, px, py))
+        })
+        .collect();
+
+    let t0 = Instant::now();
+    for (i, (px, py, frame)) in frames.iter().enumerate() {
+        // Stage 1: detect the plate; the response is the annotated frame.
+        let annotated = match rt.invoke(detect, frame.clone()).wait().unwrap().outcome {
+            Outcome::Success(body) => body,
+            other => panic!("lpd failed: {other:?}"),
+        };
+        // Find the drawn box (first pure-red pixel) to report the detection.
+        let w = 160usize;
+        let mut found = (0usize, 0usize);
+        'scan: for y in 0..120 {
+            for x in 0..w {
+                let o = 8 + (y * w + x) * 3;
+                if annotated[o] == 255 && annotated[o + 1] == 0 && annotated[o + 2] == 0 {
+                    found = (x, y);
+                    break 'scan;
+                }
+            }
+        }
+        // Stage 2: thumbnail the annotated frame.
+        let thumbnail = match rt.invoke(thumb, annotated).wait().unwrap().outcome {
+            Outcome::Success(body) => body,
+            other => panic!("resize failed: {other:?}"),
+        };
+        let tw = u32::from_le_bytes(thumbnail[0..4].try_into()?);
+        let th = u32::from_le_bytes(thumbnail[4..8].try_into()?);
+        println!(
+            "frame {i}: plate at ({px:>3},{py:>3}), detected near ({:>3},{:>3}), \
+             thumbnail {tw}x{th} ({} bytes)",
+            found.0,
+            found.1,
+            thumbnail.len()
+        );
+        assert!((found.0 as i32 - *px as i32).abs() <= 6);
+        assert!((found.1 as i32 - *py as i32).abs() <= 6);
+        assert_eq!((tw, th), (80, 60));
+    }
+    println!(
+        "\npipeline: {} frames x 2 functions in {:?}",
+        frames.len(),
+        t0.elapsed()
+    );
+    rt.shutdown();
+    Ok(())
+}

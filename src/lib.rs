@@ -1,0 +1,46 @@
+//! Sledge: a serverless-first, lightweight Wasm runtime for the Edge — a
+//! from-scratch Rust reproduction of the Middleware '20 paper.
+//!
+//! This umbrella crate re-exports the full stack:
+//!
+//! * [`wasm`] — WebAssembly 1.0 binary format: encoder, decoder, validator.
+//! * [`guestc`] — the guest-language DSL that compiles to Wasm (the "C →
+//!   Wasm" stage tenants would run).
+//! * [`engine`] — the aWsm ahead-of-time translation + execution engine
+//!   with configurable bounds checks and preemptible sandboxes.
+//! * [`runtime`] — the Sledge serverless runtime: listener core,
+//!   work-stealing load balancing, preemptive round-robin worker scheduling,
+//!   HTTP front end.
+//! * [`apps`] — the paper's evaluated applications and the PolyBench suite,
+//!   each in both guest and native form.
+//! * [`baseline`] — the Nuclio-style process-per-invocation comparison
+//!   system.
+//! * [`deque`] / [`http`] — the work-stealing and HTTP substrates.
+//!
+//! See `examples/` for runnable entry points and DESIGN.md / EXPERIMENTS.md
+//! for the reproduction methodology.
+//!
+//! # Examples
+//!
+//! ```
+//! use sledge::runtime::{Runtime, RuntimeConfig, FunctionConfig, Outcome};
+//!
+//! let rt = Runtime::new(RuntimeConfig { workers: 2, ..Default::default() });
+//! let id = rt.register_module(
+//!     FunctionConfig::new("ping"),
+//!     &sledge::apps::ping::module(),
+//! )?;
+//! let done = rt.invoke(id, Vec::new()).wait().unwrap();
+//! assert!(matches!(done.outcome, Outcome::Success(_)));
+//! rt.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use awsm as engine;
+pub use sledge_apps as apps;
+pub use sledge_baseline as baseline;
+pub use sledge_core as runtime;
+pub use sledge_deque as deque;
+pub use sledge_guestc as guestc;
+pub use sledge_http as http;
+pub use sledge_wasm as wasm;
