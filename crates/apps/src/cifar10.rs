@@ -54,7 +54,7 @@ pub struct Weights {
 
 /// Generate the fixed weight set.
 pub fn weights() -> Weights {
-    let mut state = 0xC1FA__10u32 ^ 0xA5A5_5A5A;
+    let mut state = 0xC1FA10u32 ^ 0xA5A5_5A5A;
     let mut next_i8 = move || {
         state ^= state << 13;
         state ^= state >> 17;
@@ -148,7 +148,10 @@ pub fn module() -> Module {
                 add(
                     local(inb),
                     mul(
-                        add(mul(add(mul(local(icv), local(size)), local(iyv)), local(size)), local(ixv)),
+                        add(
+                            mul(add(mul(local(icv), local(size)), local(iyv)), local(size)),
+                            local(ixv),
+                        ),
                         i32c(4),
                     ),
                 ),
@@ -156,37 +159,123 @@ pub fn module() -> Module {
             )
         };
 
-        f.push(for_loop(oc, i32c(0), lt_s(local(oc), local(oc_n)), 1, vec![
-            for_loop(y, i32c(0), lt_s(local(y), local(size)), 1, vec![
-                for_loop(x, i32c(0), lt_s(local(x), local(size)), 1, vec![
-                    set(acc, load(Scalar::I32, add(local(bb), mul(local(oc), i32c(4))), 0)),
-                    for_loop(ic, i32c(0), lt_s(local(ic), local(ic_n)), 1, vec![
-                        for_loop(ky, i32c(0), lt_s(local(ky), i32c(3)), 1, vec![
-                            set(iy, sub(add(local(y), local(ky)), i32c(1))),
-                            if_(and(ge_s(local(iy), i32c(0)), lt_s(local(iy), local(size))), vec![
-                                for_loop(kx, i32c(0), lt_s(local(kx), i32c(3)), 1, vec![
-                                    set(ix, sub(add(local(x), local(kx)), i32c(1))),
-                                    if_(and(ge_s(local(ix), i32c(0)), lt_s(local(ix), local(size))), vec![
-                                        // w[oc][ic][ky][kx]
-                                        set(widx, add(mul(add(mul(add(mul(local(oc), local(ic_n)), local(ic)), i32c(3)), local(ky)), i32c(3)), local(kx))),
-                                        set(acc, add(local(acc), mul(
-                                            in_at(ic, iy, ix),
-                                            load(Scalar::I8, add(local(wb), local(widx)), 0),
-                                        ))),
-                                    ]),
-                                ]),
-                            ]),
-                        ]),
-                    ]),
-                    // ReLU + requantize.
-                    set(acc, shr_s(local(acc), i32c(SHIFT))),
-                    set(acc, select(gt_s(local(acc), i32c(0)), local(acc), i32c(0))),
-                    store(Scalar::I32,
-                        add(local(outb), mul(add(mul(add(mul(local(oc), local(size)), local(y)), local(size)), local(x)), i32c(4))),
-                        0, local(acc)),
-                ]),
-            ]),
-        ]));
+        f.push(for_loop(
+            oc,
+            i32c(0),
+            lt_s(local(oc), local(oc_n)),
+            1,
+            vec![for_loop(
+                y,
+                i32c(0),
+                lt_s(local(y), local(size)),
+                1,
+                vec![for_loop(
+                    x,
+                    i32c(0),
+                    lt_s(local(x), local(size)),
+                    1,
+                    vec![
+                        set(
+                            acc,
+                            load(Scalar::I32, add(local(bb), mul(local(oc), i32c(4))), 0),
+                        ),
+                        for_loop(
+                            ic,
+                            i32c(0),
+                            lt_s(local(ic), local(ic_n)),
+                            1,
+                            vec![for_loop(
+                                ky,
+                                i32c(0),
+                                lt_s(local(ky), i32c(3)),
+                                1,
+                                vec![
+                                    set(iy, sub(add(local(y), local(ky)), i32c(1))),
+                                    if_(
+                                        and(ge_s(local(iy), i32c(0)), lt_s(local(iy), local(size))),
+                                        vec![for_loop(
+                                            kx,
+                                            i32c(0),
+                                            lt_s(local(kx), i32c(3)),
+                                            1,
+                                            vec![
+                                                set(ix, sub(add(local(x), local(kx)), i32c(1))),
+                                                if_(
+                                                    and(
+                                                        ge_s(local(ix), i32c(0)),
+                                                        lt_s(local(ix), local(size)),
+                                                    ),
+                                                    vec![
+                                                        // w[oc][ic][ky][kx]
+                                                        set(
+                                                            widx,
+                                                            add(
+                                                                mul(
+                                                                    add(
+                                                                        mul(
+                                                                            add(
+                                                                                mul(
+                                                                                    local(oc),
+                                                                                    local(ic_n),
+                                                                                ),
+                                                                                local(ic),
+                                                                            ),
+                                                                            i32c(3),
+                                                                        ),
+                                                                        local(ky),
+                                                                    ),
+                                                                    i32c(3),
+                                                                ),
+                                                                local(kx),
+                                                            ),
+                                                        ),
+                                                        set(
+                                                            acc,
+                                                            add(
+                                                                local(acc),
+                                                                mul(
+                                                                    in_at(ic, iy, ix),
+                                                                    load(
+                                                                        Scalar::I8,
+                                                                        add(local(wb), local(widx)),
+                                                                        0,
+                                                                    ),
+                                                                ),
+                                                            ),
+                                                        ),
+                                                    ],
+                                                ),
+                                            ],
+                                        )],
+                                    ),
+                                ],
+                            )],
+                        ),
+                        // ReLU + requantize.
+                        set(acc, shr_s(local(acc), i32c(SHIFT))),
+                        set(acc, select(gt_s(local(acc), i32c(0)), local(acc), i32c(0))),
+                        store(
+                            Scalar::I32,
+                            add(
+                                local(outb),
+                                mul(
+                                    add(
+                                        mul(
+                                            add(mul(local(oc), local(size)), local(y)),
+                                            local(size),
+                                        ),
+                                        local(x),
+                                    ),
+                                    i32c(4),
+                                ),
+                            ),
+                            0,
+                            local(acc),
+                        ),
+                    ],
+                )],
+            )],
+        ));
         mb.add_func("conv", f)
     };
 
@@ -260,7 +349,10 @@ pub fn module() -> Module {
                 mul(
                     add(
                         mul(
-                            add(mul(local(c), local(size)), add(mul(local(y), i32c(2)), local(dy))),
+                            add(
+                                mul(local(c), local(size)),
+                                add(mul(local(y), i32c(2)), local(dy)),
+                            ),
                             local(size),
                         ),
                         add(mul(local(x), i32c(2)), local(dx)),
@@ -272,22 +364,64 @@ pub fn module() -> Module {
         );
         f.extend([
             set(half, div(local(size), i32c(2))),
-            for_loop(c, i32c(0), lt_s(local(c), local(ch)), 1, vec![
-                for_loop(y, i32c(0), lt_s(local(y), local(half)), 1, vec![
-                    for_loop(x, i32c(0), lt_s(local(x), local(half)), 1, vec![
-                        set(m, i32c(i32::MIN)),
-                        for_loop(dy, i32c(0), lt_s(local(dy), i32c(2)), 1, vec![
-                            for_loop(dx, i32c(0), lt_s(local(dx), i32c(2)), 1, vec![
-                                set(v, in_at.clone()),
-                                set(m, select(gt_s(local(v), local(m)), local(v), local(m))),
-                            ]),
-                        ]),
-                        store(Scalar::I32,
-                            add(local(outb), mul(add(mul(add(mul(local(c), local(half)), local(y)), local(half)), local(x)), i32c(4))),
-                            0, local(m)),
-                    ]),
-                ]),
-            ]),
+            for_loop(
+                c,
+                i32c(0),
+                lt_s(local(c), local(ch)),
+                1,
+                vec![for_loop(
+                    y,
+                    i32c(0),
+                    lt_s(local(y), local(half)),
+                    1,
+                    vec![for_loop(
+                        x,
+                        i32c(0),
+                        lt_s(local(x), local(half)),
+                        1,
+                        vec![
+                            set(m, i32c(i32::MIN)),
+                            for_loop(
+                                dy,
+                                i32c(0),
+                                lt_s(local(dy), i32c(2)),
+                                1,
+                                vec![for_loop(
+                                    dx,
+                                    i32c(0),
+                                    lt_s(local(dx), i32c(2)),
+                                    1,
+                                    vec![
+                                        set(v, in_at.clone()),
+                                        set(
+                                            m,
+                                            select(gt_s(local(v), local(m)), local(v), local(m)),
+                                        ),
+                                    ],
+                                )],
+                            ),
+                            store(
+                                Scalar::I32,
+                                add(
+                                    local(outb),
+                                    mul(
+                                        add(
+                                            mul(
+                                                add(mul(local(c), local(half)), local(y)),
+                                                local(half),
+                                            ),
+                                            local(x),
+                                        ),
+                                        i32c(4),
+                                    ),
+                                ),
+                                0,
+                                local(m),
+                            ),
+                        ],
+                    )],
+                )],
+            ),
         ]);
         mb.add_func("pool", f)
     };
@@ -304,31 +438,93 @@ pub fn module() -> Module {
     let mut body = read_request(&env, RX, len);
     body.extend([
         exec(call(conv_in, vec![i32c(ACT1), i32c(w1o), i32c(b1o)])),
-        exec(call(pool, vec![i32c(ACT1), i32c(POOL1), i32c(C1 as i32), i32c(nn)])),
-        exec(call(conv, vec![i32c(POOL1), i32c(ACT2), i32c(C1 as i32), i32c(C2 as i32), i32c(nn / 2), i32c(w2o), i32c(b2o)])),
-        exec(call(pool, vec![i32c(ACT2), i32c(POOL2), i32c(C2 as i32), i32c(nn / 2)])),
+        exec(call(
+            pool,
+            vec![i32c(ACT1), i32c(POOL1), i32c(C1 as i32), i32c(nn)],
+        )),
+        exec(call(
+            conv,
+            vec![
+                i32c(POOL1),
+                i32c(ACT2),
+                i32c(C1 as i32),
+                i32c(C2 as i32),
+                i32c(nn / 2),
+                i32c(w2o),
+                i32c(b2o),
+            ],
+        )),
+        exec(call(
+            pool,
+            vec![i32c(ACT2), i32c(POOL2), i32c(C2 as i32), i32c(nn / 2)],
+        )),
         // Fully connected: logits[k] = bfc[k] + Σ fc[k][i] * pool2[i].
-        for_loop(i, i32c(0), lt_s(local(i), i32c(CLASSES as i32)), 1, vec![
-            set(acc, load(Scalar::I32, add(i32c(bfco), mul(local(i), i32c(4))), 0)),
-            for_loop(j, i32c(0), lt_s(local(j), i32c((C2 * 4 * 4) as i32)), 1, vec![
-                set(acc, add(local(acc), mul(
-                    load(Scalar::I32, add(i32c(POOL2), mul(local(j), i32c(4))), 0),
-                    load(Scalar::I8, add(i32c(fco), add(mul(local(i), i32c((C2 * 4 * 4) as i32)), local(j))), 0),
-                ))),
-            ]),
-            store(Scalar::I32, add(i32c(LOGITS), mul(local(i), i32c(4))), 0, local(acc)),
-        ]),
+        for_loop(
+            i,
+            i32c(0),
+            lt_s(local(i), i32c(CLASSES as i32)),
+            1,
+            vec![
+                set(
+                    acc,
+                    load(Scalar::I32, add(i32c(bfco), mul(local(i), i32c(4))), 0),
+                ),
+                for_loop(
+                    j,
+                    i32c(0),
+                    lt_s(local(j), i32c((C2 * 4 * 4) as i32)),
+                    1,
+                    vec![set(
+                        acc,
+                        add(
+                            local(acc),
+                            mul(
+                                load(Scalar::I32, add(i32c(POOL2), mul(local(j), i32c(4))), 0),
+                                load(
+                                    Scalar::I8,
+                                    add(
+                                        i32c(fco),
+                                        add(mul(local(i), i32c((C2 * 4 * 4) as i32)), local(j)),
+                                    ),
+                                    0,
+                                ),
+                            ),
+                        ),
+                    )],
+                ),
+                store(
+                    Scalar::I32,
+                    add(i32c(LOGITS), mul(local(i), i32c(4))),
+                    0,
+                    local(acc),
+                ),
+            ],
+        ),
         // Argmax.
         set(best, i32c(i32::MIN)),
         set(best_i, i32c(0)),
-        for_loop(i, i32c(0), lt_s(local(i), i32c(CLASSES as i32)), 1, vec![
-            set(acc, load(Scalar::I32, add(i32c(LOGITS), mul(local(i), i32c(4))), 0)),
-            if_(gt_s(local(acc), local(best)), vec![
-                set(best, local(acc)),
-                set(best_i, local(i)),
-            ]),
-        ]),
-        store(Scalar::U8, i32c(OUT), 0, add(local(best_i), i32c('0' as i32))),
+        for_loop(
+            i,
+            i32c(0),
+            lt_s(local(i), i32c(CLASSES as i32)),
+            1,
+            vec![
+                set(
+                    acc,
+                    load(Scalar::I32, add(i32c(LOGITS), mul(local(i), i32c(4))), 0),
+                ),
+                if_(
+                    gt_s(local(acc), local(best)),
+                    vec![set(best, local(acc)), set(best_i, local(i))],
+                ),
+            ],
+        ),
+        store(
+            Scalar::U8,
+            i32c(OUT),
+            0,
+            add(local(best_i), i32c('0' as i32)),
+        ),
         write_response(&env, i32c(OUT), i32c(1)),
         ret(Some(i32c(0))),
     ]);
@@ -393,7 +589,14 @@ pub fn native(body: &[u8]) -> Vec<u8> {
     vec![b'0' + best_i as u8]
 }
 
-fn conv_native(input: &[i32], ic_n: usize, oc_n: usize, size: usize, wt: &[i8], bias: &[i32]) -> Vec<i32> {
+fn conv_native(
+    input: &[i32],
+    ic_n: usize,
+    oc_n: usize,
+    size: usize,
+    wt: &[i8],
+    bias: &[i32],
+) -> Vec<i32> {
     let mut out = vec![0i32; oc_n * size * size];
     for oc in 0..oc_n {
         for y in 0..size {

@@ -3,8 +3,8 @@
 //! and writes it back out), and return it as the response.
 
 use crate::abi::{import_env, write_response};
-use sledge_guestc::Expr;
 use sledge_guestc::dsl::*;
+use sledge_guestc::Expr;
 use sledge_guestc::{FuncBuilder, ModuleBuilder, Scalar};
 use sledge_wasm::module::Module;
 use sledge_wasm::types::ValType;
@@ -28,9 +28,15 @@ pub fn module() -> Module {
     let mut body = vec![
         set(n, call(env.request_len, vec![])),
         // copy = RX + round_up(n, 64 KiB); grow to fit copy + n.
-        set(copy, add(i32c(RX), and(add(local(n), i32c(65535)), i32c(!65535)))),
+        set(
+            copy,
+            add(i32c(RX), and(add(local(n), i32c(65535)), i32c(!65535))),
+        ),
         // +8 pads the final word-granularity copy; round up to whole pages.
-        set(need, shr_u(add(add(local(copy), local(n)), i32c(8 + 65535)), i32c(16))),
+        set(
+            need,
+            shr_u(add(add(local(copy), local(n)), i32c(8 + 65535)), i32c(16)),
+        ),
         if_(
             gt_s(local(need), Expr::MemorySize),
             vec![exec(Expr::MemoryGrow(Box::new(sub(
@@ -41,14 +47,18 @@ pub fn module() -> Module {
         exec(call(env.request_read, vec![i32c(RX), local(n), i32c(0)])),
         // Copy word-at-a-time into the intermediate buffer (the guest-side
         // data handling the paper's function performs).
-        for_loop(i, i32c(0), lt_s(local(i), local(n)), 8, vec![
-            store(
+        for_loop(
+            i,
+            i32c(0),
+            lt_s(local(i), local(n)),
+            8,
+            vec![store(
                 Scalar::I64,
                 add(local(copy), local(i)),
                 0,
                 load(Scalar::I64, add(i32c(RX), local(i)), 0),
-            ),
-        ]),
+            )],
+        ),
         write_response(&env, local(copy), local(n)),
         ret(Some(i32c(0))),
     ];

@@ -95,44 +95,118 @@ pub fn module() -> Module {
         set(rows, load(Scalar::I32, i32c(RX), 4)),
         set(out_pos, i32c(0)),
         // For each glyph cell...
-        for_loop(cy, i32c(0), lt_s(local(cy), local(rows)), 1, vec![
-            for_loop(cx, i32c(0), lt_s(local(cx), local(cols)), 1, vec![
-                set(best, i32c(1 << 20)),
-                set(best_g, i32c(GLYPHS as i32 - 1)),
-                for_loop(g, i32c(0), lt_s(local(g), i32c(GLYPHS as i32)), 1, vec![
-                    set(dist, i32c(0)),
-                    for_loop(r, i32c(0), lt_s(local(r), i32c(CELL_H as i32)), 1, vec![
-                        // The bitmap byte for (cell cy, pixel row r, cell cx):
-                        // offset = 8 + (cy*CELL_H + r)*cols + cx.
-                        set(cell_byte, load(Scalar::U8,
-                            add(i32c(RX + 8),
-                                add(mul(add(mul(local(cy), i32c(CELL_H as i32)), local(r)), local(cols)),
-                                    local(cx))), 0)),
-                        set(dist, add(local(dist), Expr::Un(
-                            sledge_guestc::UnOp::Popcnt,
-                            Box::new(xor(local(cell_byte),
-                                load(Scalar::U8,
-                                    add(i32c(FONT), add(mul(local(g), i32c(CELL_H as i32)), local(r))), 0)))))),
-                    ]),
-                    if_(lt_s(local(dist), local(best)), vec![
-                        set(best, local(dist)),
-                        set(best_g, local(g)),
-                    ]),
-                ]),
-                // Emit the alphabet character for best_g. The alphabet is
-                // '0'..'9','A'..'Z',' ' — compute it arithmetically.
-                store(Scalar::U8, add(i32c(OUT), local(out_pos)), 0,
-                    select(lt_s(local(best_g), i32c(10)),
-                        add(local(best_g), i32c('0' as i32)),
-                        select(lt_s(local(best_g), i32c(36)),
-                            add(local(best_g), i32c('A' as i32 - 10)),
-                            i32c(' ' as i32)))),
+        for_loop(
+            cy,
+            i32c(0),
+            lt_s(local(cy), local(rows)),
+            1,
+            vec![
+                for_loop(
+                    cx,
+                    i32c(0),
+                    lt_s(local(cx), local(cols)),
+                    1,
+                    vec![
+                        set(best, i32c(1 << 20)),
+                        set(best_g, i32c(GLYPHS as i32 - 1)),
+                        for_loop(
+                            g,
+                            i32c(0),
+                            lt_s(local(g), i32c(GLYPHS as i32)),
+                            1,
+                            vec![
+                                set(dist, i32c(0)),
+                                for_loop(
+                                    r,
+                                    i32c(0),
+                                    lt_s(local(r), i32c(CELL_H as i32)),
+                                    1,
+                                    vec![
+                                        // The bitmap byte for (cell cy, pixel row r, cell cx):
+                                        // offset = 8 + (cy*CELL_H + r)*cols + cx.
+                                        set(
+                                            cell_byte,
+                                            load(
+                                                Scalar::U8,
+                                                add(
+                                                    i32c(RX + 8),
+                                                    add(
+                                                        mul(
+                                                            add(
+                                                                mul(local(cy), i32c(CELL_H as i32)),
+                                                                local(r),
+                                                            ),
+                                                            local(cols),
+                                                        ),
+                                                        local(cx),
+                                                    ),
+                                                ),
+                                                0,
+                                            ),
+                                        ),
+                                        set(
+                                            dist,
+                                            add(
+                                                local(dist),
+                                                Expr::Un(
+                                                    sledge_guestc::UnOp::Popcnt,
+                                                    Box::new(xor(
+                                                        local(cell_byte),
+                                                        load(
+                                                            Scalar::U8,
+                                                            add(
+                                                                i32c(FONT),
+                                                                add(
+                                                                    mul(
+                                                                        local(g),
+                                                                        i32c(CELL_H as i32),
+                                                                    ),
+                                                                    local(r),
+                                                                ),
+                                                            ),
+                                                            0,
+                                                        ),
+                                                    )),
+                                                ),
+                                            ),
+                                        ),
+                                    ],
+                                ),
+                                if_(
+                                    lt_s(local(dist), local(best)),
+                                    vec![set(best, local(dist)), set(best_g, local(g))],
+                                ),
+                            ],
+                        ),
+                        // Emit the alphabet character for best_g. The alphabet is
+                        // '0'..'9','A'..'Z',' ' — compute it arithmetically.
+                        store(
+                            Scalar::U8,
+                            add(i32c(OUT), local(out_pos)),
+                            0,
+                            select(
+                                lt_s(local(best_g), i32c(10)),
+                                add(local(best_g), i32c('0' as i32)),
+                                select(
+                                    lt_s(local(best_g), i32c(36)),
+                                    add(local(best_g), i32c('A' as i32 - 10)),
+                                    i32c(' ' as i32),
+                                ),
+                            ),
+                        ),
+                        set(out_pos, add(local(out_pos), i32c(1))),
+                    ],
+                ),
+                // Newline after each cell row.
+                store(
+                    Scalar::U8,
+                    add(i32c(OUT), local(out_pos)),
+                    0,
+                    i32c('\n' as i32),
+                ),
                 set(out_pos, add(local(out_pos), i32c(1))),
-            ]),
-            // Newline after each cell row.
-            store(Scalar::U8, add(i32c(OUT), local(out_pos)), 0, i32c('\n' as i32)),
-            set(out_pos, add(local(out_pos), i32c(1))),
-        ]),
+            ],
+        ),
         write_response(&env, i32c(OUT), local(out_pos)),
         ret(Some(i32c(0))),
     ]);

@@ -67,18 +67,60 @@ pub fn module() -> Module {
         let j = f.local(I32);
         let l = f.local(I32);
         let acc = f.local(F64);
-        f.push(for_loop(i, i32c(0), lt_s(local(i), local(n)), 1, vec![
-            for_loop(j, i32c(0), lt_s(local(j), local(k)), 1, vec![
-                set(acc, f64c(0.0)),
-                for_loop(l, i32c(0), lt_s(local(l), local(m)), 1, vec![
-                    set(acc, add(local(acc), mul(
-                        load(Scalar::F64, add(local(a), mul(add(mul(local(i), local(sa)), local(l)), i32c(8))), 0),
-                        load(Scalar::F64, add(local(b), mul(add(mul(local(l), local(sb)), local(j)), i32c(8))), 0),
-                    ))),
-                ]),
-                store(Scalar::F64, add(local(c), mul(add(mul(local(i), local(sc)), local(j)), i32c(8))), 0, local(acc)),
-            ]),
-        ]));
+        f.push(for_loop(
+            i,
+            i32c(0),
+            lt_s(local(i), local(n)),
+            1,
+            vec![for_loop(
+                j,
+                i32c(0),
+                lt_s(local(j), local(k)),
+                1,
+                vec![
+                    set(acc, f64c(0.0)),
+                    for_loop(
+                        l,
+                        i32c(0),
+                        lt_s(local(l), local(m)),
+                        1,
+                        vec![set(
+                            acc,
+                            add(
+                                local(acc),
+                                mul(
+                                    load(
+                                        Scalar::F64,
+                                        add(
+                                            local(a),
+                                            mul(add(mul(local(i), local(sa)), local(l)), i32c(8)),
+                                        ),
+                                        0,
+                                    ),
+                                    load(
+                                        Scalar::F64,
+                                        add(
+                                            local(b),
+                                            mul(add(mul(local(l), local(sb)), local(j)), i32c(8)),
+                                        ),
+                                        0,
+                                    ),
+                                ),
+                            ),
+                        )],
+                    ),
+                    store(
+                        Scalar::F64,
+                        add(
+                            local(c),
+                            mul(add(mul(local(i), local(sc)), local(j)), i32c(8)),
+                        ),
+                        0,
+                        local(acc),
+                    ),
+                ],
+            )],
+        ));
         mb.add_func("matmul", f)
     };
 
@@ -93,18 +135,60 @@ pub fn module() -> Module {
         let j = f.local(I32);
         let l = f.local(I32);
         let acc = f.local(F64);
-        f.push(for_loop(i, i32c(0), lt_s(local(i), local(n)), 1, vec![
-            for_loop(j, i32c(0), lt_s(local(j), local(k)), 1, vec![
-                set(acc, f64c(0.0)),
-                for_loop(l, i32c(0), lt_s(local(l), local(m)), 1, vec![
-                    set(acc, add(local(acc), mul(
-                        load(Scalar::F64, add(local(a), mul(add(mul(local(i), local(sa)), local(l)), i32c(8))), 0),
-                        load(Scalar::F64, add(local(b), mul(add(mul(local(j), local(sb)), local(l)), i32c(8))), 0),
-                    ))),
-                ]),
-                store(Scalar::F64, add(local(c), mul(add(mul(local(i), local(sc)), local(j)), i32c(8))), 0, local(acc)),
-            ]),
-        ]));
+        f.push(for_loop(
+            i,
+            i32c(0),
+            lt_s(local(i), local(n)),
+            1,
+            vec![for_loop(
+                j,
+                i32c(0),
+                lt_s(local(j), local(k)),
+                1,
+                vec![
+                    set(acc, f64c(0.0)),
+                    for_loop(
+                        l,
+                        i32c(0),
+                        lt_s(local(l), local(m)),
+                        1,
+                        vec![set(
+                            acc,
+                            add(
+                                local(acc),
+                                mul(
+                                    load(
+                                        Scalar::F64,
+                                        add(
+                                            local(a),
+                                            mul(add(mul(local(i), local(sa)), local(l)), i32c(8)),
+                                        ),
+                                        0,
+                                    ),
+                                    load(
+                                        Scalar::F64,
+                                        add(
+                                            local(b),
+                                            mul(add(mul(local(j), local(sb)), local(l)), i32c(8)),
+                                        ),
+                                        0,
+                                    ),
+                                ),
+                            ),
+                        )],
+                    ),
+                    store(
+                        Scalar::F64,
+                        add(
+                            local(c),
+                            mul(add(mul(local(i), local(sc)), local(j)), i32c(8)),
+                        ),
+                        0,
+                        local(acc),
+                    ),
+                ],
+            )],
+        ));
         mb.add_func("matmul_bt", f)
     };
 
@@ -120,43 +204,131 @@ pub fn module() -> Module {
         let fac = f.local(F64);
         // aug: 4x8 augmented matrix in scratch right after dst (dst+128).
         let aug_at = |row: Expr, col: Expr, dstl: sledge_guestc::Local| {
-            add(add(local(dstl), i32c(128)), mul(add(mul(row, i32c(8)), col), i32c(8)))
+            add(
+                add(local(dstl), i32c(128)),
+                mul(add(mul(row, i32c(8)), col), i32c(8)),
+            )
         };
         f.extend([
             // Build [S | I].
-            for_loop(i, i32c(0), lt_s(local(i), i32c(4)), 1, vec![
-                for_loop(j, i32c(0), lt_s(local(j), i32c(4)), 1, vec![
-                    store(Scalar::F64, aug_at(local(i), local(j), dst), 0,
-                        load(Scalar::F64, add(local(src), mul(add(mul(local(i), i32c(4)), local(j)), i32c(8))), 0)),
-                    store(Scalar::F64, aug_at(local(i), add(local(j), i32c(4)), dst), 0,
-                        select(eq(local(i), local(j)), f64c(1.0), f64c(0.0))),
-                ]),
-            ]),
+            for_loop(
+                i,
+                i32c(0),
+                lt_s(local(i), i32c(4)),
+                1,
+                vec![for_loop(
+                    j,
+                    i32c(0),
+                    lt_s(local(j), i32c(4)),
+                    1,
+                    vec![
+                        store(
+                            Scalar::F64,
+                            aug_at(local(i), local(j), dst),
+                            0,
+                            load(
+                                Scalar::F64,
+                                add(
+                                    local(src),
+                                    mul(add(mul(local(i), i32c(4)), local(j)), i32c(8)),
+                                ),
+                                0,
+                            ),
+                        ),
+                        store(
+                            Scalar::F64,
+                            aug_at(local(i), add(local(j), i32c(4)), dst),
+                            0,
+                            select(eq(local(i), local(j)), f64c(1.0), f64c(0.0)),
+                        ),
+                    ],
+                )],
+            ),
             // Eliminate.
-            for_loop(i, i32c(0), lt_s(local(i), i32c(4)), 1, vec![
-                set(piv, load(Scalar::F64, aug_at(local(i), local(i), dst), 0)),
-                for_loop(j, i32c(0), lt_s(local(j), i32c(8)), 1, vec![
-                    store(Scalar::F64, aug_at(local(i), local(j), dst), 0,
-                        div(load(Scalar::F64, aug_at(local(i), local(j), dst), 0), local(piv))),
-                ]),
-                for_loop(r, i32c(0), lt_s(local(r), i32c(4)), 1, vec![
-                    if_(ne(local(r), local(i)), vec![
-                        set(fac, load(Scalar::F64, aug_at(local(r), local(i), dst), 0)),
-                        for_loop(j, i32c(0), lt_s(local(j), i32c(8)), 1, vec![
-                            store(Scalar::F64, aug_at(local(r), local(j), dst), 0,
-                                sub(load(Scalar::F64, aug_at(local(r), local(j), dst), 0),
-                                    mul(local(fac), load(Scalar::F64, aug_at(local(i), local(j), dst), 0)))),
-                        ]),
-                    ]),
-                ]),
-            ]),
+            for_loop(
+                i,
+                i32c(0),
+                lt_s(local(i), i32c(4)),
+                1,
+                vec![
+                    set(piv, load(Scalar::F64, aug_at(local(i), local(i), dst), 0)),
+                    for_loop(
+                        j,
+                        i32c(0),
+                        lt_s(local(j), i32c(8)),
+                        1,
+                        vec![store(
+                            Scalar::F64,
+                            aug_at(local(i), local(j), dst),
+                            0,
+                            div(
+                                load(Scalar::F64, aug_at(local(i), local(j), dst), 0),
+                                local(piv),
+                            ),
+                        )],
+                    ),
+                    for_loop(
+                        r,
+                        i32c(0),
+                        lt_s(local(r), i32c(4)),
+                        1,
+                        vec![if_(
+                            ne(local(r), local(i)),
+                            vec![
+                                set(fac, load(Scalar::F64, aug_at(local(r), local(i), dst), 0)),
+                                for_loop(
+                                    j,
+                                    i32c(0),
+                                    lt_s(local(j), i32c(8)),
+                                    1,
+                                    vec![store(
+                                        Scalar::F64,
+                                        aug_at(local(r), local(j), dst),
+                                        0,
+                                        sub(
+                                            load(Scalar::F64, aug_at(local(r), local(j), dst), 0),
+                                            mul(
+                                                local(fac),
+                                                load(
+                                                    Scalar::F64,
+                                                    aug_at(local(i), local(j), dst),
+                                                    0,
+                                                ),
+                                            ),
+                                        ),
+                                    )],
+                                ),
+                            ],
+                        )],
+                    ),
+                ],
+            ),
             // Copy right half to dst.
-            for_loop(i, i32c(0), lt_s(local(i), i32c(4)), 1, vec![
-                for_loop(j, i32c(0), lt_s(local(j), i32c(4)), 1, vec![
-                    store(Scalar::F64, add(local(dst), mul(add(mul(local(i), i32c(4)), local(j)), i32c(8))), 0,
-                        load(Scalar::F64, aug_at(local(i), add(local(j), i32c(4)), dst), 0)),
-                ]),
-            ]),
+            for_loop(
+                i,
+                i32c(0),
+                lt_s(local(i), i32c(4)),
+                1,
+                vec![for_loop(
+                    j,
+                    i32c(0),
+                    lt_s(local(j), i32c(4)),
+                    1,
+                    vec![store(
+                        Scalar::F64,
+                        add(
+                            local(dst),
+                            mul(add(mul(local(i), i32c(4)), local(j)), i32c(8)),
+                        ),
+                        0,
+                        load(
+                            Scalar::F64,
+                            aug_at(local(i), add(local(j), i32c(4)), dst),
+                            0,
+                        ),
+                    )],
+                )],
+            ),
         ]);
         mb.add_func("invert4", f)
     };
@@ -173,80 +345,290 @@ pub fn module() -> Module {
     let mut body = read_request(&env, RX, len);
     body.extend([
         // Build F: identity with DT on the (even, odd) velocity couplings.
-        for_loop(i, i32c(0), lt_s(local(i), i32c(nn)), 1, vec![
-            for_loop(j, i32c(0), lt_s(local(j), i32c(nn)), 1, vec![
-                st2(F, local(i), local(j), nn,
-                    select(eq(local(i), local(j)), f64c(1.0), f64c(0.0))),
-            ]),
-        ]),
+        for_loop(
+            i,
+            i32c(0),
+            lt_s(local(i), i32c(nn)),
+            1,
+            vec![for_loop(
+                j,
+                i32c(0),
+                lt_s(local(j), i32c(nn)),
+                1,
+                vec![st2(
+                    F,
+                    local(i),
+                    local(j),
+                    nn,
+                    select(eq(local(i), local(j)), f64c(1.0), f64c(0.0)),
+                )],
+            )],
+        ),
         // F[2k][2k+1] = DT.
-        for_loop(i, i32c(0), lt_s(local(i), i32c(mm)), 1, vec![
-            st2(F, mul(local(i), i32c(2)), add(mul(local(i), i32c(2)), i32c(1)), nn, f64c(DT)),
-        ]),
+        for_loop(
+            i,
+            i32c(0),
+            lt_s(local(i), i32c(mm)),
+            1,
+            vec![st2(
+                F,
+                mul(local(i), i32c(2)),
+                add(mul(local(i), i32c(2)), i32c(1)),
+                nn,
+                f64c(DT),
+            )],
+        ),
         // Build H: M x N selecting even states.
-        for_loop(i, i32c(0), lt_s(local(i), i32c(mm)), 1, vec![
-            for_loop(j, i32c(0), lt_s(local(j), i32c(nn)), 1, vec![
-                st2(H, local(i), local(j), nn,
-                    select(eq(mul(local(i), i32c(2)), local(j)), f64c(1.0), f64c(0.0))),
-            ]),
-        ]),
+        for_loop(
+            i,
+            i32c(0),
+            lt_s(local(i), i32c(mm)),
+            1,
+            vec![for_loop(
+                j,
+                i32c(0),
+                lt_s(local(j), i32c(nn)),
+                1,
+                vec![st2(
+                    H,
+                    local(i),
+                    local(j),
+                    nn,
+                    select(eq(mul(local(i), i32c(2)), local(j)), f64c(1.0), f64c(0.0)),
+                )],
+            )],
+        ),
         // xp = F x (treat x as N x 1).
-        exec(call(matmul, vec![i32c(F), i32c(X), i32c(XP),
-            i32c(nn), i32c(nn), i32c(1), i32c(nn), i32c(1), i32c(1)])),
+        exec(call(
+            matmul,
+            vec![
+                i32c(F),
+                i32c(X),
+                i32c(XP),
+                i32c(nn),
+                i32c(nn),
+                i32c(1),
+                i32c(nn),
+                i32c(1),
+                i32c(1),
+            ],
+        )),
         // T1 = F P ; PP = T1 F^T + Q I.
-        exec(call(matmul, vec![i32c(F), i32c(P), i32c(T1),
-            i32c(nn), i32c(nn), i32c(nn), i32c(nn), i32c(nn), i32c(nn)])),
-        exec(call(matmul_bt, vec![i32c(T1), i32c(F), i32c(PP),
-            i32c(nn), i32c(nn), i32c(nn), i32c(nn), i32c(nn), i32c(nn)])),
-        for_loop(i, i32c(0), lt_s(local(i), i32c(nn)), 1, vec![
-            st2(PP, local(i), local(i), nn,
-                add(ld2(PP, local(i), local(i), nn), f64c(Q))),
-        ]),
+        exec(call(
+            matmul,
+            vec![
+                i32c(F),
+                i32c(P),
+                i32c(T1),
+                i32c(nn),
+                i32c(nn),
+                i32c(nn),
+                i32c(nn),
+                i32c(nn),
+                i32c(nn),
+            ],
+        )),
+        exec(call(
+            matmul_bt,
+            vec![
+                i32c(T1),
+                i32c(F),
+                i32c(PP),
+                i32c(nn),
+                i32c(nn),
+                i32c(nn),
+                i32c(nn),
+                i32c(nn),
+                i32c(nn),
+            ],
+        )),
+        for_loop(
+            i,
+            i32c(0),
+            lt_s(local(i), i32c(nn)),
+            1,
+            vec![st2(
+                PP,
+                local(i),
+                local(i),
+                nn,
+                add(ld2(PP, local(i), local(i), nn), f64c(Q)),
+            )],
+        ),
         // T2 = H PP (M x N); S = T2 H^T + R I (M x M).
-        exec(call(matmul, vec![i32c(H), i32c(PP), i32c(T2),
-            i32c(mm), i32c(nn), i32c(nn), i32c(nn), i32c(nn), i32c(nn)])),
-        exec(call(matmul_bt, vec![i32c(T2), i32c(H), i32c(S),
-            i32c(mm), i32c(nn), i32c(mm), i32c(nn), i32c(nn), i32c(mm)])),
-        for_loop(i, i32c(0), lt_s(local(i), i32c(mm)), 1, vec![
-            st2(S, local(i), local(i), mm,
-                add(ld2(S, local(i), local(i), mm), f64c(R))),
-        ]),
+        exec(call(
+            matmul,
+            vec![
+                i32c(H),
+                i32c(PP),
+                i32c(T2),
+                i32c(mm),
+                i32c(nn),
+                i32c(nn),
+                i32c(nn),
+                i32c(nn),
+                i32c(nn),
+            ],
+        )),
+        exec(call(
+            matmul_bt,
+            vec![
+                i32c(T2),
+                i32c(H),
+                i32c(S),
+                i32c(mm),
+                i32c(nn),
+                i32c(mm),
+                i32c(nn),
+                i32c(nn),
+                i32c(mm),
+            ],
+        )),
+        for_loop(
+            i,
+            i32c(0),
+            lt_s(local(i), i32c(mm)),
+            1,
+            vec![st2(
+                S,
+                local(i),
+                local(i),
+                mm,
+                add(ld2(S, local(i), local(i), mm), f64c(R)),
+            )],
+        ),
         // SI = S^-1 ; PHT = PP H^T (N x M) ; K = PHT SI (N x M).
         exec(call(invert4, vec![i32c(S), i32c(SI)])),
-        exec(call(matmul_bt, vec![i32c(PP), i32c(H), i32c(PHT),
-            i32c(nn), i32c(nn), i32c(mm), i32c(nn), i32c(nn), i32c(mm)])),
-        exec(call(matmul, vec![i32c(PHT), i32c(SI), i32c(K),
-            i32c(nn), i32c(mm), i32c(mm), i32c(mm), i32c(mm), i32c(mm)])),
+        exec(call(
+            matmul_bt,
+            vec![
+                i32c(PP),
+                i32c(H),
+                i32c(PHT),
+                i32c(nn),
+                i32c(nn),
+                i32c(mm),
+                i32c(nn),
+                i32c(nn),
+                i32c(mm),
+            ],
+        )),
+        exec(call(
+            matmul,
+            vec![
+                i32c(PHT),
+                i32c(SI),
+                i32c(K),
+                i32c(nn),
+                i32c(mm),
+                i32c(mm),
+                i32c(mm),
+                i32c(mm),
+                i32c(mm),
+            ],
+        )),
         // y = z - H xp.
-        for_loop(i, i32c(0), lt_s(local(i), i32c(mm)), 1, vec![
-            set(acc, f64c(0.0)),
-            for_loop(j, i32c(0), lt_s(local(j), i32c(nn)), 1, vec![
-                set(acc, add(local(acc), mul(ld2(H, local(i), local(j), nn), ld1(XP, local(j))))),
-            ]),
-            st1(Y, local(i), sub(ld1(Z, local(i)), local(acc))),
-        ]),
+        for_loop(
+            i,
+            i32c(0),
+            lt_s(local(i), i32c(mm)),
+            1,
+            vec![
+                set(acc, f64c(0.0)),
+                for_loop(
+                    j,
+                    i32c(0),
+                    lt_s(local(j), i32c(nn)),
+                    1,
+                    vec![set(
+                        acc,
+                        add(
+                            local(acc),
+                            mul(ld2(H, local(i), local(j), nn), ld1(XP, local(j))),
+                        ),
+                    )],
+                ),
+                st1(Y, local(i), sub(ld1(Z, local(i)), local(acc))),
+            ],
+        ),
         // x = xp + K y → OUT[0..8].
-        for_loop(i, i32c(0), lt_s(local(i), i32c(nn)), 1, vec![
-            set(acc, f64c(0.0)),
-            for_loop(j, i32c(0), lt_s(local(j), i32c(mm)), 1, vec![
-                set(acc, add(local(acc), mul(ld2(K, local(i), local(j), mm), ld1(Y, local(j))))),
-            ]),
-            st1(OUT, local(i), add(ld1(XP, local(i)), local(acc))),
-        ]),
+        for_loop(
+            i,
+            i32c(0),
+            lt_s(local(i), i32c(nn)),
+            1,
+            vec![
+                set(acc, f64c(0.0)),
+                for_loop(
+                    j,
+                    i32c(0),
+                    lt_s(local(j), i32c(mm)),
+                    1,
+                    vec![set(
+                        acc,
+                        add(
+                            local(acc),
+                            mul(ld2(K, local(i), local(j), mm), ld1(Y, local(j))),
+                        ),
+                    )],
+                ),
+                st1(OUT, local(i), add(ld1(XP, local(i)), local(acc))),
+            ],
+        ),
         // KH = K H (N x N); P' = (I - KH) PP → OUT + 64.
-        exec(call(matmul, vec![i32c(K), i32c(H), i32c(KH),
-            i32c(nn), i32c(mm), i32c(nn), i32c(mm), i32c(nn), i32c(nn)])),
-        for_loop(i, i32c(0), lt_s(local(i), i32c(nn)), 1, vec![
-            for_loop(j, i32c(0), lt_s(local(j), i32c(nn)), 1, vec![
-                st2(KH, local(i), local(j), nn,
-                    sub(select(eq(local(i), local(j)), f64c(1.0), f64c(0.0)),
-                        ld2(KH, local(i), local(j), nn))),
-            ]),
-        ]),
-        exec(call(matmul, vec![i32c(KH), i32c(PP), {
-            let out_p = OUT + 8 * nn;
-            i32c(out_p)
-        }, i32c(nn), i32c(nn), i32c(nn), i32c(nn), i32c(nn), i32c(nn)])),
+        exec(call(
+            matmul,
+            vec![
+                i32c(K),
+                i32c(H),
+                i32c(KH),
+                i32c(nn),
+                i32c(mm),
+                i32c(nn),
+                i32c(mm),
+                i32c(nn),
+                i32c(nn),
+            ],
+        )),
+        for_loop(
+            i,
+            i32c(0),
+            lt_s(local(i), i32c(nn)),
+            1,
+            vec![for_loop(
+                j,
+                i32c(0),
+                lt_s(local(j), i32c(nn)),
+                1,
+                vec![st2(
+                    KH,
+                    local(i),
+                    local(j),
+                    nn,
+                    sub(
+                        select(eq(local(i), local(j)), f64c(1.0), f64c(0.0)),
+                        ld2(KH, local(i), local(j), nn),
+                    ),
+                )],
+            )],
+        ),
+        exec(call(
+            matmul,
+            vec![
+                i32c(KH),
+                i32c(PP),
+                {
+                    let out_p = OUT + 8 * nn;
+                    i32c(out_p)
+                },
+                i32c(nn),
+                i32c(nn),
+                i32c(nn),
+                i32c(nn),
+                i32c(nn),
+                i32c(nn),
+            ],
+        )),
         write_response(&env, i32c(OUT), i32c(8 * (nn + nn * nn))),
         ret(Some(i32c(0))),
     ]);
@@ -260,7 +642,17 @@ pub fn module() -> Module {
 
 // ------------------------------------------------------------------ native
 
-fn matmul_n(a: &[f64], b: &[f64], c: &mut [f64], n: usize, m: usize, k: usize, sa: usize, sb: usize, sc: usize) {
+fn matmul_n(
+    a: &[f64],
+    b: &[f64],
+    c: &mut [f64],
+    n: usize,
+    m: usize,
+    k: usize,
+    sa: usize,
+    sb: usize,
+    sc: usize,
+) {
     for i in 0..n {
         for j in 0..k {
             let mut acc = 0.0;
@@ -272,7 +664,17 @@ fn matmul_n(a: &[f64], b: &[f64], c: &mut [f64], n: usize, m: usize, k: usize, s
     }
 }
 
-fn matmul_bt_n(a: &[f64], b: &[f64], c: &mut [f64], n: usize, m: usize, k: usize, sa: usize, sb: usize, sc: usize) {
+fn matmul_bt_n(
+    a: &[f64],
+    b: &[f64],
+    c: &mut [f64],
+    n: usize,
+    m: usize,
+    k: usize,
+    sa: usize,
+    sb: usize,
+    sc: usize,
+) {
     for i in 0..n {
         for j in 0..k {
             let mut acc = 0.0;
@@ -359,7 +761,7 @@ pub fn native(body: &[u8]) -> Vec<u8> {
     matmul_bt_n(&pp, &h, &mut pht, N, N, M, N, N, M);
     let mut k = vec![0.0f64; N * M];
     matmul_n(&pht, &si, &mut k, N, M, M, M, M, M);
-    let mut y = vec![0.0f64; M];
+    let mut y = [0.0f64; M];
     for i in 0..M {
         let mut acc = 0.0;
         for j in 0..N {
@@ -367,7 +769,7 @@ pub fn native(body: &[u8]) -> Vec<u8> {
         }
         y[i] = z[i] - acc;
     }
-    let mut x_new = vec![0.0f64; N];
+    let mut x_new = [0.0f64; N];
     for i in 0..N {
         let mut acc = 0.0;
         for j in 0..M {

@@ -61,13 +61,19 @@ pub fn module() -> Module {
     let px_at = |yy: Expr, xx: Expr, cc: i32, wl: sledge_guestc::Local| {
         load(
             Scalar::U8,
-            add(i32c(RX + 8), add(mul(add(mul(yy, local(wl)), xx), i32c(3)), i32c(cc))),
+            add(
+                i32c(RX + 8),
+                add(mul(add(mul(yy, local(wl)), xx), i32c(3)), i32c(cc)),
+            ),
             0,
         )
     };
     // address of output pixel channel
     let out_px = |yy: Expr, xx: Expr, cc: i32, wl: sledge_guestc::Local| {
-        add(i32c(RX + 8), add(mul(add(mul(yy, local(wl)), xx), i32c(3)), i32c(cc)))
+        add(
+            i32c(RX + 8),
+            add(mul(add(mul(yy, local(wl)), xx), i32c(3)), i32c(cc)),
+        )
     };
 
     let mut body = read_request(&env, RX, len);
@@ -75,82 +81,290 @@ pub fn module() -> Module {
         set(w, load(Scalar::I32, i32c(RX), 0)),
         set(h, load(Scalar::I32, i32c(RX), 4)),
         // Grayscale: (r*77 + g*151 + b*28) >> 8.
-        for_loop(y, i32c(0), lt_s(local(y), local(h)), 1, vec![
-            for_loop(x, i32c(0), lt_s(local(x), local(w)), 1, vec![
-                store(Scalar::U8, add(i32c(GRAY), add(mul(local(y), local(w)), local(x))), 0,
-                    shr_u(add(add(
-                        mul(px_at(local(y), local(x), 0, w), i32c(77)),
-                        mul(px_at(local(y), local(x), 1, w), i32c(151))),
-                        mul(px_at(local(y), local(x), 2, w), i32c(28))), i32c(8))),
-            ]),
-        ]),
+        for_loop(
+            y,
+            i32c(0),
+            lt_s(local(y), local(h)),
+            1,
+            vec![for_loop(
+                x,
+                i32c(0),
+                lt_s(local(x), local(w)),
+                1,
+                vec![store(
+                    Scalar::U8,
+                    add(i32c(GRAY), add(mul(local(y), local(w)), local(x))),
+                    0,
+                    shr_u(
+                        add(
+                            add(
+                                mul(px_at(local(y), local(x), 0, w), i32c(77)),
+                                mul(px_at(local(y), local(x), 1, w), i32c(151)),
+                            ),
+                            mul(px_at(local(y), local(x), 2, w), i32c(28)),
+                        ),
+                        i32c(8),
+                    ),
+                )],
+            )],
+        ),
         // Sobel + binarize into EDGE (borders zero).
-        for_loop(y, i32c(1), lt_s(local(y), sub(local(h), i32c(1))), 1, vec![
-            for_loop(x, i32c(1), lt_s(local(x), sub(local(w), i32c(1))), 1, vec![
-                set(gx, sub(
-                    add(add(g_at(sub(local(y), i32c(1)), add(local(x), i32c(1)), w),
-                            mul(g_at(local(y), add(local(x), i32c(1)), w), i32c(2))),
-                        g_at(add(local(y), i32c(1)), add(local(x), i32c(1)), w)),
-                    add(add(g_at(sub(local(y), i32c(1)), sub(local(x), i32c(1)), w),
-                            mul(g_at(local(y), sub(local(x), i32c(1)), w), i32c(2))),
-                        g_at(add(local(y), i32c(1)), sub(local(x), i32c(1)), w)))),
-                set(gy, sub(
-                    add(add(g_at(add(local(y), i32c(1)), sub(local(x), i32c(1)), w),
-                            mul(g_at(add(local(y), i32c(1)), local(x), w), i32c(2))),
-                        g_at(add(local(y), i32c(1)), add(local(x), i32c(1)), w)),
-                    add(add(g_at(sub(local(y), i32c(1)), sub(local(x), i32c(1)), w),
-                            mul(g_at(sub(local(y), i32c(1)), local(x), w), i32c(2))),
-                        g_at(sub(local(y), i32c(1)), add(local(x), i32c(1)), w)))),
-                // |gx| + |gy|, with a bias toward vertical strokes (|gx|),
-                // characteristic of plate glyphs.
-                set(mag, add(
-                    mul(select(lt_s(local(gx), i32c(0)), sub(i32c(0), local(gx)), local(gx)), i32c(2)),
-                    select(lt_s(local(gy), i32c(0)), sub(i32c(0), local(gy)), local(gy)))),
-                store(Scalar::U8, add(i32c(EDGE), add(mul(local(y), local(w)), local(x))), 0,
-                    select(gt_s(local(mag), i32c(THRESH)), i32c(1), i32c(0))),
-            ]),
-        ]),
+        for_loop(
+            y,
+            i32c(1),
+            lt_s(local(y), sub(local(h), i32c(1))),
+            1,
+            vec![for_loop(
+                x,
+                i32c(1),
+                lt_s(local(x), sub(local(w), i32c(1))),
+                1,
+                vec![
+                    set(
+                        gx,
+                        sub(
+                            add(
+                                add(
+                                    g_at(sub(local(y), i32c(1)), add(local(x), i32c(1)), w),
+                                    mul(g_at(local(y), add(local(x), i32c(1)), w), i32c(2)),
+                                ),
+                                g_at(add(local(y), i32c(1)), add(local(x), i32c(1)), w),
+                            ),
+                            add(
+                                add(
+                                    g_at(sub(local(y), i32c(1)), sub(local(x), i32c(1)), w),
+                                    mul(g_at(local(y), sub(local(x), i32c(1)), w), i32c(2)),
+                                ),
+                                g_at(add(local(y), i32c(1)), sub(local(x), i32c(1)), w),
+                            ),
+                        ),
+                    ),
+                    set(
+                        gy,
+                        sub(
+                            add(
+                                add(
+                                    g_at(add(local(y), i32c(1)), sub(local(x), i32c(1)), w),
+                                    mul(g_at(add(local(y), i32c(1)), local(x), w), i32c(2)),
+                                ),
+                                g_at(add(local(y), i32c(1)), add(local(x), i32c(1)), w),
+                            ),
+                            add(
+                                add(
+                                    g_at(sub(local(y), i32c(1)), sub(local(x), i32c(1)), w),
+                                    mul(g_at(sub(local(y), i32c(1)), local(x), w), i32c(2)),
+                                ),
+                                g_at(sub(local(y), i32c(1)), add(local(x), i32c(1)), w),
+                            ),
+                        ),
+                    ),
+                    // |gx| + |gy|, with a bias toward vertical strokes (|gx|),
+                    // characteristic of plate glyphs.
+                    set(
+                        mag,
+                        add(
+                            mul(
+                                select(
+                                    lt_s(local(gx), i32c(0)),
+                                    sub(i32c(0), local(gx)),
+                                    local(gx),
+                                ),
+                                i32c(2),
+                            ),
+                            select(lt_s(local(gy), i32c(0)), sub(i32c(0), local(gy)), local(gy)),
+                        ),
+                    ),
+                    store(
+                        Scalar::U8,
+                        add(i32c(EDGE), add(mul(local(y), local(w)), local(x))),
+                        0,
+                        select(gt_s(local(mag), i32c(THRESH)), i32c(1), i32c(0)),
+                    ),
+                ],
+            )],
+        ),
         // Sliding window scan.
         set(best, i32c(-1)),
         set(bx, i32c(0)),
         set(by, i32c(0)),
-        for_loop(y, i32c(1), lt_s(local(y), sub(local(h), i32c(WIN_H + 1))), STRIDE, vec![
-            for_loop(x, i32c(1), lt_s(local(x), sub(local(w), i32c(WIN_W + 1))), STRIDE, vec![
-                set(score, i32c(0)),
-                for_loop(dy, i32c(0), lt_s(local(dy), i32c(WIN_H)), 1, vec![
-                    for_loop(dx, i32c(0), lt_s(local(dx), i32c(WIN_W)), 1, vec![
-                        set(score, add(local(score),
-                            load(Scalar::U8, add(i32c(EDGE),
-                                add(mul(add(local(y), local(dy)), local(w)), add(local(x), local(dx)))), 0))),
-                    ]),
-                ]),
-                if_(gt_s(local(score), local(best)), vec![
-                    set(best, local(score)),
-                    set(bx, local(x)),
-                    set(by, local(y)),
-                ]),
-            ]),
-        ]),
+        for_loop(
+            y,
+            i32c(1),
+            lt_s(local(y), sub(local(h), i32c(WIN_H + 1))),
+            STRIDE,
+            vec![for_loop(
+                x,
+                i32c(1),
+                lt_s(local(x), sub(local(w), i32c(WIN_W + 1))),
+                STRIDE,
+                vec![
+                    set(score, i32c(0)),
+                    for_loop(
+                        dy,
+                        i32c(0),
+                        lt_s(local(dy), i32c(WIN_H)),
+                        1,
+                        vec![for_loop(
+                            dx,
+                            i32c(0),
+                            lt_s(local(dx), i32c(WIN_W)),
+                            1,
+                            vec![set(
+                                score,
+                                add(
+                                    local(score),
+                                    load(
+                                        Scalar::U8,
+                                        add(
+                                            i32c(EDGE),
+                                            add(
+                                                mul(add(local(y), local(dy)), local(w)),
+                                                add(local(x), local(dx)),
+                                            ),
+                                        ),
+                                        0,
+                                    ),
+                                ),
+                            )],
+                        )],
+                    ),
+                    if_(
+                        gt_s(local(score), local(best)),
+                        vec![
+                            set(best, local(score)),
+                            set(bx, local(x)),
+                            set(by, local(y)),
+                        ],
+                    ),
+                ],
+            )],
+        ),
         store(Scalar::I32, i32c(OUT_META), 0, local(best)),
         // Draw the box (red) into the input copy: horizontal edges...
-        for_loop(dx, i32c(0), lt_s(local(dx), i32c(WIN_W)), 1, vec![
-            store(Scalar::U8, out_px(local(by), add(local(bx), local(dx)), 0, w), 0, i32c(255)),
-            store(Scalar::U8, out_px(local(by), add(local(bx), local(dx)), 1, w), 0, i32c(0)),
-            store(Scalar::U8, out_px(local(by), add(local(bx), local(dx)), 2, w), 0, i32c(0)),
-            store(Scalar::U8, out_px(add(local(by), i32c(WIN_H - 1)), add(local(bx), local(dx)), 0, w), 0, i32c(255)),
-            store(Scalar::U8, out_px(add(local(by), i32c(WIN_H - 1)), add(local(bx), local(dx)), 1, w), 0, i32c(0)),
-            store(Scalar::U8, out_px(add(local(by), i32c(WIN_H - 1)), add(local(bx), local(dx)), 2, w), 0, i32c(0)),
-        ]),
+        for_loop(
+            dx,
+            i32c(0),
+            lt_s(local(dx), i32c(WIN_W)),
+            1,
+            vec![
+                store(
+                    Scalar::U8,
+                    out_px(local(by), add(local(bx), local(dx)), 0, w),
+                    0,
+                    i32c(255),
+                ),
+                store(
+                    Scalar::U8,
+                    out_px(local(by), add(local(bx), local(dx)), 1, w),
+                    0,
+                    i32c(0),
+                ),
+                store(
+                    Scalar::U8,
+                    out_px(local(by), add(local(bx), local(dx)), 2, w),
+                    0,
+                    i32c(0),
+                ),
+                store(
+                    Scalar::U8,
+                    out_px(
+                        add(local(by), i32c(WIN_H - 1)),
+                        add(local(bx), local(dx)),
+                        0,
+                        w,
+                    ),
+                    0,
+                    i32c(255),
+                ),
+                store(
+                    Scalar::U8,
+                    out_px(
+                        add(local(by), i32c(WIN_H - 1)),
+                        add(local(bx), local(dx)),
+                        1,
+                        w,
+                    ),
+                    0,
+                    i32c(0),
+                ),
+                store(
+                    Scalar::U8,
+                    out_px(
+                        add(local(by), i32c(WIN_H - 1)),
+                        add(local(bx), local(dx)),
+                        2,
+                        w,
+                    ),
+                    0,
+                    i32c(0),
+                ),
+            ],
+        ),
         // ...and vertical edges.
-        for_loop(dy, i32c(0), lt_s(local(dy), i32c(WIN_H)), 1, vec![
-            store(Scalar::U8, out_px(add(local(by), local(dy)), local(bx), 0, w), 0, i32c(255)),
-            store(Scalar::U8, out_px(add(local(by), local(dy)), local(bx), 1, w), 0, i32c(0)),
-            store(Scalar::U8, out_px(add(local(by), local(dy)), local(bx), 2, w), 0, i32c(0)),
-            store(Scalar::U8, out_px(add(local(by), local(dy)), add(local(bx), i32c(WIN_W - 1)), 0, w), 0, i32c(255)),
-            store(Scalar::U8, out_px(add(local(by), local(dy)), add(local(bx), i32c(WIN_W - 1)), 1, w), 0, i32c(0)),
-            store(Scalar::U8, out_px(add(local(by), local(dy)), add(local(bx), i32c(WIN_W - 1)), 2, w), 0, i32c(0)),
-        ]),
-        write_response(&env, i32c(RX), add(i32c(8), mul(mul(local(w), local(h)), i32c(3)))),
+        for_loop(
+            dy,
+            i32c(0),
+            lt_s(local(dy), i32c(WIN_H)),
+            1,
+            vec![
+                store(
+                    Scalar::U8,
+                    out_px(add(local(by), local(dy)), local(bx), 0, w),
+                    0,
+                    i32c(255),
+                ),
+                store(
+                    Scalar::U8,
+                    out_px(add(local(by), local(dy)), local(bx), 1, w),
+                    0,
+                    i32c(0),
+                ),
+                store(
+                    Scalar::U8,
+                    out_px(add(local(by), local(dy)), local(bx), 2, w),
+                    0,
+                    i32c(0),
+                ),
+                store(
+                    Scalar::U8,
+                    out_px(
+                        add(local(by), local(dy)),
+                        add(local(bx), i32c(WIN_W - 1)),
+                        0,
+                        w,
+                    ),
+                    0,
+                    i32c(255),
+                ),
+                store(
+                    Scalar::U8,
+                    out_px(
+                        add(local(by), local(dy)),
+                        add(local(bx), i32c(WIN_W - 1)),
+                        1,
+                        w,
+                    ),
+                    0,
+                    i32c(0),
+                ),
+                store(
+                    Scalar::U8,
+                    out_px(
+                        add(local(by), local(dy)),
+                        add(local(bx), i32c(WIN_W - 1)),
+                        2,
+                        w,
+                    ),
+                    0,
+                    i32c(0),
+                ),
+            ],
+        ),
+        write_response(
+            &env,
+            i32c(RX),
+            add(i32c(8), mul(mul(local(w), local(h)), i32c(3))),
+        ),
         ret(Some(i32c(0))),
     ]);
     f.extend(body);
@@ -176,8 +390,8 @@ pub fn native(body: &[u8]) -> Vec<u8> {
     let mut gray = vec![0u8; w * h];
     for y in 0..h {
         for x in 0..w {
-            let v = (px(body, y, x, 0) * 77 + px(body, y, x, 1) * 151 + px(body, y, x, 2) * 28)
-                >> 8;
+            let v =
+                (px(body, y, x, 0) * 77 + px(body, y, x, 1) * 151 + px(body, y, x, 2) * 28) >> 8;
             gray[y * w + x] = v as u8;
         }
     }
@@ -256,11 +470,7 @@ pub fn synth_scene(w: usize, h: usize, plate_x: usize, plate_y: usize) -> Vec<u8
     for y in 0..h {
         for x in 0..w {
             // Background: smooth gradient (low edge energy).
-            let mut rgb = [
-                (40 + y / 3) as u8,
-                (45 + y / 3) as u8,
-                (50 + x / 7) as u8,
-            ];
+            let mut rgb = [(40 + y / 3) as u8, (45 + y / 3) as u8, (50 + x / 7) as u8];
             let in_plate = x >= plate_x
                 && x < plate_x + WIN_W as usize - 4
                 && y >= plate_y
@@ -301,8 +511,14 @@ mod tests {
         for (px, py) in [(20, 16), (60, 40), (100, 90)] {
             let img = synth_scene(160, 120, px, py);
             let (x, y) = detect_native(&img);
-            assert!((x as i32 - px as i32).abs() <= STRIDE + 2, "{px},{py} → {x},{y}");
-            assert!((y as i32 - py as i32).abs() <= STRIDE + 2, "{px},{py} → {x},{y}");
+            assert!(
+                (x as i32 - px as i32).abs() <= STRIDE + 2,
+                "{px},{py} → {x},{y}"
+            );
+            assert!(
+                (y as i32 - py as i32).abs() <= STRIDE + 2,
+                "{px},{py} → {x},{y}"
+            );
         }
     }
 

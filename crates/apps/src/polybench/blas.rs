@@ -32,22 +32,88 @@ fn build_gemm() -> sledge_wasm::module::Module {
         let j = f.local(I32);
         let k = f.local(I32);
         f.extend([
-            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
-                st2(a, local(i), local(j), n, init_expr(local(i), 1, local(j), 1, 1, n)),
-                st2(b, local(i), local(j), n, init_expr(local(i), 1, local(j), 2, 2, n)),
-                st2(c, local(i), local(j), n, init_expr(local(i), 3, local(j), 1, 3, n)),
-            ])]),
-            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
-                st2(c, local(i), local(j), n, mul(ld2(c, local(i), local(j), n), f64c(BETA))),
-                for_i(k, 0, i32c(n), vec![
-                    st2(c, local(i), local(j), n, add(ld2(c, local(i), local(j), n),
-                        mul(mul(f64c(ALPHA), ld2(a, local(i), local(k), n)), ld2(b, local(k), local(j), n)))),
-                ]),
-            ])]),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![for_i(
+                    j,
+                    0,
+                    i32c(n),
+                    vec![
+                        st2(
+                            a,
+                            local(i),
+                            local(j),
+                            n,
+                            init_expr(local(i), 1, local(j), 1, 1, n),
+                        ),
+                        st2(
+                            b,
+                            local(i),
+                            local(j),
+                            n,
+                            init_expr(local(i), 1, local(j), 2, 2, n),
+                        ),
+                        st2(
+                            c,
+                            local(i),
+                            local(j),
+                            n,
+                            init_expr(local(i), 3, local(j), 1, 3, n),
+                        ),
+                    ],
+                )],
+            ),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![for_i(
+                    j,
+                    0,
+                    i32c(n),
+                    vec![
+                        st2(
+                            c,
+                            local(i),
+                            local(j),
+                            n,
+                            mul(ld2(c, local(i), local(j), n), f64c(BETA)),
+                        ),
+                        for_i(
+                            k,
+                            0,
+                            i32c(n),
+                            vec![st2(
+                                c,
+                                local(i),
+                                local(j),
+                                n,
+                                add(
+                                    ld2(c, local(i), local(j), n),
+                                    mul(
+                                        mul(f64c(ALPHA), ld2(a, local(i), local(k), n)),
+                                        ld2(b, local(k), local(j), n),
+                                    ),
+                                ),
+                            )],
+                        ),
+                    ],
+                )],
+            ),
             set(cks, f64c(0.0)),
-            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
-                set(cks, add(local(cks), ld2(c, local(i), local(j), n))),
-            ])]),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![for_i(
+                    j,
+                    0,
+                    i32c(n),
+                    vec![set(cks, add(local(cks), ld2(c, local(i), local(j), n)))],
+                )],
+            ),
         ]);
     })
 }
@@ -102,32 +168,126 @@ fn build_2mm() -> sledge_wasm::module::Module {
         let k = f.local(I32);
         let acc = f.local(F64);
         f.extend([
-            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
-                st2(a, local(i), local(j), n, init_expr(local(i), 1, local(j), 1, 0, n)),
-                st2(b, local(i), local(j), n, init_expr(local(i), 1, local(j), 2, 1, n)),
-                st2(c, local(i), local(j), n, init_expr(local(i), 3, local(j), 1, 2, n)),
-                st2(d, local(i), local(j), n, init_expr(local(i), 2, local(j), 2, 3, n)),
-            ])]),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![for_i(
+                    j,
+                    0,
+                    i32c(n),
+                    vec![
+                        st2(
+                            a,
+                            local(i),
+                            local(j),
+                            n,
+                            init_expr(local(i), 1, local(j), 1, 0, n),
+                        ),
+                        st2(
+                            b,
+                            local(i),
+                            local(j),
+                            n,
+                            init_expr(local(i), 1, local(j), 2, 1, n),
+                        ),
+                        st2(
+                            c,
+                            local(i),
+                            local(j),
+                            n,
+                            init_expr(local(i), 3, local(j), 1, 2, n),
+                        ),
+                        st2(
+                            d,
+                            local(i),
+                            local(j),
+                            n,
+                            init_expr(local(i), 2, local(j), 2, 3, n),
+                        ),
+                    ],
+                )],
+            ),
             // tmp = alpha A B
-            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
-                set(acc, f64c(0.0)),
-                for_i(k, 0, i32c(n), vec![
-                    set(acc, add(local(acc), mul(mul(f64c(ALPHA), ld2(a, local(i), local(k), n)), ld2(b, local(k), local(j), n)))),
-                ]),
-                st2(tmp, local(i), local(j), n, local(acc)),
-            ])]),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![for_i(
+                    j,
+                    0,
+                    i32c(n),
+                    vec![
+                        set(acc, f64c(0.0)),
+                        for_i(
+                            k,
+                            0,
+                            i32c(n),
+                            vec![set(
+                                acc,
+                                add(
+                                    local(acc),
+                                    mul(
+                                        mul(f64c(ALPHA), ld2(a, local(i), local(k), n)),
+                                        ld2(b, local(k), local(j), n),
+                                    ),
+                                ),
+                            )],
+                        ),
+                        st2(tmp, local(i), local(j), n, local(acc)),
+                    ],
+                )],
+            ),
             // D = tmp C + beta D
-            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
-                st2(d, local(i), local(j), n, mul(ld2(d, local(i), local(j), n), f64c(BETA))),
-                for_i(k, 0, i32c(n), vec![
-                    st2(d, local(i), local(j), n, add(ld2(d, local(i), local(j), n),
-                        mul(ld2(tmp, local(i), local(k), n), ld2(c, local(k), local(j), n)))),
-                ]),
-            ])]),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![for_i(
+                    j,
+                    0,
+                    i32c(n),
+                    vec![
+                        st2(
+                            d,
+                            local(i),
+                            local(j),
+                            n,
+                            mul(ld2(d, local(i), local(j), n), f64c(BETA)),
+                        ),
+                        for_i(
+                            k,
+                            0,
+                            i32c(n),
+                            vec![st2(
+                                d,
+                                local(i),
+                                local(j),
+                                n,
+                                add(
+                                    ld2(d, local(i), local(j), n),
+                                    mul(
+                                        ld2(tmp, local(i), local(k), n),
+                                        ld2(c, local(k), local(j), n),
+                                    ),
+                                ),
+                            )],
+                        ),
+                    ],
+                )],
+            ),
             set(cks, f64c(0.0)),
-            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
-                set(cks, add(local(cks), ld2(d, local(i), local(j), n))),
-            ])]),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![for_i(
+                    j,
+                    0,
+                    i32c(n),
+                    vec![set(cks, add(local(cks), ld2(d, local(i), local(j), n)))],
+                )],
+            ),
         ]);
     })
 }
@@ -197,29 +357,99 @@ fn build_3mm() -> sledge_wasm::module::Module {
         let j = fb.local(I32);
         let k = fb.local(I32);
         let acc = fb.local(F64);
-        let mm = |x: i32, y: i32, z: i32, i: sledge_guestc::Local, j: sledge_guestc::Local, k: sledge_guestc::Local, acc: sledge_guestc::Local| {
-            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
-                set(acc, f64c(0.0)),
-                for_i(k, 0, i32c(n), vec![
-                    set(acc, add(local(acc), mul(ld2(x, local(i), local(k), n), ld2(y, local(k), local(j), n)))),
-                ]),
-                st2(z, local(i), local(j), n, local(acc)),
-            ])])
+        let mm = |x: i32,
+                  y: i32,
+                  z: i32,
+                  i: sledge_guestc::Local,
+                  j: sledge_guestc::Local,
+                  k: sledge_guestc::Local,
+                  acc: sledge_guestc::Local| {
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![for_i(
+                    j,
+                    0,
+                    i32c(n),
+                    vec![
+                        set(acc, f64c(0.0)),
+                        for_i(
+                            k,
+                            0,
+                            i32c(n),
+                            vec![set(
+                                acc,
+                                add(
+                                    local(acc),
+                                    mul(
+                                        ld2(x, local(i), local(k), n),
+                                        ld2(y, local(k), local(j), n),
+                                    ),
+                                ),
+                            )],
+                        ),
+                        st2(z, local(i), local(j), n, local(acc)),
+                    ],
+                )],
+            )
         };
         fb.extend([
-            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
-                st2(a, local(i), local(j), n, init_expr(local(i), 1, local(j), 1, 0, n)),
-                st2(b, local(i), local(j), n, init_expr(local(i), 1, local(j), 2, 1, n)),
-                st2(c, local(i), local(j), n, init_expr(local(i), 3, local(j), 1, 3, n)),
-                st2(d, local(i), local(j), n, init_expr(local(i), 2, local(j), 3, 2, n)),
-            ])]),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![for_i(
+                    j,
+                    0,
+                    i32c(n),
+                    vec![
+                        st2(
+                            a,
+                            local(i),
+                            local(j),
+                            n,
+                            init_expr(local(i), 1, local(j), 1, 0, n),
+                        ),
+                        st2(
+                            b,
+                            local(i),
+                            local(j),
+                            n,
+                            init_expr(local(i), 1, local(j), 2, 1, n),
+                        ),
+                        st2(
+                            c,
+                            local(i),
+                            local(j),
+                            n,
+                            init_expr(local(i), 3, local(j), 1, 3, n),
+                        ),
+                        st2(
+                            d,
+                            local(i),
+                            local(j),
+                            n,
+                            init_expr(local(i), 2, local(j), 3, 2, n),
+                        ),
+                    ],
+                )],
+            ),
             mm(a, b, e, i, j, k, acc),  // E = A B
             mm(c, d, fm, i, j, k, acc), // F = C D
             mm(e, fm, g, i, j, k, acc), // G = E F
             set(cks, f64c(0.0)),
-            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
-                set(cks, add(local(cks), ld2(g, local(i), local(j), n))),
-            ])]),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![for_i(
+                    j,
+                    0,
+                    i32c(n),
+                    vec![set(cks, add(local(cks), ld2(g, local(i), local(j), n)))],
+                )],
+            ),
         ]);
     })
 }
@@ -281,28 +511,74 @@ fn build_atax() -> sledge_wasm::module::Module {
         let j = f.local(I32);
         let acc = f.local(F64);
         f.extend([
-            for_i(i, 0, i32c(n), vec![
-                st1(x, local(i), init_expr(local(i), 1, i32c(0), 0, 1, n)),
-                st1(y, local(i), f64c(0.0)),
-                for_i(j, 0, i32c(n), vec![
-                    st2(a, local(i), local(j), n, init_expr(local(i), 1, local(j), 1, 0, n)),
-                ]),
-            ]),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![
+                    st1(x, local(i), init_expr(local(i), 1, i32c(0), 0, 1, n)),
+                    st1(y, local(i), f64c(0.0)),
+                    for_i(
+                        j,
+                        0,
+                        i32c(n),
+                        vec![st2(
+                            a,
+                            local(i),
+                            local(j),
+                            n,
+                            init_expr(local(i), 1, local(j), 1, 0, n),
+                        )],
+                    ),
+                ],
+            ),
             // y = A^T (A x)
-            for_i(i, 0, i32c(n), vec![
-                set(acc, f64c(0.0)),
-                for_i(j, 0, i32c(n), vec![
-                    set(acc, add(local(acc), mul(ld2(a, local(i), local(j), n), ld1(x, local(j))))),
-                ]),
-                st1(tmp, local(i), local(acc)),
-            ]),
-            for_i(i, 0, i32c(n), vec![
-                for_i(j, 0, i32c(n), vec![
-                    st1(y, local(j), add(ld1(y, local(j)), mul(ld2(a, local(i), local(j), n), ld1(tmp, local(i))))),
-                ]),
-            ]),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![
+                    set(acc, f64c(0.0)),
+                    for_i(
+                        j,
+                        0,
+                        i32c(n),
+                        vec![set(
+                            acc,
+                            add(
+                                local(acc),
+                                mul(ld2(a, local(i), local(j), n), ld1(x, local(j))),
+                            ),
+                        )],
+                    ),
+                    st1(tmp, local(i), local(acc)),
+                ],
+            ),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![for_i(
+                    j,
+                    0,
+                    i32c(n),
+                    vec![st1(
+                        y,
+                        local(j),
+                        add(
+                            ld1(y, local(j)),
+                            mul(ld2(a, local(i), local(j), n), ld1(tmp, local(i))),
+                        ),
+                    )],
+                )],
+            ),
             set(cks, f64c(0.0)),
-            for_i(i, 0, i32c(n), vec![set(cks, add(local(cks), ld1(y, local(i))))]),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![set(cks, add(local(cks), ld1(y, local(i))))],
+            ),
         ]);
     })
 }
@@ -358,25 +634,67 @@ fn build_bicg() -> sledge_wasm::module::Module {
         let i = f.local(I32);
         let j = f.local(I32);
         f.extend([
-            for_i(i, 0, i32c(n), vec![
-                st1(p, local(i), init_expr(local(i), 1, i32c(0), 0, 0, n)),
-                st1(r, local(i), init_expr(local(i), 2, i32c(0), 0, 1, n)),
-                st1(q, local(i), f64c(0.0)),
-                st1(s, local(i), f64c(0.0)),
-                for_i(j, 0, i32c(n), vec![
-                    st2(a, local(i), local(j), n, init_expr(local(i), 1, local(j), 2, 0, n)),
-                ]),
-            ]),
-            for_i(i, 0, i32c(n), vec![
-                for_i(j, 0, i32c(n), vec![
-                    st1(s, local(j), add(ld1(s, local(j)), mul(ld1(r, local(i)), ld2(a, local(i), local(j), n)))),
-                    st1(q, local(i), add(ld1(q, local(i)), mul(ld2(a, local(i), local(j), n), ld1(p, local(j))))),
-                ]),
-            ]),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![
+                    st1(p, local(i), init_expr(local(i), 1, i32c(0), 0, 0, n)),
+                    st1(r, local(i), init_expr(local(i), 2, i32c(0), 0, 1, n)),
+                    st1(q, local(i), f64c(0.0)),
+                    st1(s, local(i), f64c(0.0)),
+                    for_i(
+                        j,
+                        0,
+                        i32c(n),
+                        vec![st2(
+                            a,
+                            local(i),
+                            local(j),
+                            n,
+                            init_expr(local(i), 1, local(j), 2, 0, n),
+                        )],
+                    ),
+                ],
+            ),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![for_i(
+                    j,
+                    0,
+                    i32c(n),
+                    vec![
+                        st1(
+                            s,
+                            local(j),
+                            add(
+                                ld1(s, local(j)),
+                                mul(ld1(r, local(i)), ld2(a, local(i), local(j), n)),
+                            ),
+                        ),
+                        st1(
+                            q,
+                            local(i),
+                            add(
+                                ld1(q, local(i)),
+                                mul(ld2(a, local(i), local(j), n), ld1(p, local(j))),
+                            ),
+                        ),
+                    ],
+                )],
+            ),
             set(cks, f64c(0.0)),
-            for_i(i, 0, i32c(n), vec![
-                set(cks, add(local(cks), add(ld1(q, local(i)), ld1(s, local(i))))),
-            ]),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![set(
+                    cks,
+                    add(local(cks), add(ld1(q, local(i)), ld1(s, local(i)))),
+                )],
+            ),
         ]);
     })
 }
@@ -428,25 +746,75 @@ fn build_mvt() -> sledge_wasm::module::Module {
         let i = f.local(I32);
         let j = f.local(I32);
         f.extend([
-            for_i(i, 0, i32c(n), vec![
-                st1(x1, local(i), init_expr(local(i), 1, i32c(0), 0, 0, n)),
-                st1(x2, local(i), init_expr(local(i), 1, i32c(0), 0, 1, n)),
-                st1(y1, local(i), init_expr(local(i), 3, i32c(0), 0, 2, n)),
-                st1(y2, local(i), init_expr(local(i), 2, i32c(0), 0, 3, n)),
-                for_i(j, 0, i32c(n), vec![
-                    st2(a, local(i), local(j), n, init_expr(local(i), 1, local(j), 1, 0, n)),
-                ]),
-            ]),
-            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
-                st1(x1, local(i), add(ld1(x1, local(i)), mul(ld2(a, local(i), local(j), n), ld1(y1, local(j))))),
-            ])]),
-            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
-                st1(x2, local(i), add(ld1(x2, local(i)), mul(ld2(a, local(j), local(i), n), ld1(y2, local(j))))),
-            ])]),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![
+                    st1(x1, local(i), init_expr(local(i), 1, i32c(0), 0, 0, n)),
+                    st1(x2, local(i), init_expr(local(i), 1, i32c(0), 0, 1, n)),
+                    st1(y1, local(i), init_expr(local(i), 3, i32c(0), 0, 2, n)),
+                    st1(y2, local(i), init_expr(local(i), 2, i32c(0), 0, 3, n)),
+                    for_i(
+                        j,
+                        0,
+                        i32c(n),
+                        vec![st2(
+                            a,
+                            local(i),
+                            local(j),
+                            n,
+                            init_expr(local(i), 1, local(j), 1, 0, n),
+                        )],
+                    ),
+                ],
+            ),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![for_i(
+                    j,
+                    0,
+                    i32c(n),
+                    vec![st1(
+                        x1,
+                        local(i),
+                        add(
+                            ld1(x1, local(i)),
+                            mul(ld2(a, local(i), local(j), n), ld1(y1, local(j))),
+                        ),
+                    )],
+                )],
+            ),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![for_i(
+                    j,
+                    0,
+                    i32c(n),
+                    vec![st1(
+                        x2,
+                        local(i),
+                        add(
+                            ld1(x2, local(i)),
+                            mul(ld2(a, local(j), local(i), n), ld1(y2, local(j))),
+                        ),
+                    )],
+                )],
+            ),
             set(cks, f64c(0.0)),
-            for_i(i, 0, i32c(n), vec![
-                set(cks, add(local(cks), add(ld1(x1, local(i)), ld1(x2, local(i))))),
-            ]),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![set(
+                    cks,
+                    add(local(cks), add(ld1(x1, local(i)), ld1(x2, local(i)))),
+                )],
+            ),
         ]);
     })
 }
@@ -508,38 +876,114 @@ fn build_gemver() -> sledge_wasm::module::Module {
         let i = f.local(I32);
         let j = f.local(I32);
         f.extend([
-            for_i(i, 0, i32c(n), vec![
-                st1(u1, local(i), init_expr(local(i), 1, i32c(0), 0, 0, n)),
-                st1(u2, local(i), init_expr(local(i), 2, i32c(0), 0, 1, n)),
-                st1(v1, local(i), init_expr(local(i), 3, i32c(0), 0, 2, n)),
-                st1(v2, local(i), init_expr(local(i), 1, i32c(0), 0, 3, n)),
-                st1(y, local(i), init_expr(local(i), 2, i32c(0), 0, 4, n)),
-                st1(z, local(i), init_expr(local(i), 3, i32c(0), 0, 5, n)),
-                st1(x, local(i), f64c(0.0)),
-                st1(w, local(i), f64c(0.0)),
-                for_i(j, 0, i32c(n), vec![
-                    st2(a, local(i), local(j), n, init_expr(local(i), 1, local(j), 1, 0, n)),
-                ]),
-            ]),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![
+                    st1(u1, local(i), init_expr(local(i), 1, i32c(0), 0, 0, n)),
+                    st1(u2, local(i), init_expr(local(i), 2, i32c(0), 0, 1, n)),
+                    st1(v1, local(i), init_expr(local(i), 3, i32c(0), 0, 2, n)),
+                    st1(v2, local(i), init_expr(local(i), 1, i32c(0), 0, 3, n)),
+                    st1(y, local(i), init_expr(local(i), 2, i32c(0), 0, 4, n)),
+                    st1(z, local(i), init_expr(local(i), 3, i32c(0), 0, 5, n)),
+                    st1(x, local(i), f64c(0.0)),
+                    st1(w, local(i), f64c(0.0)),
+                    for_i(
+                        j,
+                        0,
+                        i32c(n),
+                        vec![st2(
+                            a,
+                            local(i),
+                            local(j),
+                            n,
+                            init_expr(local(i), 1, local(j), 1, 0, n),
+                        )],
+                    ),
+                ],
+            ),
             // A = A + u1 v1^T + u2 v2^T
-            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
-                st2(a, local(i), local(j), n, add(ld2(a, local(i), local(j), n),
-                    add(mul(ld1(u1, local(i)), ld1(v1, local(j))),
-                        mul(ld1(u2, local(i)), ld1(v2, local(j)))))),
-            ])]),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![for_i(
+                    j,
+                    0,
+                    i32c(n),
+                    vec![st2(
+                        a,
+                        local(i),
+                        local(j),
+                        n,
+                        add(
+                            ld2(a, local(i), local(j), n),
+                            add(
+                                mul(ld1(u1, local(i)), ld1(v1, local(j))),
+                                mul(ld1(u2, local(i)), ld1(v2, local(j))),
+                            ),
+                        ),
+                    )],
+                )],
+            ),
             // x = x + beta A^T y + z
-            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
-                st1(x, local(i), add(ld1(x, local(i)), mul(mul(f64c(BETA), ld2(a, local(j), local(i), n)), ld1(y, local(j))))),
-            ])]),
-            for_i(i, 0, i32c(n), vec![
-                st1(x, local(i), add(ld1(x, local(i)), ld1(z, local(i)))),
-            ]),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![for_i(
+                    j,
+                    0,
+                    i32c(n),
+                    vec![st1(
+                        x,
+                        local(i),
+                        add(
+                            ld1(x, local(i)),
+                            mul(
+                                mul(f64c(BETA), ld2(a, local(j), local(i), n)),
+                                ld1(y, local(j)),
+                            ),
+                        ),
+                    )],
+                )],
+            ),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![st1(x, local(i), add(ld1(x, local(i)), ld1(z, local(i))))],
+            ),
             // w = alpha A x
-            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
-                st1(w, local(i), add(ld1(w, local(i)), mul(mul(f64c(ALPHA), ld2(a, local(i), local(j), n)), ld1(x, local(j))))),
-            ])]),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![for_i(
+                    j,
+                    0,
+                    i32c(n),
+                    vec![st1(
+                        w,
+                        local(i),
+                        add(
+                            ld1(w, local(i)),
+                            mul(
+                                mul(f64c(ALPHA), ld2(a, local(i), local(j), n)),
+                                ld1(x, local(j)),
+                            ),
+                        ),
+                    )],
+                )],
+            ),
             set(cks, f64c(0.0)),
-            for_i(i, 0, i32c(n), vec![set(cks, add(local(cks), ld1(w, local(i))))]),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![set(cks, add(local(cks), ld1(w, local(i))))],
+            ),
         ]);
     })
 }
@@ -611,24 +1055,82 @@ fn build_gesummv() -> sledge_wasm::module::Module {
         let i = f.local(I32);
         let j = f.local(I32);
         f.extend([
-            for_i(i, 0, i32c(n), vec![
-                st1(x, local(i), init_expr(local(i), 1, i32c(0), 0, 0, n)),
-                for_i(j, 0, i32c(n), vec![
-                    st2(a, local(i), local(j), n, init_expr(local(i), 1, local(j), 1, 0, n)),
-                    st2(b, local(i), local(j), n, init_expr(local(i), 2, local(j), 1, 1, n)),
-                ]),
-            ]),
-            for_i(i, 0, i32c(n), vec![
-                st1(tmp, local(i), f64c(0.0)),
-                st1(y, local(i), f64c(0.0)),
-                for_i(j, 0, i32c(n), vec![
-                    st1(tmp, local(i), add(mul(ld2(a, local(i), local(j), n), ld1(x, local(j))), ld1(tmp, local(i)))),
-                    st1(y, local(i), add(mul(ld2(b, local(i), local(j), n), ld1(x, local(j))), ld1(y, local(i)))),
-                ]),
-                st1(y, local(i), add(mul(f64c(ALPHA), ld1(tmp, local(i))), mul(f64c(BETA), ld1(y, local(i))))),
-            ]),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![
+                    st1(x, local(i), init_expr(local(i), 1, i32c(0), 0, 0, n)),
+                    for_i(
+                        j,
+                        0,
+                        i32c(n),
+                        vec![
+                            st2(
+                                a,
+                                local(i),
+                                local(j),
+                                n,
+                                init_expr(local(i), 1, local(j), 1, 0, n),
+                            ),
+                            st2(
+                                b,
+                                local(i),
+                                local(j),
+                                n,
+                                init_expr(local(i), 2, local(j), 1, 1, n),
+                            ),
+                        ],
+                    ),
+                ],
+            ),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![
+                    st1(tmp, local(i), f64c(0.0)),
+                    st1(y, local(i), f64c(0.0)),
+                    for_i(
+                        j,
+                        0,
+                        i32c(n),
+                        vec![
+                            st1(
+                                tmp,
+                                local(i),
+                                add(
+                                    mul(ld2(a, local(i), local(j), n), ld1(x, local(j))),
+                                    ld1(tmp, local(i)),
+                                ),
+                            ),
+                            st1(
+                                y,
+                                local(i),
+                                add(
+                                    mul(ld2(b, local(i), local(j), n), ld1(x, local(j))),
+                                    ld1(y, local(i)),
+                                ),
+                            ),
+                        ],
+                    ),
+                    st1(
+                        y,
+                        local(i),
+                        add(
+                            mul(f64c(ALPHA), ld1(tmp, local(i))),
+                            mul(f64c(BETA), ld1(y, local(i))),
+                        ),
+                    ),
+                ],
+            ),
             set(cks, f64c(0.0)),
-            for_i(i, 0, i32c(n), vec![set(cks, add(local(cks), ld1(y, local(i))))]),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![set(cks, add(local(cks), ld1(y, local(i))))],
+            ),
         ]);
     })
 }
@@ -683,28 +1185,111 @@ fn build_symm() -> sledge_wasm::module::Module {
         let k = f.local(I32);
         let temp2 = f.local(F64);
         f.extend([
-            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
-                st2(a, local(i), local(j), n, init_expr(local(i), 1, local(j), 1, 0, n)),
-                st2(b, local(i), local(j), n, init_expr(local(i), 2, local(j), 1, 1, n)),
-                st2(c, local(i), local(j), n, init_expr(local(i), 1, local(j), 2, 2, n)),
-            ])]),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![for_i(
+                    j,
+                    0,
+                    i32c(n),
+                    vec![
+                        st2(
+                            a,
+                            local(i),
+                            local(j),
+                            n,
+                            init_expr(local(i), 1, local(j), 1, 0, n),
+                        ),
+                        st2(
+                            b,
+                            local(i),
+                            local(j),
+                            n,
+                            init_expr(local(i), 2, local(j), 1, 1, n),
+                        ),
+                        st2(
+                            c,
+                            local(i),
+                            local(j),
+                            n,
+                            init_expr(local(i), 1, local(j), 2, 2, n),
+                        ),
+                    ],
+                )],
+            ),
             // symm (lower): C = alpha A B + beta C with A symmetric.
-            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
-                set(temp2, f64c(0.0)),
-                for_i(k, 0, local(i), vec![
-                    st2(c, local(k), local(j), n, add(ld2(c, local(k), local(j), n),
-                        mul(mul(f64c(ALPHA), ld2(b, local(i), local(j), n)), ld2(a, local(i), local(k), n)))),
-                    set(temp2, add(local(temp2), mul(ld2(b, local(k), local(j), n), ld2(a, local(i), local(k), n)))),
-                ]),
-                st2(c, local(i), local(j), n,
-                    add(add(mul(f64c(BETA), ld2(c, local(i), local(j), n)),
-                            mul(mul(f64c(ALPHA), ld2(b, local(i), local(j), n)), ld2(a, local(i), local(i), n))),
-                        mul(f64c(ALPHA), local(temp2)))),
-            ])]),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![for_i(
+                    j,
+                    0,
+                    i32c(n),
+                    vec![
+                        set(temp2, f64c(0.0)),
+                        for_i(
+                            k,
+                            0,
+                            local(i),
+                            vec![
+                                st2(
+                                    c,
+                                    local(k),
+                                    local(j),
+                                    n,
+                                    add(
+                                        ld2(c, local(k), local(j), n),
+                                        mul(
+                                            mul(f64c(ALPHA), ld2(b, local(i), local(j), n)),
+                                            ld2(a, local(i), local(k), n),
+                                        ),
+                                    ),
+                                ),
+                                set(
+                                    temp2,
+                                    add(
+                                        local(temp2),
+                                        mul(
+                                            ld2(b, local(k), local(j), n),
+                                            ld2(a, local(i), local(k), n),
+                                        ),
+                                    ),
+                                ),
+                            ],
+                        ),
+                        st2(
+                            c,
+                            local(i),
+                            local(j),
+                            n,
+                            add(
+                                add(
+                                    mul(f64c(BETA), ld2(c, local(i), local(j), n)),
+                                    mul(
+                                        mul(f64c(ALPHA), ld2(b, local(i), local(j), n)),
+                                        ld2(a, local(i), local(i), n),
+                                    ),
+                                ),
+                                mul(f64c(ALPHA), local(temp2)),
+                            ),
+                        ),
+                    ],
+                )],
+            ),
             set(cks, f64c(0.0)),
-            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
-                set(cks, add(local(cks), ld2(c, local(i), local(j), n))),
-            ])]),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![for_i(
+                    j,
+                    0,
+                    i32c(n),
+                    vec![set(cks, add(local(cks), ld2(c, local(i), local(j), n)))],
+                )],
+            ),
         ]);
     })
 }
@@ -758,28 +1343,102 @@ fn build_syr2k() -> sledge_wasm::module::Module {
         let j = f.local(I32);
         let k = f.local(I32);
         f.extend([
-            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
-                st2(a, local(i), local(j), n, init_expr(local(i), 1, local(j), 1, 0, n)),
-                st2(b, local(i), local(j), n, init_expr(local(i), 2, local(j), 1, 1, n)),
-                st2(c, local(i), local(j), n, init_expr(local(i), 1, local(j), 3, 2, n)),
-            ])]),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![for_i(
+                    j,
+                    0,
+                    i32c(n),
+                    vec![
+                        st2(
+                            a,
+                            local(i),
+                            local(j),
+                            n,
+                            init_expr(local(i), 1, local(j), 1, 0, n),
+                        ),
+                        st2(
+                            b,
+                            local(i),
+                            local(j),
+                            n,
+                            init_expr(local(i), 2, local(j), 1, 1, n),
+                        ),
+                        st2(
+                            c,
+                            local(i),
+                            local(j),
+                            n,
+                            init_expr(local(i), 1, local(j), 3, 2, n),
+                        ),
+                    ],
+                )],
+            ),
             // Lower triangle: C = alpha (A B^T + B A^T) + beta C.
-            for_i(i, 0, i32c(n), vec![
-                for_loop(j, i32c(0), le_s(local(j), local(i)), 1, vec![
-                    st2(c, local(i), local(j), n, mul(ld2(c, local(i), local(j), n), f64c(BETA))),
-                ]),
-                for_i(k, 0, i32c(n), vec![
-                    for_loop(j, i32c(0), le_s(local(j), local(i)), 1, vec![
-                        st2(c, local(i), local(j), n, add(ld2(c, local(i), local(j), n),
-                            add(mul(mul(ld2(a, local(j), local(k), n), f64c(ALPHA)), ld2(b, local(i), local(k), n)),
-                                mul(mul(ld2(b, local(j), local(k), n), f64c(ALPHA)), ld2(a, local(i), local(k), n))))),
-                    ]),
-                ]),
-            ]),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![
+                    for_loop(
+                        j,
+                        i32c(0),
+                        le_s(local(j), local(i)),
+                        1,
+                        vec![st2(
+                            c,
+                            local(i),
+                            local(j),
+                            n,
+                            mul(ld2(c, local(i), local(j), n), f64c(BETA)),
+                        )],
+                    ),
+                    for_i(
+                        k,
+                        0,
+                        i32c(n),
+                        vec![for_loop(
+                            j,
+                            i32c(0),
+                            le_s(local(j), local(i)),
+                            1,
+                            vec![st2(
+                                c,
+                                local(i),
+                                local(j),
+                                n,
+                                add(
+                                    ld2(c, local(i), local(j), n),
+                                    add(
+                                        mul(
+                                            mul(ld2(a, local(j), local(k), n), f64c(ALPHA)),
+                                            ld2(b, local(i), local(k), n),
+                                        ),
+                                        mul(
+                                            mul(ld2(b, local(j), local(k), n), f64c(ALPHA)),
+                                            ld2(a, local(i), local(k), n),
+                                        ),
+                                    ),
+                                ),
+                            )],
+                        )],
+                    ),
+                ],
+            ),
             set(cks, f64c(0.0)),
-            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
-                set(cks, add(local(cks), ld2(c, local(i), local(j), n))),
-            ])]),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![for_i(
+                    j,
+                    0,
+                    i32c(n),
+                    vec![set(cks, add(local(cks), ld2(c, local(i), local(j), n)))],
+                )],
+            ),
         ]);
     })
 }
@@ -832,25 +1491,88 @@ fn build_syrk() -> sledge_wasm::module::Module {
         let j = f.local(I32);
         let k = f.local(I32);
         f.extend([
-            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
-                st2(a, local(i), local(j), n, init_expr(local(i), 1, local(j), 1, 0, n)),
-                st2(c, local(i), local(j), n, init_expr(local(i), 2, local(j), 1, 1, n)),
-            ])]),
-            for_i(i, 0, i32c(n), vec![
-                for_loop(j, i32c(0), le_s(local(j), local(i)), 1, vec![
-                    st2(c, local(i), local(j), n, mul(ld2(c, local(i), local(j), n), f64c(BETA))),
-                ]),
-                for_i(k, 0, i32c(n), vec![
-                    for_loop(j, i32c(0), le_s(local(j), local(i)), 1, vec![
-                        st2(c, local(i), local(j), n, add(ld2(c, local(i), local(j), n),
-                            mul(mul(f64c(ALPHA), ld2(a, local(i), local(k), n)), ld2(a, local(j), local(k), n)))),
-                    ]),
-                ]),
-            ]),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![for_i(
+                    j,
+                    0,
+                    i32c(n),
+                    vec![
+                        st2(
+                            a,
+                            local(i),
+                            local(j),
+                            n,
+                            init_expr(local(i), 1, local(j), 1, 0, n),
+                        ),
+                        st2(
+                            c,
+                            local(i),
+                            local(j),
+                            n,
+                            init_expr(local(i), 2, local(j), 1, 1, n),
+                        ),
+                    ],
+                )],
+            ),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![
+                    for_loop(
+                        j,
+                        i32c(0),
+                        le_s(local(j), local(i)),
+                        1,
+                        vec![st2(
+                            c,
+                            local(i),
+                            local(j),
+                            n,
+                            mul(ld2(c, local(i), local(j), n), f64c(BETA)),
+                        )],
+                    ),
+                    for_i(
+                        k,
+                        0,
+                        i32c(n),
+                        vec![for_loop(
+                            j,
+                            i32c(0),
+                            le_s(local(j), local(i)),
+                            1,
+                            vec![st2(
+                                c,
+                                local(i),
+                                local(j),
+                                n,
+                                add(
+                                    ld2(c, local(i), local(j), n),
+                                    mul(
+                                        mul(f64c(ALPHA), ld2(a, local(i), local(k), n)),
+                                        ld2(a, local(j), local(k), n),
+                                    ),
+                                ),
+                            )],
+                        )],
+                    ),
+                ],
+            ),
             set(cks, f64c(0.0)),
-            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
-                set(cks, add(local(cks), ld2(c, local(i), local(j), n))),
-            ])]),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![for_i(
+                    j,
+                    0,
+                    i32c(n),
+                    vec![set(cks, add(local(cks), ld2(c, local(i), local(j), n)))],
+                )],
+            ),
         ]);
     })
 }
@@ -900,22 +1622,83 @@ fn build_trmm() -> sledge_wasm::module::Module {
         let j = f.local(I32);
         let k = f.local(I32);
         f.extend([
-            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
-                st2(a, local(i), local(j), n, init_expr(local(i), 1, local(j), 1, 0, n)),
-                st2(b, local(i), local(j), n, init_expr(local(i), 3, local(j), 1, 1, n)),
-            ])]),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![for_i(
+                    j,
+                    0,
+                    i32c(n),
+                    vec![
+                        st2(
+                            a,
+                            local(i),
+                            local(j),
+                            n,
+                            init_expr(local(i), 1, local(j), 1, 0, n),
+                        ),
+                        st2(
+                            b,
+                            local(i),
+                            local(j),
+                            n,
+                            init_expr(local(i), 3, local(j), 1, 1, n),
+                        ),
+                    ],
+                )],
+            ),
             // B = alpha A^T B, A lower-unit-triangular.
-            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
-                for_loop(k, add(local(i), i32c(1)), lt_s(local(k), i32c(n)), 1, vec![
-                    st2(b, local(i), local(j), n, add(ld2(b, local(i), local(j), n),
-                        mul(ld2(a, local(k), local(i), n), ld2(b, local(k), local(j), n)))),
-                ]),
-                st2(b, local(i), local(j), n, mul(f64c(ALPHA), ld2(b, local(i), local(j), n))),
-            ])]),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![for_i(
+                    j,
+                    0,
+                    i32c(n),
+                    vec![
+                        for_loop(
+                            k,
+                            add(local(i), i32c(1)),
+                            lt_s(local(k), i32c(n)),
+                            1,
+                            vec![st2(
+                                b,
+                                local(i),
+                                local(j),
+                                n,
+                                add(
+                                    ld2(b, local(i), local(j), n),
+                                    mul(
+                                        ld2(a, local(k), local(i), n),
+                                        ld2(b, local(k), local(j), n),
+                                    ),
+                                ),
+                            )],
+                        ),
+                        st2(
+                            b,
+                            local(i),
+                            local(j),
+                            n,
+                            mul(f64c(ALPHA), ld2(b, local(i), local(j), n)),
+                        ),
+                    ],
+                )],
+            ),
             set(cks, f64c(0.0)),
-            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
-                set(cks, add(local(cks), ld2(b, local(i), local(j), n))),
-            ])]),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![for_i(
+                    j,
+                    0,
+                    i32c(n),
+                    vec![set(cks, add(local(cks), ld2(b, local(i), local(j), n)))],
+                )],
+            ),
         ]);
     })
 }
@@ -965,32 +1748,127 @@ fn build_doitgen() -> sledge_wasm::module::Module {
         let p = f.local(I32);
         let s = f.local(I32);
         let a3 = |rv: sledge_guestc::Local, qv: sledge_guestc::Local, pv: Expr| {
-            add(i32c(a), mul(add(mul(add(mul(local(rv), i32c(n)), local(qv)), i32c(n)), pv), i32c(8)))
+            add(
+                i32c(a),
+                mul(
+                    add(mul(add(mul(local(rv), i32c(n)), local(qv)), i32c(n)), pv),
+                    i32c(8),
+                ),
+            )
         };
         f.extend([
-            for_i(r, 0, i32c(n), vec![for_i(q, 0, i32c(n), vec![for_i(p, 0, i32c(n), vec![
-                store(sledge_guestc::Scalar::F64, a3(r, q, local(p)), 0,
-                    init_expr(add(mul(local(r), i32c(n)), local(q)), 1, local(p), 1, 0, n)),
-            ])])]),
-            for_i(p, 0, i32c(n), vec![for_i(s, 0, i32c(n), vec![
-                st2(c4, local(p), local(s), n, init_expr(local(p), 1, local(s), 2, 1, n)),
-            ])]),
-            for_i(r, 0, i32c(n), vec![for_i(q, 0, i32c(n), vec![
-                for_i(p, 0, i32c(n), vec![
-                    st1(sum, local(p), f64c(0.0)),
-                    for_i(s, 0, i32c(n), vec![
-                        st1(sum, local(p), add(ld1(sum, local(p)),
-                            mul(load(sledge_guestc::Scalar::F64, a3(r, q, local(s)), 0), ld2(c4, local(s), local(p), n)))),
-                    ]),
-                ]),
-                for_i(p, 0, i32c(n), vec![
-                    store(sledge_guestc::Scalar::F64, a3(r, q, local(p)), 0, ld1(sum, local(p))),
-                ]),
-            ])]),
+            for_i(
+                r,
+                0,
+                i32c(n),
+                vec![for_i(
+                    q,
+                    0,
+                    i32c(n),
+                    vec![for_i(
+                        p,
+                        0,
+                        i32c(n),
+                        vec![store(
+                            sledge_guestc::Scalar::F64,
+                            a3(r, q, local(p)),
+                            0,
+                            init_expr(add(mul(local(r), i32c(n)), local(q)), 1, local(p), 1, 0, n),
+                        )],
+                    )],
+                )],
+            ),
+            for_i(
+                p,
+                0,
+                i32c(n),
+                vec![for_i(
+                    s,
+                    0,
+                    i32c(n),
+                    vec![st2(
+                        c4,
+                        local(p),
+                        local(s),
+                        n,
+                        init_expr(local(p), 1, local(s), 2, 1, n),
+                    )],
+                )],
+            ),
+            for_i(
+                r,
+                0,
+                i32c(n),
+                vec![for_i(
+                    q,
+                    0,
+                    i32c(n),
+                    vec![
+                        for_i(
+                            p,
+                            0,
+                            i32c(n),
+                            vec![
+                                st1(sum, local(p), f64c(0.0)),
+                                for_i(
+                                    s,
+                                    0,
+                                    i32c(n),
+                                    vec![st1(
+                                        sum,
+                                        local(p),
+                                        add(
+                                            ld1(sum, local(p)),
+                                            mul(
+                                                load(
+                                                    sledge_guestc::Scalar::F64,
+                                                    a3(r, q, local(s)),
+                                                    0,
+                                                ),
+                                                ld2(c4, local(s), local(p), n),
+                                            ),
+                                        ),
+                                    )],
+                                ),
+                            ],
+                        ),
+                        for_i(
+                            p,
+                            0,
+                            i32c(n),
+                            vec![store(
+                                sledge_guestc::Scalar::F64,
+                                a3(r, q, local(p)),
+                                0,
+                                ld1(sum, local(p)),
+                            )],
+                        ),
+                    ],
+                )],
+            ),
             set(cks, f64c(0.0)),
-            for_i(r, 0, i32c(n), vec![for_i(q, 0, i32c(n), vec![for_i(p, 0, i32c(n), vec![
-                set(cks, add(local(cks), load(sledge_guestc::Scalar::F64, a3(r, q, local(p)), 0))),
-            ])])]),
+            for_i(
+                r,
+                0,
+                i32c(n),
+                vec![for_i(
+                    q,
+                    0,
+                    i32c(n),
+                    vec![for_i(
+                        p,
+                        0,
+                        i32c(n),
+                        vec![set(
+                            cks,
+                            add(
+                                local(cks),
+                                load(sledge_guestc::Scalar::F64, a3(r, q, local(p)), 0),
+                            ),
+                        )],
+                    )],
+                )],
+            ),
         ]);
     })
 }

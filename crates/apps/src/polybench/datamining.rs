@@ -2,9 +2,9 @@
 //! deriche, floyd-warshall, nussinov.
 
 use super::{for_i, kernel_module, Kernel, A0};
-use sledge_guestc::Expr;
 use crate::abi::{ld1, ld2, st1, st2};
 use sledge_guestc::dsl::*;
+use sledge_guestc::Expr;
 use sledge_wasm::types::ValType::{F64, I32};
 
 // ----------------------------------------------------------- correlation
@@ -31,55 +31,171 @@ fn build_correlation() -> sledge_wasm::module::Module {
         let j = f.local(I32);
         let k = f.local(I32);
         f.extend([
-            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
-                st2(data, local(i), local(j), n,
-                    add(div(i2d(mul(local(i), local(j))), f64c(n as f64)), i2d(local(i)))),
-            ])]),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![for_i(
+                    j,
+                    0,
+                    i32c(n),
+                    vec![st2(
+                        data,
+                        local(i),
+                        local(j),
+                        n,
+                        add(
+                            div(i2d(mul(local(i), local(j))), f64c(n as f64)),
+                            i2d(local(i)),
+                        ),
+                    )],
+                )],
+            ),
             // mean
-            for_i(j, 0, i32c(n), vec![
-                st1(mean, local(j), f64c(0.0)),
-                for_i(i, 0, i32c(n), vec![
-                    st1(mean, local(j), add(ld1(mean, local(j)), ld2(data, local(i), local(j), n))),
-                ]),
-                st1(mean, local(j), div(ld1(mean, local(j)), f64c(n as f64))),
-            ]),
+            for_i(
+                j,
+                0,
+                i32c(n),
+                vec![
+                    st1(mean, local(j), f64c(0.0)),
+                    for_i(
+                        i,
+                        0,
+                        i32c(n),
+                        vec![st1(
+                            mean,
+                            local(j),
+                            add(ld1(mean, local(j)), ld2(data, local(i), local(j), n)),
+                        )],
+                    ),
+                    st1(mean, local(j), div(ld1(mean, local(j)), f64c(n as f64))),
+                ],
+            ),
             // stddev
-            for_i(j, 0, i32c(n), vec![
-                st1(stddev, local(j), f64c(0.0)),
-                for_i(i, 0, i32c(n), vec![
-                    st1(stddev, local(j), add(ld1(stddev, local(j)),
-                        mul(sub(ld2(data, local(i), local(j), n), ld1(mean, local(j))),
-                            sub(ld2(data, local(i), local(j), n), ld1(mean, local(j)))))),
-                ]),
-                st1(stddev, local(j), sqrt(div(ld1(stddev, local(j)), f64c(n as f64)))),
-                st1(stddev, local(j), select(
-                    le_s(ld1(stddev, local(j)), f64c(eps)),
-                    f64c(1.0),
-                    ld1(stddev, local(j)))),
-            ]),
+            for_i(
+                j,
+                0,
+                i32c(n),
+                vec![
+                    st1(stddev, local(j), f64c(0.0)),
+                    for_i(
+                        i,
+                        0,
+                        i32c(n),
+                        vec![st1(
+                            stddev,
+                            local(j),
+                            add(
+                                ld1(stddev, local(j)),
+                                mul(
+                                    sub(ld2(data, local(i), local(j), n), ld1(mean, local(j))),
+                                    sub(ld2(data, local(i), local(j), n), ld1(mean, local(j))),
+                                ),
+                            ),
+                        )],
+                    ),
+                    st1(
+                        stddev,
+                        local(j),
+                        sqrt(div(ld1(stddev, local(j)), f64c(n as f64))),
+                    ),
+                    st1(
+                        stddev,
+                        local(j),
+                        select(
+                            le_s(ld1(stddev, local(j)), f64c(eps)),
+                            f64c(1.0),
+                            ld1(stddev, local(j)),
+                        ),
+                    ),
+                ],
+            ),
             // center & reduce
-            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
-                st2(data, local(i), local(j), n, sub(ld2(data, local(i), local(j), n), ld1(mean, local(j)))),
-                st2(data, local(i), local(j), n, div(ld2(data, local(i), local(j), n),
-                    mul(sqrt(f64c(n as f64)), ld1(stddev, local(j))))),
-            ])]),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![for_i(
+                    j,
+                    0,
+                    i32c(n),
+                    vec![
+                        st2(
+                            data,
+                            local(i),
+                            local(j),
+                            n,
+                            sub(ld2(data, local(i), local(j), n), ld1(mean, local(j))),
+                        ),
+                        st2(
+                            data,
+                            local(i),
+                            local(j),
+                            n,
+                            div(
+                                ld2(data, local(i), local(j), n),
+                                mul(sqrt(f64c(n as f64)), ld1(stddev, local(j))),
+                            ),
+                        ),
+                    ],
+                )],
+            ),
             // correlation matrix (upper triangle).
-            for_i(i, 0, sub(i32c(n), i32c(1)), vec![
-                st2(corr, local(i), local(i), n, f64c(1.0)),
-                for_loop(j, add(local(i), i32c(1)), lt_s(local(j), i32c(n)), 1, vec![
-                    st2(corr, local(i), local(j), n, f64c(0.0)),
-                    for_i(k, 0, i32c(n), vec![
-                        st2(corr, local(i), local(j), n, add(ld2(corr, local(i), local(j), n),
-                            mul(ld2(data, local(k), local(i), n), ld2(data, local(k), local(j), n)))),
-                    ]),
-                    st2(corr, local(j), local(i), n, ld2(corr, local(i), local(j), n)),
-                ]),
-            ]),
+            for_i(
+                i,
+                0,
+                sub(i32c(n), i32c(1)),
+                vec![
+                    st2(corr, local(i), local(i), n, f64c(1.0)),
+                    for_loop(
+                        j,
+                        add(local(i), i32c(1)),
+                        lt_s(local(j), i32c(n)),
+                        1,
+                        vec![
+                            st2(corr, local(i), local(j), n, f64c(0.0)),
+                            for_i(
+                                k,
+                                0,
+                                i32c(n),
+                                vec![st2(
+                                    corr,
+                                    local(i),
+                                    local(j),
+                                    n,
+                                    add(
+                                        ld2(corr, local(i), local(j), n),
+                                        mul(
+                                            ld2(data, local(k), local(i), n),
+                                            ld2(data, local(k), local(j), n),
+                                        ),
+                                    ),
+                                )],
+                            ),
+                            st2(
+                                corr,
+                                local(j),
+                                local(i),
+                                n,
+                                ld2(corr, local(i), local(j), n),
+                            ),
+                        ],
+                    ),
+                ],
+            ),
             st2(corr, i32c(n - 1), i32c(n - 1), n, f64c(1.0)),
             set(cks, f64c(0.0)),
-            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
-                set(cks, add(local(cks), ld2(corr, local(i), local(j), n))),
-            ])]),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![for_i(
+                    j,
+                    0,
+                    i32c(n),
+                    vec![set(cks, add(local(cks), ld2(corr, local(i), local(j), n)))],
+                )],
+            ),
         ]);
     })
 }
@@ -153,35 +269,111 @@ fn build_covariance() -> sledge_wasm::module::Module {
         let j = f.local(I32);
         let k = f.local(I32);
         f.extend([
-            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
-                st2(data, local(i), local(j), n,
-                    div(i2d(mul(local(i), local(j))), f64c(n as f64))),
-            ])]),
-            for_i(j, 0, i32c(n), vec![
-                st1(mean, local(j), f64c(0.0)),
-                for_i(i, 0, i32c(n), vec![
-                    st1(mean, local(j), add(ld1(mean, local(j)), ld2(data, local(i), local(j), n))),
-                ]),
-                st1(mean, local(j), div(ld1(mean, local(j)), f64c(n as f64))),
-            ]),
-            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
-                st2(data, local(i), local(j), n, sub(ld2(data, local(i), local(j), n), ld1(mean, local(j)))),
-            ])]),
-            for_i(i, 0, i32c(n), vec![
-                for_loop(j, local(i), lt_s(local(j), i32c(n)), 1, vec![
-                    st2(cov, local(i), local(j), n, f64c(0.0)),
-                    for_i(k, 0, i32c(n), vec![
-                        st2(cov, local(i), local(j), n, add(ld2(cov, local(i), local(j), n),
-                            mul(ld2(data, local(k), local(i), n), ld2(data, local(k), local(j), n)))),
-                    ]),
-                    st2(cov, local(i), local(j), n, div(ld2(cov, local(i), local(j), n), f64c(n as f64 - 1.0))),
-                    st2(cov, local(j), local(i), n, ld2(cov, local(i), local(j), n)),
-                ]),
-            ]),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![for_i(
+                    j,
+                    0,
+                    i32c(n),
+                    vec![st2(
+                        data,
+                        local(i),
+                        local(j),
+                        n,
+                        div(i2d(mul(local(i), local(j))), f64c(n as f64)),
+                    )],
+                )],
+            ),
+            for_i(
+                j,
+                0,
+                i32c(n),
+                vec![
+                    st1(mean, local(j), f64c(0.0)),
+                    for_i(
+                        i,
+                        0,
+                        i32c(n),
+                        vec![st1(
+                            mean,
+                            local(j),
+                            add(ld1(mean, local(j)), ld2(data, local(i), local(j), n)),
+                        )],
+                    ),
+                    st1(mean, local(j), div(ld1(mean, local(j)), f64c(n as f64))),
+                ],
+            ),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![for_i(
+                    j,
+                    0,
+                    i32c(n),
+                    vec![st2(
+                        data,
+                        local(i),
+                        local(j),
+                        n,
+                        sub(ld2(data, local(i), local(j), n), ld1(mean, local(j))),
+                    )],
+                )],
+            ),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![for_loop(
+                    j,
+                    local(i),
+                    lt_s(local(j), i32c(n)),
+                    1,
+                    vec![
+                        st2(cov, local(i), local(j), n, f64c(0.0)),
+                        for_i(
+                            k,
+                            0,
+                            i32c(n),
+                            vec![st2(
+                                cov,
+                                local(i),
+                                local(j),
+                                n,
+                                add(
+                                    ld2(cov, local(i), local(j), n),
+                                    mul(
+                                        ld2(data, local(k), local(i), n),
+                                        ld2(data, local(k), local(j), n),
+                                    ),
+                                ),
+                            )],
+                        ),
+                        st2(
+                            cov,
+                            local(i),
+                            local(j),
+                            n,
+                            div(ld2(cov, local(i), local(j), n), f64c(n as f64 - 1.0)),
+                        ),
+                        st2(cov, local(j), local(i), n, ld2(cov, local(i), local(j), n)),
+                    ],
+                )],
+            ),
             set(cks, f64c(0.0)),
-            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
-                set(cks, add(local(cks), ld2(cov, local(i), local(j), n))),
-            ])]),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![for_i(
+                    j,
+                    0,
+                    i32c(n),
+                    vec![set(cks, add(local(cks), ld2(cov, local(i), local(j), n)))],
+                )],
+            ),
         ]);
     })
 }
@@ -246,11 +438,7 @@ fn deriche_coeffs() -> (f64, [f64; 8], [f64; 4]) {
     let b2 = -(-2.0 * alpha).exp();
     let c1 = 1.0;
     let c2 = 1.0;
-    (
-        alpha,
-        [a1, a2, a3, a4, a1, a2, a3, a4],
-        [b1, b2, c1, c2],
-    )
+    (alpha, [a1, a2, a3, a4, a1, a2, a3, a4], [b1, b2, c1, c2])
 }
 
 fn build_deriche() -> sledge_wasm::module::Module {
@@ -271,50 +459,136 @@ fn build_deriche() -> sledge_wasm::module::Module {
         let yp1 = f.local(F64);
         let yp2 = f.local(F64);
         f.extend([
-            for_i(i, 0, i32c(w), vec![for_i(j, 0, i32c(h), vec![
-                st2(img_in, local(i), local(j), h,
-                    div(i2d(rem(add(mul(local(i), i32c(313)), mul(local(j), i32c(991))), i32c(65536))), f64c(65535.0))),
-            ])]),
+            for_i(
+                i,
+                0,
+                i32c(w),
+                vec![for_i(
+                    j,
+                    0,
+                    i32c(h),
+                    vec![st2(
+                        img_in,
+                        local(i),
+                        local(j),
+                        h,
+                        div(
+                            i2d(rem(
+                                add(mul(local(i), i32c(313)), mul(local(j), i32c(991))),
+                                i32c(65536),
+                            )),
+                            f64c(65535.0),
+                        ),
+                    )],
+                )],
+            ),
             // Horizontal forward pass.
-            for_i(i, 0, i32c(w), vec![
-                set(ym1, f64c(0.0)),
-                set(ym2, f64c(0.0)),
-                set(xm1, f64c(0.0)),
-                for_i(j, 0, i32c(h), vec![
-                    st2(y1, local(i), local(j), h,
-                        add(add(mul(f64c(a[0]), ld2(img_in, local(i), local(j), h)),
-                                mul(f64c(a[1]), local(xm1))),
-                            add(mul(f64c(bc[0]), local(ym1)), mul(f64c(bc[1]), local(ym2))))),
-                    set(xm1, ld2(img_in, local(i), local(j), h)),
-                    set(ym2, local(ym1)),
-                    set(ym1, ld2(y1, local(i), local(j), h)),
-                ]),
-            ]),
+            for_i(
+                i,
+                0,
+                i32c(w),
+                vec![
+                    set(ym1, f64c(0.0)),
+                    set(ym2, f64c(0.0)),
+                    set(xm1, f64c(0.0)),
+                    for_i(
+                        j,
+                        0,
+                        i32c(h),
+                        vec![
+                            st2(
+                                y1,
+                                local(i),
+                                local(j),
+                                h,
+                                add(
+                                    add(
+                                        mul(f64c(a[0]), ld2(img_in, local(i), local(j), h)),
+                                        mul(f64c(a[1]), local(xm1)),
+                                    ),
+                                    add(mul(f64c(bc[0]), local(ym1)), mul(f64c(bc[1]), local(ym2))),
+                                ),
+                            ),
+                            set(xm1, ld2(img_in, local(i), local(j), h)),
+                            set(ym2, local(ym1)),
+                            set(ym1, ld2(y1, local(i), local(j), h)),
+                        ],
+                    ),
+                ],
+            ),
             // Horizontal backward pass.
-            for_i(i, 0, i32c(w), vec![
-                set(yp1, f64c(0.0)),
-                set(yp2, f64c(0.0)),
-                set(xp1, f64c(0.0)),
-                set(xp2, f64c(0.0)),
-                for_loop(j, i32c(h - 1), ge_s(local(j), i32c(0)), -1, vec![
-                    st2(y2, local(i), local(j), h,
-                        add(add(mul(f64c(a[2]), local(xp1)), mul(f64c(a[3]), local(xp2))),
-                            add(mul(f64c(bc[0]), local(yp1)), mul(f64c(bc[1]), local(yp2))))),
-                    set(xp2, local(xp1)),
-                    set(xp1, ld2(img_in, local(i), local(j), h)),
-                    set(yp2, local(yp1)),
-                    set(yp1, ld2(y2, local(i), local(j), h)),
-                ]),
-            ]),
+            for_i(
+                i,
+                0,
+                i32c(w),
+                vec![
+                    set(yp1, f64c(0.0)),
+                    set(yp2, f64c(0.0)),
+                    set(xp1, f64c(0.0)),
+                    set(xp2, f64c(0.0)),
+                    for_loop(
+                        j,
+                        i32c(h - 1),
+                        ge_s(local(j), i32c(0)),
+                        -1,
+                        vec![
+                            st2(
+                                y2,
+                                local(i),
+                                local(j),
+                                h,
+                                add(
+                                    add(mul(f64c(a[2]), local(xp1)), mul(f64c(a[3]), local(xp2))),
+                                    add(mul(f64c(bc[0]), local(yp1)), mul(f64c(bc[1]), local(yp2))),
+                                ),
+                            ),
+                            set(xp2, local(xp1)),
+                            set(xp1, ld2(img_in, local(i), local(j), h)),
+                            set(yp2, local(yp1)),
+                            set(yp1, ld2(y2, local(i), local(j), h)),
+                        ],
+                    ),
+                ],
+            ),
             // Combine.
-            for_i(i, 0, i32c(w), vec![for_i(j, 0, i32c(h), vec![
-                st2(img_out, local(i), local(j), h,
-                    mul(f64c(bc[2]), add(ld2(y1, local(i), local(j), h), ld2(y2, local(i), local(j), h)))),
-            ])]),
+            for_i(
+                i,
+                0,
+                i32c(w),
+                vec![for_i(
+                    j,
+                    0,
+                    i32c(h),
+                    vec![st2(
+                        img_out,
+                        local(i),
+                        local(j),
+                        h,
+                        mul(
+                            f64c(bc[2]),
+                            add(
+                                ld2(y1, local(i), local(j), h),
+                                ld2(y2, local(i), local(j), h),
+                            ),
+                        ),
+                    )],
+                )],
+            ),
             set(cks, f64c(0.0)),
-            for_i(i, 0, i32c(w), vec![for_i(j, 0, i32c(h), vec![
-                set(cks, add(local(cks), ld2(img_out, local(i), local(j), h))),
-            ])]),
+            for_i(
+                i,
+                0,
+                i32c(w),
+                vec![for_i(
+                    j,
+                    0,
+                    i32c(h),
+                    vec![set(
+                        cks,
+                        add(local(cks), ld2(img_out, local(i), local(j), h)),
+                    )],
+                )],
+            ),
         ]);
     })
 }
@@ -379,25 +653,79 @@ fn build_floyd() -> sledge_wasm::module::Module {
         let k = f.local(I32);
         let alt = f.local(F64);
         f.extend([
-            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
-                st2(path, local(i), local(j), n,
-                    select(eq(rem(add(mul(local(i), local(j)), add(local(i), local(j))), i32c(7)), i32c(0)),
-                        i2d(rem(add(mul(local(i), local(j)), i32c(1)), i32c(n))),
-                        f64c(999.0))),
-            ])]),
-            for_i(i, 0, i32c(n), vec![
-                st2(path, local(i), local(i), n, f64c(0.0)),
-            ]),
-            for_i(k, 0, i32c(n), vec![for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
-                set(alt, add(ld2(path, local(i), local(k), n), ld2(path, local(k), local(j), n))),
-                if_(lt_s(local(alt), ld2(path, local(i), local(j), n)), vec![
-                    st2(path, local(i), local(j), n, local(alt)),
-                ]),
-            ])])]),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![for_i(
+                    j,
+                    0,
+                    i32c(n),
+                    vec![st2(
+                        path,
+                        local(i),
+                        local(j),
+                        n,
+                        select(
+                            eq(
+                                rem(
+                                    add(mul(local(i), local(j)), add(local(i), local(j))),
+                                    i32c(7),
+                                ),
+                                i32c(0),
+                            ),
+                            i2d(rem(add(mul(local(i), local(j)), i32c(1)), i32c(n))),
+                            f64c(999.0),
+                        ),
+                    )],
+                )],
+            ),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![st2(path, local(i), local(i), n, f64c(0.0))],
+            ),
+            for_i(
+                k,
+                0,
+                i32c(n),
+                vec![for_i(
+                    i,
+                    0,
+                    i32c(n),
+                    vec![for_i(
+                        j,
+                        0,
+                        i32c(n),
+                        vec![
+                            set(
+                                alt,
+                                add(
+                                    ld2(path, local(i), local(k), n),
+                                    ld2(path, local(k), local(j), n),
+                                ),
+                            ),
+                            if_(
+                                lt_s(local(alt), ld2(path, local(i), local(j), n)),
+                                vec![st2(path, local(i), local(j), n, local(alt))],
+                            ),
+                        ],
+                    )],
+                )],
+            ),
             set(cks, f64c(0.0)),
-            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
-                set(cks, add(local(cks), ld2(path, local(i), local(j), n))),
-            ])]),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![for_i(
+                    j,
+                    0,
+                    i32c(n),
+                    vec![set(cks, add(local(cks), ld2(path, local(i), local(j), n)))],
+                )],
+            ),
         ]);
     })
 }
@@ -454,41 +782,102 @@ fn build_nussinov() -> sledge_wasm::module::Module {
         let best = f.local(F64);
         let cand = f.local(F64);
         let seq_at = |idx: Expr| {
-            load(sledge_guestc::Scalar::I32, add(i32c(seq), mul(idx, i32c(4))), 0)
+            load(
+                sledge_guestc::Scalar::I32,
+                add(i32c(seq), mul(idx, i32c(4))),
+                0,
+            )
         };
         f.extend([
-            for_i(i, 0, i32c(n), vec![
-                store(sledge_guestc::Scalar::I32, add(i32c(seq), mul(local(i), i32c(4))), 0,
-                    rem(add(local(i), i32c(1)), i32c(4))),
-            ]),
-            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
-                st2(tb, local(i), local(j), n, f64c(0.0)),
-            ])]),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![store(
+                    sledge_guestc::Scalar::I32,
+                    add(i32c(seq), mul(local(i), i32c(4))),
+                    0,
+                    rem(add(local(i), i32c(1)), i32c(4)),
+                )],
+            ),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![for_i(
+                    j,
+                    0,
+                    i32c(n),
+                    vec![st2(tb, local(i), local(j), n, f64c(0.0))],
+                )],
+            ),
             // i from n-1 down to 0, j from i+1 to n-1.
-            for_loop(i, i32c(n - 1), ge_s(local(i), i32c(0)), -1, vec![
-                for_loop(j, add(local(i), i32c(1)), lt_s(local(j), i32c(n)), 1, vec![
-                    set(best, ld2(tb, local(i), add(local(j), i32c(-1)), n)),
-                    set(cand, ld2(tb, add(local(i), i32c(1)), local(j), n)),
-                    if_(gt_s(local(cand), local(best)), vec![set(best, local(cand))]),
-                    // pair (i, j) if complementary and separated.
-                    if_(gt_s(sub(local(j), local(i)), i32c(1)), vec![
-                        set(cand, add(ld2(tb, add(local(i), i32c(1)), sub(local(j), i32c(1)), n),
-                            select(eq(add(seq_at(local(i)), seq_at(local(j))), i32c(3)), f64c(1.0), f64c(0.0)))),
+            for_loop(
+                i,
+                i32c(n - 1),
+                ge_s(local(i), i32c(0)),
+                -1,
+                vec![for_loop(
+                    j,
+                    add(local(i), i32c(1)),
+                    lt_s(local(j), i32c(n)),
+                    1,
+                    vec![
+                        set(best, ld2(tb, local(i), add(local(j), i32c(-1)), n)),
+                        set(cand, ld2(tb, add(local(i), i32c(1)), local(j), n)),
                         if_(gt_s(local(cand), local(best)), vec![set(best, local(cand))]),
-                    ]),
-                    // split
-                    for_loop(k, add(local(i), i32c(1)), lt_s(local(k), local(j)), 1, vec![
-                        set(cand, add(ld2(tb, local(i), local(k), n), ld2(tb, add(local(k), i32c(1)), local(j), n))),
-                        if_(gt_s(local(cand), local(best)), vec![set(best, local(cand))]),
-                    ]),
-                    st2(tb, local(i), local(j), n, local(best)),
-                ]),
-            ]),
+                        // pair (i, j) if complementary and separated.
+                        if_(
+                            gt_s(sub(local(j), local(i)), i32c(1)),
+                            vec![
+                                set(
+                                    cand,
+                                    add(
+                                        ld2(tb, add(local(i), i32c(1)), sub(local(j), i32c(1)), n),
+                                        select(
+                                            eq(add(seq_at(local(i)), seq_at(local(j))), i32c(3)),
+                                            f64c(1.0),
+                                            f64c(0.0),
+                                        ),
+                                    ),
+                                ),
+                                if_(gt_s(local(cand), local(best)), vec![set(best, local(cand))]),
+                            ],
+                        ),
+                        // split
+                        for_loop(
+                            k,
+                            add(local(i), i32c(1)),
+                            lt_s(local(k), local(j)),
+                            1,
+                            vec![
+                                set(
+                                    cand,
+                                    add(
+                                        ld2(tb, local(i), local(k), n),
+                                        ld2(tb, add(local(k), i32c(1)), local(j), n),
+                                    ),
+                                ),
+                                if_(gt_s(local(cand), local(best)), vec![set(best, local(cand))]),
+                            ],
+                        ),
+                        st2(tb, local(i), local(j), n, local(best)),
+                    ],
+                )],
+            ),
             set(cks, ld2(tb, i32c(0), i32c(n - 1), n)),
             // Add the whole table for a stronger checksum.
-            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
-                set(cks, add(local(cks), ld2(tb, local(i), local(j), n))),
-            ])]),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![for_i(
+                    j,
+                    0,
+                    i32c(n),
+                    vec![set(cks, add(local(cks), ld2(tb, local(i), local(j), n)))],
+                )],
+            ),
         ]);
     })
 }

@@ -20,19 +20,64 @@ fn spd_init_guest(
     acc: Local,
 ) -> Vec<sledge_guestc::Stmt> {
     vec![
-        for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
-            st2(scratch, local(i), local(j), n,
-                div(i2d(rem(add(mul(local(i), local(j)), i32c(1)), i32c(n))), f64c(n as f64))),
-        ])]),
-        for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
-            set(acc, f64c(0.0)),
-            for_i(k, 0, i32c(n), vec![
-                set(acc, add(local(acc), mul(ld2(scratch, local(i), local(k), n), ld2(scratch, local(j), local(k), n)))),
-            ]),
-            st2(a, local(i), local(j), n,
-                add(div(local(acc), f64c(n as f64)),
-                    select(eq(local(i), local(j)), f64c(n as f64), f64c(0.0)))),
-        ])]),
+        for_i(
+            i,
+            0,
+            i32c(n),
+            vec![for_i(
+                j,
+                0,
+                i32c(n),
+                vec![st2(
+                    scratch,
+                    local(i),
+                    local(j),
+                    n,
+                    div(
+                        i2d(rem(add(mul(local(i), local(j)), i32c(1)), i32c(n))),
+                        f64c(n as f64),
+                    ),
+                )],
+            )],
+        ),
+        for_i(
+            i,
+            0,
+            i32c(n),
+            vec![for_i(
+                j,
+                0,
+                i32c(n),
+                vec![
+                    set(acc, f64c(0.0)),
+                    for_i(
+                        k,
+                        0,
+                        i32c(n),
+                        vec![set(
+                            acc,
+                            add(
+                                local(acc),
+                                mul(
+                                    ld2(scratch, local(i), local(k), n),
+                                    ld2(scratch, local(j), local(k), n),
+                                ),
+                            ),
+                        )],
+                    ),
+                    st2(
+                        a,
+                        local(i),
+                        local(j),
+                        n,
+                        add(
+                            div(local(acc), f64c(n as f64)),
+                            select(eq(local(i), local(j)), f64c(n as f64), f64c(0.0)),
+                        ),
+                    ),
+                ],
+            )],
+        ),
         {
             let _ = f;
             sledge_guestc::Stmt::Nop
@@ -84,26 +129,82 @@ fn build_cholesky() -> sledge_wasm::module::Module {
         let init = spd_init_guest(f, a, scratch, n, i, j, k, acc);
         f.extend(init);
         f.extend([
-            for_i(i, 0, i32c(n), vec![
-                // j < i
-                for_i(j, 0, local(i), vec![
-                    for_i(k, 0, local(j), vec![
-                        st2(a, local(i), local(j), n, sub(ld2(a, local(i), local(j), n),
-                            mul(ld2(a, local(i), local(k), n), ld2(a, local(j), local(k), n)))),
-                    ]),
-                    st2(a, local(i), local(j), n, div(ld2(a, local(i), local(j), n), ld2(a, local(j), local(j), n))),
-                ]),
-                // diagonal
-                for_i(k, 0, local(i), vec![
-                    st2(a, local(i), local(i), n, sub(ld2(a, local(i), local(i), n),
-                        mul(ld2(a, local(i), local(k), n), ld2(a, local(i), local(k), n)))),
-                ]),
-                st2(a, local(i), local(i), n, sqrt(ld2(a, local(i), local(i), n))),
-            ]),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![
+                    // j < i
+                    for_i(
+                        j,
+                        0,
+                        local(i),
+                        vec![
+                            for_i(
+                                k,
+                                0,
+                                local(j),
+                                vec![st2(
+                                    a,
+                                    local(i),
+                                    local(j),
+                                    n,
+                                    sub(
+                                        ld2(a, local(i), local(j), n),
+                                        mul(
+                                            ld2(a, local(i), local(k), n),
+                                            ld2(a, local(j), local(k), n),
+                                        ),
+                                    ),
+                                )],
+                            ),
+                            st2(
+                                a,
+                                local(i),
+                                local(j),
+                                n,
+                                div(ld2(a, local(i), local(j), n), ld2(a, local(j), local(j), n)),
+                            ),
+                        ],
+                    ),
+                    // diagonal
+                    for_i(
+                        k,
+                        0,
+                        local(i),
+                        vec![st2(
+                            a,
+                            local(i),
+                            local(i),
+                            n,
+                            sub(
+                                ld2(a, local(i), local(i), n),
+                                mul(ld2(a, local(i), local(k), n), ld2(a, local(i), local(k), n)),
+                            ),
+                        )],
+                    ),
+                    st2(
+                        a,
+                        local(i),
+                        local(i),
+                        n,
+                        sqrt(ld2(a, local(i), local(i), n)),
+                    ),
+                ],
+            ),
             set(cks, f64c(0.0)),
-            for_i(i, 0, i32c(n), vec![for_loop(j, i32c(0), le_s(local(j), local(i)), 1, vec![
-                set(cks, add(local(cks), ld2(a, local(i), local(j), n))),
-            ])]),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![for_loop(
+                    j,
+                    i32c(0),
+                    le_s(local(j), local(i)),
+                    1,
+                    vec![set(cks, add(local(cks), ld2(a, local(i), local(j), n)))],
+                )],
+            ),
         ]);
     })
 }
@@ -156,30 +257,72 @@ fn build_durbin() -> sledge_wasm::module::Module {
         let beta = f.local(F64);
         let sum = f.local(F64);
         f.extend([
-            for_i(i, 0, i32c(n), vec![
-                st1(r, local(i), div(i2d(add(local(i), i32c(1))), f64c(n as f64 * 2.0))),
-            ]),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![st1(
+                    r,
+                    local(i),
+                    div(i2d(add(local(i), i32c(1))), f64c(n as f64 * 2.0)),
+                )],
+            ),
             st1(y, i32c(0), neg(ld1(r, i32c(0)))),
             set(beta, f64c(1.0)),
             set(alpha, neg(ld1(r, i32c(0)))),
-            for_i(k, 1, i32c(n), vec![
-                set(beta, mul(sub(f64c(1.0), mul(local(alpha), local(alpha))), local(beta))),
-                set(sum, f64c(0.0)),
-                for_i(i, 0, local(k), vec![
-                    set(sum, add(local(sum), mul(ld1(r, sub(sub(local(k), local(i)), i32c(1))), ld1(y, local(i))))),
-                ]),
-                set(alpha, neg(div(add(ld1(r, local(k)), local(sum)), local(beta)))),
-                for_i(i, 0, local(k), vec![
-                    st1(z, local(i), add(ld1(y, local(i)),
-                        mul(local(alpha), ld1(y, sub(sub(local(k), local(i)), i32c(1)))))),
-                ]),
-                for_i(i, 0, local(k), vec![
-                    st1(y, local(i), ld1(z, local(i))),
-                ]),
-                st1(y, local(k), local(alpha)),
-            ]),
+            for_i(
+                k,
+                1,
+                i32c(n),
+                vec![
+                    set(
+                        beta,
+                        mul(sub(f64c(1.0), mul(local(alpha), local(alpha))), local(beta)),
+                    ),
+                    set(sum, f64c(0.0)),
+                    for_i(
+                        i,
+                        0,
+                        local(k),
+                        vec![set(
+                            sum,
+                            add(
+                                local(sum),
+                                mul(
+                                    ld1(r, sub(sub(local(k), local(i)), i32c(1))),
+                                    ld1(y, local(i)),
+                                ),
+                            ),
+                        )],
+                    ),
+                    set(
+                        alpha,
+                        neg(div(add(ld1(r, local(k)), local(sum)), local(beta))),
+                    ),
+                    for_i(
+                        i,
+                        0,
+                        local(k),
+                        vec![st1(
+                            z,
+                            local(i),
+                            add(
+                                ld1(y, local(i)),
+                                mul(local(alpha), ld1(y, sub(sub(local(k), local(i)), i32c(1)))),
+                            ),
+                        )],
+                    ),
+                    for_i(i, 0, local(k), vec![st1(y, local(i), ld1(z, local(i)))]),
+                    st1(y, local(k), local(alpha)),
+                ],
+            ),
             set(cks, f64c(0.0)),
-            for_i(i, 0, i32c(n), vec![set(cks, add(local(cks), ld1(y, local(i))))]),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![set(cks, add(local(cks), ld1(y, local(i))))],
+            ),
         ]);
     })
 }
@@ -234,38 +377,129 @@ fn build_gramschmidt() -> sledge_wasm::module::Module {
         let k = f.local(I32);
         let nrm = f.local(F64);
         f.extend([
-            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
-                st2(a, local(i), local(j), n,
-                    add(div(i2d(rem(add(mul(local(i), local(j)), i32c(1)), i32c(n))), f64c(n as f64)),
-                        select(eq(local(i), local(j)), f64c(2.0), f64c(0.0)))),
-                st2(r, local(i), local(j), n, f64c(0.0)),
-                st2(q, local(i), local(j), n, f64c(0.0)),
-            ])]),
-            for_i(k, 0, i32c(n), vec![
-                set(nrm, f64c(0.0)),
-                for_i(i, 0, i32c(n), vec![
-                    set(nrm, add(local(nrm), mul(ld2(a, local(i), local(k), n), ld2(a, local(i), local(k), n)))),
-                ]),
-                st2(r, local(k), local(k), n, sqrt(local(nrm))),
-                for_i(i, 0, i32c(n), vec![
-                    st2(q, local(i), local(k), n, div(ld2(a, local(i), local(k), n), ld2(r, local(k), local(k), n))),
-                ]),
-                for_loop(j, add(local(k), i32c(1)), lt_s(local(j), i32c(n)), 1, vec![
-                    st2(r, local(k), local(j), n, f64c(0.0)),
-                    for_i(i, 0, i32c(n), vec![
-                        st2(r, local(k), local(j), n, add(ld2(r, local(k), local(j), n),
-                            mul(ld2(q, local(i), local(k), n), ld2(a, local(i), local(j), n)))),
-                    ]),
-                    for_i(i, 0, i32c(n), vec![
-                        st2(a, local(i), local(j), n, sub(ld2(a, local(i), local(j), n),
-                            mul(ld2(q, local(i), local(k), n), ld2(r, local(k), local(j), n)))),
-                    ]),
-                ]),
-            ]),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![for_i(
+                    j,
+                    0,
+                    i32c(n),
+                    vec![
+                        st2(
+                            a,
+                            local(i),
+                            local(j),
+                            n,
+                            add(
+                                div(
+                                    i2d(rem(add(mul(local(i), local(j)), i32c(1)), i32c(n))),
+                                    f64c(n as f64),
+                                ),
+                                select(eq(local(i), local(j)), f64c(2.0), f64c(0.0)),
+                            ),
+                        ),
+                        st2(r, local(i), local(j), n, f64c(0.0)),
+                        st2(q, local(i), local(j), n, f64c(0.0)),
+                    ],
+                )],
+            ),
+            for_i(
+                k,
+                0,
+                i32c(n),
+                vec![
+                    set(nrm, f64c(0.0)),
+                    for_i(
+                        i,
+                        0,
+                        i32c(n),
+                        vec![set(
+                            nrm,
+                            add(
+                                local(nrm),
+                                mul(ld2(a, local(i), local(k), n), ld2(a, local(i), local(k), n)),
+                            ),
+                        )],
+                    ),
+                    st2(r, local(k), local(k), n, sqrt(local(nrm))),
+                    for_i(
+                        i,
+                        0,
+                        i32c(n),
+                        vec![st2(
+                            q,
+                            local(i),
+                            local(k),
+                            n,
+                            div(ld2(a, local(i), local(k), n), ld2(r, local(k), local(k), n)),
+                        )],
+                    ),
+                    for_loop(
+                        j,
+                        add(local(k), i32c(1)),
+                        lt_s(local(j), i32c(n)),
+                        1,
+                        vec![
+                            st2(r, local(k), local(j), n, f64c(0.0)),
+                            for_i(
+                                i,
+                                0,
+                                i32c(n),
+                                vec![st2(
+                                    r,
+                                    local(k),
+                                    local(j),
+                                    n,
+                                    add(
+                                        ld2(r, local(k), local(j), n),
+                                        mul(
+                                            ld2(q, local(i), local(k), n),
+                                            ld2(a, local(i), local(j), n),
+                                        ),
+                                    ),
+                                )],
+                            ),
+                            for_i(
+                                i,
+                                0,
+                                i32c(n),
+                                vec![st2(
+                                    a,
+                                    local(i),
+                                    local(j),
+                                    n,
+                                    sub(
+                                        ld2(a, local(i), local(j), n),
+                                        mul(
+                                            ld2(q, local(i), local(k), n),
+                                            ld2(r, local(k), local(j), n),
+                                        ),
+                                    ),
+                                )],
+                            ),
+                        ],
+                    ),
+                ],
+            ),
             set(cks, f64c(0.0)),
-            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
-                set(cks, add(local(cks), add(ld2(r, local(i), local(j), n), ld2(q, local(i), local(j), n)))),
-            ])]),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![for_i(
+                    j,
+                    0,
+                    i32c(n),
+                    vec![set(
+                        cks,
+                        add(
+                            local(cks),
+                            add(ld2(r, local(i), local(j), n), ld2(q, local(i), local(j), n)),
+                        ),
+                    )],
+                )],
+            ),
         ]);
     })
 }
@@ -277,8 +511,7 @@ fn native_gramschmidt() -> f64 {
     let mut q = vec![0.0f64; n * n];
     for i in 0..n {
         for j in 0..n {
-            a[i * n + j] = (((i * j + 1) % n) as f64) / n as f64
-                + if i == j { 2.0 } else { 0.0 };
+            a[i * n + j] = (((i * j + 1) % n) as f64) / n as f64 + if i == j { 2.0 } else { 0.0 };
         }
     }
     for k in 0..n {
@@ -331,25 +564,81 @@ fn build_lu() -> sledge_wasm::module::Module {
         let init = spd_init_guest(f, a, scratch, n, i, j, k, acc);
         f.extend(init);
         f.extend([
-            for_i(i, 0, i32c(n), vec![
-                for_i(j, 0, local(i), vec![
-                    for_i(k, 0, local(j), vec![
-                        st2(a, local(i), local(j), n, sub(ld2(a, local(i), local(j), n),
-                            mul(ld2(a, local(i), local(k), n), ld2(a, local(k), local(j), n)))),
-                    ]),
-                    st2(a, local(i), local(j), n, div(ld2(a, local(i), local(j), n), ld2(a, local(j), local(j), n))),
-                ]),
-                for_loop(j, local(i), lt_s(local(j), i32c(n)), 1, vec![
-                    for_i(k, 0, local(i), vec![
-                        st2(a, local(i), local(j), n, sub(ld2(a, local(i), local(j), n),
-                            mul(ld2(a, local(i), local(k), n), ld2(a, local(k), local(j), n)))),
-                    ]),
-                ]),
-            ]),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![
+                    for_i(
+                        j,
+                        0,
+                        local(i),
+                        vec![
+                            for_i(
+                                k,
+                                0,
+                                local(j),
+                                vec![st2(
+                                    a,
+                                    local(i),
+                                    local(j),
+                                    n,
+                                    sub(
+                                        ld2(a, local(i), local(j), n),
+                                        mul(
+                                            ld2(a, local(i), local(k), n),
+                                            ld2(a, local(k), local(j), n),
+                                        ),
+                                    ),
+                                )],
+                            ),
+                            st2(
+                                a,
+                                local(i),
+                                local(j),
+                                n,
+                                div(ld2(a, local(i), local(j), n), ld2(a, local(j), local(j), n)),
+                            ),
+                        ],
+                    ),
+                    for_loop(
+                        j,
+                        local(i),
+                        lt_s(local(j), i32c(n)),
+                        1,
+                        vec![for_i(
+                            k,
+                            0,
+                            local(i),
+                            vec![st2(
+                                a,
+                                local(i),
+                                local(j),
+                                n,
+                                sub(
+                                    ld2(a, local(i), local(j), n),
+                                    mul(
+                                        ld2(a, local(i), local(k), n),
+                                        ld2(a, local(k), local(j), n),
+                                    ),
+                                ),
+                            )],
+                        )],
+                    ),
+                ],
+            ),
             set(cks, f64c(0.0)),
-            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
-                set(cks, add(local(cks), ld2(a, local(i), local(j), n))),
-            ])]),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![for_i(
+                    j,
+                    0,
+                    i32c(n),
+                    vec![set(cks, add(local(cks), ld2(a, local(i), local(j), n)))],
+                )],
+            ),
         ]);
     })
 }
@@ -401,44 +690,132 @@ fn build_ludcmp() -> sledge_wasm::module::Module {
         let init = spd_init_guest(f, a, scratch, n, i, j, k, acc);
         f.extend(init);
         f.extend([
-            for_i(i, 0, i32c(n), vec![
-                st1(b, local(i), div(i2d(add(local(i), i32c(1))), add(f64c(n as f64), f64c(4.0)))),
-            ]),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![st1(
+                    b,
+                    local(i),
+                    div(i2d(add(local(i), i32c(1))), add(f64c(n as f64), f64c(4.0))),
+                )],
+            ),
             // LU factorization.
-            for_i(i, 0, i32c(n), vec![
-                for_i(j, 0, local(i), vec![
-                    set(w, ld2(a, local(i), local(j), n)),
-                    for_i(k, 0, local(j), vec![
-                        set(w, sub(local(w), mul(ld2(a, local(i), local(k), n), ld2(a, local(k), local(j), n)))),
-                    ]),
-                    st2(a, local(i), local(j), n, div(local(w), ld2(a, local(j), local(j), n))),
-                ]),
-                for_loop(j, local(i), lt_s(local(j), i32c(n)), 1, vec![
-                    set(w, ld2(a, local(i), local(j), n)),
-                    for_i(k, 0, local(i), vec![
-                        set(w, sub(local(w), mul(ld2(a, local(i), local(k), n), ld2(a, local(k), local(j), n)))),
-                    ]),
-                    st2(a, local(i), local(j), n, local(w)),
-                ]),
-            ]),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![
+                    for_i(
+                        j,
+                        0,
+                        local(i),
+                        vec![
+                            set(w, ld2(a, local(i), local(j), n)),
+                            for_i(
+                                k,
+                                0,
+                                local(j),
+                                vec![set(
+                                    w,
+                                    sub(
+                                        local(w),
+                                        mul(
+                                            ld2(a, local(i), local(k), n),
+                                            ld2(a, local(k), local(j), n),
+                                        ),
+                                    ),
+                                )],
+                            ),
+                            st2(
+                                a,
+                                local(i),
+                                local(j),
+                                n,
+                                div(local(w), ld2(a, local(j), local(j), n)),
+                            ),
+                        ],
+                    ),
+                    for_loop(
+                        j,
+                        local(i),
+                        lt_s(local(j), i32c(n)),
+                        1,
+                        vec![
+                            set(w, ld2(a, local(i), local(j), n)),
+                            for_i(
+                                k,
+                                0,
+                                local(i),
+                                vec![set(
+                                    w,
+                                    sub(
+                                        local(w),
+                                        mul(
+                                            ld2(a, local(i), local(k), n),
+                                            ld2(a, local(k), local(j), n),
+                                        ),
+                                    ),
+                                )],
+                            ),
+                            st2(a, local(i), local(j), n, local(w)),
+                        ],
+                    ),
+                ],
+            ),
             // Forward substitution.
-            for_i(i, 0, i32c(n), vec![
-                set(w, ld1(b, local(i))),
-                for_i(j, 0, local(i), vec![
-                    set(w, sub(local(w), mul(ld2(a, local(i), local(j), n), ld1(y, local(j))))),
-                ]),
-                st1(y, local(i), local(w)),
-            ]),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![
+                    set(w, ld1(b, local(i))),
+                    for_i(
+                        j,
+                        0,
+                        local(i),
+                        vec![set(
+                            w,
+                            sub(
+                                local(w),
+                                mul(ld2(a, local(i), local(j), n), ld1(y, local(j))),
+                            ),
+                        )],
+                    ),
+                    st1(y, local(i), local(w)),
+                ],
+            ),
             // Back substitution (i from n-1 down to 0).
-            for_loop(i, i32c(n - 1), ge_s(local(i), i32c(0)), -1, vec![
-                set(w, ld1(y, local(i))),
-                for_loop(j, add(local(i), i32c(1)), lt_s(local(j), i32c(n)), 1, vec![
-                    set(w, sub(local(w), mul(ld2(a, local(i), local(j), n), ld1(x, local(j))))),
-                ]),
-                st1(x, local(i), div(local(w), ld2(a, local(i), local(i), n))),
-            ]),
+            for_loop(
+                i,
+                i32c(n - 1),
+                ge_s(local(i), i32c(0)),
+                -1,
+                vec![
+                    set(w, ld1(y, local(i))),
+                    for_loop(
+                        j,
+                        add(local(i), i32c(1)),
+                        lt_s(local(j), i32c(n)),
+                        1,
+                        vec![set(
+                            w,
+                            sub(
+                                local(w),
+                                mul(ld2(a, local(i), local(j), n), ld1(x, local(j))),
+                            ),
+                        )],
+                    ),
+                    st1(x, local(i), div(local(w), ld2(a, local(i), local(i), n))),
+                ],
+            ),
             set(cks, f64c(0.0)),
-            for_i(i, 0, i32c(n), vec![set(cks, add(local(cks), ld1(x, local(i))))]),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![set(cks, add(local(cks), ld1(x, local(i))))],
+            ),
         ]);
     })
 }
@@ -506,23 +883,64 @@ fn build_trisolv() -> sledge_wasm::module::Module {
         let i = f.local(I32);
         let j = f.local(I32);
         f.extend([
-            for_i(i, 0, i32c(n), vec![
-                st1(x, local(i), f64c(-999.0)),
-                st1(b, local(i), i2d(local(i))),
-                for_loop(j, i32c(0), le_s(local(j), local(i)), 1, vec![
-                    st2(l, local(i), local(j), n,
-                        div(i2d(add(add(local(i), i32c(n)), sub(local(i), local(j)))), mul(f64c(2.0), f64c(n as f64)))),
-                ]),
-            ]),
-            for_i(i, 0, i32c(n), vec![
-                st1(x, local(i), ld1(b, local(i))),
-                for_i(j, 0, local(i), vec![
-                    st1(x, local(i), sub(ld1(x, local(i)), mul(ld2(l, local(i), local(j), n), ld1(x, local(j))))),
-                ]),
-                st1(x, local(i), div(ld1(x, local(i)), ld2(l, local(i), local(i), n))),
-            ]),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![
+                    st1(x, local(i), f64c(-999.0)),
+                    st1(b, local(i), i2d(local(i))),
+                    for_loop(
+                        j,
+                        i32c(0),
+                        le_s(local(j), local(i)),
+                        1,
+                        vec![st2(
+                            l,
+                            local(i),
+                            local(j),
+                            n,
+                            div(
+                                i2d(add(add(local(i), i32c(n)), sub(local(i), local(j)))),
+                                mul(f64c(2.0), f64c(n as f64)),
+                            ),
+                        )],
+                    ),
+                ],
+            ),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![
+                    st1(x, local(i), ld1(b, local(i))),
+                    for_i(
+                        j,
+                        0,
+                        local(i),
+                        vec![st1(
+                            x,
+                            local(i),
+                            sub(
+                                ld1(x, local(i)),
+                                mul(ld2(l, local(i), local(j), n), ld1(x, local(j))),
+                            ),
+                        )],
+                    ),
+                    st1(
+                        x,
+                        local(i),
+                        div(ld1(x, local(i)), ld2(l, local(i), local(i), n)),
+                    ),
+                ],
+            ),
             set(cks, f64c(0.0)),
-            for_i(i, 0, i32c(n), vec![set(cks, add(local(cks), ld1(x, local(i))))]),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![set(cks, add(local(cks), ld1(x, local(i))))],
+            ),
         ]);
     })
 }

@@ -28,24 +28,69 @@ fn build_jacobi_1d() -> sledge_wasm::module::Module {
         let i = f.local(I32);
         let t = f.local(I32);
         f.extend([
-            for_i(i, 0, i32c(n), vec![
-                st1(a, local(i), div(i2d(add(local(i), i32c(2))), f64c(n as f64))),
-                st1(b, local(i), div(i2d(add(local(i), i32c(3))), f64c(n as f64))),
-            ]),
-            for_i(t, 0, i32c(J1T), vec![
-                for_i(i, 1, i32c(n - 1), vec![
-                    st1(b, local(i), mul(f64c(0.33333),
-                        add(add(ld1(a, sub(local(i), i32c(1))), ld1(a, local(i))),
-                            ld1(a, add(local(i), i32c(1)))))),
-                ]),
-                for_i(i, 1, i32c(n - 1), vec![
-                    st1(a, local(i), mul(f64c(0.33333),
-                        add(add(ld1(b, sub(local(i), i32c(1))), ld1(b, local(i))),
-                            ld1(b, add(local(i), i32c(1)))))),
-                ]),
-            ]),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![
+                    st1(
+                        a,
+                        local(i),
+                        div(i2d(add(local(i), i32c(2))), f64c(n as f64)),
+                    ),
+                    st1(
+                        b,
+                        local(i),
+                        div(i2d(add(local(i), i32c(3))), f64c(n as f64)),
+                    ),
+                ],
+            ),
+            for_i(
+                t,
+                0,
+                i32c(J1T),
+                vec![
+                    for_i(
+                        i,
+                        1,
+                        i32c(n - 1),
+                        vec![st1(
+                            b,
+                            local(i),
+                            mul(
+                                f64c(0.33333),
+                                add(
+                                    add(ld1(a, sub(local(i), i32c(1))), ld1(a, local(i))),
+                                    ld1(a, add(local(i), i32c(1))),
+                                ),
+                            ),
+                        )],
+                    ),
+                    for_i(
+                        i,
+                        1,
+                        i32c(n - 1),
+                        vec![st1(
+                            a,
+                            local(i),
+                            mul(
+                                f64c(0.33333),
+                                add(
+                                    add(ld1(b, sub(local(i), i32c(1))), ld1(b, local(i))),
+                                    ld1(b, add(local(i), i32c(1))),
+                                ),
+                            ),
+                        )],
+                    ),
+                ],
+            ),
             set(cks, f64c(0.0)),
-            for_i(i, 0, i32c(n), vec![set(cks, add(local(cks), ld1(a, local(i))))]),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![set(cks, add(local(cks), ld1(a, local(i))))],
+            ),
         ]);
     })
 }
@@ -91,33 +136,97 @@ fn build_jacobi_2d() -> sledge_wasm::module::Module {
         let j = f.local(I32);
         let t = f.local(I32);
         let five = |arr: i32, i: &sledge_guestc::Local, j: &sledge_guestc::Local| -> Expr {
-            mul(f64c(0.2),
-                add(add(add(add(
-                    ld2(arr, local(*i), local(*j), n),
-                    ld2(arr, local(*i), sub(local(*j), i32c(1)), n)),
-                    ld2(arr, local(*i), add(local(*j), i32c(1)), n)),
-                    ld2(arr, add(local(*i), i32c(1)), local(*j), n)),
-                    ld2(arr, sub(local(*i), i32c(1)), local(*j), n)))
+            mul(
+                f64c(0.2),
+                add(
+                    add(
+                        add(
+                            add(
+                                ld2(arr, local(*i), local(*j), n),
+                                ld2(arr, local(*i), sub(local(*j), i32c(1)), n),
+                            ),
+                            ld2(arr, local(*i), add(local(*j), i32c(1)), n),
+                        ),
+                        ld2(arr, add(local(*i), i32c(1)), local(*j), n),
+                    ),
+                    ld2(arr, sub(local(*i), i32c(1)), local(*j), n),
+                ),
+            )
         };
         f.extend([
-            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
-                st2(a, local(i), local(j), n,
-                    div(mul(i2d(local(i)), add(i2d(local(j)), f64c(2.0))), f64c(n as f64))),
-                st2(b, local(i), local(j), n,
-                    div(mul(i2d(local(i)), add(i2d(local(j)), f64c(3.0))), f64c(n as f64))),
-            ])]),
-            for_i(t, 0, i32c(J2T), vec![
-                for_i(i, 1, i32c(n - 1), vec![for_i(j, 1, i32c(n - 1), vec![
-                    st2(b, local(i), local(j), n, five(a, &i, &j)),
-                ])]),
-                for_i(i, 1, i32c(n - 1), vec![for_i(j, 1, i32c(n - 1), vec![
-                    st2(a, local(i), local(j), n, five(b, &i, &j)),
-                ])]),
-            ]),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![for_i(
+                    j,
+                    0,
+                    i32c(n),
+                    vec![
+                        st2(
+                            a,
+                            local(i),
+                            local(j),
+                            n,
+                            div(
+                                mul(i2d(local(i)), add(i2d(local(j)), f64c(2.0))),
+                                f64c(n as f64),
+                            ),
+                        ),
+                        st2(
+                            b,
+                            local(i),
+                            local(j),
+                            n,
+                            div(
+                                mul(i2d(local(i)), add(i2d(local(j)), f64c(3.0))),
+                                f64c(n as f64),
+                            ),
+                        ),
+                    ],
+                )],
+            ),
+            for_i(
+                t,
+                0,
+                i32c(J2T),
+                vec![
+                    for_i(
+                        i,
+                        1,
+                        i32c(n - 1),
+                        vec![for_i(
+                            j,
+                            1,
+                            i32c(n - 1),
+                            vec![st2(b, local(i), local(j), n, five(a, &i, &j))],
+                        )],
+                    ),
+                    for_i(
+                        i,
+                        1,
+                        i32c(n - 1),
+                        vec![for_i(
+                            j,
+                            1,
+                            i32c(n - 1),
+                            vec![st2(a, local(i), local(j), n, five(b, &i, &j))],
+                        )],
+                    ),
+                ],
+            ),
             set(cks, f64c(0.0)),
-            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
-                set(cks, add(local(cks), ld2(a, local(i), local(j), n))),
-            ])]),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![for_i(
+                    j,
+                    0,
+                    i32c(n),
+                    vec![set(cks, add(local(cks), ld2(a, local(i), local(j), n)))],
+                )],
+            ),
         ]);
     })
 }
@@ -136,14 +245,20 @@ fn native_jacobi_2d() -> f64 {
         for i in 1..n - 1 {
             for j in 1..n - 1 {
                 b[i * n + j] = 0.2
-                    * (a[i * n + j] + a[i * n + j - 1] + a[i * n + j + 1] + a[(i + 1) * n + j]
+                    * (a[i * n + j]
+                        + a[i * n + j - 1]
+                        + a[i * n + j + 1]
+                        + a[(i + 1) * n + j]
                         + a[(i - 1) * n + j]);
             }
         }
         for i in 1..n - 1 {
             for j in 1..n - 1 {
                 a[i * n + j] = 0.2
-                    * (b[i * n + j] + b[i * n + j - 1] + b[i * n + j + 1] + b[(i + 1) * n + j]
+                    * (b[i * n + j]
+                        + b[i * n + j - 1]
+                        + b[i * n + j + 1]
+                        + b[(i + 1) * n + j]
                         + b[(i - 1) * n + j]);
             }
         }
@@ -172,30 +287,107 @@ fn build_seidel() -> sledge_wasm::module::Module {
         let j = f.local(I32);
         let t = f.local(I32);
         f.extend([
-            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
-                st2(a, local(i), local(j), n,
-                    div(add(mul(i2d(local(i)), add(i2d(local(j)), f64c(2.0))), f64c(2.0)), f64c(n as f64))),
-            ])]),
-            for_i(t, 0, i32c(ST), vec![
-                for_i(i, 1, i32c(n - 1), vec![for_i(j, 1, i32c(n - 1), vec![
-                    st2(a, local(i), local(j), n, div(
-                        add(add(add(add(add(add(add(add(
-                            ld2(a, sub(local(i), i32c(1)), sub(local(j), i32c(1)), n),
-                            ld2(a, sub(local(i), i32c(1)), local(j), n)),
-                            ld2(a, sub(local(i), i32c(1)), add(local(j), i32c(1)), n)),
-                            ld2(a, local(i), sub(local(j), i32c(1)), n)),
-                            ld2(a, local(i), local(j), n)),
-                            ld2(a, local(i), add(local(j), i32c(1)), n)),
-                            ld2(a, add(local(i), i32c(1)), sub(local(j), i32c(1)), n)),
-                            ld2(a, add(local(i), i32c(1)), local(j), n)),
-                            ld2(a, add(local(i), i32c(1)), add(local(j), i32c(1)), n)),
-                        f64c(9.0))),
-                ])]),
-            ]),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![for_i(
+                    j,
+                    0,
+                    i32c(n),
+                    vec![st2(
+                        a,
+                        local(i),
+                        local(j),
+                        n,
+                        div(
+                            add(mul(i2d(local(i)), add(i2d(local(j)), f64c(2.0))), f64c(2.0)),
+                            f64c(n as f64),
+                        ),
+                    )],
+                )],
+            ),
+            for_i(
+                t,
+                0,
+                i32c(ST),
+                vec![for_i(
+                    i,
+                    1,
+                    i32c(n - 1),
+                    vec![for_i(
+                        j,
+                        1,
+                        i32c(n - 1),
+                        vec![st2(
+                            a,
+                            local(i),
+                            local(j),
+                            n,
+                            div(
+                                add(
+                                    add(
+                                        add(
+                                            add(
+                                                add(
+                                                    add(
+                                                        add(
+                                                            add(
+                                                                ld2(
+                                                                    a,
+                                                                    sub(local(i), i32c(1)),
+                                                                    sub(local(j), i32c(1)),
+                                                                    n,
+                                                                ),
+                                                                ld2(
+                                                                    a,
+                                                                    sub(local(i), i32c(1)),
+                                                                    local(j),
+                                                                    n,
+                                                                ),
+                                                            ),
+                                                            ld2(
+                                                                a,
+                                                                sub(local(i), i32c(1)),
+                                                                add(local(j), i32c(1)),
+                                                                n,
+                                                            ),
+                                                        ),
+                                                        ld2(a, local(i), sub(local(j), i32c(1)), n),
+                                                    ),
+                                                    ld2(a, local(i), local(j), n),
+                                                ),
+                                                ld2(a, local(i), add(local(j), i32c(1)), n),
+                                            ),
+                                            ld2(
+                                                a,
+                                                add(local(i), i32c(1)),
+                                                sub(local(j), i32c(1)),
+                                                n,
+                                            ),
+                                        ),
+                                        ld2(a, add(local(i), i32c(1)), local(j), n),
+                                    ),
+                                    ld2(a, add(local(i), i32c(1)), add(local(j), i32c(1)), n),
+                                ),
+                                f64c(9.0),
+                            ),
+                        )],
+                    )],
+                )],
+            ),
             set(cks, f64c(0.0)),
-            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
-                set(cks, add(local(cks), ld2(a, local(i), local(j), n))),
-            ])]),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![for_i(
+                    j,
+                    0,
+                    i32c(n),
+                    vec![set(cks, add(local(cks), ld2(a, local(i), local(j), n)))],
+                )],
+            ),
         ]);
     })
 }
@@ -251,35 +443,169 @@ fn build_fdtd() -> sledge_wasm::module::Module {
         let j = f.local(I32);
         let t = f.local(I32);
         f.extend([
-            for_i(i, 0, i32c(nx), vec![for_i(j, 0, i32c(ny), vec![
-                st2(ex, local(i), local(j), ny, div(mul(i2d(local(i)), add(i2d(local(j)), f64c(1.0))), f64c(nx as f64))),
-                st2(ey, local(i), local(j), ny, div(mul(i2d(local(i)), add(i2d(local(j)), f64c(2.0))), f64c(ny as f64))),
-                st2(hz, local(i), local(j), ny, div(mul(i2d(local(i)), add(i2d(local(j)), f64c(3.0))), f64c(nx as f64))),
-            ])]),
-            for_i(t, 0, i32c(FT), vec![
-                for_i(j, 0, i32c(ny), vec![
-                    st2(ey, i32c(0), local(j), ny, i2d(local(t))),
-                ]),
-                for_i(i, 1, i32c(nx), vec![for_i(j, 0, i32c(ny), vec![
-                    st2(ey, local(i), local(j), ny, sub(ld2(ey, local(i), local(j), ny),
-                        mul(f64c(0.5), sub(ld2(hz, local(i), local(j), ny), ld2(hz, sub(local(i), i32c(1)), local(j), ny))))),
-                ])]),
-                for_i(i, 0, i32c(nx), vec![for_i(j, 1, i32c(ny), vec![
-                    st2(ex, local(i), local(j), ny, sub(ld2(ex, local(i), local(j), ny),
-                        mul(f64c(0.5), sub(ld2(hz, local(i), local(j), ny), ld2(hz, local(i), sub(local(j), i32c(1)), ny))))),
-                ])]),
-                for_i(i, 0, i32c(nx - 1), vec![for_i(j, 0, i32c(ny - 1), vec![
-                    st2(hz, local(i), local(j), ny, sub(ld2(hz, local(i), local(j), ny),
-                        mul(f64c(0.7), sub(add(
-                            sub(ld2(ex, local(i), add(local(j), i32c(1)), ny), ld2(ex, local(i), local(j), ny)),
-                            ld2(ey, add(local(i), i32c(1)), local(j), ny)),
-                            ld2(ey, local(i), local(j), ny))))),
-                ])]),
-            ]),
+            for_i(
+                i,
+                0,
+                i32c(nx),
+                vec![for_i(
+                    j,
+                    0,
+                    i32c(ny),
+                    vec![
+                        st2(
+                            ex,
+                            local(i),
+                            local(j),
+                            ny,
+                            div(
+                                mul(i2d(local(i)), add(i2d(local(j)), f64c(1.0))),
+                                f64c(nx as f64),
+                            ),
+                        ),
+                        st2(
+                            ey,
+                            local(i),
+                            local(j),
+                            ny,
+                            div(
+                                mul(i2d(local(i)), add(i2d(local(j)), f64c(2.0))),
+                                f64c(ny as f64),
+                            ),
+                        ),
+                        st2(
+                            hz,
+                            local(i),
+                            local(j),
+                            ny,
+                            div(
+                                mul(i2d(local(i)), add(i2d(local(j)), f64c(3.0))),
+                                f64c(nx as f64),
+                            ),
+                        ),
+                    ],
+                )],
+            ),
+            for_i(
+                t,
+                0,
+                i32c(FT),
+                vec![
+                    for_i(
+                        j,
+                        0,
+                        i32c(ny),
+                        vec![st2(ey, i32c(0), local(j), ny, i2d(local(t)))],
+                    ),
+                    for_i(
+                        i,
+                        1,
+                        i32c(nx),
+                        vec![for_i(
+                            j,
+                            0,
+                            i32c(ny),
+                            vec![st2(
+                                ey,
+                                local(i),
+                                local(j),
+                                ny,
+                                sub(
+                                    ld2(ey, local(i), local(j), ny),
+                                    mul(
+                                        f64c(0.5),
+                                        sub(
+                                            ld2(hz, local(i), local(j), ny),
+                                            ld2(hz, sub(local(i), i32c(1)), local(j), ny),
+                                        ),
+                                    ),
+                                ),
+                            )],
+                        )],
+                    ),
+                    for_i(
+                        i,
+                        0,
+                        i32c(nx),
+                        vec![for_i(
+                            j,
+                            1,
+                            i32c(ny),
+                            vec![st2(
+                                ex,
+                                local(i),
+                                local(j),
+                                ny,
+                                sub(
+                                    ld2(ex, local(i), local(j), ny),
+                                    mul(
+                                        f64c(0.5),
+                                        sub(
+                                            ld2(hz, local(i), local(j), ny),
+                                            ld2(hz, local(i), sub(local(j), i32c(1)), ny),
+                                        ),
+                                    ),
+                                ),
+                            )],
+                        )],
+                    ),
+                    for_i(
+                        i,
+                        0,
+                        i32c(nx - 1),
+                        vec![for_i(
+                            j,
+                            0,
+                            i32c(ny - 1),
+                            vec![st2(
+                                hz,
+                                local(i),
+                                local(j),
+                                ny,
+                                sub(
+                                    ld2(hz, local(i), local(j), ny),
+                                    mul(
+                                        f64c(0.7),
+                                        sub(
+                                            add(
+                                                sub(
+                                                    ld2(ex, local(i), add(local(j), i32c(1)), ny),
+                                                    ld2(ex, local(i), local(j), ny),
+                                                ),
+                                                ld2(ey, add(local(i), i32c(1)), local(j), ny),
+                                            ),
+                                            ld2(ey, local(i), local(j), ny),
+                                        ),
+                                    ),
+                                ),
+                            )],
+                        )],
+                    ),
+                ],
+            ),
             set(cks, f64c(0.0)),
-            for_i(i, 0, i32c(nx), vec![for_i(j, 0, i32c(ny), vec![
-                set(cks, add(local(cks), add(add(ld2(ex, local(i), local(j), ny), ld2(ey, local(i), local(j), ny)), ld2(hz, local(i), local(j), ny)))),
-            ])]),
+            for_i(
+                i,
+                0,
+                i32c(nx),
+                vec![for_i(
+                    j,
+                    0,
+                    i32c(ny),
+                    vec![set(
+                        cks,
+                        add(
+                            local(cks),
+                            add(
+                                add(
+                                    ld2(ex, local(i), local(j), ny),
+                                    ld2(ey, local(i), local(j), ny),
+                                ),
+                                ld2(hz, local(i), local(j), ny),
+                            ),
+                        ),
+                    )],
+                )],
+            ),
         ]);
     })
 }
@@ -313,8 +639,7 @@ fn native_fdtd() -> f64 {
         for i in 0..nx - 1 {
             for j in 0..ny - 1 {
                 hz[i * ny + j] -= 0.7
-                    * (ex[i * ny + j + 1] - ex[i * ny + j] + ey[(i + 1) * ny + j]
-                        - ey[i * ny + j]);
+                    * (ex[i * ny + j + 1] - ex[i * ny + j] + ey[(i + 1) * ny + j] - ey[i * ny + j]);
             }
         }
     }
@@ -348,46 +673,183 @@ fn build_heat() -> sledge_wasm::module::Module {
         let k = f.local(I32);
         let t = f.local(I32);
         let at = |base: i32, iv: Expr, jv: Expr, kv: Expr| {
-            load(sledge_guestc::Scalar::F64,
-                add(i32c(base), mul(add(mul(add(mul(iv, i32c(n)), jv), i32c(n)), kv), i32c(8))), 0)
+            load(
+                sledge_guestc::Scalar::F64,
+                add(
+                    i32c(base),
+                    mul(add(mul(add(mul(iv, i32c(n)), jv), i32c(n)), kv), i32c(8)),
+                ),
+                0,
+            )
         };
         let st_at = |base: i32, iv: Expr, jv: Expr, kv: Expr, v: Expr| {
-            store(sledge_guestc::Scalar::F64,
-                add(i32c(base), mul(add(mul(add(mul(iv, i32c(n)), jv), i32c(n)), kv), i32c(8))), 0, v)
-        };
-        let stencil = |src: i32, i: &sledge_guestc::Local, j: &sledge_guestc::Local, k: &sledge_guestc::Local| {
-            add(add(
-                mul(f64c(0.125), sub(add(at(src, add(local(*i), i32c(1)), local(*j), local(*k)),
-                    at(src, sub(local(*i), i32c(1)), local(*j), local(*k))),
-                    mul(f64c(2.0), at(src, local(*i), local(*j), local(*k))))),
-                mul(f64c(0.125), sub(add(at(src, local(*i), add(local(*j), i32c(1)), local(*k)),
-                    at(src, local(*i), sub(local(*j), i32c(1)), local(*k))),
-                    mul(f64c(2.0), at(src, local(*i), local(*j), local(*k)))))),
+            store(
+                sledge_guestc::Scalar::F64,
                 add(
-                    mul(f64c(0.125), sub(add(at(src, local(*i), local(*j), add(local(*k), i32c(1))),
-                        at(src, local(*i), local(*j), sub(local(*k), i32c(1)))),
-                        mul(f64c(2.0), at(src, local(*i), local(*j), local(*k))))),
-                    at(src, local(*i), local(*j), local(*k))))
+                    i32c(base),
+                    mul(add(mul(add(mul(iv, i32c(n)), jv), i32c(n)), kv), i32c(8)),
+                ),
+                0,
+                v,
+            )
+        };
+        let stencil = |src: i32,
+                       i: &sledge_guestc::Local,
+                       j: &sledge_guestc::Local,
+                       k: &sledge_guestc::Local| {
+            add(
+                add(
+                    mul(
+                        f64c(0.125),
+                        sub(
+                            add(
+                                at(src, add(local(*i), i32c(1)), local(*j), local(*k)),
+                                at(src, sub(local(*i), i32c(1)), local(*j), local(*k)),
+                            ),
+                            mul(f64c(2.0), at(src, local(*i), local(*j), local(*k))),
+                        ),
+                    ),
+                    mul(
+                        f64c(0.125),
+                        sub(
+                            add(
+                                at(src, local(*i), add(local(*j), i32c(1)), local(*k)),
+                                at(src, local(*i), sub(local(*j), i32c(1)), local(*k)),
+                            ),
+                            mul(f64c(2.0), at(src, local(*i), local(*j), local(*k))),
+                        ),
+                    ),
+                ),
+                add(
+                    mul(
+                        f64c(0.125),
+                        sub(
+                            add(
+                                at(src, local(*i), local(*j), add(local(*k), i32c(1))),
+                                at(src, local(*i), local(*j), sub(local(*k), i32c(1))),
+                            ),
+                            mul(f64c(2.0), at(src, local(*i), local(*j), local(*k))),
+                        ),
+                    ),
+                    at(src, local(*i), local(*j), local(*k)),
+                ),
+            )
         };
         f.extend([
-            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![for_i(k, 0, i32c(n), vec![
-                st_at(a, local(i), local(j), local(k),
-                    div(i2d(add(add(mul(local(i), local(j)), add(local(j), local(k))), i32c(10))), f64c(n as f64))),
-                st_at(b, local(i), local(j), local(k),
-                    div(i2d(add(add(mul(local(i), local(j)), add(local(j), local(k))), i32c(10))), f64c(n as f64))),
-            ])])]),
-            for_i(t, 0, i32c(HT), vec![
-                for_i(i, 1, i32c(n - 1), vec![for_i(j, 1, i32c(n - 1), vec![for_i(k, 1, i32c(n - 1), vec![
-                    st_at(b, local(i), local(j), local(k), stencil(a, &i, &j, &k)),
-                ])])]),
-                for_i(i, 1, i32c(n - 1), vec![for_i(j, 1, i32c(n - 1), vec![for_i(k, 1, i32c(n - 1), vec![
-                    st_at(a, local(i), local(j), local(k), stencil(b, &i, &j, &k)),
-                ])])]),
-            ]),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![for_i(
+                    j,
+                    0,
+                    i32c(n),
+                    vec![for_i(
+                        k,
+                        0,
+                        i32c(n),
+                        vec![
+                            st_at(
+                                a,
+                                local(i),
+                                local(j),
+                                local(k),
+                                div(
+                                    i2d(add(
+                                        add(mul(local(i), local(j)), add(local(j), local(k))),
+                                        i32c(10),
+                                    )),
+                                    f64c(n as f64),
+                                ),
+                            ),
+                            st_at(
+                                b,
+                                local(i),
+                                local(j),
+                                local(k),
+                                div(
+                                    i2d(add(
+                                        add(mul(local(i), local(j)), add(local(j), local(k))),
+                                        i32c(10),
+                                    )),
+                                    f64c(n as f64),
+                                ),
+                            ),
+                        ],
+                    )],
+                )],
+            ),
+            for_i(
+                t,
+                0,
+                i32c(HT),
+                vec![
+                    for_i(
+                        i,
+                        1,
+                        i32c(n - 1),
+                        vec![for_i(
+                            j,
+                            1,
+                            i32c(n - 1),
+                            vec![for_i(
+                                k,
+                                1,
+                                i32c(n - 1),
+                                vec![st_at(
+                                    b,
+                                    local(i),
+                                    local(j),
+                                    local(k),
+                                    stencil(a, &i, &j, &k),
+                                )],
+                            )],
+                        )],
+                    ),
+                    for_i(
+                        i,
+                        1,
+                        i32c(n - 1),
+                        vec![for_i(
+                            j,
+                            1,
+                            i32c(n - 1),
+                            vec![for_i(
+                                k,
+                                1,
+                                i32c(n - 1),
+                                vec![st_at(
+                                    a,
+                                    local(i),
+                                    local(j),
+                                    local(k),
+                                    stencil(b, &i, &j, &k),
+                                )],
+                            )],
+                        )],
+                    ),
+                ],
+            ),
             set(cks, f64c(0.0)),
-            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![for_i(k, 0, i32c(n), vec![
-                set(cks, add(local(cks), at(a, local(i), local(j), local(k)))),
-            ])])]),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![for_i(
+                    j,
+                    0,
+                    i32c(n),
+                    vec![for_i(
+                        k,
+                        0,
+                        i32c(n),
+                        vec![set(
+                            cks,
+                            add(local(cks), at(a, local(i), local(j), local(k))),
+                        )],
+                    )],
+                )],
+            ),
         ]);
     })
 }
@@ -456,12 +918,12 @@ fn adi_consts() -> (f64, f64, f64, f64, f64, f64) {
     let mul1 = b1 * dt / (dx * dx);
     let mul2 = b2 * dt / (dy * dy);
     (
-        -mul1 / 2.0,               // a
-        1.0 + mul1,                // b
-        -mul1 / 2.0,               // c
-        -mul2 / 2.0,               // d
-        1.0 + mul2,                // e
-        -mul2 / 2.0,               // f
+        -mul1 / 2.0, // a
+        1.0 + mul1,  // b
+        -mul1 / 2.0, // c
+        -mul2 / 2.0, // d
+        1.0 + mul2,  // e
+        -mul2 / 2.0, // f
     )
 }
 
@@ -477,63 +939,248 @@ fn build_adi() -> sledge_wasm::module::Module {
         let j = f.local(I32);
         let t = f.local(I32);
         f.extend([
-            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
-                st2(u, local(i), local(j), n,
-                    div(i2d(add(add(local(i), local(j)), i32c(n))), f64c(n as f64 * 3.0))),
-                st2(v, local(i), local(j), n, f64c(0.0)),
-                st2(p, local(i), local(j), n, f64c(0.0)),
-                st2(q, local(i), local(j), n, f64c(0.0)),
-            ])]),
-            for_i(t, 1, add(i32c(AT), i32c(1)), vec![
-                // Column sweep (implicit in y).
-                for_i(i, 1, i32c(n - 1), vec![
-                    st2(v, i32c(0), local(i), n, f64c(1.0)),
-                    st2(p, local(i), i32c(0), n, f64c(0.0)),
-                    st2(q, local(i), i32c(0), n, ld2(v, i32c(0), local(i), n)),
-                    for_i(j, 1, i32c(n - 1), vec![
-                        st2(p, local(i), local(j), n,
-                            div(neg(f64c(cc)), add(mul(f64c(ca), ld2(p, local(i), sub(local(j), i32c(1)), n)), f64c(cb)))),
-                        st2(q, local(i), local(j), n,
-                            div(sub(sub(add(mul(neg(f64c(cd)), ld2(u, local(j), sub(local(i), i32c(1)), n)),
-                                    mul(add(f64c(1.0), mul(f64c(2.0), f64c(cd))), ld2(u, local(j), local(i), n))),
-                                    mul(f64c(cf), ld2(u, local(j), add(local(i), i32c(1)), n))),
-                                    mul(f64c(ca), ld2(q, local(i), sub(local(j), i32c(1)), n))),
-                                add(mul(f64c(ca), ld2(p, local(i), sub(local(j), i32c(1)), n)), f64c(cb)))),
-                    ]),
-                    st2(v, i32c(n - 1), local(i), n, f64c(1.0)),
-                    for_loop(j, i32c(n - 2), ge_s(local(j), i32c(1)), -1, vec![
-                        st2(v, local(j), local(i), n,
-                            add(mul(ld2(p, local(i), local(j), n), ld2(v, add(local(j), i32c(1)), local(i), n)),
-                                ld2(q, local(i), local(j), n))),
-                    ]),
-                ]),
-                // Row sweep (implicit in x).
-                for_i(i, 1, i32c(n - 1), vec![
-                    st2(u, local(i), i32c(0), n, f64c(1.0)),
-                    st2(p, local(i), i32c(0), n, f64c(0.0)),
-                    st2(q, local(i), i32c(0), n, ld2(u, local(i), i32c(0), n)),
-                    for_i(j, 1, i32c(n - 1), vec![
-                        st2(p, local(i), local(j), n,
-                            div(neg(f64c(cf)), add(mul(f64c(cd), ld2(p, local(i), sub(local(j), i32c(1)), n)), f64c(ce)))),
-                        st2(q, local(i), local(j), n,
-                            div(sub(sub(add(mul(neg(f64c(ca)), ld2(v, sub(local(i), i32c(1)), local(j), n)),
-                                    mul(add(f64c(1.0), mul(f64c(2.0), f64c(ca))), ld2(v, local(i), local(j), n))),
-                                    mul(f64c(cc), ld2(v, add(local(i), i32c(1)), local(j), n))),
-                                    mul(f64c(cd), ld2(q, local(i), sub(local(j), i32c(1)), n))),
-                                add(mul(f64c(cd), ld2(p, local(i), sub(local(j), i32c(1)), n)), f64c(ce)))),
-                    ]),
-                    st2(u, local(i), i32c(n - 1), n, f64c(1.0)),
-                    for_loop(j, i32c(n - 2), ge_s(local(j), i32c(1)), -1, vec![
-                        st2(u, local(i), local(j), n,
-                            add(mul(ld2(p, local(i), local(j), n), ld2(u, local(i), add(local(j), i32c(1)), n)),
-                                ld2(q, local(i), local(j), n))),
-                    ]),
-                ]),
-            ]),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![for_i(
+                    j,
+                    0,
+                    i32c(n),
+                    vec![
+                        st2(
+                            u,
+                            local(i),
+                            local(j),
+                            n,
+                            div(
+                                i2d(add(add(local(i), local(j)), i32c(n))),
+                                f64c(n as f64 * 3.0),
+                            ),
+                        ),
+                        st2(v, local(i), local(j), n, f64c(0.0)),
+                        st2(p, local(i), local(j), n, f64c(0.0)),
+                        st2(q, local(i), local(j), n, f64c(0.0)),
+                    ],
+                )],
+            ),
+            for_i(
+                t,
+                1,
+                add(i32c(AT), i32c(1)),
+                vec![
+                    // Column sweep (implicit in y).
+                    for_i(
+                        i,
+                        1,
+                        i32c(n - 1),
+                        vec![
+                            st2(v, i32c(0), local(i), n, f64c(1.0)),
+                            st2(p, local(i), i32c(0), n, f64c(0.0)),
+                            st2(q, local(i), i32c(0), n, ld2(v, i32c(0), local(i), n)),
+                            for_i(
+                                j,
+                                1,
+                                i32c(n - 1),
+                                vec![
+                                    st2(
+                                        p,
+                                        local(i),
+                                        local(j),
+                                        n,
+                                        div(
+                                            neg(f64c(cc)),
+                                            add(
+                                                mul(
+                                                    f64c(ca),
+                                                    ld2(p, local(i), sub(local(j), i32c(1)), n),
+                                                ),
+                                                f64c(cb),
+                                            ),
+                                        ),
+                                    ),
+                                    st2(
+                                        q,
+                                        local(i),
+                                        local(j),
+                                        n,
+                                        div(
+                                            sub(
+                                                sub(
+                                                    add(
+                                                        mul(
+                                                            neg(f64c(cd)),
+                                                            ld2(
+                                                                u,
+                                                                local(j),
+                                                                sub(local(i), i32c(1)),
+                                                                n,
+                                                            ),
+                                                        ),
+                                                        mul(
+                                                            add(
+                                                                f64c(1.0),
+                                                                mul(f64c(2.0), f64c(cd)),
+                                                            ),
+                                                            ld2(u, local(j), local(i), n),
+                                                        ),
+                                                    ),
+                                                    mul(
+                                                        f64c(cf),
+                                                        ld2(u, local(j), add(local(i), i32c(1)), n),
+                                                    ),
+                                                ),
+                                                mul(
+                                                    f64c(ca),
+                                                    ld2(q, local(i), sub(local(j), i32c(1)), n),
+                                                ),
+                                            ),
+                                            add(
+                                                mul(
+                                                    f64c(ca),
+                                                    ld2(p, local(i), sub(local(j), i32c(1)), n),
+                                                ),
+                                                f64c(cb),
+                                            ),
+                                        ),
+                                    ),
+                                ],
+                            ),
+                            st2(v, i32c(n - 1), local(i), n, f64c(1.0)),
+                            for_loop(
+                                j,
+                                i32c(n - 2),
+                                ge_s(local(j), i32c(1)),
+                                -1,
+                                vec![st2(
+                                    v,
+                                    local(j),
+                                    local(i),
+                                    n,
+                                    add(
+                                        mul(
+                                            ld2(p, local(i), local(j), n),
+                                            ld2(v, add(local(j), i32c(1)), local(i), n),
+                                        ),
+                                        ld2(q, local(i), local(j), n),
+                                    ),
+                                )],
+                            ),
+                        ],
+                    ),
+                    // Row sweep (implicit in x).
+                    for_i(
+                        i,
+                        1,
+                        i32c(n - 1),
+                        vec![
+                            st2(u, local(i), i32c(0), n, f64c(1.0)),
+                            st2(p, local(i), i32c(0), n, f64c(0.0)),
+                            st2(q, local(i), i32c(0), n, ld2(u, local(i), i32c(0), n)),
+                            for_i(
+                                j,
+                                1,
+                                i32c(n - 1),
+                                vec![
+                                    st2(
+                                        p,
+                                        local(i),
+                                        local(j),
+                                        n,
+                                        div(
+                                            neg(f64c(cf)),
+                                            add(
+                                                mul(
+                                                    f64c(cd),
+                                                    ld2(p, local(i), sub(local(j), i32c(1)), n),
+                                                ),
+                                                f64c(ce),
+                                            ),
+                                        ),
+                                    ),
+                                    st2(
+                                        q,
+                                        local(i),
+                                        local(j),
+                                        n,
+                                        div(
+                                            sub(
+                                                sub(
+                                                    add(
+                                                        mul(
+                                                            neg(f64c(ca)),
+                                                            ld2(
+                                                                v,
+                                                                sub(local(i), i32c(1)),
+                                                                local(j),
+                                                                n,
+                                                            ),
+                                                        ),
+                                                        mul(
+                                                            add(
+                                                                f64c(1.0),
+                                                                mul(f64c(2.0), f64c(ca)),
+                                                            ),
+                                                            ld2(v, local(i), local(j), n),
+                                                        ),
+                                                    ),
+                                                    mul(
+                                                        f64c(cc),
+                                                        ld2(v, add(local(i), i32c(1)), local(j), n),
+                                                    ),
+                                                ),
+                                                mul(
+                                                    f64c(cd),
+                                                    ld2(q, local(i), sub(local(j), i32c(1)), n),
+                                                ),
+                                            ),
+                                            add(
+                                                mul(
+                                                    f64c(cd),
+                                                    ld2(p, local(i), sub(local(j), i32c(1)), n),
+                                                ),
+                                                f64c(ce),
+                                            ),
+                                        ),
+                                    ),
+                                ],
+                            ),
+                            st2(u, local(i), i32c(n - 1), n, f64c(1.0)),
+                            for_loop(
+                                j,
+                                i32c(n - 2),
+                                ge_s(local(j), i32c(1)),
+                                -1,
+                                vec![st2(
+                                    u,
+                                    local(i),
+                                    local(j),
+                                    n,
+                                    add(
+                                        mul(
+                                            ld2(p, local(i), local(j), n),
+                                            ld2(u, local(i), add(local(j), i32c(1)), n),
+                                        ),
+                                        ld2(q, local(i), local(j), n),
+                                    ),
+                                )],
+                            ),
+                        ],
+                    ),
+                ],
+            ),
             set(cks, f64c(0.0)),
-            for_i(i, 0, i32c(n), vec![for_i(j, 0, i32c(n), vec![
-                set(cks, add(local(cks), ld2(u, local(i), local(j), n))),
-            ])]),
+            for_i(
+                i,
+                0,
+                i32c(n),
+                vec![for_i(
+                    j,
+                    0,
+                    i32c(n),
+                    vec![set(cks, add(local(cks), ld2(u, local(i), local(j), n)))],
+                )],
+            ),
         ]);
     })
 }
@@ -557,8 +1204,7 @@ fn native_adi() -> f64 {
             q[i * n] = v[i];
             for j in 1..n - 1 {
                 p[i * n + j] = -cc / (ca * p[i * n + j - 1] + cb);
-                q[i * n + j] = (-cd * u[j * n + i - 1]
-                    + (1.0 + 2.0 * cd) * u[j * n + i]
+                q[i * n + j] = (-cd * u[j * n + i - 1] + (1.0 + 2.0 * cd) * u[j * n + i]
                     - cf * u[j * n + i + 1]
                     - ca * q[i * n + j - 1])
                     / (ca * p[i * n + j - 1] + cb);
@@ -574,8 +1220,7 @@ fn native_adi() -> f64 {
             q[i * n] = u[i * n];
             for j in 1..n - 1 {
                 p[i * n + j] = -cf / (cd * p[i * n + j - 1] + ce);
-                q[i * n + j] = (-ca * v[(i - 1) * n + j]
-                    + (1.0 + 2.0 * ca) * v[i * n + j]
+                q[i * n + j] = (-ca * v[(i - 1) * n + j] + (1.0 + 2.0 * ca) * v[i * n + j]
                     - cc * v[(i + 1) * n + j]
                     - cd * q[i * n + j - 1])
                     / (cd * p[i * n + j - 1] + ce);

@@ -38,7 +38,10 @@ pub fn module() -> Module {
     let src_at = |yy: Expr, xx: Expr, wl: sledge_guestc::Local, cl: sledge_guestc::Local| {
         load(
             Scalar::U8,
-            add(i32c(RX + 8), add(mul(add(mul(yy, local(wl)), xx), i32c(3)), local(cl))),
+            add(
+                i32c(RX + 8),
+                add(mul(add(mul(yy, local(wl)), xx), i32c(3)), local(cl)),
+            ),
             0,
         )
     };
@@ -51,28 +54,58 @@ pub fn module() -> Module {
         set(hh, div(local(h), i32c(2))),
         store(Scalar::I32, i32c(OUT), 0, local(hw)),
         store(Scalar::I32, i32c(OUT), 4, local(hh)),
-        for_loop(y, i32c(0), lt_s(local(y), local(hh)), 1, vec![
-            for_loop(x, i32c(0), lt_s(local(x), local(hw)), 1, vec![
-                for_loop(c, i32c(0), lt_s(local(c), i32c(3)), 1, vec![
-                    set(sy, mul(local(y), i32c(2))),
-                    set(sx, mul(local(x), i32c(2))),
-                    set(acc, add(
-                        add(
-                            src_at(local(sy), local(sx), w, c),
-                            src_at(local(sy), add(local(sx), i32c(1)), w, c),
+        for_loop(
+            y,
+            i32c(0),
+            lt_s(local(y), local(hh)),
+            1,
+            vec![for_loop(
+                x,
+                i32c(0),
+                lt_s(local(x), local(hw)),
+                1,
+                vec![for_loop(
+                    c,
+                    i32c(0),
+                    lt_s(local(c), i32c(3)),
+                    1,
+                    vec![
+                        set(sy, mul(local(y), i32c(2))),
+                        set(sx, mul(local(x), i32c(2))),
+                        set(
+                            acc,
+                            add(
+                                add(
+                                    src_at(local(sy), local(sx), w, c),
+                                    src_at(local(sy), add(local(sx), i32c(1)), w, c),
+                                ),
+                                add(
+                                    src_at(add(local(sy), i32c(1)), local(sx), w, c),
+                                    src_at(add(local(sy), i32c(1)), add(local(sx), i32c(1)), w, c),
+                                ),
+                            ),
                         ),
-                        add(
-                            src_at(add(local(sy), i32c(1)), local(sx), w, c),
-                            src_at(add(local(sy), i32c(1)), add(local(sx), i32c(1)), w, c),
+                        store(
+                            Scalar::U8,
+                            add(
+                                i32c(OUT + 8),
+                                add(
+                                    mul(add(mul(local(y), local(hw)), local(x)), i32c(3)),
+                                    local(c),
+                                ),
+                            ),
+                            0,
+                            shr_u(add(local(acc), i32c(2)), i32c(2)),
                         ),
-                    )),
-                    store(Scalar::U8,
-                        add(i32c(OUT + 8), add(mul(add(mul(local(y), local(hw)), local(x)), i32c(3)), local(c))),
-                        0, shr_u(add(local(acc), i32c(2)), i32c(2))),
-                ]),
-            ]),
-        ]),
-        write_response(&env, i32c(OUT), add(i32c(8), mul(mul(local(hw), local(hh)), i32c(3)))),
+                    ],
+                )],
+            )],
+        ),
+        write_response(
+            &env,
+            i32c(OUT),
+            add(i32c(8), mul(mul(local(hw), local(hh)), i32c(3))),
+        ),
         ret(Some(i32c(0))),
     ]);
     f.extend(body);
@@ -94,7 +127,8 @@ pub fn native(body: &[u8]) -> Vec<u8> {
     let h = u32::from_le_bytes(body[4..8].try_into().expect("4 bytes")) as usize;
     let px = &body[8..];
     let (hw, hh) = (w / 2, h / 2);
-    let at = |y: usize, x: usize, c: usize| px.get((y * w + x) * 3 + c).copied().unwrap_or(0) as u32;
+    let at =
+        |y: usize, x: usize, c: usize| px.get((y * w + x) * 3 + c).copied().unwrap_or(0) as u32;
     let mut out = Vec::with_capacity(8 + hw * hh * 3);
     out.extend_from_slice(&(hw as u32).to_le_bytes());
     out.extend_from_slice(&(hh as u32).to_le_bytes());
@@ -122,7 +156,7 @@ pub fn synth_image(w: usize, h: usize) -> Vec<u8> {
     for y in 0..h as i32 {
         for x in 0..w as i32 {
             let d2 = (x - cx) * (x - cx) + (y - cy) * (y - cy);
-            let petal = ((x * 7 + y * 13) % 47) as i32;
+            let petal = (x * 7 + y * 13) % 47;
             out.push((200 - (d2 / 37).min(180) + petal / 4).clamp(0, 255) as u8);
             out.push((60 + petal * 3).clamp(0, 255) as u8);
             out.push((120 + (d2 / 53) % 90).clamp(0, 255) as u8);
@@ -169,7 +203,7 @@ mod tests {
         let mut img = Vec::new();
         img.extend_from_slice(&4u32.to_le_bytes());
         img.extend_from_slice(&4u32.to_le_bytes());
-        img.extend(std::iter::repeat(100u8).take(4 * 4 * 3));
+        img.extend(std::iter::repeat_n(100u8, 4 * 4 * 3));
         let out = native(&img);
         assert!(out[8..].iter().all(|&b| b == 100));
     }

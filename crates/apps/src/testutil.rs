@@ -5,8 +5,8 @@
 //! this one (the dependency goes the other way).
 
 use awsm::{
-    translate, BoundsStrategy, EngineConfig, Host, HostImport, HostOutcome, Instance,
-    LinearMemory, StepResult, Tier, Trap,
+    translate, BoundsStrategy, EngineConfig, Host, HostImport, HostOutcome, Instance, LinearMemory,
+    StepResult, Tier, Trap,
 };
 use sledge_wasm::module::Module;
 use std::sync::Arc;

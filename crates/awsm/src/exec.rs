@@ -146,7 +146,12 @@ pub(crate) fn run<B: Bounds, const NAIVE: bool>(
                 Some(f) => f,
                 None => return StepResult::Complete(st.stack.pop().map(Some).unwrap_or(None)),
             };
-            (f.func as usize, f.pc as usize, f.locals_base as usize, f.stack_base as usize)
+            (
+                f.func as usize,
+                f.pc as usize,
+                f.locals_base as usize,
+                f.stack_base as usize,
+            )
         };
         let func = &m.funcs[fidx];
         let code = &func.code[..];
@@ -293,9 +298,7 @@ pub(crate) fn run<B: Bounds, const NAIVE: bool>(
                     st.stack.push(if c as u32 != 0 { a } else { b2 });
                 }
                 Op::LocalGet(i) => st.stack.push(st.locals[lb + *i as usize]),
-                Op::LocalSet(i) => {
-                    st.locals[lb + *i as usize] = st.stack.pop().expect("set value")
-                }
+                Op::LocalSet(i) => st.locals[lb + *i as usize] = st.stack.pop().expect("set value"),
                 Op::LocalTee(i) => {
                     st.locals[lb + *i as usize] = *st.stack.last().expect("tee value")
                 }
@@ -397,12 +400,7 @@ fn apply_branch(stack: &mut Vec<u64>, sb: usize, b: &crate::code::Branch) {
 }
 
 #[inline(always)]
-fn push_call(
-    m: &CompiledModule,
-    st: &mut ExecState,
-    f: u32,
-    limits: &Limits,
-) -> Result<(), Trap> {
+fn push_call(m: &CompiledModule, st: &mut ExecState, f: u32, limits: &Limits) -> Result<(), Trap> {
     if st.frames.len() >= limits.max_frames || st.stack.len() >= limits.max_stack {
         return Err(Trap::StackExhausted);
     }
@@ -430,9 +428,7 @@ fn do_load<B: Bounds>(
     off: u32,
 ) -> Result<u64, Trap> {
     Ok(match kind {
-        LoadKind::I32 | LoadKind::F32 => {
-            u32::from_le_bytes(mem.load::<B, 4>(addr, off)?) as u64
-        }
+        LoadKind::I32 | LoadKind::F32 => u32::from_le_bytes(mem.load::<B, 4>(addr, off)?) as u64,
         LoadKind::I64 | LoadKind::F64 => u64::from_le_bytes(mem.load::<B, 8>(addr, off)?),
         LoadKind::I32U8 => mem.load::<B, 1>(addr, off)?[0] as u64,
         LoadKind::I32S8 => mem.load::<B, 1>(addr, off)?[0] as i8 as i32 as u32 as u64,
@@ -443,13 +439,9 @@ fn do_load<B: Bounds>(
         LoadKind::I64U8 => mem.load::<B, 1>(addr, off)?[0] as u64,
         LoadKind::I64S8 => mem.load::<B, 1>(addr, off)?[0] as i8 as i64 as u64,
         LoadKind::I64U16 => u16::from_le_bytes(mem.load::<B, 2>(addr, off)?) as u64,
-        LoadKind::I64S16 => {
-            u16::from_le_bytes(mem.load::<B, 2>(addr, off)?) as i16 as i64 as u64
-        }
+        LoadKind::I64S16 => u16::from_le_bytes(mem.load::<B, 2>(addr, off)?) as i16 as i64 as u64,
         LoadKind::I64U32 => u32::from_le_bytes(mem.load::<B, 4>(addr, off)?) as u64,
-        LoadKind::I64S32 => {
-            u32::from_le_bytes(mem.load::<B, 4>(addr, off)?) as i32 as i64 as u64
-        }
+        LoadKind::I64S32 => u32::from_le_bytes(mem.load::<B, 4>(addr, off)?) as i32 as i64 as u64,
     })
 }
 
@@ -462,13 +454,9 @@ fn do_store<B: Bounds>(
     val: u64,
 ) -> Result<(), Trap> {
     match kind {
-        StoreKind::I32 | StoreKind::F32 => {
-            mem.store::<B, 4>(addr, off, (val as u32).to_le_bytes())
-        }
+        StoreKind::I32 | StoreKind::F32 => mem.store::<B, 4>(addr, off, (val as u32).to_le_bytes()),
         StoreKind::I64 | StoreKind::F64 => mem.store::<B, 8>(addr, off, val.to_le_bytes()),
-        StoreKind::B8From32 | StoreKind::B8From64 => {
-            mem.store::<B, 1>(addr, off, [val as u8])
-        }
+        StoreKind::B8From32 | StoreKind::B8From64 => mem.store::<B, 1>(addr, off, [val as u8]),
         StoreKind::B16From32 | StoreKind::B16From64 => {
             mem.store::<B, 2>(addr, off, (val as u16).to_le_bytes())
         }

@@ -126,7 +126,12 @@ impl LinearMemory {
     /// `len` bytes under bounds policy `B`, yielding a host index whose
     /// `len`-byte access is in-bounds for the backing buffer.
     #[inline(always)]
-    pub(crate) fn resolve<B: Bounds>(&self, addr: u32, offset: u32, len: u32) -> Result<usize, Trap> {
+    pub(crate) fn resolve<B: Bounds>(
+        &self,
+        addr: u32,
+        offset: u32,
+        len: u32,
+    ) -> Result<usize, Trap> {
         B::resolve(self, addr, offset, len)
     }
 

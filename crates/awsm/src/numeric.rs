@@ -226,7 +226,10 @@ mod tests {
 
     #[test]
     fn i32_wrapping_and_traps() {
-        assert_eq!(bin(I32Add, i32s(i32::MAX), i32s(1)).unwrap(), i32s(i32::MIN));
+        assert_eq!(
+            bin(I32Add, i32s(i32::MAX), i32s(1)).unwrap(),
+            i32s(i32::MIN)
+        );
         assert_eq!(bin(I32DivS, i32s(-7), i32s(2)).unwrap(), i32s(-3));
         assert_eq!(bin(I32DivS, i32s(7), i32s(0)), Err(Trap::DivByZero));
         assert_eq!(
@@ -267,10 +270,7 @@ mod tests {
         assert_eq!(un(I64ExtendI32S, i32s(-1)).unwrap(), u64::MAX);
         assert_eq!(un(I64ExtendI32U, i32s(-1)).unwrap(), 0xFFFF_FFFF);
         assert_eq!(un(I32WrapI64, 0x1_0000_0005).unwrap(), 5);
-        assert_eq!(
-            f64_of(un(F64ConvertI32S, i32s(-2)).unwrap()),
-            -2.0
-        );
+        assert_eq!(f64_of(un(F64ConvertI32S, i32s(-2)).unwrap()), -2.0);
         assert_eq!(un(I32TruncF64S, bits_f64(-3.9)).unwrap(), i32s(-3));
         assert_eq!(
             un(I32TruncF64S, bits_f64(f64::NAN)),

@@ -8,8 +8,8 @@
 //! immutable and shared by every sandbox of the function.
 
 use crate::code::{
-    Branch, BrTablePayload, CompiledFunc, CompiledModule, HostImport, LoadKind, MemorySpec,
-    NumBin, NumUn, Op, StoreKind,
+    BrTablePayload, Branch, CompiledFunc, CompiledModule, HostImport, LoadKind, MemorySpec, NumBin,
+    NumUn, Op, StoreKind,
 };
 use sledge_wasm::instr::Instr;
 use sledge_wasm::module::{ConstExpr, ImportKind, Module};
@@ -290,7 +290,7 @@ impl<'m> FnTranslator<'m> {
     }
 
     fn unreachable_now(&self) -> bool {
-        self.ctrl.last().map_or(false, |c| c.unreachable)
+        self.ctrl.last().is_some_and(|c| c.unreachable)
     }
 
     fn branch_for(&self, depth: u32) -> (Branch, bool) {
@@ -650,7 +650,8 @@ impl<'m> FnTranslator<'m> {
             CallIndirect(t) => {
                 let ty = self.module.types[*t as usize].clone();
                 self.height -= 1 + ty.params.len() as u32;
-                self.ops.push(Op::CallIndirect(self.type_canon[*t as usize]));
+                self.ops
+                    .push(Op::CallIndirect(self.type_canon[*t as usize]));
                 if ty.result().is_some() {
                     self.height += 1;
                 }
@@ -660,12 +661,11 @@ impl<'m> FnTranslator<'m> {
                 self.height -= 1;
                 if self.optimize {
                     // Dropping a just-pushed pure value: elide both.
-                    match self.last_op_fusable() {
-                        Some(Op::Const(_) | Op::LocalGet(_) | Op::GlobalGet(_)) => {
-                            self.ops.pop();
-                            return;
-                        }
-                        _ => {}
+                    if let Some(Op::Const(_) | Op::LocalGet(_) | Op::GlobalGet(_)) =
+                        self.last_op_fusable()
+                    {
+                        self.ops.pop();
+                        return;
                     }
                 }
                 self.ops.push(Op::Drop);

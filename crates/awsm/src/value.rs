@@ -233,7 +233,7 @@ pub(crate) fn trunc_to_i32(x: f64) -> Result<i32, Trap> {
         return Err(Trap::InvalidConversion);
     }
     let t = x.trunc();
-    if t < -2147483648.0 || t > 2147483647.0 {
+    if !(-2147483648.0..=2147483647.0).contains(&t) {
         return Err(Trap::InvalidConversion);
     }
     Ok(t as i32)
@@ -245,7 +245,7 @@ pub(crate) fn trunc_to_u32(x: f64) -> Result<u32, Trap> {
         return Err(Trap::InvalidConversion);
     }
     let t = x.trunc();
-    if t < 0.0 || t > 4294967295.0 {
+    if !(0.0..=4294967295.0).contains(&t) {
         return Err(Trap::InvalidConversion);
     }
     Ok(t as u32)
@@ -258,7 +258,7 @@ pub(crate) fn trunc_to_i64(x: f64) -> Result<i64, Trap> {
     }
     let t = x.trunc();
     // 2^63 is exactly representable; anything >= it is out of range.
-    if t < -9223372036854775808.0 || t >= 9223372036854775808.0 {
+    if !(-9223372036854775808.0..9223372036854775808.0).contains(&t) {
         return Err(Trap::InvalidConversion);
     }
     Ok(t as i64)
@@ -270,7 +270,7 @@ pub(crate) fn trunc_to_u64(x: f64) -> Result<u64, Trap> {
         return Err(Trap::InvalidConversion);
     }
     let t = x.trunc();
-    if t < 0.0 || t >= 18446744073709551616.0 {
+    if !(0.0..18446744073709551616.0).contains(&t) {
         return Err(Trap::InvalidConversion);
     }
     Ok(t as u64)

@@ -3,8 +3,8 @@
 //! strategy.
 
 use awsm::{
-    translate, BoundsStrategy, EngineConfig, Host, HostImport, HostOutcome, Instance,
-    LinearMemory, NullHost, StepResult, Tier, Trap, Value,
+    translate, BoundsStrategy, EngineConfig, Host, HostImport, HostOutcome, Instance, LinearMemory,
+    NullHost, StepResult, Tier, Trap, Value,
 };
 use sledge_guestc::dsl::*;
 use sledge_guestc::{FuncBuilder, ModuleBuilder, Scalar};
@@ -80,9 +80,13 @@ fn triangle_sum_loop() {
     let acc = f.local(ValType::I32);
     let i = f.local(ValType::I32);
     f.extend([
-        for_loop(i, i32c(1), le_s(local(i), local(n)), 1, vec![
-            set(acc, add(local(acc), local(i))),
-        ]),
+        for_loop(
+            i,
+            i32c(1),
+            le_s(local(i), local(n)),
+            1,
+            vec![set(acc, add(local(acc), local(i)))],
+        ),
         ret(Some(local(acc))),
     ]);
     let main = mb.add_func("main", f);
@@ -101,15 +105,27 @@ fn nested_loops_with_break_continue() {
     let i = f.local(ValType::I32);
     let j = f.local(ValType::I32);
     f.extend([
-        for_loop(i, i32c(0), lt_s(local(i), i32c(20)), 1, vec![
-            set(j, i32c(0)),
-            while_(lt_s(local(j), i32c(20)), vec![
-                if_(gt_s(local(j), i32c(15)), vec![brk()]),
-                set(j, add(local(j), i32c(1))),
-                if_(eq(rem(mul(local(i), sub(local(j), i32c(1))), i32c(2)), i32c(0)), vec![cont()]),
-                set(count, add(local(count), i32c(1))),
-            ]),
-        ]),
+        for_loop(
+            i,
+            i32c(0),
+            lt_s(local(i), i32c(20)),
+            1,
+            vec![
+                set(j, i32c(0)),
+                while_(
+                    lt_s(local(j), i32c(20)),
+                    vec![
+                        if_(gt_s(local(j), i32c(15)), vec![brk()]),
+                        set(j, add(local(j), i32c(1))),
+                        if_(
+                            eq(rem(mul(local(i), sub(local(j), i32c(1))), i32c(2)), i32c(0)),
+                            vec![cont()],
+                        ),
+                        set(count, add(local(count), i32c(1))),
+                    ],
+                ),
+            ],
+        ),
         ret(Some(local(count))),
     ]);
     let main = mb.add_func("main", f);
@@ -293,12 +309,31 @@ fn memory_fill_and_sum() {
     let i = f.local(ValType::I32);
     let acc = f.local(ValType::I64);
     f.extend([
-        for_loop(i, i32c(0), lt_s(local(i), local(n)), 1, vec![
-            store(Scalar::I32, mul(local(i), i32c(4)), 0, mul(local(i), local(i))),
-        ]),
-        for_loop(i, i32c(0), lt_s(local(i), local(n)), 1, vec![
-            set(acc, add(local(acc), i2l(load(Scalar::I32, mul(local(i), i32c(4)), 0)))),
-        ]),
+        for_loop(
+            i,
+            i32c(0),
+            lt_s(local(i), local(n)),
+            1,
+            vec![store(
+                Scalar::I32,
+                mul(local(i), i32c(4)),
+                0,
+                mul(local(i), local(i)),
+            )],
+        ),
+        for_loop(
+            i,
+            i32c(0),
+            lt_s(local(i), local(n)),
+            1,
+            vec![set(
+                acc,
+                add(
+                    local(acc),
+                    i2l(load(Scalar::I32, mul(local(i), i32c(4)), 0)),
+                ),
+            )],
+        ),
         ret(Some(local(acc))),
     ]);
     let main = mb.add_func("main", f);
@@ -362,10 +397,16 @@ fn out_of_bounds_traps_under_software_checks() {
     let main = mb.add_func("main", f);
     mb.export_func(main, "main");
     let m = mb.build().unwrap();
-    assert_eq!(single(&m, "main", &[Value::I32(65533)]), Err(Trap::OutOfBounds));
+    assert_eq!(
+        single(&m, "main", &[Value::I32(65533)]),
+        Err(Trap::OutOfBounds)
+    );
     assert!(single(&m, "main", &[Value::I32(65532)]).is_ok());
     // Negative address = huge unsigned address.
-    assert_eq!(single(&m, "main", &[Value::I32(-4)]), Err(Trap::OutOfBounds));
+    assert_eq!(
+        single(&m, "main", &[Value::I32(-4)]),
+        Err(Trap::OutOfBounds)
+    );
 }
 
 #[test]
@@ -620,10 +661,7 @@ fn pending_host_call_blocks_and_resumes() {
     mb.memory(1, Some(1));
     let delay = mb.import_func("env", "io_delay", &[ValType::I32], Some(ValType::I32));
     let mut f = FuncBuilder::new(&[], Some(ValType::I32));
-    f.push(ret(Some(add(
-        call(delay, vec![i32c(5)]),
-        i32c(100),
-    ))));
+    f.push(ret(Some(add(call(delay, vec![i32c(5)]), i32c(100)))));
     let main = mb.add_func("main", f);
     mb.export_func(main, "main");
     let m = mb.build().unwrap();
@@ -736,24 +774,37 @@ fn float_kernel_matches_native() {
     let acc = f.local(ValType::F64);
     f.extend([
         // a[i] = sqrt(i), b[i] = i/2 at fixed offsets.
-        for_loop(i, i32c(0), lt_s(local(i), local(n)), 1, vec![
-            store(Scalar::F64, mul(local(i), i32c(8)), 0, sqrt(i2d(local(i)))),
-            store(
-                Scalar::F64,
-                mul(local(i), i32c(8)),
-                4096,
-                div(i2d(local(i)), f64c(2.0)),
-            ),
-        ]),
-        for_loop(i, i32c(0), lt_s(local(i), local(n)), 1, vec![
-            set(acc, add(
-                local(acc),
-                mul(
-                    load(Scalar::F64, mul(local(i), i32c(8)), 0),
-                    load(Scalar::F64, mul(local(i), i32c(8)), 4096),
+        for_loop(
+            i,
+            i32c(0),
+            lt_s(local(i), local(n)),
+            1,
+            vec![
+                store(Scalar::F64, mul(local(i), i32c(8)), 0, sqrt(i2d(local(i)))),
+                store(
+                    Scalar::F64,
+                    mul(local(i), i32c(8)),
+                    4096,
+                    div(i2d(local(i)), f64c(2.0)),
                 ),
-            )),
-        ]),
+            ],
+        ),
+        for_loop(
+            i,
+            i32c(0),
+            lt_s(local(i), local(n)),
+            1,
+            vec![set(
+                acc,
+                add(
+                    local(acc),
+                    mul(
+                        load(Scalar::F64, mul(local(i), i32c(8)), 0),
+                        load(Scalar::F64, mul(local(i), i32c(8)), 4096),
+                    ),
+                ),
+            )],
+        ),
         ret(Some(local(acc))),
     ]);
     let main = mb.add_func("main", f);

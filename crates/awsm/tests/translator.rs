@@ -31,7 +31,8 @@ fn local_local_binop_fuses_in_optimized_tier() {
 
     let opt = ops_of(&m, Tier::Optimized);
     assert!(
-        opt.iter().any(|o| matches!(o, Op::Bin2L(NumBin::I32Add, 0, 1))),
+        opt.iter()
+            .any(|o| matches!(o, Op::Bin2L(NumBin::I32Add, 0, 1))),
         "expected Bin2L in {opt:?}"
     );
     let naive = ops_of(&m, Tier::Naive);
@@ -48,9 +49,13 @@ fn loop_counter_increment_fuses_to_inc() {
     let i = f.local(ValType::I32);
     let acc = f.local(ValType::I32);
     f.extend([
-        for_loop(i, i32c(0), lt_s(local(i), i32c(10)), 1, vec![
-            set(acc, add(local(acc), local(i))),
-        ]),
+        for_loop(
+            i,
+            i32c(0),
+            lt_s(local(i), i32c(10)),
+            1,
+            vec![set(acc, add(local(acc), local(i)))],
+        ),
         ret(Some(local(acc))),
     ]);
     let m = module_of(f);
@@ -86,7 +91,10 @@ fn eqz_brif_fuses_to_brifz() {
     let mut f = FuncBuilder::new(&[ValType::I32], Some(ValType::I32));
     let n = f.arg(0);
     f.extend([
-        while_(gt_s(local(n), i32c(0)), vec![set(n, sub(local(n), i32c(1)))]),
+        while_(
+            gt_s(local(n), i32c(0)),
+            vec![set(n, sub(local(n), i32c(1)))],
+        ),
         ret(Some(local(n))),
     ]);
     let m = module_of(f);
@@ -96,7 +104,8 @@ fn eqz_brif_fuses_to_brifz() {
         "expected BrIfZ in {opt:?}"
     );
     assert!(
-        opt.iter().all(|o| !matches!(o, Op::Un(awsm::code::NumUn::I32Eqz))),
+        opt.iter()
+            .all(|o| !matches!(o, Op::Un(awsm::code::NumUn::I32Eqz))),
         "eqz should have been folded into the branch: {opt:?}"
     );
 }
@@ -111,9 +120,10 @@ fn fusion_respects_loop_head_barriers() {
     let x = f.arg(0);
     f.extend([
         set(x, i32c(5)),
-        while_(lt_s(local(x), i32c(100)), vec![
-            set(x, mul(local(x), i32c(2))),
-        ]),
+        while_(
+            lt_s(local(x), i32c(100)),
+            vec![set(x, mul(local(x), i32c(2)))],
+        ),
         ret(Some(local(x))),
     ]);
     let m = module_of(f);
@@ -192,7 +202,10 @@ fn start_functions_are_rejected_with_a_clear_error() {
     use sledge_wasm::types::FuncType;
     let mut m = Module::new();
     let t = m.push_type(FuncType::new(vec![], vec![]));
-    let f = m.push_function(t, FuncBody::new(vec![], vec![sledge_wasm::instr::Instr::End]));
+    let f = m.push_function(
+        t,
+        FuncBody::new(vec![], vec![sledge_wasm::instr::Instr::End]),
+    );
     m.start = Some(f);
     match translate(&m, Tier::Optimized) {
         Err(awsm::TranslateError::Unsupported(msg)) => {
@@ -239,7 +252,14 @@ fn statically_dead_code_is_skipped_without_miscompiling() {
     use awsm::{EngineConfig, Instance, NullHost};
     for tier in [Tier::Optimized, Tier::Naive] {
         let cm = std::sync::Arc::new(translate(&m, tier).unwrap());
-        let mut inst = Instance::new(cm, EngineConfig { tier, ..Default::default() }).unwrap();
+        let mut inst = Instance::new(
+            cm,
+            EngineConfig {
+                tier,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let v = inst.call_complete("main", &[], &mut NullHost).unwrap();
         assert_eq!(v, Some(7), "{tier:?}");
     }
@@ -275,15 +295,27 @@ fn if_with_unreachable_then_arm_reaches_else() {
     use awsm::{EngineConfig, Instance, NullHost, Value};
     for tier in [Tier::Optimized, Tier::Naive] {
         let cm = std::sync::Arc::new(translate(&m, tier).unwrap());
-        let mut inst =
-            Instance::new(cm, EngineConfig { tier, ..Default::default() }).unwrap();
+        let mut inst = Instance::new(
+            cm,
+            EngineConfig {
+                tier,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let v = inst
             .call_complete("main", &[Value::I32(1)], &mut NullHost)
             .unwrap();
         assert_eq!(v, Some(10), "{tier:?} taken");
         let cm = std::sync::Arc::new(translate(&m, tier).unwrap());
-        let mut inst =
-            Instance::new(cm, EngineConfig { tier, ..Default::default() }).unwrap();
+        let mut inst = Instance::new(
+            cm,
+            EngineConfig {
+                tier,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let v = inst
             .call_complete("main", &[Value::I32(0)], &mut NullHost)
             .unwrap();

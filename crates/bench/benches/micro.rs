@@ -9,13 +9,12 @@ use sledge_apps::testutil::BufferHost;
 use std::sync::Arc;
 
 fn bench_instantiation(c: &mut Criterion) {
-    let module = Arc::new(
-        translate(&sledge_apps::gps_ekf::module(), Tier::Optimized).expect("translate"),
-    );
+    let module =
+        Arc::new(translate(&sledge_apps::gps_ekf::module(), Tier::Optimized).expect("translate"));
     c.bench_function("sandbox_instantiate_ekf", |b| {
         b.iter(|| {
-            let inst = Instance::new(Arc::clone(&module), EngineConfig::default())
-                .expect("instantiate");
+            let inst =
+                Instance::new(Arc::clone(&module), EngineConfig::default()).expect("instantiate");
             std::hint::black_box(inst.footprint_bytes())
         })
     });

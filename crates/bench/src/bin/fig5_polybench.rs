@@ -22,8 +22,16 @@ const CONFIGS: &[(&str, Tier, BoundsStrategy)] = &[
     ("aWsm-bounds-chk", Tier::Optimized, BoundsStrategy::Software),
     ("aWsm-mpx", Tier::Optimized, BoundsStrategy::MpxEmulated),
     ("aWsm-no-checks", Tier::Optimized, BoundsStrategy::None),
-    ("naive-vm (Cranelift-class)", Tier::Naive, BoundsStrategy::GuardRegion),
-    ("naive-chk (Node-class)", Tier::Naive, BoundsStrategy::Software),
+    (
+        "naive-vm (Cranelift-class)",
+        Tier::Naive,
+        BoundsStrategy::GuardRegion,
+    ),
+    (
+        "naive-chk (Node-class)",
+        Tier::Naive,
+        BoundsStrategy::Software,
+    ),
 ];
 
 fn time_native(k: &Kernel, iters: u32) -> f64 {
@@ -76,7 +84,7 @@ fn main() {
         .filter(|k| {
             filter
                 .as_ref()
-                .map_or(true, |f| f.iter().any(|n| n == k.name))
+                .is_none_or(|f| f.iter().any(|n| n == k.name))
         })
         .collect();
 

@@ -42,14 +42,7 @@ fn main() {
     println!("# Figure 6: ping with varying concurrency ({requests} requests/point)");
     println!(
         "{:>5} | {:>12} {:>10} {:>10} | {:>12} {:>10} {:>10} | {:>7}",
-        "conc",
-        "sledge req/s",
-        "avg",
-        "p99",
-        "nuclio req/s",
-        "avg",
-        "p99",
-        "speedup"
+        "conc", "sledge req/s", "avg", "p99", "nuclio req/s", "avg", "p99", "speedup"
     );
     for &c in CONCURRENCIES {
         let s = drive_sledge(&rt, ping, b"", c, requests);

@@ -47,14 +47,7 @@ fn main() {
     );
     println!(
         "{:>6} | {:>12} {:>10} {:>10} | {:>12} {:>10} {:>10} | {:>7}",
-        "size",
-        "sledge req/s",
-        "avg",
-        "p99",
-        "nuclio req/s",
-        "avg",
-        "p99",
-        "speedup"
+        "size", "sledge req/s", "avg", "p99", "nuclio req/s", "avg", "p99", "speedup"
     );
     for (label, size) in PAYLOADS {
         let body = sledge_apps::echo::payload(*size);

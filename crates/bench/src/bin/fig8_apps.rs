@@ -32,17 +32,12 @@ fn main() {
     let exe = std::env::current_exe().expect("current exe");
     let pool = ProcessPool::new(exe, 16, 4096);
 
-    println!("# Figure 8: real-world applications at {CONCURRENCY} concurrent ({requests} requests/app)");
+    println!(
+        "# Figure 8: real-world applications at {CONCURRENCY} concurrent ({requests} requests/app)"
+    );
     println!(
         "{:<8} | {:>12} {:>10} {:>10} | {:>12} {:>10} {:>10} | {:>7}",
-        "app",
-        "sledge req/s",
-        "avg",
-        "p99",
-        "nuclio req/s",
-        "avg",
-        "p99",
-        "speedup"
+        "app", "sledge req/s", "avg", "p99", "nuclio req/s", "avg", "p99", "speedup"
     );
     for app in sledge_apps::real_world_apps() {
         let id = rt

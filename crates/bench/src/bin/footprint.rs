@@ -32,8 +32,8 @@ fn main() {
         let module = (app.module)();
         let wasm = sledge_wasm::encode::encode_module(&module);
         let compiled = Arc::new(translate(&module, Tier::Optimized).expect("translate"));
-        let inst = Instance::new(Arc::clone(&compiled), EngineConfig::default())
-            .expect("instantiate");
+        let inst =
+            Instance::new(Arc::clone(&compiled), EngineConfig::default()).expect("instantiate");
         println!(
             "{:<10} {:>12} {:>16} {:>16} {:>16}",
             app.name,

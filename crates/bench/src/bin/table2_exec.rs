@@ -53,8 +53,8 @@ fn main() {
         let mut sledge_lat = Vec::with_capacity(iters);
         for _ in 0..iters {
             let t0 = Instant::now();
-            let mut inst = Instance::new(Arc::clone(&module), EngineConfig::default())
-                .expect("instantiate");
+            let mut inst =
+                Instance::new(Arc::clone(&module), EngineConfig::default()).expect("instantiate");
             let mut host = BufferHost::new(body.clone());
             inst.invoke_export("main", &[]).expect("invoke");
             loop {

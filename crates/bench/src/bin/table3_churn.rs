@@ -66,9 +66,8 @@ fn main() {
     let fork = LatencyStats::from_samples(fork_lat);
 
     // Sledge sandbox: instantiate + run + teardown (module pre-loaded).
-    let module = Arc::new(
-        translate(&sledge_apps::gps_ekf::module(), Tier::Optimized).expect("translate"),
-    );
+    let module =
+        Arc::new(translate(&sledge_apps::gps_ekf::module(), Tier::Optimized).expect("translate"));
     let mut sb_lat = Vec::with_capacity(iters);
     for _ in 0..iters {
         let t0 = Instant::now();

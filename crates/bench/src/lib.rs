@@ -99,7 +99,10 @@ pub fn drive_sledge(
                 (lats, failed)
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("client")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
     });
     let wall = start.elapsed();
     let mut all = Vec::new();
@@ -147,7 +150,10 @@ pub fn drive_baseline(
                 (lats, failed)
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("client")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
     });
     let wall = start.elapsed();
     let mut all = Vec::new();

@@ -2,7 +2,15 @@
 //! naming `.wasm` modules (as the paper's runtime does), bind the HTTP
 //! front end, and serve until killed.
 //!
-//! Usage: `sledged <config.json> [listen-addr]`
+//! Usage: `sledged <config.json> [listen-addr] [flags]`
+//!
+//! Flags:
+//!
+//! * `--deadline-ms N` — override the runtime-wide execution deadline.
+//! * `--run-for-s N` — serve for N seconds, then drain gracefully and exit
+//!   (useful for scripted benchmarks and chaos runs).
+//! * `--drain-timeout-ms M` — budget for the graceful drain on exit
+//!   (default 5000 ms; past it the backlog is killed with 504s).
 //!
 //! Config format (paths are relative to the config file):
 //!
@@ -11,29 +19,64 @@
 //!   "workers": 4,
 //!   "quantum_us": 5000,
 //!   "bounds": "vm-guard",
+//!   "deadline_ms": 250,
+//!   "circuit_breaker": {"threshold": 5, "cooldown_ms": 1000},
+//!   "conn_idle_ms": 10000,
 //!   "modules": [
-//!     {"name": "echo", "wasm": "echo.wasm", "route": "/echo"}
+//!     {"name": "echo", "wasm": "echo.wasm", "route": "/echo", "deadline_ms": 50}
 //!   ]
 //! }
 //! ```
 
 use sledge_core::{parse_json, FunctionConfig, Json, Runtime, RuntimeConfig};
 use std::net::SocketAddr;
+use std::time::Duration;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
-    let Some(config_path) = args.get(1) else {
-        eprintln!("usage: sledged <config.json> [listen-addr]");
+
+    // Split flags (`--name value`) from positional arguments.
+    let mut positional = Vec::new();
+    let mut deadline_ms: Option<u64> = None;
+    let mut run_for_s: Option<u64> = None;
+    let mut drain_timeout_ms: u64 = 5000;
+    let mut i = 1;
+    while i < args.len() {
+        let take_value = |i: &mut usize| -> Result<u64, Box<dyn std::error::Error>> {
+            let flag = args[*i].clone();
+            *i += 1;
+            let v = args
+                .get(*i)
+                .ok_or_else(|| format!("{flag} requires a value"))?;
+            Ok(v.parse::<u64>().map_err(|e| format!("{flag}: {e}"))?)
+        };
+        match args[i].as_str() {
+            "--deadline-ms" => deadline_ms = Some(take_value(&mut i)?),
+            "--run-for-s" => run_for_s = Some(take_value(&mut i)?),
+            "--drain-timeout-ms" => drain_timeout_ms = take_value(&mut i)?,
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag {flag}").into());
+            }
+            _ => positional.push(args[i].clone()),
+        }
+        i += 1;
+    }
+
+    let Some(config_path) = positional.first() else {
+        eprintln!("usage: sledged <config.json> [listen-addr] [--deadline-ms N] [--run-for-s N] [--drain-timeout-ms M]");
         std::process::exit(2);
     };
-    let listen: SocketAddr = args
-        .get(2)
+    let listen: SocketAddr = positional
+        .get(1)
         .map(String::as_str)
         .unwrap_or("127.0.0.1:8080")
         .parse()?;
 
     let text = std::fs::read_to_string(config_path)?;
-    let (config, functions) = RuntimeConfig::from_json(&text)?;
+    let (mut config, functions) = RuntimeConfig::from_json(&text)?;
+    if let Some(ms) = deadline_ms {
+        config.deadline = Some(Duration::from_millis(ms));
+    }
     let base = std::path::Path::new(config_path)
         .parent()
         .unwrap_or_else(|| std::path::Path::new("."))
@@ -52,6 +95,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         })
         .unwrap_or_default();
 
+    let deadline = config.deadline;
+    let breaker = config.circuit_breaker;
+    let conn_idle = config.conn_idle;
+    let faults = config.fault_plan.is_some();
     let rt = Runtime::with_http(config, listen)?;
     let mut loaded = 0usize;
     for (fc, wasm_rel) in functions.into_iter().zip(module_paths) {
@@ -60,13 +107,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             continue;
         };
         let path = base.join(rel);
-        let bytes = std::fs::read(&path)
-            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let bytes = std::fs::read(&path).map_err(|e| format!("reading {}: {e}", path.display()))?;
         let route = fc.http_route();
         let name = fc.name.clone();
         rt.register_wasm(FunctionConfig { ..fc }, &bytes)
             .map_err(|e| format!("registering {name}: {e}"))?;
-        println!("loaded {:<12} {:>8} bytes  ->  POST {route}", name, bytes.len());
+        println!(
+            "loaded {:<12} {:>8} bytes  ->  POST {route}",
+            name,
+            bytes.len()
+        );
         loaded += 1;
     }
 
@@ -74,8 +124,43 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "sledged serving on http://{} ({loaded} functions)",
         rt.http_addr().expect("http bound"),
     );
-    println!("Ctrl-C to stop.");
-    loop {
-        std::thread::sleep(std::time::Duration::from_secs(3600));
+    match deadline {
+        Some(d) => println!("  deadline: {} ms", d.as_millis()),
+        None => println!("  deadline: none"),
+    }
+    match breaker {
+        Some(cb) => println!(
+            "  circuit breaker: threshold {} / cooldown {} ms",
+            cb.threshold,
+            cb.cooldown.as_millis()
+        ),
+        None => println!("  circuit breaker: off"),
+    }
+    println!("  idle connection timeout: {} ms", conn_idle.as_millis());
+    if faults {
+        println!("  FAULT INJECTION ACTIVE (chaos configuration)");
+    }
+
+    match run_for_s {
+        Some(secs) => {
+            println!("serving for {secs} s, then draining.");
+            std::thread::sleep(Duration::from_secs(secs));
+            let drained = rt.shutdown_drain(Duration::from_millis(drain_timeout_ms));
+            println!(
+                "drain {}",
+                if drained {
+                    "completed"
+                } else {
+                    "timed out (backlog killed)"
+                }
+            );
+            Ok(())
+        }
+        None => {
+            println!("Ctrl-C to stop.");
+            loop {
+                std::thread::sleep(Duration::from_secs(3600));
+            }
+        }
     }
 }

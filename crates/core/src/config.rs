@@ -1,6 +1,7 @@
 //! Runtime and per-function configuration, loadable from the JSON format
 //! the paper's runtime uses.
 
+use crate::fault::FaultPlan;
 use crate::json::{Json, JsonError};
 use awsm::{BoundsStrategy, Tier};
 use std::error::Error;
@@ -30,6 +31,19 @@ pub struct RuntimeConfig {
     /// Worker scheduling policy (preemptive RR is the paper's design; run-
     /// to-completion exists as the ablation point §3.4 argues against).
     pub policy: SchedPolicy,
+    /// Default per-invocation execution deadline. A sandbox whose wall-clock
+    /// age exceeds this when it would be (re)scheduled is killed with
+    /// [`crate::Outcome::TimedOut`]. `None` disables the deadline.
+    pub deadline: Option<Duration>,
+    /// Per-function circuit breaker configuration. `None` disables
+    /// breakers entirely.
+    pub circuit_breaker: Option<BreakerConfig>,
+    /// Idle-connection timeout for the HTTP front end (slow-loris defense).
+    /// `Duration::ZERO` disables reaping.
+    pub conn_idle: Duration,
+    /// Deterministic fault-injection plan, for chaos testing. `None` (the
+    /// production setting) injects nothing.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for RuntimeConfig {
@@ -43,6 +57,34 @@ impl Default for RuntimeConfig {
             bounds: BoundsStrategy::GuardRegion,
             tier: Tier::Optimized,
             policy: SchedPolicy::PreemptiveRr,
+            deadline: None,
+            circuit_breaker: None,
+            conn_idle: Duration::from_secs(10),
+            fault_plan: None,
+        }
+    }
+}
+
+/// Per-function circuit breaker parameters.
+///
+/// A function whose consecutive trap/timeout count reaches `threshold`
+/// trips its breaker: subsequent requests are fast-rejected with 503 and a
+/// `Retry-After` hint until `cooldown` elapses, at which point a single
+/// half-open probe is admitted. The probe's success closes the breaker;
+/// its failure re-opens it for another cooldown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures (traps or timeouts) that trip the breaker.
+    pub threshold: u32,
+    /// How long the breaker stays open before admitting a half-open probe.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            threshold: 5,
+            cooldown: Duration::from_millis(1000),
         }
     }
 }
@@ -79,6 +121,8 @@ pub struct FunctionConfig {
     /// Expected argument values for the entry point (most functions take
     /// none and communicate via the request body).
     pub args: Vec<awsm::Value>,
+    /// Per-function execution deadline, overriding the runtime default.
+    pub deadline: Option<Duration>,
 }
 
 impl FunctionConfig {
@@ -89,6 +133,7 @@ impl FunctionConfig {
             route: None,
             entry: "main".into(),
             args: Vec::new(),
+            deadline: None,
         }
     }
 
@@ -205,6 +250,22 @@ impl RuntimeConfig {
                 other => return Err(ConfigError::Schema(format!("unknown policy {other:?}"))),
             };
         }
+        if let Some(d) = v.get("deadline_ms") {
+            cfg.deadline = Some(Duration::from_millis(d.as_u64().ok_or_else(|| {
+                ConfigError::Schema("deadline_ms must be a non-negative int".into())
+            })?));
+        }
+        if let Some(cb) = v.get("circuit_breaker") {
+            cfg.circuit_breaker = Some(parse_breaker(cb)?);
+        }
+        if let Some(ci) = v.get("conn_idle_ms") {
+            cfg.conn_idle = Duration::from_millis(ci.as_u64().ok_or_else(|| {
+                ConfigError::Schema("conn_idle_ms must be a non-negative int".into())
+            })?);
+        }
+        if let Some(fp) = v.get("fault_plan") {
+            cfg.fault_plan = Some(parse_fault_plan(fp)?);
+        }
         let mut funcs = Vec::new();
         if let Some(mods) = v.get("modules") {
             let arr = mods
@@ -216,6 +277,62 @@ impl RuntimeConfig {
         }
         Ok((cfg, funcs))
     }
+}
+
+fn parse_breaker(cb: &Json) -> Result<BreakerConfig, ConfigError> {
+    let mut b = BreakerConfig::default();
+    if let Some(t) = cb.get("threshold") {
+        let t = t.as_u64().ok_or_else(|| {
+            ConfigError::Schema("circuit_breaker.threshold must be an int".into())
+        })?;
+        if t == 0 {
+            return Err(ConfigError::Schema(
+                "circuit_breaker.threshold must be >= 1".into(),
+            ));
+        }
+        b.threshold = t as u32;
+    }
+    if let Some(c) = cb.get("cooldown_ms") {
+        b.cooldown = Duration::from_millis(c.as_u64().ok_or_else(|| {
+            ConfigError::Schema("circuit_breaker.cooldown_ms must be an int".into())
+        })?);
+    }
+    Ok(b)
+}
+
+fn parse_fault_plan(fp: &Json) -> Result<FaultPlan, ConfigError> {
+    let mut plan = FaultPlan::default();
+    if let Some(s) = fp.get("seed") {
+        plan.seed = s
+            .as_u64()
+            .ok_or_else(|| ConfigError::Schema("fault_plan.seed must be an int".into()))?;
+    }
+    let pct = |j: &Json, key: &str| -> Result<f64, ConfigError> {
+        let p = j
+            .as_f64()
+            .ok_or_else(|| ConfigError::Schema(format!("fault_plan.{key} must be a number")))?;
+        if !(0.0..=100.0).contains(&p) {
+            return Err(ConfigError::Schema(format!(
+                "fault_plan.{key} must be in 0..=100"
+            )));
+        }
+        Ok(p)
+    };
+    if let Some(p) = fp.get("instantiation_failure_pct") {
+        plan.instantiation_failure_pct = pct(p, "instantiation_failure_pct")?;
+    }
+    if let Some(p) = fp.get("host_trap_pct") {
+        plan.host_trap_pct = pct(p, "host_trap_pct")?;
+    }
+    if let Some(p) = fp.get("host_latency_pct") {
+        plan.host_latency_pct = pct(p, "host_latency_pct")?;
+    }
+    if let Some(l) = fp.get("host_latency_us") {
+        plan.host_latency = Duration::from_micros(l.as_u64().ok_or_else(|| {
+            ConfigError::Schema("fault_plan.host_latency_us must be an int".into())
+        })?);
+    }
+    Ok(plan)
 }
 
 fn parse_function(m: &Json) -> Result<FunctionConfig, ConfigError> {
@@ -236,6 +353,11 @@ fn parse_function(m: &Json) -> Result<FunctionConfig, ConfigError> {
             .as_str()
             .ok_or_else(|| ConfigError::Schema("entry must be a string".into()))?
             .to_string();
+    }
+    if let Some(d) = m.get("deadline_ms") {
+        f.deadline = Some(Duration::from_millis(d.as_u64().ok_or_else(|| {
+            ConfigError::Schema("module deadline_ms must be a non-negative int".into())
+        })?));
     }
     Ok(f)
 }
@@ -286,5 +408,63 @@ mod tests {
         assert!(RuntimeConfig::from_json(r#"{"bounds": "bogus"}"#).is_err());
         assert!(RuntimeConfig::from_json(r#"{"modules": [{}]}"#).is_err());
         assert!(RuntimeConfig::from_json("{").is_err());
+    }
+
+    #[test]
+    fn resilience_knobs_parsed() {
+        let text = r#"{
+            "deadline_ms": 250,
+            "conn_idle_ms": 7000,
+            "circuit_breaker": {"threshold": 3, "cooldown_ms": 200},
+            "fault_plan": {
+                "seed": 42,
+                "instantiation_failure_pct": 5,
+                "host_trap_pct": 2.5,
+                "host_latency_pct": 10,
+                "host_latency_us": 1500
+            },
+            "modules": [
+                {"name": "echo", "deadline_ms": 50},
+                {"name": "slow"}
+            ]
+        }"#;
+        let (cfg, funcs) = RuntimeConfig::from_json(text).unwrap();
+        assert_eq!(cfg.deadline, Some(Duration::from_millis(250)));
+        assert_eq!(cfg.conn_idle, Duration::from_millis(7000));
+        let cb = cfg.circuit_breaker.unwrap();
+        assert_eq!(cb.threshold, 3);
+        assert_eq!(cb.cooldown, Duration::from_millis(200));
+        let fp = cfg.fault_plan.unwrap();
+        assert_eq!(fp.seed, 42);
+        assert_eq!(fp.instantiation_failure_pct, 5.0);
+        assert_eq!(fp.host_trap_pct, 2.5);
+        assert_eq!(fp.host_latency_pct, 10.0);
+        assert_eq!(fp.host_latency, Duration::from_micros(1500));
+        assert_eq!(funcs[0].deadline, Some(Duration::from_millis(50)));
+        assert_eq!(funcs[1].deadline, None);
+    }
+
+    #[test]
+    fn resilience_knobs_default_off() {
+        let (cfg, _) = RuntimeConfig::from_json("{}").unwrap();
+        assert_eq!(cfg.deadline, None);
+        assert!(cfg.circuit_breaker.is_none());
+        assert!(cfg.fault_plan.is_none());
+        assert_eq!(cfg.conn_idle, Duration::from_secs(10));
+    }
+
+    #[test]
+    fn resilience_schema_errors() {
+        assert!(RuntimeConfig::from_json(r#"{"deadline_ms": "x"}"#).is_err());
+        assert!(RuntimeConfig::from_json(r#"{"deadline_ms": -5}"#).is_err());
+        assert!(RuntimeConfig::from_json(r#"{"circuit_breaker": {"threshold": 0}}"#).is_err());
+        assert!(RuntimeConfig::from_json(r#"{"circuit_breaker": {"cooldown_ms": "x"}}"#).is_err());
+        assert!(RuntimeConfig::from_json(r#"{"fault_plan": {"host_trap_pct": 101}}"#).is_err());
+        assert!(RuntimeConfig::from_json(r#"{"fault_plan": {"host_trap_pct": -1}}"#).is_err());
+        assert!(RuntimeConfig::from_json(r#"{"conn_idle_ms": 1.5}"#).is_err());
+        assert!(
+            RuntimeConfig::from_json(r#"{"modules": [{"name": "a", "deadline_ms": "x"}]}"#)
+                .is_err()
+        );
     }
 }

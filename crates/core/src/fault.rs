@@ -1,0 +1,168 @@
+//! Deterministic fault injection at the sandbox/host boundary.
+//!
+//! A [`FaultPlan`] is a pure function from (seed, invocation sequence
+//! number, host-call index) to a fault decision, so a chaos run with a
+//! fixed seed makes the same per-invocation decisions on every execution
+//! regardless of thread interleaving. The listener assigns each accepted
+//! invocation a monotonically increasing sequence number; the plan decides
+//! whether that invocation's instantiation fails, and whether each of its
+//! logical host calls traps or incurs artificial latency.
+//!
+//! Used by the chaos tests to prove the resilience invariants (every
+//! accepted invocation yields exactly one completion, deadlines fire,
+//! breakers trip and recover) under adverse conditions.
+
+use std::time::Duration;
+
+/// A deterministic, seeded fault-injection plan. All probabilities are in
+/// percent (0.0 disables the fault class).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed shared by every decision; two runtimes with the same seed and
+    /// the same invocation order make identical decisions.
+    pub seed: u64,
+    /// Percent of invocations whose sandbox instantiation fails (rejected
+    /// before execution, exercising the listener's failure path).
+    pub instantiation_failure_pct: f64,
+    /// Percent of logical host calls that trap.
+    pub host_trap_pct: f64,
+    /// Percent of logical host calls that incur artificial latency (the
+    /// sandbox blocks as if on slow I/O, then the call proceeds normally).
+    pub host_latency_pct: f64,
+    /// Artificial latency injected when `host_latency_pct` fires.
+    pub host_latency: Duration,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            instantiation_failure_pct: 0.0,
+            host_trap_pct: 0.0,
+            host_latency_pct: 0.0,
+            host_latency: Duration::ZERO,
+        }
+    }
+}
+
+/// splitmix64 finalizer: a high-quality 64-bit mix.
+fn mix(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl FaultPlan {
+    /// A plan with the given seed and no faults armed (builder start point).
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// Uniform sample in [0, 100) derived purely from (seed, seq, salt).
+    fn roll(&self, seq: u64, salt: u64) -> f64 {
+        let x = mix(self.seed
+            ^ seq.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ salt.wrapping_mul(0xD6E8_FEB8_6659_FD93));
+        // 53 high bits → uniform f64 in [0, 1), scaled to percent.
+        (x >> 11) as f64 / (1u64 << 53) as f64 * 100.0
+    }
+
+    /// Whether invocation `seq`'s sandbox instantiation fails.
+    pub fn fail_instantiation(&self, seq: u64) -> bool {
+        self.instantiation_failure_pct > 0.0 && self.roll(seq, 1) < self.instantiation_failure_pct
+    }
+
+    /// Whether logical host call `call` of invocation `seq` traps.
+    pub fn trap_host_call(&self, seq: u64, call: u64) -> bool {
+        self.host_trap_pct > 0.0 && self.roll(seq ^ mix(call), 2) < self.host_trap_pct
+    }
+
+    /// Artificial latency for logical host call `call` of invocation `seq`,
+    /// if the latency fault fires.
+    pub fn delay_host_call(&self, seq: u64, call: u64) -> Option<Duration> {
+        if self.host_latency_pct > 0.0 && self.roll(seq ^ mix(call), 3) < self.host_latency_pct {
+            Some(self.host_latency)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let a = FaultPlan {
+            seed: 42,
+            instantiation_failure_pct: 30.0,
+            host_trap_pct: 10.0,
+            host_latency_pct: 20.0,
+            host_latency: Duration::from_millis(1),
+        };
+        let b = a;
+        for seq in 0..1000 {
+            assert_eq!(a.fail_instantiation(seq), b.fail_instantiation(seq));
+            for call in 0..8 {
+                assert_eq!(a.trap_host_call(seq, call), b.trap_host_call(seq, call));
+                assert_eq!(a.delay_host_call(seq, call), b.delay_host_call(seq, call));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_pct_never_fires() {
+        let p = FaultPlan::seeded(7);
+        for seq in 0..1000 {
+            assert!(!p.fail_instantiation(seq));
+            assert!(!p.trap_host_call(seq, seq));
+            assert!(p.delay_host_call(seq, seq).is_none());
+        }
+    }
+
+    #[test]
+    fn hundred_pct_always_fires() {
+        let p = FaultPlan {
+            seed: 7,
+            instantiation_failure_pct: 100.0,
+            host_trap_pct: 100.0,
+            host_latency_pct: 100.0,
+            host_latency: Duration::from_micros(10),
+        };
+        for seq in 0..100 {
+            assert!(p.fail_instantiation(seq));
+            assert!(p.trap_host_call(seq, 0));
+            assert_eq!(p.delay_host_call(seq, 0), Some(Duration::from_micros(10)));
+        }
+    }
+
+    #[test]
+    fn rates_are_roughly_proportional() {
+        let p = FaultPlan {
+            seed: 99,
+            instantiation_failure_pct: 25.0,
+            ..Default::default()
+        };
+        let hits = (0..10_000).filter(|&s| p.fail_instantiation(s)).count();
+        // 25% ± 3% over 10k trials.
+        assert!((2200..=2800).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultPlan {
+            seed: 1,
+            instantiation_failure_pct: 50.0,
+            ..Default::default()
+        };
+        let b = FaultPlan { seed: 2, ..a };
+        let divergent = (0..256).any(|s| a.fail_instantiation(s) != b.fail_instantiation(s));
+        assert!(divergent);
+    }
+}

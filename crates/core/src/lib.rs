@@ -54,6 +54,7 @@
 //! ```
 
 mod config;
+mod fault;
 mod json;
 mod listener;
 mod registry;
@@ -61,12 +62,15 @@ mod sandbox;
 mod stats;
 mod worker;
 
-pub use config::{num_cpus, ConfigError, FunctionConfig, RuntimeConfig, SchedPolicy};
+pub use config::{
+    num_cpus, BreakerConfig, ConfigError, FunctionConfig, RuntimeConfig, SchedPolicy,
+};
+pub use fault::FaultPlan;
 pub use json::{parse as parse_json, Json, JsonError};
 pub use listener::AnyResponder;
 pub use registry::{FunctionId, RegisterError, RegisteredFunction, Registry};
 pub use sandbox::{Completion, Outcome, Sandbox, SandboxHost, Timings};
-pub use stats::{FunctionStats, FunctionStatsSnapshot, RuntimeStats, StatsSnapshot};
+pub use stats::{BreakerState, FunctionStats, FunctionStatsSnapshot, RuntimeStats, StatsSnapshot};
 
 use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
@@ -75,10 +79,10 @@ use parking_lot::RwLock;
 use sledge_http::PollServer;
 use std::io;
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// State shared between the listener, workers, and timer.
 pub(crate) struct Shared {
@@ -87,8 +91,27 @@ pub(crate) struct Shared {
     pub stats: RuntimeStats,
     pub epoch: Instant,
     pub shutdown: AtomicBool,
+    /// Intake stopped: the listener rejects new work but in-flight
+    /// invocations keep running (graceful drain).
+    pub draining: AtomicBool,
+    /// Drain timeout expired: workers kill their entire backlog with
+    /// `TimedOut` completions.
+    pub force_kill: AtomicBool,
     /// Sandboxes injected but not yet picked up by a worker.
     pub pending: AtomicUsize,
+    /// Accepted invocations whose completion has not yet been delivered
+    /// (counts queued, parked, and running sandboxes).
+    pub inflight: AtomicUsize,
+    /// Invocation sequence numbers (assigned at admission; fault-injection
+    /// decisions key off them).
+    pub seq: AtomicU64,
+}
+
+impl Shared {
+    /// Epoch-relative monotonic nanoseconds (the breaker's clock).
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
 }
 
 /// Handle to a single in-flight invocation.
@@ -136,7 +159,11 @@ impl Runtime {
 
     fn build(config: RuntimeConfig, http: Option<SocketAddr>) -> io::Result<Runtime> {
         let server = match http {
-            Some(addr) => Some(PollServer::bind(addr, config.max_request_size)?),
+            Some(addr) => Some(PollServer::bind(
+                addr,
+                config.max_request_size,
+                config.conn_idle,
+            )?),
             None => None,
         };
         let http_addr = match &server {
@@ -151,7 +178,11 @@ impl Runtime {
             stats: RuntimeStats::default(),
             epoch: Instant::now(),
             shutdown: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            force_kill: AtomicBool::new(false),
             pending: AtomicUsize::new(0),
+            inflight: AtomicUsize::new(0),
+            seq: AtomicU64::new(0),
         });
 
         let (deque, stealer) = sledge_deque::deque::<Box<Sandbox>>();
@@ -188,12 +219,7 @@ impl Runtime {
                     .name("sledge-listener".into())
                     .spawn(move || {
                         listener::listener_loop(
-                            shared,
-                            deque,
-                            intake_rx,
-                            server,
-                            reply_rx,
-                            reply_tx,
+                            shared, deque, intake_rx, server, reply_rx, reply_tx,
                         )
                     })
                     .expect("spawn listener"),
@@ -296,6 +322,54 @@ impl Runtime {
     /// Number of requests injected but not yet started.
     pub fn pending(&self) -> usize {
         self.shared.pending.load(Ordering::Relaxed)
+    }
+
+    /// Number of accepted invocations whose completion has not yet been
+    /// delivered (queued, parked on I/O, or running).
+    pub fn inflight(&self) -> usize {
+        self.shared.inflight.load(Ordering::Acquire)
+    }
+
+    /// Stop accepting new work without stopping execution. Subsequent
+    /// requests are rejected with 503 while in-flight invocations continue;
+    /// pair with [`Runtime::shutdown_drain`] to finish the shutdown.
+    pub fn begin_drain(&self) {
+        self.shared.draining.store(true, Ordering::Release);
+        let _ = self.intake.send(Intake::Wake);
+    }
+
+    /// Graceful shutdown: stop intake, wait up to `timeout` for every
+    /// in-flight invocation to complete, then stop all threads.
+    ///
+    /// Returns `true` if the backlog drained within the timeout. On `false`
+    /// the remaining backlog is force-killed first — every straggler still
+    /// receives a `TimedOut` completion (bounded by a few quanta of grace)
+    /// before the threads are joined, so no accepted invocation is left
+    /// without an answer.
+    pub fn shutdown_drain(mut self, timeout: Duration) -> bool {
+        self.begin_drain();
+        let deadline = Instant::now() + timeout;
+        let drained = loop {
+            if self.shared.inflight.load(Ordering::Acquire) == 0 {
+                break true;
+            }
+            if Instant::now() >= deadline {
+                break false;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        };
+        if !drained {
+            self.shared.force_kill.store(true, Ordering::Release);
+            // Grace for workers to sweep their queues and for the timer to
+            // preempt whatever is currently running.
+            let grace = self.shared.config.quantum * 4 + Duration::from_millis(50);
+            let kill_by = Instant::now() + grace;
+            while self.shared.inflight.load(Ordering::Acquire) > 0 && Instant::now() < kill_by {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+        self.shutdown_inner();
+        drained
     }
 
     /// Stop all threads and drop in-flight work. Waiting invokers receive

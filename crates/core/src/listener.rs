@@ -47,8 +47,16 @@ impl AnyResponder {
                         StatusCode::InternalServerError,
                         &format!("function trapped: {t}"),
                     ),
-                    Outcome::Rejected(why) => {
-                        Response::error(StatusCode::ServiceUnavailable, why)
+                    Outcome::Rejected(why) => Response::error(StatusCode::ServiceUnavailable, why),
+                    Outcome::TimedOut => {
+                        Response::error(StatusCode::GatewayTimeout, "function deadline exceeded")
+                    }
+                    Outcome::CircuitOpen { retry_after } => {
+                        // Round the hint up to whole seconds, minimum 1, per
+                        // the header's coarse granularity.
+                        let secs = retry_after.as_secs_f64().ceil().max(1.0) as u64;
+                        Response::error(StatusCode::ServiceUnavailable, "circuit breaker open")
+                            .header("Retry-After", &secs.to_string())
                     }
                 };
                 let _ = reply.send((conn, resp.to_bytes()));
@@ -70,14 +78,12 @@ pub(crate) enum Intake {
     Wake,
 }
 
-fn reject(shared: &Shared, function: FunctionId, responder: AnyResponder, why: &'static str) {
-    shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
-    let now = Instant::now();
+fn deliver_now(function: FunctionId, responder: AnyResponder, outcome: Outcome) {
     responder.deliver(Completion {
         function,
-        outcome: Outcome::Rejected(why),
+        outcome,
         timings: Timings {
-            arrival: now,
+            arrival: Instant::now(),
             instantiation: Duration::ZERO,
             queue_delay: Duration::ZERO,
             execution: Duration::ZERO,
@@ -85,6 +91,11 @@ fn reject(shared: &Shared, function: FunctionId, responder: AnyResponder, why: &
             preemptions: 0,
         },
     });
+}
+
+fn reject(shared: &Shared, function: FunctionId, responder: AnyResponder, why: &'static str) {
+    shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+    deliver_now(function, responder, Outcome::Rejected(why));
 }
 
 /// Instantiate and inject one request. Runs on the listener thread.
@@ -95,6 +106,10 @@ fn admit(
     body: Bytes,
     responder: AnyResponder,
 ) {
+    if shared.draining.load(Ordering::Acquire) {
+        reject(shared, function, responder, "draining");
+        return;
+    }
     if shared.pending.load(Ordering::Relaxed) >= shared.config.max_pending {
         reject(shared, function, responder, "admission queue full");
         return;
@@ -103,28 +118,75 @@ fn admit(
         reject(shared, function, responder, "unknown function");
         return;
     };
+    // Circuit breaker gate: fast-reject tripped functions; a single
+    // half-open probe is admitted per cooldown.
+    let mut is_probe = false;
+    if let Some(cb) = &shared.config.circuit_breaker {
+        match rf.stats.breaker_admit(cb, shared.now_ns()) {
+            Ok(probe) => is_probe = probe,
+            Err(retry_after) => {
+                shared
+                    .stats
+                    .breaker_rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                deliver_now(function, responder, Outcome::CircuitOpen { retry_after });
+                return;
+            }
+        }
+    }
+    // Any reject path past this point must tell the breaker the probe died
+    // unexecuted, or it would stay half-open forever.
+    let probe_rejected = |rf: &crate::registry::RegisteredFunction| {
+        if is_probe {
+            rf.stats.breaker_probe_rejected(shared.now_ns());
+        }
+    };
+    let seq = shared.seq.fetch_add(1, Ordering::Relaxed);
+    if let Some(plan) = &shared.config.fault_plan {
+        if plan.fail_instantiation(seq) {
+            probe_rejected(&rf);
+            reject(shared, function, responder, "instantiation failed");
+            return;
+        }
+    }
     let engine = EngineConfig {
         bounds: shared.config.bounds,
         tier: shared.config.tier,
         ..Default::default()
     };
     // The µs-level function startup path: allocate + start.
-    let mut sandbox = match Sandbox::new(rf, engine, body, responder, shared.epoch) {
+    let mut sandbox = match Sandbox::new(Arc::clone(&rf), engine, body, responder, shared.epoch) {
         Ok(s) => s,
-        Err(_) => {
-            // Responder was moved into the failed sandbox only on success;
-            // reconstruct a rejection path. (Instantiation failures are
-            // configuration bugs, e.g. data segments out of bounds.)
-            shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+        Err((_, responder)) => {
+            // Instantiation failures are configuration bugs (e.g. data
+            // segments out of bounds) — but the client still gets an
+            // answer instead of a hung connection.
+            probe_rejected(&rf);
+            reject(shared, function, responder, "instantiation failed");
             return;
         }
     };
     if sandbox.start().is_err() {
-        reject(shared, function, sandbox.responder_take(), "bad entry point");
+        probe_rejected(&sandbox.function);
+        reject(
+            shared,
+            function,
+            sandbox.responder_take(),
+            "bad entry point",
+        );
         return;
+    }
+    sandbox.breaker_probe = is_probe;
+    sandbox.deadline = sandbox
+        .function
+        .effective_deadline(shared.config.deadline)
+        .map(|d| sandbox.arrival + d);
+    if let Some(plan) = &shared.config.fault_plan {
+        sandbox.set_fault(*plan, seq);
     }
     shared.stats.record_instantiation(sandbox.instantiation);
     shared.pending.fetch_add(1, Ordering::Relaxed);
+    shared.inflight.fetch_add(1, Ordering::AcqRel);
     deque.push(sandbox);
 }
 

@@ -10,6 +10,7 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Identifier of a registered function.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -28,6 +29,14 @@ pub struct RegisteredFunction {
     pub wasm_size: usize,
     /// Per-function counters, updated by the workers.
     pub stats: FunctionStats,
+}
+
+impl RegisteredFunction {
+    /// The execution deadline in force for this function: its own override
+    /// if set, else the runtime-wide default.
+    pub fn effective_deadline(&self, default: Option<Duration>) -> Option<Duration> {
+        self.config.deadline.or(default)
+    }
 }
 
 /// Registration failure.

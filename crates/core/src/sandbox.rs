@@ -4,10 +4,11 @@
 //! buffer, and the host-call surface the guest sees (the paper's
 //! stdin/stdout-over-HTTP plus asynchronous I/O).
 
+use crate::fault::FaultPlan;
 use crate::registry::{FunctionId, RegisteredFunction};
 use awsm::{
-    EngineConfig, Host, HostImport, HostOutcome, Instance, InstanceError, LinearMemory,
-    StepResult, Trap,
+    EngineConfig, Host, HostImport, HostOutcome, Instance, InstanceError, LinearMemory, StepResult,
+    Trap,
 };
 use bytes::Bytes;
 use std::sync::Arc;
@@ -22,6 +23,14 @@ pub enum Outcome {
     Trapped(Trap),
     /// Request rejected before execution (admission control or routing).
     Rejected(&'static str),
+    /// Guest killed at its execution deadline.
+    TimedOut,
+    /// Request fast-rejected because the function's circuit breaker is
+    /// open; `retry_after` hints when the next probe will be admitted.
+    CircuitOpen {
+        /// Suggested client back-off.
+        retry_after: Duration,
+    },
 }
 
 /// Timing record for one request, used by the benchmark harness.
@@ -65,6 +74,18 @@ pub struct SandboxHost {
     pub io_deadline: Option<Instant>,
     /// Total host calls serviced (for tests/metrics).
     pub calls: u64,
+    /// Fault-injection plan, if chaos testing is enabled.
+    fault: Option<FaultPlan>,
+    /// Listener-assigned invocation sequence number (fault decisions key
+    /// off it).
+    seq: u64,
+    /// Logical host-call index: advances only on fresh calls, not on
+    /// re-issues of a blocked call, so fault decisions are independent of
+    /// scheduling timing.
+    logical_calls: u64,
+    /// Deadline of an injected-latency stall (mirrors into `io_deadline`
+    /// so workers park the sandbox like real blocked I/O).
+    fault_delay: Option<Instant>,
 }
 
 impl SandboxHost {
@@ -75,6 +96,10 @@ impl SandboxHost {
             epoch,
             io_deadline: None,
             calls: 0,
+            fault: None,
+            seq: 0,
+            logical_calls: 0,
+            fault_delay: None,
         }
     }
 }
@@ -88,6 +113,33 @@ impl Host for SandboxHost {
         memory: &mut LinearMemory,
     ) -> HostOutcome {
         self.calls += 1;
+        // Fault injection runs before dispatch. An armed injected stall is
+        // serviced like blocked I/O (re-issues stay Pending until its
+        // deadline); a fresh call consumes one logical index and may trap
+        // or stall per the plan. Re-issues of a genuinely blocked call
+        // (io_deadline armed) bypass injection entirely so decisions stay
+        // deterministic under any scheduling interleaving.
+        if let Some(d) = self.fault_delay {
+            if Instant::now() < d {
+                return HostOutcome::Pending;
+            }
+            self.fault_delay = None;
+            self.io_deadline = None;
+        } else if self.io_deadline.is_none() {
+            let idx = self.logical_calls;
+            self.logical_calls += 1;
+            if let Some(plan) = self.fault {
+                if plan.trap_host_call(self.seq, idx) {
+                    return HostOutcome::Trap(Trap::Unreachable);
+                }
+                if let Some(delay) = plan.delay_host_call(self.seq, idx) {
+                    let deadline = Instant::now() + delay;
+                    self.fault_delay = Some(deadline);
+                    self.io_deadline = Some(deadline);
+                    return HostOutcome::Pending;
+                }
+            }
+        }
         if import.module != "env" {
             return HostOutcome::Trap(Trap::Unreachable);
         }
@@ -121,9 +173,7 @@ impl Host for SandboxHost {
                 }
             }
             // i64 clock_ns()
-            "clock_ns" => {
-                HostOutcome::Value(self.epoch.elapsed().as_nanos() as u64)
-            }
+            "clock_ns" => HostOutcome::Value(self.epoch.elapsed().as_nanos() as u64),
             // i32 io_delay(micros: i32) — emulated asynchronous I/O: the
             // first call arms a deadline and blocks; re-issues complete once
             // the deadline passes.
@@ -167,6 +217,12 @@ pub struct Sandbox {
     pub exec_time: Duration,
     /// Preemption count.
     pub preemptions: u32,
+    /// Wall-clock execution deadline; workers kill the sandbox with
+    /// [`Outcome::TimedOut`] when it is (re)scheduled past this instant.
+    pub deadline: Option<Instant>,
+    /// Whether this invocation is a circuit breaker's half-open probe (its
+    /// outcome decides whether the breaker closes or re-opens).
+    pub breaker_probe: bool,
 }
 
 impl Sandbox {
@@ -175,16 +231,21 @@ impl Sandbox {
     ///
     /// # Errors
     ///
-    /// Propagates [`InstanceError`] (e.g. data segments out of bounds).
+    /// On [`InstanceError`] (e.g. data segments out of bounds) the
+    /// responder is handed back so the caller can still deliver a
+    /// completion — a failed instantiation must not strand the client.
     pub fn new(
         function: Arc<RegisteredFunction>,
         engine: EngineConfig,
         body: Bytes,
         responder: crate::listener::AnyResponder,
         epoch: Instant,
-    ) -> Result<Box<Sandbox>, InstanceError> {
+    ) -> Result<Box<Sandbox>, (InstanceError, crate::listener::AnyResponder)> {
         let arrival = Instant::now();
-        let instance = Instance::new(Arc::clone(&function.module), engine)?;
+        let instance = match Instance::new(Arc::clone(&function.module), engine) {
+            Ok(i) => i,
+            Err(e) => return Err((e, responder)),
+        };
         let instantiation = arrival.elapsed();
         Ok(Box::new(Sandbox {
             function,
@@ -196,7 +257,16 @@ impl Sandbox {
             first_run: None,
             exec_time: Duration::ZERO,
             preemptions: 0,
+            deadline: None,
+            breaker_probe: false,
         }))
+    }
+
+    /// Attach a fault-injection plan and this invocation's sequence number
+    /// (decisions key off both).
+    pub fn set_fault(&mut self, plan: FaultPlan, seq: u64) {
+        self.host.fault = Some(plan);
+        self.host.seq = seq;
     }
 
     /// Start the entry function. Must be called once before `run_quantum`.

@@ -1,6 +1,8 @@
-//! Global runtime counters, exported for tests, examples, and benchmarks.
+//! Global runtime counters, exported for tests, examples, and benchmarks,
+//! plus the per-function circuit breaker state machine.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::config::BreakerConfig;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::time::Duration;
 
 /// Monotonic counters updated by the listener and workers.
@@ -14,6 +16,11 @@ pub struct RuntimeStats {
     pub completed: AtomicU64,
     /// Requests that trapped.
     pub trapped: AtomicU64,
+    /// Requests killed at their execution deadline.
+    pub timed_out: AtomicU64,
+    /// Requests fast-rejected by a tripped circuit breaker (counted
+    /// separately from admission-control `rejected`).
+    pub breaker_rejected: AtomicU64,
     /// Sandboxes stolen from the global deque by workers.
     pub steals: AtomicU64,
     /// Preemptions performed.
@@ -41,6 +48,8 @@ impl RuntimeStats {
             rejected: self.rejected.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
             trapped: self.trapped.load(Ordering::Relaxed),
+            timed_out: self.timed_out.load(Ordering::Relaxed),
+            breaker_rejected: self.breaker_rejected.load(Ordering::Relaxed),
             steals: self.steals.load(Ordering::Relaxed),
             preemptions: self.preemptions.load(Ordering::Relaxed),
             blocked: self.blocked.load(Ordering::Relaxed),
@@ -57,6 +66,8 @@ pub struct StatsSnapshot {
     pub rejected: u64,
     pub completed: u64,
     pub trapped: u64,
+    pub timed_out: u64,
+    pub breaker_rejected: u64,
     pub steals: u64,
     pub preemptions: u64,
     pub blocked: u64,
@@ -67,13 +78,27 @@ pub struct StatsSnapshot {
 impl StatsSnapshot {
     /// Mean instantiation time, if any requests were admitted.
     pub fn mean_instantiation(&self) -> Option<Duration> {
-        if self.admitted == 0 {
-            None
-        } else {
-            Some(Duration::from_nanos(self.instantiation_ns / self.admitted))
-        }
+        self.instantiation_ns
+            .checked_div(self.admitted)
+            .map(Duration::from_nanos)
     }
 }
+
+/// Circuit breaker state for one function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Normal operation; requests flow through.
+    Closed,
+    /// Tripped; requests are fast-rejected until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed; exactly one probe is in flight, everything else is
+    /// still rejected.
+    HalfOpen,
+}
+
+const BREAKER_CLOSED: u8 = 0;
+const BREAKER_OPEN: u8 = 1;
+const BREAKER_HALF_OPEN: u8 = 2;
 
 /// Per-function counters, attached to each registered function.
 #[derive(Debug, Default)]
@@ -82,17 +107,125 @@ pub struct FunctionStats {
     pub completed: AtomicU64,
     /// Requests that trapped.
     pub trapped: AtomicU64,
+    /// Requests killed at their execution deadline.
+    pub timed_out: AtomicU64,
     /// Total guest execution time in nanoseconds.
     pub execution_ns: AtomicU64,
+    /// Consecutive traps/timeouts since the last success.
+    consecutive_failures: AtomicU32,
+    /// Encoded [`BreakerState`].
+    breaker_state: AtomicU8,
+    /// Epoch-relative nanoseconds of the last state transition (the value
+    /// that cooldowns are measured from).
+    breaker_since_ns: AtomicU64,
+    /// Times the breaker has tripped Closed/HalfOpen → Open.
+    pub breaker_trips: AtomicU64,
 }
 
 impl FunctionStats {
+    /// Current breaker state.
+    pub fn breaker_state(&self) -> BreakerState {
+        match self.breaker_state.load(Ordering::Acquire) {
+            BREAKER_OPEN => BreakerState::Open,
+            BREAKER_HALF_OPEN => BreakerState::HalfOpen,
+            _ => BreakerState::Closed,
+        }
+    }
+
+    /// Admission decision for one request at `now_ns` (epoch-relative).
+    ///
+    /// Returns `Ok(is_probe)` when the request may proceed — `is_probe` is
+    /// true iff this request won the transition to half-open and its outcome
+    /// decides the breaker's fate — or `Err(retry_after)` when the breaker
+    /// rejects it.
+    pub fn breaker_admit(&self, cfg: &BreakerConfig, now_ns: u64) -> Result<bool, Duration> {
+        loop {
+            match self.breaker_state.load(Ordering::Acquire) {
+                BREAKER_CLOSED => return Ok(false),
+                BREAKER_HALF_OPEN => return Err(cfg.cooldown),
+                BREAKER_OPEN => {
+                    let since = self.breaker_since_ns.load(Ordering::Acquire);
+                    let elapsed = now_ns.saturating_sub(since);
+                    let cooldown_ns = cfg.cooldown.as_nanos() as u64;
+                    if elapsed < cooldown_ns {
+                        return Err(Duration::from_nanos(cooldown_ns - elapsed));
+                    }
+                    // Cooldown elapsed: race to become the half-open probe.
+                    if self
+                        .breaker_state
+                        .compare_exchange(
+                            BREAKER_OPEN,
+                            BREAKER_HALF_OPEN,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        )
+                        .is_ok()
+                    {
+                        self.breaker_since_ns.store(now_ns, Ordering::Release);
+                        return Ok(true);
+                    }
+                    // Lost the race; re-read the state.
+                }
+                _ => return Ok(false),
+            }
+        }
+    }
+
+    /// Record an execution outcome for breaker purposes. `success` covers
+    /// normal completion; traps and timeouts are failures. No-op when
+    /// breakers are disabled (`cfg` is `None`).
+    pub fn breaker_record(&self, cfg: Option<&BreakerConfig>, success: bool, now_ns: u64) {
+        let Some(cfg) = cfg else { return };
+        if success {
+            self.consecutive_failures.store(0, Ordering::Release);
+            // A success closes the breaker regardless of prior state (the
+            // half-open probe succeeded, or a straggler admitted before the
+            // trip completed fine).
+            self.breaker_state.store(BREAKER_CLOSED, Ordering::Release);
+            return;
+        }
+        let fails = self.consecutive_failures.fetch_add(1, Ordering::AcqRel) + 1;
+        let state = self.breaker_state.load(Ordering::Acquire);
+        if state == BREAKER_HALF_OPEN || (state == BREAKER_CLOSED && fails >= cfg.threshold) {
+            self.trip(now_ns);
+        }
+    }
+
+    /// A probe that was admitted half-open but then rejected before running
+    /// (e.g. instantiation failed, drain started) must re-open the breaker,
+    /// or it would stay half-open forever with no outcome to decide it.
+    pub fn breaker_probe_rejected(&self, now_ns: u64) {
+        if self
+            .breaker_state
+            .compare_exchange(
+                BREAKER_HALF_OPEN,
+                BREAKER_OPEN,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok()
+        {
+            self.breaker_since_ns.store(now_ns, Ordering::Release);
+            self.breaker_trips.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn trip(&self, now_ns: u64) {
+        let prev = self.breaker_state.swap(BREAKER_OPEN, Ordering::AcqRel);
+        self.breaker_since_ns.store(now_ns, Ordering::Release);
+        if prev != BREAKER_OPEN {
+            self.breaker_trips.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// A point-in-time copy.
     pub fn snapshot(&self) -> FunctionStatsSnapshot {
         FunctionStatsSnapshot {
             completed: self.completed.load(Ordering::Relaxed),
             trapped: self.trapped.load(Ordering::Relaxed),
+            timed_out: self.timed_out.load(Ordering::Relaxed),
             execution_ns: self.execution_ns.load(Ordering::Relaxed),
+            breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
         }
     }
 }
@@ -102,17 +235,107 @@ impl FunctionStats {
 pub struct FunctionStatsSnapshot {
     pub completed: u64,
     pub trapped: u64,
+    pub timed_out: u64,
     pub execution_ns: u64,
+    pub breaker_trips: u64,
 }
 
 impl FunctionStatsSnapshot {
     /// Mean guest execution time per completed request.
     pub fn mean_execution(&self) -> Option<Duration> {
-        let n = self.completed + self.trapped;
-        if n == 0 {
-            None
-        } else {
-            Some(Duration::from_nanos(self.execution_ns / n))
+        let n = self.completed + self.trapped + self.timed_out;
+        self.execution_ns.checked_div(n).map(Duration::from_nanos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: u64 = 1_000_000;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig {
+            threshold: 3,
+            cooldown: Duration::from_millis(100),
         }
+    }
+
+    #[test]
+    fn breaker_trips_at_threshold_and_recovers() {
+        let s = FunctionStats::default();
+        let cb = cfg();
+        // Two failures: still closed.
+        s.breaker_record(Some(&cb), false, 0);
+        s.breaker_record(Some(&cb), false, MS);
+        assert_eq!(s.breaker_state(), BreakerState::Closed);
+        assert_eq!(s.breaker_admit(&cb, 2 * MS), Ok(false));
+        // Third failure trips it.
+        s.breaker_record(Some(&cb), false, 2 * MS);
+        assert_eq!(s.breaker_state(), BreakerState::Open);
+        let retry = s.breaker_admit(&cb, 10 * MS).unwrap_err();
+        assert_eq!(retry, Duration::from_millis(92));
+        // Cooldown elapsed: exactly one caller becomes the probe.
+        assert_eq!(s.breaker_admit(&cb, 103 * MS), Ok(true));
+        assert_eq!(s.breaker_state(), BreakerState::HalfOpen);
+        assert!(s.breaker_admit(&cb, 104 * MS).is_err());
+        // Probe succeeds → closed again, failure streak reset.
+        s.breaker_record(Some(&cb), true, 105 * MS);
+        assert_eq!(s.breaker_state(), BreakerState::Closed);
+        assert_eq!(s.breaker_admit(&cb, 106 * MS), Ok(false));
+        assert_eq!(s.breaker_trips.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let s = FunctionStats::default();
+        let cb = cfg();
+        for i in 0..3 {
+            s.breaker_record(Some(&cb), false, i * MS);
+        }
+        assert_eq!(s.breaker_admit(&cb, 200 * MS), Ok(true));
+        // Probe fails → open again for a fresh cooldown from the failure.
+        s.breaker_record(Some(&cb), false, 201 * MS);
+        assert_eq!(s.breaker_state(), BreakerState::Open);
+        assert!(s.breaker_admit(&cb, 250 * MS).is_err());
+        assert_eq!(s.breaker_admit(&cb, 302 * MS), Ok(true));
+        assert_eq!(s.breaker_trips.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn rejected_probe_reopens() {
+        let s = FunctionStats::default();
+        let cb = cfg();
+        for i in 0..3 {
+            s.breaker_record(Some(&cb), false, i * MS);
+        }
+        assert_eq!(s.breaker_admit(&cb, 150 * MS), Ok(true));
+        s.breaker_probe_rejected(150 * MS);
+        assert_eq!(s.breaker_state(), BreakerState::Open);
+        // And only from HalfOpen: a no-op if the state already moved on.
+        s.breaker_record(Some(&cb), true, 300 * MS);
+        s.breaker_probe_rejected(300 * MS);
+        assert_eq!(s.breaker_state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn success_resets_failure_streak() {
+        let s = FunctionStats::default();
+        let cb = cfg();
+        s.breaker_record(Some(&cb), false, 0);
+        s.breaker_record(Some(&cb), false, MS);
+        s.breaker_record(Some(&cb), true, 2 * MS);
+        s.breaker_record(Some(&cb), false, 3 * MS);
+        s.breaker_record(Some(&cb), false, 4 * MS);
+        assert_eq!(s.breaker_state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn disabled_breaker_never_trips() {
+        let s = FunctionStats::default();
+        for i in 0..100 {
+            s.breaker_record(None, false, i * MS);
+        }
+        assert_eq!(s.breaker_state(), BreakerState::Closed);
     }
 }

@@ -28,7 +28,10 @@ pub(crate) fn timer_loop(shared: Arc<Shared>, workers: Vec<Arc<WorkerShared>>) {
     loop {
         std::thread::sleep(shared.config.quantum);
         let down = shared.shutdown.load(Ordering::Acquire);
-        if preemptive || down {
+        // A force-killed drain must preempt even under run-to-completion so
+        // runaway guests come back to their worker to be killed.
+        let force = shared.force_kill.load(Ordering::Acquire);
+        if preemptive || down || force {
             for w in &workers {
                 if let Some(flag) = w.current.lock().as_ref() {
                     flag.store(true, Ordering::Relaxed);
@@ -43,17 +46,31 @@ pub(crate) fn timer_loop(shared: Arc<Shared>, workers: Vec<Arc<WorkerShared>>) {
 
 fn finish(shared: &Shared, mut sandbox: Box<Sandbox>, outcome: Outcome) {
     let fn_stats = &sandbox.function.stats;
+    let breaker = shared.config.circuit_breaker.as_ref();
     match &outcome {
         Outcome::Success(_) => {
             shared.stats.completed.fetch_add(1, Ordering::Relaxed);
             fn_stats.completed.fetch_add(1, Ordering::Relaxed);
+            fn_stats.breaker_record(breaker, true, shared.now_ns());
         }
         Outcome::Trapped(_) => {
             shared.stats.trapped.fetch_add(1, Ordering::Relaxed);
             fn_stats.trapped.fetch_add(1, Ordering::Relaxed);
+            fn_stats.breaker_record(breaker, false, shared.now_ns());
+        }
+        Outcome::TimedOut => {
+            shared.stats.timed_out.fetch_add(1, Ordering::Relaxed);
+            fn_stats.timed_out.fetch_add(1, Ordering::Relaxed);
+            fn_stats.breaker_record(breaker, false, shared.now_ns());
         }
         Outcome::Rejected(_) => {
             shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+        }
+        Outcome::CircuitOpen { .. } => {
+            shared
+                .stats
+                .breaker_rejected
+                .fetch_add(1, Ordering::Relaxed);
         }
     }
     let exec_ns = sandbox.exec_time.as_nanos() as u64;
@@ -72,6 +89,9 @@ fn finish(shared: &Shared, mut sandbox: Box<Sandbox>, outcome: Outcome) {
         outcome,
         timings,
     });
+    // Decrement only after delivery: `inflight == 0` during a drain means
+    // every accepted invocation's completion has been handed off.
+    shared.inflight.fetch_sub(1, Ordering::AcqRel);
 }
 
 /// The worker loop.
@@ -96,6 +116,24 @@ pub(crate) fn worker_loop(
         //    quantum, so this check is reached promptly).
         if shared.shutdown.load(Ordering::Acquire) {
             return;
+        }
+
+        // 0b. Force-killed drain: the drain timeout expired, so the entire
+        //     local backlog (parked, queued, and still-unstolen) is killed
+        //     with TimedOut — every accepted invocation still gets exactly
+        //     one completion. The listener stopped admitting when the drain
+        //     began, so nothing new arrives behind this sweep.
+        if shared.force_kill.load(Ordering::Acquire) {
+            for (_, sb) in io_wait.drain(..) {
+                finish(&shared, sb, Outcome::TimedOut);
+            }
+            while let Some(sb) = runqueue.pop_front() {
+                finish(&shared, sb, Outcome::TimedOut);
+            }
+            while let Some(sb) = stealer.steal() {
+                shared.pending.fetch_sub(1, Ordering::Relaxed);
+                finish(&shared, sb, Outcome::TimedOut);
+            }
         }
 
         // 1. Event loop: wake sandboxes whose I/O completed.
@@ -126,7 +164,15 @@ pub(crate) fn worker_loop(
         let next = runqueue.pop_front();
 
         let mut sandbox = match next {
-            Some(s) => s,
+            Some(s) => {
+                // Deadline enforcement happens at (re)scheduling points: a
+                // sandbox past its deadline is killed instead of dispatched.
+                if s.deadline.is_some_and(|d| Instant::now() >= d) {
+                    finish(&shared, s, Outcome::TimedOut);
+                    continue;
+                }
+                s
+            }
             None => {
                 if shared.shutdown.load(Ordering::Acquire) {
                     return;
@@ -163,13 +209,29 @@ pub(crate) fn worker_loop(
             }
             StepResult::Preempted | StepResult::OutOfFuel => {
                 shared.stats.preemptions.fetch_add(1, Ordering::Relaxed);
-                // Round-robin: back of the local queue.
-                runqueue.push_back(sandbox);
+                if shared.force_kill.load(Ordering::Acquire)
+                    || sandbox.deadline.is_some_and(|d| Instant::now() >= d)
+                {
+                    finish(&shared, sandbox, Outcome::TimedOut);
+                } else {
+                    // Round-robin: back of the local queue.
+                    runqueue.push_back(sandbox);
+                }
             }
             StepResult::Blocked => {
+                if shared.force_kill.load(Ordering::Acquire) {
+                    finish(&shared, sandbox, Outcome::TimedOut);
+                    continue;
+                }
                 shared.stats.blocked.fetch_add(1, Ordering::Relaxed);
-                let deadline = sandbox.host.io_deadline.unwrap_or_else(Instant::now);
-                io_wait.push((deadline, sandbox));
+                // Park until the I/O completes — or, if the sandbox's
+                // execution deadline lands first, wake then so it can be
+                // killed instead of oversleeping its deadline.
+                let mut wake = sandbox.host.io_deadline.unwrap_or_else(Instant::now);
+                if let Some(d) = sandbox.deadline {
+                    wake = wake.min(d);
+                }
+                io_wait.push((wake, sandbox));
             }
         }
     }

@@ -55,8 +55,7 @@ fn json_strategy() -> impl Strategy<Value = Json> {
     leaf.prop_recursive(3, 48, 6, |inner| {
         prop_oneof![
             proptest::collection::vec(inner.clone(), 0..6).prop_map(Json::Array),
-            proptest::collection::btree_map("[a-z_]{1,8}", inner, 0..6)
-                .prop_map(Json::Object),
+            proptest::collection::btree_map("[a-z_]{1,8}", inner, 0..6).prop_map(Json::Object),
         ]
     })
 }

@@ -68,9 +68,13 @@ mod guests {
         f.extend([
             exec(call(req_read, vec![i32c(0), i32c(4), i32c(0)])),
             set(iters, load(Scalar::I32, i32c(0), 0)),
-            for_loop(i, i32c(0), lt_u(local(i), local(iters)), 1, vec![
-                set(acc, add(mul(local(acc), i32c(31)), local(i))),
-            ]),
+            for_loop(
+                i,
+                i32c(0),
+                lt_u(local(i), local(iters)),
+                1,
+                vec![set(acc, add(mul(local(acc), i32c(31)), local(i)))],
+            ),
             // Prevent the loop from being "optimized away" semantically;
             // store the accumulator then reply.
             store(Scalar::I32, i32c(8), 0, local(acc)),
@@ -246,7 +250,10 @@ fn temporal_isolation_spinner_does_not_starve_short_requests() {
         .wait_timeout(Duration::from_secs(10))
         .expect("echo starved behind infinite function");
     assert!(matches!(done.outcome, Outcome::Success(ref b) if b == b"alive"));
-    assert!(rt.stats().preemptions > 0, "RR must have preempted the spinner");
+    assert!(
+        rt.stats().preemptions > 0,
+        "RR must have preempted the spinner"
+    );
     rt.shutdown();
 }
 
@@ -501,7 +508,9 @@ fn per_function_stats_are_tracked() {
         rt.invoke(echo, &b"x"[..]).wait().unwrap();
     }
     for _ in 0..3 {
-        rt.invoke(spin, 10_000u32.to_le_bytes().to_vec()).wait().unwrap();
+        rt.invoke(spin, 10_000u32.to_le_bytes().to_vec())
+            .wait()
+            .unwrap();
     }
     let e = rt.function_stats(echo).unwrap();
     let s = rt.function_stats(spin).unwrap();

@@ -31,9 +31,13 @@ fn spin_module() -> Module {
     f.extend([
         exec(call(req_read, vec![i32c(0), i32c(4), i32c(0)])),
         set(iters, load(Scalar::I32, i32c(0), 0)),
-        for_loop(i, i32c(0), lt_u(local(i), local(iters)), 1, vec![
-            set(acc, add(mul(local(acc), i32c(31)), local(i))),
-        ]),
+        for_loop(
+            i,
+            i32c(0),
+            lt_u(local(i), local(iters)),
+            1,
+            vec![set(acc, add(mul(local(acc), i32c(31)), local(i)))],
+        ),
         store(Scalar::I32, i32c(8), 0, local(acc)),
         exec(call(resp_write, vec![i32c(8), i32c(4)])),
         ret(Some(i32c(0))),

@@ -364,6 +364,16 @@ impl<T: Send> Stealer<T> {
     }
 }
 
+// Keep the unused-import lint honest: AtomicUsize is used in tests only.
+#[allow(unused)]
+fn _assert_traits() {
+    fn send<T: Send>() {}
+    send::<WorkStealingDeque<Vec<u8>>>();
+    send::<Worker<Vec<u8>>>();
+    send::<Stealer<Vec<u8>>>();
+    let _ = AtomicUsize::new(0);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -425,14 +435,4 @@ mod tests {
         assert!(w.pop().is_none());
         assert!(w.is_empty() && s.is_empty());
     }
-}
-
-// Keep the unused-import lint honest: AtomicUsize is used in tests only.
-#[allow(unused)]
-fn _assert_traits() {
-    fn send<T: Send>() {}
-    send::<WorkStealingDeque<Vec<u8>>>();
-    send::<Worker<Vec<u8>>>();
-    send::<Stealer<Vec<u8>>>();
-    let _ = AtomicUsize::new(0);
 }

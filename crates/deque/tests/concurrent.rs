@@ -121,7 +121,11 @@ fn many_producur_rounds_with_growth() {
         }
         let mut consumed = 0;
         loop {
-            let got = if consumed % 2 == 0 { s.steal() } else { w.pop() };
+            let got = if consumed % 2 == 0 {
+                s.steal()
+            } else {
+                w.pop()
+            };
             match got {
                 Some(_) => consumed += 1,
                 None => break,

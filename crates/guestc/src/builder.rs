@@ -236,7 +236,11 @@ impl ModuleBuilder {
         let (ty, body) = fb.finish();
         let slot = &mut self.funcs[local_idx];
         assert_eq!(slot.ty, ty, "definition signature differs from declaration");
-        assert!(slot.body.is_none(), "function {:?} defined twice", slot.name);
+        assert!(
+            slot.body.is_none(),
+            "function {:?} defined twice",
+            slot.name
+        );
         slot.body = Some(body);
     }
 
@@ -323,9 +327,7 @@ impl ModuleBuilder {
             m.imports.push(Import::func(module, name, t));
         }
         for f in self.funcs {
-            let body = f
-                .body
-                .ok_or(BuildError::UndefinedFunc(f.name))?;
+            let body = f.body.ok_or(BuildError::UndefinedFunc(f.name))?;
             let t = m.push_type(f.ty);
             m.push_function(t, body);
         }
@@ -378,9 +380,13 @@ mod tests {
         let acc = f.local(ValType::I32);
         let i = f.local(ValType::I32);
         f.extend([
-            for_loop(i, i32c(0), lt_s(local(i), local(n)), 1, vec![
-                set(acc, add(local(acc), local(i))),
-            ]),
+            for_loop(
+                i,
+                i32c(0),
+                lt_s(local(i), local(n)),
+                1,
+                vec![set(acc, add(local(acc), local(i)))],
+            ),
             ret(Some(local(acc))),
         ]);
         let main = mb.add_func("main", f);
@@ -394,11 +400,14 @@ mod tests {
         let mut f = FuncBuilder::new(&[], Some(ValType::I32));
         let i = f.local(ValType::I32);
         f.extend([
-            while_(i32c(1), vec![
-                set(i, add(local(i), i32c(1))),
-                if_(gt_s(local(i), i32c(10)), vec![brk()]),
-                if_(eq(rem(local(i), i32c(2)), i32c(0)), vec![cont()]),
-            ]),
+            while_(
+                i32c(1),
+                vec![
+                    set(i, add(local(i), i32c(1))),
+                    if_(gt_s(local(i), i32c(10)), vec![brk()]),
+                    if_(eq(rem(local(i), i32c(2)), i32c(0)), vec![cont()]),
+                ],
+            ),
             ret(Some(local(i))),
         ]);
         let main = mb.add_func("main", f);

@@ -302,11 +302,7 @@ impl Expr {
                 Some(dst)
             }
             Expr::Load(s, addr, _) => {
-                assert_eq!(
-                    addr.ty(),
-                    Some(ValType::I32),
-                    "load address must be i32"
-                );
+                assert_eq!(addr.ty(), Some(ValType::I32), "load address must be i32");
                 Some(s.val_type())
             }
             Expr::Call(f, args) => {

@@ -20,7 +20,10 @@ fn while_lowering_shape() {
     let mut f = FuncBuilder::new(&[ValType::I32], None);
     let n = f.arg(0);
     f.extend([
-        while_(gt_s(local(n), i32c(0)), vec![set(n, sub(local(n), i32c(1)))]),
+        while_(
+            gt_s(local(n), i32c(0)),
+            vec![set(n, sub(local(n), i32c(1)))],
+        ),
         ret(None),
     ]);
     let got = instrs_of(f);
@@ -53,11 +56,14 @@ fn break_targets_the_enclosing_block_continue_targets_the_loop() {
     let mut f = FuncBuilder::new(&[], None);
     let i = f.local(ValType::I32);
     f.extend([
-        while_(i32c(1), vec![
-            if_(eq(local(i), i32c(3)), vec![brk()]),
-            if_(eq(local(i), i32c(1)), vec![cont()]),
-            set(i, add(local(i), i32c(1))),
-        ]),
+        while_(
+            i32c(1),
+            vec![
+                if_(eq(local(i), i32c(3)), vec![brk()]),
+                if_(eq(local(i), i32c(1)), vec![cont()]),
+                set(i, add(local(i), i32c(1))),
+            ],
+        ),
         ret(None),
     ]);
     let got = instrs_of(f);

@@ -126,8 +126,7 @@ impl RequestParser {
             l
         });
         let request_line = lines.next().ok_or(HttpError::Malformed("empty head"))?;
-        let rl =
-            std::str::from_utf8(request_line).map_err(|_| HttpError::Malformed("non-utf8"))?;
+        let rl = std::str::from_utf8(request_line).map_err(|_| HttpError::Malformed("non-utf8"))?;
         let mut parts = rl.split_whitespace();
         let method = parts
             .next()
@@ -137,7 +136,9 @@ impl RequestParser {
             .next()
             .ok_or(HttpError::Malformed("missing path"))?
             .to_string();
-        let version = parts.next().ok_or(HttpError::Malformed("missing version"))?;
+        let version = parts
+            .next()
+            .ok_or(HttpError::Malformed("missing version"))?;
         if !version.starts_with("HTTP/1.") {
             return Err(HttpError::Malformed("unsupported version"));
         }
@@ -279,9 +280,7 @@ mod tests {
 
     #[test]
     fn rejects_malformed() {
-        assert!(RequestParser::new(4096)
-            .feed(b"BROKEN\r\n\r\n")
-            .is_err());
+        assert!(RequestParser::new(4096).feed(b"BROKEN\r\n\r\n").is_err());
         assert!(RequestParser::new(4096)
             .feed(b"GET / FTP/1.1\r\n\r\n")
             .is_err());

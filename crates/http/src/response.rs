@@ -13,10 +13,14 @@ pub enum StatusCode {
     NotFound,
     /// 429
     TooManyRequests,
+    /// 408
+    RequestTimeout,
     /// 500
     InternalServerError,
     /// 503
     ServiceUnavailable,
+    /// 504
+    GatewayTimeout,
 }
 
 impl StatusCode {
@@ -27,8 +31,10 @@ impl StatusCode {
             StatusCode::BadRequest => 400,
             StatusCode::NotFound => 404,
             StatusCode::TooManyRequests => 429,
+            StatusCode::RequestTimeout => 408,
             StatusCode::InternalServerError => 500,
             StatusCode::ServiceUnavailable => 503,
+            StatusCode::GatewayTimeout => 504,
         }
     }
 
@@ -39,8 +45,10 @@ impl StatusCode {
             StatusCode::BadRequest => "Bad Request",
             StatusCode::NotFound => "Not Found",
             StatusCode::TooManyRequests => "Too Many Requests",
+            StatusCode::RequestTimeout => "Request Timeout",
             StatusCode::InternalServerError => "Internal Server Error",
             StatusCode::ServiceUnavailable => "Service Unavailable",
+            StatusCode::GatewayTimeout => "Gateway Timeout",
         }
     }
 }
@@ -133,9 +141,11 @@ mod tests {
         for (st, code) in [
             (StatusCode::BadRequest, 400),
             (StatusCode::NotFound, 404),
+            (StatusCode::RequestTimeout, 408),
             (StatusCode::TooManyRequests, 429),
             (StatusCode::InternalServerError, 500),
             (StatusCode::ServiceUnavailable, 503),
+            (StatusCode::GatewayTimeout, 504),
         ] {
             assert_eq!(st.code(), code);
             let bytes = Response::error(st, "nope").to_bytes();

@@ -8,6 +8,7 @@ use crate::parse::{ParseStatus, Request, RequestParser};
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::{Duration, Instant};
 
 /// One client connection owned by the poll server.
 #[derive(Debug)]
@@ -25,6 +26,9 @@ pub struct Connection {
     responded: bool,
     /// Requests parsed but not yet consumed by the runtime.
     inbox: Vec<Request>,
+    /// Last time bytes moved on this connection (either direction) or a
+    /// response was queued; idle reaping is measured from here.
+    last_activity: Instant,
     dead: bool,
 }
 
@@ -52,15 +56,23 @@ pub struct PollServer {
     conns: HashMap<ConnId, Connection>,
     next_id: ConnId,
     max_request_size: usize,
+    idle_timeout: Duration,
 }
 
 impl PollServer {
-    /// Bind to `addr` in non-blocking mode.
+    /// Bind to `addr` in non-blocking mode. Connections with no byte
+    /// movement for `idle_timeout` are reaped (a slow-loris client holding
+    /// a half-sent request does not pin a slot forever); `Duration::ZERO`
+    /// disables reaping.
     ///
     /// # Errors
     ///
     /// Propagates socket errors.
-    pub fn bind(addr: SocketAddr, max_request_size: usize) -> io::Result<Self> {
+    pub fn bind(
+        addr: SocketAddr,
+        max_request_size: usize,
+        idle_timeout: Duration,
+    ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         Ok(PollServer {
@@ -68,6 +80,7 @@ impl PollServer {
             conns: HashMap::new(),
             next_id: 1,
             max_request_size,
+            idle_timeout,
         })
     }
 
@@ -111,6 +124,7 @@ impl PollServer {
                             close_after_write: false,
                             responded: false,
                             inbox: Vec::new(),
+                            last_activity: Instant::now(),
                             dead: false,
                         },
                     );
@@ -122,6 +136,7 @@ impl PollServer {
 
         let mut buf = [0u8; 16 * 1024];
         let mut closed = Vec::new();
+        let now = Instant::now();
         for (&id, conn) in self.conns.iter_mut() {
             // Read available bytes.
             loop {
@@ -131,6 +146,7 @@ impl PollServer {
                         break;
                     }
                     Ok(n) => {
+                        conn.last_activity = now;
                         match conn.parser.feed(&buf[..n]) {
                             Ok(ParseStatus::Complete(req)) => {
                                 conn.inbox.push(req);
@@ -174,7 +190,10 @@ impl PollServer {
                         conn.dead = true;
                         break;
                     }
-                    Ok(n) => conn.written += n,
+                    Ok(n) => {
+                        conn.written += n;
+                        conn.last_activity = now;
+                    }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                     Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                     Err(_) => {
@@ -189,6 +208,22 @@ impl PollServer {
                 if conn.close_after_write && conn.responded {
                     conn.dead = true;
                 }
+            }
+            // Idle reaping: no bytes moved in either direction for the
+            // configured window. A best-effort 408 is written directly (the
+            // socket buffer is almost certainly empty for an idle peer).
+            if !conn.dead
+                && !self.idle_timeout.is_zero()
+                && now.duration_since(conn.last_activity) > self.idle_timeout
+            {
+                if !conn.responded {
+                    let resp = crate::Response::error(
+                        crate::StatusCode::RequestTimeout,
+                        "idle connection timed out",
+                    );
+                    let _ = conn.stream.write(&resp.to_bytes());
+                }
+                conn.dead = true;
             }
             if conn.dead {
                 closed.push(id);
@@ -208,6 +243,7 @@ impl PollServer {
             Some(c) => {
                 c.out.extend_from_slice(bytes);
                 c.responded = true;
+                c.last_activity = Instant::now();
                 true
             }
             None => false,
@@ -232,8 +268,12 @@ mod tests {
 
     #[test]
     fn end_to_end_request_response() {
-        let mut server =
-            PollServer::bind("127.0.0.1:0".parse().unwrap(), 1 << 20).unwrap();
+        let mut server = PollServer::bind(
+            "127.0.0.1:0".parse().unwrap(),
+            1 << 20,
+            Duration::from_secs(30),
+        )
+        .unwrap();
         let addr = server.local_addr().unwrap();
 
         let client = std::thread::spawn(move || {
@@ -248,9 +288,7 @@ mod tests {
                     Ok(0) => break,
                     Ok(n) => {
                         resp.extend_from_slice(&buf[..n]);
-                        if resp.windows(4).any(|w| w == b"\r\n\r\n")
-                            && resp.ends_with(b"HELLO")
-                        {
+                        if resp.windows(4).any(|w| w == b"\r\n\r\n") && resp.ends_with(b"HELLO") {
                             break;
                         }
                     }
@@ -287,8 +325,12 @@ mod tests {
 
     #[test]
     fn malformed_request_gets_400_and_close() {
-        let mut server =
-            PollServer::bind("127.0.0.1:0".parse().unwrap(), 1 << 20).unwrap();
+        let mut server = PollServer::bind(
+            "127.0.0.1:0".parse().unwrap(),
+            1 << 20,
+            Duration::from_secs(30),
+        )
+        .unwrap();
         let addr = server.local_addr().unwrap();
         let client = std::thread::spawn(move || {
             let mut s = TcpStream::connect(addr).unwrap();
@@ -313,9 +355,125 @@ mod tests {
     }
 
     #[test]
+    fn slow_loris_connection_is_reaped() {
+        let mut server = PollServer::bind(
+            "127.0.0.1:0".parse().unwrap(),
+            1 << 20,
+            Duration::from_millis(50),
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            // Half a request, then silence: the server must not wait forever.
+            s.write_all(b"POST /fn HTTP/1.1\r\nContent-Length: 100\r\n\r\npartial")
+                .unwrap();
+            s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            let mut resp = Vec::new();
+            let mut buf = [0u8; 1024];
+            while let Ok(n) = s.read(&mut buf) {
+                if n == 0 {
+                    break;
+                }
+                resp.extend_from_slice(&buf[..n]);
+            }
+            resp
+        });
+        // Wait for the connection to appear, then for the reaper to kill it.
+        poll_until(&mut server, |srv| {
+            srv.poll();
+            srv.connection_count() == 1
+        });
+        let start = Instant::now();
+        poll_until(&mut server, |srv| {
+            srv.poll();
+            srv.connection_count() == 0
+        });
+        assert!(
+            start.elapsed() < Duration::from_secs(3),
+            "idle reap took too long"
+        );
+        let resp = String::from_utf8(client.join().unwrap()).unwrap();
+        assert!(resp.starts_with("HTTP/1.1 408"), "{resp}");
+    }
+
+    #[test]
+    fn active_connection_survives_idle_reaper() {
+        let idle = Duration::from_millis(800);
+        let mut server = PollServer::bind("127.0.0.1:0".parse().unwrap(), 1 << 20, idle).unwrap();
+        let addr = server.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            // Trickle a complete request slowly: each chunk lands well within
+            // the idle window, but the whole request takes longer than one
+            // window — it can only succeed if activity resets the timer. The
+            // worst client-side gap is measured so a scheduler stall on a
+            // loaded test machine (sleep overshooting the idle window) is
+            // distinguishable from a reaper bug.
+            let mut max_gap = Duration::ZERO;
+            let mut last = Instant::now();
+            for chunk in [
+                &b"POST /fn HTTP/1.1\r\n"[..],
+                &b"Content-Length: 4\r\n\r\n"[..],
+                &b"pi"[..],
+                &b"ng"[..],
+            ] {
+                std::thread::sleep(Duration::from_millis(300));
+                s.write_all(chunk).unwrap();
+                max_gap = max_gap.max(last.elapsed());
+                last = Instant::now();
+            }
+            s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            let mut resp = Vec::new();
+            let mut buf = [0u8; 1024];
+            while let Ok(n) = s.read(&mut buf) {
+                if n == 0 {
+                    break;
+                }
+                resp.extend_from_slice(&buf[..n]);
+                if resp.ends_with(b"pong") {
+                    break;
+                }
+            }
+            (resp, max_gap)
+        });
+        poll_until(&mut server, |srv| {
+            for ev in srv.poll() {
+                if let ConnectionEvent::Request(id, _) = ev {
+                    srv.send(id, &Response::ok(b"pong".to_vec()).to_bytes());
+                }
+            }
+            // `send` only queues; later polls perform the actual write. Keep
+            // polling until the response reaches the client and the
+            // connection winds down (also covers the reaped-under-stall
+            // case, where the 408 closes it).
+            srv.connection_count() == 0
+        });
+        let (resp, max_gap) = client.join().unwrap();
+        let resp = String::from_utf8(resp).unwrap();
+        if max_gap < idle {
+            assert!(
+                resp.starts_with("HTTP/1.1 200"),
+                "reaped despite activity (max client gap {max_gap:?}): {resp}"
+            );
+        } else {
+            // The client genuinely went idle past the window; either outcome
+            // is correct, so just require a well-formed response.
+            assert!(
+                resp.starts_with("HTTP/1.1 200") || resp.starts_with("HTTP/1.1 408"),
+                "{resp}"
+            );
+        }
+    }
+
+    #[test]
     fn many_concurrent_connections() {
-        let mut server =
-            PollServer::bind("127.0.0.1:0".parse().unwrap(), 1 << 20).unwrap();
+        let mut server = PollServer::bind(
+            "127.0.0.1:0".parse().unwrap(),
+            1 << 20,
+            Duration::from_secs(30),
+        )
+        .unwrap();
         let addr = server.local_addr().unwrap();
         const N: usize = 32;
         let clients: Vec<_> = (0..N)

@@ -36,7 +36,6 @@ impl<'a> Reader<'a> {
         Ok(b)
     }
 
-
     fn slice(&mut self, len: usize) -> Result<&'a [u8], DecodeError> {
         let end = self
             .pos
@@ -224,9 +223,13 @@ pub fn decode_module(bytes: &[u8]) -> Result<Module, DecodeError> {
                             if r.byte()? != 0x70 {
                                 return Err(r.err("expected funcref table element type"));
                             }
-                            ImportKind::Table(TableType { limits: r.limits()? })
+                            ImportKind::Table(TableType {
+                                limits: r.limits()?,
+                            })
                         }
-                        0x02 => ImportKind::Memory(MemoryType { limits: r.limits()? }),
+                        0x02 => ImportKind::Memory(MemoryType {
+                            limits: r.limits()?,
+                        }),
                         0x03 => ImportKind::Global(r.global_type()?),
                         k => return Err(r.err(format!("invalid import kind 0x{k:02x}"))),
                     };
@@ -245,13 +248,17 @@ pub fn decode_module(bytes: &[u8]) -> Result<Module, DecodeError> {
                     if r.byte()? != 0x70 {
                         return Err(r.err("expected funcref table element type"));
                     }
-                    m.tables.push(TableType { limits: r.limits()? });
+                    m.tables.push(TableType {
+                        limits: r.limits()?,
+                    });
                 }
             }
             5 => {
                 let n = r.u32()?;
                 for _ in 0..n {
-                    m.memories.push(MemoryType { limits: r.limits()? });
+                    m.memories.push(MemoryType {
+                        limits: r.limits()?,
+                    });
                 }
             }
             6 => {
@@ -350,7 +357,7 @@ fn decode_func_body(r: &mut Reader<'_>, end: usize) -> Result<FuncBody, DecodeEr
         if locals.len() as u64 + count as u64 > 1_000_000 {
             return Err(r.err("too many locals"));
         }
-        locals.extend(std::iter::repeat(ty).take(count as usize));
+        locals.extend(std::iter::repeat_n(ty, count as usize));
     }
     let mut instrs = Vec::new();
     let mut depth: u32 = 0;

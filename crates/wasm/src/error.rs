@@ -21,7 +21,11 @@ impl DecodeError {
 
 impl fmt::Display for DecodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "decode error at offset {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "decode error at offset {}: {}",
+            self.offset, self.message
+        )
     }
 }
 

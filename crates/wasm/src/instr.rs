@@ -275,10 +275,7 @@ mod tests {
     #[test]
     fn block_type_result() {
         assert_eq!(BlockType::Empty.result(), None);
-        assert_eq!(
-            BlockType::Value(ValType::F64).result(),
-            Some(ValType::F64)
-        );
+        assert_eq!(BlockType::Value(ValType::F64).result(), Some(ValType::F64));
     }
 
     #[test]

@@ -240,9 +240,7 @@ impl Module {
         if (idx as usize) < imported.len() {
             Some(imported[idx as usize])
         } else {
-            self.functions
-                .get(idx as usize - imported.len())
-                .copied()
+            self.functions.get(idx as usize - imported.len()).copied()
         }
     }
 

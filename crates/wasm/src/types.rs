@@ -130,7 +130,7 @@ impl Limits {
 
     /// `true` if `min <= max` (or no max).
     pub fn is_well_formed(&self) -> bool {
-        self.max.map_or(true, |m| self.min <= m)
+        self.max.is_none_or(|m| self.min <= m)
     }
 }
 

@@ -188,11 +188,7 @@ pub fn validate_module(m: &Module) -> Result<(), ValidateError> {
     Ok(())
 }
 
-fn check_offset_expr(
-    m: &Module,
-    e: &ConstExpr,
-    num_imported_globals: u32,
-) -> Result<(), String> {
+fn check_offset_expr(m: &Module, e: &ConstExpr, num_imported_globals: u32) -> Result<(), String> {
     let ty = match e {
         ConstExpr::GlobalGet(idx) => {
             if *idx >= num_imported_globals {
@@ -391,12 +387,8 @@ fn validate_body(
             }
             End => {
                 let frame = c.ctrl.last().expect("control stack never empty");
-                let (result, height, unreachable, is_if) = (
-                    frame.result,
-                    frame.height,
-                    frame.unreachable,
-                    frame.is_if,
-                );
+                let (result, height, unreachable, is_if) =
+                    (frame.result, frame.height, frame.unreachable, frame.is_if);
                 // `if` without `else` must have an empty result type.
                 if is_if && result.is_some() {
                     return Err(c.err("if with result type but no else"));
@@ -621,8 +613,9 @@ fn check_align(c: &Checker<'_>, align: u32, natural: u32) -> Result<(), Validate
 fn natural_align(ins: &Instr) -> u32 {
     use Instr::*;
     match ins {
-        I32Load8S(_) | I32Load8U(_) | I64Load8S(_) | I64Load8U(_) | I32Store8(_)
-        | I64Store8(_) => 0,
+        I32Load8S(_) | I32Load8U(_) | I64Load8S(_) | I64Load8U(_) | I32Store8(_) | I64Store8(_) => {
+            0
+        }
         I32Load16S(_) | I32Load16U(_) | I64Load16S(_) | I64Load16U(_) | I32Store16(_)
         | I64Store16(_) => 1,
         I32Load(_) | F32Load(_) | I64Load32S(_) | I64Load32U(_) | I32Store(_) | F32Store(_)
@@ -650,23 +643,13 @@ fn numeric_signature(ins: &Instr) -> Option<(Vec<ValType>, ValType)> {
         I32Clz | I32Ctz | I32Popcnt | I32Extend8S | I32Extend16S => (vec![I32], I32),
         I32Add | I32Sub | I32Mul | I32DivS | I32DivU | I32RemS | I32RemU | I32And | I32Or
         | I32Xor | I32Shl | I32ShrS | I32ShrU | I32Rotl | I32Rotr => (vec![I32, I32], I32),
-        I64Clz | I64Ctz | I64Popcnt | I64Extend8S | I64Extend16S | I64Extend32S => {
-            (vec![I64], I64)
-        }
+        I64Clz | I64Ctz | I64Popcnt | I64Extend8S | I64Extend16S | I64Extend32S => (vec![I64], I64),
         I64Add | I64Sub | I64Mul | I64DivS | I64DivU | I64RemS | I64RemU | I64And | I64Or
         | I64Xor | I64Shl | I64ShrS | I64ShrU | I64Rotl | I64Rotr => (vec![I64, I64], I64),
-        F32Abs | F32Neg | F32Ceil | F32Floor | F32Trunc | F32Nearest | F32Sqrt => {
-            (vec![F32], F32)
-        }
-        F32Add | F32Sub | F32Mul | F32Div | F32Min | F32Max | F32Copysign => {
-            (vec![F32, F32], F32)
-        }
-        F64Abs | F64Neg | F64Ceil | F64Floor | F64Trunc | F64Nearest | F64Sqrt => {
-            (vec![F64], F64)
-        }
-        F64Add | F64Sub | F64Mul | F64Div | F64Min | F64Max | F64Copysign => {
-            (vec![F64, F64], F64)
-        }
+        F32Abs | F32Neg | F32Ceil | F32Floor | F32Trunc | F32Nearest | F32Sqrt => (vec![F32], F32),
+        F32Add | F32Sub | F32Mul | F32Div | F32Min | F32Max | F32Copysign => (vec![F32, F32], F32),
+        F64Abs | F64Neg | F64Ceil | F64Floor | F64Trunc | F64Nearest | F64Sqrt => (vec![F64], F64),
+        F64Add | F64Sub | F64Mul | F64Div | F64Min | F64Max | F64Copysign => (vec![F64, F64], F64),
         I32WrapI64 => (vec![I64], I32),
         I32TruncF32S | I32TruncF32U | I32ReinterpretF32 => (vec![F32], I32),
         I32TruncF64S | I32TruncF64U => (vec![F64], I32),
@@ -722,12 +705,7 @@ mod tests {
     #[test]
     fn rejects_type_mismatch() {
         use Instr::*;
-        let m = module_with_body(
-            vec![],
-            vec![ValType::I32],
-            vec![],
-            vec![F64Const(1.0), End],
-        );
+        let m = module_with_body(vec![], vec![ValType::I32], vec![], vec![F64Const(1.0), End]);
         assert!(validate_module(&m).is_err());
     }
 
@@ -808,12 +786,7 @@ mod tests {
             vec![],
             vec![ValType::I32],
             vec![],
-            vec![
-                Loop(BlockType::Value(ValType::I32)),
-                Br(0),
-                End,
-                End,
-            ],
+            vec![Loop(BlockType::Value(ValType::I32)), Br(0), End, End],
         );
         validate_module(&m).unwrap();
     }
@@ -847,7 +820,10 @@ mod tests {
             vec![],
             vec![
                 I32Const(0),
-                I32Load(MemArg { align: 3, offset: 0 }),
+                I32Load(MemArg {
+                    align: 3,
+                    offset: 0,
+                }),
                 End,
             ],
         );
@@ -864,12 +840,7 @@ mod tests {
     #[test]
     fn rejects_global_set_immutable() {
         use Instr::*;
-        let mut m = module_with_body(
-            vec![],
-            vec![],
-            vec![],
-            vec![I32Const(1), GlobalSet(0), End],
-        );
+        let mut m = module_with_body(vec![], vec![], vec![], vec![I32Const(1), GlobalSet(0), End]);
         m.globals.push(crate::module::Global {
             ty: crate::types::GlobalType {
                 value: ValType::I32,
@@ -902,14 +873,7 @@ mod tests {
             vec![],
             vec![],
             vec![],
-            vec![
-                I32Const(1),
-                F64Const(2.0),
-                I32Const(0),
-                Select,
-                Drop,
-                End,
-            ],
+            vec![I32Const(1), F64Const(2.0), I32Const(0), Select, Drop, End],
         );
         assert!(validate_module(&m).is_err());
     }

@@ -35,10 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                         .collect();
                     // state = x | P (from previous reply); append z.
                     let request = [&state[..8 * (8 + 64)], &z[..]].concat();
-                    let done = rt
-                        .invoke(ekf, request)
-                        .wait()
-                        .expect("runtime alive");
+                    let done = rt.invoke(ekf, request).wait().expect("runtime alive");
                     match done.outcome {
                         Outcome::Success(body) => state = body,
                         other => panic!("device {dev}: {other:?}"),
@@ -49,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 (dev, pos0)
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("device")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("device"))
+            .collect()
     });
     let elapsed = t0.elapsed();
 

@@ -12,7 +12,8 @@ use std::time::Duration;
 
 fn http_post(addr: std::net::SocketAddr, path: &str, body: &[u8]) -> (String, Vec<u8>) {
     let mut s = TcpStream::connect(addr).expect("connect");
-    s.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+    s.set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
     let head = format!(
         "POST {path} HTTP/1.1\r\nHost: edge\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
@@ -73,11 +74,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Exercise three tenants over real HTTP.
     let (head, body) = http_post(addr, "/ping", b"");
-    println!("\n/ping      -> {}  body {:?}", head.lines().next().unwrap(), body);
+    println!(
+        "\n/ping      -> {}  body {:?}",
+        head.lines().next().unwrap(),
+        body
+    );
     assert!(head.starts_with("HTTP/1.1 200"));
 
     let (head, body) = http_post(addr, "/echo", b"edge payload");
-    println!("/echo      -> {}  body {:?}", head.lines().next().unwrap(), String::from_utf8_lossy(&body));
+    println!(
+        "/echo      -> {}  body {:?}",
+        head.lines().next().unwrap(),
+        String::from_utf8_lossy(&body)
+    );
     assert_eq!(body, b"edge payload");
 
     let input = sledge::apps::cifar10::sample_input();

@@ -33,15 +33,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     f.extend([
         set(n, call(req_len, vec![])),
         exec(call(req_read, vec![i32c(0), local(n), i32c(0)])),
-        for_loop(i, i32c(0), lt_s(local(i), local(n)), 1, vec![
-            set(c, load_u8(local(i))),
-            // if 'a' <= c <= 'z': c -= 32
-            if_(
-                and(ge_s(local(c), i32c('a' as i32)), le_s(local(c), i32c('z' as i32))),
-                vec![set(c, sub(local(c), i32c(32)))],
-            ),
-            store_u8(local(i), local(c)),
-        ]),
+        for_loop(
+            i,
+            i32c(0),
+            lt_s(local(i), local(n)),
+            1,
+            vec![
+                set(c, load_u8(local(i))),
+                // if 'a' <= c <= 'z': c -= 32
+                if_(
+                    and(
+                        ge_s(local(c), i32c('a' as i32)),
+                        le_s(local(c), i32c('z' as i32)),
+                    ),
+                    vec![set(c, sub(local(c), i32c(32)))],
+                ),
+                store_u8(local(i), local(c)),
+            ],
+        ),
         exec(call(resp_write, vec![i32c(0), local(n)])),
         ret(Some(i32c(0))),
     ]);

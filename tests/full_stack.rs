@@ -60,12 +60,9 @@ fn mixed_tenant_load_matches_native_under_concurrency() {
     for (app, input, round, h) in handles {
         let done = h.wait().expect("completion");
         match done.outcome {
-            Outcome::Success(body) => assert_eq!(
-                body,
-                (app.native)(&input),
-                "{} round {round}",
-                app.name
-            ),
+            Outcome::Success(body) => {
+                assert_eq!(body, (app.native)(&input), "{} round {round}", app.name)
+            }
             other => panic!("{} round {round}: {other:?}", app.name),
         }
     }
@@ -110,7 +107,8 @@ fn http_end_to_end_with_keepalive_and_pipelining() {
 
     // Two sequential requests on one keep-alive connection.
     let mut s = std::net::TcpStream::connect(addr).expect("connect");
-    s.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+    s.set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
     for i in 0..2 {
         let body = format!("keepalive-{i}");
         let req = format!(
@@ -190,10 +188,7 @@ fn burst_of_mixed_sizes_is_lossless() {
     let payloads: Vec<Vec<u8>> = (0..300)
         .map(|i| apps::echo::payload((i * 97) % 4096))
         .collect();
-    let handles: Vec<_> = payloads
-        .iter()
-        .map(|p| rt.invoke(id, p.clone()))
-        .collect();
+    let handles: Vec<_> = payloads.iter().map(|p| rt.invoke(id, p.clone())).collect();
     for (p, h) in payloads.iter().zip(handles) {
         match h.wait().expect("completion").outcome {
             Outcome::Success(body) => assert_eq!(&body, p),
