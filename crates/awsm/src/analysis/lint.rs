@@ -1,0 +1,52 @@
+//! Structural lints that need no dataflow: functions that trap on entry and
+//! functions no entry path can reach.
+
+use super::{Diagnostic, Severity};
+use crate::code::{CompiledModule, Op};
+use std::collections::HashSet;
+
+pub(super) fn structural(m: &CompiledModule, reachable: &HashSet<u32>, out: &mut Vec<Diagnostic>) {
+    let ni = m.num_imports();
+    let exported: HashSet<u32> = m
+        .exports
+        .values()
+        .filter(|&&idx| idx >= ni)
+        .map(|&idx| idx - ni)
+        .collect();
+
+    for (fidx, func) in m.funcs.iter().enumerate() {
+        let fidx = fidx as u32;
+        // `unreachable` as the first instruction: the function traps the
+        // moment it is entered. Fatal if it is an entry point; otherwise it
+        // may legitimately be a trap stub (e.g. an abort thunk), so warn.
+        if matches!(func.code.first(), Some(Op::Unreachable)) {
+            let name = func.name.as_deref().unwrap_or("<anon>");
+            out.push(Diagnostic {
+                severity: if exported.contains(&fidx) {
+                    Severity::Error
+                } else {
+                    Severity::Warn
+                },
+                func: Some(fidx),
+                pc: Some(0),
+                message: if exported.contains(&fidx) {
+                    format!("exported function `{name}` traps unconditionally on entry")
+                } else {
+                    format!("function `{name}` traps unconditionally on entry")
+                },
+            });
+        }
+
+        if !reachable.contains(&fidx) {
+            let name = func.name.as_deref().unwrap_or("<anon>");
+            out.push(Diagnostic {
+                severity: Severity::Warn,
+                func: Some(fidx),
+                pc: None,
+                message: format!(
+                    "function `{name}` is unreachable from every export and table entry"
+                ),
+            });
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! Load-time static analysis over the flat IR: stack-bound verification,
+//! bounds-check elision, and module linting.
+//!
+//! Everything here runs exactly once, at [`translate`](crate::translate)
+//! time, over the already-resolved code of a [`CompiledModule`]. The result
+//! is an [`AnalysisReport`] stored on the module (so every consumer — the
+//! registry, the CLI, the benchmarks — shares one analysis), plus a
+//! rewritten per-function code copy in which statically-proven memory
+//! accesses carry no bounds check (used by
+//! [`BoundsStrategy::Static`](crate::BoundsStrategy::Static)).
+//!
+//! Three consumers:
+//!
+//! 1. **Verifier** ([`stack`]): per-function operand-stack heights and frame
+//!    sizes, the call graph, recursion detection, and a worst-case stack
+//!    bound in bytes for the whole module. `sledge-core` compares it against
+//!    the sandbox stack budget *before* instantiation.
+//! 2. **Bounds-check elision** ([`range`]): an intra-procedural interval
+//!    analysis over guest addresses. A load/store whose effective address is
+//!    proven `< min_pages * PAGE_SIZE` can never trap — linear memory only
+//!    grows — so the `Static` strategy executes it unchecked.
+//! 3. **Lints** ([`lint`] + [`range`]): structured [`Diagnostic`]s for
+//!    statically-guaranteed traps and dead code. `Error` means the module
+//!    will trap on the flagged path whenever it executes; the registry
+//!    rejects such modules at load.
+
+mod lint;
+mod range;
+mod stack;
+
+use crate::code::{CompiledModule, Op};
+use std::fmt;
+
+/// How serious a [`Diagnostic`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Suspicious but not certainly fatal (dead code, recursion, a trap
+    /// behind a dynamic guard). Logged at load.
+    Warn,
+    /// A statically-guaranteed trap on an entry path. The registry rejects
+    /// the module.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warn => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One structured finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Severity class.
+    pub severity: Severity,
+    /// Local function index the finding is in, if function-scoped.
+    pub func: Option<u32>,
+    /// Flat-code position within the function, if site-scoped.
+    pub pc: Option<u32>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: ", self.severity)?;
+        if let Some(func) = self.func {
+            write!(f, "func {func}")?;
+            if let Some(pc) = self.pc {
+                write!(f, " pc {pc}")?;
+            }
+            write!(f, ": ")?;
+        }
+        f.write_str(&self.message)
+    }
+}
+
+/// Worst-case stack demand of a module, in bytes, over every entry path
+/// (exports and table-resident functions).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StackBound {
+    /// The call graph is acyclic from every root: the deepest chain needs
+    /// this many bytes of frames, locals, and operands.
+    Bounded(u64),
+    /// A call cycle is reachable; stack demand cannot be bounded statically.
+    Unbounded {
+        /// Local function indices forming (part of) the cycle.
+        cycle: Vec<u32>,
+    },
+}
+
+/// Per-function analysis summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncSummary {
+    /// Export/debug name, if known.
+    pub name: Option<String>,
+    /// Maximum operand-stack slots this function uses.
+    pub max_operand_slots: u32,
+    /// Frame footprint in bytes: locals + operands + frame record.
+    pub frame_bytes: u64,
+    /// Memory-access sites in the function.
+    pub mem_sites: u32,
+    /// Sites proven in-bounds (elided under the `Static` strategy).
+    pub elided_sites: u32,
+    /// Whether the function is reachable from any export or table entry.
+    pub reachable: bool,
+}
+
+/// The complete analysis result for one module.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalysisReport {
+    /// One summary per local function.
+    pub funcs: Vec<FuncSummary>,
+    /// Worst-case stack bound over all entry paths.
+    pub stack_bound: StackBound,
+    /// All lint findings.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Total memory-access sites in the module.
+    pub mem_sites: u32,
+    /// Total sites proven in-bounds.
+    pub elided_sites: u32,
+}
+
+impl Default for AnalysisReport {
+    fn default() -> Self {
+        AnalysisReport {
+            funcs: Vec::new(),
+            stack_bound: StackBound::Bounded(0),
+            diagnostics: Vec::new(),
+            mem_sites: 0,
+            elided_sites: 0,
+        }
+    }
+}
+
+impl AnalysisReport {
+    /// Whether any `Error`-severity diagnostic was found.
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+
+    /// Iterate over diagnostics of one severity.
+    pub fn with_severity(&self, s: Severity) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(move |d| d.severity == s)
+    }
+
+    /// Verify the module's stack demand against a byte budget. Returns an
+    /// `Error` diagnostic when the bound exceeds the budget — or when
+    /// recursion makes the demand unverifiable under a finite budget.
+    pub fn check_stack(&self, max_stack_bytes: u64) -> Option<Diagnostic> {
+        match &self.stack_bound {
+            StackBound::Bounded(b) if *b > max_stack_bytes => Some(Diagnostic {
+                severity: Severity::Error,
+                func: None,
+                pc: None,
+                message: format!(
+                    "worst-case stack demand {b} bytes exceeds budget {max_stack_bytes} bytes"
+                ),
+            }),
+            StackBound::Bounded(_) => None,
+            StackBound::Unbounded { cycle } => Some(Diagnostic {
+                severity: Severity::Error,
+                func: None,
+                pc: None,
+                message: format!(
+                    "stack demand unverifiable under a {max_stack_bytes}-byte budget: \
+                     recursive call cycle through funcs {cycle:?}"
+                ),
+            }),
+        }
+    }
+
+    /// Multi-line human-readable report (used by `awsm-analyze`).
+    pub fn render(&self, module_name: &str) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "module {module_name}:");
+        match &self.stack_bound {
+            StackBound::Bounded(b) => {
+                let _ = writeln!(out, "  stack bound: {b} bytes (acyclic call graph)");
+            }
+            StackBound::Unbounded { cycle } => {
+                let _ = writeln!(out, "  stack bound: unbounded (cycle through {cycle:?})");
+            }
+        }
+        let _ = writeln!(
+            out,
+            "  bounds checks: {}/{} sites proven in-bounds (elided under `static`)",
+            self.elided_sites, self.mem_sites
+        );
+        for (i, f) in self.funcs.iter().enumerate() {
+            let name = f.name.as_deref().unwrap_or("<anon>");
+            let _ = writeln!(
+                out,
+                "  func {i:>3} {name:<20} frame {:>6} B, operands {:>3}, elided {}/{}{}",
+                f.frame_bytes,
+                f.max_operand_slots,
+                f.elided_sites,
+                f.mem_sites,
+                if f.reachable { "" } else { "  (unreachable)" }
+            );
+        }
+        for d in &self.diagnostics {
+            let _ = writeln!(out, "  {d}");
+        }
+        out
+    }
+}
+
+/// Analyze `m` in place: compute the report, rewrite proven-safe memory
+/// accesses into their unchecked forms (`code_static`), and attach the
+/// report to the module. Called once, at the end of translation.
+pub(crate) fn analyze(m: &mut CompiledModule) {
+    let mut report = AnalysisReport::default();
+
+    // Per-function operand heights; needed by both the verifier and the
+    // frame-size summaries.
+    let heights = stack::operand_heights(m);
+
+    // Call graph, recursion, worst-case bound.
+    let graph = stack::CallGraph::build(m);
+    report.stack_bound = graph.stack_bound(m, &heights);
+
+    // Structural lints: entry `unreachable`, dead functions.
+    let reachable = graph.reachable_set();
+    lint::structural(m, &reachable, &mut report.diagnostics);
+
+    // Interval analysis per function: elision proofs + value lints.
+    let mut elisions: Vec<Vec<u32>> = Vec::with_capacity(m.funcs.len());
+    for (fidx, func) in m.funcs.iter().enumerate() {
+        let r = range::analyze_func(m, fidx as u32, func, &mut report.diagnostics);
+        report.mem_sites += r.mem_sites;
+        report.elided_sites += r.proven.len() as u32;
+        report.funcs.push(FuncSummary {
+            name: func.name.clone(),
+            max_operand_slots: heights[fidx],
+            frame_bytes: stack::frame_bytes(func, heights[fidx]),
+            mem_sites: r.mem_sites,
+            elided_sites: r.proven.len() as u32,
+            reachable: reachable.contains(&(fidx as u32)),
+        });
+        elisions.push(r.proven);
+    }
+
+    // Rewrite: a per-function shadow body in which proven sites are
+    // unchecked. Identical length and branch targets — only the flagged
+    // ops change, so `code_static` is a drop-in replacement.
+    for (func, pcs) in m.funcs.iter_mut().zip(&elisions) {
+        if pcs.is_empty() {
+            continue;
+        }
+        let mut code = func.code.clone();
+        for &pc in pcs {
+            let op = &mut code[pc as usize];
+            *op = match op.clone() {
+                Op::Load(k, off) => Op::LoadNc(k, off),
+                Op::LoadL(k, l, off) => Op::LoadLNc(k, l, off),
+                Op::Store(k, off) => Op::StoreNc(k, off),
+                other => other,
+            };
+        }
+        func.code_static = Some(code);
+    }
+
+    m.analysis = report;
+}

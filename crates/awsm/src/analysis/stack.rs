@@ -1,0 +1,295 @@
+//! Stack-bound verification: per-pc operand heights, per-function frame
+//! sizes, the call graph, recursion detection, and the module-wide
+//! worst-case stack demand.
+//!
+//! Heights are a simple forward dataflow over the flat code. Validated Wasm
+//! guarantees every pc has a single well-defined height, so the "join" is
+//! equality; unreachable pcs simply never get one.
+
+use super::StackBound;
+use crate::code::{CompiledFunc, CompiledModule, Op};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Bytes of a `Frame` record (func, pc, locals_base, stack_base — 4 × u32).
+const FRAME_RECORD_BYTES: u64 = 16;
+
+/// Arity of a canonical type id: `(nparams, has_result)`.
+type ArityMap = HashMap<u32, (u32, bool)>;
+
+fn arity_map(m: &CompiledModule) -> ArityMap {
+    let mut map = ArityMap::new();
+    for f in &m.funcs {
+        map.insert(f.type_id, (f.nparams, f.has_result));
+    }
+    for h in &m.host_funcs {
+        map.insert(h.type_id, (h.nparams, h.has_result));
+    }
+    map
+}
+
+/// Maximum operand-stack height of every local function.
+pub(super) fn operand_heights(m: &CompiledModule) -> Vec<u32> {
+    let arities = arity_map(m);
+    m.funcs
+        .iter()
+        .map(|f| func_max_height(m, f, &arities))
+        .collect()
+}
+
+/// Frame footprint in bytes: locals + worst-case operands + frame record.
+pub(super) fn frame_bytes(func: &CompiledFunc, max_operand_slots: u32) -> u64 {
+    (func.nlocals as u64 + max_operand_slots as u64) * 8 + FRAME_RECORD_BYTES
+}
+
+fn func_max_height(m: &CompiledModule, func: &CompiledFunc, arities: &ArityMap) -> u32 {
+    let code = &func.code;
+    let mut height: Vec<Option<u32>> = vec![None; code.len()];
+    let mut work: VecDeque<u32> = VecDeque::new();
+    height[0] = Some(0);
+    work.push_back(0);
+    let mut max = 0u32;
+
+    // Record the height flowing into `pc`; enqueue on first visit.
+    let mut flow = |height: &mut Vec<Option<u32>>, work: &mut VecDeque<u32>, pc: u32, h: u32| {
+        max = max.max(h);
+        match height[pc as usize] {
+            None => {
+                height[pc as usize] = Some(h);
+                work.push_back(pc);
+            }
+            Some(prev) => debug_assert_eq!(prev, h, "height conflict at pc {pc}"),
+        }
+    };
+
+    while let Some(pc) = work.pop_front() {
+        let h = height[pc as usize].expect("queued pc has height");
+        let next = pc + 1;
+        match &code[pc as usize] {
+            Op::Unreachable | Op::Return => {}
+            Op::Br(b) => flow(&mut height, &mut work, b.target, b.height + b.keep as u32),
+            Op::BrIf(b) | Op::BrIfZ(b) => {
+                flow(&mut height, &mut work, b.target, b.height + b.keep as u32);
+                flow(&mut height, &mut work, next, h - 1);
+            }
+            Op::BrTable(payload) => {
+                for b in payload
+                    .targets
+                    .iter()
+                    .chain(std::iter::once(&payload.default))
+                {
+                    flow(&mut height, &mut work, b.target, b.height + b.keep as u32);
+                }
+            }
+            Op::Call(f) => {
+                let callee = &m.funcs[*f as usize];
+                flow(
+                    &mut height,
+                    &mut work,
+                    next,
+                    h - callee.nparams + callee.has_result as u32,
+                );
+            }
+            Op::CallHost(hidx) => {
+                let imp = &m.host_funcs[*hidx as usize];
+                flow(
+                    &mut height,
+                    &mut work,
+                    next,
+                    h - imp.nparams + imp.has_result as u32,
+                );
+            }
+            Op::CallIndirect(tid) => {
+                // Unknown type id: no function of that type exists anywhere,
+                // so the call can only trap — treat as a terminator.
+                if let Some((np, res)) = arities.get(tid) {
+                    flow(&mut height, &mut work, next, h - 1 - np + *res as u32);
+                }
+            }
+            op => {
+                let delta: i64 = match op {
+                    Op::Drop | Op::LocalSet(_) | Op::GlobalSet(_) | Op::Bin(_) => -1,
+                    Op::Select | Op::Store(_, _) | Op::StoreNc(_, _) => -2,
+                    Op::LocalGet(_)
+                    | Op::GlobalGet(_)
+                    | Op::MemorySize
+                    | Op::Const(_)
+                    | Op::Bin2L(..)
+                    | Op::LoadL(..)
+                    | Op::LoadLNc(..) => 1,
+                    _ => 0,
+                };
+                flow(&mut height, &mut work, next, (h as i64 + delta) as u32);
+            }
+        }
+    }
+    max
+}
+
+/// The module's call graph over local functions.
+pub(super) struct CallGraph {
+    /// Out-edges per local function (deduplicated).
+    callees: Vec<Vec<u32>>,
+    /// Entry points: exported local functions and table-resident functions.
+    roots: Vec<u32>,
+}
+
+impl CallGraph {
+    pub(super) fn build(m: &CompiledModule) -> CallGraph {
+        let ni = m.num_imports();
+        // Local functions resident in the table, grouped by type id — the
+        // over-approximated target set of every `call_indirect`.
+        let mut table_by_type: HashMap<u32, Vec<u32>> = HashMap::new();
+        for entry in m.table.iter().flatten() {
+            if *entry >= ni {
+                let f = *entry - ni;
+                let tid = m.funcs[f as usize].type_id;
+                let v = table_by_type.entry(tid).or_default();
+                if !v.contains(&f) {
+                    v.push(f);
+                }
+            }
+        }
+
+        let mut callees: Vec<Vec<u32>> = Vec::with_capacity(m.funcs.len());
+        for func in &m.funcs {
+            let mut out: Vec<u32> = Vec::new();
+            for op in &func.code {
+                match op {
+                    Op::Call(f) if !out.contains(f) => out.push(*f),
+                    Op::CallIndirect(tid) => {
+                        for f in table_by_type.get(tid).map(|v| &v[..]).unwrap_or(&[]) {
+                            if !out.contains(f) {
+                                out.push(*f);
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            callees.push(out);
+        }
+
+        let mut roots: Vec<u32> = Vec::new();
+        for &idx in m.exports.values() {
+            if idx >= ni && !roots.contains(&(idx - ni)) {
+                roots.push(idx - ni);
+            }
+        }
+        for entry in m.table.iter().flatten() {
+            if *entry >= ni && !roots.contains(&(*entry - ni)) {
+                roots.push(*entry - ni);
+            }
+        }
+        roots.sort_unstable();
+
+        CallGraph { callees, roots }
+    }
+
+    /// Every local function reachable from an export or the table.
+    pub(super) fn reachable_set(&self) -> HashSet<u32> {
+        let mut seen: HashSet<u32> = self.roots.iter().copied().collect();
+        let mut work: Vec<u32> = self.roots.clone();
+        while let Some(f) = work.pop() {
+            for &c in &self.callees[f as usize] {
+                if seen.insert(c) {
+                    work.push(c);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Worst-case stack demand in bytes over all entry paths, or the cycle
+    /// that makes it unbounded.
+    pub(super) fn stack_bound(&self, m: &CompiledModule, heights: &[u32]) -> StackBound {
+        if let Some(cycle) = self.find_cycle() {
+            return StackBound::Unbounded { cycle };
+        }
+
+        // Acyclic: memoized longest path, iteratively (guests can be deep).
+        let frame: Vec<u64> = m
+            .funcs
+            .iter()
+            .zip(heights)
+            .map(|(f, &h)| frame_bytes(f, h))
+            .collect();
+        let mut cost: Vec<Option<u64>> = vec![None; m.funcs.len()];
+        for &root in &self.roots {
+            // Post-order: compute children before parents.
+            let mut stack: Vec<(u32, bool)> = vec![(root, false)];
+            while let Some((f, expanded)) = stack.pop() {
+                if cost[f as usize].is_some() {
+                    continue;
+                }
+                if expanded {
+                    let deepest = self.callees[f as usize]
+                        .iter()
+                        .map(|&c| cost[c as usize].expect("child computed"))
+                        .max()
+                        .unwrap_or(0);
+                    cost[f as usize] = Some(frame[f as usize] + deepest);
+                } else {
+                    stack.push((f, true));
+                    for &c in &self.callees[f as usize] {
+                        if cost[c as usize].is_none() {
+                            stack.push((c, false));
+                        }
+                    }
+                }
+            }
+        }
+        let bound = self
+            .roots
+            .iter()
+            .map(|&r| cost[r as usize].expect("root computed"))
+            .max()
+            .unwrap_or(0);
+        StackBound::Bounded(bound)
+    }
+
+    /// Find a call cycle reachable from the roots, if any (iterative
+    /// three-color DFS).
+    fn find_cycle(&self) -> Option<Vec<u32>> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Gray,
+            Black,
+        }
+        let mut color = vec![Color::White; self.callees.len()];
+        let mut path: Vec<u32> = Vec::new();
+
+        for &root in &self.roots {
+            if color[root as usize] != Color::White {
+                continue;
+            }
+            // Stack of (node, next-callee-index to try).
+            let mut stack: Vec<(u32, usize)> = vec![(root, 0)];
+            color[root as usize] = Color::Gray;
+            path.push(root);
+            while let Some(&mut (f, ref mut next)) = stack.last_mut() {
+                if let Some(&c) = self.callees[f as usize].get(*next) {
+                    *next += 1;
+                    match color[c as usize] {
+                        Color::Gray => {
+                            // Back edge: the cycle is the path suffix from c.
+                            let at = path.iter().position(|&p| p == c).expect("on path");
+                            return Some(path[at..].to_vec());
+                        }
+                        Color::White => {
+                            color[c as usize] = Color::Gray;
+                            path.push(c);
+                            stack.push((c, 0));
+                        }
+                        Color::Black => {}
+                    }
+                } else {
+                    color[f as usize] = Color::Black;
+                    path.pop();
+                    stack.pop();
+                }
+            }
+        }
+        None
+    }
+}

@@ -1,0 +1,124 @@
+//! `awsm-analyze`: run the load-time static analyzer over `.wasm` modules
+//! and print the report — stack bounds, bounds-check elision counts, and
+//! lints — without instantiating anything.
+//!
+//! ```text
+//! awsm-analyze [--deny-warnings] [--max-stack-bytes N] [--tier aot-opt|aot-naive] <module.wasm>...
+//! ```
+//!
+//! Exit status is non-zero when any module carries an error-severity
+//! diagnostic, exceeds the stack budget (if one was given), or — under
+//! `--deny-warnings` — produces any warning at all.
+
+use awsm::{AnalysisReport, Severity, Tier};
+use std::process::ExitCode;
+
+struct Options {
+    deny_warnings: bool,
+    max_stack_bytes: Option<u64>,
+    tier: Tier,
+    paths: Vec<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: awsm-analyze [--deny-warnings] [--max-stack-bytes N] \
+         [--tier aot-opt|aot-naive] <module.wasm>..."
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        deny_warnings: false,
+        max_stack_bytes: None,
+        tier: Tier::Optimized,
+        paths: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--deny-warnings" => opts.deny_warnings = true,
+            "--max-stack-bytes" => {
+                let Some(v) = args.next().and_then(|v| v.parse().ok()) else {
+                    usage();
+                };
+                opts.max_stack_bytes = Some(v);
+            }
+            "--tier" => match args.next().as_deref() {
+                Some("aot-opt") => opts.tier = Tier::Optimized,
+                Some("aot-naive") => opts.tier = Tier::Naive,
+                _ => usage(),
+            },
+            "--help" | "-h" => usage(),
+            _ if a.starts_with("--") => usage(),
+            _ => opts.paths.push(a),
+        }
+    }
+    if opts.paths.is_empty() {
+        usage();
+    }
+    opts
+}
+
+/// Whether the report fails under the given policy, with any extra
+/// diagnostics the policy adds (the stack-budget check).
+fn verdict(report: &AnalysisReport, opts: &Options) -> (bool, Vec<String>) {
+    let mut extra = Vec::new();
+    let mut failed = report.has_errors();
+    if let Some(budget) = opts.max_stack_bytes {
+        if let Some(d) = report.check_stack(budget) {
+            extra.push(format!("  {d}"));
+            failed = true;
+        }
+    }
+    if opts.deny_warnings && report.with_severity(Severity::Warn).next().is_some() {
+        failed = true;
+    }
+    (failed, extra)
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let mut any_failed = false;
+    for path in &opts.paths {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                any_failed = true;
+                continue;
+            }
+        };
+        let module = match sledge_wasm::decode::decode_module(&bytes) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("{path}: decode error: {e}");
+                any_failed = true;
+                continue;
+            }
+        };
+        let compiled = match awsm::translate(&module, opts.tier) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("{path}: translation error: {e}");
+                any_failed = true;
+                continue;
+            }
+        };
+        let name = compiled.name.as_deref().unwrap_or(path);
+        print!("{}", compiled.analysis.render(name));
+        let (failed, extra) = verdict(&compiled.analysis, &opts);
+        for line in extra {
+            println!("{line}");
+        }
+        if failed {
+            any_failed = true;
+        }
+    }
+    if any_failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

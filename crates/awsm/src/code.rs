@@ -248,6 +248,14 @@ pub enum Op {
     IncI32(u32, i32),
     /// `local.get a; load`
     LoadL(LoadKind, u32, u32),
+    // ---- statically-verified accesses (analysis-rewritten bodies only) ----
+    /// `Load` at a site the static analyzer proved in-bounds for every
+    /// reachable memory size; executed without a bounds check.
+    LoadNc(LoadKind, u32),
+    /// `LoadL` at a proven-in-bounds site.
+    LoadLNc(LoadKind, u32, u32),
+    /// `Store` at a proven-in-bounds site.
+    StoreNc(StoreKind, u32),
 }
 
 /// Signature of a host import, pre-resolved at translation time.
@@ -270,6 +278,11 @@ pub struct HostImport {
 pub struct CompiledFunc {
     /// Flat code; ends with `Return`.
     pub code: Vec<Op>,
+    /// Analysis-rewritten body in which proven-in-bounds accesses use the
+    /// unchecked `*Nc` ops. Same length and branch targets as `code`;
+    /// present only when at least one site was proven. Selected by
+    /// [`BoundsStrategy::Static`](crate::BoundsStrategy::Static).
+    pub code_static: Option<Vec<Op>>,
     /// Parameter count.
     pub nparams: u32,
     /// Total local slot count (params + declared locals).
@@ -313,6 +326,9 @@ pub struct CompiledModule {
     pub start: Option<u32>,
     /// Module name.
     pub name: Option<String>,
+    /// Load-time static-analysis report (stack bound, elision proofs,
+    /// lints), computed once at translation.
+    pub analysis: crate::analysis::AnalysisReport,
 }
 
 impl CompiledModule {

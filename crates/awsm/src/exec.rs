@@ -113,9 +113,11 @@ macro_rules! check_budget_saved {
 /// a blocking host call.
 ///
 /// `NAIVE` selects the naive tier's accounting (fuel decremented on every
-/// instruction rather than only at branches and calls).
+/// instruction rather than only at branches and calls). `STATIC` selects
+/// the analysis-rewritten function bodies in which statically-proven memory
+/// accesses carry no bounds check.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn run<B: Bounds, const NAIVE: bool>(
+pub(crate) fn run<B: Bounds, const NAIVE: bool, const STATIC: bool>(
     m: &CompiledModule,
     st: &mut ExecState,
     mem: &mut LinearMemory,
@@ -154,7 +156,11 @@ pub(crate) fn run<B: Bounds, const NAIVE: bool>(
             )
         };
         let func = &m.funcs[fidx];
-        let code = &func.code[..];
+        let code = if STATIC {
+            func.code_static.as_deref().unwrap_or(&func.code[..])
+        } else {
+            &func.code[..]
+        };
 
         loop {
             if NAIVE {
@@ -382,6 +388,19 @@ pub(crate) fn run<B: Bounds, const NAIVE: bool>(
                     let slot = &mut st.locals[lb + *i as usize];
                     *slot = (*slot as u32).wrapping_add(*delta as u32) as u64;
                 }
+                Op::LoadNc(kind, off) => {
+                    let addr = st.stack.pop().expect("load addr") as u32;
+                    st.stack.push(do_load_nc(mem, *kind, addr, *off));
+                }
+                Op::LoadLNc(kind, local, off) => {
+                    let addr = st.locals[lb + *local as usize] as u32;
+                    st.stack.push(do_load_nc(mem, *kind, addr, *off));
+                }
+                Op::StoreNc(kind, off) => {
+                    let val = st.stack.pop().expect("store value");
+                    let addr = st.stack.pop().expect("store addr") as u32;
+                    do_store_nc(mem, *kind, addr, *off, val);
+                }
             }
         }
     }
@@ -443,6 +462,43 @@ fn do_load<B: Bounds>(
         LoadKind::I64U32 => u32::from_le_bytes(mem.load::<B, 4>(addr, off)?) as u64,
         LoadKind::I64S32 => u32::from_le_bytes(mem.load::<B, 4>(addr, off)?) as i32 as i64 as u64,
     })
+}
+
+/// Load at a site the analyzer proved in-bounds — no strategy dispatch, no
+/// check (beyond safe slice indexing and a debug assertion in
+/// `LinearMemory::load_nc`).
+#[inline(always)]
+fn do_load_nc(mem: &LinearMemory, kind: LoadKind, addr: u32, off: u32) -> u64 {
+    match kind {
+        LoadKind::I32 | LoadKind::F32 => u32::from_le_bytes(mem.load_nc::<4>(addr, off)) as u64,
+        LoadKind::I64 | LoadKind::F64 => u64::from_le_bytes(mem.load_nc::<8>(addr, off)),
+        LoadKind::I32U8 => mem.load_nc::<1>(addr, off)[0] as u64,
+        LoadKind::I32S8 => mem.load_nc::<1>(addr, off)[0] as i8 as i32 as u32 as u64,
+        LoadKind::I32U16 => u16::from_le_bytes(mem.load_nc::<2>(addr, off)) as u64,
+        LoadKind::I32S16 => {
+            u16::from_le_bytes(mem.load_nc::<2>(addr, off)) as i16 as i32 as u32 as u64
+        }
+        LoadKind::I64U8 => mem.load_nc::<1>(addr, off)[0] as u64,
+        LoadKind::I64S8 => mem.load_nc::<1>(addr, off)[0] as i8 as i64 as u64,
+        LoadKind::I64U16 => u16::from_le_bytes(mem.load_nc::<2>(addr, off)) as u64,
+        LoadKind::I64S16 => u16::from_le_bytes(mem.load_nc::<2>(addr, off)) as i16 as i64 as u64,
+        LoadKind::I64U32 => u32::from_le_bytes(mem.load_nc::<4>(addr, off)) as u64,
+        LoadKind::I64S32 => u32::from_le_bytes(mem.load_nc::<4>(addr, off)) as i32 as i64 as u64,
+    }
+}
+
+/// Store at a proven-in-bounds site (see [`do_load_nc`]).
+#[inline(always)]
+fn do_store_nc(mem: &mut LinearMemory, kind: StoreKind, addr: u32, off: u32, val: u64) {
+    match kind {
+        StoreKind::I32 | StoreKind::F32 => mem.store_nc::<4>(addr, off, (val as u32).to_le_bytes()),
+        StoreKind::I64 | StoreKind::F64 => mem.store_nc::<8>(addr, off, val.to_le_bytes()),
+        StoreKind::B8From32 | StoreKind::B8From64 => mem.store_nc::<1>(addr, off, [val as u8]),
+        StoreKind::B16From32 | StoreKind::B16From64 => {
+            mem.store_nc::<2>(addr, off, (val as u16).to_le_bytes())
+        }
+        StoreKind::B32From64 => mem.store_nc::<4>(addr, off, (val as u32).to_le_bytes()),
+    }
 }
 
 #[inline(always)]

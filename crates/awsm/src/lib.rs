@@ -47,6 +47,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod analysis;
 pub mod code;
 mod exec;
 mod host;
@@ -55,10 +56,11 @@ mod numeric;
 mod translate;
 mod value;
 
-pub use code::{CompiledModule, HostImport};
+pub use analysis::{AnalysisReport, Diagnostic, Severity, StackBound};
+pub use code::{CompiledModule, HostImport, Op};
 pub use exec::{Limits, StepResult};
 pub use host::{Host, HostOutcome, NullHost};
-pub use memory::{BoundsStrategy, LinearMemory};
+pub use memory::{BoundsStrategy, LinearMemory, MemoryError};
 pub use translate::{translate, Tier, TranslateError};
 pub use value::{Trap, Value};
 
@@ -87,6 +89,8 @@ pub struct EngineConfig {
 pub enum InstanceError {
     /// The module's data segments do not fit its initial memory.
     DataOutOfBounds,
+    /// The module's memory limits are invalid.
+    Memory(MemoryError),
     /// No export with the requested name.
     NoSuchExport(String),
     /// The export is an imported function and cannot be an entry point.
@@ -108,6 +112,7 @@ impl fmt::Display for InstanceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             InstanceError::DataOutOfBounds => write!(f, "data segment outside initial memory"),
+            InstanceError::Memory(e) => write!(f, "invalid memory limits: {e}"),
             InstanceError::NoSuchExport(n) => write!(f, "no exported function {n:?}"),
             InstanceError::ExportIsImport(n) => {
                 write!(f, "export {n:?} is an import, not a local function")
@@ -160,7 +165,8 @@ impl Instance {
             min_pages: 0,
             max_pages: 0,
         });
-        let mut memory = LinearMemory::new(spec.min_pages, spec.max_pages, config.bounds);
+        let mut memory = LinearMemory::new(spec.min_pages, spec.max_pages, config.bounds)
+            .map_err(InstanceError::Memory)?;
         for (off, bytes) in &module.data {
             memory
                 .write_bytes(*off, bytes)
@@ -275,15 +281,23 @@ impl Instance {
         let preempt = Arc::clone(&self.preempt);
         let result = match (self.config.tier, self.config.bounds) {
             (Tier::Optimized, BoundsStrategy::None | BoundsStrategy::GuardRegion) => {
-                self.dispatch::<MaskBounds, false>(host, &mut fuel, &preempt)
+                self.dispatch::<MaskBounds, false, false>(host, &mut fuel, &preempt)
             }
             (Tier::Optimized, BoundsStrategy::Software) => {
-                self.dispatch::<SoftwareBounds, false>(host, &mut fuel, &preempt)
+                self.dispatch::<SoftwareBounds, false, false>(host, &mut fuel, &preempt)
             }
             (Tier::Optimized, BoundsStrategy::MpxEmulated) => {
-                self.dispatch::<MpxBounds, false>(host, &mut fuel, &preempt)
+                self.dispatch::<MpxBounds, false, false>(host, &mut fuel, &preempt)
             }
-            (Tier::Naive, _) => self.dispatch::<DynBounds, true>(host, &mut fuel, &preempt),
+            // Static elision: analysis-rewritten bodies skip checks at
+            // proven sites; everything else takes the software check.
+            (Tier::Optimized, BoundsStrategy::Static) => {
+                self.dispatch::<SoftwareBounds, false, true>(host, &mut fuel, &preempt)
+            }
+            (Tier::Naive, BoundsStrategy::Static) => {
+                self.dispatch::<DynBounds, true, true>(host, &mut fuel, &preempt)
+            }
+            (Tier::Naive, _) => self.dispatch::<DynBounds, true, false>(host, &mut fuel, &preempt),
         };
         match result {
             StepResult::Complete(_) => self.status = Status::Idle,
@@ -298,13 +312,13 @@ impl Instance {
         result
     }
 
-    fn dispatch<B: memory::Bounds, const NAIVE: bool>(
+    fn dispatch<B: memory::Bounds, const NAIVE: bool, const STATIC: bool>(
         &mut self,
         host: &mut dyn Host,
         fuel: &mut u64,
         preempt: &AtomicBool,
     ) -> StepResult {
-        exec::run::<B, NAIVE>(
+        exec::run::<B, NAIVE, STATIC>(
             &self.module,
             &mut self.state,
             &mut self.memory,

@@ -28,6 +28,10 @@ pub enum BoundsStrategy {
     /// (documented substitution).
     #[default]
     GuardRegion,
+    /// Static elision: accesses the load-time analyzer proved in-bounds run
+    /// unchecked; every other access gets the full software check. Same
+    /// trapping semantics as [`BoundsStrategy::Software`].
+    Static,
 }
 
 impl BoundsStrategy {
@@ -38,9 +42,34 @@ impl BoundsStrategy {
             BoundsStrategy::Software => "bounds-chk",
             BoundsStrategy::MpxEmulated => "mpx",
             BoundsStrategy::GuardRegion => "vm-guard",
+            BoundsStrategy::Static => "static-elide",
         }
     }
 }
+
+/// Error constructing a [`LinearMemory`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemoryError {
+    /// `min_pages` exceeds `max_pages`: the memory could never grow to its
+    /// own minimum.
+    MinExceedsMax { min_pages: u32, max_pages: u32 },
+}
+
+impl std::fmt::Display for MemoryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemoryError::MinExceedsMax {
+                min_pages,
+                max_pages,
+            } => write!(
+                f,
+                "memory min_pages ({min_pages}) exceeds max_pages ({max_pages})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MemoryError {}
 
 const RED_ZONE: usize = 8;
 /// Number of entries in the emulated MPX bounds-table. Sized like a real
@@ -71,10 +100,24 @@ fn capacity_for(limit: usize) -> usize {
 
 impl LinearMemory {
     /// Allocate a memory of `min_pages`, growable to `max_pages`.
-    pub fn new(min_pages: u32, max_pages: u32, strategy: BoundsStrategy) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::MinExceedsMax`] when `min_pages > max_pages`.
+    pub fn new(
+        min_pages: u32,
+        max_pages: u32,
+        strategy: BoundsStrategy,
+    ) -> Result<Self, MemoryError> {
+        if min_pages > max_pages {
+            return Err(MemoryError::MinExceedsMax {
+                min_pages,
+                max_pages,
+            });
+        }
         let limit = min_pages as usize * PAGE_SIZE;
         let cap = capacity_for(limit);
-        LinearMemory {
+        Ok(LinearMemory {
             data: vec![0u8; cap + RED_ZONE],
             pages: min_pages,
             max_pages,
@@ -86,7 +129,7 @@ impl LinearMemory {
             } else {
                 Box::default()
             },
-        }
+        })
     }
 
     /// Current size in pages.
@@ -159,6 +202,34 @@ impl LinearMemory {
         let i = self.resolve::<B>(addr, offset, N as u32)?;
         self.data[i..i + N].copy_from_slice(&bytes);
         Ok(())
+    }
+
+    /// Load `N` bytes at a site the static analyzer proved in-bounds: no
+    /// strategy dispatch, no compare-and-branch. The effective address is
+    /// statically `≤ min_pages * PAGE_SIZE`, which the committed region
+    /// never shrinks below; the debug assertion documents (and, in debug
+    /// builds, enforces) that invariant.
+    #[inline(always)]
+    pub(crate) fn load_nc<const N: usize>(&self, addr: u32, offset: u32) -> [u8; N] {
+        let i = addr as usize + offset as usize;
+        debug_assert!(
+            i + N <= self.limit,
+            "statically-proven access out of bounds"
+        );
+        let mut out = [0u8; N];
+        out.copy_from_slice(&self.data[i..i + N]);
+        out
+    }
+
+    /// Store `N` bytes at a proven-in-bounds site (see [`Self::load_nc`]).
+    #[inline(always)]
+    pub(crate) fn store_nc<const N: usize>(&mut self, addr: u32, offset: u32, bytes: [u8; N]) {
+        let i = addr as usize + offset as usize;
+        debug_assert!(
+            i + N <= self.limit,
+            "statically-proven access out of bounds"
+        );
+        self.data[i..i + N].copy_from_slice(&bytes);
     }
 
     /// Host-side checked read (always software-checked; used by the runtime
@@ -266,7 +337,9 @@ impl Bounds for DynBounds {
             BoundsStrategy::None | BoundsStrategy::GuardRegion => {
                 MaskBounds::resolve(mem, addr, offset, len)
             }
-            BoundsStrategy::Software => SoftwareBounds::resolve(mem, addr, offset, len),
+            BoundsStrategy::Software | BoundsStrategy::Static => {
+                SoftwareBounds::resolve(mem, addr, offset, len)
+            }
             BoundsStrategy::MpxEmulated => MpxBounds::resolve(mem, addr, offset, len),
         }
     }
@@ -278,7 +351,7 @@ mod tests {
 
     #[test]
     fn software_bounds_trap_past_limit() {
-        let m = LinearMemory::new(1, 4, BoundsStrategy::Software);
+        let m = LinearMemory::new(1, 4, BoundsStrategy::Software).unwrap();
         assert!(m.resolve::<SoftwareBounds>(65532, 0, 4).is_ok());
         assert_eq!(
             m.resolve::<SoftwareBounds>(65533, 0, 4),
@@ -292,7 +365,7 @@ mod tests {
 
     #[test]
     fn mask_bounds_stay_in_allocation() {
-        let m = LinearMemory::new(1, 4, BoundsStrategy::GuardRegion);
+        let m = LinearMemory::new(1, 4, BoundsStrategy::GuardRegion).unwrap();
         // Far out-of-bounds wraps but never escapes the buffer.
         let i = m.resolve::<MaskBounds>(u32::MAX, u32::MAX, 8).unwrap();
         assert!(i + 8 <= m.data.len());
@@ -300,14 +373,14 @@ mod tests {
 
     #[test]
     fn mpx_checks_like_software() {
-        let m = LinearMemory::new(1, 4, BoundsStrategy::MpxEmulated);
+        let m = LinearMemory::new(1, 4, BoundsStrategy::MpxEmulated).unwrap();
         assert!(m.resolve::<MpxBounds>(100, 0, 8).is_ok());
         assert_eq!(m.resolve::<MpxBounds>(65536, 0, 1), Err(Trap::OutOfBounds));
     }
 
     #[test]
     fn grow_respects_max() {
-        let mut m = LinearMemory::new(1, 3, BoundsStrategy::Software);
+        let mut m = LinearMemory::new(1, 3, BoundsStrategy::Software).unwrap();
         assert_eq!(m.grow(1), 1);
         assert_eq!(m.pages(), 2);
         assert_eq!(m.grow(2), -1);
@@ -318,7 +391,7 @@ mod tests {
 
     #[test]
     fn grow_preserves_contents_and_mask() {
-        let mut m = LinearMemory::new(1, 64, BoundsStrategy::Software);
+        let mut m = LinearMemory::new(1, 64, BoundsStrategy::Software).unwrap();
         m.write_bytes(100, &[1, 2, 3]).unwrap();
         assert_eq!(m.grow(31), 1);
         assert_eq!(m.read_bytes(100, 3).unwrap(), &[1, 2, 3]);
@@ -328,7 +401,7 @@ mod tests {
 
     #[test]
     fn host_read_write_checked() {
-        let mut m = LinearMemory::new(1, 1, BoundsStrategy::GuardRegion);
+        let mut m = LinearMemory::new(1, 1, BoundsStrategy::GuardRegion).unwrap();
         m.write_bytes(0, b"hello").unwrap();
         assert_eq!(m.read_bytes(0, 5).unwrap(), b"hello");
         assert!(m.write_bytes(65533, b"oops").is_err());
@@ -336,8 +409,28 @@ mod tests {
     }
 
     #[test]
+    fn min_exceeding_max_is_rejected() {
+        let err = LinearMemory::new(4, 2, BoundsStrategy::Software).unwrap_err();
+        assert_eq!(
+            err,
+            MemoryError::MinExceedsMax {
+                min_pages: 4,
+                max_pages: 2
+            }
+        );
+        assert!(err.to_string().contains("min_pages"));
+    }
+
+    #[test]
+    fn unchecked_accessors_roundtrip() {
+        let mut m = LinearMemory::new(1, 2, BoundsStrategy::Static).unwrap();
+        m.store_nc::<4>(12, 4, 0xAABB_CCDDu32.to_le_bytes());
+        assert_eq!(u32::from_le_bytes(m.load_nc::<4>(8, 8)), 0xAABB_CCDD);
+    }
+
+    #[test]
     fn load_store_roundtrip() {
-        let mut m = LinearMemory::new(1, 1, BoundsStrategy::Software);
+        let mut m = LinearMemory::new(1, 1, BoundsStrategy::Software).unwrap();
         m.store::<SoftwareBounds, 8>(16, 0, 0xDEAD_BEEF_CAFE_F00Du64.to_le_bytes())
             .unwrap();
         let got = m.load::<SoftwareBounds, 8>(8, 8).unwrap();

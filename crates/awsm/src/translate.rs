@@ -203,6 +203,7 @@ pub fn translate(m: &Module, tier: Tier) -> Result<CompiledModule, TranslateErro
         let code = tr.translate_body(ty, body);
         funcs.push(CompiledFunc {
             code,
+            code_static: None,
             nparams: ty.params.len() as u32,
             nlocals: (ty.params.len() + body.locals.len()) as u32,
             has_result: !ty.results.is_empty(),
@@ -211,7 +212,7 @@ pub fn translate(m: &Module, tier: Tier) -> Result<CompiledModule, TranslateErro
         });
     }
 
-    Ok(CompiledModule {
+    let mut module = CompiledModule {
         funcs,
         host_funcs,
         globals,
@@ -221,7 +222,13 @@ pub fn translate(m: &Module, tier: Tier) -> Result<CompiledModule, TranslateErro
         exports,
         start: m.start,
         name: m.name.clone(),
-    })
+        analysis: crate::analysis::AnalysisReport::default(),
+    };
+    // Static analysis runs once here, at load time: stack-bound
+    // verification, bounds-check elision proofs (materialized as the
+    // `code_static` bodies), and lints.
+    crate::analysis::analyze(&mut module);
+    Ok(module)
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

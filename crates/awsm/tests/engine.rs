@@ -18,8 +18,10 @@ const ALL_CONFIGS: &[(Tier, BoundsStrategy)] = &[
     (Tier::Optimized, BoundsStrategy::Software),
     (Tier::Optimized, BoundsStrategy::MpxEmulated),
     (Tier::Optimized, BoundsStrategy::None),
+    (Tier::Optimized, BoundsStrategy::Static),
     (Tier::Naive, BoundsStrategy::GuardRegion),
     (Tier::Naive, BoundsStrategy::Software),
+    (Tier::Naive, BoundsStrategy::Static),
 ];
 
 fn run_all_configs(m: &Module, entry: &str, args: &[Value]) -> Vec<Option<u64>> {

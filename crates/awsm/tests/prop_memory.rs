@@ -69,8 +69,10 @@ proptest! {
             (Tier::Optimized, BoundsStrategy::GuardRegion),
             (Tier::Optimized, BoundsStrategy::MpxEmulated),
             (Tier::Optimized, BoundsStrategy::None),
+            (Tier::Optimized, BoundsStrategy::Static),
             (Tier::Naive, BoundsStrategy::Software),
             (Tier::Naive, BoundsStrategy::GuardRegion),
+            (Tier::Naive, BoundsStrategy::Static),
         ] {
             prop_assert_eq!(
                 run(&m, tier, bounds).expect("in bounds"),
@@ -85,7 +87,11 @@ proptest! {
         base in LIMIT + 1..u32::MAX - 4,
     ) {
         let m = access_module(&[], &[base]);
-        for bounds in [BoundsStrategy::Software, BoundsStrategy::MpxEmulated] {
+        for bounds in [
+            BoundsStrategy::Software,
+            BoundsStrategy::MpxEmulated,
+            BoundsStrategy::Static,
+        ] {
             prop_assert_eq!(
                 run(&m, Tier::Optimized, bounds),
                 Err(Trap::OutOfBounds),
@@ -94,6 +100,25 @@ proptest! {
         }
         // Guard-region wraps (documented substitution) but must not crash.
         prop_assert!(run(&m, Tier::Optimized, BoundsStrategy::GuardRegion).is_ok());
+    }
+
+    /// The differential property behind bounds-check elision: for *any*
+    /// access pattern — in bounds or not — the `Static` strategy must be
+    /// observationally identical to `Software`, both in results and traps.
+    /// Elision may only fire where the analyzer proved the check redundant.
+    #[test]
+    fn static_strategy_is_observationally_identical_to_software(
+        stores in proptest::collection::vec((any::<u32>(), any::<u32>()), 0..12),
+        loads in proptest::collection::vec(any::<u32>(), 1..12),
+    ) {
+        let m = access_module(&stores, &loads);
+        for tier in [Tier::Optimized, Tier::Naive] {
+            prop_assert_eq!(
+                run(&m, tier, BoundsStrategy::Static),
+                run(&m, tier, BoundsStrategy::Software),
+                "tier {:?}", tier
+            );
+        }
     }
 
     #[test]

@@ -124,7 +124,9 @@ proptest! {
         for (tier, bounds) in [
             (Tier::Optimized, BoundsStrategy::GuardRegion),
             (Tier::Optimized, BoundsStrategy::Software),
+            (Tier::Optimized, BoundsStrategy::Static),
             (Tier::Naive, BoundsStrategy::GuardRegion),
+            (Tier::Naive, BoundsStrategy::Static),
         ] {
             let cm = Arc::new(translate(&m, tier).unwrap());
             let mut inst = Instance::new(

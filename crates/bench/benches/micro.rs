@@ -44,6 +44,7 @@ fn bench_kernel_configs(c: &mut Criterion) {
     for (label, tier, bounds) in [
         ("opt_vmguard", Tier::Optimized, BoundsStrategy::GuardRegion),
         ("opt_software", Tier::Optimized, BoundsStrategy::Software),
+        ("opt_static", Tier::Optimized, BoundsStrategy::Static),
         ("opt_mpx", Tier::Optimized, BoundsStrategy::MpxEmulated),
         ("naive_vmguard", Tier::Naive, BoundsStrategy::GuardRegion),
     ] {

@@ -20,6 +20,7 @@ use std::time::Instant;
 const CONFIGS: &[(&str, Tier, BoundsStrategy)] = &[
     ("Sledge+aWsm", Tier::Optimized, BoundsStrategy::GuardRegion),
     ("aWsm-bounds-chk", Tier::Optimized, BoundsStrategy::Software),
+    ("aWsm-static-elide", Tier::Optimized, BoundsStrategy::Static),
     ("aWsm-mpx", Tier::Optimized, BoundsStrategy::MpxEmulated),
     ("aWsm-no-checks", Tier::Optimized, BoundsStrategy::None),
     (

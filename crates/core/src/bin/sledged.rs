@@ -120,6 +120,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         loaded += 1;
     }
 
+    let reg = rt.registry_stats();
+    println!(
+        "verified {} module(s): {} bounds checks elided, {} lint warning(s)",
+        reg.modules_verified, reg.checks_elided, reg.lint_warnings
+    );
+
     println!(
         "sledged serving on http://{} ({loaded} functions)",
         rt.http_addr().expect("http bound"),

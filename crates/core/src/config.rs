@@ -44,6 +44,11 @@ pub struct RuntimeConfig {
     /// Deterministic fault-injection plan, for chaos testing. `None` (the
     /// production setting) injects nothing.
     pub fault_plan: Option<FaultPlan>,
+    /// Worst-case guest stack budget enforced at registration. Modules whose
+    /// statically-verified stack bound exceeds this (or is unbounded due to
+    /// recursion) are rejected before any sandbox is created. `None`
+    /// disables the check.
+    pub max_stack_bytes: Option<u64>,
 }
 
 impl Default for RuntimeConfig {
@@ -61,6 +66,7 @@ impl Default for RuntimeConfig {
             circuit_breaker: None,
             conn_idle: Duration::from_secs(10),
             fault_plan: None,
+            max_stack_bytes: None,
         }
     }
 }
@@ -229,6 +235,7 @@ impl RuntimeConfig {
                 Some("bounds-chk") => BoundsStrategy::Software,
                 Some("mpx") => BoundsStrategy::MpxEmulated,
                 Some("vm-guard") => BoundsStrategy::GuardRegion,
+                Some("static") => BoundsStrategy::Static,
                 other => {
                     return Err(ConfigError::Schema(format!(
                         "unknown bounds strategy {other:?}"
@@ -265,6 +272,11 @@ impl RuntimeConfig {
         }
         if let Some(fp) = v.get("fault_plan") {
             cfg.fault_plan = Some(parse_fault_plan(fp)?);
+        }
+        if let Some(msb) = v.get("max_stack_bytes") {
+            cfg.max_stack_bytes = Some(msb.as_u64().ok_or_else(|| {
+                ConfigError::Schema("max_stack_bytes must be a non-negative int".into())
+            })?);
         }
         let mut funcs = Vec::new();
         if let Some(mods) = v.get("modules") {
@@ -408,6 +420,18 @@ mod tests {
         assert!(RuntimeConfig::from_json(r#"{"bounds": "bogus"}"#).is_err());
         assert!(RuntimeConfig::from_json(r#"{"modules": [{}]}"#).is_err());
         assert!(RuntimeConfig::from_json("{").is_err());
+        assert!(RuntimeConfig::from_json(r#"{"max_stack_bytes": "x"}"#).is_err());
+        assert!(RuntimeConfig::from_json(r#"{"max_stack_bytes": -1}"#).is_err());
+    }
+
+    #[test]
+    fn static_analysis_knobs_parsed() {
+        let text = r#"{"bounds": "static", "max_stack_bytes": 1048576}"#;
+        let (cfg, _) = RuntimeConfig::from_json(text).unwrap();
+        assert_eq!(cfg.bounds, BoundsStrategy::Static);
+        assert_eq!(cfg.max_stack_bytes, Some(1048576));
+        let (cfg, _) = RuntimeConfig::from_json("{}").unwrap();
+        assert_eq!(cfg.max_stack_bytes, None);
     }
 
     #[test]

@@ -70,7 +70,10 @@ pub use json::{parse as parse_json, Json, JsonError};
 pub use listener::AnyResponder;
 pub use registry::{FunctionId, RegisterError, RegisteredFunction, Registry};
 pub use sandbox::{Completion, Outcome, Sandbox, SandboxHost, Timings};
-pub use stats::{BreakerState, FunctionStats, FunctionStatsSnapshot, RuntimeStats, StatsSnapshot};
+pub use stats::{
+    BreakerState, FunctionStats, FunctionStatsSnapshot, RegistryStats, RegistryStatsSnapshot,
+    RuntimeStats, StatsSnapshot,
+};
 
 use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
@@ -172,9 +175,11 @@ impl Runtime {
         };
 
         let workers = config.workers.max(1);
+        let mut registry = Registry::new();
+        registry.set_stack_budget(config.max_stack_bytes);
         let shared = Arc::new(Shared {
             config,
-            registry: RwLock::new(Registry::new()),
+            registry: RwLock::new(registry),
             stats: RuntimeStats::default(),
             epoch: Instant::now(),
             shutdown: AtomicBool::new(false),
@@ -308,6 +313,12 @@ impl Runtime {
     /// Current counter snapshot.
     pub fn stats(&self) -> StatsSnapshot {
         self.shared.stats.snapshot()
+    }
+
+    /// Load-time static-analysis counter snapshot (modules verified /
+    /// rejected, lint warnings, elided bounds checks).
+    pub fn registry_stats(&self) -> stats::RegistryStatsSnapshot {
+        self.shared.registry.read().stats.snapshot()
     }
 
     /// Per-function counter snapshot.

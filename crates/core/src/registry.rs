@@ -2,8 +2,8 @@
 //! once per function, decoupled from per-request instantiation.
 
 use crate::config::FunctionConfig;
-use crate::stats::FunctionStats;
-use awsm::{translate, CompiledModule, Tier, TranslateError};
+use crate::stats::{FunctionStats, RegistryStats};
+use awsm::{translate, AnalysisReport, CompiledModule, Diagnostic, Severity, Tier, TranslateError};
 use sledge_wasm::module::Module;
 use sledge_wasm::DecodeError;
 use std::collections::HashMap;
@@ -37,6 +37,13 @@ impl RegisteredFunction {
     pub fn effective_deadline(&self, default: Option<Duration>) -> Option<Duration> {
         self.config.deadline.or(default)
     }
+
+    /// The static-analysis report computed when this module was translated.
+    /// Cached with the module, so analysis runs once per module, not per
+    /// sandbox.
+    pub fn analysis(&self) -> &AnalysisReport {
+        &self.module.analysis
+    }
 }
 
 /// Registration failure.
@@ -50,6 +57,9 @@ pub enum RegisterError {
     NoEntry(String),
     /// A function with this name already exists.
     DuplicateName(String),
+    /// Static analysis rejected the module: error-severity lints and/or a
+    /// worst-case stack bound over the configured budget.
+    Analysis(Vec<Diagnostic>),
 }
 
 impl fmt::Display for RegisterError {
@@ -59,6 +69,13 @@ impl fmt::Display for RegisterError {
             RegisterError::Translate(e) => write!(f, "{e}"),
             RegisterError::NoEntry(e) => write!(f, "entry point {e:?} not exported"),
             RegisterError::DuplicateName(n) => write!(f, "function {n:?} already registered"),
+            RegisterError::Analysis(diags) => {
+                write!(f, "static analysis rejected module")?;
+                for d in diags {
+                    write!(f, "; {d}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -71,12 +88,23 @@ pub struct Registry {
     functions: Vec<Arc<RegisteredFunction>>,
     by_name: HashMap<String, FunctionId>,
     by_route: HashMap<String, FunctionId>,
+    /// Worst-case guest stack budget enforced at registration; `None`
+    /// disables the check.
+    stack_budget: Option<u64>,
+    /// Load-time analysis counters.
+    pub stats: RegistryStats,
 }
 
 impl Registry {
     /// Empty registry.
     pub fn new() -> Self {
         Registry::default()
+    }
+
+    /// Set the stack budget enforced on subsequently registered modules
+    /// (see [`crate::RuntimeConfig::max_stack_bytes`]).
+    pub fn set_stack_budget(&mut self, budget: Option<u64>) {
+        self.stack_budget = budget;
     }
 
     /// Register a function from raw `.wasm` bytes: decode, validate,
@@ -115,6 +143,7 @@ impl Registry {
         if compiled.export(&config.entry).is_none() {
             return Err(RegisterError::NoEntry(config.entry.clone()));
         }
+        self.gate_analysis(&config.name, &compiled)?;
         let id = FunctionId(self.functions.len() as u32);
         let route = config.http_route();
         let name = config.name.clone();
@@ -129,6 +158,34 @@ impl Registry {
         self.by_name.insert(name, id);
         self.by_route.insert(route, id);
         Ok(id)
+    }
+
+    /// Apply the load-time analysis verdict: reject on error-severity lints
+    /// or a stack bound over budget, log warnings, and update counters.
+    fn gate_analysis(&self, name: &str, compiled: &CompiledModule) -> Result<(), RegisterError> {
+        use std::sync::atomic::Ordering;
+        let report = &compiled.analysis;
+        let mut errors: Vec<Diagnostic> = report.with_severity(Severity::Error).cloned().collect();
+        if let Some(budget) = self.stack_budget {
+            if let Some(d) = report.check_stack(budget) {
+                errors.push(d);
+            }
+        }
+        if !errors.is_empty() {
+            self.stats.modules_rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(RegisterError::Analysis(errors));
+        }
+        let mut warns = 0u64;
+        for d in report.with_severity(Severity::Warn) {
+            eprintln!("[sledge] module {name:?}: {d}");
+            warns += 1;
+        }
+        self.stats.modules_verified.fetch_add(1, Ordering::Relaxed);
+        self.stats.lint_warnings.fetch_add(warns, Ordering::Relaxed);
+        self.stats
+            .checks_elided
+            .fetch_add(u64::from(report.elided_sites), Ordering::Relaxed);
+        Ok(())
     }
 
     /// Look up by id.
@@ -225,5 +282,97 @@ mod tests {
             r.register_wasm(FunctionConfig::new("x"), b"garbage", Tier::Optimized),
             Err(RegisterError::Decode(_))
         ));
+    }
+
+    #[test]
+    fn stack_budget_rejects_oversized_module() {
+        let mut r = Registry::new();
+        // One byte cannot hold any frame; every module is over budget.
+        r.set_stack_budget(Some(1));
+        let m = tiny_module("tiny");
+        let err = r
+            .register_module(FunctionConfig::new("tiny"), &m, Tier::Optimized, 0)
+            .unwrap_err();
+        let RegisterError::Analysis(diags) = err else {
+            panic!("expected analysis rejection, got {err}");
+        };
+        assert!(diags.iter().any(|d| d.message.contains("exceeds budget")));
+        assert!(r.is_empty(), "rejected module must not be registered");
+        assert_eq!(r.stats.snapshot().modules_rejected, 1);
+        // The same module passes under a sane budget.
+        r.set_stack_budget(Some(1 << 20));
+        r.register_module(FunctionConfig::new("tiny"), &m, Tier::Optimized, 0)
+            .unwrap();
+        assert_eq!(r.stats.snapshot().modules_verified, 1);
+    }
+
+    #[test]
+    fn recursive_module_rejected_under_budget() {
+        let mut mb = ModuleBuilder::new("rec");
+        let fr = mb.declare("main", &[ValType::I32], Some(ValType::I32));
+        let mut f = FuncBuilder::new(&[ValType::I32], Some(ValType::I32));
+        let n = f.arg(0);
+        f.push(if_(le_s(local(n), i32c(0)), vec![ret(Some(i32c(0)))]));
+        f.push(ret(Some(call(fr, vec![sub(local(n), i32c(1))]))));
+        mb.define(fr, f);
+        mb.export_func(fr, "main");
+        let m = mb.build().unwrap();
+        let mut r = Registry::new();
+        // Without a budget recursion is allowed (warn-level at most)...
+        r.register_module(FunctionConfig::new("rec"), &m, Tier::Optimized, 0)
+            .unwrap();
+        // ...but any finite budget makes it unverifiable.
+        let mut r2 = Registry::new();
+        r2.set_stack_budget(Some(u64::MAX));
+        let err = r2
+            .register_module(FunctionConfig::new("rec"), &m, Tier::Optimized, 0)
+            .unwrap_err();
+        assert!(matches!(err, RegisterError::Analysis(_)), "{err}");
+    }
+
+    #[test]
+    fn entry_unreachable_rejected_without_budget() {
+        let mut mb = ModuleBuilder::new("boom");
+        let mut f = FuncBuilder::new(&[], Some(ValType::I32));
+        f.push(sledge_guestc::Stmt::Unreachable);
+        let main = mb.add_func("main", f);
+        mb.export_func(main, "main");
+        let m = mb.build().unwrap();
+        let mut r = Registry::new();
+        let err = r
+            .register_module(FunctionConfig::new("boom"), &m, Tier::Optimized, 0)
+            .unwrap_err();
+        let RegisterError::Analysis(diags) = err else {
+            panic!("expected analysis rejection, got {err}");
+        };
+        assert!(diags
+            .iter()
+            .any(|d| d.message.contains("traps unconditionally")));
+        assert_eq!(r.stats.snapshot().modules_rejected, 1);
+    }
+
+    #[test]
+    fn warn_lints_counted_and_report_cached() {
+        // A dead helper function: registered fine, but the warning is
+        // counted and the cached report is reachable via the accessor.
+        let mut mb = ModuleBuilder::new("warned");
+        let mut h = FuncBuilder::new(&[], Some(ValType::I32));
+        h.push(ret(Some(i32c(1))));
+        mb.add_func("helper", h);
+        let mut f = FuncBuilder::new(&[], Some(ValType::I32));
+        f.push(ret(Some(i32c(2))));
+        let main = mb.add_func("main", f);
+        mb.export_func(main, "main");
+        let m = mb.build().unwrap();
+        let mut r = Registry::new();
+        let id = r
+            .register_module(FunctionConfig::new("warned"), &m, Tier::Optimized, 0)
+            .unwrap();
+        let snap = r.stats.snapshot();
+        assert_eq!(snap.modules_verified, 1);
+        assert!(snap.lint_warnings >= 1);
+        let rf = r.get(id).unwrap();
+        assert_eq!(rf.analysis().funcs.len(), 2);
+        assert!(!rf.analysis().has_errors());
     }
 }

@@ -84,6 +84,43 @@ impl StatsSnapshot {
     }
 }
 
+/// Load-time static-analysis counters, updated by the registry as modules
+/// are verified (or rejected) at registration.
+#[derive(Debug, Default)]
+pub struct RegistryStats {
+    /// Modules that passed verification and were registered.
+    pub modules_verified: AtomicU64,
+    /// Modules rejected by the analyzer (error-severity lints or a stack
+    /// bound over budget).
+    pub modules_rejected: AtomicU64,
+    /// Warning-severity lints surfaced across all registered modules.
+    pub lint_warnings: AtomicU64,
+    /// Memory-access sites whose bounds checks were statically elided,
+    /// summed over registered modules.
+    pub checks_elided: AtomicU64,
+}
+
+impl RegistryStats {
+    /// A point-in-time copy suitable for printing.
+    pub fn snapshot(&self) -> RegistryStatsSnapshot {
+        RegistryStatsSnapshot {
+            modules_verified: self.modules_verified.load(Ordering::Relaxed),
+            modules_rejected: self.modules_rejected.load(Ordering::Relaxed),
+            lint_warnings: self.lint_warnings.load(Ordering::Relaxed),
+            checks_elided: self.checks_elided.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`RegistryStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegistryStatsSnapshot {
+    pub modules_verified: u64,
+    pub modules_rejected: u64,
+    pub lint_warnings: u64,
+    pub checks_elided: u64,
+}
+
 /// Circuit breaker state for one function.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BreakerState {

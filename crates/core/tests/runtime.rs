@@ -105,12 +105,19 @@ mod guests {
         mb.build().unwrap()
     }
 
-    /// Trap with an out-of-bounds read under software bounds.
+    /// Trap with an out-of-bounds read under software bounds. The address is
+    /// computed through a memory load (0 at runtime) so the load-time
+    /// analyzer cannot prove it out of bounds and reject the module — the
+    /// point of these tests is the *runtime* trap path.
     pub fn oob() -> Module {
         let mut mb = ModuleBuilder::new("oob");
         mb.memory(1, Some(1));
         let mut f = FuncBuilder::new(&[], Some(ValType::I32));
-        f.push(ret(Some(load(Scalar::I32, i32c(70000), 0))));
+        f.push(ret(Some(load(
+            Scalar::I32,
+            add(load(Scalar::I32, i32c(0), 0), i32c(70000)),
+            0,
+        ))));
         let main = mb.add_func("main", f);
         mb.export_func(main, "main");
         mb.build().unwrap()
