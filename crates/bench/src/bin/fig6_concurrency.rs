@@ -6,9 +6,11 @@
 
 use sledge_baseline::ProcessPool;
 use sledge_bench::{
-    baseline_function_table, drive_baseline, drive_sledge, fmt_dur, requests_per_point,
+    baseline_function_table, drive_baseline, drive_sledge, fmt_dur, internal_phase_row,
+    requests_per_point,
 };
 use sledge_core::{FunctionConfig, Runtime, RuntimeConfig};
+use std::time::Duration;
 
 const CONCURRENCIES: &[usize] = &[1, 5, 10, 20, 40, 60, 80, 100];
 
@@ -30,38 +32,43 @@ fn main() {
         }
     }
 
-    let rt = Runtime::new(RuntimeConfig::default());
-    let ping = rt
-        .register_module(FunctionConfig::new("ping"), &sledge_apps::ping::module())
-        .expect("register ping");
-
     let exe = std::env::current_exe().expect("current exe");
     // The paper tunes Nuclio's maxWorker to 16.
     let pool = ProcessPool::new(exe, 16, 4096);
 
     println!("# Figure 6: ping with varying concurrency ({requests} requests/point)");
+    println!("# sledge latency columns are runtime-internal (Runtime::latency_report)");
     println!(
         "{:>5} | {:>12} {:>10} {:>10} | {:>12} {:>10} {:>10} | {:>7}",
-        "conc", "sledge req/s", "avg", "p99", "nuclio req/s", "avg", "p99", "speedup"
+        "conc", "sledge req/s", "p50", "p99", "nuclio req/s", "avg", "p99", "speedup"
     );
     for &c in CONCURRENCIES {
+        // A fresh runtime per point keeps its histograms scoped to this
+        // concurrency level, so the reported quantiles are per-point.
+        let rt = Runtime::new(RuntimeConfig::default());
+        let ping = rt
+            .register_module(FunctionConfig::new("ping"), &sledge_apps::ping::module())
+            .expect("register ping");
         let s = drive_sledge(&rt, ping, b"", c, requests);
+        let report = rt.latency_report();
         let b = drive_baseline(&pool, "ping", b"", c, requests);
+        let total = &report.global.total;
         println!(
             "{:>5} | {:>12.0} {:>10} {:>10} | {:>12.0} {:>10} {:>10} | {:>6.2}x",
             c,
             s.throughput(),
-            fmt_dur(s.latency.avg),
-            fmt_dur(s.latency.p99),
+            fmt_dur(Duration::from_nanos(total.quantile(0.5))),
+            fmt_dur(Duration::from_nanos(total.quantile(0.99))),
             b.throughput(),
             fmt_dur(b.latency.avg),
             fmt_dur(b.latency.p99),
             s.throughput() / b.throughput()
         );
+        println!("      |   {}", internal_phase_row(&report));
+        rt.shutdown();
     }
     println!();
     println!("# Paper: Sledge ~3x Nuclio throughput across concurrency levels,");
     println!("#   with significantly lower avg and p99 latency.");
     pool.shutdown();
-    rt.shutdown();
 }

@@ -6,9 +6,11 @@
 
 use sledge_baseline::ProcessPool;
 use sledge_bench::{
-    baseline_function_table, drive_baseline, drive_sledge, fmt_dur, requests_per_point,
+    baseline_function_table, drive_baseline, drive_sledge, fmt_dur, internal_phase_row,
+    requests_per_point,
 };
 use sledge_core::{FunctionConfig, Runtime, RuntimeConfig};
+use std::time::Duration;
 
 const PAYLOADS: &[(&str, usize)] = &[
     ("1KB", 1 << 10),
@@ -35,39 +37,45 @@ fn main() {
         }
     }
 
-    let rt = Runtime::new(RuntimeConfig::default());
-    let echo = rt
-        .register_module(FunctionConfig::new("echo"), &sledge_apps::echo::module())
-        .expect("register echo");
     let exe = std::env::current_exe().expect("current exe");
     let pool = ProcessPool::new(exe, 16, 4096);
 
     println!(
         "# Figure 7: network transfer at {CONCURRENCY} concurrent ({requests} requests/point)"
     );
+    println!("# sledge latency columns are runtime-internal (Runtime::latency_report)");
     println!(
         "{:>6} | {:>12} {:>10} {:>10} | {:>12} {:>10} {:>10} | {:>7}",
-        "size", "sledge req/s", "avg", "p99", "nuclio req/s", "avg", "p99", "speedup"
+        "size", "sledge req/s", "p50", "p99", "nuclio req/s", "avg", "p99", "speedup"
     );
     for (label, size) in PAYLOADS {
+        // Fresh runtime per payload size so the internal histograms are
+        // scoped to this measurement point.
+        let rt = Runtime::new(RuntimeConfig::default());
+        let echo = rt
+            .register_module(FunctionConfig::new("echo"), &sledge_apps::echo::module())
+            .expect("register echo");
         let body = sledge_apps::echo::payload(*size);
         let s = drive_sledge(&rt, echo, &body, CONCURRENCY, requests);
+        let report = rt.latency_report();
         let b = drive_baseline(&pool, "echo", &body, CONCURRENCY, requests);
+        let total = &report.global.total;
         println!(
             "{:>6} | {:>12.0} {:>10} {:>10} | {:>12.0} {:>10} {:>10} | {:>6.2}x",
             label,
             s.throughput(),
-            fmt_dur(s.latency.avg),
-            fmt_dur(s.latency.p99),
+            fmt_dur(Duration::from_nanos(total.quantile(0.5))),
+            fmt_dur(Duration::from_nanos(total.quantile(0.99))),
             b.throughput(),
             fmt_dur(b.latency.avg),
             fmt_dur(b.latency.p99),
             s.throughput() / b.throughput()
         );
+        println!("       |   {}", internal_phase_row(&report));
+        rt.shutdown();
     }
     println!();
     println!("# Paper: ~2.8x at 1KB/10KB; the gap narrows as copying dominates");
     println!("#   (1MB approaches parity).");
     pool.shutdown();
-    rt.shutdown();
 }

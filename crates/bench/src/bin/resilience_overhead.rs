@@ -11,7 +11,9 @@
 //! Usage: `resilience_overhead [--iters N]`
 
 use sledge_bench::{fmt_dur, requests_per_point, LatencyStats};
-use sledge_core::{BreakerConfig, FunctionConfig, Outcome, Runtime, RuntimeConfig};
+use sledge_core::{
+    BreakerConfig, FunctionConfig, Outcome, PhaseHistograms, Runtime, RuntimeConfig, Timings,
+};
 use sledge_guestc::dsl::*;
 use sledge_guestc::{FuncBuilder, ModuleBuilder};
 use sledge_wasm::module::Module;
@@ -137,4 +139,39 @@ fn main() {
     println!();
     println!("# The deadline/breaker checks are atomic loads plus one Instant compare");
     println!("# per scheduling point; overhead should be within run-to-run noise.");
+
+    // Direct cost of the always-on latency instrumentation: per completed
+    // invocation the worker performs two full per-phase shard records (the
+    // global shard and the function's shard). Measure one record and
+    // express the pair as a fraction of the baseline end-to-end latency.
+    let shard = PhaseHistograms::default();
+    let t = Timings {
+        arrival: Instant::now(),
+        instantiation: Duration::from_micros(7),
+        queue_delay: Duration::from_micros(12),
+        execution: Duration::from_micros(80),
+        preempted: Duration::from_micros(3),
+        blocked: Duration::ZERO,
+        total: Duration::from_micros(120),
+        preemptions: 1,
+    };
+    let reps: u32 = 1_000_000;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        shard.record(&t);
+    }
+    let per_record = t0.elapsed() / reps;
+    let per_invocation = per_record * 2;
+    let pct = baseline_avg
+        .map(|b| per_invocation.as_secs_f64() / b.as_secs_f64() * 100.0)
+        .unwrap_or(0.0);
+    println!();
+    println!(
+        "# metrics instrumentation: {} per shard record, 2 records/invocation",
+        fmt_dur(per_record)
+    );
+    println!(
+        "# = {} per invocation = {pct:.3}% of baseline avg (target < 2%)",
+        fmt_dur(per_invocation)
+    );
 }

@@ -8,8 +8,9 @@ use awsm::{translate, EngineConfig, Instance, StepResult, Tier};
 use sledge_apps::testutil::BufferHost;
 use sledge_baseline::worker_child_main;
 use sledge_bench::{baseline_function_table, fmt_dur, requests_per_point, LatencyStats};
+use sledge_core::{FunctionConfig, Outcome, Runtime, RuntimeConfig};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn main() {
     let table = baseline_function_table();
@@ -98,6 +99,27 @@ fn main() {
     }
     let inst_only = LatencyStats::from_samples(inst_lat);
 
+    // The same churn through the full runtime (listener → deque → worker),
+    // measured by the runtime's own per-phase histograms instead of a
+    // client-side stopwatch: instantiation and end-to-end quantiles come
+    // from Runtime::latency_report.
+    let rt = Runtime::new(RuntimeConfig {
+        workers: 2,
+        ..Default::default()
+    });
+    let ekf = rt
+        .register_module(
+            FunctionConfig::new("gps_ekf"),
+            &sledge_apps::gps_ekf::module(),
+        )
+        .expect("register gps_ekf");
+    for _ in 0..iters {
+        let done = rt.invoke(ekf, body.clone()).wait().expect("ekf");
+        assert!(matches!(done.outcome, Outcome::Success(_)));
+    }
+    let report = rt.latency_report();
+    rt.shutdown();
+
     println!("# Table 3: churn for GPS-EKF ({iters} iterations)");
     println!("{:<36} {:>10} {:>10}", "", "99%", "Avg");
     println!(
@@ -117,6 +139,20 @@ fn main() {
         "Sledge sandbox creation only",
         fmt_dur(inst_only.p99),
         fmt_dur(inst_only.avg)
+    );
+    let d = |ns: u64| fmt_dur(Duration::from_nanos(ns));
+    let g = &report.global;
+    println!(
+        "{:<36} {:>10} {:>10}",
+        "full runtime, internal total",
+        d(g.total.quantile(0.99)),
+        d(g.total.mean().unwrap_or(0)),
+    );
+    println!(
+        "{:<36} {:>10} {:>10}",
+        "full runtime, internal instantiation",
+        d(g.instantiation.quantile(0.99)),
+        d(g.instantiation.mean().unwrap_or(0)),
     );
     println!();
     println!(

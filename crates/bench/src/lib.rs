@@ -6,7 +6,7 @@
 //! for the experiment index.
 
 use sledge_baseline::{FunctionTable, ProcessPool};
-use sledge_core::{FunctionId, Outcome, Runtime};
+use sledge_core::{FunctionId, LatencyReport, Outcome, Runtime};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -190,6 +190,28 @@ pub fn requests_per_point(default_quick: usize, full: usize) -> usize {
     } else {
         default_quick
     }
+}
+
+/// Format the runtime-internal per-phase breakdown for one measurement
+/// point, from [`Runtime::latency_report`] — the figures' latency numbers
+/// come from inside the runtime rather than client-side timing, so tail
+/// latency is attributable to a phase (queue vs. instantiation vs.
+/// execution).
+pub fn internal_phase_row(report: &LatencyReport) -> String {
+    let g = &report.global;
+    let d = |ns: u64| fmt_dur(Duration::from_nanos(ns));
+    format!(
+        "internal n={}: total {}/{} | queue {}/{} | inst {}/{} | exec {}/{} (p50/p99)",
+        g.count(),
+        d(g.total.quantile(0.5)),
+        d(g.total.quantile(0.99)),
+        d(g.queue.quantile(0.5)),
+        d(g.queue.quantile(0.99)),
+        d(g.instantiation.quantile(0.5)),
+        d(g.instantiation.quantile(0.99)),
+        d(g.execution.quantile(0.5)),
+        d(g.execution.quantile(0.99)),
+    )
 }
 
 /// Print a duration in adaptive units, as the paper's tables do.

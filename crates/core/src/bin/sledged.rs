@@ -11,6 +11,8 @@
 //!   (useful for scripted benchmarks and chaos runs).
 //! * `--drain-timeout-ms M` — budget for the graceful drain on exit
 //!   (default 5000 ms; past it the backlog is killed with 504s).
+//! * `--stats-interval-s N` — print a one-line latency/outcome summary
+//!   every N seconds (the same data `GET /metrics` serves).
 //!
 //! Config format (paths are relative to the config file):
 //!
@@ -40,6 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut deadline_ms: Option<u64> = None;
     let mut run_for_s: Option<u64> = None;
     let mut drain_timeout_ms: u64 = 5000;
+    let mut stats_interval_s: Option<u64> = None;
     let mut i = 1;
     while i < args.len() {
         let take_value = |i: &mut usize| -> Result<u64, Box<dyn std::error::Error>> {
@@ -54,6 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "--deadline-ms" => deadline_ms = Some(take_value(&mut i)?),
             "--run-for-s" => run_for_s = Some(take_value(&mut i)?),
             "--drain-timeout-ms" => drain_timeout_ms = take_value(&mut i)?,
+            "--stats-interval-s" => stats_interval_s = Some(take_value(&mut i)?),
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag {flag}").into());
             }
@@ -63,7 +67,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let Some(config_path) = positional.first() else {
-        eprintln!("usage: sledged <config.json> [listen-addr] [--deadline-ms N] [--run-for-s N] [--drain-timeout-ms M]");
+        eprintln!("usage: sledged <config.json> [listen-addr] [--deadline-ms N] [--run-for-s N] [--drain-timeout-ms M] [--stats-interval-s N]");
         std::process::exit(2);
     };
     let listen: SocketAddr = positional
@@ -147,10 +151,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  FAULT INJECTION ACTIVE (chaos configuration)");
     }
 
+    if let Some(secs) = stats_interval_s.filter(|s| *s > 0) {
+        // Periodic one-line reporter, detached: it reads metrics through a
+        // cheap handle and dies with the process.
+        let handle = rt.metrics_handle();
+        std::thread::Builder::new()
+            .name("sledged-stats".into())
+            .spawn(move || loop {
+                std::thread::sleep(Duration::from_secs(secs));
+                let report = handle.latency_report();
+                let stats = handle.stats();
+                println!("[stats] {}", sledge_core::summary_line(&report, &stats));
+            })?;
+        println!("  stats summary every {secs} s");
+    }
+
     match run_for_s {
         Some(secs) => {
             println!("serving for {secs} s, then draining.");
             std::thread::sleep(Duration::from_secs(secs));
+            let handle = rt.metrics_handle();
             let drained = rt.shutdown_drain(Duration::from_millis(drain_timeout_ms));
             println!(
                 "drain {}",
@@ -159,6 +179,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 } else {
                     "timed out (backlog killed)"
                 }
+            );
+            println!(
+                "[final] {}",
+                sledge_core::summary_line(&handle.latency_report(), &handle.stats())
             );
             Ok(())
         }

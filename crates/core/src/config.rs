@@ -49,6 +49,10 @@ pub struct RuntimeConfig {
     /// recursion) are rejected before any sandbox is created. `None`
     /// disables the check.
     pub max_stack_bytes: Option<u64>,
+    /// Serve `GET /metrics` (Prometheus text) and `GET /stats` (JSON) on
+    /// the HTTP front end. On by default; disable to reserve those routes
+    /// for functions.
+    pub metrics_routes: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -67,6 +71,7 @@ impl Default for RuntimeConfig {
             conn_idle: Duration::from_secs(10),
             fault_plan: None,
             max_stack_bytes: None,
+            metrics_routes: true,
         }
     }
 }
@@ -278,6 +283,11 @@ impl RuntimeConfig {
                 ConfigError::Schema("max_stack_bytes must be a non-negative int".into())
             })?);
         }
+        if let Some(mr) = v.get("metrics_routes") {
+            cfg.metrics_routes = mr
+                .as_bool()
+                .ok_or_else(|| ConfigError::Schema("metrics_routes must be a bool".into()))?;
+        }
         let mut funcs = Vec::new();
         if let Some(mods) = v.get("modules") {
             let arr = mods
@@ -422,6 +432,15 @@ mod tests {
         assert!(RuntimeConfig::from_json("{").is_err());
         assert!(RuntimeConfig::from_json(r#"{"max_stack_bytes": "x"}"#).is_err());
         assert!(RuntimeConfig::from_json(r#"{"max_stack_bytes": -1}"#).is_err());
+    }
+
+    #[test]
+    fn metrics_routes_knob_parsed() {
+        let (cfg, _) = RuntimeConfig::from_json("{}").unwrap();
+        assert!(cfg.metrics_routes, "metrics routes default on");
+        let (cfg, _) = RuntimeConfig::from_json(r#"{"metrics_routes": false}"#).unwrap();
+        assert!(!cfg.metrics_routes);
+        assert!(RuntimeConfig::from_json(r#"{"metrics_routes": 1}"#).is_err());
     }
 
     #[test]

@@ -55,8 +55,10 @@
 
 mod config;
 mod fault;
+mod histogram;
 mod json;
 mod listener;
+mod metrics;
 mod registry;
 mod sandbox;
 mod stats;
@@ -66,8 +68,13 @@ pub use config::{
     num_cpus, BreakerConfig, ConfigError, FunctionConfig, RuntimeConfig, SchedPolicy,
 };
 pub use fault::FaultPlan;
+pub use histogram::{bucket_bounds, bucket_of, Histogram, HistogramSnapshot, BUCKETS};
 pub use json::{parse as parse_json, Json, JsonError};
 pub use listener::AnyResponder;
+pub use metrics::{
+    render_json, render_prometheus, summary_line, LatencyReport, MetricsHandle, PhaseHistograms,
+    PhaseSnapshot, PHASES,
+};
 pub use registry::{FunctionId, RegisterError, RegisteredFunction, Registry};
 pub use sandbox::{Completion, Outcome, Sandbox, SandboxHost, Timings};
 pub use stats::{
@@ -108,6 +115,9 @@ pub(crate) struct Shared {
     /// Invocation sequence numbers (assigned at admission; fault-injection
     /// decisions key off them).
     pub seq: AtomicU64,
+    /// Per-worker latency shards for the global (all-functions) view;
+    /// worker `i` writes only `phase_shards[i]`.
+    pub phase_shards: Box<[metrics::PhaseHistograms]>,
 }
 
 impl Shared {
@@ -177,6 +187,7 @@ impl Runtime {
         let workers = config.workers.max(1);
         let mut registry = Registry::new();
         registry.set_stack_budget(config.max_stack_bytes);
+        registry.set_shards(workers);
         let shared = Arc::new(Shared {
             config,
             registry: RwLock::new(registry),
@@ -188,6 +199,9 @@ impl Runtime {
             pending: AtomicUsize::new(0),
             inflight: AtomicUsize::new(0),
             seq: AtomicU64::new(0),
+            phase_shards: (0..workers)
+                .map(|_| metrics::PhaseHistograms::default())
+                .collect(),
         });
 
         let (deque, stealer) = sledge_deque::deque::<Box<Sandbox>>();
@@ -197,7 +211,10 @@ impl Runtime {
         let mut threads = Vec::new();
         let mut worker_shareds = Vec::new();
         for i in 0..workers {
-            let ws = Arc::new(worker::WorkerShared::default());
+            let ws = Arc::new(worker::WorkerShared {
+                index: i,
+                ..Default::default()
+            });
             worker_shareds.push(Arc::clone(&ws));
             let shared = Arc::clone(&shared);
             let stealer = stealer.clone();
@@ -313,6 +330,21 @@ impl Runtime {
     /// Current counter snapshot.
     pub fn stats(&self) -> StatsSnapshot {
         self.shared.stats.snapshot()
+    }
+
+    /// Merged per-phase latency report: every worker's private shards
+    /// folded into a global view plus per-function breakdowns. This is the
+    /// same data `GET /metrics` and `GET /stats` serve.
+    pub fn latency_report(&self) -> LatencyReport {
+        self.shared.latency_report()
+    }
+
+    /// A cheap clonable handle for reading metrics from another thread
+    /// (e.g. a periodic reporter) without holding the `Runtime`.
+    pub fn metrics_handle(&self) -> MetricsHandle {
+        MetricsHandle {
+            shared: Arc::clone(&self.shared),
+        }
     }
 
     /// Load-time static-analysis counter snapshot (modules verified /

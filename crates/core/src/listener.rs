@@ -87,6 +87,8 @@ fn deliver_now(function: FunctionId, responder: AnyResponder, outcome: Outcome) 
             instantiation: Duration::ZERO,
             queue_delay: Duration::ZERO,
             execution: Duration::ZERO,
+            preempted: Duration::ZERO,
+            blocked: Duration::ZERO,
             total: Duration::ZERO,
             preemptions: 0,
         },
@@ -227,6 +229,34 @@ pub(crate) fn listener_loop(
                 worked = true;
                 match ev {
                     ConnectionEvent::Request(conn, req) => {
+                        // Observability endpoints are served inline on the
+                        // listener thread (merging shards is read-only and
+                        // cheap) and take precedence over function routes.
+                        if shared.config.metrics_routes
+                            && req.method == "GET"
+                            && (req.path == "/metrics" || req.path == "/stats")
+                        {
+                            let report = shared.latency_report();
+                            let stats = shared.stats.snapshot();
+                            let (body, ctype) = if req.path == "/metrics" {
+                                (
+                                    crate::metrics::render_prometheus(&report, &stats),
+                                    "text/plain; version=0.0.4",
+                                )
+                            } else {
+                                (
+                                    crate::metrics::render_json(&report, &stats),
+                                    "application/json",
+                                )
+                            };
+                            server.send(
+                                conn,
+                                &Response::ok(body.into_bytes())
+                                    .header("Content-Type", ctype)
+                                    .to_bytes(),
+                            );
+                            continue;
+                        }
                         let function = shared.registry.read().by_route(&req.path).map(|rf| rf.id);
                         match function {
                             Some(id) => admit(

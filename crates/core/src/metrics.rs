@@ -1,0 +1,448 @@
+//! Invocation-lifecycle metrics: per-phase latency shards, the merged
+//! [`LatencyReport`], and the `/metrics` (Prometheus text) and `/stats`
+//! (JSON) renderings.
+//!
+//! Every completed invocation is decomposed into phases (queue wait,
+//! instantiation, pure execution, preempted time, blocked time, end-to-end
+//! total) and recorded into one [`PhaseHistograms`] *shard*. Each worker
+//! owns a private shard per key (one global, one per function), so the hot
+//! path touches only cache lines no other worker writes; readers merge
+//! shard snapshots on demand.
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+use crate::sandbox::Timings;
+use crate::stats::StatsSnapshot;
+use crate::Shared;
+use std::sync::Arc;
+
+/// The lifecycle phases a latency sample is split into, in render order.
+pub const PHASES: [&str; 6] = [
+    "queue",
+    "instantiation",
+    "execution",
+    "preempted",
+    "blocked",
+    "total",
+];
+
+/// One shard of per-phase histograms (one per worker per key).
+#[derive(Debug, Default)]
+pub struct PhaseHistograms {
+    /// Enqueue → first dispatch on a worker.
+    pub queue: Histogram,
+    /// Sandbox allocation on the listener.
+    pub instantiation: Histogram,
+    /// Accumulated guest execution.
+    pub execution: Histogram,
+    /// Time parked on the runqueue after preemption.
+    pub preempted: Histogram,
+    /// Time parked on the I/O wait list (includes wake → redispatch).
+    pub blocked: Histogram,
+    /// Arrival → completion delivery.
+    pub total: Histogram,
+}
+
+impl PhaseHistograms {
+    /// Record one finished invocation's phase breakdown.
+    #[inline]
+    pub fn record(&self, t: &Timings) {
+        self.queue.record(t.queue_delay.as_nanos() as u64);
+        self.instantiation.record(t.instantiation.as_nanos() as u64);
+        self.execution.record(t.execution.as_nanos() as u64);
+        self.preempted.record(t.preempted.as_nanos() as u64);
+        self.blocked.record(t.blocked.as_nanos() as u64);
+        self.total.record(t.total.as_nanos() as u64);
+    }
+
+    /// Point-in-time copy of all phases.
+    pub fn snapshot(&self) -> PhaseSnapshot {
+        PhaseSnapshot {
+            queue: self.queue.snapshot(),
+            instantiation: self.instantiation.snapshot(),
+            execution: self.execution.snapshot(),
+            preempted: self.preempted.snapshot(),
+            blocked: self.blocked.snapshot(),
+            total: self.total.snapshot(),
+        }
+    }
+}
+
+/// Merged (or single-shard) snapshot of every phase histogram.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseSnapshot {
+    pub queue: HistogramSnapshot,
+    pub instantiation: HistogramSnapshot,
+    pub execution: HistogramSnapshot,
+    pub preempted: HistogramSnapshot,
+    pub blocked: HistogramSnapshot,
+    pub total: HistogramSnapshot,
+}
+
+impl PhaseSnapshot {
+    /// Fold another snapshot into this one, phase by phase.
+    pub fn merge(&mut self, other: &PhaseSnapshot) {
+        self.queue.merge(&other.queue);
+        self.instantiation.merge(&other.instantiation);
+        self.execution.merge(&other.execution);
+        self.preempted.merge(&other.preempted);
+        self.blocked.merge(&other.blocked);
+        self.total.merge(&other.total);
+    }
+
+    /// Merge a set of shards into one snapshot.
+    pub fn merge_shards(shards: &[PhaseHistograms]) -> PhaseSnapshot {
+        let mut acc = PhaseSnapshot::default();
+        for s in shards {
+            acc.merge(&s.snapshot());
+        }
+        acc
+    }
+
+    /// The phases in render order, labelled.
+    pub fn phases(&self) -> [(&'static str, &HistogramSnapshot); 6] {
+        [
+            (PHASES[0], &self.queue),
+            (PHASES[1], &self.instantiation),
+            (PHASES[2], &self.execution),
+            (PHASES[3], &self.preempted),
+            (PHASES[4], &self.blocked),
+            (PHASES[5], &self.total),
+        ]
+    }
+
+    /// Samples recorded (every phase records once per invocation, so any
+    /// phase's count is the invocation count; `total` is canonical).
+    pub fn count(&self) -> u64 {
+        self.total.count()
+    }
+}
+
+/// The merged latency view over every worker shard: global plus
+/// per-function breakdowns. Produced by [`crate::Runtime::latency_report`]
+/// and by the `/metrics` / `/stats` endpoints.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyReport {
+    /// All invocations, across functions.
+    pub global: PhaseSnapshot,
+    /// Per-function breakdowns, in registration order.
+    pub per_function: Vec<(String, PhaseSnapshot)>,
+}
+
+/// A cheap, clonable handle for reading runtime metrics without holding the
+/// [`crate::Runtime`] itself — `sledged`'s periodic reporter thread and the
+/// bench binaries use it.
+#[derive(Clone)]
+pub struct MetricsHandle {
+    pub(crate) shared: Arc<Shared>,
+}
+
+impl MetricsHandle {
+    /// Merged latency report (see [`crate::Runtime::latency_report`]).
+    pub fn latency_report(&self) -> LatencyReport {
+        self.shared.latency_report()
+    }
+
+    /// Global counter snapshot.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+}
+
+impl Shared {
+    /// Merge every worker shard into the global + per-function report.
+    pub(crate) fn latency_report(&self) -> LatencyReport {
+        let global = PhaseSnapshot::merge_shards(&self.phase_shards);
+        let per_function = self
+            .registry
+            .read()
+            .iter()
+            .map(|rf| {
+                (
+                    rf.config.name.clone(),
+                    PhaseSnapshot::merge_shards(&rf.metrics),
+                )
+            })
+            .collect();
+        LatencyReport {
+            global,
+            per_function,
+        }
+    }
+}
+
+fn fmt_ns_f64(ns: u64) -> String {
+    // Prometheus convention: seconds as a float. 1 ns = 1e-9 s; u64 ns
+    // round-trips exactly enough for monitoring purposes.
+    format!("{:.9}", ns as f64 / 1e9)
+}
+
+/// Render the Prometheus text exposition served at `GET /metrics`.
+pub fn render_prometheus(report: &LatencyReport, stats: &StatsSnapshot) -> String {
+    let mut out = String::with_capacity(4096);
+
+    out.push_str("# HELP sledge_invocations_total Invocations by outcome.\n");
+    out.push_str("# TYPE sledge_invocations_total counter\n");
+    for (outcome, v) in [
+        ("completed", stats.completed),
+        ("trapped", stats.trapped),
+        ("timed_out", stats.timed_out),
+        ("rejected", stats.rejected),
+        ("breaker_rejected", stats.breaker_rejected),
+    ] {
+        out.push_str(&format!(
+            "sledge_invocations_total{{outcome=\"{outcome}\"}} {v}\n"
+        ));
+    }
+
+    out.push_str("# HELP sledge_scheduler_events_total Scheduler events.\n");
+    out.push_str("# TYPE sledge_scheduler_events_total counter\n");
+    for (event, v) in [
+        ("steal", stats.steals),
+        ("preemption", stats.preemptions),
+        ("block", stats.blocked),
+    ] {
+        out.push_str(&format!(
+            "sledge_scheduler_events_total{{event=\"{event}\"}} {v}\n"
+        ));
+    }
+
+    out.push_str(
+        "# HELP sledge_phase_latency_seconds Per-phase invocation latency (merged shards).\n",
+    );
+    out.push_str("# TYPE sledge_phase_latency_seconds summary\n");
+    let mut series = |prefix: &str, labels: &str, snap: &HistogramSnapshot| {
+        for (q, label) in [(0.5, "0.5"), (0.99, "0.99")] {
+            out.push_str(&format!(
+                "{prefix}{{{labels}quantile=\"{label}\"}} {}\n",
+                fmt_ns_f64(snap.quantile(q))
+            ));
+        }
+        out.push_str(&format!(
+            "{prefix}_count{{{labels_t}}} {}\n",
+            snap.count(),
+            labels_t = labels.trim_end_matches(',')
+        ));
+        out.push_str(&format!(
+            "{prefix}_sum{{{labels_t}}} {}\n",
+            fmt_ns_f64(snap.sum()),
+            labels_t = labels.trim_end_matches(',')
+        ));
+    };
+    for (phase, snap) in report.global.phases() {
+        series(
+            "sledge_phase_latency_seconds",
+            &format!("phase=\"{phase}\","),
+            snap,
+        );
+    }
+    for (name, phases) in &report.per_function {
+        let fn_label = escape_label(name);
+        for (phase, snap) in phases.phases() {
+            series(
+                "sledge_phase_latency_seconds",
+                &format!("function=\"{fn_label}\",phase=\"{phase}\","),
+                snap,
+            );
+        }
+    }
+    out
+}
+
+/// Render the JSON document served at `GET /stats`.
+pub fn render_json(report: &LatencyReport, stats: &StatsSnapshot) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\"counters\":{");
+    for (i, (k, v)) in [
+        ("admitted", stats.admitted),
+        ("completed", stats.completed),
+        ("trapped", stats.trapped),
+        ("timed_out", stats.timed_out),
+        ("rejected", stats.rejected),
+        ("breaker_rejected", stats.breaker_rejected),
+        ("steals", stats.steals),
+        ("preemptions", stats.preemptions),
+        ("blocked", stats.blocked),
+    ]
+    .iter()
+    .enumerate()
+    {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{k}\":{v}"));
+    }
+    out.push_str("},\"global\":");
+    json_phases(&mut out, &report.global);
+    out.push_str(",\"functions\":{");
+    for (i, (name, phases)) in report.per_function.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":", escape_json(name)));
+        json_phases(&mut out, phases);
+    }
+    out.push_str("}}");
+    out
+}
+
+fn json_phases(out: &mut String, snap: &PhaseSnapshot) {
+    out.push('{');
+    for (i, (phase, h)) in snap.phases().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\"{phase}\":{{\"count\":{},\"sum_ns\":{},\"min_ns\":{},\"max_ns\":{},\"mean_ns\":{},\"p50_ns\":{},\"p99_ns\":{}}}",
+            h.count(),
+            h.sum(),
+            h.min().unwrap_or(0),
+            h.max().unwrap_or(0),
+            h.mean().unwrap_or(0),
+            h.quantile(0.5),
+            h.quantile(0.99),
+        ));
+    }
+    out.push('}');
+}
+
+/// One-line human summary (used by `sledged --stats-interval-s`).
+pub fn summary_line(report: &LatencyReport, stats: &StatsSnapshot) -> String {
+    let g = &report.global;
+    let ms = |ns: u64| ns as f64 / 1e6;
+    format!(
+        "done={} trap={} timeout={} rej={} | total p50={:.3}ms p99={:.3}ms | queue p99={:.3}ms inst p99={:.3}ms exec p99={:.3}ms",
+        stats.completed,
+        stats.trapped,
+        stats.timed_out,
+        stats.rejected + stats.breaker_rejected,
+        ms(g.total.quantile(0.5)),
+        ms(g.total.quantile(0.99)),
+        ms(g.queue.quantile(0.99)),
+        ms(g.instantiation.quantile(0.99)),
+        ms(g.execution.quantile(0.99)),
+    )
+}
+
+fn escape_label(s: &str) -> String {
+    // Prometheus label values escape backslash, quote, and newline.
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::{Duration, Instant};
+
+    fn timings(queue_us: u64, inst_us: u64, exec_us: u64) -> Timings {
+        Timings {
+            arrival: Instant::now(),
+            instantiation: Duration::from_micros(inst_us),
+            queue_delay: Duration::from_micros(queue_us),
+            execution: Duration::from_micros(exec_us),
+            preempted: Duration::ZERO,
+            blocked: Duration::ZERO,
+            total: Duration::from_micros(queue_us + inst_us + exec_us),
+            preemptions: 0,
+        }
+    }
+
+    fn sample_report() -> (LatencyReport, StatsSnapshot) {
+        let shards = [PhaseHistograms::default(), PhaseHistograms::default()];
+        shards[0].record(&timings(10, 5, 100));
+        shards[1].record(&timings(20, 7, 300));
+        let snap = PhaseSnapshot::merge_shards(&shards);
+        let report = LatencyReport {
+            global: snap,
+            per_function: vec![("echo".into(), snap)],
+        };
+        (report, StatsSnapshot::default())
+    }
+
+    #[test]
+    fn shard_merge_covers_all_phases() {
+        let (report, _) = sample_report();
+        assert_eq!(report.global.count(), 2);
+        for (phase, h) in report.global.phases() {
+            assert_eq!(h.count(), 2, "phase {phase}");
+        }
+        // Execution p99 is bounded by the true extrema.
+        let p99 = report.global.execution.quantile(0.99);
+        assert!((100_000..=300_000).contains(&p99), "p99={p99}");
+    }
+
+    #[test]
+    fn prometheus_rendering_has_expected_series() {
+        let (report, stats) = sample_report();
+        let text = render_prometheus(&report, &stats);
+        assert!(text.contains("# TYPE sledge_phase_latency_seconds summary"));
+        assert!(text.contains("sledge_phase_latency_seconds{phase=\"queue\",quantile=\"0.5\"}"));
+        assert!(
+            text.contains("sledge_phase_latency_seconds{phase=\"execution\",quantile=\"0.99\"}")
+        );
+        assert!(text
+            .contains("sledge_phase_latency_seconds{function=\"echo\",phase=\"instantiation\",quantile=\"0.99\"}"));
+        assert!(text.contains("sledge_phase_latency_seconds_count{phase=\"total\"} 2"));
+        assert!(text.contains("sledge_invocations_total{outcome=\"completed\"} 0"));
+        // Every non-comment line is "name{labels} value".
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (series, value) = line.rsplit_once(' ').expect("space-separated");
+            assert!(series.contains('{') && series.ends_with('}'), "{line}");
+            assert!(value.parse::<f64>().is_ok(), "{line}");
+        }
+    }
+
+    #[test]
+    fn json_rendering_parses_and_has_expected_fields() {
+        let (report, stats) = sample_report();
+        let text = render_json(&report, &stats);
+        let doc = crate::json::parse(&text).expect("valid JSON");
+        let global = doc.get("global").unwrap();
+        for phase in PHASES {
+            let p = global.get(phase).unwrap_or_else(|| panic!("phase {phase}"));
+            assert_eq!(p.get("count").unwrap().as_u64(), Some(2));
+            let p50 = p.get("p50_ns").unwrap().as_u64().unwrap();
+            let min = p.get("min_ns").unwrap().as_u64().unwrap();
+            let max = p.get("max_ns").unwrap().as_u64().unwrap();
+            assert!(p50 >= min && p50 <= max, "{phase}: {min} <= {p50} <= {max}");
+        }
+        assert!(doc.get("functions").unwrap().get("echo").is_some());
+        assert_eq!(
+            doc.get("counters")
+                .unwrap()
+                .get("completed")
+                .unwrap()
+                .as_u64(),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn label_escaping() {
+        assert_eq!(escape_label("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape_json("a\"b\\c\n"), "a\\\"b\\\\c\\u000a");
+    }
+
+    #[test]
+    fn summary_line_mentions_key_figures() {
+        let (report, mut stats) = sample_report();
+        stats.completed = 2;
+        let line = summary_line(&report, &stats);
+        assert!(line.starts_with("done=2"), "{line}");
+        assert!(line.contains("p99"), "{line}");
+    }
+}

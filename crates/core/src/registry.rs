@@ -2,6 +2,7 @@
 //! once per function, decoupled from per-request instantiation.
 
 use crate::config::FunctionConfig;
+use crate::metrics::PhaseHistograms;
 use crate::stats::{FunctionStats, RegistryStats};
 use awsm::{translate, AnalysisReport, CompiledModule, Diagnostic, Severity, Tier, TranslateError};
 use sledge_wasm::module::Module;
@@ -29,6 +30,9 @@ pub struct RegisteredFunction {
     pub wasm_size: usize,
     /// Per-function counters, updated by the workers.
     pub stats: FunctionStats,
+    /// Per-worker latency shards for this function (one entry per worker;
+    /// worker `i` writes only `metrics[i]`). Readers merge on demand.
+    pub metrics: Box<[PhaseHistograms]>,
 }
 
 impl RegisteredFunction {
@@ -91,6 +95,9 @@ pub struct Registry {
     /// Worst-case guest stack budget enforced at registration; `None`
     /// disables the check.
     stack_budget: Option<u64>,
+    /// Latency-shard count for newly registered functions (the runtime's
+    /// worker count; 0 means "not set" and falls back to a single shard).
+    shards: usize,
     /// Load-time analysis counters.
     pub stats: RegistryStats,
 }
@@ -105,6 +112,13 @@ impl Registry {
     /// (see [`crate::RuntimeConfig::max_stack_bytes`]).
     pub fn set_stack_budget(&mut self, budget: Option<u64>) {
         self.stack_budget = budget;
+    }
+
+    /// Set how many latency shards each subsequently registered function
+    /// carries (the runtime passes its worker count, so every worker gets a
+    /// private shard).
+    pub fn set_shards(&mut self, shards: usize) {
+        self.shards = shards;
     }
 
     /// Register a function from raw `.wasm` bytes: decode, validate,
@@ -153,6 +167,9 @@ impl Registry {
             module: Arc::new(compiled),
             wasm_size,
             stats: FunctionStats::default(),
+            metrics: (0..self.shards.max(1))
+                .map(|_| PhaseHistograms::default())
+                .collect(),
         });
         self.functions.push(rf);
         self.by_name.insert(name, id);

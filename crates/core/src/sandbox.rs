@@ -40,10 +40,16 @@ pub struct Timings {
     pub arrival: Instant,
     /// Sandbox allocation (instantiation) time.
     pub instantiation: Duration,
-    /// Time from arrival to first execution on a worker.
+    /// Time spent waiting for the first dispatch on a worker (enqueue →
+    /// first run, excluding instantiation).
     pub queue_delay: Duration,
     /// Accumulated guest execution time.
     pub execution: Duration,
+    /// Accumulated time parked on a runqueue after being preempted.
+    pub preempted: Duration,
+    /// Accumulated time parked on blocked (emulated) I/O, including the
+    /// wake → redispatch latency.
+    pub blocked: Duration,
     /// Arrival → response completion.
     pub total: Duration,
     /// Number of times the sandbox was preempted.
@@ -197,6 +203,18 @@ impl Host for SandboxHost {
     }
 }
 
+/// What a sandbox is currently waiting for while off-CPU; decides which
+/// phase accumulator its wait is charged to at the next dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WaitKind {
+    /// Enqueued, never run (listener → first dispatch).
+    Queue,
+    /// Preempted back onto a runqueue.
+    Preempted,
+    /// Parked on blocked (emulated) I/O.
+    Blocked,
+}
+
 /// A request in execution: instance + host + bookkeeping.
 pub struct Sandbox {
     /// The function being run.
@@ -215,6 +233,17 @@ pub struct Sandbox {
     pub first_run: Option<Instant>,
     /// Accumulated execution time.
     pub exec_time: Duration,
+    /// When the current off-CPU wait began (instantiation end, preemption,
+    /// or I/O park).
+    pub(crate) wait_since: Instant,
+    /// Which phase the current wait is charged to.
+    pub(crate) wait_kind: WaitKind,
+    /// Accumulated enqueue → first-dispatch wait.
+    pub queue_wait: Duration,
+    /// Accumulated preemption → redispatch wait.
+    pub preempted_wait: Duration,
+    /// Accumulated I/O park → redispatch wait.
+    pub blocked_wait: Duration,
     /// Preemption count.
     pub preemptions: u32,
     /// Wall-clock execution deadline; workers kill the sandbox with
@@ -256,6 +285,11 @@ impl Sandbox {
             instantiation,
             first_run: None,
             exec_time: Duration::ZERO,
+            wait_since: Instant::now(),
+            wait_kind: WaitKind::Queue,
+            queue_wait: Duration::ZERO,
+            preempted_wait: Duration::ZERO,
+            blocked_wait: Duration::ZERO,
             preemptions: 0,
             deadline: None,
             breaker_probe: false,
@@ -280,6 +314,27 @@ impl Sandbox {
         self.instance.invoke_export(&entry, &args)
     }
 
+    /// Close out the current off-CPU wait: charge `now − wait_since` to the
+    /// phase accumulator named by `wait_kind`. Workers call this at every
+    /// (re)dispatch — including the dispatch that kills a sandbox at its
+    /// deadline, so killed invocations account their waits too.
+    pub(crate) fn note_dispatch(&mut self, now: Instant) {
+        let waited = now.saturating_duration_since(self.wait_since);
+        match self.wait_kind {
+            WaitKind::Queue => self.queue_wait += waited,
+            WaitKind::Preempted => self.preempted_wait += waited,
+            WaitKind::Blocked => self.blocked_wait += waited,
+        }
+        self.wait_since = now;
+    }
+
+    /// Begin a new off-CPU wait of the given kind (preemption requeue or
+    /// I/O park).
+    pub(crate) fn begin_wait(&mut self, kind: WaitKind, now: Instant) {
+        self.wait_since = now;
+        self.wait_kind = kind;
+    }
+
     /// Run one scheduling quantum; updates accounting.
     pub fn run_quantum(&mut self, fuel: u64) -> StepResult {
         let started = Instant::now();
@@ -294,16 +349,15 @@ impl Sandbox {
         r
     }
 
-    /// Build the final timing record.
+    /// Build the final timing record from the phase accumulators.
     pub fn timings(&self, now: Instant) -> Timings {
         Timings {
             arrival: self.arrival,
             instantiation: self.instantiation,
-            queue_delay: self
-                .first_run
-                .map(|f| f.duration_since(self.arrival))
-                .unwrap_or_default(),
+            queue_delay: self.queue_wait,
             execution: self.exec_time,
+            preempted: self.preempted_wait,
+            blocked: self.blocked_wait,
             total: now.duration_since(self.arrival),
             preemptions: self.preemptions,
         }

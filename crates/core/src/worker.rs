@@ -2,7 +2,7 @@
 //! preemptive round-robin on a core-local run queue, and service the
 //! core-local pending-I/O set (the libuv-event-loop analogue).
 
-use crate::sandbox::{Completion, Outcome, Sandbox};
+use crate::sandbox::{Completion, Outcome, Sandbox, WaitKind};
 use crate::Shared;
 use awsm::StepResult;
 use parking_lot::Mutex;
@@ -15,6 +15,9 @@ use std::time::{Duration, Instant};
 /// Per-worker state visible to the timer thread.
 #[derive(Debug, Default)]
 pub(crate) struct WorkerShared {
+    /// This worker's index: selects its private metrics shard in
+    /// `Shared::phase_shards` and in each function's shard set.
+    pub index: usize,
     /// Preempt flag of the sandbox currently running on this worker, if any.
     pub current: Mutex<Option<Arc<AtomicBool>>>,
 }
@@ -44,7 +47,7 @@ pub(crate) fn timer_loop(shared: Arc<Shared>, workers: Vec<Arc<WorkerShared>>) {
     }
 }
 
-fn finish(shared: &Shared, mut sandbox: Box<Sandbox>, outcome: Outcome) {
+fn finish(shared: &Shared, shard: usize, mut sandbox: Box<Sandbox>, outcome: Outcome) {
     let fn_stats = &sandbox.function.stats;
     let breaker = shared.config.circuit_breaker.as_ref();
     match &outcome {
@@ -80,6 +83,18 @@ fn finish(shared: &Shared, mut sandbox: Box<Sandbox>, outcome: Outcome) {
         .execution_ns
         .fetch_add(exec_ns, Ordering::Relaxed);
     let timings = sandbox.timings(Instant::now());
+    // Every executed invocation (success, trap, or deadline kill) records
+    // exactly one sample per phase into this worker's private shards; the
+    // listener's pre-execution rejections never reach here, so merged
+    // histogram counts equal completed + trapped + timed_out.
+    if matches!(
+        outcome,
+        Outcome::Success(_) | Outcome::Trapped(_) | Outcome::TimedOut
+    ) {
+        shared.phase_shards[shard].record(&timings);
+        let fn_shards = &sandbox.function.metrics;
+        fn_shards[shard % fn_shards.len()].record(&timings);
+    }
     let function = sandbox.function.id;
     let responder = sandbox.responder_take();
     // Teardown: dropping the sandbox releases linear memory and stacks.
@@ -124,15 +139,19 @@ pub(crate) fn worker_loop(
         //     one completion. The listener stopped admitting when the drain
         //     began, so nothing new arrives behind this sweep.
         if shared.force_kill.load(Ordering::Acquire) {
-            for (_, sb) in io_wait.drain(..) {
-                finish(&shared, sb, Outcome::TimedOut);
+            let now = Instant::now();
+            for (_, mut sb) in io_wait.drain(..) {
+                sb.note_dispatch(now);
+                finish(&shared, me.index, sb, Outcome::TimedOut);
             }
-            while let Some(sb) = runqueue.pop_front() {
-                finish(&shared, sb, Outcome::TimedOut);
+            while let Some(mut sb) = runqueue.pop_front() {
+                sb.note_dispatch(now);
+                finish(&shared, me.index, sb, Outcome::TimedOut);
             }
-            while let Some(sb) = stealer.steal() {
+            while let Some(mut sb) = stealer.steal() {
                 shared.pending.fetch_sub(1, Ordering::Relaxed);
-                finish(&shared, sb, Outcome::TimedOut);
+                sb.note_dispatch(now);
+                finish(&shared, me.index, sb, Outcome::TimedOut);
             }
         }
 
@@ -164,11 +183,14 @@ pub(crate) fn worker_loop(
         let next = runqueue.pop_front();
 
         let mut sandbox = match next {
-            Some(s) => {
+            Some(mut s) => {
+                // Charge the off-CPU wait that just ended to its phase
+                // (queue / preempted / blocked) before running or killing.
+                s.note_dispatch(Instant::now());
                 // Deadline enforcement happens at (re)scheduling points: a
                 // sandbox past its deadline is killed instead of dispatched.
                 if s.deadline.is_some_and(|d| Instant::now() >= d) {
-                    finish(&shared, s, Outcome::TimedOut);
+                    finish(&shared, me.index, s, Outcome::TimedOut);
                     continue;
                 }
                 s
@@ -202,25 +224,26 @@ pub(crate) fn worker_loop(
         match result {
             StepResult::Complete(_) => {
                 let body = std::mem::take(&mut sandbox.host.response);
-                finish(&shared, sandbox, Outcome::Success(body));
+                finish(&shared, me.index, sandbox, Outcome::Success(body));
             }
             StepResult::Trapped(t) => {
-                finish(&shared, sandbox, Outcome::Trapped(t));
+                finish(&shared, me.index, sandbox, Outcome::Trapped(t));
             }
             StepResult::Preempted | StepResult::OutOfFuel => {
                 shared.stats.preemptions.fetch_add(1, Ordering::Relaxed);
                 if shared.force_kill.load(Ordering::Acquire)
                     || sandbox.deadline.is_some_and(|d| Instant::now() >= d)
                 {
-                    finish(&shared, sandbox, Outcome::TimedOut);
+                    finish(&shared, me.index, sandbox, Outcome::TimedOut);
                 } else {
                     // Round-robin: back of the local queue.
+                    sandbox.begin_wait(WaitKind::Preempted, Instant::now());
                     runqueue.push_back(sandbox);
                 }
             }
             StepResult::Blocked => {
                 if shared.force_kill.load(Ordering::Acquire) {
-                    finish(&shared, sandbox, Outcome::TimedOut);
+                    finish(&shared, me.index, sandbox, Outcome::TimedOut);
                     continue;
                 }
                 shared.stats.blocked.fetch_add(1, Ordering::Relaxed);
@@ -231,6 +254,7 @@ pub(crate) fn worker_loop(
                 if let Some(d) = sandbox.deadline {
                     wake = wake.min(d);
                 }
+                sandbox.begin_wait(WaitKind::Blocked, Instant::now());
                 io_wait.push((wake, sandbox));
             }
         }

@@ -1,0 +1,454 @@
+//! Invocation-lifecycle observability tests: phase accounting invariants,
+//! shard merge completeness under multi-worker chaos, and the `/metrics` /
+//! `/stats` endpoints.
+
+use sledge_core::{
+    Completion, FaultPlan, FunctionConfig, Outcome, Runtime, RuntimeConfig, Timings,
+};
+use sledge_guestc::dsl::*;
+use sledge_guestc::{FuncBuilder, ModuleBuilder, Scalar};
+use sledge_wasm::module::Module;
+use sledge_wasm::types::ValType;
+use std::io::{Read, Write};
+use std::time::Duration;
+
+mod guests {
+    use super::*;
+
+    /// Echo the request body.
+    pub fn echo() -> Module {
+        let mut mb = ModuleBuilder::new("echo");
+        mb.memory(2, Some(64));
+        let req_len = mb.import_func("env", "request_len", &[], Some(ValType::I32));
+        let req_read = mb.import_func(
+            "env",
+            "request_read",
+            &[ValType::I32, ValType::I32, ValType::I32],
+            Some(ValType::I32),
+        );
+        let resp_write = mb.import_func(
+            "env",
+            "response_write",
+            &[ValType::I32, ValType::I32],
+            Some(ValType::I32),
+        );
+        let mut f = FuncBuilder::new(&[], Some(ValType::I32));
+        let n = f.local(ValType::I32);
+        f.extend([
+            set(n, call(req_len, vec![])),
+            exec(call(req_read, vec![i32c(0), local(n), i32c(0)])),
+            exec(call(resp_write, vec![i32c(0), local(n)])),
+            ret(Some(i32c(0))),
+        ]);
+        let main = mb.add_func("main", f);
+        mb.export_func(main, "main");
+        mb.build().unwrap()
+    }
+
+    /// Spin for `iters` (first 4 body bytes, LE), then respond "done".
+    pub fn spin() -> Module {
+        let mut mb = ModuleBuilder::new("spin");
+        mb.memory(1, Some(1));
+        let req_read = mb.import_func(
+            "env",
+            "request_read",
+            &[ValType::I32, ValType::I32, ValType::I32],
+            Some(ValType::I32),
+        );
+        let resp_write = mb.import_func(
+            "env",
+            "response_write",
+            &[ValType::I32, ValType::I32],
+            Some(ValType::I32),
+        );
+        let mut f = FuncBuilder::new(&[], Some(ValType::I32));
+        let iters = f.local(ValType::I32);
+        let i = f.local(ValType::I32);
+        let acc = f.local(ValType::I32);
+        f.extend([
+            exec(call(req_read, vec![i32c(0), i32c(4), i32c(0)])),
+            set(iters, load(Scalar::I32, i32c(0), 0)),
+            for_loop(
+                i,
+                i32c(0),
+                lt_u(local(i), local(iters)),
+                1,
+                vec![set(acc, add(mul(local(acc), i32c(31)), local(i)))],
+            ),
+            store(Scalar::I32, i32c(8), 0, local(acc)),
+            store(Scalar::U8, i32c(16), 0, i32c('d' as i32)),
+            exec(call(resp_write, vec![i32c(16), i32c(1)])),
+            ret(Some(i32c(0))),
+        ]);
+        let main = mb.add_func("main", f);
+        mb.export_func(main, "main");
+        mb.build().unwrap()
+    }
+
+    /// Block on emulated async I/O for N microseconds (first 4 body bytes).
+    pub fn io_sleeper() -> Module {
+        let mut mb = ModuleBuilder::new("sleeper");
+        mb.memory(1, Some(1));
+        let req_read = mb.import_func(
+            "env",
+            "request_read",
+            &[ValType::I32, ValType::I32, ValType::I32],
+            Some(ValType::I32),
+        );
+        let io_delay = mb.import_func("env", "io_delay", &[ValType::I32], Some(ValType::I32));
+        let resp_write = mb.import_func(
+            "env",
+            "response_write",
+            &[ValType::I32, ValType::I32],
+            Some(ValType::I32),
+        );
+        let mut f = FuncBuilder::new(&[], Some(ValType::I32));
+        f.extend([
+            exec(call(req_read, vec![i32c(0), i32c(4), i32c(0)])),
+            exec(call(io_delay, vec![load(Scalar::I32, i32c(0), 0)])),
+            store(Scalar::U8, i32c(16), 0, i32c('w' as i32)),
+            exec(call(resp_write, vec![i32c(16), i32c(1)])),
+            ret(Some(i32c(0))),
+        ]);
+        let main = mb.add_func("main", f);
+        mb.export_func(main, "main");
+        mb.build().unwrap()
+    }
+
+    /// Run forever (runaway guest).
+    pub fn infinite() -> Module {
+        let mut mb = ModuleBuilder::new("infinite");
+        mb.memory(1, Some(1));
+        let mut f = FuncBuilder::new(&[], Some(ValType::I32));
+        let i = f.local(ValType::I32);
+        f.extend([
+            while_(i32c(1), vec![set(i, add(local(i), i32c(1)))]),
+            ret(Some(local(i))),
+        ]);
+        let main = mb.add_func("main", f);
+        mb.export_func(main, "main");
+        mb.build().unwrap()
+    }
+}
+
+/// The core accounting invariant: the per-phase durations are disjoint
+/// sub-intervals of [arrival, delivery], so their sum can never exceed the
+/// end-to-end wall time.
+fn assert_accounted(t: &Timings, ctx: &str) {
+    let sum = t.instantiation + t.queue_delay + t.execution + t.preempted + t.blocked;
+    assert!(
+        sum <= t.total,
+        "{ctx}: phase sum {sum:?} exceeds total {t:?}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Accounting invariants
+// ---------------------------------------------------------------------------
+
+#[test]
+fn phase_sum_bounded_by_wall_time() {
+    let rt = Runtime::new(RuntimeConfig {
+        workers: 2,
+        quantum: Duration::from_millis(1),
+        quantum_fuel: 50_000,
+        ..Default::default()
+    });
+    let echo = rt
+        .register_module(FunctionConfig::new("echo"), &guests::echo())
+        .unwrap();
+    let spin = rt
+        .register_module(FunctionConfig::new("spin"), &guests::spin())
+        .unwrap();
+    let sleeper = rt
+        .register_module(FunctionConfig::new("sleeper"), &guests::io_sleeper())
+        .unwrap();
+
+    let mut handles = Vec::new();
+    for i in 0..60u32 {
+        handles.push(match i % 3 {
+            0 => rt.invoke(echo, &b"hello"[..]),
+            // Spins long enough to be preempted at least once under the
+            // small fuel budget.
+            1 => rt.invoke(spin, 400_000u32.to_le_bytes().to_vec()),
+            // Parks on emulated I/O for 3 ms.
+            _ => rt.invoke(sleeper, 3000u32.to_le_bytes().to_vec()),
+        });
+    }
+    let mut preempted_seen = false;
+    let mut blocked_seen = false;
+    for (i, h) in handles.into_iter().enumerate() {
+        let done = h.wait().expect("completion");
+        assert!(
+            matches!(done.outcome, Outcome::Success(_)),
+            "#{i}: {:?}",
+            done.outcome
+        );
+        assert_accounted(&done.timings, &format!("invocation {i}"));
+        assert!(
+            done.timings.execution > Duration::ZERO,
+            "#{i}: no exec time"
+        );
+        preempted_seen |= done.timings.preempted > Duration::ZERO;
+        blocked_seen |= done.timings.blocked > Duration::ZERO;
+    }
+    assert!(preempted_seen, "no invocation accumulated preempted time");
+    assert!(blocked_seen, "no invocation accumulated blocked time");
+    rt.shutdown();
+}
+
+#[test]
+fn phase_counters_match_outcome() {
+    // TimedOut implies the deadline genuinely elapsed: end-to-end wall time
+    // must be at least the configured deadline.
+    let deadline = Duration::from_millis(60);
+    let rt = Runtime::new(RuntimeConfig {
+        workers: 1,
+        quantum: Duration::from_millis(2),
+        quantum_fuel: 100_000,
+        deadline: Some(deadline),
+        ..Default::default()
+    });
+    let inf = rt
+        .register_module(FunctionConfig::new("infinite"), &guests::infinite())
+        .unwrap();
+    let echo = rt
+        .register_module(FunctionConfig::new("echo"), &guests::echo())
+        .unwrap();
+
+    let killed = rt.invoke(inf, Vec::new()).wait().expect("completion");
+    assert!(
+        matches!(killed.outcome, Outcome::TimedOut),
+        "{:?}",
+        killed.outcome
+    );
+    assert_accounted(&killed.timings, "timed-out invocation");
+    assert!(
+        killed.timings.total >= deadline,
+        "TimedOut but total {:?} < deadline {:?}",
+        killed.timings.total,
+        deadline
+    );
+    // A runaway guest burns its whole life executing or waiting to be
+    // rescheduled; it must have accumulated real execution time.
+    assert!(killed.timings.execution > Duration::ZERO);
+
+    let ok = rt.invoke(echo, &b"x"[..]).wait().expect("completion");
+    assert!(matches!(ok.outcome, Outcome::Success(_)));
+    assert!(ok.timings.total < deadline, "success outlived its deadline");
+    rt.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Shard completeness under multi-worker chaos
+// ---------------------------------------------------------------------------
+
+#[test]
+fn stress_loses_no_samples() {
+    // 4 workers × 300 invocations with preemption, blocking I/O, traps,
+    // injected instantiation failures, and deadline kills. Every executed
+    // invocation must land in exactly one worker shard: the merged
+    // histogram count equals completed + trapped + timed_out.
+    let rt = Runtime::new(RuntimeConfig {
+        workers: 4,
+        quantum: Duration::from_millis(1),
+        quantum_fuel: 50_000,
+        deadline: Some(Duration::from_millis(250)),
+        fault_plan: Some(FaultPlan {
+            seed: 7,
+            instantiation_failure_pct: 10.0,
+            host_trap_pct: 10.0,
+            host_latency_pct: 10.0,
+            host_latency: Duration::from_millis(2),
+        }),
+        ..Default::default()
+    });
+    let echo = rt
+        .register_module(FunctionConfig::new("echo"), &guests::echo())
+        .unwrap();
+    let spin = rt
+        .register_module(FunctionConfig::new("spin"), &guests::spin())
+        .unwrap();
+    let sleeper = rt
+        .register_module(FunctionConfig::new("sleeper"), &guests::io_sleeper())
+        .unwrap();
+
+    const M: usize = 300;
+    let completions: Vec<Completion> = std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for c in 0..4usize {
+            let rt = &rt;
+            handles.push(s.spawn(move || {
+                let mut done = Vec::new();
+                for i in 0..M / 4 {
+                    let h = match (c + i) % 3 {
+                        0 => rt.invoke(echo, &b"hello"[..]),
+                        1 => rt.invoke(spin, 200_000u32.to_le_bytes().to_vec()),
+                        _ => rt.invoke(sleeper, 1500u32.to_le_bytes().to_vec()),
+                    };
+                    done.push(h.wait().expect("completion"));
+                }
+                done
+            }));
+        }
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    assert_eq!(completions.len(), M);
+
+    let stats = rt.stats();
+    let report = rt.latency_report();
+    rt.shutdown();
+
+    let executed = stats.completed + stats.trapped + stats.timed_out;
+    assert!(executed > 0, "chaos run executed nothing");
+    assert!(stats.rejected > 0, "fault plan injected no rejections");
+    assert_eq!(
+        report.global.count(),
+        executed,
+        "merged histogram lost samples: {} recorded vs {} executed",
+        report.global.count(),
+        executed
+    );
+    // Every phase histogram carries the full sample count — one record per
+    // phase per invocation.
+    for (phase, h) in report.global.phases() {
+        assert_eq!(h.count(), executed, "phase {phase} lost samples");
+    }
+    // Per-function shards partition the global count.
+    let per_fn_total: u64 = report.per_function.iter().map(|(_, p)| p.count()).sum();
+    assert_eq!(per_fn_total, executed);
+    // And the accounting invariant held for every delivered completion.
+    for (i, c) in completions.iter().enumerate() {
+        if matches!(
+            c.outcome,
+            Outcome::Success(_) | Outcome::Trapped(_) | Outcome::TimedOut
+        ) {
+            assert_accounted(&c.timings, &format!("chaos invocation {i}"));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// HTTP endpoints
+// ---------------------------------------------------------------------------
+
+fn http_get(addr: std::net::SocketAddr, path: &str) -> (u16, String) {
+    let mut s = std::net::TcpStream::connect(addr).unwrap();
+    s.write_all(format!("GET {path} HTTP/1.1\r\nConnection: close\r\n\r\n").as_bytes())
+        .unwrap();
+    let mut buf = Vec::new();
+    s.read_to_end(&mut buf).unwrap();
+    let text = String::from_utf8_lossy(&buf).into_owned();
+    let status: u16 = text
+        .split_whitespace()
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .expect("status code");
+    let body = text
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+#[test]
+fn metrics_and_stats_endpoints() {
+    let rt = Runtime::with_http(
+        RuntimeConfig {
+            workers: 2,
+            ..Default::default()
+        },
+        "127.0.0.1:0".parse().unwrap(),
+    )
+    .unwrap();
+    let addr = rt.http_addr().unwrap();
+    let echo = rt
+        .register_module(FunctionConfig::new("echo"), &guests::echo())
+        .unwrap();
+    for _ in 0..20 {
+        let done = rt.invoke(echo, &b"ping"[..]).wait().unwrap();
+        assert!(matches!(done.outcome, Outcome::Success(_)));
+    }
+
+    // Prometheus text: global and per-function p50/p99 for the queue,
+    // instantiation, and execution phases.
+    let (status, metrics) = http_get(addr, "/metrics");
+    assert_eq!(status, 200, "{metrics}");
+    for phase in ["queue", "instantiation", "execution"] {
+        for q in ["0.5", "0.99"] {
+            let global =
+                format!("sledge_phase_latency_seconds{{phase=\"{phase}\",quantile=\"{q}\"}} ");
+            let per_fn = format!(
+                "sledge_phase_latency_seconds{{function=\"echo\",phase=\"{phase}\",quantile=\"{q}\"}} "
+            );
+            assert!(metrics.contains(&global), "missing {global}\n{metrics}");
+            assert!(metrics.contains(&per_fn), "missing {per_fn}\n{metrics}");
+        }
+    }
+    assert!(metrics.contains("sledge_phase_latency_seconds_count{phase=\"total\"} 20"));
+    assert!(metrics.contains("sledge_invocations_total{outcome=\"completed\"} 20"));
+
+    // JSON stats: parse and check the same data structurally.
+    let (status, stats) = http_get(addr, "/stats");
+    assert_eq!(status, 200, "{stats}");
+    let doc = sledge_core::parse_json(&stats).expect("valid JSON");
+    assert_eq!(
+        doc.get("counters")
+            .unwrap()
+            .get("completed")
+            .unwrap()
+            .as_u64(),
+        Some(20)
+    );
+    for scope in [
+        doc.get("global").unwrap(),
+        doc.get("functions").unwrap().get("echo").unwrap(),
+    ] {
+        for phase in ["queue", "instantiation", "execution", "total"] {
+            let p = scope.get(phase).unwrap_or_else(|| panic!("phase {phase}"));
+            assert_eq!(p.get("count").unwrap().as_u64(), Some(20), "{phase}");
+            let min = p.get("min_ns").unwrap().as_u64().unwrap();
+            let max = p.get("max_ns").unwrap().as_u64().unwrap();
+            let p50 = p.get("p50_ns").unwrap().as_u64().unwrap();
+            let p99 = p.get("p99_ns").unwrap().as_u64().unwrap();
+            assert!(min <= p50 && p50 <= p99 && p99 <= max, "{phase}");
+        }
+    }
+
+    // Function routes still work alongside the metrics routes.
+    let mut s = std::net::TcpStream::connect(addr).unwrap();
+    s.write_all(b"POST /echo HTTP/1.1\r\nContent-Length: 2\r\nConnection: close\r\n\r\nhi")
+        .unwrap();
+    let mut buf = Vec::new();
+    s.read_to_end(&mut buf).unwrap();
+    let text = String::from_utf8_lossy(&buf);
+    assert!(text.starts_with("HTTP/1.1 200"), "{text}");
+    assert!(text.ends_with("hi"), "{text}");
+
+    // Unknown paths still 404.
+    let (status, _) = http_get(addr, "/nope");
+    assert_eq!(status, 404);
+    rt.shutdown();
+}
+
+#[test]
+fn metrics_routes_can_be_disabled() {
+    let rt = Runtime::with_http(
+        RuntimeConfig {
+            workers: 1,
+            metrics_routes: false,
+            ..Default::default()
+        },
+        "127.0.0.1:0".parse().unwrap(),
+    )
+    .unwrap();
+    let addr = rt.http_addr().unwrap();
+    let (status, _) = http_get(addr, "/metrics");
+    assert_eq!(status, 404);
+    let (status, _) = http_get(addr, "/stats");
+    assert_eq!(status, 404);
+    rt.shutdown();
+}
