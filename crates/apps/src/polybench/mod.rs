@@ -167,6 +167,17 @@ impl PreparedKernel {
         }
     }
 
+    /// The translated module, with its analysis report and cost
+    /// certificate (`module().analysis.cost`).
+    pub fn module(&self) -> &std::sync::Arc<awsm::CompiledModule> {
+        &self.module
+    }
+
+    /// The engine configuration instances run under.
+    pub fn config(&self) -> awsm::EngineConfig {
+        self.config
+    }
+
     /// Instantiate and run once; returns the checksum.
     pub fn run(&self) -> f64 {
         let mut inst =

@@ -24,11 +24,13 @@
 //!    will trap on the flagged path whenever it executes; the registry
 //!    rejects such modules at load.
 
+pub mod cost;
 mod lint;
 mod range;
 mod stack;
 
 use crate::code::{CompiledModule, Op};
+use cost::CostReport;
 use std::fmt;
 
 /// How serious a [`Diagnostic`] is.
@@ -122,6 +124,10 @@ pub struct AnalysisReport {
     pub mem_sites: u32,
     /// Total sites proven in-bounds.
     pub elided_sites: u32,
+    /// Cost model + preemption-latency certificate. `None` only for
+    /// reports that predate the cost pass (e.g. hand-built in tests);
+    /// translation always produces one.
+    pub cost: Option<CostReport>,
 }
 
 impl Default for AnalysisReport {
@@ -132,6 +138,7 @@ impl Default for AnalysisReport {
             diagnostics: Vec::new(),
             mem_sites: 0,
             elided_sites: 0,
+            cost: None,
         }
     }
 }
@@ -175,6 +182,41 @@ impl AnalysisReport {
         }
     }
 
+    /// Verify the module's preemption-latency certificate against a gap
+    /// budget in cost units. Returns an `Error` diagnostic when the
+    /// certificate is missing or its certified gap exceeds the budget.
+    pub fn check_gap(&self, max_check_gap: u32) -> Option<Diagnostic> {
+        let Some(cost) = &self.cost else {
+            return Some(Diagnostic {
+                severity: Severity::Error,
+                func: None,
+                pc: None,
+                message: format!(
+                    "no preemption-latency certificate; cannot verify \
+                     check gap <= {max_check_gap} cost units"
+                ),
+            });
+        };
+        if cost.max_gap > max_check_gap {
+            let worst = cost
+                .funcs
+                .iter()
+                .position(|f| f.max_gap == cost.max_gap)
+                .map(|i| i as u32);
+            return Some(Diagnostic {
+                severity: Severity::Error,
+                func: worst,
+                pc: None,
+                message: format!(
+                    "preemption-latency certificate exceeds budget: \
+                     max check-free gap {} > {} cost units",
+                    cost.max_gap, max_check_gap
+                ),
+            });
+        }
+        None
+    }
+
     /// Multi-line human-readable report (used by `awsm-analyze`).
     pub fn render(&self, module_name: &str) -> String {
         use std::fmt::Write;
@@ -193,17 +235,28 @@ impl AnalysisReport {
             "  bounds checks: {}/{} sites proven in-bounds (elided under `static`)",
             self.elided_sites, self.mem_sites
         );
-        for (i, f) in self.funcs.iter().enumerate() {
-            let name = f.name.as_deref().unwrap_or("<anon>");
+        if let Some(c) = &self.cost {
             let _ = writeln!(
                 out,
-                "  func {i:>3} {name:<20} frame {:>6} B, operands {:>3}, elided {}/{}{}",
-                f.frame_bytes,
-                f.max_operand_slots,
-                f.elided_sites,
-                f.mem_sites,
-                if f.reachable { "" } else { "  (unreachable)" }
+                "  cost model: max check-free gap {} / budget {} units, {} checks ({} split)",
+                c.max_gap, c.max_check_gap, c.checks, c.splits
             );
+        }
+        for (i, f) in self.funcs.iter().enumerate() {
+            let name = f.name.as_deref().unwrap_or("<anon>");
+            let _ = write!(
+                out,
+                "  func {i:>3} {name:<20} frame {:>6} B, operands {:>3}, elided {}/{}",
+                f.frame_bytes, f.max_operand_slots, f.elided_sites, f.mem_sites,
+            );
+            if let Some(fc) = self.cost.as_ref().and_then(|c| c.funcs.get(i)) {
+                let _ = write!(
+                    out,
+                    ", cost {:>5}, gap {:>3} (loop {}, host {})",
+                    fc.total_cost, fc.max_gap, fc.max_loop_gap, fc.max_host_gap
+                );
+            }
+            let _ = writeln!(out, "{}", if f.reachable { "" } else { "  (unreachable)" });
         }
         for d in &self.diagnostics {
             let _ = writeln!(out, "  {d}");
@@ -213,9 +266,15 @@ impl AnalysisReport {
 }
 
 /// Analyze `m` in place: compute the report, rewrite proven-safe memory
-/// accesses into their unchecked forms (`code_static`), and attach the
-/// report to the module. Called once, at the end of translation.
-pub(crate) fn analyze(m: &mut CompiledModule) {
+/// accesses into their unchecked forms (`code_static`), instrument both
+/// bodies with exact per-block fuel charges bounded by `max_check_gap`,
+/// and attach the report to the module. Called once, at the end of
+/// translation.
+///
+/// Note: `Diagnostic::pc` and elision-site positions refer to the
+/// *pre-instrumentation* code — the flat code as translated, before
+/// `Op::Fuel` insertion shifted positions.
+pub(crate) fn analyze(m: &mut CompiledModule, max_check_gap: u32) {
     let mut report = AnalysisReport::default();
 
     // Per-function operand heights; needed by both the verifier and the
@@ -266,6 +325,37 @@ pub(crate) fn analyze(m: &mut CompiledModule) {
         }
         func.code_static = Some(code);
     }
+
+    // Cost pass, last: insert exact per-segment `Op::Fuel` charges (both
+    // bodies — identical weights keep them aligned) and certify the max
+    // check-free gap.
+    let mut cost = CostReport {
+        max_check_gap,
+        funcs: Vec::with_capacity(m.funcs.len()),
+        max_gap: 0,
+        checks: 0,
+        splits: 0,
+    };
+    for func in m.funcs.iter_mut() {
+        let (code, mut fc) = cost::instrument(&func.code, max_check_gap);
+        if let Some(cs) = func.code_static.take() {
+            let (code_static, fc2) = cost::instrument(&cs, max_check_gap);
+            debug_assert_eq!(
+                code.len(),
+                code_static.len(),
+                "cost instrumentation must keep code/code_static aligned"
+            );
+            debug_assert_eq!(fc, fc2);
+            func.code_static = Some(code_static);
+        }
+        func.code = code;
+        fc.name = func.name.clone();
+        cost.max_gap = cost.max_gap.max(fc.max_gap);
+        cost.checks += fc.checks;
+        cost.splits += fc.splits;
+        cost.funcs.push(fc);
+    }
+    report.cost = Some(cost);
 
     m.analysis = report;
 }

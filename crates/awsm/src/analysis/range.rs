@@ -929,6 +929,9 @@ fn run_segment(
                 st.locals[*i as usize] = bin_transfer(NumBin::I32Add, st.locals[*i as usize], k);
                 kill_local(&mut st, *i);
             }
+            // Inserted by the cost pass, which runs after this analysis;
+            // no stack or value effect if ever encountered.
+            Op::Fuel(_) => {}
         }
         pc += 1;
         if ctx.targets.contains(&(pc as u32)) {

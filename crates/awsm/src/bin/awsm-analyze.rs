@@ -1,21 +1,36 @@
 //! `awsm-analyze`: run the load-time static analyzer over `.wasm` modules
-//! and print the report — stack bounds, bounds-check elision counts, and
+//! and print the report — stack bounds, bounds-check elision counts,
+//! per-function cost tables with preemption-latency certificates, and
 //! lints — without instantiating anything.
 //!
 //! ```text
-//! awsm-analyze [--deny-warnings] [--max-stack-bytes N] [--tier aot-opt|aot-naive] <module.wasm>...
+//! awsm-analyze [--deny-warnings] [--max-stack-bytes N] [--max-check-gap N]
+//!              [--json] [--tier aot-opt|aot-naive] <module.wasm>...
 //! ```
 //!
+//! `--max-check-gap N` both *instruments* (the cost pass inserts extra
+//! budget checks until every check-free path costs at most `N` units, so
+//! the certificate holds by construction) and *verifies* (the verdict
+//! fails if the certified gap still exceeds `N`, which only happens when
+//! a single opcode outweighs the budget, or the certificate is missing).
+//!
+//! `--json` emits one JSON object per module on stdout instead of the
+//! human-readable report; diagnostics still go to stderr.
+//!
 //! Exit status is non-zero when any module carries an error-severity
-//! diagnostic, exceeds the stack budget (if one was given), or — under
-//! `--deny-warnings` — produces any warning at all.
+//! diagnostic, exceeds the stack budget (if one was given), exceeds the
+//! check-gap budget (if one was given), or — under `--deny-warnings` —
+//! produces any warning at all.
 
-use awsm::{AnalysisReport, Severity, Tier};
+use awsm::{AnalysisReport, Severity, StackBound, Tier, TranslateOptions};
+use std::fmt::Write as _;
 use std::process::ExitCode;
 
 struct Options {
     deny_warnings: bool,
     max_stack_bytes: Option<u64>,
+    max_check_gap: Option<u32>,
+    json: bool,
     tier: Tier,
     paths: Vec<String>,
 }
@@ -23,7 +38,7 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: awsm-analyze [--deny-warnings] [--max-stack-bytes N] \
-         [--tier aot-opt|aot-naive] <module.wasm>..."
+         [--max-check-gap N] [--json] [--tier aot-opt|aot-naive] <module.wasm>..."
     );
     std::process::exit(2);
 }
@@ -32,6 +47,8 @@ fn parse_args() -> Options {
     let mut opts = Options {
         deny_warnings: false,
         max_stack_bytes: None,
+        max_check_gap: None,
+        json: false,
         tier: Tier::Optimized,
         paths: Vec::new(),
     };
@@ -39,11 +56,18 @@ fn parse_args() -> Options {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--deny-warnings" => opts.deny_warnings = true,
+            "--json" => opts.json = true,
             "--max-stack-bytes" => {
                 let Some(v) = args.next().and_then(|v| v.parse().ok()) else {
                     usage();
                 };
                 opts.max_stack_bytes = Some(v);
+            }
+            "--max-check-gap" => {
+                let Some(v) = args.next().and_then(|v| v.parse().ok()) else {
+                    usage();
+                };
+                opts.max_check_gap = Some(v);
             }
             "--tier" => match args.next().as_deref() {
                 Some("aot-opt") => opts.tier = Tier::Optimized,
@@ -62,12 +86,18 @@ fn parse_args() -> Options {
 }
 
 /// Whether the report fails under the given policy, with any extra
-/// diagnostics the policy adds (the stack-budget check).
+/// diagnostics the policy adds (the stack-budget and check-gap checks).
 fn verdict(report: &AnalysisReport, opts: &Options) -> (bool, Vec<String>) {
     let mut extra = Vec::new();
     let mut failed = report.has_errors();
     if let Some(budget) = opts.max_stack_bytes {
         if let Some(d) = report.check_stack(budget) {
+            extra.push(format!("  {d}"));
+            failed = true;
+        }
+    }
+    if let Some(budget) = opts.max_check_gap {
+        if let Some(d) = report.check_gap(budget) {
             extra.push(format!("  {d}"));
             failed = true;
         }
@@ -78,8 +108,89 @@ fn verdict(report: &AnalysisReport, opts: &Options) -> (bool, Vec<String>) {
     (failed, extra)
 }
 
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// One JSON object per module: identity, stack bound, cost certificate
+/// (module-wide and per function), diagnostics count, and the verdict.
+fn render_json(name: &str, report: &AnalysisReport, opts: &Options, failed: bool) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{{\"module\":{}", json_str(name));
+    match &report.stack_bound {
+        StackBound::Bounded(b) => {
+            let _ = write!(out, ",\"stack_bound\":{b}");
+        }
+        StackBound::Unbounded { .. } => out.push_str(",\"stack_bound\":null"),
+    }
+    let _ = write!(
+        out,
+        ",\"mem_sites\":{},\"elided_sites\":{},\"errors\":{},\"warnings\":{}",
+        report.mem_sites,
+        report.elided_sites,
+        report.with_severity(Severity::Error).count(),
+        report.with_severity(Severity::Warn).count(),
+    );
+    match &report.cost {
+        Some(cost) => {
+            let _ = write!(
+                out,
+                ",\"cost\":{{\"max_check_gap\":{},\"max_gap\":{},\"checks\":{},\"splits\":{}",
+                cost.max_check_gap, cost.max_gap, cost.checks, cost.splits
+            );
+            if let Some(budget) = opts.max_check_gap {
+                let _ = write!(out, ",\"within_budget\":{}", cost.within(budget));
+            }
+            out.push_str(",\"funcs\":[");
+            for (i, f) in cost.funcs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let name = f.name.as_deref().unwrap_or("");
+                let _ = write!(
+                    out,
+                    "{{\"name\":{},\"blocks\":{},\"checks\":{},\"splits\":{},\
+                     \"total_cost\":{},\"max_gap\":{},\"max_loop_gap\":{},\"max_host_gap\":{}}}",
+                    json_str(name),
+                    f.blocks,
+                    f.checks,
+                    f.splits,
+                    f.total_cost,
+                    f.max_gap,
+                    f.max_loop_gap,
+                    f.max_host_gap
+                );
+            }
+            out.push_str("]}");
+        }
+        None => out.push_str(",\"cost\":null"),
+    }
+    let _ = write!(out, ",\"failed\":{failed}}}");
+    out
+}
+
 fn main() -> ExitCode {
     let opts = parse_args();
+    let translate_opts = TranslateOptions {
+        max_check_gap: opts.max_check_gap.unwrap_or(awsm::DEFAULT_MAX_CHECK_GAP),
+    };
     let mut any_failed = false;
     for path in &opts.paths {
         let bytes = match std::fs::read(path) {
@@ -98,7 +209,7 @@ fn main() -> ExitCode {
                 continue;
             }
         };
-        let compiled = match awsm::translate(&module, opts.tier) {
+        let compiled = match awsm::translate_with(&module, opts.tier, translate_opts) {
             Ok(c) => c,
             Err(e) => {
                 eprintln!("{path}: translation error: {e}");
@@ -107,10 +218,17 @@ fn main() -> ExitCode {
             }
         };
         let name = compiled.name.as_deref().unwrap_or(path);
-        print!("{}", compiled.analysis.render(name));
         let (failed, extra) = verdict(&compiled.analysis, &opts);
-        for line in extra {
-            println!("{line}");
+        if opts.json {
+            println!("{}", render_json(name, &compiled.analysis, &opts, failed));
+            for line in &extra {
+                eprintln!("{}", line.trim_start());
+            }
+        } else {
+            print!("{}", compiled.analysis.render(name));
+            for line in extra {
+                println!("{line}");
+            }
         }
         if failed {
             any_failed = true;

@@ -256,6 +256,13 @@ pub enum Op {
     LoadLNc(LoadKind, u32, u32),
     /// `Store` at a proven-in-bounds site.
     StoreNc(StoreKind, u32),
+    // ---- cost-model instrumentation (inserted by analysis) ----
+    /// Budget check charging the exact summed cost (in cost units) of the
+    /// check-free segment it heads, and polling the preempt flag. Inserted
+    /// by the cost analysis at basic-block heads and budget-driven split
+    /// points; the optimized tier charges fuel *only* here, the naive tier
+    /// (which charges per instruction) skips it.
+    Fuel(u32),
 }
 
 /// Signature of a host import, pre-resolved at translation time.
@@ -279,8 +286,10 @@ pub struct CompiledFunc {
     /// Flat code; ends with `Return`.
     pub code: Vec<Op>,
     /// Analysis-rewritten body in which proven-in-bounds accesses use the
-    /// unchecked `*Nc` ops. Same length and branch targets as `code`;
-    /// present only when at least one site was proven. Selected by
+    /// unchecked `*Nc` ops. Same length and branch targets as `code` (the
+    /// cost pass instruments both bodies identically — `*Nc` ops weigh the
+    /// same as their checked forms, so `Op::Fuel` sites coincide); present
+    /// only when at least one site was proven. Selected by
     /// [`BoundsStrategy::Static`](crate::BoundsStrategy::Static).
     pub code_static: Option<Vec<Op>>,
     /// Parameter count.

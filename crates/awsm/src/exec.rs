@@ -70,6 +70,16 @@ pub(crate) struct ExecState {
     pub frames: Vec<Frame>,
     pub locals: Vec<u64>,
     pub pending: Option<PendingHost>,
+    /// Cost units charged but not yet covered by any quantum. Paid down at
+    /// the start of the next `run` before execution resumes, so a charge
+    /// larger than one quantum still makes progress (no livelock) while
+    /// total fuel consumed stays exact.
+    pub fuel_debt: u64,
+    /// Set when `fuel_debt` was recorded for the op at the saved `pc`
+    /// *before* it executed (naive per-op accounting): once the debt is
+    /// paid, the first budget check after resume skips its charge so the
+    /// op is not billed twice.
+    pub prepaid: bool,
 }
 
 impl ExecState {
@@ -78,32 +88,65 @@ impl ExecState {
         self.frames.clear();
         self.locals.clear();
         self.pending = None;
+        self.fuel_debt = 0;
+        self.prepaid = false;
     }
 }
 
+/// Charge `$cost` fuel units against the quantum and poll the external
+/// preempt flag — the two ways a runnable sandbox yields. Saves `$pc` into
+/// the current frame before pausing.
+///
+/// When the quantum cannot cover the charge, the shortfall is recorded as
+/// `fuel_debt` (paid from subsequent quanta at the top of `run`) and
+/// `OutOfFuel` is returned. **Tie-break: `OutOfFuel` wins** — if the
+/// preempt flag is also set at an exhausted check, we still report
+/// `OutOfFuel`; the flag stays set (`Instance::run` clears it only on
+/// `Preempted`), so the pending preemption is consistently reported at the
+/// next check of the next quantum rather than lost.
+///
+/// Two arms, differing in what the charge pays for:
+///
+/// * `at $pc` — pays for the op *at* `$pc`, which has not executed yet
+///   (naive per-op accounting). A pause resumes at that op; `prepaid`
+///   remembers its charge was already taken so it is not billed twice.
+/// * `past $pc` — `$pc` has advanced past the charging op (an
+///   [`Op::Fuel`] segment charge): a pause resumes after it, and the debt
+///   alone carries the unpaid remainder.
 macro_rules! check_budget {
-    ($fuel:ident, $preempt:ident, $st:ident, $pc:ident) => {
-        if *$fuel == 0 {
-            $st.frames.last_mut().expect("frame").pc = $pc as u32;
-            return StepResult::OutOfFuel;
+    (at $pc:ident: $cost:expr, $fuel:ident, $preempt:ident, $st:ident) => {
+        if $st.prepaid {
+            $st.prepaid = false;
+        } else {
+            let c: u64 = $cost;
+            if *$fuel < c {
+                $st.fuel_debt = c - *$fuel;
+                *$fuel = 0;
+                $st.prepaid = true;
+                $st.frames.last_mut().expect("frame").pc = $pc as u32;
+                return StepResult::OutOfFuel;
+            }
+            *$fuel -= c;
         }
-        *$fuel -= 1;
         if $preempt.load(Ordering::Relaxed) {
+            // The op at $pc is charged but not executed; resume must not
+            // bill it again.
+            $st.prepaid = true;
             $st.frames.last_mut().expect("frame").pc = $pc as u32;
             return StepResult::Preempted;
         }
     };
-}
-
-/// Budget check for points where every frame's `pc` is already saved
-/// (immediately after a call pushed a fresh frame).
-macro_rules! check_budget_saved {
-    ($fuel:ident, $preempt:ident) => {
-        if *$fuel == 0 {
+    (past $pc:ident: $cost:expr, $fuel:ident, $preempt:ident, $st:ident) => {
+        let c: u64 = $cost;
+        if *$fuel < c {
+            $st.fuel_debt = c - *$fuel;
+            *$fuel = 0;
+            $st.frames.last_mut().expect("frame").pc = $pc as u32;
             return StepResult::OutOfFuel;
         }
-        *$fuel -= 1;
+        *$fuel -= c;
         if $preempt.load(Ordering::Relaxed) {
+            $st.frames.last_mut().expect("frame").pc = $pc as u32;
             return StepResult::Preempted;
         }
     };
@@ -112,10 +155,14 @@ macro_rules! check_budget_saved {
 /// Drive the sandbox until completion, trap, fuel exhaustion, preemption, or
 /// a blocking host call.
 ///
-/// `NAIVE` selects the naive tier's accounting (fuel decremented on every
-/// instruction rather than only at branches and calls). `STATIC` selects
-/// the analysis-rewritten function bodies in which statically-proven memory
-/// accesses carry no bounds check.
+/// Fuel is a work meter in the cost model's units (see
+/// [`op_cost`](crate::analysis::cost::op_cost)). `NAIVE` selects the naive
+/// tier's accounting: every instruction charges its own weight. The
+/// optimized tier charges only at the [`Op::Fuel`] sites the cost analysis
+/// inserted, each paying the exact summed weight of the check-free segment
+/// it heads — so both tiers consume identical total fuel for the same
+/// execution. `STATIC` selects the analysis-rewritten function bodies in
+/// which statically-proven memory accesses carry no bounds check.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run<B: Bounds, const NAIVE: bool, const STATIC: bool>(
     m: &CompiledModule,
@@ -128,6 +175,20 @@ pub(crate) fn run<B: Bounds, const NAIVE: bool, const STATIC: bool>(
     preempt: &AtomicBool,
     limits: &Limits,
 ) -> StepResult {
+    // Pay down debt from a charge the previous quantum could not cover.
+    // Execution state was fully saved when the debt was recorded.
+    if st.fuel_debt > 0 {
+        let pay = st.fuel_debt.min(*fuel);
+        st.fuel_debt -= pay;
+        *fuel -= pay;
+        if st.fuel_debt > 0 {
+            return StepResult::OutOfFuel;
+        }
+        if preempt.load(Ordering::Relaxed) {
+            return StepResult::Preempted;
+        }
+    }
+
     // Re-issue a pending host call, if any.
     if let Some(p) = st.pending.take() {
         let imp = &m.host_funcs[p.idx as usize];
@@ -163,29 +224,32 @@ pub(crate) fn run<B: Bounds, const NAIVE: bool, const STATIC: bool>(
         };
 
         loop {
-            if NAIVE {
-                check_budget!(fuel, preempt, st, pc);
-            }
             debug_assert!(pc < code.len(), "pc ran off function end");
             let op = &code[pc];
+            if NAIVE {
+                check_budget!(at pc: crate::analysis::cost::op_cost(op) as u64,
+                    fuel, preempt, st);
+            }
             pc += 1;
             match op {
                 Op::Unreachable => return StepResult::Trapped(Trap::Unreachable),
+                Op::Fuel(n) => {
+                    // The optimized tier's only charge/poll site: pays the
+                    // exact cost of the segment this op heads. The naive
+                    // tier already charged per op (this op weighs 0).
+                    if !NAIVE {
+                        check_budget!(past pc: *n as u64, fuel, preempt, st);
+                    }
+                }
                 Op::Br(b) => {
                     apply_branch(&mut st.stack, sb, b);
                     pc = b.target as usize;
-                    if !NAIVE {
-                        check_budget!(fuel, preempt, st, pc);
-                    }
                 }
                 Op::BrIf(b) => {
                     let c = st.stack.pop().expect("brif cond");
                     if c as u32 != 0 {
                         apply_branch(&mut st.stack, sb, b);
                         pc = b.target as usize;
-                        if !NAIVE {
-                            check_budget!(fuel, preempt, st, pc);
-                        }
                     }
                 }
                 Op::BrIfZ(b) => {
@@ -193,9 +257,6 @@ pub(crate) fn run<B: Bounds, const NAIVE: bool, const STATIC: bool>(
                     if c as u32 == 0 {
                         apply_branch(&mut st.stack, sb, b);
                         pc = b.target as usize;
-                        if !NAIVE {
-                            check_budget!(fuel, preempt, st, pc);
-                        }
                     }
                 }
                 Op::BrTable(payload) => {
@@ -203,9 +264,6 @@ pub(crate) fn run<B: Bounds, const NAIVE: bool, const STATIC: bool>(
                     let b = payload.targets.get(i).unwrap_or(&payload.default);
                     apply_branch(&mut st.stack, sb, b);
                     pc = b.target as usize;
-                    if !NAIVE {
-                        check_budget!(fuel, preempt, st, pc);
-                    }
                 }
                 Op::Return => {
                     let result = if func.has_result {
@@ -229,9 +287,8 @@ pub(crate) fn run<B: Bounds, const NAIVE: bool, const STATIC: bool>(
                     if let Err(t) = push_call(m, st, *f, limits) {
                         return StepResult::Trapped(t);
                     }
-                    if !NAIVE {
-                        check_budget_saved!(fuel, preempt);
-                    }
+                    // No budget check here: calls terminate cost segments,
+                    // so the callee's entry `Op::Fuel` charges next.
                     continue 'frames;
                 }
                 Op::CallHost(h) => {
@@ -287,9 +344,6 @@ pub(crate) fn run<B: Bounds, const NAIVE: bool, const STATIC: bool>(
                         st.frames.last_mut().expect("frame").pc = pc as u32;
                         if let Err(t) = push_call(m, st, f, limits) {
                             return StepResult::Trapped(t);
-                        }
-                        if !NAIVE {
-                            check_budget_saved!(fuel, preempt);
                         }
                         continue 'frames;
                     }

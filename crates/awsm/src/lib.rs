@@ -56,12 +56,13 @@ mod numeric;
 mod translate;
 mod value;
 
+pub use analysis::cost::{op_cost, CostReport, FuncCost, DEFAULT_MAX_CHECK_GAP};
 pub use analysis::{AnalysisReport, Diagnostic, Severity, StackBound};
 pub use code::{CompiledModule, HostImport, Op};
 pub use exec::{Limits, StepResult};
 pub use host::{Host, HostOutcome, NullHost};
 pub use memory::{BoundsStrategy, LinearMemory, MemoryError};
-pub use translate::{translate, Tier, TranslateError};
+pub use translate::{translate, translate_with, Tier, TranslateError, TranslateOptions};
 pub use value::{Trap, Value};
 
 use exec::{ExecState, Frame};
@@ -150,6 +151,10 @@ pub struct Instance {
     /// Preempt flag observed at safe points during [`Instance::run`];
     /// shared so a timer thread can set it.
     preempt: Arc<AtomicBool>,
+    /// Cost units consumed by the current/most recent invocation, summed
+    /// across `run` calls. Excludes recorded-but-unpaid debt, so at
+    /// completion it equals the executed work exactly.
+    fuel_used: u64,
 }
 
 impl Instance {
@@ -181,6 +186,7 @@ impl Instance {
             config,
             status: Status::Idle,
             preempt: Arc::new(AtomicBool::new(false)),
+            fuel_used: 0,
         })
     }
 
@@ -214,6 +220,14 @@ impl Instance {
     /// Whether an invocation is in progress.
     pub fn is_running(&self) -> bool {
         self.status == Status::Running
+    }
+
+    /// Cost units consumed by the current/most recent invocation, summed
+    /// across `run` calls. Both tiers meter identical work, so for the
+    /// same completed execution this value is tier- and bounds-strategy-
+    /// independent (the differential tests assert exactly that).
+    pub fn fuel_used(&self) -> u64 {
+        self.fuel_used
     }
 
     /// Begin executing the exported function `name` with `args`.
@@ -250,6 +264,7 @@ impl Instance {
             });
         }
         self.state.clear();
+        self.fuel_used = 0;
         for a in args {
             self.state.locals.push(a.to_bits());
         }
@@ -277,6 +292,7 @@ impl Instance {
             Status::Dead(t) => return StepResult::Trapped(t),
             Status::Idle => return StepResult::Trapped(Trap::Unreachable),
         }
+        let given = fuel;
         let mut fuel = fuel;
         let preempt = Arc::clone(&self.preempt);
         let result = match (self.config.tier, self.config.bounds) {
@@ -299,6 +315,7 @@ impl Instance {
             }
             (Tier::Naive, _) => self.dispatch::<DynBounds, true, false>(host, &mut fuel, &preempt),
         };
+        self.fuel_used += given - fuel;
         match result {
             StepResult::Complete(_) => self.status = Status::Idle,
             StepResult::Trapped(t) => self.status = Status::Dead(t),

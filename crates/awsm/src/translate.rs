@@ -70,7 +70,26 @@ impl From<ValidateError> for TranslateError {
     }
 }
 
-/// Translate a module for the given tier. Validates first.
+/// Options controlling translate-time analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TranslateOptions {
+    /// Preemption-latency budget in cost units: the cost analysis inserts
+    /// extra budget checks so no check-free path exceeds this (up to the
+    /// weight of a single heaviest op). See
+    /// [`DEFAULT_MAX_CHECK_GAP`](crate::analysis::cost::DEFAULT_MAX_CHECK_GAP).
+    pub max_check_gap: u32,
+}
+
+impl Default for TranslateOptions {
+    fn default() -> Self {
+        TranslateOptions {
+            max_check_gap: crate::analysis::cost::DEFAULT_MAX_CHECK_GAP,
+        }
+    }
+}
+
+/// Translate a module for the given tier with default
+/// [`TranslateOptions`]. Validates first.
 ///
 /// # Errors
 ///
@@ -78,6 +97,19 @@ impl From<ValidateError> for TranslateError {
 /// [`TranslateError::Unsupported`] for imported memories, tables, globals,
 /// or global-relative segment offsets.
 pub fn translate(m: &Module, tier: Tier) -> Result<CompiledModule, TranslateError> {
+    translate_with(m, tier, TranslateOptions::default())
+}
+
+/// [`translate`] with explicit analysis options.
+///
+/// # Errors
+///
+/// Same as [`translate`].
+pub fn translate_with(
+    m: &Module,
+    tier: Tier,
+    opts: TranslateOptions,
+) -> Result<CompiledModule, TranslateError> {
     sledge_wasm::validate::validate_module(m)?;
 
     // Start functions would have to run inside `Instance::new`, which is the
@@ -226,8 +258,9 @@ pub fn translate(m: &Module, tier: Tier) -> Result<CompiledModule, TranslateErro
     };
     // Static analysis runs once here, at load time: stack-bound
     // verification, bounds-check elision proofs (materialized as the
-    // `code_static` bodies), and lints.
-    crate::analysis::analyze(&mut module);
+    // `code_static` bodies), lints, and the cost-model instrumentation
+    // that certifies the preemption-latency gap.
+    crate::analysis::analyze(&mut module, opts.max_check_gap);
     Ok(module)
 }
 

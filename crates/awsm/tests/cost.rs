@@ -1,0 +1,399 @@
+//! Integration tests for the static cost model and its preemption-latency
+//! certificates: weighted fuel as a tier-independent work meter, budget
+//! checks placed per basic block, splits under tight gap budgets, and the
+//! certificate fields (`max_gap` / `max_loop_gap` / `max_host_gap`).
+
+use awsm::{
+    op_cost, translate, translate_with, BoundsStrategy, EngineConfig, Host, HostImport,
+    HostOutcome, Instance, LinearMemory, NullHost, Op, StepResult, Tier, TranslateOptions, Value,
+    DEFAULT_MAX_CHECK_GAP,
+};
+use sledge_guestc::dsl::*;
+use sledge_guestc::{FuncBuilder, ModuleBuilder};
+use sledge_wasm::module::Module;
+use sledge_wasm::types::ValType;
+use std::sync::Arc;
+
+/// A loop with a conditional, memory traffic, and mixed-weight arithmetic:
+/// exercises back edges, fused compare-branches, and fused binops.
+fn work_module(iters: i32) -> Module {
+    let mut mb = ModuleBuilder::new("work");
+    mb.memory(1, Some(1));
+    let mut f = FuncBuilder::new(&[ValType::I32], Some(ValType::I32));
+    let x = f.arg(0);
+    let acc = f.local(ValType::I32);
+    let i = f.local(ValType::I32);
+    f.extend([
+        for_loop(
+            i,
+            i32c(0),
+            lt_s(local(i), i32c(iters)),
+            1,
+            vec![
+                set(acc, add(local(acc), mul(local(x), local(i)))),
+                if_(
+                    gt_s(local(acc), i32c(1000)),
+                    vec![set(acc, div_u(local(acc), i32c(3)))],
+                ),
+                store_i32(and(mul(local(i), i32c(4)), i32c(0xfff)), local(acc)),
+                set(
+                    acc,
+                    add(
+                        local(acc),
+                        load_i32(and(mul(local(i), i32c(4)), i32c(0xfff))),
+                    ),
+                ),
+            ],
+        ),
+        ret(Some(local(acc))),
+    ]);
+    let main = mb.add_func("main", f);
+    mb.export_func(main, "main");
+    mb.build().unwrap()
+}
+
+fn run_metered(
+    m: &Module,
+    tier: Tier,
+    bounds: BoundsStrategy,
+    gap: u32,
+    x: i32,
+    quantum: u64,
+) -> (Option<u64>, u64) {
+    let cm = Arc::new(translate_with(m, tier, TranslateOptions { max_check_gap: gap }).unwrap());
+    let mut inst = Instance::new(
+        cm,
+        EngineConfig {
+            bounds,
+            tier,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    inst.invoke_export("main", &[Value::I32(x)]).unwrap();
+    let got = loop {
+        match inst.run(&mut NullHost, quantum) {
+            StepResult::Complete(v) => break v,
+            StepResult::OutOfFuel => continue,
+            other => panic!("unexpected {other:?}"),
+        }
+    };
+    (got, inst.fuel_used())
+}
+
+// ------------------------------------------------ work-meter equivalence
+
+#[test]
+fn tiers_and_strategies_agree_on_total_fuel() {
+    let m = work_module(25);
+    let (ref_val, ref_fuel) = run_metered(
+        &m,
+        Tier::Optimized,
+        BoundsStrategy::GuardRegion,
+        512,
+        7,
+        u64::MAX,
+    );
+    assert!(ref_fuel > 0);
+    for (tier, bounds) in [
+        (Tier::Optimized, BoundsStrategy::Software),
+        (Tier::Optimized, BoundsStrategy::MpxEmulated),
+        (Tier::Optimized, BoundsStrategy::Static),
+        (Tier::Optimized, BoundsStrategy::None),
+        (Tier::Naive, BoundsStrategy::GuardRegion),
+        (Tier::Naive, BoundsStrategy::Static),
+    ] {
+        let (v, fuel) = run_metered(&m, tier, bounds, 512, 7, u64::MAX);
+        assert_eq!(v, ref_val, "value under {tier:?}/{bounds:?}");
+        assert_eq!(fuel, ref_fuel, "fuel under {tier:?}/{bounds:?}");
+    }
+}
+
+#[test]
+fn chopping_preserves_totals_at_any_quantum() {
+    let m = work_module(12);
+    let (ref_val, ref_fuel) = run_metered(
+        &m,
+        Tier::Optimized,
+        BoundsStrategy::GuardRegion,
+        128,
+        3,
+        u64::MAX,
+    );
+    for quantum in [1, 2, 7, 33, 100] {
+        for tier in [Tier::Optimized, Tier::Naive] {
+            let (v, fuel) = run_metered(&m, tier, BoundsStrategy::GuardRegion, 128, 3, quantum);
+            assert_eq!(v, ref_val, "chopped at {quantum} under {tier:?}");
+            assert_eq!(fuel, ref_fuel, "fuel chopped at {quantum} under {tier:?}");
+        }
+    }
+}
+
+#[test]
+fn instrumentation_gap_budget_does_not_change_totals() {
+    let m = work_module(10);
+    let (ref_val, ref_fuel) = run_metered(
+        &m,
+        Tier::Optimized,
+        BoundsStrategy::GuardRegion,
+        512,
+        5,
+        u64::MAX,
+    );
+    for gap in [4, 16, 64, 4096] {
+        let (v, fuel) = run_metered(
+            &m,
+            Tier::Optimized,
+            BoundsStrategy::GuardRegion,
+            gap,
+            5,
+            u64::MAX,
+        );
+        assert_eq!(v, ref_val, "value at gap {gap}");
+        assert_eq!(fuel, ref_fuel, "fuel at gap {gap}");
+    }
+}
+
+// ------------------------------------------------ certificate structure
+
+/// Scan an instrumented body: every `Op::Fuel` charge must be within the
+/// certified gap, and the ops between consecutive charge sites must sum
+/// to exactly the preceding charge (charges partition the body; zero-cost
+/// chunks have their charge elided and merge in at no cost).
+fn verify_partition(code: &[Op], max_gap: u32) {
+    let mut seg = 0u64;
+    let mut pending: Option<u32> = None;
+    for op in code {
+        if let Op::Fuel(n) = op {
+            if let Some(p) = pending {
+                assert_eq!(u64::from(p), seg, "segment under-/over-charged");
+            }
+            assert!(*n <= max_gap, "charge {n} above certified gap {max_gap}");
+            pending = Some(*n);
+            seg = 0;
+        } else {
+            seg += u64::from(op_cost(op));
+        }
+    }
+    if let Some(p) = pending {
+        assert_eq!(u64::from(p), seg, "trailing segment mismatch");
+    }
+}
+
+#[test]
+fn charges_partition_the_body_exactly() {
+    for gap in [4, 32, DEFAULT_MAX_CHECK_GAP] {
+        let cm = translate_with(
+            &work_module(8),
+            Tier::Optimized,
+            TranslateOptions { max_check_gap: gap },
+        )
+        .unwrap();
+        let cert = cm.analysis.cost.as_ref().expect("certificate attached");
+        assert_eq!(cert.max_check_gap, gap);
+        assert!(cert.max_gap <= gap, "splitting must meet the budget");
+        for func in &cm.funcs {
+            verify_partition(&func.code, cert.max_gap);
+            if let Some(cs) = &func.code_static {
+                verify_partition(cs, cert.max_gap);
+            }
+        }
+    }
+}
+
+#[test]
+fn branch_targets_land_on_charge_sites() {
+    let cm = translate_with(
+        &work_module(8),
+        Tier::Optimized,
+        TranslateOptions { max_check_gap: 16 },
+    )
+    .unwrap();
+    // Every branch target must be a block leader, i.e. its chunk's charge
+    // site (or a zero-cost chunk's first op, which charges nothing).
+    for func in &cm.funcs {
+        let target_ok = |t: u32| {
+            let i = t as usize;
+            assert!(i < func.code.len(), "target {t} out of range");
+            // A paid chunk's entry is its charge site; jumping there pays
+            // the chunk's cost before executing any of it.
+            if matches!(func.code[i], Op::Fuel(_)) {
+                return;
+            }
+            // Otherwise the target must start a charge-elided (zero-cost)
+            // chunk: a mid-chunk target would let a jump skip paid ops.
+            let mut j = i;
+            let mut back_cost = 0u64;
+            while j > 0 && !matches!(func.code[j - 1], Op::Fuel(_)) {
+                j -= 1;
+                back_cost += u64::from(op_cost(&func.code[j]));
+                if matches!(
+                    func.code[j],
+                    Op::Br(_) | Op::BrIf(_) | Op::BrIfZ(_) | Op::BrTable(_) | Op::Return
+                ) {
+                    // Hit the previous block's terminator first: the
+                    // target starts a charge-elided (zero-cost) chunk.
+                    back_cost = 0;
+                    break;
+                }
+            }
+            assert_eq!(
+                back_cost, 0,
+                "branch target {t} lands mid-chunk after paid ops"
+            );
+        };
+        for op in &func.code {
+            match op {
+                Op::Br(b) | Op::BrIf(b) | Op::BrIfZ(b) => target_ok(b.target),
+                Op::BrTable(p) => {
+                    for b in p.targets.iter().chain(std::iter::once(&p.default)) {
+                        target_ok(b.target);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+#[test]
+fn tight_budget_inserts_splits_in_straight_line_code() {
+    // 40 stores back-to-back: one basic block far over an 8-unit budget.
+    let mut mb = ModuleBuilder::new("straight");
+    mb.memory(1, Some(1));
+    let mut f = FuncBuilder::new(&[], Some(ValType::I32));
+    for i in 0..40 {
+        f.push(store_i32(i32c(i * 4), i32c(i)));
+    }
+    f.push(ret(Some(load_i32(i32c(0)))));
+    let main = mb.add_func("main", f);
+    mb.export_func(main, "main");
+    let m = mb.build().unwrap();
+
+    let tight = translate_with(&m, Tier::Optimized, TranslateOptions { max_check_gap: 8 }).unwrap();
+    let cert = tight.analysis.cost.as_ref().unwrap();
+    assert!(cert.splits > 0, "tight budget must split the block");
+    assert!(cert.max_gap <= 8);
+
+    let loose = translate(&m, Tier::Optimized).unwrap();
+    let loose_cert = loose.analysis.cost.as_ref().unwrap();
+    assert_eq!(loose_cert.splits, 0, "default budget fits the block whole");
+    assert!(loose_cert.max_gap > 8);
+    assert!(loose_cert.checks < cert.checks);
+
+    // Same totals either way.
+    let total_tight: u64 = cert.funcs.iter().map(|f| f.total_cost).sum();
+    let total_loose: u64 = loose_cert.funcs.iter().map(|f| f.total_cost).sum();
+    assert_eq!(total_tight, total_loose);
+}
+
+#[test]
+fn loop_and_host_gaps_reported() {
+    // Loop body gap: the work module has a back edge.
+    let cm = translate(&work_module(4), Tier::Optimized).unwrap();
+    let cert = cm.analysis.cost.as_ref().unwrap();
+    let main = &cert.funcs[0];
+    assert!(main.max_loop_gap > 0, "loop body must report a loop gap");
+    assert!(main.max_loop_gap <= main.max_gap);
+    assert_eq!(main.max_host_gap, 0, "no host calls in the work module");
+
+    // Host gap: a module whose only heavy segment contains a host call.
+    let mut mb = ModuleBuilder::new("hosty");
+    let ping = mb.import_func("env", "ping", &[ValType::I32], Some(ValType::I32));
+    let mut f = FuncBuilder::new(&[], Some(ValType::I32));
+    f.push(ret(Some(call(ping, vec![i32c(1)]))));
+    let main = mb.add_func("main", f);
+    mb.export_func(main, "main");
+    let m = mb.build().unwrap();
+    let cm = translate(&m, Tier::Optimized).unwrap();
+    let cert = cm.analysis.cost.as_ref().unwrap();
+    assert!(
+        cert.funcs[0].max_host_gap > 0,
+        "host call gap must be flagged"
+    );
+}
+
+// ------------------------------------------------ runtime interaction
+
+struct PingHost;
+impl Host for PingHost {
+    fn call(
+        &mut self,
+        _idx: u32,
+        _import: &HostImport,
+        args: &[u64],
+        _memory: &mut LinearMemory,
+    ) -> HostOutcome {
+        HostOutcome::Value(args[0] + 1)
+    }
+}
+
+#[test]
+fn host_calls_cost_the_same_in_both_tiers() {
+    let mut mb = ModuleBuilder::new("hosty");
+    mb.memory(1, Some(1));
+    let ping = mb.import_func("env", "ping", &[ValType::I32], Some(ValType::I32));
+    let mut f = FuncBuilder::new(&[], Some(ValType::I32));
+    let acc = f.local(ValType::I32);
+    let i = f.local(ValType::I32);
+    f.extend([
+        for_loop(
+            i,
+            i32c(0),
+            lt_s(local(i), i32c(5)),
+            1,
+            vec![set(acc, add(local(acc), call(ping, vec![local(i)])))],
+        ),
+        ret(Some(local(acc))),
+    ]);
+    let main = mb.add_func("main", f);
+    mb.export_func(main, "main");
+    let m = mb.build().unwrap();
+
+    let mut totals = Vec::new();
+    for tier in [Tier::Optimized, Tier::Naive] {
+        let cm = Arc::new(translate(&m, tier).unwrap());
+        let mut inst = Instance::new(
+            cm,
+            EngineConfig {
+                tier,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let v = inst.call_complete("main", &[], &mut PingHost).unwrap();
+        assert_eq!(v, Some(1 + 2 + 3 + 4 + 5));
+        totals.push(inst.fuel_used());
+    }
+    assert_eq!(totals[0], totals[1], "host-call fuel differs across tiers");
+}
+
+#[test]
+fn fuel_used_is_exact_across_pauses() {
+    // fuel_used after completion must be independent of quantum size even
+    // when every quantum ends in debt (quantum 1 against charges > 1).
+    let m = work_module(6);
+    let cm = Arc::new(translate(&m, Tier::Optimized).unwrap());
+    let mut inst = Instance::new(cm, EngineConfig::default()).unwrap();
+    inst.invoke_export("main", &[Value::I32(2)]).unwrap();
+    let mut quanta = 0u64;
+    loop {
+        match inst.run(&mut NullHost, 1) {
+            StepResult::Complete(_) => break,
+            StepResult::OutOfFuel => quanta += 1,
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    let (_, ref_fuel) = run_metered(
+        &m,
+        Tier::Optimized,
+        BoundsStrategy::GuardRegion,
+        512,
+        2,
+        u64::MAX,
+    );
+    assert_eq!(inst.fuel_used(), ref_fuel);
+    // Paying one unit per call means the pause count equals total cost
+    // minus what the final completing call consumed.
+    assert!(quanta >= ref_fuel - 1, "quantum=1 must pause per unit");
+}

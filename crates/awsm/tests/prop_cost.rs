@@ -1,0 +1,239 @@
+//! Property-based tests for the static cost model: `quantum_fuel` is a
+//! true work meter, so the Naive tier (charging per op at the loop top)
+//! and the Optimized tier (charging per block at `Op::Fuel` sites) must
+//! agree exactly on total fuel for the same execution — under any bounds
+//! strategy and any chopping — and the shipped instrumentation must obey
+//! the certificate it was issued.
+
+use awsm::{
+    translate_with, BoundsStrategy, EngineConfig, Instance, NullHost, Op, StepResult, Tier,
+    TranslateOptions, Value,
+};
+use proptest::prelude::*;
+use sledge_guestc::dsl::*;
+use sledge_guestc::{Expr, FuncBuilder, ModuleBuilder};
+use sledge_wasm::module::Module;
+use sledge_wasm::types::ValType;
+use std::sync::Arc;
+
+/// Expression AST spanning the weight classes the cost model distinguishes
+/// (free const/local ops, unit arith, weighted mul/div, select).
+#[derive(Debug, Clone)]
+enum Arith {
+    Const(i32),
+    X,
+    Y,
+    Add(Box<Arith>, Box<Arith>),
+    Sub(Box<Arith>, Box<Arith>),
+    Mul(Box<Arith>, Box<Arith>),
+    DivU(Box<Arith>, Box<Arith>),
+    Xor(Box<Arith>, Box<Arith>),
+    Sel(Box<Arith>, Box<Arith>, Box<Arith>),
+}
+
+impl Arith {
+    fn to_expr(&self, x: sledge_guestc::Local, y: sledge_guestc::Local) -> Expr {
+        match self {
+            Arith::Const(c) => i32c(*c),
+            Arith::X => local(x),
+            Arith::Y => local(y),
+            Arith::Add(a, b) => add(a.to_expr(x, y), b.to_expr(x, y)),
+            Arith::Sub(a, b) => sub(a.to_expr(x, y), b.to_expr(x, y)),
+            Arith::Mul(a, b) => mul(a.to_expr(x, y), b.to_expr(x, y)),
+            // Guard divisor: `d | 1` keeps the program trap-free.
+            Arith::DivU(a, b) => div_u(a.to_expr(x, y), or(b.to_expr(x, y), i32c(1))),
+            Arith::Xor(a, b) => xor(a.to_expr(x, y), b.to_expr(x, y)),
+            Arith::Sel(c, a, b) => select(
+                ne(c.to_expr(x, y), i32c(0)),
+                a.to_expr(x, y),
+                b.to_expr(x, y),
+            ),
+        }
+    }
+}
+
+fn arith_strategy() -> impl Strategy<Value = Arith> {
+    let leaf = prop_oneof![
+        any::<i32>().prop_map(Arith::Const),
+        Just(Arith::X),
+        Just(Arith::Y),
+    ];
+    leaf.prop_recursive(4, 48, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Arith::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Arith::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Arith::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Arith::DivU(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Arith::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, a, b)| Arith::Sel(
+                Box::new(c),
+                Box::new(a),
+                Box::new(b)
+            )),
+        ]
+    })
+}
+
+/// A loop with branching and memory traffic around the expression, so
+/// bodies exercise back edges, stores/loads, and fused compare-branches.
+fn build_module(e: &Arith, iters: i32) -> Module {
+    let mut mb = ModuleBuilder::new("prop-cost");
+    mb.memory(1, Some(1));
+    let mut f = FuncBuilder::new(&[ValType::I32, ValType::I32], Some(ValType::I32));
+    let x = f.arg(0);
+    let y = f.arg(1);
+    let acc = f.local(ValType::I32);
+    let i = f.local(ValType::I32);
+    f.extend([
+        for_loop(
+            i,
+            i32c(0),
+            lt_s(local(i), i32c(iters)),
+            1,
+            vec![
+                set(acc, xor(local(acc), e.to_expr(x, y))),
+                if_(
+                    gt_s(local(acc), i32c(0)),
+                    vec![set(acc, sub(i32c(0), local(acc)))],
+                ),
+                store_i32(and(mul(local(i), i32c(4)), i32c(0xfff)), local(acc)),
+                set(
+                    acc,
+                    add(
+                        local(acc),
+                        load_i32(and(mul(local(i), i32c(4)), i32c(0xfff))),
+                    ),
+                ),
+            ],
+        ),
+        ret(Some(local(acc))),
+    ]);
+    let main = mb.add_func("main", f);
+    mb.export_func(main, "main");
+    mb.build().expect("generated module must validate")
+}
+
+/// Run to completion with per-call fuel grant `quantum`; returns the
+/// result value and total fuel consumed.
+fn run_metered(
+    m: &Module,
+    tier: Tier,
+    bounds: BoundsStrategy,
+    gap: u32,
+    x: i32,
+    y: i32,
+    quantum: u64,
+) -> (Option<u64>, u64) {
+    let cm = Arc::new(translate_with(m, tier, TranslateOptions { max_check_gap: gap }).unwrap());
+    let mut inst = Instance::new(
+        cm,
+        EngineConfig {
+            bounds,
+            tier,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    inst.invoke_export("main", &[Value::I32(x), Value::I32(y)])
+        .unwrap();
+    let got = loop {
+        match inst.run(&mut NullHost, quantum) {
+            StepResult::Complete(v) => break v,
+            StepResult::OutOfFuel => continue,
+            other => panic!("unexpected {other:?}"),
+        }
+    };
+    (got, inst.fuel_used())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Both tiers consume identical total fuel for the same execution,
+    /// under every bounds strategy, and chopping at any quantum neither
+    /// changes the result nor the total.
+    #[test]
+    fn tiers_agree_on_total_fuel(
+        e in arith_strategy(),
+        x in any::<i32>(),
+        y in any::<i32>(),
+        iters in 1i32..20,
+        quantum in 1u64..200,
+        gap in 8u32..1024,
+    ) {
+        let m = build_module(&e, iters);
+        let (ref_val, ref_fuel) = run_metered(
+            &m, Tier::Optimized, BoundsStrategy::GuardRegion, gap, x, y, u64::MAX,
+        );
+        prop_assert!(ref_fuel > 0, "a loop iteration must cost something");
+        for (tier, bounds) in [
+            (Tier::Optimized, BoundsStrategy::Software),
+            (Tier::Optimized, BoundsStrategy::Static),
+            (Tier::Naive, BoundsStrategy::GuardRegion),
+            (Tier::Naive, BoundsStrategy::Static),
+        ] {
+            let (v, fuel) = run_metered(&m, tier, bounds, gap, x, y, u64::MAX);
+            prop_assert_eq!(v, ref_val, "value tier={:?} bounds={:?}", tier, bounds);
+            prop_assert_eq!(
+                fuel, ref_fuel,
+                "fuel tier={:?} bounds={:?}", tier, bounds
+            );
+        }
+        // Chopped runs pay exactly the same total (debt accounting is exact).
+        for tier in [Tier::Optimized, Tier::Naive] {
+            let (v, fuel) = run_metered(
+                &m, tier, BoundsStrategy::GuardRegion, gap, x, y, quantum,
+            );
+            prop_assert_eq!(v, ref_val, "chopped value tier={:?}", tier);
+            prop_assert_eq!(fuel, ref_fuel, "chopped fuel tier={:?}", tier);
+        }
+    }
+
+    /// The shipped instrumentation obeys its certificate: every `Op::Fuel`
+    /// charge is at most the certified max gap, the certificate respects
+    /// the requested budget whenever no single opcode outweighs it, and
+    /// recomputing each check-free segment's cost from the instrumented
+    /// body reproduces the charge at its head.
+    #[test]
+    fn observed_gaps_within_certificate(
+        e in arith_strategy(),
+        iters in 1i32..10,
+        gap in 4u32..256,
+    ) {
+        let m = build_module(&e, iters);
+        let cm = translate_with(
+            &m, Tier::Optimized, TranslateOptions { max_check_gap: gap },
+        ).unwrap();
+        let cert = cm.analysis.cost.as_ref().expect("certificate always attached");
+        prop_assert_eq!(cert.max_check_gap, gap);
+        // No opcode in this generator weighs more than a memory store (3)
+        // or i32 division (4), so the certificate must meet any budget >= 4.
+        prop_assert!(
+            cert.max_gap <= gap.max(awsm::op_cost(&Op::MemoryGrow)),
+            "certified gap {} exceeds budget {}", cert.max_gap, gap
+        );
+        for func in &cm.funcs {
+            let mut seg = 0u64; // cost accumulated since the last charge site
+            let mut pending: Option<u32> = None; // the charge guarding `seg`
+            for op in &func.code {
+                if let Op::Fuel(n) = op {
+                    if let Some(p) = pending.take() {
+                        prop_assert_eq!(u64::from(p), seg, "segment under-/over-charged");
+                    }
+                    prop_assert!(*n <= cert.max_gap, "charge {n} above certified gap");
+                    pending = Some(*n);
+                    seg = 0;
+                } else {
+                    seg += u64::from(awsm::op_cost(op));
+                }
+            }
+            // Trailing segment: charges partition the linear op layout, so
+            // the ops after the final charge must sum to exactly it (a
+            // zero-cost trailing chunk has its charge elided and merges in
+            // at no cost).
+            if let Some(p) = pending {
+                prop_assert_eq!(u64::from(p), seg, "trailing segment mismatch");
+            }
+        }
+    }
+}

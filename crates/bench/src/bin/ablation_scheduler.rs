@@ -21,7 +21,7 @@ fn run_config(
     let rt = Runtime::new(RuntimeConfig {
         workers: 2.min(sledge_core::num_cpus()),
         quantum,
-        quantum_fuel: 500_000,
+        quantum_fuel: Some(500_000),
         policy,
         ..Default::default()
     });

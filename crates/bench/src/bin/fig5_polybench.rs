@@ -14,7 +14,7 @@
 
 use awsm::{BoundsStrategy, Tier};
 use sledge_apps::polybench::{kernels, Kernel, PreparedKernel};
-use sledge_bench::{geomean, mean, stddev};
+use sledge_bench::{geomean, mean, preempt_latencies, stddev};
 use std::time::Instant;
 
 const CONFIGS: &[(&str, Tier, BoundsStrategy)] = &[
@@ -132,4 +132,32 @@ fn main() {
     println!("# Paper (x86_64): aWsm 13.4% AM / 9.9% GM; bounds-chk 62.7%/38.4%;");
     println!("#   mpx 75.1%/51.6%; Wasmer 149.8%/101.6%; WAVM 28.1%/20.5%.");
     println!("# Expected shape: vm-guard < software < mpx; optimized << naive.");
+
+    // Cost-model addendum: the preemption-latency certificate each kernel
+    // was registered with, against what a live preemption actually costs.
+    println!();
+    println!("# Cost model: certified check-free gap vs measured preempt latency");
+    println!(
+        "{:<16} {:>10} {:>8} {:>8} {:>14}",
+        "kernel", "gap(units)", "checks", "splits", "max preempt"
+    );
+    for k in &ks {
+        let prepared = PreparedKernel::new(k, Tier::Optimized, BoundsStrategy::GuardRegion);
+        let cost = prepared
+            .module()
+            .analysis
+            .cost
+            .as_ref()
+            .expect("translation attaches a cost certificate");
+        let lats = preempt_latencies(&prepared, 5);
+        let max = lats.iter().max().copied().unwrap_or_default();
+        println!(
+            "{:<16} {:>10} {:>8} {:>8} {:>12.2}µs",
+            k.name,
+            cost.max_gap,
+            cost.checks,
+            cost.splits,
+            max.as_secs_f64() * 1e6,
+        );
+    }
 }

@@ -243,6 +243,99 @@ pub fn stddev(values: &[f64]) -> f64 {
     (values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64).sqrt()
 }
 
+/// Run a prepared PolyBench kernel once, uninterrupted; returns its
+/// execution time and the fuel (cost units) it consumed — the per-kernel
+/// calibration point for converting cost units to wall time.
+pub fn calibrate_kernel(prepared: &sledge_apps::polybench::PreparedKernel) -> (Duration, u64) {
+    let mut inst =
+        awsm::Instance::new(Arc::clone(prepared.module()), prepared.config()).expect("inst");
+    let mut host = sledge_apps::testutil::BufferHost::new(Vec::new());
+    inst.invoke_export("main", &[]).expect("invoke");
+    let t0 = Instant::now();
+    loop {
+        match inst.run(&mut host, u64::MAX) {
+            awsm::StepResult::Complete(_) => break,
+            awsm::StepResult::Trapped(t) => panic!("kernel trapped: {t}"),
+            _ => continue,
+        }
+    }
+    (t0.elapsed(), inst.fuel_used())
+}
+
+/// Preempt a prepared kernel `preemptions` times from a second thread and
+/// return the observed flag-set-to-`Preempted`-return latencies. The
+/// kernel is re-invoked as needed until enough samples are collected.
+pub fn preempt_latencies(
+    prepared: &sledge_apps::polybench::PreparedKernel,
+    preemptions: usize,
+) -> Vec<Duration> {
+    use std::sync::atomic::{AtomicBool, AtomicU64};
+    let mut inst =
+        awsm::Instance::new(Arc::clone(prepared.module()), prepared.config()).expect("inst");
+    let mut host = sledge_apps::testutil::BufferHost::new(Vec::new());
+    inst.invoke_export("main", &[]).expect("invoke");
+
+    let flag = inst.preempt_flag();
+    let epoch = Instant::now();
+    // Nanoseconds-since-epoch of the most recent flag set; 0 = not set.
+    let set_at = Arc::new(AtomicU64::new(0));
+    let done = Arc::new(AtomicBool::new(false));
+
+    let flagger = {
+        let flag = Arc::clone(&flag);
+        let set_at = Arc::clone(&set_at);
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            while !done.load(Ordering::Acquire) {
+                // Let the guest get back into its work loop, then preempt.
+                std::thread::sleep(Duration::from_micros(200));
+                if done.load(Ordering::Acquire) {
+                    return;
+                }
+                set_at.store(
+                    epoch.elapsed().as_nanos() as u64 | 1, // never 0
+                    Ordering::Release,
+                );
+                flag.store(true, Ordering::Release);
+                // Wait for the runtime to consume this preemption before
+                // arming the next one (run() clears the flag on return).
+                // Yield, don't spin: on a single-core box a spin-wait
+                // starves the guest thread of the CPU it needs to reach
+                // its next budget check, polluting every sample with a
+                // scheduler timeslice.
+                while flag.load(Ordering::Acquire) && !done.load(Ordering::Acquire) {
+                    std::thread::yield_now();
+                }
+            }
+        })
+    };
+
+    let mut latencies = Vec::with_capacity(preemptions);
+    loop {
+        match inst.run(&mut host, u64::MAX) {
+            awsm::StepResult::Preempted => {
+                let now = epoch.elapsed().as_nanos() as u64;
+                let t_set = set_at.swap(0, Ordering::AcqRel);
+                if t_set != 0 {
+                    latencies.push(Duration::from_nanos(now.saturating_sub(t_set)));
+                }
+                if latencies.len() >= preemptions {
+                    break;
+                }
+            }
+            awsm::StepResult::Complete(_) => {
+                // Kernel finished before collecting all samples: rerun it.
+                inst.invoke_export("main", &[]).expect("invoke");
+            }
+            awsm::StepResult::Trapped(t) => panic!("kernel trapped: {t}"),
+            _ => continue,
+        }
+    }
+    done.store(true, Ordering::Release);
+    flagger.join().expect("flagger thread");
+    latencies
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

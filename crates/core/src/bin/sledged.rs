@@ -126,8 +126,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let reg = rt.registry_stats();
     println!(
-        "verified {} module(s): {} bounds checks elided, {} lint warning(s)",
-        reg.modules_verified, reg.checks_elided, reg.lint_warnings
+        "verified {} module(s): {} bounds checks elided, {} lint warning(s), \
+         {} cost-certified",
+        reg.modules_verified, reg.checks_elided, reg.lint_warnings, reg.cost_certified
     );
 
     println!(

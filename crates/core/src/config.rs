@@ -16,9 +16,22 @@ pub struct RuntimeConfig {
     pub workers: usize,
     /// Preemption time slice (the paper uses 5 ms).
     pub quantum: Duration,
-    /// Fuel budget per dispatch; the coarse-grained backstop under the
-    /// timer-driven preemption.
-    pub quantum_fuel: u64,
+    /// Explicit fuel budget per dispatch, in cost units. `None` (the
+    /// default) derives the budget from `quantum` × [`cost_units_per_us`]
+    /// via [`RuntimeConfig::effective_quantum_fuel`]; set it only to pin
+    /// an exact budget (tests, reproducing a measurement).
+    ///
+    /// [`cost_units_per_us`]: RuntimeConfig::cost_units_per_us
+    pub quantum_fuel: Option<u64>,
+    /// Calibration constant: how many cost units (see `awsm::op_cost`) a
+    /// worker core retires per microsecond. The default is a measured
+    /// figure for the PolyBench kernels on a modern x86 core; recalibrate
+    /// with `preemption_latency --calibrate` when deploying elsewhere.
+    pub cost_units_per_us: u64,
+    /// Preemption-latency budget enforced at registration: modules must
+    /// carry a certificate that every check-free path costs at most this
+    /// many units. `None` accepts any certificate (but still requires one).
+    pub max_check_gap: Option<u32>,
     /// Admission limit: pending (not yet executing) requests beyond this
     /// are rejected with 503.
     pub max_pending: usize,
@@ -55,12 +68,21 @@ pub struct RuntimeConfig {
     pub metrics_routes: bool,
 }
 
+/// Default calibration for [`RuntimeConfig::cost_units_per_us`]: cost
+/// units the interpreter retires per microsecond, measured by dividing
+/// `Instance::fuel_used` by wall time across the PolyBench kernels
+/// (see `preemption_latency --calibrate`). Conservative: real cores run
+/// hotter, which only makes quanta shorter than requested, never longer.
+pub const DEFAULT_COST_UNITS_PER_US: u64 = 150;
+
 impl Default for RuntimeConfig {
     fn default() -> Self {
         RuntimeConfig {
             workers: num_cpus(),
             quantum: Duration::from_millis(5),
-            quantum_fuel: 4_000_000,
+            quantum_fuel: None,
+            cost_units_per_us: DEFAULT_COST_UNITS_PER_US,
+            max_check_gap: None,
             max_pending: 8192,
             max_request_size: 4 << 20,
             bounds: BoundsStrategy::GuardRegion,
@@ -183,6 +205,17 @@ impl From<JsonError> for ConfigError {
 }
 
 impl RuntimeConfig {
+    /// Fuel budget per dispatch, in cost units: the explicit
+    /// [`quantum_fuel`](RuntimeConfig::quantum_fuel) override if set,
+    /// otherwise `quantum` converted through the
+    /// [`cost_units_per_us`](RuntimeConfig::cost_units_per_us)
+    /// calibration. Never zero — a zero budget could not make progress.
+    pub fn effective_quantum_fuel(&self) -> u64 {
+        self.quantum_fuel
+            .unwrap_or_else(|| self.quantum.as_micros() as u64 * self.cost_units_per_us)
+            .max(1)
+    }
+
     /// Parse a runtime configuration from the JSON format:
     ///
     /// ```json
@@ -218,9 +251,32 @@ impl RuntimeConfig {
             );
         }
         if let Some(q) = v.get("quantum_fuel") {
-            cfg.quantum_fuel = q
+            let q = q
                 .as_u64()
                 .ok_or_else(|| ConfigError::Schema("quantum_fuel must be an int".into()))?;
+            if q == 0 {
+                return Err(ConfigError::Schema(
+                    "quantum_fuel must be >= 1 (a zero budget cannot make progress)".into(),
+                ));
+            }
+            cfg.quantum_fuel = Some(q);
+        }
+        if let Some(c) = v.get("cost_units_per_us") {
+            let c = c
+                .as_u64()
+                .ok_or_else(|| ConfigError::Schema("cost_units_per_us must be an int".into()))?;
+            if c == 0 {
+                return Err(ConfigError::Schema("cost_units_per_us must be >= 1".into()));
+            }
+            cfg.cost_units_per_us = c;
+        }
+        if let Some(g) = v.get("max_check_gap") {
+            cfg.max_check_gap = Some(
+                g.as_u64()
+                    .filter(|g| *g <= u32::MAX as u64)
+                    .ok_or_else(|| ConfigError::Schema("max_check_gap must be a u32".into()))?
+                    as u32,
+            );
         }
         if let Some(p) = v.get("max_pending") {
             cfg.max_pending = p
@@ -406,7 +462,8 @@ mod tests {
         let (cfg, funcs) = RuntimeConfig::from_json(text).unwrap();
         assert_eq!(cfg.workers, 15);
         assert_eq!(cfg.quantum, Duration::from_millis(5));
-        assert_eq!(cfg.quantum_fuel, 123456);
+        assert_eq!(cfg.quantum_fuel, Some(123456));
+        assert_eq!(cfg.effective_quantum_fuel(), 123456);
         assert_eq!(cfg.max_pending, 64);
         assert_eq!(cfg.bounds, BoundsStrategy::Software);
         assert_eq!(cfg.tier, Tier::Naive);
@@ -432,6 +489,48 @@ mod tests {
         assert!(RuntimeConfig::from_json("{").is_err());
         assert!(RuntimeConfig::from_json(r#"{"max_stack_bytes": "x"}"#).is_err());
         assert!(RuntimeConfig::from_json(r#"{"max_stack_bytes": -1}"#).is_err());
+    }
+
+    #[test]
+    fn quantum_fuel_derived_from_calibration() {
+        let (cfg, _) = RuntimeConfig::from_json("{}").unwrap();
+        assert_eq!(cfg.quantum_fuel, None);
+        assert_eq!(
+            cfg.effective_quantum_fuel(),
+            5000 * DEFAULT_COST_UNITS_PER_US,
+            "5 ms quantum x default calibration"
+        );
+        let (cfg, _) =
+            RuntimeConfig::from_json(r#"{"quantum_us": 100, "cost_units_per_us": 7}"#).unwrap();
+        assert_eq!(cfg.effective_quantum_fuel(), 700);
+        // An explicit override wins over derivation.
+        let (cfg, _) =
+            RuntimeConfig::from_json(r#"{"quantum_us": 100, "quantum_fuel": 42}"#).unwrap();
+        assert_eq!(cfg.effective_quantum_fuel(), 42);
+        // Degenerate quantum still yields a budget that can make progress.
+        let (cfg, _) = RuntimeConfig::from_json(r#"{"quantum_us": 0}"#).unwrap();
+        assert_eq!(cfg.effective_quantum_fuel(), 1);
+    }
+
+    #[test]
+    fn zero_quantum_fuel_rejected() {
+        let err = RuntimeConfig::from_json(r#"{"quantum_fuel": 0}"#).unwrap_err();
+        assert!(
+            matches!(err, ConfigError::Schema(ref s) if s.contains("quantum_fuel")),
+            "expected schema error, got {err:?}"
+        );
+        assert!(RuntimeConfig::from_json(r#"{"quantum_fuel": "x"}"#).is_err());
+        assert!(RuntimeConfig::from_json(r#"{"cost_units_per_us": 0}"#).is_err());
+    }
+
+    #[test]
+    fn max_check_gap_parsed() {
+        let (cfg, _) = RuntimeConfig::from_json(r#"{"max_check_gap": 256}"#).unwrap();
+        assert_eq!(cfg.max_check_gap, Some(256));
+        let (cfg, _) = RuntimeConfig::from_json("{}").unwrap();
+        assert_eq!(cfg.max_check_gap, None);
+        assert!(RuntimeConfig::from_json(r#"{"max_check_gap": "x"}"#).is_err());
+        assert!(RuntimeConfig::from_json(r#"{"max_check_gap": 4294967296}"#).is_err());
     }
 
     #[test]

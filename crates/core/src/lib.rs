@@ -187,6 +187,7 @@ impl Runtime {
         let workers = config.workers.max(1);
         let mut registry = Registry::new();
         registry.set_stack_budget(config.max_stack_bytes);
+        registry.set_check_gap(config.max_check_gap);
         registry.set_shards(workers);
         let shared = Arc::new(Shared {
             config,

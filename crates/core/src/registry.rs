@@ -4,7 +4,10 @@
 use crate::config::FunctionConfig;
 use crate::metrics::PhaseHistograms;
 use crate::stats::{FunctionStats, RegistryStats};
-use awsm::{translate, AnalysisReport, CompiledModule, Diagnostic, Severity, Tier, TranslateError};
+use awsm::{
+    translate_with, AnalysisReport, CompiledModule, Diagnostic, Severity, Tier, TranslateError,
+    TranslateOptions,
+};
 use sledge_wasm::module::Module;
 use sledge_wasm::DecodeError;
 use std::collections::HashMap;
@@ -64,6 +67,9 @@ pub enum RegisterError {
     /// Static analysis rejected the module: error-severity lints and/or a
     /// worst-case stack bound over the configured budget.
     Analysis(Vec<Diagnostic>),
+    /// The module's preemption-latency certificate is missing or its
+    /// certified check-free gap exceeds the configured budget.
+    Certificate(Diagnostic),
 }
 
 impl fmt::Display for RegisterError {
@@ -80,6 +86,9 @@ impl fmt::Display for RegisterError {
                 }
                 Ok(())
             }
+            RegisterError::Certificate(d) => {
+                write!(f, "preemption-latency certificate rejected: {d}")
+            }
         }
     }
 }
@@ -95,6 +104,12 @@ pub struct Registry {
     /// Worst-case guest stack budget enforced at registration; `None`
     /// disables the check.
     stack_budget: Option<u64>,
+    /// Preemption-latency budget (max check-free gap, in cost units)
+    /// enforced at registration. Also steers the translator: the cost pass
+    /// splits blocks so the certificate meets this budget by construction.
+    /// `None` uses [`awsm::DEFAULT_MAX_CHECK_GAP`] and accepts any
+    /// certified gap — but a certificate must still be present.
+    check_gap: Option<u32>,
     /// Latency-shard count for newly registered functions (the runtime's
     /// worker count; 0 means "not set" and falls back to a single shard).
     shards: usize,
@@ -112,6 +127,13 @@ impl Registry {
     /// (see [`crate::RuntimeConfig::max_stack_bytes`]).
     pub fn set_stack_budget(&mut self, budget: Option<u64>) {
         self.stack_budget = budget;
+    }
+
+    /// Set the preemption-latency budget (max check-free gap, in cost
+    /// units) enforced on subsequently registered modules (see
+    /// [`crate::RuntimeConfig::max_check_gap`]).
+    pub fn set_check_gap(&mut self, budget: Option<u32>) {
+        self.check_gap = budget;
     }
 
     /// Set how many latency shards each subsequently registered function
@@ -153,7 +175,10 @@ impl Registry {
         if self.by_name.contains_key(&config.name) {
             return Err(RegisterError::DuplicateName(config.name.clone()));
         }
-        let compiled = translate(module, tier).map_err(RegisterError::Translate)?;
+        let opts = TranslateOptions {
+            max_check_gap: self.check_gap.unwrap_or(awsm::DEFAULT_MAX_CHECK_GAP),
+        };
+        let compiled = translate_with(module, tier, opts).map_err(RegisterError::Translate)?;
         if compiled.export(&config.entry).is_none() {
             return Err(RegisterError::NoEntry(config.entry.clone()));
         }
@@ -192,6 +217,18 @@ impl Registry {
             self.stats.modules_rejected.fetch_add(1, Ordering::Relaxed);
             return Err(RegisterError::Analysis(errors));
         }
+        // Certificate gate: every module must carry a preemption-latency
+        // certificate; under a configured budget its gap must also fit.
+        // (Splitting makes over-budget gaps rare — only a single opcode
+        // heavier than the budget can produce one.)
+        if let Some(d) = report.check_gap(self.check_gap.unwrap_or(u32::MAX)) {
+            self.stats.modules_rejected.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .certificate_rejected
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(RegisterError::Certificate(d));
+        }
+        self.stats.cost_certified.fetch_add(1, Ordering::Relaxed);
         let mut warns = 0u64;
         for d in report.with_severity(Severity::Warn) {
             eprintln!("[sledge] module {name:?}: {d}");
@@ -366,6 +403,87 @@ mod tests {
             .iter()
             .any(|d| d.message.contains("traps unconditionally")));
         assert_eq!(r.stats.snapshot().modules_rejected, 1);
+    }
+
+    #[test]
+    fn certificate_cached_and_counted() {
+        let mut r = Registry::new();
+        let m = tiny_module("cert");
+        let id = r
+            .register_module(FunctionConfig::new("cert"), &m, Tier::Optimized, 0)
+            .unwrap();
+        let rf = r.get(id).unwrap();
+        let cost = rf
+            .analysis()
+            .cost
+            .as_ref()
+            .expect("translation always attaches a cost certificate");
+        assert!(cost.within(awsm::DEFAULT_MAX_CHECK_GAP));
+        assert_eq!(r.stats.snapshot().cost_certified, 1);
+        assert_eq!(r.stats.snapshot().certificate_rejected, 0);
+    }
+
+    #[test]
+    fn over_budget_certificate_rejected() {
+        // A store op costs more than one unit, and no amount of check
+        // splitting can slice a single opcode — so a 1-unit budget is
+        // unsatisfiable for any module that touches memory.
+        let mut mb = ModuleBuilder::new("heavy");
+        mb.memory(1, Some(1));
+        let mut f = FuncBuilder::new(&[], Some(ValType::I32));
+        f.push(store_i32(i32c(0), i32c(42)));
+        f.push(ret(Some(load_i32(i32c(0)))));
+        let main = mb.add_func("main", f);
+        mb.export_func(main, "main");
+        let m = mb.build().unwrap();
+
+        let mut r = Registry::new();
+        r.set_check_gap(Some(1));
+        let err = r
+            .register_module(FunctionConfig::new("heavy"), &m, Tier::Optimized, 0)
+            .unwrap_err();
+        assert!(matches!(err, RegisterError::Certificate(_)), "{err}");
+        assert!(err.to_string().contains("certificate"));
+        assert!(r.is_empty());
+        let snap = r.stats.snapshot();
+        assert_eq!(snap.certificate_rejected, 1);
+        assert_eq!(snap.modules_rejected, 1);
+
+        // The translator splits to meet any budget a single op can fit in.
+        let mut r2 = Registry::new();
+        r2.set_check_gap(Some(awsm::DEFAULT_MAX_CHECK_GAP));
+        let id = r2
+            .register_module(FunctionConfig::new("heavy"), &m, Tier::Optimized, 0)
+            .unwrap();
+        let rf = r2.get(id).unwrap();
+        let cost = rf.analysis().cost.as_ref().unwrap();
+        assert!(cost.max_gap <= awsm::DEFAULT_MAX_CHECK_GAP);
+        assert_eq!(r2.stats.snapshot().cost_certified, 1);
+    }
+
+    #[test]
+    fn tight_budget_forces_splits() {
+        // A long straight-line body under a small budget must come back
+        // with split-inserted checks, and the certificate must honor it.
+        let mut mb = ModuleBuilder::new("straight");
+        mb.memory(1, Some(1));
+        let mut f = FuncBuilder::new(&[], Some(ValType::I32));
+        for i in 0..32 {
+            f.push(store_i32(i32c(i * 4), mul(i32c(i), i32c(3))));
+        }
+        f.push(ret(Some(load_i32(i32c(0)))));
+        let main = mb.add_func("main", f);
+        mb.export_func(main, "main");
+        let m = mb.build().unwrap();
+
+        let mut r = Registry::new();
+        r.set_check_gap(Some(8));
+        let id = r
+            .register_module(FunctionConfig::new("straight"), &m, Tier::Optimized, 0)
+            .unwrap();
+        let cost = r.get(id).unwrap().analysis().cost.clone().unwrap();
+        assert!(cost.max_gap <= 8, "certified gap {} > budget", cost.max_gap);
+        assert!(cost.splits > 0, "tight budget must force splits");
     }
 
     #[test]

@@ -98,6 +98,13 @@ pub struct RegistryStats {
     /// Memory-access sites whose bounds checks were statically elided,
     /// summed over registered modules.
     pub checks_elided: AtomicU64,
+    /// Modules registered with a preemption-latency certificate within the
+    /// configured check-gap budget.
+    pub cost_certified: AtomicU64,
+    /// Modules rejected because the certificate was missing or its
+    /// check-free gap exceeded the budget (also counted in
+    /// `modules_rejected`).
+    pub certificate_rejected: AtomicU64,
 }
 
 impl RegistryStats {
@@ -108,6 +115,8 @@ impl RegistryStats {
             modules_rejected: self.modules_rejected.load(Ordering::Relaxed),
             lint_warnings: self.lint_warnings.load(Ordering::Relaxed),
             checks_elided: self.checks_elided.load(Ordering::Relaxed),
+            cost_certified: self.cost_certified.load(Ordering::Relaxed),
+            certificate_rejected: self.certificate_rejected.load(Ordering::Relaxed),
         }
     }
 }
@@ -119,6 +128,8 @@ pub struct RegistryStatsSnapshot {
     pub modules_rejected: u64,
     pub lint_warnings: u64,
     pub checks_elided: u64,
+    pub cost_certified: u64,
+    pub certificate_rejected: u64,
 }
 
 /// Circuit breaker state for one function.

@@ -120,7 +120,7 @@ pub(crate) fn worker_loop(
     let mut io_wait: Vec<(Instant, Box<Sandbox>)> = Vec::new();
     let preemptive = shared.config.policy == crate::config::SchedPolicy::PreemptiveRr;
     let fuel = if preemptive {
-        shared.config.quantum_fuel
+        shared.config.effective_quantum_fuel()
     } else {
         u64::MAX
     };

@@ -151,7 +151,7 @@ fn phase_sum_bounded_by_wall_time() {
     let rt = Runtime::new(RuntimeConfig {
         workers: 2,
         quantum: Duration::from_millis(1),
-        quantum_fuel: 50_000,
+        quantum_fuel: Some(50_000),
         ..Default::default()
     });
     let echo = rt
@@ -205,7 +205,7 @@ fn phase_counters_match_outcome() {
     let rt = Runtime::new(RuntimeConfig {
         workers: 1,
         quantum: Duration::from_millis(2),
-        quantum_fuel: 100_000,
+        quantum_fuel: Some(100_000),
         deadline: Some(deadline),
         ..Default::default()
     });
@@ -252,7 +252,7 @@ fn stress_loses_no_samples() {
     let rt = Runtime::new(RuntimeConfig {
         workers: 4,
         quantum: Duration::from_millis(1),
-        quantum_fuel: 50_000,
+        quantum_fuel: Some(50_000),
         deadline: Some(Duration::from_millis(250)),
         fault_plan: Some(FaultPlan {
             seed: 7,

@@ -195,7 +195,7 @@ fn deadline_kills_runaway_guest() {
     let rt = Runtime::new(RuntimeConfig {
         workers: 1,
         quantum: Duration::from_millis(2),
-        quantum_fuel: 200_000,
+        quantum_fuel: Some(200_000),
         deadline: Some(Duration::from_millis(100)),
         ..Default::default()
     });
@@ -228,7 +228,7 @@ fn per_function_deadline_overrides_runtime_default() {
     let rt = Runtime::new(RuntimeConfig {
         workers: 2,
         quantum: Duration::from_millis(2),
-        quantum_fuel: 200_000,
+        quantum_fuel: Some(200_000),
         deadline: Some(Duration::from_secs(30)),
         ..Default::default()
     });
@@ -259,7 +259,7 @@ fn deadline_applies_to_parked_io() {
     let rt = Runtime::new(RuntimeConfig {
         workers: 1,
         quantum: Duration::from_millis(2),
-        quantum_fuel: 200_000,
+        quantum_fuel: Some(200_000),
         deadline: Some(Duration::from_millis(100)),
         ..Default::default()
     });
@@ -290,7 +290,7 @@ fn http_deadline_maps_to_504() {
         RuntimeConfig {
             workers: 1,
             quantum: Duration::from_millis(2),
-            quantum_fuel: 200_000,
+            quantum_fuel: Some(200_000),
             deadline: Some(Duration::from_millis(100)),
             ..Default::default()
         },
@@ -321,7 +321,7 @@ fn breaker_trips_fast_rejects_and_recovers() {
     let rt = Runtime::new(RuntimeConfig {
         workers: 2,
         quantum: Duration::from_millis(2),
-        quantum_fuel: 200_000,
+        quantum_fuel: Some(200_000),
         circuit_breaker: Some(BreakerConfig {
             threshold: 3,
             cooldown: Duration::from_millis(200),
@@ -379,7 +379,7 @@ fn breaker_failed_probe_reopens() {
     let rt = Runtime::new(RuntimeConfig {
         workers: 1,
         quantum: Duration::from_millis(2),
-        quantum_fuel: 200_000,
+        quantum_fuel: Some(200_000),
         circuit_breaker: Some(BreakerConfig {
             threshold: 2,
             cooldown: Duration::from_millis(150),
@@ -416,7 +416,7 @@ fn breaker_is_per_function() {
     let rt = Runtime::new(RuntimeConfig {
         workers: 2,
         quantum: Duration::from_millis(2),
-        quantum_fuel: 200_000,
+        quantum_fuel: Some(200_000),
         circuit_breaker: Some(BreakerConfig {
             threshold: 2,
             cooldown: Duration::from_secs(30),
@@ -448,7 +448,7 @@ fn http_breaker_maps_to_503_with_retry_after() {
         RuntimeConfig {
             workers: 1,
             quantum: Duration::from_millis(2),
-            quantum_fuel: 200_000,
+            quantum_fuel: Some(200_000),
             circuit_breaker: Some(BreakerConfig {
                 threshold: 2,
                 cooldown: Duration::from_secs(30),
@@ -522,7 +522,7 @@ fn shutdown_drain_completes_queued_work() {
     let rt = Runtime::new(RuntimeConfig {
         workers: 2,
         quantum: Duration::from_millis(2),
-        quantum_fuel: 200_000,
+        quantum_fuel: Some(200_000),
         ..Default::default()
     });
     let spin = rt
@@ -581,7 +581,7 @@ fn shutdown_drain_force_kills_runaways_and_reports_timeout() {
     let rt = Runtime::new(RuntimeConfig {
         workers: 2,
         quantum: Duration::from_millis(2),
-        quantum_fuel: 200_000,
+        quantum_fuel: Some(200_000),
         ..Default::default()
     });
     let inf = rt
@@ -614,7 +614,7 @@ fn plain_shutdown_returns_promptly_with_runaway_guest() {
     let rt = Runtime::new(RuntimeConfig {
         workers: 1,
         quantum: Duration::from_millis(2),
-        quantum_fuel: 200_000,
+        quantum_fuel: Some(200_000),
         ..Default::default()
     });
     let inf = rt
@@ -643,7 +643,7 @@ fn fault_injection_is_deterministic_across_runs() {
         let rt = Runtime::new(RuntimeConfig {
             workers: 1,
             quantum: Duration::from_millis(2),
-            quantum_fuel: 200_000,
+            quantum_fuel: Some(200_000),
             fault_plan: Some(FaultPlan {
                 seed: 7,
                 instantiation_failure_pct: 20.0,
@@ -689,7 +689,7 @@ fn chaos_every_accepted_invocation_completes_exactly_once() {
     let rt = Runtime::new(RuntimeConfig {
         workers: 4,
         quantum: Duration::from_millis(1),
-        quantum_fuel: 150_000,
+        quantum_fuel: Some(150_000),
         deadline: Some(Duration::from_millis(400)),
         circuit_breaker: Some(BreakerConfig {
             threshold: 3,
@@ -778,7 +778,7 @@ fn chaos_with_breaker_recovery_probe() {
     let rt = Runtime::new(RuntimeConfig {
         workers: 4,
         quantum: Duration::from_millis(1),
-        quantum_fuel: 150_000,
+        quantum_fuel: Some(150_000),
         deadline: Some(Duration::from_millis(400)),
         circuit_breaker: Some(BreakerConfig {
             threshold: 3,

@@ -162,7 +162,7 @@ fn small_runtime(workers: usize) -> Runtime {
     Runtime::new(RuntimeConfig {
         workers,
         quantum: Duration::from_millis(2),
-        quantum_fuel: 200_000,
+        quantum_fuel: Some(200_000),
         ..Default::default()
     })
 }
@@ -240,7 +240,7 @@ fn temporal_isolation_spinner_does_not_starve_short_requests() {
     let rt = Runtime::new(RuntimeConfig {
         workers: 1,
         quantum: Duration::from_millis(2),
-        quantum_fuel: 500_000,
+        quantum_fuel: Some(500_000),
         ..Default::default()
     });
     let inf = rt
@@ -271,7 +271,7 @@ fn spatial_isolation_trap_does_not_kill_runtime() {
     let rt = Runtime::new(RuntimeConfig {
         workers: 2,
         quantum: Duration::from_millis(2),
-        quantum_fuel: 200_000,
+        quantum_fuel: Some(200_000),
         bounds: awsm::BoundsStrategy::Software,
         ..Default::default()
     });
@@ -330,7 +330,7 @@ fn admission_control_rejects_overload() {
         workers: 1,
         max_pending: 4,
         quantum: Duration::from_millis(2),
-        quantum_fuel: 100_000,
+        quantum_fuel: Some(100_000),
         ..Default::default()
     });
     let spin = rt

@@ -51,7 +51,7 @@ fn mixed_workload_short_latency(policy: SchedPolicy) -> Duration {
     let rt = Runtime::new(RuntimeConfig {
         workers: 1,
         quantum: Duration::from_millis(2),
-        quantum_fuel: 200_000,
+        quantum_fuel: Some(200_000),
         policy,
         ..Default::default()
     });

@@ -205,7 +205,7 @@ fn aggressive_preemption_does_not_corrupt_results() {
     let rt = Runtime::new(RuntimeConfig {
         workers: 2,
         quantum: std::time::Duration::from_millis(1),
-        quantum_fuel: 5_000, // a few thousand ops per dispatch
+        quantum_fuel: Some(5_000), // a few thousand ops per dispatch
         ..Default::default()
     });
     for app in apps::real_world_apps() {
