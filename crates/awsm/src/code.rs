@@ -327,6 +327,10 @@ pub struct CompiledModule {
     pub memory: Option<MemorySpec>,
     /// Data segments: `(offset, bytes)`.
     pub data: Vec<(u32, Arc<[u8]>)>,
+    /// Precomputed initialized-memory image (all data segments replayed in
+    /// order), shared by every instance for cold instantiation and in-place
+    /// reset of recycled sandboxes.
+    pub template: crate::memory::MemoryTemplate,
     /// Function table (module-space function indices).
     pub table: Vec<Option<u32>>,
     /// Exported functions: name → module-space function index.

@@ -61,7 +61,7 @@ pub use analysis::{AnalysisReport, Diagnostic, Severity, StackBound};
 pub use code::{CompiledModule, HostImport, Op};
 pub use exec::{Limits, StepResult};
 pub use host::{Host, HostOutcome, NullHost};
-pub use memory::{BoundsStrategy, LinearMemory, MemoryError};
+pub use memory::{BoundsStrategy, LinearMemory, MemoryError, MemoryTemplate};
 pub use translate::{translate, translate_with, Tier, TranslateError, TranslateOptions};
 pub use value::{Trap, Value};
 
@@ -172,9 +172,12 @@ impl Instance {
         });
         let mut memory = LinearMemory::new(spec.min_pages, spec.max_pages, config.bounds)
             .map_err(InstanceError::Memory)?;
-        for (off, bytes) in &module.data {
+        // Initialize from the precomputed template in one write. The
+        // template's length is the maximum segment end, so this rejects
+        // exactly the modules the per-segment replay would reject.
+        if !module.template.is_empty() {
             memory
-                .write_bytes(*off, bytes)
+                .write_bytes(0, module.template.image())
                 .map_err(|_| InstanceError::DataOutOfBounds)?;
         }
         let globals = module.globals.clone();
@@ -346,6 +349,36 @@ impl Instance {
             preempt,
             &self.config.limits,
         )
+    }
+
+    /// Reset this instance in place to the pristine post-instantiation state,
+    /// using the module's precomputed [`MemoryTemplate`] instead of dropping
+    /// and reallocating: the dirtied span of linear memory beyond the
+    /// template is zeroed (bounded by the high-water mark the store paths
+    /// maintain), the template image is copied back, pages snap to the
+    /// module's initial count, globals are restored, the execution context is
+    /// cleared, and fuel/preempt state is rearmed. A `Dead` instance may be
+    /// reset (its trap state is discarded along with its memory).
+    ///
+    /// The function table needs no restore: it lives immutably on the shared
+    /// [`CompiledModule`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InstanceError::InvalidState`] if an invocation is still in
+    /// progress.
+    pub fn reset_from_template(&mut self) -> Result<(), InstanceError> {
+        if self.status == Status::Running {
+            return Err(InstanceError::InvalidState);
+        }
+        self.memory.reset_from(self.module.template.image());
+        self.globals.copy_from_slice(&self.module.globals);
+        self.state.clear();
+        self.status = Status::Idle;
+        self.fuel_used = 0;
+        self.preempt
+            .store(false, std::sync::atomic::Ordering::Relaxed);
+        Ok(())
     }
 
     /// Convenience: invoke an export and run it to completion with the given

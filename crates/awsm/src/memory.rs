@@ -8,6 +8,7 @@
 
 use crate::value::Trap;
 use sledge_wasm::PAGE_SIZE;
+use std::sync::Arc;
 
 /// How loads and stores are bounds-checked. See DESIGN.md §3/§4 for the
 /// mapping onto the paper's configurations.
@@ -71,6 +72,61 @@ impl std::fmt::Display for MemoryError {
 
 impl std::error::Error for MemoryError {}
 
+/// A precomputed image of a module's initialized linear memory: every data
+/// segment replayed, in order, into one flat byte span starting at address
+/// zero. Built once at translation and shared by all of the module's
+/// instances; it is both the fast path for cold instantiation and the
+/// restore source for [`LinearMemory::reset_from`] when a warm sandbox is
+/// recycled instead of torn down.
+#[derive(Debug, Clone)]
+pub struct MemoryTemplate {
+    image: Arc<[u8]>,
+}
+
+impl Default for MemoryTemplate {
+    fn default() -> Self {
+        MemoryTemplate {
+            image: Vec::new().into(),
+        }
+    }
+}
+
+impl MemoryTemplate {
+    /// Precompute the initialized-memory image from a module's data
+    /// segments (`(offset, bytes)` pairs, replayed in order so overlapping
+    /// segments keep their last-writer-wins semantics).
+    pub fn build(data: &[(u32, Arc<[u8]>)]) -> Self {
+        let end = data
+            .iter()
+            .map(|(off, bytes)| *off as usize + bytes.len())
+            .max()
+            .unwrap_or(0);
+        let mut image = vec![0u8; end];
+        for (off, bytes) in data {
+            image[*off as usize..*off as usize + bytes.len()].copy_from_slice(bytes);
+        }
+        MemoryTemplate {
+            image: image.into(),
+        }
+    }
+
+    /// The flat initialized span (address 0 up to the end of the highest
+    /// data segment).
+    pub fn image(&self) -> &[u8] {
+        &self.image
+    }
+
+    /// Length of the initialized span in bytes.
+    pub fn len(&self) -> usize {
+        self.image.len()
+    }
+
+    /// Whether the module initializes no memory at all.
+    pub fn is_empty(&self) -> bool {
+        self.image.is_empty()
+    }
+}
+
 const RED_ZONE: usize = 8;
 /// Number of entries in the emulated MPX bounds-table. Sized like a real
 /// MPX bound table (large, cache-unfriendly): the cited MPX analysis
@@ -83,11 +139,19 @@ const MPX_SHADOW: usize = 1 << 16;
 pub struct LinearMemory {
     data: Vec<u8>,
     pages: u32,
+    /// Initial page count, the size the memory snaps back to on
+    /// [`LinearMemory::reset_from`].
+    min_pages: u32,
     max_pages: u32,
     /// Capacity mask (`capacity - 1`); capacity is a power of two.
     mask: usize,
     /// Committed byte limit = `pages * PAGE_SIZE`.
     limit: usize,
+    /// High-water mark of dirtied *host* indices: one past the highest byte
+    /// any store (guest or host-side) has touched since allocation or the
+    /// last reset. Reset only has to re-zero `template_len..hwm` instead of
+    /// the whole buffer.
+    hwm: usize,
     strategy: BoundsStrategy,
     /// Emulated MPX bounds table (read on every access in MPX mode).
     /// Allocated lazily so non-MPX sandboxes don't pay for it.
@@ -120,9 +184,11 @@ impl LinearMemory {
         Ok(LinearMemory {
             data: vec![0u8; cap + RED_ZONE],
             pages: min_pages,
+            min_pages,
             max_pages,
             mask: cap - 1,
             limit,
+            hwm: 0,
             strategy,
             mpx_shadow: if strategy == BoundsStrategy::MpxEmulated {
                 vec![u64::MAX; MPX_SHADOW].into_boxed_slice()
@@ -201,6 +267,10 @@ impl LinearMemory {
     ) -> Result<(), Trap> {
         let i = self.resolve::<B>(addr, offset, N as u32)?;
         self.data[i..i + N].copy_from_slice(&bytes);
+        // Track the *resolved* host index: mask-based strategies can wrap an
+        // out-of-bounds guest address anywhere in the allocation, and those
+        // bytes must be re-zeroed on reset too.
+        self.hwm = self.hwm.max(i + N);
         Ok(())
     }
 
@@ -230,6 +300,7 @@ impl LinearMemory {
             "statically-proven access out of bounds"
         );
         self.data[i..i + N].copy_from_slice(&bytes);
+        self.hwm = self.hwm.max(i + N);
     }
 
     /// Host-side checked read (always software-checked; used by the runtime
@@ -259,7 +330,32 @@ impl LinearMemory {
             .filter(|&e| e <= self.limit)
             .ok_or(Trap::OutOfBounds)?;
         self.data[start..end].copy_from_slice(bytes);
+        self.hwm = self.hwm.max(end);
         Ok(())
+    }
+
+    /// One past the highest host byte index any store has touched since
+    /// allocation or the last [`Self::reset_from`].
+    pub fn high_water_mark(&self) -> usize {
+        self.hwm
+    }
+
+    /// Restore this memory to the pristine post-instantiation state described
+    /// by `image` (see [`MemoryTemplate`]) without reallocating: zero only the
+    /// dirtied span beyond the template, then memcpy the template over the
+    /// front. Pages snap back to `min_pages`; a buffer enlarged by
+    /// `memory.grow` keeps its larger allocation (the shrunk mask confines
+    /// all subsequent accesses, so correctness is unaffected).
+    pub(crate) fn reset_from(&mut self, image: &[u8]) {
+        let dirty_end = self.hwm.min(self.data.len());
+        if dirty_end > image.len() {
+            self.data[image.len()..dirty_end].fill(0);
+        }
+        self.data[..image.len()].copy_from_slice(image);
+        self.pages = self.min_pages;
+        self.limit = self.min_pages as usize * PAGE_SIZE;
+        self.mask = capacity_for(self.limit) - 1;
+        self.hwm = image.len();
     }
 
     /// Approximate resident size of this memory in bytes (for footprint
@@ -426,6 +522,75 @@ mod tests {
         let mut m = LinearMemory::new(1, 2, BoundsStrategy::Static).unwrap();
         m.store_nc::<4>(12, 4, 0xAABB_CCDDu32.to_le_bytes());
         assert_eq!(u32::from_le_bytes(m.load_nc::<4>(8, 8)), 0xAABB_CCDD);
+    }
+
+    #[test]
+    fn template_replays_segments_in_order() {
+        let t = MemoryTemplate::build(&[
+            (4, Arc::from(&b"abcd"[..])),
+            (6, Arc::from(&b"XY"[..])),
+            (0, Arc::from(&b"hi"[..])),
+        ]);
+        assert_eq!(t.len(), 8);
+        assert_eq!(t.image(), b"hi\0\0abXY");
+        assert!(MemoryTemplate::default().is_empty());
+    }
+
+    #[test]
+    fn stores_raise_high_water_mark() {
+        let mut m = LinearMemory::new(1, 4, BoundsStrategy::Software).unwrap();
+        assert_eq!(m.high_water_mark(), 0);
+        m.store::<SoftwareBounds, 4>(100, 0, [1; 4]).unwrap();
+        assert_eq!(m.high_water_mark(), 104);
+        m.store_nc::<2>(10, 0, [2; 2]);
+        assert_eq!(m.high_water_mark(), 104);
+        m.write_bytes(200, &[3; 8]).unwrap();
+        assert_eq!(m.high_water_mark(), 208);
+    }
+
+    #[test]
+    fn masked_store_hwm_uses_resolved_index() {
+        let mut m = LinearMemory::new(1, 4, BoundsStrategy::GuardRegion).unwrap();
+        // Out-of-bounds guest address wraps under the mask; the dirty mark
+        // must cover where the bytes actually landed.
+        m.store::<MaskBounds, 8>(u32::MAX, 7, [9; 8]).unwrap();
+        let i = m.resolve::<MaskBounds>(u32::MAX, 7, 8).unwrap();
+        assert_eq!(m.high_water_mark(), i + 8);
+    }
+
+    #[test]
+    fn reset_restores_template_and_zeroes_dirt() {
+        let t = MemoryTemplate::build(&[(0, Arc::from(&b"seed"[..]))]);
+        let mut m = LinearMemory::new(1, 8, BoundsStrategy::Software).unwrap();
+        m.write_bytes(0, t.image()).unwrap();
+        // Dirty both inside and beyond the template span.
+        m.write_bytes(1, b"XXX").unwrap();
+        m.write_bytes(5000, &[7; 16]).unwrap();
+        m.reset_from(t.image());
+        assert_eq!(m.read_bytes(0, 4).unwrap(), b"seed");
+        assert_eq!(m.read_bytes(5000, 16).unwrap(), &[0; 16]);
+        assert_eq!(m.high_water_mark(), t.len());
+    }
+
+    #[test]
+    fn reset_shrinks_grown_memory_back_to_min() {
+        let mut m = LinearMemory::new(1, 64, BoundsStrategy::Software).unwrap();
+        assert_eq!(m.grow(31), 1);
+        m.write_bytes(20 * PAGE_SIZE as u32, &[5; 4]).unwrap();
+        let cap_after_grow = m.data.len();
+        m.reset_from(&[]);
+        assert_eq!(m.pages(), 1);
+        assert_eq!(m.size_bytes(), PAGE_SIZE);
+        // Allocation is retained, but the committed window shrinks and the
+        // dirtied high region is zeroed.
+        assert_eq!(m.data.len(), cap_after_grow);
+        assert!(m.read_bytes(20 * PAGE_SIZE as u32, 4).is_err());
+        assert!(m.data[20 * PAGE_SIZE..20 * PAGE_SIZE + 4]
+            .iter()
+            .all(|&b| b == 0));
+        // Accesses are confined by the shrunk mask again.
+        let i = m.resolve::<MaskBounds>(u32::MAX, 0, 1).unwrap();
+        assert!(i < capacity_for(PAGE_SIZE) + RED_ZONE);
     }
 
     #[test]

@@ -244,12 +244,14 @@ pub fn translate_with(
         });
     }
 
+    let template = crate::memory::MemoryTemplate::build(&data);
     let mut module = CompiledModule {
         funcs,
         host_funcs,
         globals,
         memory,
         data,
+        template,
         table,
         exports,
         start: m.start,

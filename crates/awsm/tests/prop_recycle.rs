@@ -1,0 +1,187 @@
+//! Property-based recycling tests: for randomly generated stateful guest
+//! programs, an instance that ran once (with different inputs) and was reset
+//! from its module's memory template must be observationally identical to a
+//! fresh instance — same output, same full-memory hash, same fuel consumed.
+
+use awsm::{translate, BoundsStrategy, EngineConfig, Instance, NullHost, Tier, Value};
+use proptest::prelude::*;
+use sledge_guestc::dsl::*;
+use sledge_guestc::{Expr, FuncBuilder, ModuleBuilder, Scalar};
+use sledge_wasm::module::Module;
+use sledge_wasm::types::ValType;
+use std::sync::Arc;
+
+/// A tiny arithmetic AST (mirrors `prop_semantics.rs`) used as the payload of
+/// a memory-dirtying guest.
+#[derive(Debug, Clone)]
+enum Arith {
+    Const(i32),
+    X,
+    Y,
+    Add(Box<Arith>, Box<Arith>),
+    Sub(Box<Arith>, Box<Arith>),
+    Mul(Box<Arith>, Box<Arith>),
+    Xor(Box<Arith>, Box<Arith>),
+}
+
+impl Arith {
+    fn to_expr(&self, x: sledge_guestc::Local, y: sledge_guestc::Local) -> Expr {
+        match self {
+            Arith::Const(c) => i32c(*c),
+            Arith::X => local(x),
+            Arith::Y => local(y),
+            Arith::Add(a, b) => add(a.to_expr(x, y), b.to_expr(x, y)),
+            Arith::Sub(a, b) => sub(a.to_expr(x, y), b.to_expr(x, y)),
+            Arith::Mul(a, b) => mul(a.to_expr(x, y), b.to_expr(x, y)),
+            Arith::Xor(a, b) => xor(a.to_expr(x, y), b.to_expr(x, y)),
+        }
+    }
+}
+
+fn arith_strategy() -> impl Strategy<Value = Arith> {
+    let leaf = prop_oneof![
+        any::<i32>().prop_map(Arith::Const),
+        Just(Arith::X),
+        Just(Arith::Y),
+    ];
+    leaf.prop_recursive(4, 32, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Arith::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Arith::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Arith::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Arith::Xor(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+/// Build a guest that evaluates `e`, scribbles the result across a stride of
+/// memory words (addresses masked into page 0), mutates a global accumulator,
+/// optionally grows memory and dirties the new page, and returns a value that
+/// depends on the global, a template data byte, and a read-back of the
+/// scribbled memory.
+fn build_stateful(e: &Arith, stores: u32, grow: bool) -> Module {
+    let mut mb = ModuleBuilder::new("prop-recycle");
+    mb.memory(1, Some(4));
+    mb.data(8, b"seed".to_vec());
+    let g = mb.global_i32(17);
+    let mut f = FuncBuilder::new(&[ValType::I32, ValType::I32], Some(ValType::I32));
+    let x = f.arg(0);
+    let y = f.arg(1);
+    let v = f.local(ValType::I32);
+    let i = f.local(ValType::I32);
+    let addr = f.local(ValType::I32);
+    f.push(set(v, e.to_expr(x, y)));
+    f.push(set_global(g, add(global(g, ValType::I32), local(v))));
+    // Scribble `stores` words at value-dependent (masked) addresses.
+    f.push(for_loop(
+        i,
+        i32c(0),
+        lt_s(local(i), i32c(stores as i32)),
+        1,
+        vec![
+            set(
+                addr,
+                and(add(local(v), mul(local(i), i32c(52))), i32c(0xFFFC)),
+            ),
+            store(Scalar::I32, local(addr), 0, xor(local(v), local(i))),
+        ],
+    ));
+    if grow {
+        f.push(set(i, Expr::MemoryGrow(Box::new(i32c(1)))));
+        f.push(store(
+            Scalar::I32,
+            i32c(65536 + 128),
+            0,
+            global(g, ValType::I32),
+        ));
+    }
+    f.push(ret(Some(add(
+        add(
+            mul(global(g, ValType::I32), i32c(31)),
+            load(Scalar::U8, i32c(8), 0),
+        ),
+        load(Scalar::I32, and(local(v), i32c(0xFFFC)), 0),
+    ))));
+    let main = mb.add_func("main", f);
+    mb.export_func(main, "main");
+    mb.build().expect("generated module must validate")
+}
+
+fn fnv_memory_hash(inst: &Instance) -> u64 {
+    let mem = inst.memory();
+    let bytes = mem
+        .read_bytes(0, mem.size_bytes() as u32)
+        .expect("full-memory read");
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn run_once(inst: &mut Instance, x: i32, y: i32) -> (Option<u64>, u64, u64) {
+    let out = inst
+        .call_complete("main", &[Value::I32(x), Value::I32(y)], &mut NullHost)
+        .expect("stateful guest must complete");
+    (out, fnv_memory_hash(inst), inst.fuel_used())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The differential property at the heart of the warm pool: recycled ≡
+    /// fresh, for arbitrary programs, dirtying patterns, and input pairs.
+    #[test]
+    fn recycled_is_observationally_fresh(
+        e in arith_strategy(),
+        x in any::<i32>(),
+        y in any::<i32>(),
+        dx in any::<i32>(),
+        dy in any::<i32>(),
+        stores in 1u32..24,
+        grow in any::<bool>(),
+    ) {
+        let m = build_stateful(&e, stores, grow);
+        for (tier, bounds) in [
+            (Tier::Optimized, BoundsStrategy::Software),
+            (Tier::Optimized, BoundsStrategy::GuardRegion),
+            (Tier::Naive, BoundsStrategy::Software),
+        ] {
+            let cm = Arc::new(translate(&m, tier).unwrap());
+            let cfg = EngineConfig { bounds, tier, ..Default::default() };
+
+            let mut fresh = Instance::new(Arc::clone(&cm), cfg).unwrap();
+            let want = run_once(&mut fresh, x, y);
+
+            let mut recycled = Instance::new(cm, cfg).unwrap();
+            // Dirty with unrelated inputs, then reset and replay.
+            run_once(&mut recycled, dx, dy);
+            recycled.reset_from_template().unwrap();
+            prop_assert_eq!(recycled.memory().pages(), 1);
+            let got = run_once(&mut recycled, x, y);
+
+            prop_assert_eq!(got, want, "tier={:?} bounds={:?}", tier, bounds);
+        }
+    }
+
+    /// Many consecutive recycles of one instance never drift from the fresh
+    /// baseline (the high-water-mark tracking must stay sound under reuse).
+    #[test]
+    fn repeated_recycles_never_drift(
+        e in arith_strategy(),
+        x in any::<i32>(),
+        y in any::<i32>(),
+        rounds in 2usize..12,
+    ) {
+        let m = build_stateful(&e, 8, false);
+        let cm = Arc::new(translate(&m, Tier::Optimized).unwrap());
+        let mut inst = Instance::new(cm, EngineConfig::default()).unwrap();
+        let want = run_once(&mut inst, x, y);
+        for _ in 0..rounds {
+            inst.reset_from_template().unwrap();
+            let got = run_once(&mut inst, x, y);
+            prop_assert_eq!(got, want);
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Recycling tests: an instance reset in place from its module's
+//! [`MemoryTemplate`] must be observationally identical to a freshly
+//! instantiated one — same outputs, same linear-memory contents, same fuel —
+//! no matter how thoroughly the previous invocation dirtied it.
+
+use awsm::{
+    translate, BoundsStrategy, EngineConfig, Instance, InstanceError, NullHost, StepResult, Tier,
+    Value,
+};
+use sledge_guestc::dsl::*;
+use sledge_guestc::{Expr, FuncBuilder, ModuleBuilder, Scalar};
+use sledge_wasm::module::Module;
+use sledge_wasm::types::ValType;
+use std::sync::Arc;
+
+/// A deliberately stateful guest: every run mutates a global, overwrites a
+/// template data byte, grows memory, and scribbles into the fresh page. Its
+/// return value depends on the global *and* the template byte, so any state
+/// leaking across a reset changes the observable result.
+fn stateful_module() -> Module {
+    let mut mb = ModuleBuilder::new("stateful");
+    mb.memory(1, Some(4));
+    mb.data(16, b"abc".to_vec());
+    let g = mb.global_i32(5);
+    let mut f = FuncBuilder::new(&[ValType::I32], Some(ValType::I32));
+    let x = f.arg(0);
+    let old = f.local(ValType::I32);
+    let grew = f.local(ValType::I32);
+    f.extend([
+        // Mutate the global: a second run on a non-reset instance sees 2x.
+        set_global(g, add(global(g, ValType::I32), local(x))),
+        // Read the template byte, then clobber it.
+        set(old, load(Scalar::U8, i32c(16), 0)),
+        store(Scalar::U8, i32c(16), 0, i32c(0xFF)),
+        // Grow past the initial page and dirty the new one; after a correct
+        // reset pages snap back to 1 and the grow succeeds again.
+        set(grew, Expr::MemoryGrow(Box::new(i32c(1)))),
+        if_(ne(local(grew), i32c(1)), vec![ret(Some(i32c(-1)))]),
+        store(Scalar::I32, i32c(65536 + 8), 0, global(g, ValType::I32)),
+        ret(Some(add(
+            mul(global(g, ValType::I32), i32c(256)),
+            local(old),
+        ))),
+    ]);
+    let main = mb.add_func("main", f);
+    mb.export_func(main, "main");
+    mb.build().unwrap()
+}
+
+fn fnv_memory_hash(inst: &Instance) -> u64 {
+    let mem = inst.memory();
+    let bytes = mem
+        .read_bytes(0, mem.size_bytes() as u32)
+        .expect("full-memory read");
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[test]
+fn recycled_instance_matches_fresh_exactly() {
+    let m = stateful_module();
+    for (tier, bounds) in [
+        (Tier::Optimized, BoundsStrategy::Software),
+        (Tier::Optimized, BoundsStrategy::GuardRegion),
+        (Tier::Naive, BoundsStrategy::Software),
+    ] {
+        let cm = Arc::new(translate(&m, tier).unwrap());
+        let cfg = EngineConfig {
+            bounds,
+            tier,
+            ..Default::default()
+        };
+
+        // Fresh baseline.
+        let mut fresh = Instance::new(Arc::clone(&cm), cfg).unwrap();
+        let want = fresh
+            .call_complete("main", &[Value::I32(3)], &mut NullHost)
+            .unwrap();
+        assert_eq!(want, Some((5 + 3) * 256 + 97), "tier={tier:?}");
+        let want_hash = fnv_memory_hash(&fresh);
+        let want_fuel = fresh.fuel_used();
+
+        // Dirty a second instance with a *different* argument, recycle it,
+        // and replay the baseline invocation.
+        let mut recycled = Instance::new(cm, cfg).unwrap();
+        recycled
+            .call_complete("main", &[Value::I32(9)], &mut NullHost)
+            .unwrap();
+        recycled.reset_from_template().unwrap();
+        assert_eq!(recycled.memory().pages(), 1, "pages snap back to min");
+        assert_eq!(recycled.fuel_used(), 0, "fuel rearmed by reset");
+
+        let got = recycled
+            .call_complete("main", &[Value::I32(3)], &mut NullHost)
+            .unwrap();
+        assert_eq!(got, want, "tier={tier:?} bounds={bounds:?}");
+        assert_eq!(fnv_memory_hash(&recycled), want_hash, "memory hash");
+        assert_eq!(recycled.fuel_used(), want_fuel, "fuel");
+    }
+}
+
+#[test]
+fn reset_restores_template_bytes_and_zeroes_dirt() {
+    let m = stateful_module();
+    let cm = Arc::new(translate(&m, Tier::Optimized).unwrap());
+    let mut inst = Instance::new(cm, EngineConfig::default()).unwrap();
+    inst.call_complete("main", &[Value::I32(1)], &mut NullHost)
+        .unwrap();
+    assert_eq!(inst.memory().read_bytes(16, 1).unwrap(), &[0xFF]);
+    inst.reset_from_template().unwrap();
+    // Template bytes restored, dirt beyond the data segment zeroed.
+    assert_eq!(inst.memory().read_bytes(16, 3).unwrap(), b"abc");
+    assert_eq!(inst.memory().read_bytes(19, 1).unwrap(), &[0]);
+    assert_eq!(inst.memory().read_bytes(1024, 64).unwrap(), &[0u8; 64]);
+}
+
+#[test]
+fn reset_mid_invocation_is_rejected() {
+    let m = stateful_module();
+    let cm = Arc::new(translate(&m, Tier::Optimized).unwrap());
+    let mut inst = Instance::new(cm, EngineConfig::default()).unwrap();
+    inst.invoke_export("main", &[Value::I32(1)]).unwrap();
+    // One unit of fuel cannot finish the body: the instance is mid-run.
+    assert!(matches!(
+        inst.run(&mut NullHost, 1),
+        StepResult::OutOfFuel | StepResult::Preempted
+    ));
+    assert!(matches!(
+        inst.reset_from_template(),
+        Err(InstanceError::InvalidState)
+    ));
+    // Finishing the invocation makes it resettable again.
+    loop {
+        match inst.run(&mut NullHost, u64::MAX) {
+            StepResult::Complete(_) => break,
+            StepResult::OutOfFuel | StepResult::Preempted => continue,
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    inst.reset_from_template().unwrap();
+}
+
+#[test]
+fn dead_instance_can_be_recycled() {
+    // A trapped (Dead) instance is still pool-eligible at the engine layer:
+    // reset discards the trap state with the rest.
+    let mut mb = ModuleBuilder::new("oob");
+    mb.memory(1, Some(1));
+    let mut f = FuncBuilder::new(&[ValType::I32], Some(ValType::I32));
+    let a = f.arg(0);
+    f.push(ret(Some(load(Scalar::I32, local(a), 0))));
+    let main = mb.add_func("main", f);
+    mb.export_func(main, "main");
+    let m = mb.build().unwrap();
+
+    let cm = Arc::new(translate(&m, Tier::Optimized).unwrap());
+    let cfg = EngineConfig {
+        bounds: BoundsStrategy::Software,
+        ..Default::default()
+    };
+    let mut inst = Instance::new(cm, cfg).unwrap();
+    assert!(inst
+        .call_complete("main", &[Value::I32(-4)], &mut NullHost)
+        .is_err());
+    inst.reset_from_template().unwrap();
+    let got = inst
+        .call_complete("main", &[Value::I32(64)], &mut NullHost)
+        .unwrap();
+    assert_eq!(got, Some(0));
+}
+
+#[test]
+fn repeated_recycling_stays_pristine() {
+    // Fifty dirty-then-reset cycles: the high-water-mark bookkeeping must not
+    // drift, and every replay must match the first.
+    let m = stateful_module();
+    let cm = Arc::new(translate(&m, Tier::Optimized).unwrap());
+    let mut inst = Instance::new(cm, EngineConfig::default()).unwrap();
+    let want = inst
+        .call_complete("main", &[Value::I32(2)], &mut NullHost)
+        .unwrap();
+    let want_fuel = inst.fuel_used();
+    let want_hash = fnv_memory_hash(&inst);
+    for round in 0..50 {
+        inst.reset_from_template().unwrap();
+        let got = inst
+            .call_complete("main", &[Value::I32(2)], &mut NullHost)
+            .unwrap();
+        assert_eq!(got, want, "round {round}");
+        assert_eq!(inst.fuel_used(), want_fuel, "round {round}");
+        assert_eq!(fnv_memory_hash(&inst), want_hash, "round {round}");
+    }
+}

@@ -120,6 +120,30 @@ fn main() {
     let report = rt.latency_report();
     rt.shutdown();
 
+    // The same stream again with the warm sandbox pool enabled: steady-state
+    // requests acquire a recycled, template-reset instance instead of paying
+    // a fresh instantiation.
+    let rt = Runtime::new(RuntimeConfig {
+        workers: 2,
+        pool_size: 4,
+        prewarm: 2,
+        recycle: true,
+        ..Default::default()
+    });
+    let ekf = rt
+        .register_module(
+            FunctionConfig::new("gps_ekf"),
+            &sledge_apps::gps_ekf::module(),
+        )
+        .expect("register gps_ekf");
+    for _ in 0..iters {
+        let done = rt.invoke(ekf, body.clone()).wait().expect("ekf");
+        assert!(matches!(done.outcome, Outcome::Success(_)));
+    }
+    let warm_report = rt.latency_report();
+    let warm_pool = rt.pool_stats();
+    rt.shutdown();
+
     println!("# Table 3: churn for GPS-EKF ({iters} iterations)");
     println!("{:<36} {:>10} {:>10}", "", "99%", "Avg");
     println!(
@@ -153,6 +177,18 @@ fn main() {
         "full runtime, internal instantiation",
         d(g.instantiation.quantile(0.99)),
         d(g.instantiation.mean().unwrap_or(0)),
+    );
+    let w = &warm_report.global;
+    println!(
+        "{:<36} {:>10} {:>10}",
+        "full runtime, warm-pool acquire",
+        d(w.instantiation.quantile(0.99)),
+        d(w.instantiation.mean().unwrap_or(0)),
+    );
+    println!(
+        "# warm pool: {:.0}% hit rate ({} recycled)",
+        warm_pool.hit_rate().unwrap_or(0.0) * 100.0,
+        warm_pool.recycled
     );
     println!();
     println!(

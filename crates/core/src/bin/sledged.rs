@@ -103,6 +103,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let breaker = config.circuit_breaker;
     let conn_idle = config.conn_idle;
     let faults = config.fault_plan.is_some();
+    let pool = (config.pool_size, config.prewarm, config.recycle);
     let rt = Runtime::with_http(config, listen)?;
     let mut loaded = 0usize;
     for (fc, wasm_rel) in functions.into_iter().zip(module_paths) {
@@ -148,6 +149,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         None => println!("  circuit breaker: off"),
     }
     println!("  idle connection timeout: {} ms", conn_idle.as_millis());
+    if pool.0 > 0 {
+        println!(
+            "  sandbox pool: {} per function, prewarm {}, recycle {}",
+            pool.0,
+            pool.1,
+            if pool.2 { "on" } else { "off" }
+        );
+    }
     if faults {
         println!("  FAULT INJECTION ACTIVE (chaos configuration)");
     }

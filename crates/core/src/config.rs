@@ -66,6 +66,18 @@ pub struct RuntimeConfig {
     /// the HTTP front end. On by default; disable to reserve those routes
     /// for functions.
     pub metrics_routes: bool,
+    /// Capacity of each function's warm sandbox pool. 0 (the default)
+    /// disables the pool entirely — behavior and metrics are identical to a
+    /// runtime without the subsystem.
+    pub pool_size: usize,
+    /// Instances the background pre-warmer keeps hot per function (clamped
+    /// to `pool_size`). 0 disables the pre-warmer; warmth then comes only
+    /// from recycling.
+    pub prewarm: usize,
+    /// Whether workers recycle cleanly-completed sandboxes back into the
+    /// pool. With `recycle = false` and `prewarm > 0` every warm acquire
+    /// was pre-warmed (useful for isolating the two mechanisms).
+    pub recycle: bool,
 }
 
 /// Default calibration for [`RuntimeConfig::cost_units_per_us`]: cost
@@ -94,8 +106,19 @@ impl Default for RuntimeConfig {
             fault_plan: None,
             max_stack_bytes: None,
             metrics_routes: true,
+            // Env overrides let CI run the whole suite a second time with
+            // the pool armed without touching any test's explicit config.
+            pool_size: env_usize("SLEDGE_POOL_SIZE").unwrap_or(0),
+            prewarm: env_usize("SLEDGE_PREWARM").unwrap_or(0),
+            recycle: env_usize("SLEDGE_RECYCLE").map(|v| v != 0).unwrap_or(true),
         }
     }
+}
+
+/// Read a non-negative integer knob from the environment; unset, empty, or
+/// unparsable values fall through to the built-in default.
+fn env_usize(key: &str) -> Option<usize> {
+    std::env::var(key).ok()?.trim().parse().ok()
 }
 
 /// Per-function circuit breaker parameters.
@@ -344,6 +367,23 @@ impl RuntimeConfig {
                 .as_bool()
                 .ok_or_else(|| ConfigError::Schema("metrics_routes must be a bool".into()))?;
         }
+        if let Some(ps) = v.get("pool_size") {
+            cfg.pool_size = ps
+                .as_u64()
+                .ok_or_else(|| ConfigError::Schema("pool_size must be a non-negative int".into()))?
+                as usize;
+        }
+        if let Some(pw) = v.get("prewarm") {
+            cfg.prewarm = pw
+                .as_u64()
+                .ok_or_else(|| ConfigError::Schema("prewarm must be a non-negative int".into()))?
+                as usize;
+        }
+        if let Some(r) = v.get("recycle") {
+            cfg.recycle = r
+                .as_bool()
+                .ok_or_else(|| ConfigError::Schema("recycle must be a bool".into()))?;
+        }
         let mut funcs = Vec::new();
         if let Some(mods) = v.get("modules") {
             let arr = mods
@@ -409,6 +449,9 @@ fn parse_fault_plan(fp: &Json) -> Result<FaultPlan, ConfigError> {
         plan.host_latency = Duration::from_micros(l.as_u64().ok_or_else(|| {
             ConfigError::Schema("fault_plan.host_latency_us must be an int".into())
         })?);
+    }
+    if let Some(p) = fp.get("pool_poison_pct") {
+        plan.pool_poison_pct = pct(p, "pool_poison_pct")?;
     }
     Ok(plan)
 }
@@ -553,6 +596,27 @@ mod tests {
     }
 
     #[test]
+    fn pool_knobs_parsed() {
+        let text = r#"{"pool_size": 8, "prewarm": 2, "recycle": false}"#;
+        let (cfg, _) = RuntimeConfig::from_json(text).unwrap();
+        assert_eq!(cfg.pool_size, 8);
+        assert_eq!(cfg.prewarm, 2);
+        assert!(!cfg.recycle);
+        // Explicit JSON always wins over the SLEDGE_POOL_SIZE/SLEDGE_PREWARM/
+        // SLEDGE_RECYCLE env overrides; absent knobs match the (possibly
+        // env-overridden) defaults, so this test is green in both CI legs.
+        let (cfg, _) = RuntimeConfig::from_json("{}").unwrap();
+        let dflt = RuntimeConfig::default();
+        assert_eq!(cfg.pool_size, dflt.pool_size);
+        assert_eq!(cfg.prewarm, dflt.prewarm);
+        assert_eq!(cfg.recycle, dflt.recycle);
+        assert!(RuntimeConfig::from_json(r#"{"pool_size": "x"}"#).is_err());
+        assert!(RuntimeConfig::from_json(r#"{"pool_size": -1}"#).is_err());
+        assert!(RuntimeConfig::from_json(r#"{"prewarm": 1.5}"#).is_err());
+        assert!(RuntimeConfig::from_json(r#"{"recycle": 1}"#).is_err());
+    }
+
+    #[test]
     fn resilience_knobs_parsed() {
         let text = r#"{
             "deadline_ms": 250,
@@ -563,7 +627,8 @@ mod tests {
                 "instantiation_failure_pct": 5,
                 "host_trap_pct": 2.5,
                 "host_latency_pct": 10,
-                "host_latency_us": 1500
+                "host_latency_us": 1500,
+                "pool_poison_pct": 7.5
             },
             "modules": [
                 {"name": "echo", "deadline_ms": 50},
@@ -582,6 +647,7 @@ mod tests {
         assert_eq!(fp.host_trap_pct, 2.5);
         assert_eq!(fp.host_latency_pct, 10.0);
         assert_eq!(fp.host_latency, Duration::from_micros(1500));
+        assert_eq!(fp.pool_poison_pct, 7.5);
         assert_eq!(funcs[0].deadline, Some(Duration::from_millis(50)));
         assert_eq!(funcs[1].deadline, None);
     }
@@ -603,6 +669,7 @@ mod tests {
         assert!(RuntimeConfig::from_json(r#"{"circuit_breaker": {"cooldown_ms": "x"}}"#).is_err());
         assert!(RuntimeConfig::from_json(r#"{"fault_plan": {"host_trap_pct": 101}}"#).is_err());
         assert!(RuntimeConfig::from_json(r#"{"fault_plan": {"host_trap_pct": -1}}"#).is_err());
+        assert!(RuntimeConfig::from_json(r#"{"fault_plan": {"pool_poison_pct": 200}}"#).is_err());
         assert!(RuntimeConfig::from_json(r#"{"conn_idle_ms": 1.5}"#).is_err());
         assert!(
             RuntimeConfig::from_json(r#"{"modules": [{"name": "a", "deadline_ms": "x"}]}"#)

@@ -31,6 +31,10 @@ pub struct FaultPlan {
     pub host_latency_pct: f64,
     /// Artificial latency injected when `host_latency_pct` fires.
     pub host_latency: Duration,
+    /// Percent of invocations whose sandbox is "poisoned": even on a clean
+    /// completion the worker must discard it instead of recycling it into
+    /// the warm pool (chaos-tests the pool's eligibility gate).
+    pub pool_poison_pct: f64,
 }
 
 impl Default for FaultPlan {
@@ -41,6 +45,7 @@ impl Default for FaultPlan {
             host_trap_pct: 0.0,
             host_latency_pct: 0.0,
             host_latency: Duration::ZERO,
+            pool_poison_pct: 0.0,
         }
     }
 }
@@ -91,6 +96,12 @@ impl FaultPlan {
             None
         }
     }
+
+    /// Whether invocation `seq`'s sandbox is poisoned: the worker must
+    /// discard it at retirement rather than recycle it into the warm pool.
+    pub fn poison_pool(&self, seq: u64) -> bool {
+        self.pool_poison_pct > 0.0 && self.roll(seq, 4) < self.pool_poison_pct
+    }
 }
 
 #[cfg(test)]
@@ -105,10 +116,12 @@ mod tests {
             host_trap_pct: 10.0,
             host_latency_pct: 20.0,
             host_latency: Duration::from_millis(1),
+            pool_poison_pct: 15.0,
         };
         let b = a;
         for seq in 0..1000 {
             assert_eq!(a.fail_instantiation(seq), b.fail_instantiation(seq));
+            assert_eq!(a.poison_pool(seq), b.poison_pool(seq));
             for call in 0..8 {
                 assert_eq!(a.trap_host_call(seq, call), b.trap_host_call(seq, call));
                 assert_eq!(a.delay_host_call(seq, call), b.delay_host_call(seq, call));
@@ -123,6 +136,7 @@ mod tests {
             assert!(!p.fail_instantiation(seq));
             assert!(!p.trap_host_call(seq, seq));
             assert!(p.delay_host_call(seq, seq).is_none());
+            assert!(!p.poison_pool(seq));
         }
     }
 
@@ -134,11 +148,13 @@ mod tests {
             host_trap_pct: 100.0,
             host_latency_pct: 100.0,
             host_latency: Duration::from_micros(10),
+            pool_poison_pct: 100.0,
         };
         for seq in 0..100 {
             assert!(p.fail_instantiation(seq));
             assert!(p.trap_host_call(seq, 0));
             assert_eq!(p.delay_host_call(seq, 0), Some(Duration::from_micros(10)));
+            assert!(p.poison_pool(seq));
         }
     }
 

@@ -59,6 +59,7 @@ mod histogram;
 mod json;
 mod listener;
 mod metrics;
+mod pool;
 mod registry;
 mod sandbox;
 mod stats;
@@ -75,6 +76,7 @@ pub use metrics::{
     render_json, render_prometheus, summary_line, LatencyReport, MetricsHandle, PhaseHistograms,
     PhaseSnapshot, PHASES,
 };
+pub use pool::{PoolStats, PoolStatsSnapshot, SandboxPool};
 pub use registry::{FunctionId, RegisterError, RegisteredFunction, Registry};
 pub use sandbox::{Completion, Outcome, Sandbox, SandboxHost, Timings};
 pub use stats::{
@@ -189,6 +191,7 @@ impl Runtime {
         registry.set_stack_budget(config.max_stack_bytes);
         registry.set_check_gap(config.max_check_gap);
         registry.set_shards(workers);
+        registry.set_pool_capacity(config.pool_size);
         let shared = Arc::new(Shared {
             config,
             registry: RwLock::new(registry),
@@ -233,6 +236,15 @@ impl Runtime {
                     .name("sledge-timer".into())
                     .spawn(move || worker::timer_loop(shared, worker_shareds))
                     .expect("spawn timer"),
+            );
+        }
+        if shared.config.pool_size > 0 && shared.config.prewarm > 0 {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("sledge-prewarm".into())
+                    .spawn(move || pool::prewarm_loop(shared))
+                    .expect("spawn prewarmer"),
             );
         }
         {
@@ -349,9 +361,20 @@ impl Runtime {
     }
 
     /// Load-time static-analysis counter snapshot (modules verified /
-    /// rejected, lint warnings, elided bounds checks).
+    /// rejected, lint warnings, elided bounds checks) plus aggregated
+    /// warm-pool counters.
     pub fn registry_stats(&self) -> stats::RegistryStatsSnapshot {
-        self.shared.registry.read().stats.snapshot()
+        self.shared.registry.read().stats_snapshot()
+    }
+
+    /// Aggregated warm sandbox-pool counters (all-zero when pooling is
+    /// disabled via `pool_size = 0`).
+    pub fn pool_stats(&self) -> pool::PoolStatsSnapshot {
+        let mut snap = pool::PoolStatsSnapshot::default();
+        for rf in self.shared.registry.read().iter() {
+            snap.merge(&rf.pool.snapshot());
+        }
+        snap
     }
 
     /// Per-function counter snapshot.
@@ -379,6 +402,12 @@ impl Runtime {
     /// pair with [`Runtime::shutdown_drain`] to finish the shutdown.
     pub fn begin_drain(&self) {
         self.shared.draining.store(true, Ordering::Release);
+        // Pools are emptied as part of the drain: workers stop recycling
+        // and the pre-warmer pauses the moment `draining` is set, so the
+        // pools stay empty for the remainder of the shutdown.
+        for rf in self.shared.registry.read().iter() {
+            rf.pool.drain();
+        }
         let _ = self.intake.send(Intake::Wake);
     }
 
@@ -427,6 +456,11 @@ impl Runtime {
         let _ = self.intake.send(Intake::Wake);
         for t in self.threads.drain(..) {
             let _ = t.join();
+        }
+        // Every thread is parked; empty the warm pools so all instance
+        // memory is released before the runtime object goes away.
+        for rf in self.shared.registry.read().iter() {
+            rf.pool.drain();
         }
     }
 }

@@ -10,6 +10,7 @@
 //! shard snapshots on demand.
 
 use crate::histogram::{Histogram, HistogramSnapshot};
+use crate::pool::PoolStatsSnapshot;
 use crate::sandbox::Timings;
 use crate::stats::StatsSnapshot;
 use crate::Shared;
@@ -126,6 +127,11 @@ pub struct LatencyReport {
     pub global: PhaseSnapshot,
     /// Per-function breakdowns, in registration order.
     pub per_function: Vec<(String, PhaseSnapshot)>,
+    /// Warm sandbox-pool counters summed over all functions. All-zero
+    /// (capacity 0) when pooling is disabled — the renderers then emit no
+    /// pool series at all, keeping the disabled output byte-for-byte
+    /// identical to a runtime without the subsystem.
+    pub pool: PoolStatsSnapshot,
 }
 
 /// A cheap, clonable handle for reading runtime metrics without holding the
@@ -152,9 +158,8 @@ impl Shared {
     /// Merge every worker shard into the global + per-function report.
     pub(crate) fn latency_report(&self) -> LatencyReport {
         let global = PhaseSnapshot::merge_shards(&self.phase_shards);
-        let per_function = self
-            .registry
-            .read()
+        let registry = self.registry.read();
+        let per_function = registry
             .iter()
             .map(|rf| {
                 (
@@ -163,9 +168,15 @@ impl Shared {
                 )
             })
             .collect();
+        let mut pool = PoolStatsSnapshot::default();
+        for rf in registry.iter() {
+            pool.merge(&rf.pool.snapshot());
+        }
+        drop(registry);
         LatencyReport {
             global,
             per_function,
+            pool,
         }
     }
 }
@@ -204,6 +215,33 @@ pub fn render_prometheus(report: &LatencyReport, stats: &StatsSnapshot) -> Strin
         out.push_str(&format!(
             "sledge_scheduler_events_total{{event=\"{event}\"}} {v}\n"
         ));
+    }
+
+    // Pool series exist only when the pool subsystem is armed; a disabled
+    // pool leaves the exposition byte-for-byte unchanged.
+    if report.pool.capacity > 0 {
+        let p = &report.pool;
+        out.push_str("# HELP sledge_pool_events_total Warm sandbox-pool events.\n");
+        out.push_str("# TYPE sledge_pool_events_total counter\n");
+        for (event, v) in [
+            ("hit", p.hits),
+            ("miss", p.misses),
+            ("recycled", p.recycled),
+            ("discarded", p.discarded),
+            ("poisoned", p.poisoned),
+            ("prewarmed", p.prewarmed),
+            ("evicted", p.evicted),
+        ] {
+            out.push_str(&format!(
+                "sledge_pool_events_total{{event=\"{event}\"}} {v}\n"
+            ));
+        }
+        out.push_str("# HELP sledge_pool_size Instances currently parked across all pools.\n");
+        out.push_str("# TYPE sledge_pool_size gauge\n");
+        out.push_str(&format!("sledge_pool_size{{}} {}\n", p.size));
+        out.push_str("# HELP sledge_pool_capacity Summed pool capacity across functions.\n");
+        out.push_str("# TYPE sledge_pool_capacity gauge\n");
+        out.push_str(&format!("sledge_pool_capacity{{}} {}\n", p.capacity));
     }
 
     out.push_str(
@@ -271,7 +309,15 @@ pub fn render_json(report: &LatencyReport, stats: &StatsSnapshot) -> String {
         }
         out.push_str(&format!("\"{k}\":{v}"));
     }
-    out.push_str("},\"global\":");
+    out.push('}');
+    if report.pool.capacity > 0 {
+        let p = &report.pool;
+        out.push_str(&format!(
+            ",\"pool\":{{\"capacity\":{},\"size\":{},\"hits\":{},\"misses\":{},\"recycled\":{},\"discarded\":{},\"poisoned\":{},\"prewarmed\":{},\"evicted\":{}}}",
+            p.capacity, p.size, p.hits, p.misses, p.recycled, p.discarded, p.poisoned, p.prewarmed, p.evicted,
+        ));
+    }
+    out.push_str(",\"global\":");
     json_phases(&mut out, &report.global);
     out.push_str(",\"functions\":{");
     for (i, (name, phases)) in report.per_function.iter().enumerate() {
@@ -309,7 +355,7 @@ fn json_phases(out: &mut String, snap: &PhaseSnapshot) {
 pub fn summary_line(report: &LatencyReport, stats: &StatsSnapshot) -> String {
     let g = &report.global;
     let ms = |ns: u64| ns as f64 / 1e6;
-    format!(
+    let mut line = format!(
         "done={} trap={} timeout={} rej={} | total p50={:.3}ms p99={:.3}ms | queue p99={:.3}ms inst p99={:.3}ms exec p99={:.3}ms",
         stats.completed,
         stats.trapped,
@@ -320,7 +366,15 @@ pub fn summary_line(report: &LatencyReport, stats: &StatsSnapshot) -> String {
         ms(g.queue.quantile(0.99)),
         ms(g.instantiation.quantile(0.99)),
         ms(g.execution.quantile(0.99)),
-    )
+    );
+    if report.pool.capacity > 0 {
+        let p = &report.pool;
+        line.push_str(&format!(
+            " | pool hit={} miss={} recycled={} size={}/{}",
+            p.hits, p.misses, p.recycled, p.size, p.capacity
+        ));
+    }
+    line
 }
 
 fn escape_label(s: &str) -> String {
@@ -369,6 +423,7 @@ mod tests {
         let report = LatencyReport {
             global: snap,
             per_function: vec![("echo".into(), snap)],
+            pool: PoolStatsSnapshot::default(),
         };
         (report, StatsSnapshot::default())
     }
@@ -429,6 +484,43 @@ mod tests {
                 .as_u64(),
             Some(0)
         );
+    }
+
+    #[test]
+    fn disabled_pool_renders_nothing() {
+        let (report, stats) = sample_report();
+        assert_eq!(report.pool.capacity, 0);
+        assert!(!render_prometheus(&report, &stats).contains("sledge_pool"));
+        assert!(!render_json(&report, &stats).contains("\"pool\""));
+        assert!(!summary_line(&report, &stats).contains("pool"));
+    }
+
+    #[test]
+    fn enabled_pool_renders_counters() {
+        let (mut report, stats) = sample_report();
+        report.pool = PoolStatsSnapshot {
+            capacity: 4,
+            size: 2,
+            hits: 10,
+            misses: 3,
+            recycled: 9,
+            discarded: 1,
+            poisoned: 1,
+            prewarmed: 2,
+            evicted: 0,
+        };
+        let text = render_prometheus(&report, &stats);
+        assert!(text.contains("sledge_pool_events_total{event=\"hit\"} 10"));
+        assert!(text.contains("sledge_pool_events_total{event=\"poisoned\"} 1"));
+        assert!(text.contains("sledge_pool_size{} 2"));
+        assert!(text.contains("sledge_pool_capacity{} 4"));
+        let json = render_json(&report, &stats);
+        let doc = crate::json::parse(&json).expect("valid JSON");
+        let pool = doc.get("pool").expect("pool object");
+        assert_eq!(pool.get("hits").unwrap().as_u64(), Some(10));
+        assert_eq!(pool.get("capacity").unwrap().as_u64(), Some(4));
+        let line = summary_line(&report, &stats);
+        assert!(line.contains("pool hit=10 miss=3"), "{line}");
     }
 
     #[test]

@@ -3,7 +3,8 @@
 
 use crate::config::FunctionConfig;
 use crate::metrics::PhaseHistograms;
-use crate::stats::{FunctionStats, RegistryStats};
+use crate::pool::SandboxPool;
+use crate::stats::{FunctionStats, RegistryStats, RegistryStatsSnapshot};
 use awsm::{
     translate_with, AnalysisReport, CompiledModule, Diagnostic, Severity, Tier, TranslateError,
     TranslateOptions,
@@ -36,6 +37,9 @@ pub struct RegisteredFunction {
     /// Per-worker latency shards for this function (one entry per worker;
     /// worker `i` writes only `metrics[i]`). Readers merge on demand.
     pub metrics: Box<[PhaseHistograms]>,
+    /// Warm sandbox pool (capacity 0 = disabled; see
+    /// [`crate::RuntimeConfig::pool_size`]).
+    pub pool: SandboxPool,
 }
 
 impl RegisteredFunction {
@@ -113,6 +117,9 @@ pub struct Registry {
     /// Latency-shard count for newly registered functions (the runtime's
     /// worker count; 0 means "not set" and falls back to a single shard).
     shards: usize,
+    /// Warm-pool capacity for newly registered functions (0 = pooling
+    /// disabled).
+    pool_capacity: usize,
     /// Load-time analysis counters.
     pub stats: RegistryStats,
 }
@@ -141,6 +148,12 @@ impl Registry {
     /// private shard).
     pub fn set_shards(&mut self, shards: usize) {
         self.shards = shards;
+    }
+
+    /// Set the warm-pool capacity for subsequently registered functions
+    /// (see [`crate::RuntimeConfig::pool_size`]; 0 disables pooling).
+    pub fn set_pool_capacity(&mut self, capacity: usize) {
+        self.pool_capacity = capacity;
     }
 
     /// Register a function from raw `.wasm` bytes: decode, validate,
@@ -195,6 +208,7 @@ impl Registry {
             metrics: (0..self.shards.max(1))
                 .map(|_| PhaseHistograms::default())
                 .collect(),
+            pool: SandboxPool::new(self.pool_capacity),
         });
         self.functions.push(rf);
         self.by_name.insert(name, id);
@@ -260,6 +274,16 @@ impl Registry {
     /// All registered functions.
     pub fn iter(&self) -> impl Iterator<Item = &Arc<RegisteredFunction>> {
         self.functions.iter()
+    }
+
+    /// Registry counter snapshot with every function's warm-pool counters
+    /// folded in (what `/stats` and `registry_stats()` report).
+    pub fn stats_snapshot(&self) -> RegistryStatsSnapshot {
+        let mut snap = self.stats.snapshot();
+        for rf in &self.functions {
+            snap.pool.merge(&rf.pool.snapshot());
+        }
+        snap
     }
 
     /// Number of registered functions.

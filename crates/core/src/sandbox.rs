@@ -252,6 +252,9 @@ pub struct Sandbox {
     /// Whether this invocation is a circuit breaker's half-open probe (its
     /// outcome decides whether the breaker closes or re-opens).
     pub breaker_probe: bool,
+    /// Whether the instance came warm from the function's sandbox pool
+    /// (rather than cold instantiation).
+    pub pool_hit: bool,
 }
 
 impl Sandbox {
@@ -271,9 +274,17 @@ impl Sandbox {
         epoch: Instant,
     ) -> Result<Box<Sandbox>, (InstanceError, crate::listener::AnyResponder)> {
         let arrival = Instant::now();
-        let instance = match Instance::new(Arc::clone(&function.module), engine) {
-            Ok(i) => i,
-            Err(e) => return Err((e, responder)),
+        // Warm path: pop a reset-and-ready instance from the function's
+        // pool. The acquire happens *inside* the measured window, so a pool
+        // hit records its (near-zero) cost in the `instantiation` phase
+        // histogram — not smeared into `queue` — and the phase invariant
+        // `sum of phases <= total` is preserved by construction.
+        let (instance, pool_hit) = match function.pool.acquire(&engine) {
+            Some(i) => (i, true),
+            None => match Instance::new(Arc::clone(&function.module), engine) {
+                Ok(i) => (i, false),
+                Err(e) => return Err((e, responder)),
+            },
         };
         let instantiation = arrival.elapsed();
         Ok(Box::new(Sandbox {
@@ -293,6 +304,7 @@ impl Sandbox {
             preemptions: 0,
             deadline: None,
             breaker_probe: false,
+            pool_hit,
         }))
     }
 
@@ -301,6 +313,12 @@ impl Sandbox {
     pub fn set_fault(&mut self, plan: FaultPlan, seq: u64) {
         self.host.fault = Some(plan);
         self.host.seq = seq;
+    }
+
+    /// The fault plan and sequence number attached by the listener, if any
+    /// (workers consult them for the pool-poisoning decision at retirement).
+    pub(crate) fn fault(&self) -> Option<(FaultPlan, u64)> {
+        self.host.fault.map(|p| (p, self.host.seq))
     }
 
     /// Start the entry function. Must be called once before `run_quantum`.

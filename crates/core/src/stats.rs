@@ -117,11 +117,16 @@ impl RegistryStats {
             checks_elided: self.checks_elided.load(Ordering::Relaxed),
             cost_certified: self.cost_certified.load(Ordering::Relaxed),
             certificate_rejected: self.certificate_rejected.load(Ordering::Relaxed),
+            // Pool counters live on each function; `Registry::stats_snapshot`
+            // folds them in on top of this raw counter copy.
+            pool: crate::pool::PoolStatsSnapshot::default(),
         }
     }
 }
 
-/// A point-in-time copy of [`RegistryStats`].
+/// A point-in-time copy of [`RegistryStats`], plus the warm-pool counters
+/// aggregated across every registered function (all-zero when pooling is
+/// disabled).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RegistryStatsSnapshot {
     pub modules_verified: u64,
@@ -130,6 +135,8 @@ pub struct RegistryStatsSnapshot {
     pub checks_elided: u64,
     pub cost_certified: u64,
     pub certificate_rejected: u64,
+    /// Warm sandbox-pool counters, summed over all functions.
+    pub pool: crate::pool::PoolStatsSnapshot,
 }
 
 /// Circuit breaker state for one function.

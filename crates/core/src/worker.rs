@@ -97,8 +97,38 @@ fn finish(shared: &Shared, shard: usize, mut sandbox: Box<Sandbox>, outcome: Out
     }
     let function = sandbox.function.id;
     let responder = sandbox.responder_take();
-    // Teardown: dropping the sandbox releases linear memory and stacks.
-    drop(sandbox);
+    // Teardown — or recycling. Only *clean* completions are eligible for
+    // the warm pool: traps, deadline kills, and poisoned invocations (the
+    // chaos fault that models "this sandbox can no longer be trusted") are
+    // discarded, as is everything once a drain begins (drained pools must
+    // stay empty). The in-place template reset happens here, on the worker,
+    // so the next acquire is a plain pop.
+    if sandbox.function.pool.enabled() {
+        let clean = matches!(outcome, Outcome::Success(_));
+        let poisoned = clean && sandbox.fault().is_some_and(|(p, seq)| p.poison_pool(seq));
+        let recyclable = clean
+            && !poisoned
+            && shared.config.recycle
+            && !shared.draining.load(Ordering::Acquire)
+            && !shared.shutdown.load(Ordering::Acquire);
+        let retired = *sandbox;
+        let Sandbox {
+            function: rf,
+            instance,
+            ..
+        } = retired;
+        if recyclable {
+            // `release` itself counts the outcome (recycled, evicted on a
+            // full pool, or discarded on a failed reset).
+            rf.pool.release(instance);
+        } else {
+            drop(instance);
+            rf.pool.discard(poisoned);
+        }
+    } else {
+        // Dropping the sandbox releases linear memory and stacks.
+        drop(sandbox);
+    }
     responder.deliver(Completion {
         function,
         outcome,

@@ -260,6 +260,7 @@ fn stress_loses_no_samples() {
             host_trap_pct: 10.0,
             host_latency_pct: 10.0,
             host_latency: Duration::from_millis(2),
+            ..Default::default()
         }),
         ..Default::default()
     });

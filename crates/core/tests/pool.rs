@@ -1,0 +1,422 @@
+//! Warm-pool integration tests: recycling counters through real invocations,
+//! state isolation across reuse, pre-warming, drain interaction, the
+//! phase-accounting contract for pool hits, chaos pool-poisoning, and the
+//! disabled-pool "byte-for-byte identical" rendering guarantee.
+
+use sledge_core::{FaultPlan, FunctionConfig, Outcome, PoolStatsSnapshot, Runtime, RuntimeConfig};
+use sledge_guestc::dsl::*;
+use sledge_guestc::{FuncBuilder, ModuleBuilder, Scalar};
+use sledge_wasm::module::Module;
+use sledge_wasm::types::ValType;
+use std::io::{Read, Write};
+use std::time::{Duration, Instant};
+
+mod guests {
+    use super::*;
+
+    /// Echo the request body.
+    pub fn echo() -> Module {
+        let mut mb = ModuleBuilder::new("echo");
+        mb.memory(2, Some(64));
+        let req_len = mb.import_func("env", "request_len", &[], Some(ValType::I32));
+        let req_read = mb.import_func(
+            "env",
+            "request_read",
+            &[ValType::I32, ValType::I32, ValType::I32],
+            Some(ValType::I32),
+        );
+        let resp_write = mb.import_func(
+            "env",
+            "response_write",
+            &[ValType::I32, ValType::I32],
+            Some(ValType::I32),
+        );
+        let mut f = FuncBuilder::new(&[], Some(ValType::I32));
+        let n = f.local(ValType::I32);
+        f.extend([
+            set(n, call(req_len, vec![])),
+            exec(call(req_read, vec![i32c(0), local(n), i32c(0)])),
+            exec(call(resp_write, vec![i32c(0), local(n)])),
+            ret(Some(i32c(0))),
+        ]);
+        let main = mb.add_func("main", f);
+        mb.export_func(main, "main");
+        mb.build().unwrap()
+    }
+
+    /// Respond with the byte at address 64 *then* scribble 0xAA over it. A
+    /// recycled sandbox that leaks state answers 0xAA instead of 0.
+    pub fn peek_poke() -> Module {
+        let mut mb = ModuleBuilder::new("peek");
+        mb.memory(1, Some(1));
+        let resp_write = mb.import_func(
+            "env",
+            "response_write",
+            &[ValType::I32, ValType::I32],
+            Some(ValType::I32),
+        );
+        let mut f = FuncBuilder::new(&[], Some(ValType::I32));
+        f.extend([
+            exec(call(resp_write, vec![i32c(64), i32c(1)])),
+            store(Scalar::U8, i32c(64), 0, i32c(0xAA)),
+            ret(Some(i32c(0))),
+        ]);
+        let main = mb.add_func("main", f);
+        mb.export_func(main, "main");
+        mb.build().unwrap()
+    }
+
+    /// Trap (division by zero) whenever the first body byte is 1; the
+    /// data dependency keeps the load-time analyzer from rejecting it.
+    pub fn picky() -> Module {
+        let mut mb = ModuleBuilder::new("picky");
+        mb.memory(1, Some(1));
+        let req_read = mb.import_func(
+            "env",
+            "request_read",
+            &[ValType::I32, ValType::I32, ValType::I32],
+            Some(ValType::I32),
+        );
+        let mut f = FuncBuilder::new(&[], Some(ValType::I32));
+        f.extend([
+            exec(call(req_read, vec![i32c(0), i32c(1), i32c(0)])),
+            if_(
+                eq(load(Scalar::U8, i32c(0), 0), i32c(1)),
+                vec![store(Scalar::I32, i32c(8), 0, div(i32c(1), i32c(0)))],
+            ),
+            ret(Some(i32c(0))),
+        ]);
+        let main = mb.add_func("main", f);
+        mb.export_func(main, "main");
+        mb.build().unwrap()
+    }
+}
+
+/// Every test pins the three pool knobs explicitly so the suite passes
+/// unchanged under the CI leg that enables pooling via `SLEDGE_*` env vars.
+fn config(pool_size: usize, prewarm: usize, recycle: bool) -> RuntimeConfig {
+    RuntimeConfig {
+        workers: 1,
+        pool_size,
+        prewarm,
+        recycle,
+        ..Default::default()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recycling counters and reuse
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sequential_invocations_recycle_one_sandbox() {
+    let rt = Runtime::new(config(2, 0, true));
+    let echo = rt
+        .register_module(FunctionConfig::new("echo"), &guests::echo())
+        .unwrap();
+    for i in 0..10 {
+        let done = rt.invoke(echo, &b"hi"[..]).wait().unwrap();
+        match done.outcome {
+            Outcome::Success(body) => assert_eq!(&body[..], b"hi", "#{i}"),
+            other => panic!("#{i}: {other:?}"),
+        }
+    }
+    let pool = rt.pool_stats();
+    rt.shutdown();
+    // One cold miss, then nine warm hits on the same recycled instance.
+    assert_eq!(pool.misses, 1, "{pool:?}");
+    assert_eq!(pool.hits, 9, "{pool:?}");
+    assert_eq!(pool.recycled, 10, "{pool:?}");
+    assert_eq!(pool.discarded, 0, "{pool:?}");
+    assert_eq!(pool.poisoned, 0, "{pool:?}");
+    assert_eq!(pool.size, 1, "{pool:?}");
+}
+
+#[test]
+fn recycled_sandboxes_leak_no_state() {
+    let rt = Runtime::new(config(1, 0, true));
+    let peek = rt
+        .register_module(FunctionConfig::new("peek"), &guests::peek_poke())
+        .unwrap();
+    for i in 0..6 {
+        let done = rt.invoke(peek, Vec::new()).wait().unwrap();
+        match done.outcome {
+            // Every run answers the *template* byte (0), never the 0xAA the
+            // previous invocation scribbled.
+            Outcome::Success(body) => assert_eq!(&body[..], &[0u8], "#{i}"),
+            other => panic!("#{i}: {other:?}"),
+        }
+    }
+    let pool = rt.pool_stats();
+    rt.shutdown();
+    assert!(pool.hits >= 5, "no reuse actually happened: {pool:?}");
+}
+
+#[test]
+fn recycle_knob_off_discards_everything() {
+    let rt = Runtime::new(config(2, 0, false));
+    let echo = rt
+        .register_module(FunctionConfig::new("echo"), &guests::echo())
+        .unwrap();
+    for _ in 0..4 {
+        let done = rt.invoke(echo, &b"x"[..]).wait().unwrap();
+        assert!(matches!(done.outcome, Outcome::Success(_)));
+    }
+    let pool = rt.pool_stats();
+    rt.shutdown();
+    assert_eq!(pool.recycled, 0, "{pool:?}");
+    assert_eq!(pool.hits, 0, "{pool:?}");
+    assert_eq!(pool.misses, 4, "{pool:?}");
+    assert_eq!(pool.discarded, 4, "{pool:?}");
+    assert_eq!(pool.size, 0, "{pool:?}");
+}
+
+#[test]
+fn trapped_invocations_are_never_recycled() {
+    let rt = Runtime::new(config(2, 0, true));
+    let picky = rt
+        .register_module(FunctionConfig::new("picky"), &guests::picky())
+        .unwrap();
+    for _ in 0..3 {
+        let done = rt.invoke(picky, vec![1u8]).wait().unwrap();
+        assert!(matches!(done.outcome, Outcome::Trapped(_)));
+    }
+    let pool = rt.pool_stats();
+    rt.shutdown();
+    assert_eq!(pool.recycled, 0, "{pool:?}");
+    assert_eq!(pool.hits, 0, "{pool:?}");
+    assert_eq!(pool.misses, 3, "{pool:?}");
+    assert_eq!(pool.discarded, 3, "{pool:?}");
+    assert_eq!(pool.size, 0, "{pool:?}");
+}
+
+// ---------------------------------------------------------------------------
+// Pre-warming and drain
+// ---------------------------------------------------------------------------
+
+#[test]
+fn prewarmer_fills_pool_before_first_request() {
+    let rt = Runtime::new(config(4, 2, true));
+    let echo = rt
+        .register_module(FunctionConfig::new("echo"), &guests::echo())
+        .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let pool = rt.pool_stats();
+        if pool.size >= 2 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "prewarmer never filled: {pool:?}"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let done = rt.invoke(echo, &b"warm"[..]).wait().unwrap();
+    assert!(matches!(done.outcome, Outcome::Success(_)));
+    let pool = rt.pool_stats();
+    rt.shutdown();
+    // The very first request was served from a pre-warmed instance.
+    assert_eq!(pool.misses, 0, "{pool:?}");
+    assert_eq!(pool.hits, 1, "{pool:?}");
+    assert!(pool.prewarmed >= 2, "{pool:?}");
+}
+
+#[test]
+fn drain_empties_pools_and_keeps_them_empty() {
+    let rt = Runtime::new(config(4, 0, true));
+    let echo = rt
+        .register_module(FunctionConfig::new("echo"), &guests::echo())
+        .unwrap();
+    for _ in 0..6 {
+        let done = rt.invoke(echo, &b"x"[..]).wait().unwrap();
+        assert!(matches!(done.outcome, Outcome::Success(_)));
+    }
+    assert!(rt.pool_stats().size > 0, "pool never filled");
+    rt.begin_drain();
+    let pool = rt.pool_stats();
+    assert_eq!(pool.size, 0, "drained pool still holds instances: {pool:?}");
+    rt.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Phase accounting on the warm path (satellite: pool hits charge
+// `instantiation`, never `queue`; the phase-sum invariant survives pooling)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn pool_hits_keep_phase_accounting_sound() {
+    let rt = Runtime::new(config(2, 0, true));
+    let echo = rt
+        .register_module(FunctionConfig::new("echo"), &guests::echo())
+        .unwrap();
+    const N: u64 = 20;
+    for i in 0..N {
+        let done = rt.invoke(echo, &b"ping"[..]).wait().unwrap();
+        assert!(matches!(done.outcome, Outcome::Success(_)), "#{i}");
+        let t = &done.timings;
+        // The acquire (warm or cold) happens inside the measured
+        // instantiation window, so the disjoint-phase invariant holds for
+        // pool hits exactly as it does for cold starts.
+        let sum = t.instantiation + t.queue_delay + t.execution + t.preempted + t.blocked;
+        assert!(sum <= t.total, "#{i}: phase sum {sum:?} exceeds {t:?}");
+    }
+    let report = rt.latency_report();
+    let pool = rt.pool_stats();
+    rt.shutdown();
+    assert_eq!(pool.hits, N - 1, "{pool:?}");
+    // Warm invocations still record exactly one sample per phase: nothing
+    // about a pool hit is smeared into `queue` or dropped.
+    assert_eq!(report.global.count(), N);
+    for (phase, h) in report.global.phases() {
+        assert_eq!(h.count(), N, "phase {phase} lost warm-path samples");
+    }
+    // The report carries the merged pool snapshot for rendering.
+    assert_eq!(report.pool.hits, N - 1);
+    assert!(report.pool.capacity > 0);
+}
+
+// ---------------------------------------------------------------------------
+// Chaos: pool poisoning
+// ---------------------------------------------------------------------------
+
+#[test]
+fn poisoned_sandboxes_never_reenter_the_pool() {
+    let rt = Runtime::new(RuntimeConfig {
+        fault_plan: Some(FaultPlan {
+            seed: 11,
+            pool_poison_pct: 100.0,
+            ..Default::default()
+        }),
+        ..config(4, 0, true)
+    });
+    let echo = rt
+        .register_module(FunctionConfig::new("echo"), &guests::echo())
+        .unwrap();
+    const N: u64 = 30;
+    for i in 0..N {
+        // Exactly-one-completion: poisoning is invisible to the client — the
+        // invocation succeeds, only the sandbox's afterlife changes.
+        let done = rt.invoke(echo, &b"hi"[..]).wait().unwrap();
+        match done.outcome {
+            Outcome::Success(body) => assert_eq!(&body[..], b"hi", "#{i}"),
+            other => panic!("#{i}: {other:?}"),
+        }
+    }
+    let pool = rt.pool_stats();
+    rt.shutdown();
+    // Every completion was poisoned, so the pool never serves a reused
+    // instance: all acquires miss, nothing is ever recycled.
+    assert_eq!(pool.poisoned, N, "{pool:?}");
+    assert_eq!(pool.discarded, N, "{pool:?}");
+    assert_eq!(pool.recycled, 0, "{pool:?}");
+    assert_eq!(pool.hits, 0, "{pool:?}");
+    assert_eq!(pool.size, 0, "{pool:?}");
+}
+
+#[test]
+fn partial_poisoning_accounts_for_every_retirement() {
+    let rt = Runtime::new(RuntimeConfig {
+        fault_plan: Some(FaultPlan {
+            seed: 42,
+            pool_poison_pct: 35.0,
+            ..Default::default()
+        }),
+        ..config(4, 0, true)
+    });
+    let echo = rt
+        .register_module(FunctionConfig::new("echo"), &guests::echo())
+        .unwrap();
+    const N: u64 = 60;
+    for _ in 0..N {
+        let done = rt.invoke(echo, &b"hi"[..]).wait().unwrap();
+        assert!(matches!(done.outcome, Outcome::Success(_)));
+    }
+    let pool = rt.pool_stats();
+    rt.shutdown();
+    assert!(pool.poisoned > 0, "35% plan never fired: {pool:?}");
+    assert!(pool.recycled > 0, "35% plan poisoned everything: {pool:?}");
+    // Every successful retirement is counted exactly once: recycled into the
+    // pool, discarded (poisoned), or evicted from a full pool.
+    assert_eq!(pool.discarded, pool.poisoned, "{pool:?}");
+    assert_eq!(pool.recycled + pool.discarded + pool.evicted, N, "{pool:?}");
+}
+
+// ---------------------------------------------------------------------------
+// Disabled pool: invisible end to end
+// ---------------------------------------------------------------------------
+
+fn http_get(addr: std::net::SocketAddr, path: &str) -> (u16, String) {
+    let mut s = std::net::TcpStream::connect(addr).unwrap();
+    s.write_all(format!("GET {path} HTTP/1.1\r\nConnection: close\r\n\r\n").as_bytes())
+        .unwrap();
+    let mut buf = Vec::new();
+    s.read_to_end(&mut buf).unwrap();
+    let text = String::from_utf8_lossy(&buf).into_owned();
+    let status: u16 = text
+        .split_whitespace()
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .expect("status code");
+    let body = text
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+#[test]
+fn disabled_pool_is_invisible_in_every_surface() {
+    let rt = Runtime::with_http(config(0, 0, true), "127.0.0.1:0".parse().unwrap()).unwrap();
+    let addr = rt.http_addr().unwrap();
+    let echo = rt
+        .register_module(FunctionConfig::new("echo"), &guests::echo())
+        .unwrap();
+    for _ in 0..5 {
+        let done = rt.invoke(echo, &b"ping"[..]).wait().unwrap();
+        assert!(matches!(done.outcome, Outcome::Success(_)));
+    }
+
+    // No counter moves, no metric renders, no JSON key appears: with
+    // `pool_size = 0` the output is exactly the pre-pool runtime's.
+    assert_eq!(rt.pool_stats(), PoolStatsSnapshot::default());
+    assert_eq!(rt.registry_stats().pool, PoolStatsSnapshot::default());
+    let (status, metrics) = http_get(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(!metrics.contains("sledge_pool"), "{metrics}");
+    let (status, stats) = http_get(addr, "/stats");
+    assert_eq!(status, 200);
+    assert!(!stats.contains("\"pool\""), "{stats}");
+    let line = sledge_core::summary_line(&rt.latency_report(), &rt.stats());
+    assert!(!line.contains("pool"), "{line}");
+    rt.shutdown();
+}
+
+#[test]
+fn enabled_pool_surfaces_in_metrics_and_stats() {
+    let rt = Runtime::with_http(config(2, 0, true), "127.0.0.1:0".parse().unwrap()).unwrap();
+    let addr = rt.http_addr().unwrap();
+    let echo = rt
+        .register_module(FunctionConfig::new("echo"), &guests::echo())
+        .unwrap();
+    for _ in 0..5 {
+        let done = rt.invoke(echo, &b"ping"[..]).wait().unwrap();
+        assert!(matches!(done.outcome, Outcome::Success(_)));
+    }
+
+    let (status, metrics) = http_get(addr, "/metrics");
+    assert_eq!(status, 200);
+    for event in ["hit", "miss", "recycled", "prewarmed"] {
+        let series = format!("sledge_pool_events_total{{event=\"{event}\"}} ");
+        assert!(metrics.contains(&series), "missing {series}\n{metrics}");
+    }
+    assert!(metrics.contains("sledge_pool_size{} "), "{metrics}");
+    assert!(metrics.contains("sledge_pool_capacity{} "), "{metrics}");
+    let (status, stats) = http_get(addr, "/stats");
+    assert_eq!(status, 200);
+    assert!(stats.contains("\"pool\""), "{stats}");
+    assert!(stats.contains("\"recycled\""), "{stats}");
+    let line = sledge_core::summary_line(&rt.latency_report(), &rt.stats());
+    assert!(line.contains("pool hit="), "{line}");
+    rt.shutdown();
+}

@@ -650,6 +650,7 @@ fn fault_injection_is_deterministic_across_runs() {
                 host_trap_pct: 15.0,
                 host_latency_pct: 20.0,
                 host_latency: Duration::from_micros(200),
+                ..Default::default()
             }),
             ..Default::default()
         });
@@ -701,6 +702,7 @@ fn chaos_every_accepted_invocation_completes_exactly_once() {
             host_trap_pct: 2.0,
             host_latency_pct: 5.0,
             host_latency: Duration::from_millis(1),
+            ..Default::default()
         }),
         ..Default::default()
     });
@@ -790,6 +792,7 @@ fn chaos_with_breaker_recovery_probe() {
             host_trap_pct: 0.0,
             host_latency_pct: 10.0,
             host_latency: Duration::from_micros(500),
+            ..Default::default()
         }),
         ..Default::default()
     });
