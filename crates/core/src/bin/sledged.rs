@@ -104,6 +104,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let conn_idle = config.conn_idle;
     let faults = config.fault_plan.is_some();
     let pool = (config.pool_size, config.prewarm, config.recycle);
+    let fairness = (config.fairness, config.max_inflight);
     let rt = Runtime::with_http(config, listen)?;
     let mut loaded = 0usize;
     for (fc, wasm_rel) in functions.into_iter().zip(module_paths) {
@@ -155,6 +156,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             pool.0,
             pool.1,
             if pool.2 { "on" } else { "off" }
+        );
+    }
+    if fairness.0 || fairness.1 > 0 {
+        println!(
+            "  fairness: dwrr {}, max in-flight {}",
+            if fairness.0 { "on" } else { "off" },
+            if fairness.1 > 0 {
+                fairness.1.to_string()
+            } else {
+                "uncapped".into()
+            }
         );
     }
     if faults {

@@ -78,6 +78,17 @@ pub struct RuntimeConfig {
     /// pool. With `recycle = false` and `prewarm > 0` every warm acquire
     /// was pre-warmed (useful for isolating the two mechanisms).
     pub recycle: bool,
+    /// Arm weighted deficit-round-robin scheduling on the per-worker run
+    /// queues. Off (the default) keeps the plain FIFO rotation; behavior,
+    /// metrics, and `sledged` output are then byte-identical to a runtime
+    /// without the fairness subsystem.
+    pub fairness: bool,
+    /// Global in-flight admission cap with priority-class load shedding:
+    /// a request whose function has priority class `p` (0..=3) is shed
+    /// with 429 once in-flight reaches `max_inflight × (p+1) / 4`, so
+    /// low-priority tenants are shed first and the highest class only at
+    /// the full cap. 0 (the default) disables the cap.
+    pub max_inflight: usize,
 }
 
 /// Default calibration for [`RuntimeConfig::cost_units_per_us`]: cost
@@ -111,6 +122,10 @@ impl Default for RuntimeConfig {
             pool_size: env_usize("SLEDGE_POOL_SIZE").unwrap_or(0),
             prewarm: env_usize("SLEDGE_PREWARM").unwrap_or(0),
             recycle: env_usize("SLEDGE_RECYCLE").map(|v| v != 0).unwrap_or(true),
+            fairness: env_usize("SLEDGE_FAIRNESS")
+                .map(|v| v != 0)
+                .unwrap_or(false),
+            max_inflight: env_usize("SLEDGE_MAX_INFLIGHT").unwrap_or(0),
         }
     }
 }
@@ -165,6 +180,10 @@ pub fn num_cpus() -> usize {
         .unwrap_or(4)
 }
 
+/// Highest (and default) priority class; classes run 0 (shed first)
+/// through this value (shed last, only at the full in-flight cap).
+pub const MAX_PRIORITY: u8 = 3;
+
 /// Per-function (module) configuration.
 #[derive(Debug, Clone)]
 pub struct FunctionConfig {
@@ -179,6 +198,22 @@ pub struct FunctionConfig {
     pub args: Vec<awsm::Value>,
     /// Per-function execution deadline, overriding the runtime default.
     pub deadline: Option<Duration>,
+    /// Work budget in worker-µs per wall second: converted through the
+    /// `cost_units_per_us` calibration into a fuel-per-second token bucket
+    /// charged at admission and trued-up at completion. `None` (the
+    /// default) exempts the function from budget admission entirely.
+    pub budget_us_per_s: Option<u64>,
+    /// Priority class for overload shedding, 0..=[`MAX_PRIORITY`]; lower
+    /// classes are shed earlier as in-flight load approaches
+    /// [`RuntimeConfig::max_inflight`]. Defaults to the highest class.
+    pub priority: u8,
+    /// DWRR weight (≥ 1): this function's proportional share of worker
+    /// execution when the run queues are contended and fairness is on.
+    pub weight: u32,
+    /// Queue-phase p99 SLO: when the function's observed queue-wait p99
+    /// exceeds this, new requests are rejected early with 429 rather than
+    /// queued behind an already-blown latency target. `None` disables.
+    pub queue_slo: Option<Duration>,
 }
 
 impl FunctionConfig {
@@ -190,6 +225,10 @@ impl FunctionConfig {
             entry: "main".into(),
             args: Vec::new(),
             deadline: None,
+            budget_us_per_s: None,
+            priority: MAX_PRIORITY,
+            weight: 1,
+            queue_slo: None,
         }
     }
 
@@ -384,6 +423,16 @@ impl RuntimeConfig {
                 .as_bool()
                 .ok_or_else(|| ConfigError::Schema("recycle must be a bool".into()))?;
         }
+        if let Some(f) = v.get("fairness") {
+            cfg.fairness = f
+                .as_bool()
+                .ok_or_else(|| ConfigError::Schema("fairness must be a bool".into()))?;
+        }
+        if let Some(mi) = v.get("max_inflight") {
+            cfg.max_inflight = mi.as_u64().ok_or_else(|| {
+                ConfigError::Schema("max_inflight must be a non-negative int".into())
+            })? as usize;
+        }
         let mut funcs = Vec::new();
         if let Some(mods) = v.get("modules") {
             let arr = mods
@@ -453,6 +502,14 @@ fn parse_fault_plan(fp: &Json) -> Result<FaultPlan, ConfigError> {
     if let Some(p) = fp.get("pool_poison_pct") {
         plan.pool_poison_pct = pct(p, "pool_poison_pct")?;
     }
+    if let Some(p) = fp.get("burst_pct") {
+        plan.burst_pct = pct(p, "burst_pct")?;
+    }
+    if let Some(l) = fp.get("burst_latency_us") {
+        plan.burst_latency = Duration::from_micros(l.as_u64().ok_or_else(|| {
+            ConfigError::Schema("fault_plan.burst_latency_us must be an int".into())
+        })?);
+    }
     Ok(plan)
 }
 
@@ -478,6 +535,38 @@ fn parse_function(m: &Json) -> Result<FunctionConfig, ConfigError> {
     if let Some(d) = m.get("deadline_ms") {
         f.deadline = Some(Duration::from_millis(d.as_u64().ok_or_else(|| {
             ConfigError::Schema("module deadline_ms must be a non-negative int".into())
+        })?));
+    }
+    if let Some(b) = m.get("budget") {
+        let b = b
+            .as_u64()
+            .ok_or_else(|| ConfigError::Schema("module budget must be an int".into()))?;
+        if b == 0 {
+            return Err(ConfigError::Schema(
+                "module budget must be >= 1 µs/s (omit it to disable budgeting)".into(),
+            ));
+        }
+        f.budget_us_per_s = Some(b);
+    }
+    if let Some(p) = m.get("priority") {
+        let p = p
+            .as_u64()
+            .filter(|p| *p <= MAX_PRIORITY as u64)
+            .ok_or_else(|| {
+                ConfigError::Schema(format!("module priority must be in 0..={MAX_PRIORITY}"))
+            })?;
+        f.priority = p as u8;
+    }
+    if let Some(w) = m.get("weight") {
+        let w = w
+            .as_u64()
+            .filter(|w| (1..=u32::MAX as u64).contains(w))
+            .ok_or_else(|| ConfigError::Schema("module weight must be a u32 >= 1".into()))?;
+        f.weight = w as u32;
+    }
+    if let Some(s) = m.get("queue_slo_ms") {
+        f.queue_slo = Some(Duration::from_millis(s.as_u64().ok_or_else(|| {
+            ConfigError::Schema("module queue_slo_ms must be a non-negative int".into())
         })?));
     }
     Ok(f)
@@ -614,6 +703,62 @@ mod tests {
         assert!(RuntimeConfig::from_json(r#"{"pool_size": -1}"#).is_err());
         assert!(RuntimeConfig::from_json(r#"{"prewarm": 1.5}"#).is_err());
         assert!(RuntimeConfig::from_json(r#"{"recycle": 1}"#).is_err());
+    }
+
+    #[test]
+    fn fairness_knobs_parsed() {
+        let text = r#"{
+            "fairness": true,
+            "max_inflight": 256,
+            "fault_plan": {"burst_pct": 12.5, "burst_latency_us": 900},
+            "modules": [
+                {"name": "victim", "budget": 200000, "priority": 3,
+                 "weight": 4, "queue_slo_ms": 20},
+                {"name": "antagonist", "priority": 0}
+            ]
+        }"#;
+        let (cfg, funcs) = RuntimeConfig::from_json(text).unwrap();
+        assert!(cfg.fairness);
+        assert_eq!(cfg.max_inflight, 256);
+        let fp = cfg.fault_plan.unwrap();
+        assert_eq!(fp.burst_pct, 12.5);
+        assert_eq!(fp.burst_latency, Duration::from_micros(900));
+        assert_eq!(funcs[0].budget_us_per_s, Some(200000));
+        assert_eq!(funcs[0].priority, 3);
+        assert_eq!(funcs[0].weight, 4);
+        assert_eq!(funcs[0].queue_slo, Some(Duration::from_millis(20)));
+        assert_eq!(funcs[1].budget_us_per_s, None);
+        assert_eq!(funcs[1].priority, 0);
+        assert_eq!(funcs[1].weight, 1);
+        assert_eq!(funcs[1].queue_slo, None);
+    }
+
+    #[test]
+    fn fairness_knobs_default_off_and_schema_checked() {
+        // Explicit JSON wins over the SLEDGE_FAIRNESS/SLEDGE_MAX_INFLIGHT
+        // env overrides; absent knobs match the (possibly env-overridden)
+        // defaults, so this test is green in both CI legs.
+        let (cfg, _) = RuntimeConfig::from_json("{}").unwrap();
+        let dflt = RuntimeConfig::default();
+        assert_eq!(cfg.fairness, dflt.fairness);
+        assert_eq!(cfg.max_inflight, dflt.max_inflight);
+        let f = FunctionConfig::new("x");
+        assert_eq!(f.budget_us_per_s, None);
+        assert_eq!(f.priority, MAX_PRIORITY);
+        assert_eq!(f.weight, 1);
+        assert_eq!(f.queue_slo, None);
+        assert!(RuntimeConfig::from_json(r#"{"fairness": 1}"#).is_err());
+        assert!(RuntimeConfig::from_json(r#"{"max_inflight": "x"}"#).is_err());
+        assert!(RuntimeConfig::from_json(r#"{"modules": [{"name": "a", "budget": 0}]}"#).is_err());
+        assert!(
+            RuntimeConfig::from_json(r#"{"modules": [{"name": "a", "priority": 4}]}"#).is_err()
+        );
+        assert!(RuntimeConfig::from_json(r#"{"modules": [{"name": "a", "weight": 0}]}"#).is_err());
+        assert!(
+            RuntimeConfig::from_json(r#"{"modules": [{"name": "a", "queue_slo_ms": "x"}]}"#)
+                .is_err()
+        );
+        assert!(RuntimeConfig::from_json(r#"{"fault_plan": {"burst_pct": 101}}"#).is_err());
     }
 
     #[test]

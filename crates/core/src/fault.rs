@@ -35,6 +35,15 @@ pub struct FaultPlan {
     /// completion the worker must discard it instead of recycling it into
     /// the warm pool (chaos-tests the pool's eligibility gate).
     pub pool_poison_pct: f64,
+    /// Percent of invocations that belong to an antagonist *burst*: every
+    /// logical host call of a burst invocation incurs `burst_latency`,
+    /// turning it into a sustained hog. Bursts arrive in contiguous 32-
+    /// invocation windows (the decision is keyed on `seq / 32`) so they
+    /// stress the admission and fairness layers the way a real stampede
+    /// does, rather than as isolated slow calls.
+    pub burst_pct: f64,
+    /// Per-host-call latency applied to burst invocations.
+    pub burst_latency: Duration,
 }
 
 impl Default for FaultPlan {
@@ -46,6 +55,8 @@ impl Default for FaultPlan {
             host_latency_pct: 0.0,
             host_latency: Duration::ZERO,
             pool_poison_pct: 0.0,
+            burst_pct: 0.0,
+            burst_latency: Duration::ZERO,
         }
     }
 }
@@ -102,6 +113,13 @@ impl FaultPlan {
     pub fn poison_pool(&self, seq: u64) -> bool {
         self.pool_poison_pct > 0.0 && self.roll(seq, 4) < self.pool_poison_pct
     }
+
+    /// Whether invocation `seq` belongs to a burst window: all 32
+    /// invocations of a window decide together, so bursts arrive as
+    /// contiguous antagonist stampedes rather than isolated slow requests.
+    pub fn burst_invocation(&self, seq: u64) -> bool {
+        self.burst_pct > 0.0 && self.roll(seq >> 5, 5) < self.burst_pct
+    }
 }
 
 #[cfg(test)]
@@ -117,11 +135,14 @@ mod tests {
             host_latency_pct: 20.0,
             host_latency: Duration::from_millis(1),
             pool_poison_pct: 15.0,
+            burst_pct: 25.0,
+            burst_latency: Duration::from_millis(2),
         };
         let b = a;
         for seq in 0..1000 {
             assert_eq!(a.fail_instantiation(seq), b.fail_instantiation(seq));
             assert_eq!(a.poison_pool(seq), b.poison_pool(seq));
+            assert_eq!(a.burst_invocation(seq), b.burst_invocation(seq));
             for call in 0..8 {
                 assert_eq!(a.trap_host_call(seq, call), b.trap_host_call(seq, call));
                 assert_eq!(a.delay_host_call(seq, call), b.delay_host_call(seq, call));
@@ -137,6 +158,7 @@ mod tests {
             assert!(!p.trap_host_call(seq, seq));
             assert!(p.delay_host_call(seq, seq).is_none());
             assert!(!p.poison_pool(seq));
+            assert!(!p.burst_invocation(seq));
         }
     }
 
@@ -149,13 +171,35 @@ mod tests {
             host_latency_pct: 100.0,
             host_latency: Duration::from_micros(10),
             pool_poison_pct: 100.0,
+            burst_pct: 100.0,
+            burst_latency: Duration::from_micros(20),
         };
         for seq in 0..100 {
             assert!(p.fail_instantiation(seq));
             assert!(p.trap_host_call(seq, 0));
             assert_eq!(p.delay_host_call(seq, 0), Some(Duration::from_micros(10)));
             assert!(p.poison_pool(seq));
+            assert!(p.burst_invocation(seq));
         }
+    }
+
+    #[test]
+    fn bursts_arrive_in_contiguous_windows() {
+        let p = FaultPlan {
+            seed: 3,
+            burst_pct: 30.0,
+            ..Default::default()
+        };
+        // Every invocation in a 32-seq window shares one decision.
+        for window in 0..200u64 {
+            let first = p.burst_invocation(window * 32);
+            for off in 1..32 {
+                assert_eq!(p.burst_invocation(window * 32 + off), first);
+            }
+        }
+        // And roughly burst_pct of windows fire.
+        let hits = (0..1000).filter(|w| p.burst_invocation(w * 32)).count();
+        assert!((220..=380).contains(&hits), "burst windows = {hits}");
     }
 
     #[test]

@@ -53,6 +53,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+mod budget;
 mod config;
 mod fault;
 mod histogram;
@@ -62,23 +63,26 @@ mod metrics;
 mod pool;
 mod registry;
 mod sandbox;
+mod sched;
 mod stats;
 mod worker;
 
+pub use budget::TokenBucket;
 pub use config::{
-    num_cpus, BreakerConfig, ConfigError, FunctionConfig, RuntimeConfig, SchedPolicy,
+    num_cpus, BreakerConfig, ConfigError, FunctionConfig, RuntimeConfig, SchedPolicy, MAX_PRIORITY,
 };
 pub use fault::FaultPlan;
 pub use histogram::{bucket_bounds, bucket_of, Histogram, HistogramSnapshot, BUCKETS};
 pub use json::{parse as parse_json, Json, JsonError};
 pub use listener::AnyResponder;
 pub use metrics::{
-    render_json, render_prometheus, summary_line, LatencyReport, MetricsHandle, PhaseHistograms,
-    PhaseSnapshot, PHASES,
+    render_json, render_prometheus, summary_line, AdmissionFnSnapshot, AdmissionReport,
+    LatencyReport, MetricsHandle, PhaseHistograms, PhaseSnapshot, PHASES,
 };
 pub use pool::{PoolStats, PoolStatsSnapshot, SandboxPool};
 pub use registry::{FunctionId, RegisterError, RegisteredFunction, Registry};
 pub use sandbox::{Completion, Outcome, Sandbox, SandboxHost, Timings};
+pub use sched::Dwrr;
 pub use stats::{
     BreakerState, FunctionStats, FunctionStatsSnapshot, RegistryStats, RegistryStatsSnapshot,
     RuntimeStats, StatsSnapshot,
@@ -192,6 +196,7 @@ impl Runtime {
         registry.set_check_gap(config.max_check_gap);
         registry.set_shards(workers);
         registry.set_pool_capacity(config.pool_size);
+        registry.set_calibration(config.cost_units_per_us);
         let shared = Arc::new(Shared {
             config,
             registry: RwLock::new(registry),

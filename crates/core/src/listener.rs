@@ -52,11 +52,11 @@ impl AnyResponder {
                         Response::error(StatusCode::GatewayTimeout, "function deadline exceeded")
                     }
                     Outcome::CircuitOpen { retry_after } => {
-                        // Round the hint up to whole seconds, minimum 1, per
-                        // the header's coarse granularity.
-                        let secs = retry_after.as_secs_f64().ceil().max(1.0) as u64;
                         Response::error(StatusCode::ServiceUnavailable, "circuit breaker open")
-                            .header("Retry-After", &secs.to_string())
+                            .retry_after(*retry_after)
+                    }
+                    Outcome::Throttled { retry_after, why } => {
+                        Response::error(StatusCode::TooManyRequests, why).retry_after(*retry_after)
                     }
                 };
                 let _ = reply.send((conn, resp.to_bytes()));
@@ -120,6 +120,28 @@ fn admit(
         reject(shared, function, responder, "unknown function");
         return;
     };
+    // Overload shedding by priority class: class p is shed once in-flight
+    // load reaches (p+1)/4 of the cap, so ping-class (priority 3) tenants
+    // keep flowing until the full cap while priority-0 antagonists are
+    // shed from quarter load.
+    if shared.config.max_inflight > 0 {
+        let class = rf.config.priority.min(crate::config::MAX_PRIORITY) as usize;
+        let slots = crate::config::MAX_PRIORITY as usize + 1;
+        let threshold = (shared.config.max_inflight * (class + 1) / slots).max(1);
+        if shared.inflight.load(Ordering::Acquire) >= threshold {
+            shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+            rf.stats.shed.fetch_add(1, Ordering::Relaxed);
+            deliver_now(
+                function,
+                responder,
+                Outcome::Throttled {
+                    retry_after: Duration::from_secs(1),
+                    why: "overloaded: shed by in-flight cap",
+                },
+            );
+            return;
+        }
+    }
     // Circuit breaker gate: fast-reject tripped functions; a single
     // half-open probe is admitted per cooldown.
     let mut is_probe = false;
@@ -143,10 +165,61 @@ fn admit(
             rf.stats.breaker_probe_rejected(shared.now_ns());
         }
     };
+    // Queue-SLO gate: when the function's observed queue-phase p99 is
+    // already past its SLO, queueing more work behind the blown target
+    // helps nobody — reject early and let the client back off for about
+    // one SLO span.
+    if let Some(slo) = rf.config.queue_slo {
+        if rf.queue_p99_ns(shared.now_ns()) > slo.as_nanos() as u64 {
+            shared.stats.slo_rejected.fetch_add(1, Ordering::Relaxed);
+            rf.stats.slo_rejected.fetch_add(1, Ordering::Relaxed);
+            probe_rejected(&rf);
+            deliver_now(
+                function,
+                responder,
+                Outcome::Throttled {
+                    retry_after: slo,
+                    why: "queue latency SLO exceeded",
+                },
+            );
+            return;
+        }
+    }
+    // Work-budget gate: charge the entry's certified cost against the
+    // function's token bucket. The worker trues the charge up against the
+    // fuel actually burned at completion.
+    let mut budget_charge = None;
+    if let Some(bucket) = &rf.budget {
+        match bucket.try_charge(rf.admission_cost, shared.now_ns()) {
+            Ok(()) => budget_charge = Some(rf.admission_cost),
+            Err(wait) => {
+                shared.stats.budget_rejected.fetch_add(1, Ordering::Relaxed);
+                rf.stats.budget_rejected.fetch_add(1, Ordering::Relaxed);
+                probe_rejected(&rf);
+                deliver_now(
+                    function,
+                    responder,
+                    Outcome::Throttled {
+                        retry_after: wait,
+                        why: "work budget exhausted",
+                    },
+                );
+                return;
+            }
+        }
+    }
+    // A later reject path must also hand the admission charge back — the
+    // invocation never ran, so it burned nothing.
+    let refund = |rf: &crate::registry::RegisteredFunction| {
+        if let (Some(charge), Some(bucket)) = (budget_charge, rf.budget.as_ref()) {
+            bucket.true_up(charge, 0, shared.now_ns());
+        }
+    };
     let seq = shared.seq.fetch_add(1, Ordering::Relaxed);
     if let Some(plan) = &shared.config.fault_plan {
         if plan.fail_instantiation(seq) {
             probe_rejected(&rf);
+            refund(&rf);
             reject(shared, function, responder, "instantiation failed");
             return;
         }
@@ -164,12 +237,14 @@ fn admit(
             // segments out of bounds) — but the client still gets an
             // answer instead of a hung connection.
             probe_rejected(&rf);
+            refund(&rf);
             reject(shared, function, responder, "instantiation failed");
             return;
         }
     };
     if sandbox.start().is_err() {
         probe_rejected(&sandbox.function);
+        refund(&sandbox.function);
         reject(
             shared,
             function,
@@ -179,13 +254,23 @@ fn admit(
         return;
     }
     sandbox.breaker_probe = is_probe;
+    sandbox.budget_charge = budget_charge;
     sandbox.deadline = sandbox
         .function
         .effective_deadline(shared.config.deadline)
         .map(|d| sandbox.arrival + d);
     if let Some(plan) = &shared.config.fault_plan {
-        sandbox.set_fault(*plan, seq);
+        // A burst invocation is turned into a sustained hog: every logical
+        // host call stalls for the burst latency, modelling an antagonist
+        // stampede for the fairness chaos tests.
+        let mut plan = *plan;
+        if plan.burst_invocation(seq) {
+            plan.host_latency_pct = 100.0;
+            plan.host_latency = plan.host_latency.max(plan.burst_latency);
+        }
+        sandbox.set_fault(plan, seq);
     }
+    rf.stats.admitted.fetch_add(1, Ordering::Relaxed);
     shared.stats.record_instantiation(sandbox.instantiation);
     shared.pending.fetch_add(1, Ordering::Relaxed);
     shared.inflight.fetch_add(1, Ordering::AcqRel);

@@ -14,6 +14,7 @@ use crate::pool::PoolStatsSnapshot;
 use crate::sandbox::Timings;
 use crate::stats::StatsSnapshot;
 use crate::Shared;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 /// The lifecycle phases a latency sample is split into, in render order.
@@ -118,6 +119,37 @@ impl PhaseSnapshot {
     }
 }
 
+/// Per-function admission-control counters for the fairness subsystem.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionFnSnapshot {
+    /// Requests admitted past every gate (dispatched to a worker).
+    pub admitted: u64,
+    /// Requests shed (429) by the global in-flight cap.
+    pub shed: u64,
+    /// Requests rejected (429) on an empty work budget.
+    pub budget_rejected: u64,
+    /// Requests rejected (429) on a blown queue-phase p99 SLO.
+    pub slo_rejected: u64,
+    /// DWRR lane pass-overs while this function's deficit was spent.
+    pub dwrr_deferrals: u64,
+    /// Current work-budget balance in tokens, when a budget is armed.
+    pub budget_balance: Option<u64>,
+}
+
+/// The admission-control view: present in a [`LatencyReport`] only when
+/// some part of the fairness subsystem is armed (DWRR, an in-flight cap,
+/// a budget, or a queue SLO), so a fully disarmed runtime renders output
+/// byte-identical to one without the subsystem.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AdmissionReport {
+    /// Whether DWRR scheduling is on.
+    pub fairness: bool,
+    /// Global in-flight cap (0 = uncapped).
+    pub max_inflight: usize,
+    /// Per-function admission counters, in registration order.
+    pub per_function: Vec<(String, AdmissionFnSnapshot)>,
+}
+
 /// The merged latency view over every worker shard: global plus
 /// per-function breakdowns. Produced by [`crate::Runtime::latency_report`]
 /// and by the `/metrics` / `/stats` endpoints.
@@ -132,6 +164,9 @@ pub struct LatencyReport {
     /// pool series at all, keeping the disabled output byte-for-byte
     /// identical to a runtime without the subsystem.
     pub pool: PoolStatsSnapshot,
+    /// Admission-control counters; `None` when the fairness subsystem is
+    /// fully disarmed (same discipline as the pool's capacity-0 gate).
+    pub admission: Option<AdmissionReport>,
 }
 
 /// A cheap, clonable handle for reading runtime metrics without holding the
@@ -172,11 +207,44 @@ impl Shared {
         for rf in registry.iter() {
             pool.merge(&rf.pool.snapshot());
         }
+        // The admission view exists only when some part of the fairness
+        // subsystem is armed; otherwise the report (and thus every
+        // rendering) is identical to a runtime without it.
+        let armed = self.config.fairness
+            || self.config.max_inflight > 0
+            || registry
+                .iter()
+                .any(|rf| rf.budget.is_some() || rf.config.queue_slo.is_some());
+        let admission = armed.then(|| {
+            let now = self.now_ns();
+            AdmissionReport {
+                fairness: self.config.fairness,
+                max_inflight: self.config.max_inflight,
+                per_function: registry
+                    .iter()
+                    .map(|rf| {
+                        let s = &rf.stats;
+                        (
+                            rf.config.name.clone(),
+                            AdmissionFnSnapshot {
+                                admitted: s.admitted.load(Ordering::Relaxed),
+                                shed: s.shed.load(Ordering::Relaxed),
+                                budget_rejected: s.budget_rejected.load(Ordering::Relaxed),
+                                slo_rejected: s.slo_rejected.load(Ordering::Relaxed),
+                                dwrr_deferrals: s.dwrr_deferrals.load(Ordering::Relaxed),
+                                budget_balance: rf.budget.as_ref().map(|b| b.balance(now)),
+                            },
+                        )
+                    })
+                    .collect(),
+            }
+        });
         drop(registry);
         LatencyReport {
             global,
             per_function,
             pool,
+            admission,
         }
     }
 }
@@ -242,6 +310,64 @@ pub fn render_prometheus(report: &LatencyReport, stats: &StatsSnapshot) -> Strin
         out.push_str("# HELP sledge_pool_capacity Summed pool capacity across functions.\n");
         out.push_str("# TYPE sledge_pool_capacity gauge\n");
         out.push_str(&format!("sledge_pool_capacity{{}} {}\n", p.capacity));
+    }
+
+    // Admission series exist only when the fairness subsystem is armed;
+    // same byte-identity discipline as the pool above.
+    if let Some(adm) = &report.admission {
+        out.push_str("# HELP sledge_admission_total Admission-control decisions.\n");
+        out.push_str("# TYPE sledge_admission_total counter\n");
+        for (result, v) in [
+            ("shed", stats.shed),
+            ("budget_rejected", stats.budget_rejected),
+            ("slo_rejected", stats.slo_rejected),
+        ] {
+            out.push_str(&format!(
+                "sledge_admission_total{{result=\"{result}\"}} {v}\n"
+            ));
+        }
+        for (name, s) in &adm.per_function {
+            let fn_label = escape_label(name);
+            for (result, v) in [
+                ("admitted", s.admitted),
+                ("shed", s.shed),
+                ("budget_rejected", s.budget_rejected),
+                ("slo_rejected", s.slo_rejected),
+            ] {
+                out.push_str(&format!(
+                    "sledge_admission_total{{function=\"{fn_label}\",result=\"{result}\"}} {v}\n"
+                ));
+            }
+        }
+        if adm.fairness {
+            out.push_str(
+                "# HELP sledge_dwrr_deferrals_total DWRR lane pass-overs while deficit spent.\n",
+            );
+            out.push_str("# TYPE sledge_dwrr_deferrals_total counter\n");
+            for (name, s) in &adm.per_function {
+                out.push_str(&format!(
+                    "sledge_dwrr_deferrals_total{{function=\"{}\"}} {}\n",
+                    escape_label(name),
+                    s.dwrr_deferrals
+                ));
+            }
+        }
+        if adm
+            .per_function
+            .iter()
+            .any(|(_, s)| s.budget_balance.is_some())
+        {
+            out.push_str("# HELP sledge_budget_balance Work-budget tokens currently available.\n");
+            out.push_str("# TYPE sledge_budget_balance gauge\n");
+            for (name, s) in &adm.per_function {
+                if let Some(balance) = s.budget_balance {
+                    out.push_str(&format!(
+                        "sledge_budget_balance{{function=\"{}\"}} {balance}\n",
+                        escape_label(name)
+                    ));
+                }
+            }
+        }
     }
 
     out.push_str(
@@ -317,6 +443,31 @@ pub fn render_json(report: &LatencyReport, stats: &StatsSnapshot) -> String {
             p.capacity, p.size, p.hits, p.misses, p.recycled, p.discarded, p.poisoned, p.prewarmed, p.evicted,
         ));
     }
+    if let Some(adm) = &report.admission {
+        out.push_str(&format!(
+            ",\"admission\":{{\"fairness\":{},\"max_inflight\":{},\"shed\":{},\"budget_rejected\":{},\"slo_rejected\":{},\"functions\":{{",
+            adm.fairness, adm.max_inflight, stats.shed, stats.budget_rejected, stats.slo_rejected
+        ));
+        for (i, (name, s)) in adm.per_function.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{{\"admitted\":{},\"shed\":{},\"budget_rejected\":{},\"slo_rejected\":{},\"dwrr_deferrals\":{}",
+                escape_json(name),
+                s.admitted,
+                s.shed,
+                s.budget_rejected,
+                s.slo_rejected,
+                s.dwrr_deferrals,
+            ));
+            if let Some(balance) = s.budget_balance {
+                out.push_str(&format!(",\"budget_balance\":{balance}"));
+            }
+            out.push('}');
+        }
+        out.push_str("}}");
+    }
     out.push_str(",\"global\":");
     json_phases(&mut out, &report.global);
     out.push_str(",\"functions\":{");
@@ -374,6 +525,12 @@ pub fn summary_line(report: &LatencyReport, stats: &StatsSnapshot) -> String {
             p.hits, p.misses, p.recycled, p.size, p.capacity
         ));
     }
+    if report.admission.is_some() {
+        line.push_str(&format!(
+            " | adm shed={} budget={} slo={}",
+            stats.shed, stats.budget_rejected, stats.slo_rejected
+        ));
+    }
     line
 }
 
@@ -424,6 +581,7 @@ mod tests {
             global: snap,
             per_function: vec![("echo".into(), snap)],
             pool: PoolStatsSnapshot::default(),
+            admission: None,
         };
         (report, StatsSnapshot::default())
     }
@@ -521,6 +679,56 @@ mod tests {
         assert_eq!(pool.get("capacity").unwrap().as_u64(), Some(4));
         let line = summary_line(&report, &stats);
         assert!(line.contains("pool hit=10 miss=3"), "{line}");
+    }
+
+    #[test]
+    fn disabled_fairness_renders_nothing() {
+        let (report, stats) = sample_report();
+        assert!(report.admission.is_none());
+        let prom = render_prometheus(&report, &stats);
+        assert!(!prom.contains("sledge_admission"));
+        assert!(!prom.contains("sledge_dwrr"));
+        assert!(!prom.contains("sledge_budget"));
+        let json = render_json(&report, &stats);
+        assert!(!json.contains("\"admission\""));
+        assert!(!summary_line(&report, &stats).contains("adm"));
+    }
+
+    #[test]
+    fn enabled_admission_renders_counters() {
+        let (mut report, mut stats) = sample_report();
+        stats.shed = 4;
+        stats.budget_rejected = 7;
+        stats.slo_rejected = 2;
+        report.admission = Some(AdmissionReport {
+            fairness: true,
+            max_inflight: 16,
+            per_function: vec![(
+                "echo".into(),
+                AdmissionFnSnapshot {
+                    admitted: 40,
+                    shed: 4,
+                    budget_rejected: 7,
+                    slo_rejected: 2,
+                    dwrr_deferrals: 9,
+                    budget_balance: Some(12345),
+                },
+            )],
+        });
+        let prom = render_prometheus(&report, &stats);
+        assert!(prom.contains("sledge_admission_total{result=\"budget_rejected\"} 7"));
+        assert!(prom.contains("sledge_admission_total{function=\"echo\",result=\"admitted\"} 40"));
+        assert!(prom.contains("sledge_dwrr_deferrals_total{function=\"echo\"} 9"));
+        assert!(prom.contains("sledge_budget_balance{function=\"echo\"} 12345"));
+        let json = render_json(&report, &stats);
+        let doc = crate::json::parse(&json).expect("valid JSON");
+        let adm = doc.get("admission").expect("admission object");
+        assert_eq!(adm.get("shed").unwrap().as_u64(), Some(4));
+        let f = adm.get("functions").unwrap().get("echo").expect("echo");
+        assert_eq!(f.get("budget_rejected").unwrap().as_u64(), Some(7));
+        assert_eq!(f.get("budget_balance").unwrap().as_u64(), Some(12345));
+        let line = summary_line(&report, &stats);
+        assert!(line.contains("adm shed=4 budget=7 slo=2"), "{line}");
     }
 
     #[test]

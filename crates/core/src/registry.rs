@@ -1,7 +1,9 @@
 //! The module registry: where the "heavyweight linking and loading" happens,
 //! once per function, decoupled from per-request instantiation.
 
-use crate::config::FunctionConfig;
+use crate::budget::TokenBucket;
+use crate::config::{FunctionConfig, DEFAULT_COST_UNITS_PER_US};
+use crate::histogram::HistogramSnapshot;
 use crate::metrics::PhaseHistograms;
 use crate::pool::SandboxPool;
 use crate::stats::{FunctionStats, RegistryStats, RegistryStatsSnapshot};
@@ -14,6 +16,7 @@ use sledge_wasm::DecodeError;
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -40,6 +43,26 @@ pub struct RegisteredFunction {
     /// Warm sandbox pool (capacity 0 = disabled; see
     /// [`crate::RuntimeConfig::pool_size`]).
     pub pool: SandboxPool,
+    /// Tokens charged against the work budget at admission: the entry
+    /// point's statically certified cost (`FuncCost::total_cost`), or 1
+    /// when the certificate has no entry for it (imported entry).
+    pub admission_cost: u64,
+    /// Work-budget token bucket, armed by the `budget` config knob
+    /// (rate = `budget_us_per_s` × the calibrated `cost_units_per_us`).
+    pub budget: Option<TokenBucket>,
+    /// Cached queue-phase p99 for SLO admission (merging every worker
+    /// shard per request would be too hot for the admission path).
+    queue_p99: QueueP99Cache,
+}
+
+/// How long a cached queue-phase p99 stays fresh before the next admission
+/// re-merges the worker shards.
+const QUEUE_P99_REFRESH_NS: u64 = 5_000_000;
+
+#[derive(Debug, Default)]
+struct QueueP99Cache {
+    value_ns: AtomicU64,
+    stamp_ns: AtomicU64,
 }
 
 impl RegisteredFunction {
@@ -54,6 +77,27 @@ impl RegisteredFunction {
     /// sandbox.
     pub fn analysis(&self) -> &AnalysisReport {
         &self.module.analysis
+    }
+
+    /// This function's observed queue-phase p99 in nanoseconds, refreshed
+    /// from the merged worker shards at most every few milliseconds (stale
+    /// reads are fine: the SLO gate is a coarse overload signal, not an
+    /// exact measurement).
+    pub fn queue_p99_ns(&self, now_ns: u64) -> u64 {
+        let stamp = self.queue_p99.stamp_ns.load(Ordering::Relaxed);
+        if stamp != 0 && now_ns.saturating_sub(stamp) < QUEUE_P99_REFRESH_NS {
+            return self.queue_p99.value_ns.load(Ordering::Relaxed);
+        }
+        let mut merged = HistogramSnapshot::default();
+        for shard in self.metrics.iter() {
+            merged.merge(&shard.queue.snapshot());
+        }
+        let v = merged.quantile(0.99);
+        self.queue_p99.value_ns.store(v, Ordering::Relaxed);
+        self.queue_p99
+            .stamp_ns
+            .store(now_ns.max(1), Ordering::Relaxed);
+        v
     }
 }
 
@@ -120,6 +164,9 @@ pub struct Registry {
     /// Warm-pool capacity for newly registered functions (0 = pooling
     /// disabled).
     pool_capacity: usize,
+    /// Cost units per µs used to convert `budget` (µs/s) into a token-
+    /// bucket rate (0 = "not set", falls back to the default calibration).
+    calibration: u64,
     /// Load-time analysis counters.
     pub stats: RegistryStats,
 }
@@ -154,6 +201,13 @@ impl Registry {
     /// (see [`crate::RuntimeConfig::pool_size`]; 0 disables pooling).
     pub fn set_pool_capacity(&mut self, capacity: usize) {
         self.pool_capacity = capacity;
+    }
+
+    /// Set the fuel calibration (cost units per µs) used to size the work-
+    /// budget buckets of subsequently registered functions (see
+    /// [`crate::RuntimeConfig::cost_units_per_us`]).
+    pub fn set_calibration(&mut self, cost_units_per_us: u64) {
+        self.calibration = cost_units_per_us;
     }
 
     /// Register a function from raw `.wasm` bytes: decode, validate,
@@ -199,6 +253,28 @@ impl Registry {
         let id = FunctionId(self.functions.len() as u32);
         let route = config.http_route();
         let name = config.name.clone();
+        // The entry's statically certified cost is what admission charges
+        // against the work budget before the invocation has burned any
+        // fuel; the worker trues it up with the real burn at completion.
+        let admission_cost = compiled
+            .export(&config.entry)
+            .and_then(|idx| {
+                let local = (idx as usize).checked_sub(compiled.num_imports() as usize)?;
+                compiled.analysis.cost.as_ref()?.funcs.get(local)
+            })
+            .map(|fc| fc.total_cost)
+            .unwrap_or(1)
+            .max(1);
+        let calibration = match self.calibration {
+            0 => DEFAULT_COST_UNITS_PER_US,
+            c => c,
+        };
+        let budget = config.budget_us_per_s.map(|us| {
+            let rate = us.saturating_mul(calibration).max(1);
+            // Burst capacity: one second's worth of work, and always at
+            // least one invocation's charge so the bucket can ever admit.
+            TokenBucket::new(rate, rate.max(admission_cost))
+        });
         let rf = Arc::new(RegisteredFunction {
             id,
             config,
@@ -209,6 +285,9 @@ impl Registry {
                 .map(|_| PhaseHistograms::default())
                 .collect(),
             pool: SandboxPool::new(self.pool_capacity),
+            admission_cost,
+            budget,
+            queue_p99: QueueP99Cache::default(),
         });
         self.functions.push(rf);
         self.by_name.insert(name, id);
@@ -508,6 +587,34 @@ mod tests {
         let cost = r.get(id).unwrap().analysis().cost.clone().unwrap();
         assert!(cost.max_gap <= 8, "certified gap {} > budget", cost.max_gap);
         assert!(cost.splits > 0, "tight budget must force splits");
+    }
+
+    #[test]
+    fn admission_cost_and_budget_from_certificate() {
+        let mut r = Registry::new();
+        r.set_calibration(100);
+        let m = tiny_module("plain");
+        let id = r
+            .register_module(FunctionConfig::new("plain"), &m, Tier::Optimized, 0)
+            .unwrap();
+        let rf = r.get(id).unwrap();
+        // The entry's certified total cost is the admission charge...
+        let cert = rf.analysis().cost.as_ref().unwrap();
+        let expect = cert.funcs[0].total_cost.max(1);
+        assert_eq!(rf.admission_cost, expect);
+        // ...and with no budget knob there is no bucket.
+        assert!(rf.budget.is_none());
+
+        let mut cfg = FunctionConfig::new("metered");
+        cfg.budget_us_per_s = Some(2000);
+        let id = r.register_module(cfg, &m, Tier::Optimized, 0).unwrap();
+        let rf = r.get(id).unwrap();
+        let b = rf.budget.as_ref().expect("budget knob arms a bucket");
+        // 2000 µs/s × 100 units/µs.
+        assert_eq!(b.rate(), 200_000);
+        assert!(b.capacity() >= rf.admission_cost);
+        // A fresh function has no queue samples: p99 reads zero.
+        assert_eq!(rf.queue_p99_ns(1), 0);
     }
 
     #[test]

@@ -31,6 +31,14 @@ pub enum Outcome {
         /// Suggested client back-off.
         retry_after: Duration,
     },
+    /// Request rejected by admission control (429): work budget exhausted,
+    /// queue-phase SLO exceeded, or shed by the in-flight cap.
+    Throttled {
+        /// Suggested client back-off (budget refill time, or the SLO span).
+        retry_after: Duration,
+        /// Which admission gate rejected, for the response body and logs.
+        why: &'static str,
+    },
 }
 
 /// Timing record for one request, used by the benchmark harness.
@@ -255,6 +263,10 @@ pub struct Sandbox {
     /// Whether the instance came warm from the function's sandbox pool
     /// (rather than cold instantiation).
     pub pool_hit: bool,
+    /// Tokens charged against the function's work budget at admission;
+    /// the worker trues this up against `Instance::fuel_used` at
+    /// completion. `None` when the function carries no budget.
+    pub budget_charge: Option<u64>,
 }
 
 impl Sandbox {
@@ -305,6 +317,7 @@ impl Sandbox {
             deadline: None,
             breaker_probe: false,
             pool_hit,
+            budget_charge: None,
         }))
     }
 

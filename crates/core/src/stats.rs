@@ -21,6 +21,15 @@ pub struct RuntimeStats {
     /// Requests fast-rejected by a tripped circuit breaker (counted
     /// separately from admission-control `rejected`).
     pub breaker_rejected: AtomicU64,
+    /// Requests shed (429) by the global in-flight cap, ordered by
+    /// priority class.
+    pub shed: AtomicU64,
+    /// Requests rejected (429) because the function's work budget was
+    /// exhausted.
+    pub budget_rejected: AtomicU64,
+    /// Requests rejected (429) because the function's queue-phase p99
+    /// exceeded its SLO.
+    pub slo_rejected: AtomicU64,
     /// Sandboxes stolen from the global deque by workers.
     pub steals: AtomicU64,
     /// Preemptions performed.
@@ -50,6 +59,9 @@ impl RuntimeStats {
             trapped: self.trapped.load(Ordering::Relaxed),
             timed_out: self.timed_out.load(Ordering::Relaxed),
             breaker_rejected: self.breaker_rejected.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            budget_rejected: self.budget_rejected.load(Ordering::Relaxed),
+            slo_rejected: self.slo_rejected.load(Ordering::Relaxed),
             steals: self.steals.load(Ordering::Relaxed),
             preemptions: self.preemptions.load(Ordering::Relaxed),
             blocked: self.blocked.load(Ordering::Relaxed),
@@ -68,6 +80,9 @@ pub struct StatsSnapshot {
     pub trapped: u64,
     pub timed_out: u64,
     pub breaker_rejected: u64,
+    pub shed: u64,
+    pub budget_rejected: u64,
+    pub slo_rejected: u64,
     pub steals: u64,
     pub preemptions: u64,
     pub blocked: u64,
@@ -158,6 +173,17 @@ const BREAKER_HALF_OPEN: u8 = 2;
 /// Per-function counters, attached to each registered function.
 #[derive(Debug, Default)]
 pub struct FunctionStats {
+    /// Requests admitted past every admission gate (dispatched to a worker).
+    pub admitted: AtomicU64,
+    /// Requests shed (429) by the global in-flight cap.
+    pub shed: AtomicU64,
+    /// Requests rejected (429) on an empty work budget.
+    pub budget_rejected: AtomicU64,
+    /// Requests rejected (429) on a blown queue-phase p99 SLO.
+    pub slo_rejected: AtomicU64,
+    /// Times a DWRR lane holding this function's work was passed over
+    /// because its deficit was spent (a measure of fairness pressure).
+    pub dwrr_deferrals: AtomicU64,
     /// Requests completed successfully.
     pub completed: AtomicU64,
     /// Requests that trapped.
@@ -276,6 +302,11 @@ impl FunctionStats {
     /// A point-in-time copy.
     pub fn snapshot(&self) -> FunctionStatsSnapshot {
         FunctionStatsSnapshot {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            budget_rejected: self.budget_rejected.load(Ordering::Relaxed),
+            slo_rejected: self.slo_rejected.load(Ordering::Relaxed),
+            dwrr_deferrals: self.dwrr_deferrals.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
             trapped: self.trapped.load(Ordering::Relaxed),
             timed_out: self.timed_out.load(Ordering::Relaxed),
@@ -288,6 +319,11 @@ impl FunctionStats {
 /// A point-in-time copy of [`FunctionStats`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FunctionStatsSnapshot {
+    pub admitted: u64,
+    pub shed: u64,
+    pub budget_rejected: u64,
+    pub slo_rejected: u64,
+    pub dwrr_deferrals: u64,
     pub completed: u64,
     pub trapped: u64,
     pub timed_out: u64,

@@ -2,7 +2,9 @@
 //! preemptive round-robin on a core-local run queue, and service the
 //! core-local pending-I/O set (the libuv-event-loop analogue).
 
+use crate::registry::FunctionId;
 use crate::sandbox::{Completion, Outcome, Sandbox, WaitKind};
+use crate::sched::Dwrr;
 use crate::Shared;
 use awsm::StepResult;
 use parking_lot::Mutex;
@@ -11,6 +13,66 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// The core-local run queue: plain FIFO rotation by default, or weighted
+/// deficit-round-robin lanes per function when fairness is armed. The
+/// FIFO variant preserves pre-fairness scheduling order exactly.
+enum LocalQueue {
+    Fifo(VecDeque<Box<Sandbox>>),
+    Dwrr(Dwrr<Box<Sandbox>>),
+}
+
+impl LocalQueue {
+    fn push(&mut self, sb: Box<Sandbox>) {
+        match self {
+            LocalQueue::Fifo(q) => q.push_back(sb),
+            LocalQueue::Dwrr(q) => {
+                let key = sb.function.id.0;
+                let weight = sb.function.config.weight;
+                q.push(key, weight, sb);
+            }
+        }
+    }
+
+    fn pop(&mut self) -> Option<Box<Sandbox>> {
+        match self {
+            LocalQueue::Fifo(q) => q.pop_front(),
+            LocalQueue::Dwrr(q) => q.pop(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            LocalQueue::Fifo(q) => q.len(),
+            LocalQueue::Dwrr(q) => q.len(),
+        }
+    }
+
+    /// Charge a dispatch's actual fuel burn against its function's DWRR
+    /// lane (no-op under FIFO).
+    fn charge(&mut self, key: u32, used: u64) {
+        if let LocalQueue::Dwrr(q) = self {
+            q.charge(key, used);
+        }
+    }
+
+    /// Remove every queued sandbox (force-kill sweeps).
+    fn drain(&mut self) -> Vec<Box<Sandbox>> {
+        match self {
+            LocalQueue::Fifo(q) => q.drain(..).collect(),
+            LocalQueue::Dwrr(q) => q.drain(),
+        }
+    }
+
+    /// Per-function pass-over counts accumulated since the last call
+    /// (always empty under FIFO).
+    fn take_deferrals(&mut self) -> Vec<(u32, u64)> {
+        match self {
+            LocalQueue::Fifo(_) => Vec::new(),
+            LocalQueue::Dwrr(q) => q.take_deferrals(),
+        }
+    }
+}
 
 /// Per-worker state visible to the timer thread.
 #[derive(Debug, Default)]
@@ -48,6 +110,14 @@ pub(crate) fn timer_loop(shared: Arc<Shared>, workers: Vec<Arc<WorkerShared>>) {
 }
 
 fn finish(shared: &Shared, shard: usize, mut sandbox: Box<Sandbox>, outcome: Outcome) {
+    // True up the admission-time budget charge against the fuel actually
+    // burned — on every retirement path, including deadline kills, so the
+    // bucket's long-run accounting tracks real consumption.
+    if let Some(charged) = sandbox.budget_charge.take() {
+        if let Some(bucket) = &sandbox.function.budget {
+            bucket.true_up(charged, sandbox.instance.fuel_used(), shared.now_ns());
+        }
+    }
     let fn_stats = &sandbox.function.stats;
     let breaker = shared.config.circuit_breaker.as_ref();
     match &outcome {
@@ -75,6 +145,10 @@ fn finish(shared: &Shared, shard: usize, mut sandbox: Box<Sandbox>, outcome: Out
                 .breaker_rejected
                 .fetch_add(1, Ordering::Relaxed);
         }
+        // Admission throttling is counted (shed / budget / SLO) by the
+        // listener at rejection time; a throttled request never reaches a
+        // worker, so there is nothing to count here.
+        Outcome::Throttled { .. } => {}
     }
     let exec_ns = sandbox.exec_time.as_nanos() as u64;
     fn_stats.execution_ns.fetch_add(exec_ns, Ordering::Relaxed);
@@ -145,7 +219,14 @@ pub(crate) fn worker_loop(
     me: Arc<WorkerShared>,
     stealer: Stealer<Box<Sandbox>>,
 ) {
-    let mut runqueue: VecDeque<Box<Sandbox>> = VecDeque::new();
+    let mut runqueue = if shared.config.fairness {
+        // DWRR refills are denominated in scheduler quanta of fuel — the
+        // calibrated per-dispatch budget — regardless of how much fuel a
+        // single dispatch may burn under run-to-completion.
+        LocalQueue::Dwrr(Dwrr::new(shared.config.effective_quantum_fuel()))
+    } else {
+        LocalQueue::Fifo(VecDeque::new())
+    };
     // Sandboxes blocked on emulated async I/O, with their wake deadlines.
     let mut io_wait: Vec<(Instant, Box<Sandbox>)> = Vec::new();
     let preemptive = shared.config.policy == crate::config::SchedPolicy::PreemptiveRr;
@@ -174,7 +255,7 @@ pub(crate) fn worker_loop(
                 sb.note_dispatch(now);
                 finish(&shared, me.index, sb, Outcome::TimedOut);
             }
-            while let Some(mut sb) = runqueue.pop_front() {
+            for mut sb in runqueue.drain() {
                 sb.note_dispatch(now);
                 finish(&shared, me.index, sb, Outcome::TimedOut);
             }
@@ -192,7 +273,7 @@ pub(crate) fn worker_loop(
             while i < io_wait.len() {
                 if io_wait[i].0 <= now {
                     let (_, sb) = io_wait.swap_remove(i);
-                    runqueue.push_back(sb);
+                    runqueue.push(sb);
                 } else {
                     i += 1;
                 }
@@ -207,10 +288,10 @@ pub(crate) fn worker_loop(
             if let Some(sb) = stealer.steal() {
                 shared.pending.fetch_sub(1, Ordering::Relaxed);
                 shared.stats.steals.fetch_add(1, Ordering::Relaxed);
-                runqueue.push_back(sb);
+                runqueue.push(sb);
             }
         }
-        let next = runqueue.pop_front();
+        let next = runqueue.pop();
 
         let mut sandbox = match next {
             Some(mut s) => {
@@ -248,8 +329,24 @@ pub(crate) fn worker_loop(
         //    for the timer thread (which fires per quantum under preemptive
         //    RR, and once at shutdown under run-to-completion).
         *me.current.lock() = Some(sandbox.instance.preempt_flag());
+        let fn_key = sandbox.function.id.0;
+        let fuel_before = sandbox.instance.fuel_used();
         let result = sandbox.run_quantum(fuel);
         *me.current.lock() = None;
+        // Charge the dispatch's actual burn against the function's DWRR
+        // lane, and surface any pass-overs the scheduler recorded while
+        // this lane's deficit was spent.
+        let burned = sandbox.instance.fuel_used().saturating_sub(fuel_before);
+        runqueue.charge(fn_key, burned);
+        let deferred = runqueue.take_deferrals();
+        if !deferred.is_empty() {
+            let registry = shared.registry.read();
+            for (key, n) in deferred {
+                if let Some(rf) = registry.get(FunctionId(key)) {
+                    rf.stats.dwrr_deferrals.fetch_add(n, Ordering::Relaxed);
+                }
+            }
+        }
 
         match result {
             StepResult::Complete(_) => {
@@ -266,9 +363,10 @@ pub(crate) fn worker_loop(
                 {
                     finish(&shared, me.index, sandbox, Outcome::TimedOut);
                 } else {
-                    // Round-robin: back of the local queue.
+                    // Round-robin: back of the local queue (or its DWRR
+                    // lane, where the deficit decides its next turn).
                     sandbox.begin_wait(WaitKind::Preempted, Instant::now());
-                    runqueue.push_back(sandbox);
+                    runqueue.push(sandbox);
                 }
             }
             StepResult::Blocked => {

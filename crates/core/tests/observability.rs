@@ -333,6 +333,75 @@ fn stress_loses_no_samples() {
 }
 
 // ---------------------------------------------------------------------------
+// Admission rejections and phase accounting
+// ---------------------------------------------------------------------------
+
+#[test]
+fn rejected_requests_record_no_phase_samples() {
+    // A throttled request never reaches a worker, so it must not land in any
+    // phase histogram: the merged count stays completed + trapped + timed_out
+    // even when admission control is rejecting most of the offered load.
+    let rt = Runtime::new(RuntimeConfig {
+        workers: 2,
+        ..Default::default()
+    });
+    let mut cfg = FunctionConfig::new("echo");
+    // ~150 cost units/s of budget: the full bucket covers roughly one
+    // admission charge, so sequential requests drain it immediately and the
+    // trickle refill cannot keep up.
+    cfg.budget_us_per_s = Some(1);
+    let echo = rt.register_module(cfg, &guests::echo()).unwrap();
+
+    let mut succeeded = 0u64;
+    let mut throttled = 0u64;
+    for i in 0..24 {
+        let done = rt.invoke(echo, &b"hi"[..]).wait().expect("completion");
+        match done.outcome {
+            Outcome::Success(_) => succeeded += 1,
+            Outcome::Throttled { retry_after, why } => {
+                assert!(retry_after > Duration::ZERO, "#{i}: empty back-off hint");
+                assert!(why.contains("budget"), "#{i}: {why}");
+                throttled += 1;
+            }
+            other => panic!("#{i}: unexpected outcome {other:?}"),
+        }
+    }
+    assert!(succeeded >= 1, "bucket never admitted anything");
+    assert!(throttled > 0, "tiny budget produced no throttles");
+
+    let stats = rt.stats();
+    let report = rt.latency_report();
+    rt.shutdown();
+
+    assert_eq!(stats.completed, succeeded);
+    assert_eq!(stats.budget_rejected, throttled);
+    let executed = stats.completed + stats.trapped + stats.timed_out;
+    assert_eq!(
+        report.global.count(),
+        executed,
+        "throttled requests leaked histogram samples"
+    );
+    for (phase, h) in report.global.phases() {
+        assert_eq!(
+            h.count(),
+            executed,
+            "phase {phase} counted a rejected request"
+        );
+    }
+    let per_fn_total: u64 = report.per_function.iter().map(|(_, p)| p.count()).sum();
+    assert_eq!(per_fn_total, executed);
+    // The admission report is armed (a budget is set) and agrees.
+    let adm = report.admission.expect("admission report armed");
+    let (_, snap) = adm
+        .per_function
+        .iter()
+        .find(|(name, _)| name == "echo")
+        .expect("echo snapshot");
+    assert_eq!(snap.admitted, succeeded);
+    assert_eq!(snap.budget_rejected, throttled);
+}
+
+// ---------------------------------------------------------------------------
 // HTTP endpoints
 // ---------------------------------------------------------------------------
 

@@ -183,6 +183,7 @@ fn kind(outcome: &Outcome) -> &'static str {
         Outcome::Rejected(_) => "rejected",
         Outcome::TimedOut => "timed_out",
         Outcome::CircuitOpen { .. } => "circuit_open",
+        Outcome::Throttled { .. } => "throttled",
     }
 }
 

@@ -1,6 +1,16 @@
 //! HTTP response construction and serialization.
 
 use std::fmt;
+use std::time::Duration;
+
+/// Format a back-off hint as `Retry-After` delta-seconds: rounded up to
+/// whole seconds, minimum 1 (the header has second granularity, and a `0`
+/// would invite an immediate retry, defeating the back-off). Every emitter
+/// of the header — circuit-breaker 503s and admission-control 429s alike —
+/// must go through this so clients see one consistent format.
+pub fn retry_after_secs(hint: Duration) -> u64 {
+    hint.as_secs_f64().ceil().max(1.0) as u64
+}
 
 /// The subset of status codes the runtime emits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -99,6 +109,11 @@ impl Response {
         self
     }
 
+    /// Attach a `Retry-After` header formatted by [`retry_after_secs`].
+    pub fn retry_after(self, hint: Duration) -> Self {
+        self.header("Retry-After", &retry_after_secs(hint).to_string())
+    }
+
     /// Serialize to wire bytes.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.body.len() + 128);
@@ -152,6 +167,30 @@ mod tests {
             assert!(String::from_utf8(bytes)
                 .unwrap()
                 .starts_with(&format!("HTTP/1.1 {code}")));
+        }
+    }
+
+    #[test]
+    fn retry_after_rounds_up_to_whole_seconds_min_one() {
+        // Ceil-to-seconds with a floor of 1: sub-second hints and zero both
+        // become "1"; exact seconds pass through; fractions round up.
+        for (hint, secs) in [
+            (Duration::ZERO, 1),
+            (Duration::from_millis(1), 1),
+            (Duration::from_millis(999), 1),
+            (Duration::from_secs(1), 1),
+            (Duration::from_millis(1001), 2),
+            (Duration::from_millis(2500), 3),
+            (Duration::from_secs(60), 60),
+        ] {
+            assert_eq!(retry_after_secs(hint), secs, "hint {hint:?}");
+        }
+        // The builder emits exactly that format — 503 breakers and 429
+        // admission rejections share it.
+        for status in [StatusCode::ServiceUnavailable, StatusCode::TooManyRequests] {
+            let r = Response::error(status, "later").retry_after(Duration::from_millis(1400));
+            let s = String::from_utf8(r.to_bytes()).unwrap();
+            assert!(s.contains("Retry-After: 2\r\n"), "{s}");
         }
     }
 
