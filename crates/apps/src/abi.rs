@@ -6,40 +6,58 @@ use sledge_guestc::{Expr, FnRef, Local, ModuleBuilder, Scalar, Stmt};
 use sledge_wasm::types::ValType;
 
 /// Handles to the standard `env` imports.
+///
+/// A module declares only what it calls: the load-time effect analyzer
+/// flags any import unreachable from every export as a dead capability, and
+/// deny-by-default host-call policies are cheapest to write when the import
+/// list *is* the capability set.
 #[derive(Debug, Clone, Copy)]
 pub struct Env {
-    /// `i32 request_len()`
-    pub request_len: FnRef,
-    /// `i32 request_read(dst, len, src_off)`
-    pub request_read: FnRef,
+    /// `i32 request_len()` — absent on response-only modules.
+    pub request_len: Option<FnRef>,
+    /// `i32 request_read(dst, len, src_off)` — absent on response-only
+    /// modules.
+    pub request_read: Option<FnRef>,
     /// `i32 response_write(src, len)`
     pub response_write: FnRef,
-    /// `i64 clock_ns()`
-    pub clock_ns: FnRef,
-    /// `i32 io_delay(micros)` — emulated asynchronous I/O.
-    pub io_delay: FnRef,
 }
 
-/// Declare the standard imports on a fresh module builder.
+/// Declare the request + response imports on a fresh module builder.
 /// Must be called before any local function is declared.
 pub fn import_env(mb: &mut ModuleBuilder) -> Env {
-    use ValType::{I32, I64};
+    use ValType::I32;
     Env {
-        request_len: mb.import_func("env", "request_len", &[], Some(I32)),
-        request_read: mb.import_func("env", "request_read", &[I32, I32, I32], Some(I32)),
+        request_len: Some(mb.import_func("env", "request_len", &[], Some(I32))),
+        request_read: Some(mb.import_func("env", "request_read", &[I32, I32, I32], Some(I32))),
         response_write: mb.import_func("env", "response_write", &[I32, I32], Some(I32)),
-        clock_ns: mb.import_func("env", "clock_ns", &[], Some(I64)),
-        io_delay: mb.import_func("env", "io_delay", &[I32], Some(I32)),
+    }
+}
+
+/// Declare only `response_write`: for guests that never read the request
+/// body (ping, the PolyBench kernels), keeping their capability certificate
+/// down to the single host call they make.
+pub fn import_env_response_only(mb: &mut ModuleBuilder) -> Env {
+    use ValType::I32;
+    Env {
+        request_len: None,
+        request_read: None,
+        response_write: mb.import_func("env", "response_write", &[I32, I32], Some(I32)),
     }
 }
 
 /// Statement: copy the whole request body to linear memory at `dst`,
 /// leaving its length in `len_local`.
 pub fn read_request(env: &Env, dst: i32, len_local: Local) -> Vec<Stmt> {
+    let request_len = env
+        .request_len
+        .expect("module imported without request ABI");
+    let request_read = env
+        .request_read
+        .expect("module imported without request ABI");
     vec![
-        set(len_local, call(env.request_len, vec![])),
+        set(len_local, call(request_len, vec![])),
         exec(call(
-            env.request_read,
+            request_read,
             vec![i32c(dst), local(len_local), i32c(0)],
         )),
     ]

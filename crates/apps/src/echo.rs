@@ -20,13 +20,15 @@ pub fn module() -> Module {
     let mut mb = ModuleBuilder::new("echo");
     mb.memory(2, Some(128));
     let env = import_env(&mut mb);
+    let req_len = env.request_len.expect("echo reads the request");
+    let req_read = env.request_read.expect("echo reads the request");
     let mut f = FuncBuilder::new(&[], Some(ValType::I32));
     let n = f.local(ValType::I32);
     let i = f.local(ValType::I32);
     let copy = f.local(ValType::I32); // start of the copy buffer
     let need = f.local(ValType::I32); // pages required
     let mut body = vec![
-        set(n, call(env.request_len, vec![])),
+        set(n, call(req_len, vec![])),
         // copy = RX + round_up(n, 64 KiB); grow to fit copy + n.
         set(
             copy,
@@ -44,7 +46,7 @@ pub fn module() -> Module {
                 Expr::MemorySize,
             ))))],
         ),
-        exec(call(env.request_read, vec![i32c(RX), local(n), i32c(0)])),
+        exec(call(req_read, vec![i32c(RX), local(n), i32c(0)])),
         // Copy word-at-a-time into the intermediate buffer (the guest-side
         // data handling the paper's function performs).
         for_loop(

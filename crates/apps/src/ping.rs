@@ -1,7 +1,7 @@
 //! The ping function: no computation, replies with a single byte.
 //! Used for the paper's Figure 6 (throughput/latency vs. concurrency).
 
-use crate::abi::import_env;
+use crate::abi::import_env_response_only;
 use sledge_guestc::dsl::*;
 use sledge_guestc::{FuncBuilder, ModuleBuilder, Scalar};
 use sledge_wasm::module::Module;
@@ -11,7 +11,7 @@ use sledge_wasm::types::ValType;
 pub fn module() -> Module {
     let mut mb = ModuleBuilder::new("ping");
     mb.memory(1, Some(1));
-    let env = import_env(&mut mb);
+    let env = import_env_response_only(&mut mb);
     let mut f = FuncBuilder::new(&[], Some(ValType::I32));
     f.extend([
         store(Scalar::U8, i32c(0), 0, i32c(b'.' as i32)),

@@ -99,7 +99,7 @@ pub(crate) fn kernel_module(
 ) -> Module {
     let mut mb = ModuleBuilder::new(name);
     mb.memory(pages, Some(pages.max(4) * 2));
-    let env: Env = crate::abi::import_env(&mut mb);
+    let env: Env = crate::abi::import_env_response_only(&mut mb);
     let mut f = FuncBuilder::new(&[], Some(ValType::I32));
     let cks = f.local(ValType::F64);
     body(&mut f, cks);

@@ -25,12 +25,14 @@
 //!    rejects such modules at load.
 
 pub mod cost;
+pub mod effects;
 mod lint;
 mod range;
 mod stack;
 
 use crate::code::{CompiledModule, Op};
 use cost::CostReport;
+use effects::{EffectReport, WriteFootprint};
 use std::fmt;
 
 /// How serious a [`Diagnostic`] is.
@@ -128,6 +130,10 @@ pub struct AnalysisReport {
     /// reports that predate the cost pass (e.g. hand-built in tests);
     /// translation always produces one.
     pub cost: Option<CostReport>,
+    /// Effect certificate: per-function reachable host imports and static
+    /// write footprints, closed over the call graph. `None` only for
+    /// hand-built reports; translation always produces one.
+    pub effects: Option<EffectReport>,
 }
 
 impl Default for AnalysisReport {
@@ -139,6 +145,7 @@ impl Default for AnalysisReport {
             mem_sites: 0,
             elided_sites: 0,
             cost: None,
+            effects: None,
         }
     }
 }
@@ -217,6 +224,48 @@ impl AnalysisReport {
         None
     }
 
+    /// The `Error` diagnostic used when a capability policy is configured
+    /// but the module carries no effect certificate to verify it against.
+    fn missing_effects() -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Error,
+            func: None,
+            pc: None,
+            message: "no effect certificate; cannot verify the capability policy".to_string(),
+        }
+    }
+
+    /// Verify the deny-by-default host-call policy for the entry point at
+    /// module-space index `entry_idx` (see
+    /// [`EffectReport::check_hostcalls`]). A missing certificate fails
+    /// closed.
+    pub fn check_hostcalls(&self, entry_idx: u32, allowed: &[String]) -> Option<Diagnostic> {
+        match &self.effects {
+            Some(e) => e.check_hostcalls(entry_idx, allowed),
+            None => Some(Self::missing_effects()),
+        }
+    }
+
+    /// Verify the static write-footprint policy for the entry point at
+    /// module-space index `entry_idx` (see
+    /// [`EffectReport::check_write_footprint`]). A missing certificate
+    /// fails closed.
+    pub fn check_write_footprint(&self, entry_idx: u32, max_bytes: u64) -> Option<Diagnostic> {
+        match &self.effects {
+            Some(e) => e.check_write_footprint(entry_idx, max_bytes),
+            None => Some(Self::missing_effects()),
+        }
+    }
+
+    /// Warn-severity check for grants the entry point can never exercise
+    /// (see [`EffectReport::unused_grants`]). Absent certificate → no warn
+    /// (the error path above already fired).
+    pub fn unused_grants(&self, entry_idx: u32, allowed: &[String]) -> Option<Diagnostic> {
+        self.effects
+            .as_ref()
+            .and_then(|e| e.unused_grants(entry_idx, allowed))
+    }
+
     /// Multi-line human-readable report (used by `awsm-analyze`).
     pub fn render(&self, module_name: &str) -> String {
         use std::fmt::Write;
@@ -289,8 +338,10 @@ pub(crate) fn analyze(m: &mut CompiledModule, max_check_gap: u32) {
     let reachable = graph.reachable_set();
     lint::structural(m, &reachable, &mut report.diagnostics);
 
-    // Interval analysis per function: elision proofs + value lints.
+    // Interval analysis per function: elision proofs, direct store
+    // footprints, value lints.
     let mut elisions: Vec<Vec<u32>> = Vec::with_capacity(m.funcs.len());
+    let mut footprints: Vec<WriteFootprint> = Vec::with_capacity(m.funcs.len());
     for (fidx, func) in m.funcs.iter().enumerate() {
         let r = range::analyze_func(m, fidx as u32, func, &mut report.diagnostics);
         report.mem_sites += r.mem_sites;
@@ -304,7 +355,14 @@ pub(crate) fn analyze(m: &mut CompiledModule, max_check_gap: u32) {
             reachable: reachable.contains(&(fidx as u32)),
         });
         elisions.push(r.proven);
+        footprints.push(r.footprint);
     }
+
+    // Effect certificate + effect-aware lints, before the cost pass so lint
+    // pcs refer to pre-instrumentation code like every other diagnostic.
+    let effects = effects::compute(m, &graph, &footprints);
+    effects::lints(m, &effects, &reachable, &mut report.diagnostics);
+    report.effects = Some(effects);
 
     // Rewrite: a per-function shadow body in which proven sites are
     // unchecked. Identical length and branch targets — only the flagged

@@ -29,6 +29,7 @@
 //! control flow; the budget bails out to "no elision" without affecting the
 //! stack verifier.
 
+use super::effects::WriteFootprint;
 use super::{Diagnostic, Severity};
 use crate::code::{CompiledFunc, CompiledModule, LoadKind, NumBin, NumUn, Op, StoreKind};
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -45,6 +46,11 @@ pub(super) struct FuncRange {
     pub mem_sites: u32,
     /// Sites (pcs) proven in-bounds for every reachable memory size.
     pub proven: Vec<u32>,
+    /// Interval over-approximation of every store this function performs
+    /// directly (before call-graph closure). Whenever the interval analysis
+    /// bails out, this degrades soundly to `Unbounded` if the function
+    /// contains any store, `Empty` otherwise.
+    pub footprint: WriteFootprint,
 }
 
 /// Abstract slot value.
@@ -329,7 +335,7 @@ fn load_len(k: LoadKind) -> u64 {
     }
 }
 
-fn store_len(k: StoreKind) -> u64 {
+pub(super) fn store_len(k: StoreKind) -> u64 {
     use StoreKind::*;
     match k {
         B8From32 | B8From64 => 1,
@@ -558,9 +564,11 @@ struct Ctx<'a> {
     budget: usize,
 }
 
-/// Accumulates per-site proofs and value lints during the collection pass.
+/// Accumulates per-site proofs, the store footprint, and value lints during
+/// the collection pass.
 struct Collector<'a> {
     proven: Vec<u32>,
+    footprint: WriteFootprint,
     diags: &'a mut Vec<Diagnostic>,
 }
 
@@ -601,6 +609,20 @@ impl Collector<'_> {
                 ),
             );
         }
+    }
+
+    /// A store site: judged like any access, plus joined into the function's
+    /// static write footprint.
+    fn store_site(&mut self, ctx: &Ctx<'_>, pc: usize, addr: AVal, off: u32, len: u64) {
+        self.site(ctx, pc, addr, off, len);
+        let span = match addr {
+            AVal::R(lo, hi) => WriteFootprint::Span {
+                lo: lo as u64 + off as u64,
+                hi: hi as u64 + off as u64 + len,
+            },
+            AVal::Top => WriteFootprint::Unbounded,
+        };
+        self.footprint = self.footprint.join(span);
     }
 }
 
@@ -826,7 +848,7 @@ fn run_segment(
                 st.stack.pop().expect("store value");
                 let addr = st.stack.pop().expect("store addr");
                 if let Some(c) = col.as_deref_mut() {
-                    c.site(ctx, pc, addr.val, *off, store_len(*kind));
+                    c.store_site(ctx, pc, addr.val, *off, store_len(*kind));
                 }
             }
             Op::MemorySize => {
@@ -1078,6 +1100,16 @@ pub(super) fn analyze_func(
             )
         })
         .count() as u32;
+    // Whenever the analysis bails out before the collection pass completes,
+    // the footprint must stay sound: any store means "anywhere".
+    let has_stores = code
+        .iter()
+        .any(|op| matches!(op, Op::Store(..) | Op::StoreNc(..)));
+    let bail_footprint = if has_stores {
+        WriteFootprint::Unbounded
+    } else {
+        WriteFootprint::Empty
+    };
     // Nothing to prove or lint in functions that never touch memory, divide,
     // or call through the table.
     let interesting = mem_sites > 0
@@ -1090,6 +1122,7 @@ pub(super) fn analyze_func(
         return FuncRange {
             mem_sites,
             proven: Vec::new(),
+            footprint: bail_footprint,
         };
     }
 
@@ -1174,6 +1207,7 @@ pub(super) fn analyze_func(
             return FuncRange {
                 mem_sites,
                 proven: Vec::new(),
+                footprint: bail_footprint,
             };
         }
         for (target, src) in edges.drain(..) {
@@ -1197,6 +1231,7 @@ pub(super) fn analyze_func(
                             return FuncRange {
                                 mem_sites,
                                 proven: Vec::new(),
+                                footprint: bail_footprint,
                             };
                         }
                     }
@@ -1211,9 +1246,11 @@ pub(super) fn analyze_func(
     // Collection: each reachable segment exactly once, in pc order, against
     // its post-fixpoint entry state.
     let mut proven: Vec<u32> = Vec::new();
+    let footprint;
     {
         let mut col = Collector {
             proven: Vec::new(),
+            footprint: WriteFootprint::Empty,
             diags,
         };
         let mut pcs: Vec<u32> = states.keys().copied().collect();
@@ -1226,12 +1263,18 @@ pub(super) fn analyze_func(
                 return FuncRange {
                     mem_sites,
                     proven: Vec::new(),
+                    footprint: bail_footprint,
                 };
             }
         }
         proven.append(&mut col.proven);
+        footprint = col.footprint;
     }
     proven.sort_unstable();
     proven.dedup();
-    FuncRange { mem_sites, proven }
+    FuncRange {
+        mem_sites,
+        proven,
+        footprint,
+    }
 }

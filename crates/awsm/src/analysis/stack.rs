@@ -134,6 +134,12 @@ pub(super) struct CallGraph {
 }
 
 impl CallGraph {
+    /// Out-edges per local function (indirect calls over-approximated by
+    /// type-compatible table residency).
+    pub(super) fn callees(&self) -> &[Vec<u32>] {
+        &self.callees
+    }
+
     pub(super) fn build(m: &CompiledModule) -> CallGraph {
         let ni = m.num_imports();
         // Local functions resident in the table, grouped by type id — the

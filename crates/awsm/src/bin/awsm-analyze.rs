@@ -5,7 +5,8 @@
 //!
 //! ```text
 //! awsm-analyze [--deny-warnings] [--max-stack-bytes N] [--max-check-gap N]
-//!              [--json] [--tier aot-opt|aot-naive] <module.wasm>...
+//!              [--effects] [--allow-hostcall NAME]... [--json]
+//!              [--tier aot-opt|aot-naive] <module.wasm>...
 //! ```
 //!
 //! `--max-check-gap N` both *instruments* (the cost pass inserts extra
@@ -14,15 +15,26 @@
 //! fails if the certified gap still exceeds `N`, which only happens when
 //! a single opcode outweighs the budget, or the certificate is missing).
 //!
+//! `--effects` appends the effect certificate to the human-readable
+//! report: per-function reachable host-call sets and static write
+//! footprints. `--allow-hostcall NAME` (repeatable; `NAME` is either a
+//! bare field name or qualified `module::name`) enforces a deny-by-default
+//! capability policy against *every* exported function — any export
+//! reaching an ungranted host call fails the module, exactly as the
+//! runtime's registry gate would.
+//!
 //! `--json` emits one JSON object per module on stdout instead of the
-//! human-readable report; diagnostics still go to stderr.
+//! human-readable report; diagnostics still go to stderr. The object
+//! always carries an `"effects"` field (the full certificate, or `null`
+//! when analysis could not produce one).
 //!
 //! Exit status is non-zero when any module carries an error-severity
 //! diagnostic, exceeds the stack budget (if one was given), exceeds the
-//! check-gap budget (if one was given), or — under `--deny-warnings` —
-//! produces any warning at all.
+//! check-gap budget (if one was given), violates the capability policy
+//! (if one was given), or — under `--deny-warnings` — produces any
+//! warning at all.
 
-use awsm::{AnalysisReport, Severity, StackBound, Tier, TranslateOptions};
+use awsm::{AnalysisReport, Severity, StackBound, Tier, TranslateOptions, WriteFootprint};
 use std::fmt::Write as _;
 use std::process::ExitCode;
 
@@ -30,6 +42,8 @@ struct Options {
     deny_warnings: bool,
     max_stack_bytes: Option<u64>,
     max_check_gap: Option<u32>,
+    effects: bool,
+    allow_hostcalls: Vec<String>,
     json: bool,
     tier: Tier,
     paths: Vec<String>,
@@ -38,7 +52,8 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: awsm-analyze [--deny-warnings] [--max-stack-bytes N] \
-         [--max-check-gap N] [--json] [--tier aot-opt|aot-naive] <module.wasm>..."
+         [--max-check-gap N] [--effects] [--allow-hostcall NAME]... [--json] \
+         [--tier aot-opt|aot-naive] <module.wasm>..."
     );
     std::process::exit(2);
 }
@@ -48,6 +63,8 @@ fn parse_args() -> Options {
         deny_warnings: false,
         max_stack_bytes: None,
         max_check_gap: None,
+        effects: false,
+        allow_hostcalls: Vec::new(),
         json: false,
         tier: Tier::Optimized,
         paths: Vec::new(),
@@ -56,6 +73,13 @@ fn parse_args() -> Options {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--deny-warnings" => opts.deny_warnings = true,
+            "--effects" => opts.effects = true,
+            "--allow-hostcall" => {
+                let Some(v) = args.next().filter(|v| !v.is_empty()) else {
+                    usage();
+                };
+                opts.allow_hostcalls.push(v);
+            }
             "--json" => opts.json = true,
             "--max-stack-bytes" => {
                 let Some(v) = args.next().and_then(|v| v.parse().ok()) else {
@@ -86,8 +110,10 @@ fn parse_args() -> Options {
 }
 
 /// Whether the report fails under the given policy, with any extra
-/// diagnostics the policy adds (the stack-budget and check-gap checks).
-fn verdict(report: &AnalysisReport, opts: &Options) -> (bool, Vec<String>) {
+/// diagnostics the policy adds (the stack-budget, check-gap, and
+/// capability checks).
+fn verdict(compiled: &awsm::CompiledModule, opts: &Options) -> (bool, Vec<String>) {
+    let report = &compiled.analysis;
     let mut extra = Vec::new();
     let mut failed = report.has_errors();
     if let Some(budget) = opts.max_stack_bytes {
@@ -99,6 +125,26 @@ fn verdict(report: &AnalysisReport, opts: &Options) -> (bool, Vec<String>) {
     if let Some(budget) = opts.max_check_gap {
         if let Some(d) = report.check_gap(budget) {
             extra.push(format!("  {d}"));
+            failed = true;
+        }
+    }
+    // Deny-by-default capability policy: every export is an entry point a
+    // deployment could name, so each one must stay within the grant set —
+    // the same closure the registry enforces per configured entry.
+    if !opts.allow_hostcalls.is_empty() {
+        let mut exports: Vec<(&String, &u32)> = compiled.exports.iter().collect();
+        exports.sort();
+        let mut warned = false;
+        for (name, &idx) in exports {
+            if let Some(d) = report.check_hostcalls(idx, &opts.allow_hostcalls) {
+                extra.push(format!("  export {name:?}: {d}"));
+                failed = true;
+            } else if let Some(d) = report.unused_grants(idx, &opts.allow_hostcalls) {
+                extra.push(format!("  export {name:?}: {d}"));
+                warned = true;
+            }
+        }
+        if opts.deny_warnings && warned {
             failed = true;
         }
     }
@@ -182,7 +228,93 @@ fn render_json(name: &str, report: &AnalysisReport, opts: &Options, failed: bool
         }
         None => out.push_str(",\"cost\":null"),
     }
+    // The effect certificate rides along unconditionally: downstream policy
+    // tooling keys off `"effects":null` to detect a module the analyzer
+    // could not certify.
+    match &report.effects {
+        Some(eff) => {
+            out.push_str(",\"effects\":{\"imports\":[");
+            for (i, name) in eff.imports.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&json_str(name));
+            }
+            out.push_str("],\"funcs\":[");
+            for (i, f) in eff.funcs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"name\":{},\"hostcalls\":[",
+                    json_str(f.name.as_deref().unwrap_or(""))
+                );
+                for (j, &h) in f.hostcalls.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    let qname = eff.imports.get(h as usize).map(String::as_str);
+                    out.push_str(&json_str(qname.unwrap_or("?")));
+                }
+                out.push_str("],\"footprint\":");
+                match f.footprint {
+                    WriteFootprint::Empty => out.push_str("\"empty\""),
+                    WriteFootprint::Span { lo, hi } => {
+                        let _ = write!(out, "{{\"lo\":{lo},\"hi\":{hi}}}");
+                    }
+                    WriteFootprint::Unbounded => out.push_str("\"unbounded\""),
+                }
+                let _ = write!(
+                    out,
+                    ",\"may_grow\":{},\"writes_globals\":{},\"pure\":{}}}",
+                    f.may_grow, f.writes_globals, f.pure
+                );
+            }
+            out.push_str("]}");
+        }
+        None => out.push_str(",\"effects\":null"),
+    }
     let _ = write!(out, ",\"failed\":{failed}}}");
+    out
+}
+
+/// Human-readable effect-certificate section (printed under `--effects`).
+fn render_effects(report: &AnalysisReport) -> String {
+    let mut out = String::from("effects:\n");
+    let Some(eff) = &report.effects else {
+        out.push_str("  (no certificate)\n");
+        return out;
+    };
+    if eff.imports.is_empty() {
+        out.push_str("  imports: none\n");
+    } else {
+        let _ = writeln!(out, "  imports: {}", eff.imports.join(", "));
+    }
+    for (i, f) in eff.funcs.iter().enumerate() {
+        let name = f.name.clone().unwrap_or_else(|| format!("func[{i}]"));
+        let hostcalls: Vec<&str> = f
+            .hostcalls
+            .iter()
+            .filter_map(|&h| eff.imports.get(h as usize).map(String::as_str))
+            .collect();
+        let _ = write!(
+            out,
+            "  {name}: hostcalls [{}], footprint {}",
+            hostcalls.join(", "),
+            f.footprint
+        );
+        if f.may_grow {
+            out.push_str(", may-grow");
+        }
+        if f.writes_globals {
+            out.push_str(", writes-globals");
+        }
+        if f.pure {
+            out.push_str(", pure");
+        }
+        out.push('\n');
+    }
     out
 }
 
@@ -218,7 +350,7 @@ fn main() -> ExitCode {
             }
         };
         let name = compiled.name.as_deref().unwrap_or(path);
-        let (failed, extra) = verdict(&compiled.analysis, &opts);
+        let (failed, extra) = verdict(&compiled, &opts);
         if opts.json {
             println!("{}", render_json(name, &compiled.analysis, &opts, failed));
             for line in &extra {
@@ -226,6 +358,9 @@ fn main() -> ExitCode {
             }
         } else {
             print!("{}", compiled.analysis.render(name));
+            if opts.effects {
+                print!("{}", render_effects(&compiled.analysis));
+            }
             for line in extra {
                 println!("{line}");
             }

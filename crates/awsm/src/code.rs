@@ -280,6 +280,14 @@ pub struct HostImport {
     pub type_id: u32,
 }
 
+impl HostImport {
+    /// The `module::name` form used by effect certificates and capability
+    /// policies.
+    pub fn qualified_name(&self) -> String {
+        format!("{}::{}", self.module, self.name)
+    }
+}
+
 /// One translated function.
 #[derive(Debug, Clone)]
 pub struct CompiledFunc {
@@ -354,6 +362,58 @@ impl CompiledModule {
     /// Find an exported function's module-space index.
     pub fn export(&self, name: &str) -> Option<u32> {
         self.exports.get(name).copied()
+    }
+
+    /// Cheapest sound reset strategy for sandboxes recycled after running
+    /// `entry`, derived from the effect certificate:
+    ///
+    /// * `Elide` — the entry provably performs no store and cannot grow
+    ///   memory: a recycled memory is byte-identical to a fresh one, so the
+    ///   pool skips the memory reset entirely (globals are still restored).
+    /// * `StaticSpan { lo, hi }` — every store lands in `[lo, hi)`; the
+    ///   reset zeroes only from `lo` up instead of from the template end.
+    ///   Armed only when `hi` fits inside the initial memory (`min_pages`):
+    ///   masked bounds strategies wrap effective addresses only at or past
+    ///   the capacity, which is at least the initial size, so a footprint
+    ///   inside it can never alias below `lo`. Also requires `lo` past the
+    ///   template image, otherwise the span saves nothing over a full
+    ///   reset.
+    /// * `HighWater` — everything else, including any module with a start
+    ///   function (whose one-time effects a partial reset cannot preserve)
+    ///   and any entry that may grow memory.
+    ///
+    /// Runtime guards in `Instance::reset_with` re-check the dynamic side
+    /// (page count, host writes, high-water mark) and fall back to a full
+    /// reset, so a stale or optimistic policy degrades to correct-but-slow.
+    pub fn reset_policy(&self, entry: &str) -> crate::ResetPolicy {
+        use crate::analysis::effects::WriteFootprint;
+        let Some(effects) = &self.analysis.effects else {
+            return crate::ResetPolicy::HighWater;
+        };
+        let Some(idx) = self.export(entry) else {
+            return crate::ResetPolicy::HighWater;
+        };
+        if self.start.is_some() {
+            return crate::ResetPolicy::HighWater;
+        }
+        let Some((_, footprint, may_grow)) = effects.entry_effect(idx) else {
+            return crate::ResetPolicy::HighWater;
+        };
+        if may_grow {
+            return crate::ResetPolicy::HighWater;
+        }
+        let min_bytes = self
+            .memory
+            .map(|s| s.min_pages as u64 * sledge_wasm::PAGE_SIZE as u64)
+            .unwrap_or(0);
+        let template_len = self.template.image().len() as u64;
+        match footprint {
+            WriteFootprint::Empty => crate::ResetPolicy::Elide,
+            WriteFootprint::Span { lo, hi } if hi <= min_bytes && lo > template_len => {
+                crate::ResetPolicy::StaticSpan { lo, hi }
+            }
+            _ => crate::ResetPolicy::HighWater,
+        }
     }
 
     /// Approximate byte size of the translated code and static data — the

@@ -57,6 +57,7 @@ mod translate;
 mod value;
 
 pub use analysis::cost::{op_cost, CostReport, FuncCost, DEFAULT_MAX_CHECK_GAP};
+pub use analysis::effects::{EffectReport, FuncEffect, WriteFootprint};
 pub use analysis::{AnalysisReport, Diagnostic, Severity, StackBound};
 pub use code::{CompiledModule, HostImport, Op};
 pub use exec::{Limits, StepResult};
@@ -136,6 +137,44 @@ enum Status {
     Dead(Trap),
 }
 
+/// How a recycled sandbox's linear memory is restored to pristine state,
+/// chosen per entry point from the module's effect certificate (see
+/// [`CompiledModule::reset_policy`]). Every variant is an *optimization
+/// hint*: the runtime guards in [`Instance::reset_with`] fall back to the
+/// full high-water-mark reset whenever anything the certificate cannot see
+/// (host writes, `memory.grow`) actually happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ResetPolicy {
+    /// Zero `[template_len, high_water_mark)` and restore the template —
+    /// the always-sound default.
+    #[default]
+    HighWater,
+    /// The entry point's certified write footprint is `[lo, hi)` with
+    /// `lo > template_len`: the gap `[template_len, lo)` is provably still
+    /// zero and is skipped.
+    StaticSpan {
+        /// Inclusive lower bound of every certified guest store.
+        lo: u64,
+        /// Exclusive upper bound of every certified guest store.
+        hi: u64,
+    },
+    /// The entry point is `Pure` (no guest stores, no growth): memory needs
+    /// no work at all.
+    Elide,
+}
+
+/// Which reset actually ran — [`Instance::reset_with`] reports this so pools
+/// can count elided/static resets and tests can assert the fast paths armed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResetApplied {
+    /// Full high-water-mark reset.
+    Full,
+    /// Footprint-bounded partial reset.
+    Static,
+    /// Memory untouched (proven already pristine).
+    Elided,
+}
+
 /// A sandbox: one lightweight instantiation of a [`CompiledModule`].
 ///
 /// Creation is deliberately cheap (linear memory + stacks + context) — this
@@ -179,6 +218,9 @@ impl Instance {
             memory
                 .write_bytes(0, module.template.image())
                 .map_err(|_| InstanceError::DataOutOfBounds)?;
+            // The template is the pristine state itself — writing it must not
+            // count as an uncertified host write against elided resets.
+            memory.clear_host_write_mark();
         }
         let globals = module.globals.clone();
         Ok(Instance {
@@ -368,17 +410,52 @@ impl Instance {
     /// Returns [`InstanceError::InvalidState`] if an invocation is still in
     /// progress.
     pub fn reset_from_template(&mut self) -> Result<(), InstanceError> {
+        self.reset_with(ResetPolicy::HighWater).map(|_| ())
+    }
+
+    /// Reset like [`Self::reset_from_template`], but let a per-entry-point
+    /// [`ResetPolicy`] (derived from the module's effect certificate by
+    /// [`CompiledModule::reset_policy`]) elide or shrink the memory work.
+    /// Globals, execution state, fuel, and the preempt flag are restored
+    /// unconditionally regardless of policy — only the linear-memory work
+    /// varies. If a policy's runtime guards fail (a host write landed below
+    /// the certified span, `memory.grow` took effect, …), the reset silently
+    /// falls back to the full high-water-mark path; the returned
+    /// [`ResetApplied`] says which path actually ran.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InstanceError::InvalidState`] if an invocation is still in
+    /// progress.
+    pub fn reset_with(&mut self, policy: ResetPolicy) -> Result<ResetApplied, InstanceError> {
         if self.status == Status::Running {
             return Err(InstanceError::InvalidState);
         }
-        self.memory.reset_from(self.module.template.image());
+        let image = self.module.template.image();
+        let applied = match (policy, self.status) {
+            // A dead instance may have trapped mid-store or mid-growth in
+            // ways the certificate's "completed execution" reasoning does
+            // not cover conservatively enough to risk — always full-reset.
+            (ResetPolicy::Elide, Status::Idle) if self.memory.reset_elided(image) => {
+                ResetApplied::Elided
+            }
+            (ResetPolicy::StaticSpan { lo, .. }, Status::Idle)
+                if self.memory.reset_from_span(image, lo as usize) =>
+            {
+                ResetApplied::Static
+            }
+            _ => {
+                self.memory.reset_from(image);
+                ResetApplied::Full
+            }
+        };
         self.globals.copy_from_slice(&self.module.globals);
         self.state.clear();
         self.status = Status::Idle;
         self.fuel_used = 0;
         self.preempt
             .store(false, std::sync::atomic::Ordering::Relaxed);
-        Ok(())
+        Ok(applied)
     }
 
     /// Convenience: invoke an export and run it to completion with the given

@@ -1,0 +1,146 @@
+//! Property-based effect-certificate tests: for randomly generated guest
+//! programs, the static write footprint must cover every byte the program
+//! actually dirties at runtime (footprint ⊇ high-water mark), and a pool
+//! reset driven by the derived [`ResetPolicy`] must leave the instance
+//! observationally identical to a fresh one.
+
+use awsm::{translate, EngineConfig, Instance, NullHost, ResetPolicy, Tier, Value, WriteFootprint};
+use proptest::prelude::*;
+use sledge_guestc::dsl::*;
+use sledge_guestc::{FuncBuilder, ModuleBuilder, Scalar};
+use sledge_wasm::module::Module;
+use sledge_wasm::types::ValType;
+use std::sync::Arc;
+
+/// One constant-address store the generated guest may (conditionally)
+/// execute: `if x >= gate { mem[addr] = val }`.
+#[derive(Debug, Clone)]
+struct StoreSite {
+    addr: u32,
+    val: i32,
+    gate: i32,
+}
+
+fn store_sites() -> impl Strategy<Value = Vec<StoreSite>> {
+    prop::collection::vec(
+        (64u32..65532, any::<i32>(), -8i32..8).prop_map(|(addr, val, gate)| StoreSite {
+            addr: addr & !3,
+            val,
+            gate,
+        }),
+        1..12,
+    )
+}
+
+/// Build a guest executing the given (conditional) constant-address stores,
+/// then returning a read-back of the last site plus the argument.
+fn build_storer(sites: &[StoreSite]) -> Module {
+    let mut mb = ModuleBuilder::new("prop-effects");
+    mb.memory(1, Some(1));
+    mb.data(8, b"seed".to_vec());
+    let mut f = FuncBuilder::new(&[ValType::I32], Some(ValType::I32));
+    let x = f.arg(0);
+    for s in sites {
+        f.push(if_(
+            ge_s(local(x), i32c(s.gate)),
+            vec![store(Scalar::I32, i32c(s.addr as i32), 0, i32c(s.val))],
+        ));
+    }
+    let last = sites.last().expect("at least one site");
+    f.push(ret(Some(add(
+        load(Scalar::I32, i32c(last.addr as i32), 0),
+        local(x),
+    ))));
+    let main = mb.add_func("main", f);
+    mb.export_func(main, "main");
+    mb.build().expect("generated module must validate")
+}
+
+fn fnv_memory_hash(inst: &Instance) -> u64 {
+    let mem = inst.memory();
+    let bytes = mem
+        .read_bytes(0, mem.size_bytes() as u32)
+        .expect("full-memory read");
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn run_once(inst: &mut Instance, x: i32) -> (Option<u64>, u64, u64) {
+    let out = inst
+        .call_complete("main", &[Value::I32(x)], &mut NullHost)
+        .expect("storer guest must complete");
+    (out, fnv_memory_hash(inst), inst.fuel_used())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Soundness of the write-footprint certificate: the runtime high-water
+    /// mark never escapes the static bound, for arbitrary store patterns and
+    /// inputs (conditional stores must be covered whether or not they fire).
+    #[test]
+    fn static_footprint_covers_runtime_high_water(
+        sites in store_sites(),
+        x in any::<i32>(),
+    ) {
+        let m = build_storer(&sites);
+        let cm = Arc::new(translate(&m, Tier::Optimized).unwrap());
+        let eff = cm.analysis.effects.clone().expect("certificate");
+        let entry = cm.export("main").expect("main export");
+        let (_, footprint, may_grow) = eff.entry_effect(entry).expect("entry effect");
+        prop_assert!(!may_grow);
+
+        // Constant-address stores must certify to a bounded span covering
+        // every site, executed or not.
+        prop_assert!(matches!(footprint, WriteFootprint::Span { .. }),
+            "expected span, got {}", footprint);
+        let WriteFootprint::Span { lo, hi } = footprint else { unreachable!() };
+        for s in &sites {
+            prop_assert!(lo <= s.addr as u64 && s.addr as u64 + 4 <= hi,
+                "site {} outside [{}, {})", s.addr, lo, hi);
+        }
+
+        let template_len = cm.template.image().len() as u64;
+        let mut inst = Instance::new(cm, EngineConfig::default()).unwrap();
+        run_once(&mut inst, x);
+        let hwm = inst.memory().high_water_mark() as u64;
+        prop_assert!(hwm <= hi.max(template_len),
+            "runtime hwm {} escaped static bound {} (template {})", hwm, hi, template_len);
+    }
+
+    /// The differential property under the *derived* reset policy: whatever
+    /// strategy `reset_policy` picks (static span or full), a recycled
+    /// instance replaying the baseline input is indistinguishable from a
+    /// fresh one.
+    #[test]
+    fn recycled_under_derived_policy_is_fresh(
+        sites in store_sites(),
+        x in any::<i32>(),
+        dirty_x in any::<i32>(),
+        rounds in 1usize..6,
+    ) {
+        let m = build_storer(&sites);
+        let cm = Arc::new(translate(&m, Tier::Optimized).unwrap());
+        let policy = cm.reset_policy("main");
+        // Stores start at byte 64, past the 12-byte template: the derivation
+        // must never be forced below a static span for these programs.
+        prop_assert!(matches!(policy, ResetPolicy::StaticSpan { .. }), "{:?}", policy);
+        let cfg = EngineConfig::default();
+
+        let mut fresh = Instance::new(Arc::clone(&cm), cfg).unwrap();
+        let want = run_once(&mut fresh, x);
+
+        let mut recycled = Instance::new(cm, cfg).unwrap();
+        for _ in 0..rounds {
+            run_once(&mut recycled, dirty_x);
+            recycled.reset_with(policy).unwrap();
+            let got = run_once(&mut recycled, x);
+            prop_assert_eq!(got.clone(), want.clone());
+            recycled.reset_with(policy).unwrap();
+        }
+    }
+}

@@ -30,7 +30,7 @@
 //! }
 //! ```
 
-use sledge_core::{parse_json, FunctionConfig, Json, Runtime, RuntimeConfig};
+use sledge_core::{parse_json, FunctionConfig, Json, RegisterError, Runtime, RuntimeConfig};
 use std::net::SocketAddr;
 use std::time::Duration;
 
@@ -116,8 +116,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let bytes = std::fs::read(&path).map_err(|e| format!("reading {}: {e}", path.display()))?;
         let route = fc.http_route();
         let name = fc.name.clone();
-        rt.register_wasm(FunctionConfig { ..fc }, &bytes)
-            .map_err(|e| format!("registering {name}: {e}"))?;
+        match rt.register_wasm(FunctionConfig { ..fc }, &bytes) {
+            Ok(_) => {}
+            // A capability-policy rejection is an operator decision, not a
+            // deployment error: report it cleanly, skip the module, and keep
+            // serving the rest (the /stats counter records the rejection).
+            Err(RegisterError::Capability(diags)) => {
+                eprintln!("module {name:?}: rejected by capability policy, skipping:");
+                for d in diags {
+                    eprintln!("  {d}");
+                }
+                continue;
+            }
+            Err(e) => return Err(format!("registering {name}: {e}").into()),
+        }
         println!(
             "loaded {:<12} {:>8} bytes  ->  POST {route}",
             name,
@@ -132,6 +144,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          {} cost-certified",
         reg.modules_verified, reg.checks_elided, reg.lint_warnings, reg.cost_certified
     );
+    // Printed only when at least one module carried a capability policy, so a
+    // policy-free deployment's banner is byte-identical to earlier releases.
+    if reg.capability_certified + reg.capability_rejected > 0 {
+        println!(
+            "capability policy: {} certified, {} rejected",
+            reg.capability_certified, reg.capability_rejected
+        );
+    }
 
     println!(
         "sledged serving on http://{} ({loaded} functions)",

@@ -214,6 +214,16 @@ pub struct FunctionConfig {
     /// exceeds this, new requests are rejected early with 429 rather than
     /// queued behind an already-blown latency target. `None` disables.
     pub queue_slo: Option<Duration>,
+    /// Deny-by-default host-call capability policy: when set, registration
+    /// fails unless the module's effect certificate proves the entry point
+    /// can only ever reach host imports in this list. Names match either
+    /// fully qualified (`"env::response_write"`) or bare
+    /// (`"response_write"`). `None` (the default) grants everything.
+    pub allowed_hostcalls: Option<Vec<String>>,
+    /// Upper bound in bytes on the entry point's certified static write
+    /// footprint: registration fails if the certificate cannot prove every
+    /// guest store lands below this address. `None` disables the gate.
+    pub max_write_footprint_bytes: Option<u64>,
 }
 
 impl FunctionConfig {
@@ -229,7 +239,14 @@ impl FunctionConfig {
             priority: MAX_PRIORITY,
             weight: 1,
             queue_slo: None,
+            allowed_hostcalls: None,
+            max_write_footprint_bytes: None,
         }
+    }
+
+    /// Whether any capability policy is configured for this function.
+    pub fn has_capability_policy(&self) -> bool {
+        self.allowed_hostcalls.is_some() || self.max_write_footprint_bytes.is_some()
     }
 
     /// The HTTP route this function serves.
@@ -569,6 +586,31 @@ fn parse_function(m: &Json) -> Result<FunctionConfig, ConfigError> {
             ConfigError::Schema("module queue_slo_ms must be a non-negative int".into())
         })?));
     }
+    if let Some(a) = m.get("allowed_hostcalls") {
+        let items = a.as_array().ok_or_else(|| {
+            ConfigError::Schema("module allowed_hostcalls must be an array of strings".into())
+        })?;
+        let mut allowed = Vec::with_capacity(items.len());
+        for item in items {
+            allowed.push(
+                item.as_str()
+                    .ok_or_else(|| {
+                        ConfigError::Schema(
+                            "module allowed_hostcalls entries must be strings".into(),
+                        )
+                    })?
+                    .to_string(),
+            );
+        }
+        f.allowed_hostcalls = Some(allowed);
+    }
+    if let Some(b) = m.get("max_write_footprint_bytes") {
+        f.max_write_footprint_bytes = Some(b.as_u64().ok_or_else(|| {
+            ConfigError::Schema(
+                "module max_write_footprint_bytes must be a non-negative int".into(),
+            )
+        })?);
+    }
     Ok(f)
 }
 
@@ -703,6 +745,42 @@ mod tests {
         assert!(RuntimeConfig::from_json(r#"{"pool_size": -1}"#).is_err());
         assert!(RuntimeConfig::from_json(r#"{"prewarm": 1.5}"#).is_err());
         assert!(RuntimeConfig::from_json(r#"{"recycle": 1}"#).is_err());
+    }
+
+    #[test]
+    fn capability_policy_knobs_parsed() {
+        let text = r#"{"modules": [
+            {"name": "echo",
+             "allowed_hostcalls": ["env::request_len", "response_write"],
+             "max_write_footprint_bytes": 65536},
+            {"name": "open"}
+        ]}"#;
+        let (_, funcs) = RuntimeConfig::from_json(text).unwrap();
+        assert_eq!(
+            funcs[0].allowed_hostcalls.as_deref(),
+            Some(&["env::request_len".to_string(), "response_write".to_string()][..])
+        );
+        assert_eq!(funcs[0].max_write_footprint_bytes, Some(65536));
+        assert!(funcs[0].has_capability_policy());
+        // Defaults off: no policy, nothing gated.
+        assert_eq!(funcs[1].allowed_hostcalls, None);
+        assert_eq!(funcs[1].max_write_footprint_bytes, None);
+        assert!(!funcs[1].has_capability_policy());
+        // An empty allow-list is a valid (deny-everything) policy.
+        let (_, funcs) =
+            RuntimeConfig::from_json(r#"{"modules": [{"name": "x", "allowed_hostcalls": []}]}"#)
+                .unwrap();
+        assert_eq!(funcs[0].allowed_hostcalls.as_deref(), Some(&[][..]));
+        assert!(funcs[0].has_capability_policy());
+        // Schema errors.
+        for bad in [
+            r#"{"modules": [{"name": "x", "allowed_hostcalls": "env::foo"}]}"#,
+            r#"{"modules": [{"name": "x", "allowed_hostcalls": [1]}]}"#,
+            r#"{"modules": [{"name": "x", "max_write_footprint_bytes": "big"}]}"#,
+            r#"{"modules": [{"name": "x", "max_write_footprint_bytes": -1}]}"#,
+        ] {
+            assert!(RuntimeConfig::from_json(bad).is_err(), "accepted: {bad}");
+        }
     }
 
     #[test]

@@ -77,7 +77,7 @@ pub use json::{parse as parse_json, Json, JsonError};
 pub use listener::AnyResponder;
 pub use metrics::{
     render_json, render_prometheus, summary_line, AdmissionFnSnapshot, AdmissionReport,
-    LatencyReport, MetricsHandle, PhaseHistograms, PhaseSnapshot, PHASES,
+    CapabilityReport, LatencyReport, MetricsHandle, PhaseHistograms, PhaseSnapshot, PHASES,
 };
 pub use pool::{PoolStats, PoolStatsSnapshot, SandboxPool};
 pub use registry::{FunctionId, RegisterError, RegisteredFunction, Registry};

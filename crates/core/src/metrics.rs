@@ -150,6 +150,18 @@ pub struct AdmissionReport {
     pub per_function: Vec<(String, AdmissionFnSnapshot)>,
 }
 
+/// Capability-policy counters: present in a [`LatencyReport`] only when at
+/// least one module was gated by a policy (certified or rejected), so a
+/// runtime with no policies configured renders output byte-identical to one
+/// without the subsystem.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CapabilityReport {
+    /// Modules whose effect certificate satisfied their policy.
+    pub certified: u64,
+    /// Modules rejected by a policy.
+    pub rejected: u64,
+}
+
 /// The merged latency view over every worker shard: global plus
 /// per-function breakdowns. Produced by [`crate::Runtime::latency_report`]
 /// and by the `/metrics` / `/stats` endpoints.
@@ -167,6 +179,9 @@ pub struct LatencyReport {
     /// Admission-control counters; `None` when the fairness subsystem is
     /// fully disarmed (same discipline as the pool's capacity-0 gate).
     pub admission: Option<AdmissionReport>,
+    /// Capability-policy counters; `None` when no module set a policy
+    /// (same byte-identity discipline as the pool and admission gates).
+    pub capability: Option<CapabilityReport>,
 }
 
 /// A cheap, clonable handle for reading runtime metrics without holding the
@@ -239,12 +254,22 @@ impl Shared {
                     .collect(),
             }
         });
+        // Capability counters appear only once a policy has actually gated
+        // a module; a policy-free runtime reports `None` and renders
+        // byte-identically to one without the subsystem.
+        let rs = registry.stats.snapshot();
+        let capability =
+            (rs.capability_certified + rs.capability_rejected > 0).then_some(CapabilityReport {
+                certified: rs.capability_certified,
+                rejected: rs.capability_rejected,
+            });
         drop(registry);
         LatencyReport {
             global,
             per_function,
             pool,
             admission,
+            capability,
         }
     }
 }
@@ -299,6 +324,8 @@ pub fn render_prometheus(report: &LatencyReport, stats: &StatsSnapshot) -> Strin
             ("poisoned", p.poisoned),
             ("prewarmed", p.prewarmed),
             ("evicted", p.evicted),
+            ("reset_static", p.resets_static),
+            ("reset_elided", p.resets_elided),
         ] {
             out.push_str(&format!(
                 "sledge_pool_events_total{{event=\"{event}\"}} {v}\n"
@@ -367,6 +394,20 @@ pub fn render_prometheus(report: &LatencyReport, stats: &StatsSnapshot) -> Strin
                     ));
                 }
             }
+        }
+    }
+
+    // Capability series exist only when a policy gated at least one module;
+    // same byte-identity discipline as the pool and admission blocks above.
+    if let Some(cap) = &report.capability {
+        out.push_str(
+            "# HELP sledge_capability_modules_total Modules gated by a capability policy.\n",
+        );
+        out.push_str("# TYPE sledge_capability_modules_total counter\n");
+        for (verdict, v) in [("certified", cap.certified), ("rejected", cap.rejected)] {
+            out.push_str(&format!(
+                "sledge_capability_modules_total{{verdict=\"{verdict}\"}} {v}\n"
+            ));
         }
     }
 
@@ -439,8 +480,14 @@ pub fn render_json(report: &LatencyReport, stats: &StatsSnapshot) -> String {
     if report.pool.capacity > 0 {
         let p = &report.pool;
         out.push_str(&format!(
-            ",\"pool\":{{\"capacity\":{},\"size\":{},\"hits\":{},\"misses\":{},\"recycled\":{},\"discarded\":{},\"poisoned\":{},\"prewarmed\":{},\"evicted\":{}}}",
-            p.capacity, p.size, p.hits, p.misses, p.recycled, p.discarded, p.poisoned, p.prewarmed, p.evicted,
+            ",\"pool\":{{\"capacity\":{},\"size\":{},\"hits\":{},\"misses\":{},\"recycled\":{},\"discarded\":{},\"poisoned\":{},\"prewarmed\":{},\"evicted\":{},\"resets_static\":{},\"resets_elided\":{}}}",
+            p.capacity, p.size, p.hits, p.misses, p.recycled, p.discarded, p.poisoned, p.prewarmed, p.evicted, p.resets_static, p.resets_elided,
+        ));
+    }
+    if let Some(cap) = &report.capability {
+        out.push_str(&format!(
+            ",\"capability\":{{\"certified\":{},\"rejected\":{}}}",
+            cap.certified, cap.rejected
         ));
     }
     if let Some(adm) = &report.admission {
@@ -531,6 +578,12 @@ pub fn summary_line(report: &LatencyReport, stats: &StatsSnapshot) -> String {
             stats.shed, stats.budget_rejected, stats.slo_rejected
         ));
     }
+    if let Some(cap) = &report.capability {
+        line.push_str(&format!(
+            " | cap certified={} rejected={}",
+            cap.certified, cap.rejected
+        ));
+    }
     line
 }
 
@@ -582,6 +635,7 @@ mod tests {
             per_function: vec![("echo".into(), snap)],
             pool: PoolStatsSnapshot::default(),
             admission: None,
+            capability: None,
         };
         (report, StatsSnapshot::default())
     }
@@ -666,10 +720,14 @@ mod tests {
             poisoned: 1,
             prewarmed: 2,
             evicted: 0,
+            resets_static: 6,
+            resets_elided: 3,
         };
         let text = render_prometheus(&report, &stats);
         assert!(text.contains("sledge_pool_events_total{event=\"hit\"} 10"));
         assert!(text.contains("sledge_pool_events_total{event=\"poisoned\"} 1"));
+        assert!(text.contains("sledge_pool_events_total{event=\"reset_static\"} 6"));
+        assert!(text.contains("sledge_pool_events_total{event=\"reset_elided\"} 3"));
         assert!(text.contains("sledge_pool_size{} 2"));
         assert!(text.contains("sledge_pool_capacity{} 4"));
         let json = render_json(&report, &stats);
@@ -677,6 +735,8 @@ mod tests {
         let pool = doc.get("pool").expect("pool object");
         assert_eq!(pool.get("hits").unwrap().as_u64(), Some(10));
         assert_eq!(pool.get("capacity").unwrap().as_u64(), Some(4));
+        assert_eq!(pool.get("resets_static").unwrap().as_u64(), Some(6));
+        assert_eq!(pool.get("resets_elided").unwrap().as_u64(), Some(3));
         let line = summary_line(&report, &stats);
         assert!(line.contains("pool hit=10 miss=3"), "{line}");
     }
@@ -729,6 +789,34 @@ mod tests {
         assert_eq!(f.get("budget_balance").unwrap().as_u64(), Some(12345));
         let line = summary_line(&report, &stats);
         assert!(line.contains("adm shed=4 budget=7 slo=2"), "{line}");
+    }
+
+    #[test]
+    fn no_capability_policy_renders_nothing() {
+        let (report, stats) = sample_report();
+        assert!(report.capability.is_none());
+        assert!(!render_prometheus(&report, &stats).contains("capability"));
+        assert!(!render_json(&report, &stats).contains("capability"));
+        assert!(!summary_line(&report, &stats).contains("cap "));
+    }
+
+    #[test]
+    fn enabled_capability_renders_counters() {
+        let (mut report, stats) = sample_report();
+        report.capability = Some(CapabilityReport {
+            certified: 5,
+            rejected: 2,
+        });
+        let prom = render_prometheus(&report, &stats);
+        assert!(prom.contains("sledge_capability_modules_total{verdict=\"certified\"} 5"));
+        assert!(prom.contains("sledge_capability_modules_total{verdict=\"rejected\"} 2"));
+        let json = render_json(&report, &stats);
+        let doc = crate::json::parse(&json).expect("valid JSON");
+        let cap = doc.get("capability").expect("capability object");
+        assert_eq!(cap.get("certified").unwrap().as_u64(), Some(5));
+        assert_eq!(cap.get("rejected").unwrap().as_u64(), Some(2));
+        let line = summary_line(&report, &stats);
+        assert!(line.contains("cap certified=5 rejected=2"), "{line}");
     }
 
     #[test]

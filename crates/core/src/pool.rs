@@ -18,7 +18,7 @@
 //!
 //! [`Outcome::Success`]: crate::Outcome::Success
 
-use awsm::{CompiledModule, EngineConfig, Instance};
+use awsm::{CompiledModule, EngineConfig, Instance, ResetApplied, ResetPolicy};
 use parking_lot::Mutex;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -43,6 +43,13 @@ pub struct PoolStats {
     pub prewarmed: AtomicU64,
     /// Clean sandboxes dropped because the pool was already full.
     pub evicted: AtomicU64,
+    /// Subset of `recycled` whose reset used the certified static write
+    /// footprint (zeroing only the certified span instead of up to the
+    /// high-water mark).
+    pub resets_static: AtomicU64,
+    /// Subset of `recycled` whose reset was elided entirely (entry point
+    /// certified `Pure`, memory proven already pristine).
+    pub resets_elided: AtomicU64,
 }
 
 /// A point-in-time copy of [`PoolStats`], plus the pool's capacity and
@@ -67,6 +74,10 @@ pub struct PoolStatsSnapshot {
     pub prewarmed: u64,
     /// Clean sandboxes dropped because the pool was full.
     pub evicted: u64,
+    /// Recycles that used a footprint-bounded static reset.
+    pub resets_static: u64,
+    /// Recycles whose reset was elided entirely.
+    pub resets_elided: u64,
 }
 
 impl PoolStatsSnapshot {
@@ -81,6 +92,8 @@ impl PoolStatsSnapshot {
         self.poisoned += other.poisoned;
         self.prewarmed += other.prewarmed;
         self.evicted += other.evicted;
+        self.resets_static += other.resets_static;
+        self.resets_elided += other.resets_elided;
     }
 
     /// Warm-acquire fraction, if any acquires happened.
@@ -96,6 +109,12 @@ impl PoolStatsSnapshot {
 pub struct SandboxPool {
     capacity: usize,
     slots: Mutex<Vec<Instance>>,
+    /// How [`release`](Self::release) resets linear memory, derived from the
+    /// module's effect certificate for the configured entry point (see
+    /// [`CompiledModule::reset_policy`]). Purely an optimization hint: the
+    /// instance-level runtime guards fall back to the full reset whenever the
+    /// certificate's preconditions do not hold.
+    reset_policy: ResetPolicy,
     /// Counters; see [`PoolStats`].
     pub stats: PoolStats,
 }
@@ -110,13 +129,26 @@ impl fmt::Debug for SandboxPool {
 }
 
 impl SandboxPool {
-    /// A pool holding at most `capacity` instances; 0 disables it.
+    /// A pool holding at most `capacity` instances; 0 disables it. Resets
+    /// use the always-sound high-water-mark path.
     pub fn new(capacity: usize) -> Self {
+        Self::with_policy(capacity, ResetPolicy::HighWater)
+    }
+
+    /// A pool whose recycling resets follow `policy` (derived from the
+    /// module's effect certificate; see [`CompiledModule::reset_policy`]).
+    pub fn with_policy(capacity: usize, policy: ResetPolicy) -> Self {
         SandboxPool {
             capacity,
             slots: Mutex::new(Vec::new()),
+            reset_policy: policy,
             stats: PoolStats::default(),
         }
+    }
+
+    /// The reset policy recycling runs under.
+    pub fn reset_policy(&self) -> ResetPolicy {
+        self.reset_policy
     }
 
     /// Configured capacity.
@@ -174,10 +206,13 @@ impl SandboxPool {
         if !self.enabled() {
             return false;
         }
-        if inst.reset_from_template().is_err() {
-            self.stats.discarded.fetch_add(1, Ordering::Relaxed);
-            return false;
-        }
+        let applied = match inst.reset_with(self.reset_policy) {
+            Ok(applied) => applied,
+            Err(_) => {
+                self.stats.discarded.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+        };
         let mut slots = self.slots.lock();
         if slots.len() >= self.capacity {
             drop(slots);
@@ -187,6 +222,15 @@ impl SandboxPool {
         slots.push(inst);
         drop(slots);
         self.stats.recycled.fetch_add(1, Ordering::Relaxed);
+        match applied {
+            ResetApplied::Static => {
+                self.stats.resets_static.fetch_add(1, Ordering::Relaxed);
+            }
+            ResetApplied::Elided => {
+                self.stats.resets_elided.fetch_add(1, Ordering::Relaxed);
+            }
+            ResetApplied::Full => {}
+        }
         true
     }
 
@@ -255,6 +299,8 @@ impl SandboxPool {
             poisoned: self.stats.poisoned.load(Ordering::Relaxed),
             prewarmed: self.stats.prewarmed.load(Ordering::Relaxed),
             evicted: self.stats.evicted.load(Ordering::Relaxed),
+            resets_static: self.stats.resets_static.load(Ordering::Relaxed),
+            resets_elided: self.stats.resets_elided.load(Ordering::Relaxed),
         }
     }
 }
@@ -382,6 +428,103 @@ mod tests {
         assert_eq!(pool.snapshot().prewarmed, 4);
         assert_eq!(pool.drain(), 4);
         assert_eq!(pool.size(), 0);
+    }
+
+    fn run_main(inst: &mut Instance) {
+        inst.invoke_export("main", &[]).unwrap();
+        let mut host = awsm::NullHost;
+        loop {
+            match inst.run(&mut host, u64::MAX) {
+                awsm::StepResult::Complete(_) => break,
+                awsm::StepResult::Trapped(t) => panic!("trap: {t:?}"),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn pure_entry_gets_elided_resets() {
+        // No stores, no growth: the effect certificate proves `main` Pure.
+        let mut mb = ModuleBuilder::new("pure");
+        mb.memory(1, Some(2));
+        mb.data(0, &b"seed"[..]);
+        let mut f = FuncBuilder::new(&[], Some(ValType::I32));
+        f.push(ret(Some(i32c(42))));
+        let main = mb.add_func("main", f);
+        mb.export_func(main, "main");
+        let m = Arc::new(translate(&mb.build().unwrap(), Tier::Optimized).unwrap());
+
+        let policy = m.reset_policy("main");
+        assert_eq!(policy, awsm::ResetPolicy::Elide);
+        let pool = SandboxPool::with_policy(2, policy);
+        let mut inst = Instance::new(Arc::clone(&m), engine()).unwrap();
+        run_main(&mut inst);
+        assert!(pool.release(inst));
+        let s = pool.snapshot();
+        assert_eq!((s.recycled, s.resets_elided, s.resets_static), (1, 1, 0));
+        // The recycled sandbox really is pristine.
+        let warm = pool.acquire(&engine()).unwrap();
+        assert_eq!(warm.memory().read_bytes(0, 4).unwrap(), b"seed");
+    }
+
+    #[test]
+    fn certified_footprint_gets_static_resets() {
+        // Stores confined to [0x8000, 0x8004), template span [0, 4): the
+        // certificate licenses zeroing only the store span on reset.
+        let mut mb = ModuleBuilder::new("span");
+        mb.memory(1, Some(2));
+        mb.data(0, &b"seed"[..]);
+        let mut f = FuncBuilder::new(&[], Some(ValType::I32));
+        f.push(store_i32(i32c(0x8000), i32c(7)));
+        f.push(ret(Some(load_i32(i32c(0x8000)))));
+        let main = mb.add_func("main", f);
+        mb.export_func(main, "main");
+        let m = Arc::new(translate(&mb.build().unwrap(), Tier::Optimized).unwrap());
+
+        let policy = m.reset_policy("main");
+        assert_eq!(
+            policy,
+            awsm::ResetPolicy::StaticSpan {
+                lo: 0x8000,
+                hi: 0x8004
+            }
+        );
+        let pool = SandboxPool::with_policy(2, policy);
+        let mut inst = Instance::new(Arc::clone(&m), engine()).unwrap();
+        run_main(&mut inst);
+        assert!(pool.release(inst));
+        let s = pool.snapshot();
+        assert_eq!((s.recycled, s.resets_static, s.resets_elided), (1, 1, 0));
+        let warm = pool.acquire(&engine()).unwrap();
+        assert_eq!(warm.memory().read_bytes(0, 4).unwrap(), b"seed");
+        assert_eq!(warm.memory().read_bytes(0x8000, 4).unwrap(), &[0; 4]);
+    }
+
+    #[test]
+    fn host_write_defeats_partial_reset_but_recycles_full() {
+        // A host payload written below the certified span must force the
+        // always-sound full reset — and still recycle.
+        let mut mb = ModuleBuilder::new("span2");
+        mb.memory(1, Some(2));
+        mb.data(0, &b"seed"[..]);
+        let mut f = FuncBuilder::new(&[], Some(ValType::I32));
+        f.push(store_i32(i32c(0x8000), i32c(7)));
+        f.push(ret(Some(i32c(0))));
+        let main = mb.add_func("main", f);
+        mb.export_func(main, "main");
+        let m = Arc::new(translate(&mb.build().unwrap(), Tier::Optimized).unwrap());
+        let policy = m.reset_policy("main");
+        assert!(matches!(policy, awsm::ResetPolicy::StaticSpan { .. }));
+        let pool = SandboxPool::with_policy(2, policy);
+        let mut inst = Instance::new(Arc::clone(&m), engine()).unwrap();
+        run_main(&mut inst);
+        inst.memory_mut().write_bytes(0x100, b"payload").unwrap();
+        assert!(pool.release(inst));
+        let s = pool.snapshot();
+        assert_eq!((s.recycled, s.resets_static, s.resets_elided), (1, 0, 0));
+        let warm = pool.acquire(&engine()).unwrap();
+        assert_eq!(warm.memory().read_bytes(0x100, 7).unwrap(), &[0; 7]);
+        assert_eq!(warm.memory().read_bytes(0x8000, 4).unwrap(), &[0; 4]);
     }
 
     #[test]

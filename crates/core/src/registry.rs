@@ -118,6 +118,11 @@ pub enum RegisterError {
     /// The module's preemption-latency certificate is missing or its
     /// certified check-free gap exceeds the configured budget.
     Certificate(Diagnostic),
+    /// The module's effect certificate violates the function's capability
+    /// policy (`allowed_hostcalls` / `max_write_footprint_bytes`): the entry
+    /// point can reach a host call outside the allowed set, or its certified
+    /// write footprint exceeds the configured bound.
+    Capability(Vec<Diagnostic>),
 }
 
 impl fmt::Display for RegisterError {
@@ -136,6 +141,13 @@ impl fmt::Display for RegisterError {
             }
             RegisterError::Certificate(d) => {
                 write!(f, "preemption-latency certificate rejected: {d}")
+            }
+            RegisterError::Capability(diags) => {
+                write!(f, "capability policy rejected module")?;
+                for d in diags {
+                    write!(f, "; {d}")?;
+                }
+                Ok(())
             }
         }
     }
@@ -249,7 +261,7 @@ impl Registry {
         if compiled.export(&config.entry).is_none() {
             return Err(RegisterError::NoEntry(config.entry.clone()));
         }
-        self.gate_analysis(&config.name, &compiled)?;
+        self.gate_analysis(&config, &compiled)?;
         let id = FunctionId(self.functions.len() as u32);
         let route = config.http_route();
         let name = config.name.clone();
@@ -275,6 +287,10 @@ impl Registry {
             // least one invocation's charge so the bucket can ever admit.
             TokenBucket::new(rate, rate.max(admission_cost))
         });
+        // Pool recycling adopts the cheapest reset the entry's effect
+        // certificate licenses; runtime guards fall back to the full reset
+        // whenever the certificate's preconditions do not hold dynamically.
+        let reset_policy = compiled.reset_policy(&config.entry);
         let rf = Arc::new(RegisteredFunction {
             id,
             config,
@@ -284,7 +300,7 @@ impl Registry {
             metrics: (0..self.shards.max(1))
                 .map(|_| PhaseHistograms::default())
                 .collect(),
-            pool: SandboxPool::new(self.pool_capacity),
+            pool: SandboxPool::with_policy(self.pool_capacity, reset_policy),
             admission_cost,
             budget,
             queue_p99: QueueP99Cache::default(),
@@ -295,10 +311,17 @@ impl Registry {
         Ok(id)
     }
 
-    /// Apply the load-time analysis verdict: reject on error-severity lints
-    /// or a stack bound over budget, log warnings, and update counters.
-    fn gate_analysis(&self, name: &str, compiled: &CompiledModule) -> Result<(), RegisterError> {
+    /// Apply the load-time analysis verdict: reject on error-severity lints,
+    /// a stack bound over budget, a missing/over-budget preemption
+    /// certificate, or a capability-policy violation; log warnings and
+    /// update counters.
+    fn gate_analysis(
+        &self,
+        config: &FunctionConfig,
+        compiled: &CompiledModule,
+    ) -> Result<(), RegisterError> {
         use std::sync::atomic::Ordering;
+        let name = &config.name;
         let report = &compiled.analysis;
         let mut errors: Vec<Diagnostic> = report.with_severity(Severity::Error).cloned().collect();
         if let Some(budget) = self.stack_budget {
@@ -322,8 +345,41 @@ impl Registry {
             return Err(RegisterError::Certificate(d));
         }
         self.stats.cost_certified.fetch_add(1, Ordering::Relaxed);
+        // Capability gate: deny-by-default host-call set and write-footprint
+        // bound, both proven against the effect certificate. Modules without
+        // a policy skip this entirely (and touch no capability counter).
+        let mut capability_warn = None;
+        if config.has_capability_policy() {
+            let entry_idx = compiled
+                .export(&config.entry)
+                .expect("entry existence checked before gating");
+            let mut violations: Vec<Diagnostic> = Vec::new();
+            if let Some(allowed) = &config.allowed_hostcalls {
+                violations.extend(report.check_hostcalls(entry_idx, allowed));
+            }
+            if let Some(max) = config.max_write_footprint_bytes {
+                violations.extend(report.check_write_footprint(entry_idx, max));
+            }
+            if !violations.is_empty() {
+                self.stats.modules_rejected.fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .capability_rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(RegisterError::Capability(violations));
+            }
+            self.stats
+                .capability_certified
+                .fetch_add(1, Ordering::Relaxed);
+            if let Some(allowed) = &config.allowed_hostcalls {
+                capability_warn = report.unused_grants(entry_idx, allowed);
+            }
+        }
         let mut warns = 0u64;
-        for d in report.with_severity(Severity::Warn) {
+        for d in report
+            .with_severity(Severity::Warn)
+            .cloned()
+            .chain(capability_warn)
+        {
             eprintln!("[sledge] module {name:?}: {d}");
             warns += 1;
         }
@@ -615,6 +671,108 @@ mod tests {
         assert!(b.capacity() >= rf.admission_cost);
         // A fresh function has no queue samples: p99 reads zero.
         assert_eq!(rf.queue_p99_ns(1), 0);
+    }
+
+    fn hostcall_module(name: &str) -> Module {
+        let mut mb = ModuleBuilder::new(name);
+        mb.memory(1, Some(1));
+        let req_len = mb.import_func("env", "request_len", &[], Some(ValType::I32));
+        let mut f = FuncBuilder::new(&[], Some(ValType::I32));
+        f.push(ret(Some(call(req_len, vec![]))));
+        let main = mb.add_func("main", f);
+        mb.export_func(main, "main");
+        mb.build().unwrap()
+    }
+
+    #[test]
+    fn capability_policy_denies_unlisted_hostcall() {
+        let m = hostcall_module("gated");
+        let mut r = Registry::new();
+        let mut cfg = FunctionConfig::new("gated");
+        // The module calls env::request_len; the policy only grants
+        // response_write — deny-by-default must reject it.
+        cfg.allowed_hostcalls = Some(vec!["env::response_write".into()]);
+        let err = r.register_module(cfg, &m, Tier::Optimized, 0).unwrap_err();
+        let RegisterError::Capability(diags) = &err else {
+            panic!("expected capability rejection, got {err}");
+        };
+        assert!(diags[0].message.contains("request_len"), "{diags:?}");
+        assert!(err.to_string().contains("capability policy rejected"));
+        assert!(r.is_empty(), "rejected module must not be registered");
+        let snap = r.stats.snapshot();
+        assert_eq!(snap.capability_rejected, 1);
+        assert_eq!(snap.modules_rejected, 1);
+        assert_eq!(snap.modules_verified, 0);
+        assert_eq!(snap.capability_certified, 0);
+    }
+
+    #[test]
+    fn capability_policy_grants_reachable_hostcalls() {
+        let m = hostcall_module("granted");
+        let mut r = Registry::new();
+        let mut cfg = FunctionConfig::new("granted");
+        // Bare names match any import module.
+        cfg.allowed_hostcalls = Some(vec!["request_len".into()]);
+        r.register_module(cfg, &m, Tier::Optimized, 0).unwrap();
+        let snap = r.stats.snapshot();
+        assert_eq!(snap.capability_certified, 1);
+        assert_eq!(snap.capability_rejected, 0);
+        assert_eq!(snap.modules_verified, 1);
+    }
+
+    #[test]
+    fn capability_grant_wider_than_needed_warns() {
+        let m = hostcall_module("wide");
+        let mut r = Registry::new();
+        let mut cfg = FunctionConfig::new("wide");
+        cfg.allowed_hostcalls = Some(vec![
+            "env::request_len".into(),
+            "env::launch_missiles".into(),
+        ]);
+        r.register_module(cfg, &m, Tier::Optimized, 0).unwrap();
+        let snap = r.stats.snapshot();
+        assert_eq!(snap.capability_certified, 1);
+        assert!(
+            snap.lint_warnings >= 1,
+            "unused grant must surface as a warning"
+        );
+    }
+
+    #[test]
+    fn write_footprint_policy_enforced() {
+        // Stores land at [0x8000, 0x8004): a 0x8000-byte cap must reject,
+        // a 0x9000-byte cap must pass.
+        let mut mb = ModuleBuilder::new("writer");
+        mb.memory(1, Some(1));
+        let mut f = FuncBuilder::new(&[], Some(ValType::I32));
+        f.push(store_i32(i32c(0x8000), i32c(1)));
+        f.push(ret(Some(i32c(0))));
+        let main = mb.add_func("main", f);
+        mb.export_func(main, "main");
+        let m = mb.build().unwrap();
+
+        let mut r = Registry::new();
+        let mut cfg = FunctionConfig::new("writer");
+        cfg.max_write_footprint_bytes = Some(0x8000);
+        let err = r.register_module(cfg, &m, Tier::Optimized, 0).unwrap_err();
+        assert!(matches!(err, RegisterError::Capability(_)), "{err}");
+        assert_eq!(r.stats.snapshot().capability_rejected, 1);
+
+        let mut cfg = FunctionConfig::new("writer");
+        cfg.max_write_footprint_bytes = Some(0x9000);
+        r.register_module(cfg, &m, Tier::Optimized, 0).unwrap();
+        assert_eq!(r.stats.snapshot().capability_certified, 1);
+    }
+
+    #[test]
+    fn no_policy_touches_no_capability_counter() {
+        let m = hostcall_module("open");
+        let mut r = Registry::new();
+        r.register_module(FunctionConfig::new("open"), &m, Tier::Optimized, 0)
+            .unwrap();
+        let snap = r.stats.snapshot();
+        assert_eq!(snap.capability_certified, 0);
+        assert_eq!(snap.capability_rejected, 0);
     }
 
     #[test]

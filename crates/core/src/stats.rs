@@ -120,6 +120,13 @@ pub struct RegistryStats {
     /// check-free gap exceeded the budget (also counted in
     /// `modules_rejected`).
     pub certificate_rejected: AtomicU64,
+    /// Modules whose effect certificate passed a configured capability
+    /// policy (`allowed_hostcalls` / `max_write_footprint_bytes`). Stays
+    /// zero when no module sets a policy.
+    pub capability_certified: AtomicU64,
+    /// Modules rejected by a capability policy (also counted in
+    /// `modules_rejected`).
+    pub capability_rejected: AtomicU64,
 }
 
 impl RegistryStats {
@@ -132,6 +139,8 @@ impl RegistryStats {
             checks_elided: self.checks_elided.load(Ordering::Relaxed),
             cost_certified: self.cost_certified.load(Ordering::Relaxed),
             certificate_rejected: self.certificate_rejected.load(Ordering::Relaxed),
+            capability_certified: self.capability_certified.load(Ordering::Relaxed),
+            capability_rejected: self.capability_rejected.load(Ordering::Relaxed),
             // Pool counters live on each function; `Registry::stats_snapshot`
             // folds them in on top of this raw counter copy.
             pool: crate::pool::PoolStatsSnapshot::default(),
@@ -150,6 +159,10 @@ pub struct RegistryStatsSnapshot {
     pub checks_elided: u64,
     pub cost_certified: u64,
     pub certificate_rejected: u64,
+    /// Modules that passed a configured capability policy.
+    pub capability_certified: u64,
+    /// Modules rejected by a capability policy.
+    pub capability_rejected: u64,
     /// Warm sandbox-pool counters, summed over all functions.
     pub pool: crate::pool::PoolStatsSnapshot,
 }

@@ -90,6 +90,52 @@ mod guests {
         mb.export_func(main, "main");
         mb.build().unwrap()
     }
+
+    /// Performs no guest store at all: responds with the byte at 64 and
+    /// returns. Its effect certificate is `Pure`, so the pool may skip the
+    /// memory reset entirely when recycling it.
+    pub fn pure_reader() -> Module {
+        let mut mb = ModuleBuilder::new("pure");
+        mb.memory(1, Some(1));
+        let resp_write = mb.import_func(
+            "env",
+            "response_write",
+            &[ValType::I32, ValType::I32],
+            Some(ValType::I32),
+        );
+        let mut f = FuncBuilder::new(&[], Some(ValType::I32));
+        f.extend([
+            exec(call(resp_write, vec![i32c(64), i32c(1)])),
+            ret(Some(i32c(0))),
+        ]);
+        let main = mb.add_func("main", f);
+        mb.export_func(main, "main");
+        mb.build().unwrap()
+    }
+
+    /// Responds with the byte at 0x8000 *then* scribbles 0xBB over it — the
+    /// same leak detector as `peek_poke`, but with a store footprint the
+    /// analyzer certifies to a static span, so the pool resets only the
+    /// certified tail instead of the whole high-water range.
+    pub fn span_writer() -> Module {
+        let mut mb = ModuleBuilder::new("span");
+        mb.memory(1, Some(1));
+        let resp_write = mb.import_func(
+            "env",
+            "response_write",
+            &[ValType::I32, ValType::I32],
+            Some(ValType::I32),
+        );
+        let mut f = FuncBuilder::new(&[], Some(ValType::I32));
+        f.extend([
+            exec(call(resp_write, vec![i32c(0x8000), i32c(1)])),
+            store(Scalar::U8, i32c(0x8000), 0, i32c(0xBB)),
+            ret(Some(i32c(0))),
+        ]);
+        let main = mb.add_func("main", f);
+        mb.export_func(main, "main");
+        mb.build().unwrap()
+    }
 }
 
 /// Every test pins the three pool knobs explicitly so the suite passes
@@ -188,6 +234,74 @@ fn trapped_invocations_are_never_recycled() {
     assert_eq!(pool.misses, 3, "{pool:?}");
     assert_eq!(pool.discarded, 3, "{pool:?}");
     assert_eq!(pool.size, 0, "{pool:?}");
+}
+
+// ---------------------------------------------------------------------------
+// Static-footprint and elided resets (derived from the effect certificate)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn pure_function_recycles_with_elided_resets() {
+    let rt = Runtime::new(config(1, 0, true));
+    let pure = rt
+        .register_module(FunctionConfig::new("pure"), &guests::pure_reader())
+        .unwrap();
+    for i in 0..6 {
+        let done = rt.invoke(pure, Vec::new()).wait().unwrap();
+        match done.outcome {
+            Outcome::Success(body) => assert_eq!(&body[..], &[0u8], "#{i}"),
+            other => panic!("#{i}: {other:?}"),
+        }
+    }
+    let pool = rt.pool_stats();
+    rt.shutdown();
+    // Every recycle skipped the memory reset: the certificate proves the
+    // guest never stores, and no host write dirtied the instance.
+    assert_eq!(pool.recycled, 6, "{pool:?}");
+    assert_eq!(pool.resets_elided, 6, "{pool:?}");
+    assert_eq!(pool.resets_static, 0, "{pool:?}");
+}
+
+#[test]
+fn span_writer_recycles_with_static_resets_and_leaks_nothing() {
+    let rt = Runtime::new(config(1, 0, true));
+    let span = rt
+        .register_module(FunctionConfig::new("span"), &guests::span_writer())
+        .unwrap();
+    for i in 0..6 {
+        let done = rt.invoke(span, Vec::new()).wait().unwrap();
+        match done.outcome {
+            // Every run answers the pristine byte (0), never the 0xBB the
+            // previous invocation scribbled into its certified span.
+            Outcome::Success(body) => assert_eq!(&body[..], &[0u8], "#{i}"),
+            other => panic!("#{i}: {other:?}"),
+        }
+    }
+    let pool = rt.pool_stats();
+    rt.shutdown();
+    assert_eq!(pool.recycled, 6, "{pool:?}");
+    assert_eq!(pool.resets_static, 6, "{pool:?}");
+    assert_eq!(pool.resets_elided, 0, "{pool:?}");
+}
+
+#[test]
+fn request_reading_function_falls_back_to_full_resets() {
+    // `echo` calls `request_read`, which writes guest memory from the host
+    // side; its footprint is also input-dependent. Both gates force the
+    // classic high-water reset — the new counters must stay zero.
+    let rt = Runtime::new(config(1, 0, true));
+    let echo = rt
+        .register_module(FunctionConfig::new("echo"), &guests::echo())
+        .unwrap();
+    for _ in 0..4 {
+        let done = rt.invoke(echo, &b"hi"[..]).wait().unwrap();
+        assert!(matches!(done.outcome, Outcome::Success(_)));
+    }
+    let pool = rt.pool_stats();
+    rt.shutdown();
+    assert_eq!(pool.recycled, 4, "{pool:?}");
+    assert_eq!(pool.resets_static, 0, "{pool:?}");
+    assert_eq!(pool.resets_elided, 0, "{pool:?}");
 }
 
 // ---------------------------------------------------------------------------
