@@ -109,7 +109,7 @@ fn run_leg(build: impl Fn() -> (Runtime, VictimIds), iters: usize, flood: bool) 
                                 // Cooperative client: honour a fraction of the
                                 // hints so the flood stays a flood without
                                 // busy-spinning the listener.
-                                if n % 16 == 0 {
+                                if n.is_multiple_of(16) {
                                     std::thread::sleep(retry_after.min(Duration::from_millis(5)));
                                 }
                                 n

@@ -102,6 +102,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let deadline = config.deadline;
     let breaker = config.circuit_breaker;
     let conn_idle = config.conn_idle;
+    let listener = (config.reactor, config.max_connections);
     let faults = config.fault_plan.is_some();
     let pool = (config.pool_size, config.prewarm, config.recycle);
     let fairness = (config.fairness, config.max_inflight);
@@ -170,6 +171,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         None => println!("  circuit breaker: off"),
     }
     println!("  idle connection timeout: {} ms", conn_idle.as_millis());
+    println!(
+        "  listener: {} backend, max connections {}",
+        if listener.0 { "reactor" } else { "poll" },
+        if listener.1 > 0 {
+            listener.1.to_string()
+        } else {
+            "unlimited".into()
+        }
+    );
     if pool.0 > 0 {
         println!(
             "  sandbox pool: {} per function, prewarm {}, recycle {}",

@@ -89,6 +89,15 @@ pub struct RuntimeConfig {
     /// low-priority tenants are shed first and the highest class only at
     /// the full cap. 0 (the default) disables the cap.
     pub max_inflight: usize,
+    /// Connection budget for the HTTP front end: accepts beyond this many
+    /// live connections are answered with a socket-tier 503 +
+    /// `Connection: close` before any parse cost is paid (the first gate,
+    /// ahead of every admission gate). 0 (the default) is unlimited.
+    pub max_connections: usize,
+    /// Serve HTTP with the epoll readiness reactor (the default). `false`
+    /// falls back to the legacy non-blocking scan loop — the compat and
+    /// ablation configuration.
+    pub reactor: bool,
 }
 
 /// Default calibration for [`RuntimeConfig::cost_units_per_us`]: cost
@@ -126,6 +135,8 @@ impl Default for RuntimeConfig {
                 .map(|v| v != 0)
                 .unwrap_or(false),
             max_inflight: env_usize("SLEDGE_MAX_INFLIGHT").unwrap_or(0),
+            max_connections: env_usize("SLEDGE_MAX_CONNS").unwrap_or(0),
+            reactor: env_usize("SLEDGE_REACTOR").map(|v| v != 0).unwrap_or(true),
         }
     }
 }
@@ -450,6 +461,16 @@ impl RuntimeConfig {
                 ConfigError::Schema("max_inflight must be a non-negative int".into())
             })? as usize;
         }
+        if let Some(mc) = v.get("max_connections") {
+            cfg.max_connections = mc.as_u64().ok_or_else(|| {
+                ConfigError::Schema("max_connections must be a non-negative int".into())
+            })? as usize;
+        }
+        if let Some(r) = v.get("reactor") {
+            cfg.reactor = r
+                .as_bool()
+                .ok_or_else(|| ConfigError::Schema("reactor must be a bool".into()))?;
+        }
         let mut funcs = Vec::new();
         if let Some(mods) = v.get("modules") {
             let arr = mods
@@ -526,6 +547,9 @@ fn parse_fault_plan(fp: &Json) -> Result<FaultPlan, ConfigError> {
         plan.burst_latency = Duration::from_micros(l.as_u64().ok_or_else(|| {
             ConfigError::Schema("fault_plan.burst_latency_us must be an int".into())
         })?);
+    }
+    if let Some(p) = fp.get("conn_reset_pct") {
+        plan.conn_reset_pct = pct(p, "conn_reset_pct")?;
     }
     Ok(plan)
 }
@@ -788,7 +812,8 @@ mod tests {
         let text = r#"{
             "fairness": true,
             "max_inflight": 256,
-            "fault_plan": {"burst_pct": 12.5, "burst_latency_us": 900},
+            "fault_plan": {"burst_pct": 12.5, "burst_latency_us": 900,
+                           "conn_reset_pct": 15},
             "modules": [
                 {"name": "victim", "budget": 200000, "priority": 3,
                  "weight": 4, "queue_slo_ms": 20},
@@ -801,6 +826,7 @@ mod tests {
         let fp = cfg.fault_plan.unwrap();
         assert_eq!(fp.burst_pct, 12.5);
         assert_eq!(fp.burst_latency, Duration::from_micros(900));
+        assert_eq!(fp.conn_reset_pct, 15.0);
         assert_eq!(funcs[0].budget_us_per_s, Some(200000));
         assert_eq!(funcs[0].priority, 3);
         assert_eq!(funcs[0].weight, 4);
@@ -837,6 +863,25 @@ mod tests {
                 .is_err()
         );
         assert!(RuntimeConfig::from_json(r#"{"fault_plan": {"burst_pct": 101}}"#).is_err());
+        assert!(RuntimeConfig::from_json(r#"{"fault_plan": {"conn_reset_pct": -1}}"#).is_err());
+    }
+
+    #[test]
+    fn listener_knobs_parsed() {
+        let text = r#"{"max_connections": 512, "reactor": false}"#;
+        let (cfg, _) = RuntimeConfig::from_json(text).unwrap();
+        assert_eq!(cfg.max_connections, 512);
+        assert!(!cfg.reactor);
+        // Explicit JSON wins over the SLEDGE_MAX_CONNS/SLEDGE_REACTOR env
+        // overrides; absent knobs match the (possibly env-overridden)
+        // defaults, so this test is green in both CI legs.
+        let (cfg, _) = RuntimeConfig::from_json("{}").unwrap();
+        let dflt = RuntimeConfig::default();
+        assert_eq!(cfg.max_connections, dflt.max_connections);
+        assert_eq!(cfg.reactor, dflt.reactor);
+        assert!(RuntimeConfig::from_json(r#"{"max_connections": "x"}"#).is_err());
+        assert!(RuntimeConfig::from_json(r#"{"max_connections": -1}"#).is_err());
+        assert!(RuntimeConfig::from_json(r#"{"reactor": 1}"#).is_err());
     }
 
     #[test]

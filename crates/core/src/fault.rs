@@ -44,6 +44,11 @@ pub struct FaultPlan {
     pub burst_pct: f64,
     /// Per-host-call latency applied to burst invocations.
     pub burst_latency: Duration,
+    /// Percent of client connections the connection-churn chaos leg resets
+    /// mid-flight (the client aborts mid-read or mid-write instead of
+    /// finishing the exchange). Decided per client sequence number, so the
+    /// churn pattern is reproducible under any thread interleaving.
+    pub conn_reset_pct: f64,
 }
 
 impl Default for FaultPlan {
@@ -57,6 +62,7 @@ impl Default for FaultPlan {
             pool_poison_pct: 0.0,
             burst_pct: 0.0,
             burst_latency: Duration::ZERO,
+            conn_reset_pct: 0.0,
         }
     }
 }
@@ -120,6 +126,20 @@ impl FaultPlan {
     pub fn burst_invocation(&self, seq: u64) -> bool {
         self.burst_pct > 0.0 && self.roll(seq >> 5, 5) < self.burst_pct
     }
+
+    /// Whether client connection `seq` is reset mid-flight by the churn
+    /// chaos leg.
+    pub fn reset_connection(&self, seq: u64) -> bool {
+        self.conn_reset_pct > 0.0 && self.roll(seq, 6) < self.conn_reset_pct
+    }
+
+    /// Where the churn reset lands for connection `seq`: `true` = the
+    /// client aborts mid-read (after sending only part of the request),
+    /// `false` = mid-write (full request sent, connection torn down
+    /// without reading the response). Deterministic, like every decision.
+    pub fn reset_mid_read(&self, seq: u64) -> bool {
+        self.roll(seq, 7) < 50.0
+    }
 }
 
 #[cfg(test)]
@@ -137,12 +157,15 @@ mod tests {
             pool_poison_pct: 15.0,
             burst_pct: 25.0,
             burst_latency: Duration::from_millis(2),
+            conn_reset_pct: 20.0,
         };
         let b = a;
         for seq in 0..1000 {
             assert_eq!(a.fail_instantiation(seq), b.fail_instantiation(seq));
             assert_eq!(a.poison_pool(seq), b.poison_pool(seq));
             assert_eq!(a.burst_invocation(seq), b.burst_invocation(seq));
+            assert_eq!(a.reset_connection(seq), b.reset_connection(seq));
+            assert_eq!(a.reset_mid_read(seq), b.reset_mid_read(seq));
             for call in 0..8 {
                 assert_eq!(a.trap_host_call(seq, call), b.trap_host_call(seq, call));
                 assert_eq!(a.delay_host_call(seq, call), b.delay_host_call(seq, call));
@@ -159,6 +182,7 @@ mod tests {
             assert!(p.delay_host_call(seq, seq).is_none());
             assert!(!p.poison_pool(seq));
             assert!(!p.burst_invocation(seq));
+            assert!(!p.reset_connection(seq));
         }
     }
 
@@ -173,6 +197,7 @@ mod tests {
             pool_poison_pct: 100.0,
             burst_pct: 100.0,
             burst_latency: Duration::from_micros(20),
+            conn_reset_pct: 100.0,
         };
         for seq in 0..100 {
             assert!(p.fail_instantiation(seq));
@@ -180,7 +205,11 @@ mod tests {
             assert_eq!(p.delay_host_call(seq, 0), Some(Duration::from_micros(10)));
             assert!(p.poison_pool(seq));
             assert!(p.burst_invocation(seq));
+            assert!(p.reset_connection(seq));
         }
+        // The mid-read/mid-write coin must land on both sides somewhere.
+        assert!((0..100).any(|s| p.reset_mid_read(s)));
+        assert!((0..100).any(|s| !p.reset_mid_read(s)));
     }
 
     #[test]

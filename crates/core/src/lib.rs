@@ -83,6 +83,7 @@ pub use pool::{PoolStats, PoolStatsSnapshot, SandboxPool};
 pub use registry::{FunctionId, RegisterError, RegisteredFunction, Registry};
 pub use sandbox::{Completion, Outcome, Sandbox, SandboxHost, Timings};
 pub use sched::Dwrr;
+pub use sledge_http::{Backend as HttpBackend, ConnSnapshot};
 pub use stats::{
     BreakerState, FunctionStats, FunctionStatsSnapshot, RegistryStats, RegistryStatsSnapshot,
     RuntimeStats, StatsSnapshot,
@@ -92,7 +93,7 @@ use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use listener::Intake;
 use parking_lot::RwLock;
-use sledge_http::PollServer;
+use sledge_http::{ConnCounters, HttpServer, ServerConfig};
 use std::io;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -124,6 +125,10 @@ pub(crate) struct Shared {
     /// Per-worker latency shards for the global (all-functions) view;
     /// worker `i` writes only `phase_shards[i]`.
     pub phase_shards: Box<[metrics::PhaseHistograms]>,
+    /// Connection-lifecycle counters shared with the HTTP front end;
+    /// `None` when the runtime has no HTTP listener (in-process intake
+    /// only) — metrics then render no connection section at all.
+    pub http_conns: Option<Arc<ConnCounters>>,
 }
 
 impl Shared {
@@ -178,10 +183,18 @@ impl Runtime {
 
     fn build(config: RuntimeConfig, http: Option<SocketAddr>) -> io::Result<Runtime> {
         let server = match http {
-            Some(addr) => Some(PollServer::bind(
+            Some(addr) => Some(HttpServer::bind(
                 addr,
-                config.max_request_size,
-                config.conn_idle,
+                ServerConfig {
+                    max_request_size: config.max_request_size,
+                    idle_timeout: config.conn_idle,
+                    max_connections: config.max_connections,
+                    backend: if config.reactor {
+                        HttpBackend::Reactor
+                    } else {
+                        HttpBackend::Poll
+                    },
+                },
             )?),
             None => None,
         };
@@ -189,6 +202,7 @@ impl Runtime {
             Some(s) => Some(s.local_addr()?),
             None => None,
         };
+        let http_conns = server.as_ref().map(HttpServer::counters);
 
         let workers = config.workers.max(1);
         let mut registry = Registry::new();
@@ -211,6 +225,7 @@ impl Runtime {
             phase_shards: (0..workers)
                 .map(|_| metrics::PhaseHistograms::default())
                 .collect(),
+            http_conns,
         });
 
         let (deque, stealer) = sledge_deque::deque::<Box<Sandbox>>();
@@ -389,6 +404,16 @@ impl Runtime {
             .read()
             .get(id)
             .map(|rf| rf.stats.snapshot())
+    }
+
+    /// Connection-lifecycle counter snapshot from the HTTP front end
+    /// (all-zero when the runtime has no HTTP listener).
+    pub fn connection_stats(&self) -> ConnSnapshot {
+        self.shared
+            .http_conns
+            .as_ref()
+            .map(|c| c.snapshot())
+            .unwrap_or_default()
     }
 
     /// Number of requests injected but not yet started.

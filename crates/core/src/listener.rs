@@ -9,7 +9,7 @@ use awsm::EngineConfig;
 use bytes::Bytes;
 use crossbeam::channel::{Receiver, Sender};
 use sledge_deque::Worker as DequeWorker;
-use sledge_http::{ConnectionEvent, PollServer, Response, StatusCode};
+use sledge_http::{ConnectionEvent, HttpServer, Response, StatusCode};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -283,12 +283,23 @@ pub(crate) fn listener_loop(
     shared: Arc<Shared>,
     deque: DequeWorker<Box<Sandbox>>,
     intake: Receiver<Intake>,
-    mut http: Option<PollServer>,
+    mut http: Option<HttpServer>,
     http_reply: Receiver<(ConnId, Vec<u8>)>,
     http_reply_tx: Sender<(ConnId, Vec<u8>)>,
 ) {
+    let mut drain_started = false;
     loop {
         let mut worked = false;
+
+        // Propagate a drain to the socket tier the moment it starts: new
+        // peers get the socket-tier 503 while existing connections finish
+        // their in-flight responses.
+        if !drain_started && shared.draining.load(Ordering::Acquire) {
+            drain_started = true;
+            if let Some(server) = http.as_mut() {
+                server.begin_drain();
+            }
+        }
 
         // Drain in-process invocations.
         while let Ok(msg) = intake.try_recv() {
@@ -310,7 +321,7 @@ pub(crate) fn listener_loop(
                 worked = true;
                 server.send(conn, &bytes);
             }
-            for ev in server.poll() {
+            for ev in server.poll(Duration::ZERO) {
                 worked = true;
                 match ev {
                     ConnectionEvent::Request(conn, req) => {
@@ -369,6 +380,28 @@ pub(crate) fn listener_loop(
         }
 
         if shared.shutdown.load(Ordering::Acquire) {
+            // Workers decrement `inflight` only after delivering the
+            // completion, so by the time a drain observes inflight == 0
+            // every HTTP reply is already in the channel — flush them (and
+            // any queued connection bytes) before the socket owner exits,
+            // bounded so a stuck peer cannot wedge shutdown.
+            if let Some(server) = http.as_mut() {
+                let deadline = Instant::now() + Duration::from_millis(250);
+                loop {
+                    let mut flushed_all = true;
+                    while let Ok((conn, bytes)) = http_reply.try_recv() {
+                        server.send(conn, &bytes);
+                    }
+                    server.poll(Duration::ZERO);
+                    if server.unflushed() > 0 || !http_reply.is_empty() {
+                        flushed_all = false;
+                    }
+                    if flushed_all || Instant::now() >= deadline {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_micros(100));
+                }
+            }
             return;
         }
         if !worked {

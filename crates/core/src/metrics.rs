@@ -14,6 +14,7 @@ use crate::pool::PoolStatsSnapshot;
 use crate::sandbox::Timings;
 use crate::stats::StatsSnapshot;
 use crate::Shared;
+use sledge_http::ConnSnapshot;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
@@ -182,6 +183,10 @@ pub struct LatencyReport {
     /// Capability-policy counters; `None` when no module set a policy
     /// (same byte-identity discipline as the pool and admission gates).
     pub capability: Option<CapabilityReport>,
+    /// Connection-lifecycle counters from the HTTP front end; `None` when
+    /// the runtime serves no HTTP (same byte-identity discipline as the
+    /// other gated sections).
+    pub connections: Option<ConnSnapshot>,
 }
 
 /// A cheap, clonable handle for reading runtime metrics without holding the
@@ -270,6 +275,7 @@ impl Shared {
             pool,
             admission,
             capability,
+            connections: self.http_conns.as_ref().map(|c| c.snapshot()),
         }
     }
 }
@@ -308,6 +314,37 @@ pub fn render_prometheus(report: &LatencyReport, stats: &StatsSnapshot) -> Strin
         out.push_str(&format!(
             "sledge_scheduler_events_total{{event=\"{event}\"}} {v}\n"
         ));
+    }
+
+    // Connection series exist only when the runtime serves HTTP; an
+    // in-process-only runtime leaves the exposition byte-for-byte
+    // unchanged.
+    if let Some(c) = &report.connections {
+        out.push_str("# HELP sledge_connections_total Connection lifecycle events.\n");
+        out.push_str("# TYPE sledge_connections_total counter\n");
+        for (event, v) in [
+            ("accepted", c.accepted),
+            ("closed", c.closed),
+            ("shed", c.shed),
+            ("reaped", c.reaped),
+        ] {
+            out.push_str(&format!(
+                "sledge_connections_total{{event=\"{event}\"}} {v}\n"
+            ));
+        }
+        out.push_str("# HELP sledge_connections_active Connections currently open.\n");
+        out.push_str("# TYPE sledge_connections_active gauge\n");
+        out.push_str(&format!("sledge_connections_active{{}} {}\n", c.active()));
+        out.push_str("# HELP sledge_http_requests_total Complete HTTP requests parsed.\n");
+        out.push_str("# TYPE sledge_http_requests_total counter\n");
+        out.push_str(&format!("sledge_http_requests_total{{}} {}\n", c.requests));
+        out.push_str("# HELP sledge_http_bytes_total Bytes moved on HTTP sockets.\n");
+        out.push_str("# TYPE sledge_http_bytes_total counter\n");
+        for (dir, v) in [("in", c.bytes_in), ("out", c.bytes_out)] {
+            out.push_str(&format!(
+                "sledge_http_bytes_total{{direction=\"{dir}\"}} {v}\n"
+            ));
+        }
     }
 
     // Pool series exist only when the pool subsystem is armed; a disabled
@@ -477,6 +514,12 @@ pub fn render_json(report: &LatencyReport, stats: &StatsSnapshot) -> String {
         out.push_str(&format!("\"{k}\":{v}"));
     }
     out.push('}');
+    if let Some(c) = &report.connections {
+        out.push_str(&format!(
+            ",\"connections\":{{\"accepted\":{},\"closed\":{},\"active\":{},\"shed\":{},\"reaped\":{},\"requests\":{},\"responses\":{},\"bytes_in\":{},\"bytes_out\":{}}}",
+            c.accepted, c.closed, c.active(), c.shed, c.reaped, c.requests, c.responses, c.bytes_in, c.bytes_out,
+        ));
+    }
     if report.pool.capacity > 0 {
         let p = &report.pool;
         out.push_str(&format!(
@@ -565,6 +608,15 @@ pub fn summary_line(report: &LatencyReport, stats: &StatsSnapshot) -> String {
         ms(g.instantiation.quantile(0.99)),
         ms(g.execution.quantile(0.99)),
     );
+    if let Some(c) = &report.connections {
+        line.push_str(&format!(
+            " | conns active={} accepted={} shed={} reqs={}",
+            c.active(),
+            c.accepted,
+            c.shed,
+            c.requests
+        ));
+    }
     if report.pool.capacity > 0 {
         let p = &report.pool;
         line.push_str(&format!(
@@ -636,6 +688,7 @@ mod tests {
             pool: PoolStatsSnapshot::default(),
             admission: None,
             capability: None,
+            connections: None,
         };
         (report, StatsSnapshot::default())
     }
@@ -817,6 +870,48 @@ mod tests {
         assert_eq!(cap.get("rejected").unwrap().as_u64(), Some(2));
         let line = summary_line(&report, &stats);
         assert!(line.contains("cap certified=5 rejected=2"), "{line}");
+    }
+
+    #[test]
+    fn no_http_renders_no_connection_series() {
+        let (report, stats) = sample_report();
+        assert!(report.connections.is_none());
+        let prom = render_prometheus(&report, &stats);
+        assert!(!prom.contains("sledge_connections"));
+        assert!(!prom.contains("sledge_http"));
+        assert!(!render_json(&report, &stats).contains("\"connections\""));
+        assert!(!summary_line(&report, &stats).contains("conns"));
+    }
+
+    #[test]
+    fn http_front_end_renders_connection_counters() {
+        let (mut report, stats) = sample_report();
+        report.connections = Some(ConnSnapshot {
+            accepted: 10,
+            closed: 6,
+            shed: 3,
+            reaped: 1,
+            requests: 25,
+            responses: 24,
+            bytes_in: 4096,
+            bytes_out: 8192,
+        });
+        let prom = render_prometheus(&report, &stats);
+        assert!(prom.contains("sledge_connections_total{event=\"accepted\"} 10"));
+        assert!(prom.contains("sledge_connections_total{event=\"shed\"} 3"));
+        assert!(prom.contains("sledge_connections_total{event=\"reaped\"} 1"));
+        assert!(prom.contains("sledge_connections_active{} 4"));
+        assert!(prom.contains("sledge_http_requests_total{} 25"));
+        assert!(prom.contains("sledge_http_bytes_total{direction=\"in\"} 4096"));
+        assert!(prom.contains("sledge_http_bytes_total{direction=\"out\"} 8192"));
+        let json = render_json(&report, &stats);
+        let doc = crate::json::parse(&json).expect("valid JSON");
+        let c = doc.get("connections").expect("connections object");
+        assert_eq!(c.get("accepted").unwrap().as_u64(), Some(10));
+        assert_eq!(c.get("active").unwrap().as_u64(), Some(4));
+        assert_eq!(c.get("requests").unwrap().as_u64(), Some(25));
+        let line = summary_line(&report, &stats);
+        assert!(line.contains("conns active=4 accepted=10 shed=3"), "{line}");
     }
 
     #[test]

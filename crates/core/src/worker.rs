@@ -56,7 +56,9 @@ impl LocalQueue {
         }
     }
 
-    /// Remove every queued sandbox (force-kill sweeps).
+    /// Remove every queued sandbox (force-kill sweeps). Sandboxes stay
+    /// boxed end-to-end so a drain moves pointers, not multi-KB structs.
+    #[allow(clippy::vec_box)]
     fn drain(&mut self) -> Vec<Box<Sandbox>> {
         match self {
             LocalQueue::Fifo(q) => q.drain(..).collect(),

@@ -1,10 +1,12 @@
 //! Minimal HTTP/1.1 machinery for the Sledge runtime: an incremental
-//! request parser, a response serializer, and a non-blocking connection
-//! state machine used by the listener core.
+//! request parser, a response serializer, and two interchangeable listener
+//! front ends — the production epoll readiness reactor
+//! ([`ReactorServer`]) and the legacy non-blocking scan loop
+//! ([`PollServer`]) — behind a common [`HttpServer`] facade.
 //!
 //! This plays the role of the paper's request-forwarding layer (epoll-based
 //! HTTP intake feeding function instantiation) without any external
-//! dependencies.
+//! dependencies: the epoll syscalls are wrapped directly in [`mod@sys`].
 //!
 //! # Examples
 //!
@@ -27,9 +29,15 @@
 //! ```
 
 mod parse;
+mod reactor;
 mod response;
 mod server;
+pub mod sys;
 
 pub use parse::{HttpError, ParseStatus, Request, RequestParser};
+pub use reactor::ReactorServer;
 pub use response::{Response, StatusCode};
-pub use server::{Connection, ConnectionEvent, PollServer};
+pub use server::{
+    Backend, ConnCounters, ConnId, ConnSnapshot, Connection, ConnectionEvent, HttpServer,
+    PollServer, ServerConfig,
+};
