@@ -41,7 +41,7 @@ use crate::code::{NumBin, NumUn, Op};
 /// [`TranslateOptions`](crate::TranslateOptions)).
 pub const DEFAULT_MAX_CHECK_GAP: u32 = 512;
 
-fn bin_cost(op: NumBin) -> u32 {
+pub(super) fn bin_cost(op: NumBin) -> u32 {
     use NumBin::*;
     match op {
         // Integer divide/remainder: hardware-slow and trap-checked.
@@ -56,7 +56,7 @@ fn bin_cost(op: NumBin) -> u32 {
     }
 }
 
-fn un_cost(op: NumUn) -> u32 {
+pub(super) fn un_cost(op: NumUn) -> u32 {
     use NumUn::*;
     match op {
         // MUST be 0: the optimized translator folds `i32.eqz` into
@@ -116,6 +116,9 @@ pub fn op_cost(op: &Op) -> u32 {
         // carries weight.
         Op::IncI32(..) => bin_cost(NumBin::I32Add),
         Op::Un(u) => un_cost(*u),
+        // Optimizer padding carries the erased op's weight so rewritten
+        // bodies stay fuel-identical to the original.
+        Op::Nop(c) => *c,
     }
 }
 
@@ -177,7 +180,7 @@ impl CostReport {
 /// certificate composes across frames — the callee's final segment plus
 /// the caller's post-call segment would otherwise form an unchecked path
 /// of up to twice the budget.
-fn is_terminator(op: &Op) -> bool {
+pub(super) fn is_terminator(op: &Op) -> bool {
     matches!(
         op,
         Op::Br(_)
@@ -192,7 +195,7 @@ fn is_terminator(op: &Op) -> bool {
     )
 }
 
-fn for_each_target(op: &Op, mut f: impl FnMut(u32)) {
+pub(super) fn for_each_target(op: &Op, mut f: impl FnMut(u32)) {
     match op {
         Op::Br(b) | Op::BrIf(b) | Op::BrIfZ(b) => f(b.target),
         Op::BrTable(p) => {
@@ -215,8 +218,13 @@ struct Chunk {
 
 /// Instrument one function body: partition into basic blocks, split blocks
 /// over `budget`, insert [`Op::Fuel`] charges, renumber branch targets.
-/// Returns the rewritten body and its certificate (with `name` unset).
-pub(crate) fn instrument(code: &[Op], budget: u32) -> (Vec<Op>, FuncCost) {
+/// Returns the rewritten body, its certificate (with `name` unset), and
+/// the position map (pre-instrumentation pc → the op's own post-
+/// instrumentation index) so callers can relocate per-pc facts — the
+/// optimizer's elision claims — into the instrumented body. Branch
+/// targets are remapped internally via a separate leader→entry map, so
+/// a branch to a charged block still lands on its `Op::Fuel` header.
+pub(crate) fn instrument(code: &[Op], budget: u32) -> (Vec<Op>, FuncCost, Vec<u32>) {
     let budget = budget.max(1) as u64;
     let n = code.len();
 
@@ -280,6 +288,7 @@ pub(crate) fn instrument(code: &[Op], budget: u32) -> (Vec<Op>, FuncCost) {
     // Emit, recording where each old pc (in particular each leader) lands.
     let mut out: Vec<Op> = Vec::with_capacity(n + chunks.len());
     let mut map = vec![0u32; n];
+    let mut pos = vec![0u32; n];
     let mut checks = 0u32;
     for ch in &chunks {
         let entry = out.len() as u32;
@@ -293,6 +302,7 @@ pub(crate) fn instrument(code: &[Op], budget: u32) -> (Vec<Op>, FuncCost) {
             } else {
                 out.len() as u32
             };
+            pos[pc] = out.len() as u32;
             out.push(code[pc].clone());
         }
     }
@@ -328,5 +338,5 @@ pub(crate) fn instrument(code: &[Op], budget: u32) -> (Vec<Op>, FuncCost) {
         max_loop_gap: gap_of(&in_loop),
         max_host_gap: gap_of(&|c: &Chunk| c.host),
     };
-    (out, stats)
+    (out, stats, pos)
 }

@@ -27,13 +27,16 @@
 pub mod cost;
 pub mod effects;
 mod lint;
+pub mod opt;
 mod range;
 mod stack;
 
 use crate::code::{CompiledModule, Op};
 use cost::CostReport;
 use effects::{EffectReport, WriteFootprint};
+use opt::OptReport;
 use std::fmt;
+use std::time::{Duration, Instant};
 
 /// How serious a [`Diagnostic`] is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -134,6 +137,12 @@ pub struct AnalysisReport {
     /// write footprints, closed over the call graph. `None` only for
     /// hand-built reports; translation always produces one.
     pub effects: Option<EffectReport>,
+    /// Optimization certificate: what the translate-time optimizer did
+    /// and the translation-validation claims backing it. `None` when the
+    /// module was translated with optimization off.
+    pub opt: Option<OptReport>,
+    /// Wall-clock duration of each analysis pass, in pipeline order.
+    pub timings: Vec<(&'static str, Duration)>,
 }
 
 impl Default for AnalysisReport {
@@ -146,6 +155,8 @@ impl Default for AnalysisReport {
             elided_sites: 0,
             cost: None,
             effects: None,
+            opt: None,
+            timings: Vec::new(),
         }
     }
 }
@@ -291,6 +302,24 @@ impl AnalysisReport {
                 c.max_gap, c.max_check_gap, c.checks, c.splits
             );
         }
+        if let Some(o) = &self.opt {
+            let _ = writeln!(
+                out,
+                "  optimizer: {} -> {} ops ({} folds, {} branches, {} dead, {} fused), \
+                 {} checks elided, {} fuel sites merged",
+                o.ops_before,
+                o.ops_after,
+                o.folded,
+                o.branches_simplified,
+                o.dce_ops,
+                o.fused,
+                o.checks_elided,
+                o.fuel_sites_merged
+            );
+        }
+        for (pass, dur) in &self.timings {
+            let _ = writeln!(out, "  pass {pass:<10} {:>9.1?}", dur);
+        }
         for (i, f) in self.funcs.iter().enumerate() {
             let name = f.name.as_deref().unwrap_or("<anon>");
             let _ = write!(
@@ -314,32 +343,74 @@ impl AnalysisReport {
     }
 }
 
-/// Analyze `m` in place: compute the report, rewrite proven-safe memory
-/// accesses into their unchecked forms (`code_static`), instrument both
-/// bodies with exact per-block fuel charges bounded by `max_check_gap`,
-/// and attach the report to the module. Called once, at the end of
-/// translation.
+/// Analyze `m` in place: compute the report, optionally optimize every
+/// body (preserving the originals in `code_unopt` for certificate-
+/// failure fallback), rewrite proven-safe memory accesses into their
+/// unchecked forms (`code_static`), instrument both bodies with exact
+/// per-block fuel charges bounded by `max_check_gap`, and attach the
+/// report to the module. Called once, at the end of translation.
 ///
 /// Note: `Diagnostic::pc` and elision-site positions refer to the
-/// *pre-instrumentation* code — the flat code as translated, before
-/// `Op::Fuel` insertion shifted positions.
-pub(crate) fn analyze(m: &mut CompiledModule, max_check_gap: u32) {
+/// *pre-instrumentation* code — the flat code after optimization but
+/// before `Op::Fuel` insertion shifted positions.
+pub(crate) fn analyze(m: &mut CompiledModule, max_check_gap: u32, optimize: bool) {
     let mut report = AnalysisReport::default();
+    let mut timings: Vec<(&'static str, Duration)> = Vec::new();
 
     // Per-function operand heights; needed by both the verifier and the
-    // frame-size summaries.
+    // frame-size summaries. Computed on the pre-optimization code: the
+    // optimizer only ever lowers operand heights, so the stored bound
+    // stays a sound (conservative) certificate for the shipped body.
+    let t = Instant::now();
     let heights = stack::operand_heights(m);
 
     // Call graph, recursion, worst-case bound.
     let graph = stack::CallGraph::build(m);
     report.stack_bound = graph.stack_bound(m, &heights);
+    timings.push(("stack", t.elapsed()));
 
-    // Structural lints: entry `unreachable`, dead functions.
+    // Lints on the untouched translation: entry `unreachable`, dead
+    // functions, statically-dead branches, never-read locals. Running
+    // before optimization keeps the findings about what the guest
+    // author wrote, not what the optimizer left behind.
+    let t = Instant::now();
     let reachable = graph.reachable_set();
     lint::structural(m, &reachable, &mut report.diagnostics);
+    lint::value_lints(m, &mut report.diagnostics);
+    timings.push(("lint", t.elapsed()));
+
+    // Optimizer: rewrite each body in place, preserving the original in
+    // `code_unopt` so a failed certificate can fall back losslessly.
+    let t = Instant::now();
+    let mut opt_funcs: Vec<opt::OptFuncReport> = Vec::new();
+    let arity = optimize.then(|| opt::Arity::build(m));
+    if let Some(ar) = &arity {
+        for func in m.funcs.iter_mut() {
+            let ops_before = func.code.len() as u32;
+            func.code_unopt = Some(func.code.clone());
+            let stats = opt::optimize_func(
+                &mut func.code,
+                ar,
+                func.nparams,
+                func.nlocals,
+                func.has_result,
+            );
+            opt_funcs.push(opt::OptFuncReport {
+                ops_before,
+                ops_after: func.code.len() as u32,
+                folded: stats.folded,
+                branches_simplified: stats.branches,
+                dce_ops: stats.dce_ops,
+                fused: stats.fused,
+                ..Default::default()
+            });
+        }
+    }
+    timings.push(("opt", t.elapsed()));
 
     // Interval analysis per function: elision proofs, direct store
     // footprints, value lints.
+    let t = Instant::now();
     let mut elisions: Vec<Vec<u32>> = Vec::with_capacity(m.funcs.len());
     let mut footprints: Vec<WriteFootprint> = Vec::with_capacity(m.funcs.len());
     for (fidx, func) in m.funcs.iter().enumerate() {
@@ -357,16 +428,22 @@ pub(crate) fn analyze(m: &mut CompiledModule, max_check_gap: u32) {
         elisions.push(r.proven);
         footprints.push(r.footprint);
     }
+    timings.push(("range", t.elapsed()));
 
     // Effect certificate + effect-aware lints, before the cost pass so lint
     // pcs refer to pre-instrumentation code like every other diagnostic.
+    // The call graph predates optimization: a superset of the optimized
+    // graph, so the certificate stays a sound over-approximation.
+    let t = Instant::now();
     let effects = effects::compute(m, &graph, &footprints);
     effects::lints(m, &effects, &reachable, &mut report.diagnostics);
     report.effects = Some(effects);
+    timings.push(("effects", t.elapsed()));
 
     // Rewrite: a per-function shadow body in which proven sites are
     // unchecked. Identical length and branch targets — only the flagged
     // ops change, so `code_static` is a drop-in replacement.
+    let t = Instant::now();
     for (func, pcs) in m.funcs.iter_mut().zip(&elisions) {
         if pcs.is_empty() {
             continue;
@@ -384,9 +461,27 @@ pub(crate) fn analyze(m: &mut CompiledModule, max_check_gap: u32) {
         func.code_static = Some(code);
     }
 
+    // Dominating-check elimination: accesses covered on every path by an
+    // earlier check (or by the minimum memory size) drop their bounds
+    // check in `code_static`, each conversion backed by an `OptClaim`.
+    if let Some(ar) = &arity {
+        let min_bytes = m.memory.map(|s| s.min_pages as u64 * 65536).unwrap_or(0);
+        for (fidx, func) in m.funcs.iter_mut().enumerate() {
+            let had_static = func.code_static.is_some();
+            let mut cs = func.code_static.take().unwrap_or_else(|| func.code.clone());
+            let claims = opt::elide_dominated(&mut cs, min_bytes, ar);
+            if had_static || !claims.is_empty() {
+                func.code_static = Some(cs);
+            }
+            opt_funcs[fidx].claims = claims;
+        }
+    }
+    timings.push(("elide", t.elapsed()));
+
     // Cost pass, last: insert exact per-segment `Op::Fuel` charges (both
     // bodies — identical weights keep them aligned) and certify the max
     // check-free gap.
+    let t = Instant::now();
     let mut cost = CostReport {
         max_check_gap,
         funcs: Vec::with_capacity(m.funcs.len()),
@@ -394,10 +489,10 @@ pub(crate) fn analyze(m: &mut CompiledModule, max_check_gap: u32) {
         checks: 0,
         splits: 0,
     };
-    for func in m.funcs.iter_mut() {
-        let (code, mut fc) = cost::instrument(&func.code, max_check_gap);
+    for (fidx, func) in m.funcs.iter_mut().enumerate() {
+        let (code, mut fc, _) = cost::instrument(&func.code, max_check_gap);
         if let Some(cs) = func.code_static.take() {
-            let (code_static, fc2) = cost::instrument(&cs, max_check_gap);
+            let (code_static, fc2, pos) = cost::instrument(&cs, max_check_gap);
             debug_assert_eq!(
                 code.len(),
                 code_static.len(),
@@ -405,6 +500,24 @@ pub(crate) fn analyze(m: &mut CompiledModule, max_check_gap: u32) {
             );
             debug_assert_eq!(fc, fc2);
             func.code_static = Some(code_static);
+            // Relocate the elision claims onto post-instrumentation pcs.
+            if let Some(fr) = opt_funcs.get_mut(fidx) {
+                for claim in &mut fr.claims {
+                    claim.pc = pos[claim.pc as usize];
+                }
+            }
+        }
+        if let Some(fr) = opt_funcs.get_mut(fidx) {
+            // Fuel sites the unoptimized body would have carried, for
+            // the merged-site accounting (transient instrumentation of
+            // the preserved original).
+            let before = func
+                .code_unopt
+                .as_ref()
+                .map(|orig| cost::instrument(orig, max_check_gap).1.checks)
+                .unwrap_or(fc.checks);
+            fr.fuel_sites_before = before;
+            fr.fuel_sites_after = fc.checks;
         }
         func.code = code;
         fc.name = func.name.clone();
@@ -414,6 +527,32 @@ pub(crate) fn analyze(m: &mut CompiledModule, max_check_gap: u32) {
         cost.funcs.push(fc);
     }
     report.cost = Some(cost);
+    timings.push(("cost", t.elapsed()));
+
+    if arity.is_some() {
+        let mut o = OptReport::default();
+        for f in &opt_funcs {
+            o.ops_before += f.ops_before;
+            o.ops_after += f.ops_after;
+            o.folded += f.folded;
+            o.branches_simplified += f.branches_simplified;
+            o.dce_ops += f.dce_ops;
+            o.fused += f.fused;
+            o.checks_elided += f.claims.len() as u32;
+            o.fuel_sites_merged += f.fuel_sites_before.saturating_sub(f.fuel_sites_after);
+        }
+        o.funcs = opt_funcs;
+        report.opt = Some(o);
+    }
+    report.timings = timings;
 
     m.analysis = report;
+
+    // In debug builds, an invalid certificate out of our own pipeline is
+    // a bug — fail loudly rather than relying on the registry fallback.
+    if cfg!(debug_assertions) && m.analysis.opt.is_some() {
+        if let Err(e) = opt::validate(m) {
+            panic!("optimizer produced an invalid certificate: {e}");
+        }
+    }
 }

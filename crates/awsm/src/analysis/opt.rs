@@ -1,0 +1,1620 @@
+//! Translate-time dataflow optimizer with translation-validation
+//! certificates.
+//!
+//! The pipeline runs over the flat pre-resolved IR *before* fuel
+//! instrumentation and rewrites each body in place:
+//!
+//! 1. **Sparse constant folding/propagation** through locals
+//!    ([`const_prop_round`]): a block-local abstract stack plus a
+//!    per-local constant lattice, iterated to a fixpoint over the same
+//!    basic-block partition the cost pass uses. Folds only fire when
+//!    [`crate::numeric`] evaluates the op without trapping, so a window
+//!    that would trap is left untouched.
+//! 2. **Constant-condition branch simplification**: `BrIf`/`BrIfZ` (and
+//!    `BrTable`) whose operand is a known constant produced by the
+//!    immediately preceding op become an unconditional `Br` or vanish.
+//! 3. **Dead-code elimination** ([`dce`]): ops unreached by the stack
+//!    height flow become `Nop(0)` and are later compacted away.
+//! 4. **Fusion** ([`fuse`]): the classic super-instruction windows
+//!    (`Bin2LS`, `IncI32`, `Bin2L`, `LoadL`, `BinRC`, `BinRL`,
+//!    `i32.eqz`+`BrIf`) are re-formed on the optimized stream.
+//! 5. **Dominating-check elimination** ([`elide_dominated`]): a forward
+//!    must-analysis over memory-length facts converts bounds-checked
+//!    accesses that are covered on every path into their `*Nc` forms,
+//!    emitting one [`OptClaim`] per conversion.
+//!
+//! Every rewrite is **fuel-exact**: erased ops leave behind an
+//! [`Op::Nop`] carrying the erased weight (zero-weight pads are removed
+//! by compaction), so the naive tier charges the same fuel on the
+//! optimized body as on the original along every executed path, and the
+//! cost certificate is re-derived from the final stream rather than
+//! patched.
+//!
+//! [`validate`] is the translation-validation half: an independent pass
+//! that re-checks stack-effect consistency, reconstructs the fuel
+//! instrumentation from scratch, re-derives coverage for every elision
+//! claim, and cross-checks the `code`/`code_static` alignment. The
+//! registry only accepts an optimized module when `validate` passes;
+//! otherwise [`revert_optimizations`] restores the preserved
+//! unoptimized bodies and re-runs the analysis with optimization off.
+
+use std::collections::HashMap;
+
+use super::cost;
+use crate::code::{CompiledModule, NumBin, NumUn, Op};
+
+// ---------------------------------------------------------------------------
+// Certificate types
+// ---------------------------------------------------------------------------
+
+/// Why an elided bounds check is redundant: the dominating facts prove
+/// `mem_len >= end` (absolute) or `mem_len >= value(local) + end`
+/// (relative to a local still holding the same value).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClaimBase {
+    /// The access ends at a constant address: `mem_len >= end` held on
+    /// every path reaching the site.
+    Const { end: u64 },
+    /// The access address is `local + (end - len)`: a dominating access
+    /// through the same (unwritten) local proved `mem_len >= local + end`.
+    Local { local: u32, end: u64 },
+}
+
+/// One elided bounds check in `code_static`, keyed by its
+/// post-instrumentation pc.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OptClaim {
+    /// Pc of the `*Nc` op in the shipped `code_static`.
+    pub pc: u32,
+    /// The dominating fact that covers it.
+    pub base: ClaimBase,
+}
+
+/// Per-function slice of the optimization certificate.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct OptFuncReport {
+    /// Flat ops before optimization (pre-instrumentation).
+    pub ops_before: u32,
+    /// Flat ops after optimization (pre-instrumentation).
+    pub ops_after: u32,
+    /// Constant folds applied (including `local.get` materializations).
+    pub folded: u32,
+    /// Constant-condition branches simplified.
+    pub branches_simplified: u32,
+    /// Dead ops removed.
+    pub dce_ops: u32,
+    /// Super-instruction windows fused.
+    pub fused: u32,
+    /// Dominated bounds checks elided from `code_static`.
+    pub claims: Vec<OptClaim>,
+    /// `Op::Fuel` sites the unoptimized body would carry.
+    pub fuel_sites_before: u32,
+    /// `Op::Fuel` sites the optimized body carries.
+    pub fuel_sites_after: u32,
+}
+
+/// Module-level optimization certificate, stored in
+/// [`AnalysisReport::opt`](super::AnalysisReport::opt).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct OptReport {
+    /// One entry per local function, in index order.
+    pub funcs: Vec<OptFuncReport>,
+    /// Sum of [`OptFuncReport::ops_before`].
+    pub ops_before: u32,
+    /// Sum of [`OptFuncReport::ops_after`].
+    pub ops_after: u32,
+    /// Total constant folds.
+    pub folded: u32,
+    /// Total branch simplifications.
+    pub branches_simplified: u32,
+    /// Total dead ops removed.
+    pub dce_ops: u32,
+    /// Total fusion windows formed.
+    pub fused: u32,
+    /// Total dominated bounds checks elided.
+    pub checks_elided: u32,
+    /// Total fuel charge sites merged away relative to the unoptimized
+    /// instrumentation.
+    pub fuel_sites_merged: u32,
+}
+
+// ---------------------------------------------------------------------------
+// Shared structural helpers
+// ---------------------------------------------------------------------------
+
+/// Call arities snapshotted from the module so the optimizer can walk
+/// bodies while holding a mutable borrow on them.
+pub(super) struct Arity {
+    funcs: Vec<(u32, bool)>,
+    hosts: Vec<(u32, bool)>,
+    types: HashMap<u32, (u32, bool)>,
+}
+
+impl Arity {
+    pub(super) fn build(m: &CompiledModule) -> Arity {
+        let mut types = HashMap::new();
+        for f in &m.funcs {
+            types.insert(f.type_id, (f.nparams, f.has_result));
+        }
+        for h in &m.host_funcs {
+            types.insert(h.type_id, (h.nparams, h.has_result));
+        }
+        Arity {
+            funcs: m.funcs.iter().map(|f| (f.nparams, f.has_result)).collect(),
+            hosts: m
+                .host_funcs
+                .iter()
+                .map(|h| (h.nparams, h.has_result))
+                .collect(),
+            types,
+        }
+    }
+}
+
+/// `(pops, pushes)` of a non-control op. Control transfers and calls are
+/// handled explicitly by the walkers.
+fn stack_effect(op: &Op) -> (u32, u32) {
+    match op {
+        Op::Drop | Op::LocalSet(_) | Op::GlobalSet(_) => (1, 0),
+        Op::Select => (3, 1),
+        Op::LocalGet(_)
+        | Op::GlobalGet(_)
+        | Op::MemorySize
+        | Op::Const(_)
+        | Op::Bin2L(..)
+        | Op::LoadL(..)
+        | Op::LoadLNc(..) => (0, 1),
+        Op::LocalTee(_)
+        | Op::Load(..)
+        | Op::LoadNc(..)
+        | Op::MemoryGrow
+        | Op::Un(_)
+        | Op::BinRL(..)
+        | Op::BinRC(..) => (1, 1),
+        Op::Store(..) | Op::StoreNc(..) => (2, 0),
+        Op::Bin(_) => (2, 1),
+        Op::Bin2LS(..) | Op::IncI32(..) | Op::Fuel(_) | Op::Nop(_) => (0, 0),
+        Op::Unreachable
+        | Op::Br(_)
+        | Op::BrIf(_)
+        | Op::BrIfZ(_)
+        | Op::BrTable(_)
+        | Op::Return
+        | Op::Call(_)
+        | Op::CallHost(_)
+        | Op::CallIndirect(_) => (0, 0),
+    }
+}
+
+/// Basic-block leaders: entry, branch targets, and the op after any
+/// terminator — the same partition [`cost::instrument`] charges over.
+fn leaders(code: &[Op]) -> Vec<bool> {
+    let n = code.len();
+    let mut lead = vec![false; n];
+    if n > 0 {
+        lead[0] = true;
+    }
+    for (pc, op) in code.iter().enumerate() {
+        if cost::is_terminator(op) && pc + 1 < n {
+            lead[pc + 1] = true;
+        }
+        cost::for_each_target(op, |t| lead[t as usize] = true);
+    }
+    lead
+}
+
+fn remap_targets(code: &mut [Op], map: &[u32]) {
+    for op in code {
+        match op {
+            Op::Br(b) | Op::BrIf(b) | Op::BrIfZ(b) => b.target = map[b.target as usize],
+            Op::BrTable(p) => {
+                for t in &mut p.targets {
+                    t.target = map[t.target as usize];
+                }
+                p.default.target = map[p.default.target as usize];
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Fallible operand-height dataflow, mirroring the trusted computation
+/// in `analysis::stack` but reporting conflicts instead of asserting.
+/// Returns the height *entering* each pc (None = unreachable) and the
+/// maximum height observed.
+fn flow_heights(
+    code: &[Op],
+    ar: &Arity,
+    has_result: bool,
+) -> Result<(Vec<Option<u32>>, u32), String> {
+    let n = code.len();
+    let mut heights: Vec<Option<u32>> = vec![None; n];
+    let mut hmax = 0u32;
+    if n == 0 {
+        return Ok((heights, 0));
+    }
+    let mut work: Vec<usize> = Vec::new();
+    let flow = |pc: usize,
+                h: u32,
+                heights: &mut Vec<Option<u32>>,
+                work: &mut Vec<usize>|
+     -> Result<(), String> {
+        if pc >= n {
+            return Ok(());
+        }
+        match heights[pc] {
+            Some(prev) if prev != h => {
+                Err(format!("operand height conflict at pc {pc}: {prev} vs {h}"))
+            }
+            Some(_) => Ok(()),
+            None => {
+                heights[pc] = Some(h);
+                work.push(pc);
+                Ok(())
+            }
+        }
+    };
+    flow(0, 0, &mut heights, &mut work)?;
+    while let Some(pc) = work.pop() {
+        let h = heights[pc].unwrap();
+        hmax = hmax.max(h);
+        let under = |need: u32| -> Result<(), String> {
+            if h < need {
+                Err(format!(
+                    "operand underflow at pc {pc}: have {h}, need {need}"
+                ))
+            } else {
+                Ok(())
+            }
+        };
+        match &code[pc] {
+            Op::Unreachable => {}
+            Op::Return => under(has_result as u32)?,
+            Op::Br(b) => {
+                flow(
+                    b.target as usize,
+                    b.height + b.keep as u32,
+                    &mut heights,
+                    &mut work,
+                )?;
+            }
+            Op::BrIf(b) | Op::BrIfZ(b) => {
+                under(1)?;
+                flow(
+                    b.target as usize,
+                    b.height + b.keep as u32,
+                    &mut heights,
+                    &mut work,
+                )?;
+                flow(pc + 1, h - 1, &mut heights, &mut work)?;
+            }
+            Op::BrTable(p) => {
+                under(1)?;
+                for t in p.targets.iter().chain(std::iter::once(&p.default)) {
+                    flow(
+                        t.target as usize,
+                        t.height + t.keep as u32,
+                        &mut heights,
+                        &mut work,
+                    )?;
+                }
+            }
+            Op::Call(f) => {
+                let (np, res) = *ar
+                    .funcs
+                    .get(*f as usize)
+                    .ok_or_else(|| format!("call to unknown function {f}"))?;
+                under(np)?;
+                flow(pc + 1, h - np + res as u32, &mut heights, &mut work)?;
+            }
+            Op::CallHost(hf) => {
+                let (np, res) = *ar
+                    .hosts
+                    .get(*hf as usize)
+                    .ok_or_else(|| format!("call to unknown host function {hf}"))?;
+                under(np)?;
+                flow(pc + 1, h - np + res as u32, &mut heights, &mut work)?;
+            }
+            Op::CallIndirect(tid) => {
+                under(1)?;
+                // Unknown type id: no compatible callee can exist, the
+                // call traps — no fallthrough edge (mirrors `stack.rs`).
+                if let Some(&(np, res)) = ar.types.get(tid) {
+                    under(np + 1)?;
+                    flow(pc + 1, h - np - 1 + res as u32, &mut heights, &mut work)?;
+                }
+            }
+            op => {
+                let (pops, pushes) = stack_effect(op);
+                under(pops)?;
+                let after = h - pops + pushes;
+                hmax = hmax.max(after);
+                flow(pc + 1, after, &mut heights, &mut work)?;
+            }
+        }
+    }
+    Ok((heights, hmax))
+}
+
+// ---------------------------------------------------------------------------
+// Sparse constant propagation
+// ---------------------------------------------------------------------------
+
+/// Per-local constant lattice. Unvisited blocks are absent from the
+/// state map entirely, so no bottom element is needed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LV {
+    K(u64),
+    Top,
+}
+
+impl LV {
+    fn join(self, other: LV) -> LV {
+        match (self, other) {
+            (LV::K(a), LV::K(b)) if a == b => LV::K(a),
+            _ => LV::Top,
+        }
+    }
+    fn as_k(self) -> Option<u64> {
+        match self {
+            LV::K(c) => Some(c),
+            LV::Top => None,
+        }
+    }
+}
+
+/// Abstract stack slot: a possibly-known value, plus the pc of the
+/// `Const` op that pushed it (when that op is still in place and inside
+/// the current block), so rewrites can erase the producer.
+#[derive(Debug, Clone, Copy)]
+struct SV {
+    k: Option<u64>,
+    cpc: Option<usize>,
+}
+
+impl SV {
+    const UNKNOWN: SV = SV { k: None, cpc: None };
+}
+
+#[derive(Default)]
+struct RoundStats {
+    folded: u32,
+    branches: u32,
+}
+
+fn pop(stack: &mut Vec<SV>) -> SV {
+    stack.pop().unwrap_or(SV::UNKNOWN)
+}
+
+/// Walk one basic block from `start`, transferring `locals` through it.
+/// In rewrite mode, apply fuel-exact strength reductions in place.
+/// Returns the block starts this block flows into (ignored in rewrite
+/// mode).
+fn walk_block(
+    code: &mut [Op],
+    start: usize,
+    lead: &[bool],
+    locals: &mut [LV],
+    rewrite: bool,
+    stats: &mut RoundStats,
+    ar: &Arity,
+) -> Vec<usize> {
+    let n = code.len();
+    let mut stack: Vec<SV> = Vec::new();
+    let mut pc = start;
+    loop {
+        let op = code[pc].clone();
+        match op {
+            // -- terminators: emit edges and stop -------------------------
+            Op::Unreachable | Op::Return => return Vec::new(),
+            Op::Br(b) => return vec![b.target as usize],
+            Op::BrIf(ref b) | Op::BrIfZ(ref b) => {
+                let c = pop(&mut stack);
+                if rewrite && pc >= 1 && c.cpc == Some(pc - 1) {
+                    if let Some(cv) = c.k {
+                        let taken = match op {
+                            Op::BrIf(_) => cv as u32 != 0,
+                            _ => cv as u32 == 0,
+                        };
+                        code[pc - 1] = Op::Nop(0);
+                        // `BrIf` weighs 1; the untaken form keeps the
+                        // charge on a live pad, the taken form moves it
+                        // onto the equal-weight `Br`.
+                        code[pc] = if taken { Op::Br(b.clone()) } else { Op::Nop(1) };
+                        stats.branches += 1;
+                    }
+                }
+                let mut edges = vec![b.target as usize];
+                if pc + 1 < n {
+                    edges.push(pc + 1);
+                }
+                return edges;
+            }
+            Op::BrTable(ref p) => {
+                let c = pop(&mut stack);
+                if rewrite && pc >= 1 && c.cpc == Some(pc - 1) {
+                    if let Some(cv) = c.k {
+                        let chosen = p
+                            .targets
+                            .get(cv as u32 as usize)
+                            .unwrap_or(&p.default)
+                            .clone();
+                        // `Const`(0) + `BrTable`(2) becomes
+                        // `Nop`(1) + `Br`(1): totals preserved.
+                        code[pc - 1] = Op::Nop(1);
+                        code[pc] = Op::Br(chosen);
+                        stats.branches += 1;
+                    }
+                }
+                let mut edges: Vec<usize> = p.targets.iter().map(|t| t.target as usize).collect();
+                edges.push(p.default.target as usize);
+                return edges;
+            }
+            Op::Call(f) => {
+                let (np, res) = ar.funcs[f as usize];
+                for _ in 0..np {
+                    pop(&mut stack);
+                }
+                let _ = res;
+                return if pc + 1 < n { vec![pc + 1] } else { Vec::new() };
+            }
+            Op::CallHost(hf) => {
+                let (np, _) = ar.hosts[hf as usize];
+                for _ in 0..np {
+                    pop(&mut stack);
+                }
+                return if pc + 1 < n { vec![pc + 1] } else { Vec::new() };
+            }
+            Op::CallIndirect(tid) => {
+                pop(&mut stack);
+                if let Some(&(np, _)) = ar.types.get(&tid) {
+                    for _ in 0..np {
+                        pop(&mut stack);
+                    }
+                    return if pc + 1 < n { vec![pc + 1] } else { Vec::new() };
+                }
+                // Unknown type: the call can only trap.
+                return Vec::new();
+            }
+
+            // -- straight-line transfer ----------------------------------
+            Op::Const(c) => stack.push(SV {
+                k: Some(c),
+                cpc: Some(pc),
+            }),
+            Op::LocalGet(l) => {
+                let known = locals[l as usize].as_k();
+                if rewrite {
+                    if let Some(c) = known {
+                        // Both ops weigh 0; the materialized constant
+                        // becomes an erasable producer for later folds.
+                        code[pc] = Op::Const(c);
+                        stats.folded += 1;
+                        stack.push(SV {
+                            k: Some(c),
+                            cpc: Some(pc),
+                        });
+                    } else {
+                        stack.push(SV::UNKNOWN);
+                    }
+                } else {
+                    stack.push(SV {
+                        k: known,
+                        cpc: None,
+                    });
+                }
+            }
+            Op::LocalSet(l) => {
+                let v = pop(&mut stack);
+                locals[l as usize] = v.k.map(LV::K).unwrap_or(LV::Top);
+            }
+            Op::LocalTee(l) => {
+                let v = pop(&mut stack);
+                locals[l as usize] = v.k.map(LV::K).unwrap_or(LV::Top);
+                // The value survives but its producer no longer feeds
+                // the top of stack exclusively; drop the erase handle.
+                stack.push(SV { k: v.k, cpc: None });
+            }
+            Op::Drop => {
+                let v = pop(&mut stack);
+                if rewrite && pc >= 1 && v.cpc == Some(pc - 1) {
+                    code[pc - 1] = Op::Nop(0);
+                    code[pc] = Op::Nop(0);
+                    stats.folded += 1;
+                }
+            }
+            Op::Select => {
+                pop(&mut stack);
+                pop(&mut stack);
+                pop(&mut stack);
+                stack.push(SV::UNKNOWN);
+            }
+            Op::GlobalGet(_) | Op::MemorySize => stack.push(SV::UNKNOWN),
+            Op::GlobalSet(_) => {
+                pop(&mut stack);
+            }
+            Op::Load(..) | Op::LoadNc(..) | Op::MemoryGrow => {
+                pop(&mut stack);
+                stack.push(SV::UNKNOWN);
+            }
+            Op::LoadL(..) | Op::LoadLNc(..) => stack.push(SV::UNKNOWN),
+            Op::Store(..) | Op::StoreNc(..) => {
+                pop(&mut stack);
+                pop(&mut stack);
+            }
+            Op::Bin(b) => {
+                let y = pop(&mut stack);
+                let x = pop(&mut stack);
+                let mut out = SV::UNKNOWN;
+                if let (Some(xv), Some(yv)) = (x.k, y.k) {
+                    if let Ok(r) = crate::numeric::bin(b, xv, yv) {
+                        if rewrite && pc >= 2 && y.cpc == Some(pc - 1) && x.cpc == Some(pc - 2) {
+                            code[pc - 2] = Op::Nop(0);
+                            code[pc - 1] = Op::Nop(cost::bin_cost(b));
+                            code[pc] = Op::Const(r);
+                            stats.folded += 1;
+                            out = SV {
+                                k: Some(r),
+                                cpc: Some(pc),
+                            };
+                        } else {
+                            out = SV {
+                                k: Some(r),
+                                cpc: None,
+                            };
+                        }
+                    }
+                }
+                stack.push(out);
+            }
+            Op::Un(u) => {
+                let x = pop(&mut stack);
+                let mut out = SV::UNKNOWN;
+                if let Some(xv) = x.k {
+                    if let Ok(r) = crate::numeric::un(u, xv) {
+                        if rewrite && pc >= 1 && x.cpc == Some(pc - 1) {
+                            code[pc - 1] = Op::Nop(cost::un_cost(u));
+                            code[pc] = Op::Const(r);
+                            stats.folded += 1;
+                            out = SV {
+                                k: Some(r),
+                                cpc: Some(pc),
+                            };
+                        } else {
+                            out = SV {
+                                k: Some(r),
+                                cpc: None,
+                            };
+                        }
+                    }
+                }
+                stack.push(out);
+            }
+            Op::BinRC(b, c) => {
+                let x = pop(&mut stack);
+                let mut out = SV::UNKNOWN;
+                if let Some(xv) = x.k {
+                    if let Ok(r) = crate::numeric::bin(b, xv, c) {
+                        if rewrite && pc >= 1 && x.cpc == Some(pc - 1) {
+                            code[pc - 1] = Op::Nop(cost::bin_cost(b));
+                            code[pc] = Op::Const(r);
+                            stats.folded += 1;
+                            out = SV {
+                                k: Some(r),
+                                cpc: Some(pc),
+                            };
+                        } else {
+                            out = SV {
+                                k: Some(r),
+                                cpc: None,
+                            };
+                        }
+                    }
+                }
+                stack.push(out);
+            }
+            Op::BinRL(b, l) => {
+                let x = pop(&mut stack);
+                let mut out = SV::UNKNOWN;
+                if let (Some(xv), Some(lv)) = (x.k, locals[l as usize].as_k()) {
+                    if let Ok(r) = crate::numeric::bin(b, xv, lv) {
+                        if rewrite && pc >= 1 && x.cpc == Some(pc - 1) {
+                            code[pc - 1] = Op::Nop(cost::bin_cost(b));
+                            code[pc] = Op::Const(r);
+                            stats.folded += 1;
+                            out = SV {
+                                k: Some(r),
+                                cpc: Some(pc),
+                            };
+                        } else {
+                            out = SV {
+                                k: Some(r),
+                                cpc: None,
+                            };
+                        }
+                    }
+                }
+                stack.push(out);
+            }
+            Op::Bin2L(b, la, lb) => {
+                let mut out = SV::UNKNOWN;
+                if let (Some(a), Some(bb)) =
+                    (locals[la as usize].as_k(), locals[lb as usize].as_k())
+                {
+                    if let Ok(r) = crate::numeric::bin(b, a, bb) {
+                        // No cost-preserving single-slot rewrite exists
+                        // (`Bin2L` carries the bin weight); fold the
+                        // lattice only.
+                        out = SV {
+                            k: Some(r),
+                            cpc: None,
+                        };
+                    }
+                }
+                stack.push(out);
+            }
+            Op::Bin2LS(b, la, lb, d) => {
+                let mut v = LV::Top;
+                if let (Some(a), Some(bb)) =
+                    (locals[la as usize].as_k(), locals[lb as usize].as_k())
+                {
+                    if let Ok(r) = crate::numeric::bin(b, a, bb) {
+                        v = LV::K(r);
+                    }
+                }
+                locals[d as usize] = v;
+            }
+            Op::IncI32(l, delta) => {
+                locals[l as usize] = match locals[l as usize] {
+                    LV::K(v) => LV::K((v as u32).wrapping_add(delta as u32) as u64),
+                    LV::Top => LV::Top,
+                };
+            }
+            Op::Fuel(_) | Op::Nop(_) => {}
+        }
+        // Straight-line op: stop at block boundaries.
+        if pc + 1 >= n {
+            return Vec::new();
+        }
+        if lead[pc + 1] {
+            return vec![pc + 1];
+        }
+        pc += 1;
+    }
+}
+
+/// One round of constant propagation: a fixpoint over per-block local
+/// states, then a pc-ordered rewrite sweep over the reachable blocks
+/// using the converged states. Returns `(folds, branches_simplified)`.
+fn const_prop_round(code: &mut [Op], ar: &Arity, nparams: u32, nlocals: u32) -> (u32, u32) {
+    let n = code.len();
+    if n == 0 {
+        return (0, 0);
+    }
+    let lead = leaders(code);
+    let mut entry = vec![LV::Top; nparams as usize];
+    // Declared locals are zero-initialized by the engine.
+    entry.resize(nlocals as usize, LV::K(0));
+
+    let mut states: HashMap<usize, Vec<LV>> = HashMap::new();
+    let mut work = vec![0usize];
+    states.insert(0, entry);
+    let mut scratch = RoundStats::default();
+    while let Some(b) = work.pop() {
+        let mut locals = states[&b].clone();
+        let edges = walk_block(code, b, &lead, &mut locals, false, &mut scratch, ar);
+        for t in edges {
+            match states.get_mut(&t) {
+                None => {
+                    states.insert(t, locals.clone());
+                    work.push(t);
+                }
+                Some(prev) => {
+                    let mut changed = false;
+                    for (p, l) in prev.iter_mut().zip(locals.iter()) {
+                        let j = p.join(*l);
+                        if j != *p {
+                            *p = j;
+                            changed = true;
+                        }
+                    }
+                    if changed {
+                        work.push(t);
+                    }
+                }
+            }
+        }
+    }
+
+    let mut stats = RoundStats::default();
+    let mut starts: Vec<usize> = states.keys().copied().collect();
+    starts.sort_unstable();
+    for b in starts {
+        let mut locals = states[&b].clone();
+        walk_block(code, b, &lead, &mut locals, true, &mut stats, ar);
+    }
+    (stats.folded, stats.branches)
+}
+
+// ---------------------------------------------------------------------------
+// Dead-code elimination and compaction
+// ---------------------------------------------------------------------------
+
+/// Replace every op the height flow cannot reach with `Nop(0)`. Dead
+/// ops only occur in whole dead blocks (block interiors flow linearly
+/// from their leader), so this never changes the fuel charged on any
+/// executed path.
+fn dce(code: &mut [Op], ar: &Arity, has_result: bool) -> u32 {
+    if code.is_empty() {
+        return 0;
+    }
+    let Ok((heights, _)) = flow_heights(code, ar, has_result) else {
+        return 0;
+    };
+    let mut count = 0;
+    for (pc, h) in heights.iter().enumerate() {
+        if h.is_none() && !matches!(code[pc], Op::Nop(0)) {
+            code[pc] = Op::Nop(0);
+            count += 1;
+        }
+    }
+    count
+}
+
+/// Remove zero-weight pads. The final op is always kept so every branch
+/// target still maps to a valid pc; removed pcs remap to the next
+/// survivor, which is semantically identical (a `Nop(0)` only falls
+/// through).
+fn compact(code: &mut Vec<Op>) {
+    let n = code.len();
+    if n == 0 {
+        return;
+    }
+    let mut map = vec![0u32; n];
+    let mut keep = vec![true; n];
+    let mut idx = 0u32;
+    for pc in 0..n {
+        keep[pc] = !(matches!(code[pc], Op::Nop(0)) && pc + 1 < n);
+        map[pc] = idx;
+        if keep[pc] {
+            idx += 1;
+        }
+    }
+    let mut out: Vec<Op> = Vec::with_capacity(idx as usize);
+    for pc in 0..n {
+        if keep[pc] {
+            out.push(code[pc].clone());
+        }
+    }
+    remap_targets(&mut out, &map);
+    *code = out;
+}
+
+// ---------------------------------------------------------------------------
+// Super-instruction fusion
+// ---------------------------------------------------------------------------
+
+/// Re-form the fused super-instructions on the optimized stream. The
+/// fused op lands on the window's last pc (pads before it), so a branch
+/// into the window start still observes an equivalent prefix; interior
+/// positions must not be leaders.
+fn fuse(code: &mut [Op]) -> u32 {
+    let n = code.len();
+    let lead = leaders(code);
+    let clear = |pc: usize, len: usize| (1..len).all(|i| pc + i < n && !lead[pc + i]);
+    let mut fused = 0u32;
+    let mut pc = 0;
+    while pc < n {
+        // Window length 4.
+        if pc + 3 < n && clear(pc, 4) {
+            if let (Op::LocalGet(a), Op::LocalGet(b), Op::Bin(op), Op::LocalSet(d)) =
+                (&code[pc], &code[pc + 1], &code[pc + 2], &code[pc + 3])
+            {
+                let (a, b, op, d) = (*a, *b, *op, *d);
+                code[pc] = Op::Nop(0);
+                code[pc + 1] = Op::Nop(0);
+                code[pc + 2] = Op::Nop(0);
+                code[pc + 3] = Op::Bin2LS(op, a, b, d);
+                fused += 1;
+                pc += 4;
+                continue;
+            }
+            if let (Op::LocalGet(l), Op::Const(c), Op::Bin(NumBin::I32Add), Op::LocalSet(l2)) =
+                (&code[pc], &code[pc + 1], &code[pc + 2], &code[pc + 3])
+            {
+                if l == l2 && *c <= u32::MAX as u64 {
+                    let (l, c) = (*l, *c);
+                    code[pc] = Op::Nop(0);
+                    code[pc + 1] = Op::Nop(0);
+                    code[pc + 2] = Op::Nop(0);
+                    code[pc + 3] = Op::IncI32(l, c as u32 as i32);
+                    fused += 1;
+                    pc += 4;
+                    continue;
+                }
+            }
+        }
+        // Window length 3.
+        if pc + 2 < n && clear(pc, 3) {
+            if let (Op::LocalGet(a), Op::LocalGet(b), Op::Bin(op)) =
+                (&code[pc], &code[pc + 1], &code[pc + 2])
+            {
+                let (a, b, op) = (*a, *b, *op);
+                code[pc] = Op::Nop(0);
+                code[pc + 1] = Op::Nop(0);
+                code[pc + 2] = Op::Bin2L(op, a, b);
+                fused += 1;
+                pc += 3;
+                continue;
+            }
+        }
+        // Window length 2.
+        if pc + 1 < n && clear(pc, 2) {
+            let replacement = match (&code[pc], &code[pc + 1]) {
+                (Op::LocalGet(l), Op::Load(k, off)) => Some(Op::LoadL(*k, *l, *off)),
+                (Op::Const(c), Op::Bin(op)) => Some(Op::BinRC(*op, *c)),
+                (Op::LocalGet(l), Op::Bin(op)) => Some(Op::BinRL(*op, *l)),
+                // `i32.eqz` weighs 0 and both conditional forms weigh 1.
+                (Op::Un(NumUn::I32Eqz), Op::BrIf(b)) => Some(Op::BrIfZ(b.clone())),
+                (Op::Un(NumUn::I32Eqz), Op::BrIfZ(b)) => Some(Op::BrIf(b.clone())),
+                _ => None,
+            };
+            if let Some(r) = replacement {
+                code[pc] = Op::Nop(0);
+                code[pc + 1] = r;
+                fused += 1;
+                pc += 2;
+                continue;
+            }
+        }
+        pc += 1;
+    }
+    fused
+}
+
+// ---------------------------------------------------------------------------
+// Dominating-check elimination
+// ---------------------------------------------------------------------------
+
+/// Must-facts about memory length at a program point: `mem_len >= hi`,
+/// and for each mapped local `l`, `mem_len >= value(l) as u32 + rel[l]`.
+#[derive(Debug, Clone, PartialEq)]
+struct Cov {
+    hi: u64,
+    rel: HashMap<u32, u64>,
+}
+
+impl Cov {
+    fn join_from(&mut self, other: &Cov) -> bool {
+        let mut changed = false;
+        let hi = self.hi.min(other.hi);
+        if hi != self.hi {
+            self.hi = hi;
+            changed = true;
+        }
+        let before = self.rel.len();
+        self.rel.retain(|l, v| match other.rel.get(l) {
+            Some(&o) => {
+                if o < *v {
+                    *v = o;
+                    changed = true;
+                }
+                true
+            }
+            None => false,
+        });
+        changed || self.rel.len() != before
+    }
+}
+
+/// Block-local abstract address slot for the coverage walk.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ASlot {
+    K(u64),
+    L(u32),
+    U,
+}
+
+fn apop(stack: &mut Vec<ASlot>) -> ASlot {
+    stack.pop().unwrap_or(ASlot::U)
+}
+
+/// Walk one block for the coverage analysis, reporting every memory
+/// access (checked or not) as `(pc, provable base, covered-before-gen)`.
+fn cov_walk(
+    code: &[Op],
+    start: usize,
+    lead: &[bool],
+    state: &mut Cov,
+    ar: &Arity,
+    mut on_access: impl FnMut(usize, Option<ClaimBase>, bool),
+) -> Vec<usize> {
+    let n = code.len();
+    let mut stack: Vec<ASlot> = Vec::new();
+    let kill = |l: u32, state: &mut Cov, stack: &mut Vec<ASlot>| {
+        state.rel.remove(&l);
+        for s in stack.iter_mut() {
+            if *s == ASlot::L(l) {
+                *s = ASlot::U;
+            }
+        }
+    };
+    let access = |pc: usize,
+                  addr: ASlot,
+                  off: u32,
+                  len: u64,
+                  state: &mut Cov,
+                  on_access: &mut dyn FnMut(usize, Option<ClaimBase>, bool)| {
+        match addr {
+            ASlot::K(c) => {
+                let end = (c as u32 as u64) + off as u64 + len;
+                let covered = end <= state.hi;
+                on_access(pc, Some(ClaimBase::Const { end }), covered);
+                state.hi = state.hi.max(end);
+            }
+            ASlot::L(l) => {
+                let end = off as u64 + len;
+                let covered = state.rel.get(&l).is_some_and(|&y| y >= end);
+                on_access(pc, Some(ClaimBase::Local { local: l, end }), covered);
+                let e = state.rel.entry(l).or_insert(0);
+                *e = (*e).max(end);
+            }
+            ASlot::U => on_access(pc, None, false),
+        }
+    };
+    let mut pc = start;
+    loop {
+        let op = &code[pc];
+        match op {
+            Op::Unreachable | Op::Return => return Vec::new(),
+            Op::Br(b) => return vec![b.target as usize],
+            Op::BrIf(b) | Op::BrIfZ(b) => {
+                apop(&mut stack);
+                let mut edges = vec![b.target as usize];
+                if pc + 1 < n {
+                    edges.push(pc + 1);
+                }
+                return edges;
+            }
+            Op::BrTable(p) => {
+                apop(&mut stack);
+                let mut edges: Vec<usize> = p.targets.iter().map(|t| t.target as usize).collect();
+                edges.push(p.default.target as usize);
+                return edges;
+            }
+            // Calls cannot shrink memory and locals are frame-private:
+            // no facts die across the boundary.
+            Op::Call(f) => {
+                let (np, _) = ar.funcs[*f as usize];
+                for _ in 0..np {
+                    apop(&mut stack);
+                }
+                return if pc + 1 < n { vec![pc + 1] } else { Vec::new() };
+            }
+            Op::CallHost(h) => {
+                let (np, _) = ar.hosts[*h as usize];
+                for _ in 0..np {
+                    apop(&mut stack);
+                }
+                return if pc + 1 < n { vec![pc + 1] } else { Vec::new() };
+            }
+            Op::CallIndirect(tid) => {
+                apop(&mut stack);
+                if let Some(&(np, _)) = ar.types.get(tid) {
+                    for _ in 0..np {
+                        apop(&mut stack);
+                    }
+                    return if pc + 1 < n { vec![pc + 1] } else { Vec::new() };
+                }
+                return Vec::new();
+            }
+
+            Op::Const(c) => stack.push(ASlot::K(*c)),
+            Op::LocalGet(l) => stack.push(ASlot::L(*l)),
+            Op::LocalSet(l) => {
+                apop(&mut stack);
+                kill(*l, state, &mut stack);
+            }
+            Op::LocalTee(l) => {
+                let v = apop(&mut stack);
+                kill(*l, state, &mut stack);
+                // After the tee, the top equals the new value of `l`.
+                stack.push(match v {
+                    ASlot::K(c) => ASlot::K(c),
+                    _ => ASlot::L(*l),
+                });
+            }
+            Op::IncI32(l, _) => kill(*l, state, &mut stack),
+            Op::Bin2LS(_, _, _, d) => kill(*d, state, &mut stack),
+            Op::Load(k, off) | Op::LoadNc(k, off) => {
+                let a = apop(&mut stack);
+                access(
+                    pc,
+                    a,
+                    *off,
+                    super::range::load_len(*k),
+                    state,
+                    &mut on_access,
+                );
+                stack.push(ASlot::U);
+            }
+            Op::LoadL(k, l, off) | Op::LoadLNc(k, l, off) => {
+                access(
+                    pc,
+                    ASlot::L(*l),
+                    *off,
+                    super::range::load_len(*k),
+                    state,
+                    &mut on_access,
+                );
+                stack.push(ASlot::U);
+            }
+            Op::Store(k, off) | Op::StoreNc(k, off) => {
+                apop(&mut stack); // value
+                let a = apop(&mut stack);
+                access(
+                    pc,
+                    a,
+                    *off,
+                    super::range::store_len(*k),
+                    state,
+                    &mut on_access,
+                );
+            }
+            // Memory only grows; existing lower bounds stay valid.
+            Op::MemoryGrow => {
+                apop(&mut stack);
+                stack.push(ASlot::U);
+            }
+            other => {
+                let (pops, pushes) = stack_effect(other);
+                for _ in 0..pops {
+                    apop(&mut stack);
+                }
+                for _ in 0..pushes {
+                    stack.push(ASlot::U);
+                }
+            }
+        }
+        if pc + 1 >= n {
+            return Vec::new();
+        }
+        if lead[pc + 1] {
+            return vec![pc + 1];
+        }
+        pc += 1;
+    }
+}
+
+/// All-paths coverage: which access sites are dominated by facts that
+/// already prove them in-bounds. Runs identically on pre- and
+/// post-instrumentation code (`Fuel`/`Nop` are transparent and the
+/// block partition is preserved by instrumentation).
+fn covered_accesses(code: &[Op], min_bytes: u64, ar: &Arity) -> HashMap<usize, ClaimBase> {
+    let n = code.len();
+    let mut out = HashMap::new();
+    if n == 0 {
+        return out;
+    }
+    let lead = leaders(code);
+    let entry = Cov {
+        hi: min_bytes,
+        rel: HashMap::new(),
+    };
+    let mut states: HashMap<usize, Cov> = HashMap::new();
+    states.insert(0, entry);
+    let mut work = vec![0usize];
+    while let Some(b) = work.pop() {
+        let mut state = states[&b].clone();
+        let edges = cov_walk(code, b, &lead, &mut state, ar, |_, _, _| {});
+        for t in edges {
+            match states.get_mut(&t) {
+                None => {
+                    states.insert(t, state.clone());
+                    work.push(t);
+                }
+                Some(prev) => {
+                    if prev.join_from(&state) {
+                        work.push(t);
+                    }
+                }
+            }
+        }
+    }
+    let mut starts: Vec<usize> = states.keys().copied().collect();
+    starts.sort_unstable();
+    for b in starts {
+        let mut state = states[&b].clone();
+        cov_walk(code, b, &lead, &mut state, ar, |pc, base, covered| {
+            if covered {
+                if let Some(base) = base {
+                    out.insert(pc, base);
+                }
+            }
+        });
+    }
+    out
+}
+
+/// Convert every dominated, still-checked access in `code` to its
+/// unchecked form and return one claim per conversion (pre-
+/// instrumentation pcs; the caller relocates them after instrumenting).
+pub(super) fn elide_dominated(code: &mut [Op], min_bytes: u64, ar: &Arity) -> Vec<OptClaim> {
+    let cov = covered_accesses(code, min_bytes, ar);
+    let mut pcs: Vec<usize> = cov.keys().copied().collect();
+    pcs.sort_unstable();
+    let mut claims = Vec::new();
+    for pc in pcs {
+        let converted = match &code[pc] {
+            Op::Load(k, off) => Some(Op::LoadNc(*k, *off)),
+            Op::LoadL(k, l, off) => Some(Op::LoadLNc(*k, *l, *off)),
+            Op::Store(k, off) => Some(Op::StoreNc(*k, *off)),
+            _ => None,
+        };
+        if let Some(nc) = converted {
+            code[pc] = nc;
+            claims.push(OptClaim {
+                pc: pc as u32,
+                base: cov[&pc].clone(),
+            });
+        }
+    }
+    claims
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+/// Counters from optimizing one body.
+#[derive(Debug, Default, Clone, Copy)]
+pub(super) struct FuncOptStats {
+    pub folded: u32,
+    pub branches: u32,
+    pub dce_ops: u32,
+    pub fused: u32,
+}
+
+/// Optimize one body in place: constant propagation + branch
+/// simplification + DCE to a (bounded) fixpoint, then compaction and
+/// fusion. The body must be pre-instrumentation (no `Fuel` ops).
+pub(super) fn optimize_func(
+    code: &mut Vec<Op>,
+    ar: &Arity,
+    nparams: u32,
+    nlocals: u32,
+    has_result: bool,
+) -> FuncOptStats {
+    let mut stats = FuncOptStats::default();
+    for _ in 0..3 {
+        let (folded, branches) = const_prop_round(code, ar, nparams, nlocals);
+        let dced = dce(code, ar, has_result);
+        stats.folded += folded;
+        stats.branches += branches;
+        stats.dce_ops += dced;
+        if folded == 0 && branches == 0 {
+            break;
+        }
+    }
+    compact(code);
+    stats.fused = fuse(code);
+    compact(code);
+    stats
+}
+
+// ---------------------------------------------------------------------------
+// Translation validation
+// ---------------------------------------------------------------------------
+
+/// Remove `Op::Fuel` charges, remapping branch targets onto the op that
+/// followed them. Exact inverse of [`cost::instrument`] on instrumented
+/// code: targets only ever point at chunk entries, and a chunk entry's
+/// `Fuel` maps to the chunk's first real op.
+pub(super) fn strip_fuel(code: &[Op]) -> Vec<Op> {
+    let mut out: Vec<Op> = Vec::with_capacity(code.len());
+    let mut map = vec![0u32; code.len()];
+    for (pc, op) in code.iter().enumerate() {
+        map[pc] = out.len() as u32;
+        if !matches!(op, Op::Fuel(_)) {
+            out.push(op.clone());
+        }
+    }
+    remap_targets(&mut out, &map);
+    out
+}
+
+/// Translation-validation certificate check. Independent of the
+/// optimizer's own bookkeeping, this proves for every function:
+///
+/// * the shipped bodies are stack-effect consistent and stay within the
+///   recorded operand bound;
+/// * stripping `Fuel` and re-instrumenting reproduces the shipped body
+///   bit-for-bit with the recorded cost certificate, so the preemption
+///   bound (`max_check_gap`) is re-derived, never assumed;
+/// * `code` and `code_static` are aligned op-for-op, differing only in
+///   checked→unchecked access forms, each accounted to either the range
+///   pass or an [`OptClaim`];
+/// * every claim's site is re-proven covered by an independent run of
+///   the dominating-fact analysis on the shipped `code_static`.
+///
+/// Returns `Err` with the first violation; the registry treats that as
+/// "discard the optimization" and falls back via
+/// [`revert_optimizations`].
+pub fn validate(m: &CompiledModule) -> Result<(), String> {
+    let report = &m.analysis;
+    let Some(opt) = &report.opt else {
+        return Ok(());
+    };
+    let cost_report = report
+        .cost
+        .as_ref()
+        .ok_or("optimized module lacks a cost certificate")?;
+    if opt.funcs.len() != m.funcs.len() || report.funcs.len() != m.funcs.len() {
+        return Err("certificate function count mismatch".into());
+    }
+    if cost_report.funcs.len() != m.funcs.len() {
+        return Err("cost certificate function count mismatch".into());
+    }
+    let ar = Arity::build(m);
+    let min_bytes = m.memory.map(|s| s.min_pages as u64 * 65536).unwrap_or(0);
+    let gap_limit = cost_report.max_check_gap.max(cost::MAX_SINGLE_OP_COST);
+
+    for (fidx, func) in m.funcs.iter().enumerate() {
+        let fname = || func.name.clone().unwrap_or_else(|| format!("func[{fidx}]"));
+        let fr = &opt.funcs[fidx];
+        let summary = &report.funcs[fidx];
+
+        // (a) Stack-effect / type consistency, within the stored bound.
+        let (_, hmax) = flow_heights(&func.code, &ar, func.has_result)
+            .map_err(|e| format!("{}: {e}", fname()))?;
+        if hmax > summary.max_operand_slots {
+            return Err(format!(
+                "{}: optimized body needs {hmax} operand slots, certificate says {}",
+                fname(),
+                summary.max_operand_slots
+            ));
+        }
+        if let Some(cs) = &func.code_static {
+            let (_, hmax2) = flow_heights(cs, &ar, func.has_result)
+                .map_err(|e| format!("{} (static): {e}", fname()))?;
+            if hmax2 > summary.max_operand_slots {
+                return Err(format!("{} (static): operand bound exceeded", fname()));
+            }
+        }
+
+        // (b) Fuel instrumentation reconstructs bit-for-bit.
+        let stripped = strip_fuel(&func.code);
+        let (re, mut fc, _) = cost::instrument(&stripped, cost_report.max_check_gap);
+        if re != func.code {
+            return Err(format!(
+                "{}: fuel instrumentation does not reconstruct the shipped body",
+                fname()
+            ));
+        }
+        let stored = &cost_report.funcs[fidx];
+        fc.name = stored.name.clone();
+        if &fc != stored {
+            return Err(format!("{}: cost certificate mismatch", fname()));
+        }
+        if fc.max_gap > gap_limit {
+            return Err(format!(
+                "{}: check gap {} exceeds limit {gap_limit}",
+                fname(),
+                fc.max_gap
+            ));
+        }
+
+        // (c)+(d) Body alignment and unchecked-access accounting.
+        match &func.code_static {
+            Some(cs) => {
+                if cs.len() != func.code.len() {
+                    return Err(format!("{}: static body length mismatch", fname()));
+                }
+                let mut nc = 0u32;
+                for (a, b) in func.code.iter().zip(cs.iter()) {
+                    match (a, b) {
+                        (x, y) if x == y => {}
+                        (Op::Load(k, o), Op::LoadNc(k2, o2)) if k == k2 && o == o2 => nc += 1,
+                        (Op::LoadL(k, l, o), Op::LoadLNc(k2, l2, o2))
+                            if k == k2 && l == l2 && o == o2 =>
+                        {
+                            nc += 1
+                        }
+                        (Op::Store(k, o), Op::StoreNc(k2, o2)) if k == k2 && o == o2 => nc += 1,
+                        _ => {
+                            return Err(format!(
+                                "{}: static body diverges beyond check elision",
+                                fname()
+                            ))
+                        }
+                    }
+                }
+                if nc as usize != summary.elided_sites as usize + fr.claims.len() {
+                    return Err(format!(
+                        "{}: {nc} unchecked sites but {} range-proven + {} claimed",
+                        fname(),
+                        summary.elided_sites,
+                        fr.claims.len()
+                    ));
+                }
+                // (e) Every claim re-proves under an independent
+                // coverage run on the shipped static body.
+                if !fr.claims.is_empty() {
+                    let cov = covered_accesses(cs, min_bytes, &ar);
+                    for claim in &fr.claims {
+                        let pc = claim.pc as usize;
+                        let is_nc = matches!(
+                            cs.get(pc),
+                            Some(Op::LoadNc(..) | Op::LoadLNc(..) | Op::StoreNc(..))
+                        );
+                        if !is_nc {
+                            return Err(format!(
+                                "{}: claim at pc {pc} is not an unchecked access",
+                                fname()
+                            ));
+                        }
+                        match cov.get(&pc) {
+                            Some(base) if *base == claim.base => {}
+                            _ => {
+                                return Err(format!(
+                                    "{}: claim at pc {pc} is not dominated by a covering check",
+                                    fname()
+                                ))
+                            }
+                        }
+                    }
+                }
+            }
+            None => {
+                if !fr.claims.is_empty() {
+                    return Err(format!(
+                        "{}: claims recorded but no static body shipped",
+                        fname()
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Discard every optimization: restore the preserved unoptimized
+/// bodies, drop the static variants, and re-run the full analysis with
+/// optimization off so no certificate derived from the rejected bodies
+/// survives.
+pub fn revert_optimizations(m: &mut CompiledModule, max_check_gap: u32) {
+    for f in &mut m.funcs {
+        if let Some(orig) = f.code_unopt.take() {
+            f.code = orig;
+        }
+        f.code_static = None;
+    }
+    m.analysis = Default::default();
+    super::analyze(m, max_check_gap, false);
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::code::{Branch, LoadKind, StoreKind};
+
+    fn arity0() -> Arity {
+        Arity {
+            funcs: Vec::new(),
+            hosts: Vec::new(),
+            types: HashMap::new(),
+        }
+    }
+
+    fn total_cost(code: &[Op]) -> u64 {
+        code.iter().map(|op| cost::op_cost(op) as u64).sum()
+    }
+
+    #[test]
+    fn folds_through_locals_cost_exact() {
+        // local0 = 2; return local0 + 3
+        let mut code = vec![
+            Op::Const(2),
+            Op::LocalSet(0),
+            Op::LocalGet(0),
+            Op::Const(3),
+            Op::Bin(NumBin::I32Add),
+            Op::Return,
+        ];
+        let before = total_cost(&code);
+        let ar = arity0();
+        let stats = optimize_func(&mut code, &ar, 0, 1, true);
+        assert!(stats.folded > 0);
+        assert!(code.contains(&Op::Const(5)), "folded to 5: {code:?}");
+        assert!(
+            !code.iter().any(|op| matches!(op, Op::Bin(_))),
+            "add folded away: {code:?}"
+        );
+        assert_eq!(total_cost(&code), before, "fuel-exact rewrite");
+    }
+
+    #[test]
+    fn simplifies_constant_branch_and_removes_dead_block() {
+        // br_if(1) over a dead chunk. The dead body reads a parameter so
+        // the constant folder cannot erase it first — removal must come
+        // from the reachability pass.
+        let mut code = vec![
+            Op::Const(1),
+            Op::BrIf(Branch {
+                target: 4,
+                height: 0,
+                keep: false,
+            }),
+            Op::LocalGet(0),
+            Op::Drop,
+            Op::Return,
+        ];
+        let ar = arity0();
+        let stats = optimize_func(&mut code, &ar, 1, 1, false);
+        assert!(stats.branches >= 1);
+        assert!(stats.dce_ops >= 1);
+        assert_eq!(
+            code,
+            vec![
+                Op::Br(Branch {
+                    target: 1,
+                    height: 0,
+                    keep: false
+                }),
+                Op::Return
+            ],
+            "dead path removed, branch now unconditional"
+        );
+        assert_eq!(total_cost(&code), 2, "BrIf(1)+Return(1) preserved");
+    }
+
+    #[test]
+    fn untaken_branch_keeps_its_charge() {
+        let mut code = vec![
+            Op::Const(0),
+            Op::BrIf(Branch {
+                target: 2,
+                height: 0,
+                keep: false,
+            }),
+            Op::Return,
+        ];
+        let before = total_cost(&code);
+        let ar = arity0();
+        optimize_func(&mut code, &ar, 0, 0, false);
+        assert_eq!(total_cost(&code), before);
+        assert!(
+            !code.iter().any(|op| matches!(op, Op::BrIf(_))),
+            "constant condition gone: {code:?}"
+        );
+    }
+
+    #[test]
+    fn fuses_bin2ls_window() {
+        let mut code = vec![
+            Op::LocalGet(0),
+            Op::LocalGet(1),
+            Op::Bin(NumBin::I32Add),
+            Op::LocalSet(0),
+            Op::Return,
+        ];
+        let before = total_cost(&code);
+        let ar = arity0();
+        let stats = optimize_func(&mut code, &ar, 2, 2, false);
+        assert_eq!(stats.fused, 1);
+        assert_eq!(code, vec![Op::Bin2LS(NumBin::I32Add, 0, 1, 0), Op::Return]);
+        assert_eq!(total_cost(&code), before);
+    }
+
+    #[test]
+    fn covered_accesses_const_and_relative() {
+        let ar = arity0();
+        // store [100..104); load [100..104) — second covered by first.
+        let code = vec![
+            Op::Const(100),
+            Op::Const(7),
+            Op::Store(StoreKind::I32, 0),
+            Op::Const(100),
+            Op::Load(LoadKind::I32, 0),
+            Op::Drop,
+            Op::Return,
+        ];
+        let cov = covered_accesses(&code, 0, &ar);
+        assert_eq!(cov.get(&4), Some(&ClaimBase::Const { end: 104 }));
+        assert!(!cov.contains_key(&2));
+
+        // Relative: load local+4 first proves local+8 ≥ ... no — the
+        // wider access (off 4) dominates the narrower (off 0).
+        let code = vec![
+            Op::LocalGet(0),
+            Op::Load(LoadKind::I32, 4),
+            Op::Drop,
+            Op::LocalGet(0),
+            Op::Load(LoadKind::I32, 0),
+            Op::Drop,
+            Op::Return,
+        ];
+        let cov = covered_accesses(&code, 0, &ar);
+        assert_eq!(cov.get(&4), Some(&ClaimBase::Local { local: 0, end: 4 }));
+        assert!(!cov.contains_key(&1));
+
+        // Writing the local kills the fact.
+        let code = vec![
+            Op::LocalGet(0),
+            Op::Load(LoadKind::I32, 4),
+            Op::Drop,
+            Op::Const(0),
+            Op::LocalSet(0),
+            Op::LocalGet(0),
+            Op::Load(LoadKind::I32, 0),
+            Op::Drop,
+            Op::Return,
+        ];
+        let cov = covered_accesses(&code, 0, &ar);
+        assert!(!cov.contains_key(&6), "killed by local.set: {cov:?}");
+    }
+
+    #[test]
+    fn elide_dominated_converts_and_claims() {
+        let ar = arity0();
+        let mut code = vec![
+            Op::LocalGet(0),
+            Op::Load(LoadKind::I64, 0),
+            Op::Drop,
+            Op::LocalGet(0),
+            Op::Load(LoadKind::I32, 0),
+            Op::Drop,
+            Op::Return,
+        ];
+        let claims = elide_dominated(&mut code, 0, &ar);
+        assert_eq!(claims.len(), 1);
+        assert_eq!(claims[0].pc, 4);
+        assert_eq!(claims[0].base, ClaimBase::Local { local: 0, end: 4 });
+        assert!(matches!(code[4], Op::LoadNc(LoadKind::I32, 0)));
+        assert!(
+            matches!(code[1], Op::Load(LoadKind::I64, 0)),
+            "dominator keeps its check"
+        );
+    }
+
+    #[test]
+    fn strip_fuel_round_trips_instrumentation() {
+        let code = vec![
+            Op::Const(1),
+            Op::BinRC(NumBin::I32Add, 2),
+            Op::Drop,
+            Op::Br(Branch {
+                target: 0,
+                height: 0,
+                keep: false,
+            }),
+        ];
+        let (inst, fc, _) = cost::instrument(&code, 4);
+        let stripped = strip_fuel(&inst);
+        assert_eq!(stripped, code);
+        let (reinst, fc2, _) = cost::instrument(&stripped, 4);
+        assert_eq!(reinst, inst);
+        assert_eq!(fc, fc2);
+    }
+
+    #[test]
+    fn dce_only_lowers_heights() {
+        let ar = arity0();
+        let mut code = vec![
+            Op::Return,
+            Op::Const(1),
+            Op::Const(2),
+            Op::Bin(NumBin::I32Add),
+            Op::Drop,
+            Op::Return,
+        ];
+        let n = dce(&mut code, &ar, false);
+        assert_eq!(n, 5);
+        compact(&mut code);
+        assert_eq!(code, vec![Op::Return, Op::Nop(0)]);
+    }
+}

@@ -325,7 +325,7 @@ fn refine_true(val: AVal, rel: Rel, k: u32, is32: bool) -> Option<AVal> {
 }
 
 /// Access width in bytes.
-fn load_len(k: LoadKind) -> u64 {
+pub(super) fn load_len(k: LoadKind) -> u64 {
     use LoadKind::*;
     match k {
         I32U8 | I32S8 | I64U8 | I64S8 => 1,
@@ -951,9 +951,10 @@ fn run_segment(
                 st.locals[*i as usize] = bin_transfer(NumBin::I32Add, st.locals[*i as usize], k);
                 kill_local(&mut st, *i);
             }
-            // Inserted by the cost pass, which runs after this analysis;
-            // no stack or value effect if ever encountered.
-            Op::Fuel(_) => {}
+            // Fuel is inserted by the cost pass, which runs after this
+            // analysis; Nop is optimizer padding. Neither has a stack or
+            // value effect.
+            Op::Fuel(_) | Op::Nop(_) => {}
         }
         pc += 1;
         if ctx.targets.contains(&(pc as u32)) {

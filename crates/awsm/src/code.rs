@@ -201,7 +201,9 @@ pub enum NumUn {
 }
 
 /// One flat instruction. Structured control has been resolved to direct
-/// jumps; fused "super-instructions" exist only in the optimized tier.
+/// jumps. Fused "super-instructions" are emitted by the optimized-tier
+/// translator and, when the dataflow optimizer runs, retrofitted onto the
+/// naive tier's bodies as well (the interpreter executes every variant).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Op {
     Unreachable,
@@ -235,7 +237,7 @@ pub enum Op {
     Const(u64),
     Bin(NumBin),
     Un(NumUn),
-    // ---- fused super-instructions (optimized tier only) ----
+    // ---- fused super-instructions ----
     /// `local.get a; local.get b; bin`
     Bin2L(NumBin, u32, u32),
     /// `…; local.get b; bin` (left operand on stack)
@@ -263,6 +265,14 @@ pub enum Op {
     /// points; the optimized tier charges fuel *only* here, the naive tier
     /// (which charges per instruction) skips it.
     Fuel(u32),
+    // ---- optimizer padding (inserted by the dataflow optimizer) ----
+    /// Fuel-carrying no-op left where the optimizer erased or relocated an
+    /// op. The payload is the erased op's weight, charged as `op_cost`, so
+    /// rewrites are cost-preserving position by position: the naive tier's
+    /// per-op fuel totals and the cost pass's segment sums are identical to
+    /// the unoptimized body's. `Nop(0)` placeholders are removed by the
+    /// optimizer's final compaction; non-zero payloads survive.
+    Nop(u32),
 }
 
 /// Signature of a host import, pre-resolved at translation time.
@@ -300,6 +310,12 @@ pub struct CompiledFunc {
     /// only when at least one site was proven. Selected by
     /// [`BoundsStrategy::Static`](crate::BoundsStrategy::Static).
     pub code_static: Option<Vec<Op>>,
+    /// The pre-optimization, pre-instrumentation body, retained whenever
+    /// the dataflow optimizer ran (see `analysis::opt`). If certificate
+    /// validation rejects the optimized body, `revert_optimizations`
+    /// restores this body and re-analyzes the module from scratch, so no
+    /// certificate derived from the untrusted optimized code survives.
+    pub code_unopt: Option<Vec<Op>>,
     /// Parameter count.
     pub nparams: u32,
     /// Total local slot count (params + declared locals).

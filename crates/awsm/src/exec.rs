@@ -233,6 +233,12 @@ pub(crate) fn run<B: Bounds, const NAIVE: bool, const STATIC: bool>(
             pc += 1;
             match op {
                 Op::Unreachable => return StepResult::Trapped(Trap::Unreachable),
+                Op::Nop(_) => {
+                    // Optimizer padding: no effect. The naive tier already
+                    // charged its payload via `op_cost` above; the
+                    // optimized tier folded it into the segment's
+                    // `Op::Fuel` charge.
+                }
                 Op::Fuel(n) => {
                     // The optimized tier's only charge/poll site: pays the
                     // exact cost of the segment this op heads. The naive

@@ -58,6 +58,9 @@ mod value;
 
 pub use analysis::cost::{op_cost, CostReport, FuncCost, DEFAULT_MAX_CHECK_GAP};
 pub use analysis::effects::{EffectReport, FuncEffect, WriteFootprint};
+pub use analysis::opt::{
+    revert_optimizations, validate as validate_opt, ClaimBase, OptClaim, OptFuncReport, OptReport,
+};
 pub use analysis::{AnalysisReport, Diagnostic, Severity, StackBound};
 pub use code::{CompiledModule, HostImport, Op};
 pub use exec::{Limits, StepResult};

@@ -78,12 +78,19 @@ pub struct TranslateOptions {
     /// weight of a single heaviest op). See
     /// [`DEFAULT_MAX_CHECK_GAP`](crate::analysis::cost::DEFAULT_MAX_CHECK_GAP).
     pub max_check_gap: u32,
+    /// Run the translate-time optimizer (constant propagation, dead-code
+    /// elimination, branch simplification, fusion, dominated-check
+    /// elision) over every body, emitting a translation-validation
+    /// certificate in [`AnalysisReport::opt`](crate::AnalysisReport).
+    /// Defaults to on; the `SLEDGE_OPT=0` environment knob turns it off.
+    pub optimize: bool,
 }
 
 impl Default for TranslateOptions {
     fn default() -> Self {
         TranslateOptions {
             max_check_gap: crate::analysis::cost::DEFAULT_MAX_CHECK_GAP,
+            optimize: std::env::var("SLEDGE_OPT").map_or(true, |v| v != "0"),
         }
     }
 }
@@ -236,6 +243,7 @@ pub fn translate_with(
         funcs.push(CompiledFunc {
             code,
             code_static: None,
+            code_unopt: None,
             nparams: ty.params.len() as u32,
             nlocals: (ty.params.len() + body.locals.len()) as u32,
             has_result: !ty.results.is_empty(),
@@ -262,7 +270,7 @@ pub fn translate_with(
     // verification, bounds-check elision proofs (materialized as the
     // `code_static` bodies), lints, and the cost-model instrumentation
     // that certifies the preemption-latency gap.
-    crate::analysis::analyze(&mut module, opts.max_check_gap);
+    crate::analysis::analyze(&mut module, opts.max_check_gap, opts.optimize);
     Ok(module)
 }
 

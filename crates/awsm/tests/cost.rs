@@ -60,7 +60,17 @@ fn run_metered(
     x: i32,
     quantum: u64,
 ) -> (Option<u64>, u64) {
-    let cm = Arc::new(translate_with(m, tier, TranslateOptions { max_check_gap: gap }).unwrap());
+    let cm = Arc::new(
+        translate_with(
+            m,
+            tier,
+            TranslateOptions {
+                max_check_gap: gap,
+                optimize: false,
+            },
+        )
+        .unwrap(),
+    );
     let mut inst = Instance::new(
         cm,
         EngineConfig {
@@ -186,7 +196,10 @@ fn charges_partition_the_body_exactly() {
         let cm = translate_with(
             &work_module(8),
             Tier::Optimized,
-            TranslateOptions { max_check_gap: gap },
+            TranslateOptions {
+                max_check_gap: gap,
+                optimize: false,
+            },
         )
         .unwrap();
         let cert = cm.analysis.cost.as_ref().expect("certificate attached");
@@ -206,7 +219,10 @@ fn branch_targets_land_on_charge_sites() {
     let cm = translate_with(
         &work_module(8),
         Tier::Optimized,
-        TranslateOptions { max_check_gap: 16 },
+        TranslateOptions {
+            max_check_gap: 16,
+            optimize: false,
+        },
     )
     .unwrap();
     // Every branch target must be a block leader, i.e. its chunk's charge
@@ -270,12 +286,31 @@ fn tight_budget_inserts_splits_in_straight_line_code() {
     mb.export_func(main, "main");
     let m = mb.build().unwrap();
 
-    let tight = translate_with(&m, Tier::Optimized, TranslateOptions { max_check_gap: 8 }).unwrap();
+    let tight = translate_with(
+        &m,
+        Tier::Optimized,
+        TranslateOptions {
+            max_check_gap: 8,
+            optimize: false,
+        },
+    )
+    .unwrap();
     let cert = tight.analysis.cost.as_ref().unwrap();
     assert!(cert.splits > 0, "tight budget must split the block");
     assert!(cert.max_gap <= 8);
 
-    let loose = translate(&m, Tier::Optimized).unwrap();
+    // Optimizer pinned off on both sides: the totals comparison is about
+    // instrumentation budgets, and DCE would remove the builder's dead
+    // trailing return from one side only.
+    let loose = translate_with(
+        &m,
+        Tier::Optimized,
+        TranslateOptions {
+            max_check_gap: DEFAULT_MAX_CHECK_GAP,
+            optimize: false,
+        },
+    )
+    .unwrap();
     let loose_cert = loose.analysis.cost.as_ref().unwrap();
     assert_eq!(loose_cert.splits, 0, "default budget fits the block whole");
     assert!(loose_cert.max_gap > 8);

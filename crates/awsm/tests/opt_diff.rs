@@ -1,0 +1,297 @@
+//! Deterministic differential tests for the translate-time optimizer — the
+//! always-compiled twin of `prop_opt.rs` (the property suite needs the real
+//! `proptest` crate). Fixed guest programs exercising constant folding,
+//! dead-code elimination, branch simplification, fusion, and bounds-check
+//! elision are run with the optimizer on and off; results, traps, fuel, and
+//! full-memory hashes must match across both tiers and bounds strategies.
+
+use awsm::{
+    translate_with, BoundsStrategy, EngineConfig, Instance, NullHost, Tier, TranslateOptions, Trap,
+    Value, DEFAULT_MAX_CHECK_GAP,
+};
+use sledge_guestc::dsl::*;
+use sledge_guestc::{FuncBuilder, ModuleBuilder, Scalar};
+use sledge_wasm::module::Module;
+use sledge_wasm::types::ValType;
+use std::sync::Arc;
+
+/// A guest with something for every optimizer pass: a constant preamble
+/// routed through locals, a constant-condition branch with a dead arm,
+/// dominated stores, a store/load loop, and a global accumulator.
+fn workout_module(dead_arm_taken: bool) -> Module {
+    let mut mb = ModuleBuilder::new("opt-diff");
+    mb.memory(1, Some(2));
+    mb.data(8, b"opt!".to_vec());
+    let g = mb.global_i32(23);
+    let mut f = FuncBuilder::new(&[ValType::I32, ValType::I32], Some(ValType::I32));
+    let x = f.arg(0);
+    let y = f.arg(1);
+    let v = f.local(ValType::I32);
+    let k = f.local(ValType::I32);
+    let i = f.local(ValType::I32);
+    let a = f.local(ValType::I32);
+    // An address loaded from memory is opaque to interval analysis (it is 0
+    // at runtime: this reads pristine zeroed memory), so the first access
+    // through it stays checked — and *dominates* the later, smaller
+    // accesses, which the coverage pass converts to unchecked forms.
+    f.push(set(a, load(Scalar::I32, i32c(0), 0)));
+    f.push(store(Scalar::I32, local(a), 16, i32c(77)));
+    f.push(store(Scalar::I32, local(a), 0, i32c(88)));
+    f.push(set(v, load(Scalar::I32, local(a), 8)));
+    // Constant preamble through a local: folds to a single constant.
+    f.push(set(k, add(mul(i32c(7), i32c(3)), i32c(100))));
+    // Constant-condition branch: one arm statically dead.
+    f.push(if_else(
+        i32c(if dead_arm_taken { 1 } else { 0 }),
+        vec![set(v, add(mul(local(x), local(y)), local(k)))],
+        vec![set(v, xor(sub(local(x), local(y)), local(k)))],
+    ));
+    f.push(set_global(g, add(global(g, ValType::I32), local(v))));
+    // Constant-address stores; the second is dominated by the first.
+    f.push(store(Scalar::I32, i32c(256), 0, local(v)));
+    f.push(store(Scalar::I32, i32c(128), 0, global(g, ValType::I32)));
+    // Relative pair off one base local.
+    f.push(set(k, and(local(v), i32c(0xFF00))));
+    f.push(store(Scalar::I32, local(k), 12, local(v)));
+    f.push(store(Scalar::I32, local(k), 4, xor(local(v), i32c(-1))));
+    // Loop with memory traffic and a data-dependent branch.
+    f.push(for_loop(
+        i,
+        i32c(0),
+        lt_s(local(i), i32c(11)),
+        1,
+        vec![
+            store(
+                Scalar::I32,
+                and(mul(local(i), i32c(4)), i32c(0xFFC)),
+                0,
+                xor(local(v), local(i)),
+            ),
+            if_(
+                gt_s(local(v), i32c(0)),
+                vec![set(v, sub(i32c(0), local(v)))],
+            ),
+            set(
+                v,
+                add(
+                    local(v),
+                    load(Scalar::I32, and(mul(local(i), i32c(4)), i32c(0xFFC)), 0),
+                ),
+            ),
+        ],
+    ));
+    f.push(ret(Some(add(
+        add(
+            mul(global(g, ValType::I32), i32c(31)),
+            load(Scalar::U8, i32c(8), 0),
+        ),
+        local(v),
+    ))));
+    let main = mb.add_func("main", f);
+    mb.export_func(main, "main");
+    mb.build().expect("module must validate")
+}
+
+/// A guest whose second store traps iff `off` pushes it past the page.
+fn trapping_module(off: u32) -> Module {
+    let mut mb = ModuleBuilder::new("opt-diff-trap");
+    mb.memory(1, Some(1));
+    let mut f = FuncBuilder::new(&[ValType::I32], Some(ValType::I32));
+    let x = f.arg(0);
+    let v = f.local(ValType::I32);
+    f.push(set(v, mul(local(x), i32c(3))));
+    f.push(store(Scalar::I32, i32c(16), 0, local(v)));
+    f.push(store(
+        Scalar::I32,
+        and(local(v), i32c(0xFFC)),
+        off,
+        local(v),
+    ));
+    f.push(ret(Some(load(Scalar::I32, i32c(16), 0))));
+    let main = mb.add_func("main", f);
+    mb.export_func(main, "main");
+    mb.build().expect("module must validate")
+}
+
+fn translate_opt(m: &Module, tier: Tier, optimize: bool) -> Arc<awsm::CompiledModule> {
+    Arc::new(
+        translate_with(
+            m,
+            tier,
+            TranslateOptions {
+                max_check_gap: DEFAULT_MAX_CHECK_GAP,
+                optimize,
+            },
+        )
+        .unwrap(),
+    )
+}
+
+fn fnv_memory_hash(inst: &Instance) -> u64 {
+    let mem = inst.memory();
+    let bytes = mem
+        .read_bytes(0, mem.size_bytes() as u32)
+        .expect("full-memory read");
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn observe(
+    cm: Arc<awsm::CompiledModule>,
+    tier: Tier,
+    bounds: BoundsStrategy,
+    args: &[Value],
+) -> (Option<u64>, u64, u64) {
+    let mut inst = Instance::new(
+        cm,
+        EngineConfig {
+            bounds,
+            tier,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let out = inst
+        .call_complete("main", args, &mut NullHost)
+        .expect("trap-free guest must complete");
+    (out, fnv_memory_hash(&inst), inst.fuel_used())
+}
+
+fn observe_trap(
+    cm: Arc<awsm::CompiledModule>,
+    tier: Tier,
+    bounds: BoundsStrategy,
+    args: &[Value],
+) -> (Result<Option<u64>, Trap>, u64) {
+    let mut inst = Instance::new(
+        cm,
+        EngineConfig {
+            bounds,
+            tier,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let out = match inst.call_complete("main", args, &mut NullHost) {
+        Ok(v) => Ok(v),
+        Err(e) => match e.downcast::<Trap>() {
+            Ok(t) => Err(*t),
+            Err(other) => panic!("non-trap failure: {other}"),
+        },
+    };
+    (out, inst.fuel_used())
+}
+
+const INPUTS: &[(i32, i32)] = &[
+    (0, 0),
+    (1, -1),
+    (12345, 678),
+    (-777, 31),
+    (i32::MAX, 2),
+    (i32::MIN, i32::MIN),
+];
+
+#[test]
+fn optimized_matches_unoptimized_on_result_memory_and_fuel() {
+    for dead_arm in [false, true] {
+        let m = workout_module(dead_arm);
+        for tier in [Tier::Optimized, Tier::Naive] {
+            let base = translate_opt(&m, tier, false);
+            let opt = translate_opt(&m, tier, true);
+            awsm::validate_opt(&opt).expect("certificate must validate");
+            for bounds in [BoundsStrategy::Software, BoundsStrategy::GuardRegion] {
+                for &(x, y) in INPUTS {
+                    let args = [Value::I32(x), Value::I32(y)];
+                    let want = observe(Arc::clone(&base), tier, bounds, &args);
+                    let got = observe(Arc::clone(&opt), tier, bounds, &args);
+                    assert_eq!(
+                        got, want,
+                        "tier={tier:?} bounds={bounds:?} x={x} y={y} dead_arm={dead_arm}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn optimizer_actually_optimizes_the_workout() {
+    // The differential test is vacuous if the optimizer did nothing; pin
+    // that the workout module really exercises the passes.
+    let opt = translate_opt(&workout_module(false), Tier::Optimized, true);
+    let report = opt.analysis.opt.as_ref().expect("optimizer report");
+    assert!(report.ops_after < report.ops_before, "{report:?}");
+    assert!(report.folded > 0, "constant folding fired: {report:?}");
+    assert!(
+        report.branches_simplified > 0,
+        "constant branch simplified: {report:?}"
+    );
+    assert!(report.dce_ops > 0, "dead arm removed: {report:?}");
+    assert!(
+        report.checks_elided > 0,
+        "dominated checks elided: {report:?}"
+    );
+    // Opt-off translation carries no report.
+    let base = translate_opt(&workout_module(false), Tier::Optimized, false);
+    assert!(base.analysis.opt.is_none());
+}
+
+#[test]
+fn traps_are_preserved_across_optimization() {
+    // Offsets straddling the one-page boundary: in-bounds, data-dependent,
+    // and always-out-of-bounds for the masked address range [0, 0xFFC].
+    for off in [0u32, 1020, 61_440, 64_508, 65_532, 70_000] {
+        let m = trapping_module(off);
+        for tier in [Tier::Optimized, Tier::Naive] {
+            let base = translate_opt(&m, tier, false);
+            let opt = translate_opt(&m, tier, true);
+            for bounds in [BoundsStrategy::Software, BoundsStrategy::GuardRegion] {
+                for x in [0i32, 1, 341, 1365, -1] {
+                    let args = [Value::I32(x)];
+                    let (want, want_fuel) = observe_trap(Arc::clone(&base), tier, bounds, &args);
+                    let (got, got_fuel) = observe_trap(Arc::clone(&opt), tier, bounds, &args);
+                    assert_eq!(got, want, "tier={tier:?} bounds={bounds:?} off={off} x={x}");
+                    // Fuel at a trap is only comparable where charging is
+                    // per-op; the optimized tier prepays block segments.
+                    if tier == Tier::Naive || want.is_ok() {
+                        assert_eq!(
+                            got_fuel, want_fuel,
+                            "fuel: tier={tier:?} bounds={bounds:?} off={off} x={x}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn recycled_optimized_instance_matches_fresh() {
+    let m = workout_module(false);
+    let cm = translate_opt(&m, Tier::Optimized, true);
+    let cfg = EngineConfig::default();
+    let args = [Value::I32(4242), Value::I32(-99)];
+
+    let mut fresh = Instance::new(Arc::clone(&cm), cfg).unwrap();
+    let want_out = fresh.call_complete("main", &args, &mut NullHost).unwrap();
+    let want = (want_out, fnv_memory_hash(&fresh), fresh.fuel_used());
+
+    let mut recycled = Instance::new(cm, cfg).unwrap();
+    recycled
+        .call_complete(
+            "main",
+            &[Value::I32(-31415), Value::I32(926)],
+            &mut NullHost,
+        )
+        .unwrap();
+    recycled.reset_from_template().unwrap();
+    let got_out = recycled
+        .call_complete("main", &args, &mut NullHost)
+        .unwrap();
+    let got = (got_out, fnv_memory_hash(&recycled), recycled.fuel_used());
+    assert_eq!(got, want);
+}

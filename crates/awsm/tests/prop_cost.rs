@@ -124,7 +124,17 @@ fn run_metered(
     y: i32,
     quantum: u64,
 ) -> (Option<u64>, u64) {
-    let cm = Arc::new(translate_with(m, tier, TranslateOptions { max_check_gap: gap }).unwrap());
+    let cm = Arc::new(
+        translate_with(
+            m,
+            tier,
+            TranslateOptions {
+                max_check_gap: gap,
+                ..TranslateOptions::default()
+            },
+        )
+        .unwrap(),
+    );
     let mut inst = Instance::new(
         cm,
         EngineConfig {
@@ -202,7 +212,7 @@ proptest! {
     ) {
         let m = build_module(&e, iters);
         let cm = translate_with(
-            &m, Tier::Optimized, TranslateOptions { max_check_gap: gap },
+            &m, Tier::Optimized, TranslateOptions { max_check_gap: gap, ..TranslateOptions::default() },
         ).unwrap();
         let cert = cm.analysis.cost.as_ref().expect("certificate always attached");
         prop_assert_eq!(cert.max_check_gap, gap);

@@ -1,0 +1,340 @@
+//! Differential property tests for the translate-time optimizer: for
+//! randomly generated guest programs, the optimized translation must be
+//! observationally identical to the unoptimized one — same result, same
+//! trap, same `fuel_used`, same full-memory hash — across both engine
+//! tiers and both checking bounds strategies, and a recycled optimized
+//! instance must stay identical to a fresh one.
+
+use awsm::{
+    translate_with, BoundsStrategy, EngineConfig, Instance, NullHost, Tier, TranslateOptions, Trap,
+    Value, DEFAULT_MAX_CHECK_GAP,
+};
+use proptest::prelude::*;
+use sledge_guestc::dsl::*;
+use sledge_guestc::{Expr, FuncBuilder, ModuleBuilder, Scalar};
+use sledge_wasm::module::Module;
+use sledge_wasm::types::ValType;
+use std::sync::Arc;
+
+/// Arithmetic AST biased toward what the optimizer rewrites: constant
+/// subtrees (folding), local reads (propagation through `LocalSet`), and
+/// guarded division (trap-preservation of the folder).
+#[derive(Debug, Clone)]
+enum Arith {
+    Const(i32),
+    X,
+    Y,
+    Add(Box<Arith>, Box<Arith>),
+    Sub(Box<Arith>, Box<Arith>),
+    Mul(Box<Arith>, Box<Arith>),
+    DivU(Box<Arith>, Box<Arith>),
+    Xor(Box<Arith>, Box<Arith>),
+}
+
+impl Arith {
+    fn to_expr(&self, x: sledge_guestc::Local, y: sledge_guestc::Local) -> Expr {
+        match self {
+            Arith::Const(c) => i32c(*c),
+            Arith::X => local(x),
+            Arith::Y => local(y),
+            Arith::Add(a, b) => add(a.to_expr(x, y), b.to_expr(x, y)),
+            Arith::Sub(a, b) => sub(a.to_expr(x, y), b.to_expr(x, y)),
+            Arith::Mul(a, b) => mul(a.to_expr(x, y), b.to_expr(x, y)),
+            // Guard divisor: `d | 1` keeps the program trap-free.
+            Arith::DivU(a, b) => div_u(a.to_expr(x, y), or(b.to_expr(x, y), i32c(1))),
+            Arith::Xor(a, b) => xor(a.to_expr(x, y), b.to_expr(x, y)),
+        }
+    }
+}
+
+fn arith_strategy() -> impl Strategy<Value = Arith> {
+    let leaf = prop_oneof![
+        any::<i32>().prop_map(Arith::Const),
+        Just(Arith::X),
+        Just(Arith::Y),
+    ];
+    leaf.prop_recursive(4, 40, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Arith::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Arith::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Arith::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Arith::DivU(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Arith::Xor(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+/// A stateful guest the optimizer has plenty to chew on: a constant
+/// preamble routed through locals (folding + propagation), a
+/// constant-condition branch (one arm statically dead), stores at constant
+/// and value-relative addresses (dominated-check elision), a loop with
+/// memory traffic (fuel-site layout), and a global accumulator.
+fn build_module(e: &Arith, iters: i32, dead_arm: bool) -> Module {
+    let mut mb = ModuleBuilder::new("prop-opt");
+    mb.memory(1, Some(2));
+    mb.data(8, b"opt!".to_vec());
+    let g = mb.global_i32(23);
+    let mut f = FuncBuilder::new(&[ValType::I32, ValType::I32], Some(ValType::I32));
+    let x = f.arg(0);
+    let y = f.arg(1);
+    let v = f.local(ValType::I32);
+    let k = f.local(ValType::I32);
+    let i = f.local(ValType::I32);
+    let a = f.local(ValType::I32);
+    // An address loaded from memory is opaque to interval analysis (it is 0
+    // at runtime: this reads pristine zeroed memory), so the first access
+    // through it stays checked — and *dominates* the later, smaller
+    // accesses, which the coverage pass converts to unchecked forms.
+    f.push(set(a, load(Scalar::I32, i32c(0), 0)));
+    f.push(store(Scalar::I32, local(a), 16, i32c(77)));
+    f.push(store(Scalar::I32, local(a), 0, i32c(88)));
+    f.push(set(v, load(Scalar::I32, local(a), 8)));
+    // Constant preamble through a local: folds to a single constant.
+    f.push(set(k, add(mul(i32c(7), i32c(3)), i32c(100))));
+    // Constant-condition branch: one arm is statically dead.
+    f.push(if_else(
+        i32c(if dead_arm { 1 } else { 0 }),
+        vec![set(v, add(e.to_expr(x, y), local(k)))],
+        vec![set(v, xor(e.to_expr(x, y), local(k)))],
+    ));
+    f.push(set_global(g, add(global(g, ValType::I32), local(v))));
+    // Constant-address stores: the second is dominated by the first.
+    f.push(store(Scalar::I32, i32c(256), 0, local(v)));
+    f.push(store(Scalar::I32, i32c(128), 0, global(g, ValType::I32)));
+    // Relative pair off one base local: offset coverage.
+    f.push(set(k, and(local(v), i32c(0xFF00))));
+    f.push(store(Scalar::I32, local(k), 12, local(v)));
+    f.push(store(Scalar::I32, local(k), 4, xor(local(v), i32c(-1))));
+    // Loop with memory traffic and a data-dependent branch.
+    f.push(for_loop(
+        i,
+        i32c(0),
+        lt_s(local(i), i32c(iters)),
+        1,
+        vec![
+            store(
+                Scalar::I32,
+                and(mul(local(i), i32c(4)), i32c(0xFFC)),
+                0,
+                xor(local(v), local(i)),
+            ),
+            if_(
+                gt_s(local(v), i32c(0)),
+                vec![set(v, sub(i32c(0), local(v)))],
+            ),
+            set(
+                v,
+                add(
+                    local(v),
+                    load(Scalar::I32, and(mul(local(i), i32c(4)), i32c(0xFFC)), 0),
+                ),
+            ),
+        ],
+    ));
+    f.push(ret(Some(add(
+        add(
+            mul(global(g, ValType::I32), i32c(31)),
+            load(Scalar::U8, i32c(8), 0),
+        ),
+        local(v),
+    ))));
+    let main = mb.add_func("main", f);
+    mb.export_func(main, "main");
+    mb.build().expect("generated module must validate")
+}
+
+/// A guest whose single store traps iff `off` reaches past the page:
+/// the trap-equivalence probe.
+fn build_trapping(off: u32) -> Module {
+    let mut mb = ModuleBuilder::new("prop-opt-trap");
+    mb.memory(1, Some(1));
+    let mut f = FuncBuilder::new(&[ValType::I32], Some(ValType::I32));
+    let x = f.arg(0);
+    let v = f.local(ValType::I32);
+    f.push(set(v, mul(local(x), i32c(3))));
+    f.push(store(Scalar::I32, i32c(16), 0, local(v)));
+    f.push(store(
+        Scalar::I32,
+        and(local(v), i32c(0xFFC)),
+        off,
+        local(v),
+    ));
+    f.push(ret(Some(load(Scalar::I32, i32c(16), 0))));
+    let main = mb.add_func("main", f);
+    mb.export_func(main, "main");
+    mb.build().expect("generated module must validate")
+}
+
+fn translate_opt(m: &Module, tier: Tier, optimize: bool) -> Arc<awsm::CompiledModule> {
+    Arc::new(
+        translate_with(
+            m,
+            tier,
+            TranslateOptions {
+                max_check_gap: DEFAULT_MAX_CHECK_GAP,
+                optimize,
+            },
+        )
+        .unwrap(),
+    )
+}
+
+fn fnv_memory_hash(inst: &Instance) -> u64 {
+    let mem = inst.memory();
+    let bytes = mem
+        .read_bytes(0, mem.size_bytes() as u32)
+        .expect("full-memory read");
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Run to completion; returns (result, memory hash, fuel used).
+fn observe(
+    cm: Arc<awsm::CompiledModule>,
+    tier: Tier,
+    bounds: BoundsStrategy,
+    args: &[Value],
+) -> (Option<u64>, u64, u64) {
+    let mut inst = Instance::new(
+        cm,
+        EngineConfig {
+            bounds,
+            tier,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let out = inst
+        .call_complete("main", args, &mut NullHost)
+        .expect("trap-free guest must complete");
+    (out, fnv_memory_hash(&inst), inst.fuel_used())
+}
+
+/// Run a possibly-trapping guest; returns Ok(result) or the trap, plus
+/// fuel used up to the outcome.
+fn observe_trap(
+    cm: Arc<awsm::CompiledModule>,
+    tier: Tier,
+    bounds: BoundsStrategy,
+    args: &[Value],
+) -> (Result<Option<u64>, Trap>, u64) {
+    let mut inst = Instance::new(
+        cm,
+        EngineConfig {
+            bounds,
+            tier,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let out = match inst.call_complete("main", args, &mut NullHost) {
+        Ok(v) => Ok(v),
+        Err(e) => match e.downcast::<Trap>() {
+            Ok(t) => Err(*t),
+            Err(other) => panic!("non-trap failure: {other}"),
+        },
+    };
+    (out, inst.fuel_used())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The core translation-validation property, dynamically: optimized and
+    /// unoptimized translations of the same module are observationally
+    /// identical — result, full-memory hash, and total fuel — across both
+    /// tiers and both checking bounds strategies.
+    #[test]
+    fn optimized_is_observationally_unoptimized(
+        e in arith_strategy(),
+        x in any::<i32>(),
+        y in any::<i32>(),
+        iters in 1i32..16,
+        dead_arm in any::<bool>(),
+    ) {
+        let m = build_module(&e, iters, dead_arm);
+        let args = [Value::I32(x), Value::I32(y)];
+        for tier in [Tier::Optimized, Tier::Naive] {
+            let base = translate_opt(&m, tier, false);
+            let opt = translate_opt(&m, tier, true);
+            prop_assert!(opt.analysis.opt.is_some(), "optimizer report attached");
+            awsm::validate_opt(&opt).expect("certificate must validate");
+            for bounds in [BoundsStrategy::Software, BoundsStrategy::GuardRegion] {
+                let want = observe(Arc::clone(&base), tier, bounds, &args);
+                let got = observe(Arc::clone(&opt), tier, bounds, &args);
+                prop_assert_eq!(
+                    got, want,
+                    "optimized != unoptimized: tier={:?} bounds={:?}", tier, bounds
+                );
+            }
+        }
+    }
+
+    /// Trap preservation: a guest that traps does so identically with the
+    /// optimizer on and off, in both tiers. Fuel is compared in the naive
+    /// tier only (per-op charging observes the same executed prefix); the
+    /// optimized tier prepays block segments whose layout the optimizer may
+    /// legally reshape past the trap point.
+    #[test]
+    fn traps_are_preserved(
+        x in any::<i32>(),
+        off in prop_oneof![0u32..1024, 64_000u32..70_000],
+    ) {
+        let m = build_trapping(off);
+        let args = [Value::I32(x)];
+        for tier in [Tier::Optimized, Tier::Naive] {
+            let base = translate_opt(&m, tier, false);
+            let opt = translate_opt(&m, tier, true);
+            for bounds in [BoundsStrategy::Software, BoundsStrategy::GuardRegion] {
+                let (want, want_fuel) = observe_trap(Arc::clone(&base), tier, bounds, &args);
+                let (got, got_fuel) = observe_trap(Arc::clone(&opt), tier, bounds, &args);
+                prop_assert_eq!(
+                    got.clone(), want.clone(),
+                    "outcome: tier={:?} bounds={:?}", tier, bounds
+                );
+                if tier == Tier::Naive || want.is_ok() {
+                    prop_assert_eq!(
+                        got_fuel, want_fuel,
+                        "fuel: tier={:?} bounds={:?}", tier, bounds
+                    );
+                }
+            }
+        }
+    }
+
+    /// Pool-path equivalence: a recycled instance of an *optimized* module
+    /// (reset from its memory template) stays observationally identical to
+    /// a fresh instance — the optimizer must not perturb the template or
+    /// the high-water-mark reset.
+    #[test]
+    fn recycled_optimized_instance_is_fresh(
+        e in arith_strategy(),
+        x in any::<i32>(),
+        y in any::<i32>(),
+        dx in any::<i32>(),
+        dy in any::<i32>(),
+        iters in 1i32..8,
+    ) {
+        let m = build_module(&e, iters, false);
+        let cm = translate_opt(&m, Tier::Optimized, true);
+        let cfg = EngineConfig::default();
+        let args = [Value::I32(x), Value::I32(y)];
+
+        let mut fresh = Instance::new(Arc::clone(&cm), cfg).unwrap();
+        let want_out = fresh.call_complete("main", &args, &mut NullHost).unwrap();
+        let want = (want_out, fnv_memory_hash(&fresh), fresh.fuel_used());
+
+        let mut recycled = Instance::new(cm, cfg).unwrap();
+        recycled
+            .call_complete("main", &[Value::I32(dx), Value::I32(dy)], &mut NullHost)
+            .unwrap();
+        recycled.reset_from_template().unwrap();
+        let got_out = recycled.call_complete("main", &args, &mut NullHost).unwrap();
+        let got = (got_out, fnv_memory_hash(&recycled), recycled.fuel_used());
+        prop_assert_eq!(got, want);
+    }
+}

@@ -41,14 +41,41 @@ fn bench_translate(c: &mut Criterion) {
 fn bench_kernel_configs(c: &mut Criterion) {
     let k = kernel("gemm").expect("gemm");
     let mut g = c.benchmark_group("gemm_by_config");
-    for (label, tier, bounds) in [
-        ("opt_vmguard", Tier::Optimized, BoundsStrategy::GuardRegion),
-        ("opt_software", Tier::Optimized, BoundsStrategy::Software),
-        ("opt_static", Tier::Optimized, BoundsStrategy::Static),
-        ("opt_mpx", Tier::Optimized, BoundsStrategy::MpxEmulated),
-        ("naive_vmguard", Tier::Naive, BoundsStrategy::GuardRegion),
+    for (label, tier, bounds, optimize) in [
+        (
+            "opt_vmguard",
+            Tier::Optimized,
+            BoundsStrategy::GuardRegion,
+            true,
+        ),
+        // Dataflow optimizer off: the baseline for the default config.
+        (
+            "opt_vmguard_noopt",
+            Tier::Optimized,
+            BoundsStrategy::GuardRegion,
+            false,
+        ),
+        (
+            "opt_software",
+            Tier::Optimized,
+            BoundsStrategy::Software,
+            true,
+        ),
+        ("opt_static", Tier::Optimized, BoundsStrategy::Static, true),
+        (
+            "opt_mpx",
+            Tier::Optimized,
+            BoundsStrategy::MpxEmulated,
+            true,
+        ),
+        (
+            "naive_vmguard",
+            Tier::Naive,
+            BoundsStrategy::GuardRegion,
+            true,
+        ),
     ] {
-        let prepared = PreparedKernel::new(&k, tier, bounds);
+        let prepared = PreparedKernel::with_options(&k, tier, bounds, optimize);
         g.bench_function(BenchmarkId::from_parameter(label), |b| {
             b.iter(|| prepared.run())
         });

@@ -153,6 +153,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             reg.capability_certified, reg.capability_rejected
         );
     }
+    // Likewise printed only once the optimizer gate has seen a module.
+    if reg.opt_modules + reg.opt_fallbacks > 0 {
+        println!(
+            "optimizer: {} module(s) with validated certificates, {} fallback(s)",
+            reg.opt_modules, reg.opt_fallbacks
+        );
+    }
 
     println!(
         "sledged serving on http://{} ({loaded} functions)",

@@ -98,6 +98,12 @@ pub struct RuntimeConfig {
     /// falls back to the legacy non-blocking scan loop — the compat and
     /// ablation configuration.
     pub reactor: bool,
+    /// Run the translate-time dataflow optimizer when registering modules
+    /// (constant folding, dead-code elimination, dominated-check elision).
+    /// Every optimized module carries a translation-validation certificate
+    /// the registry re-checks; failures fall back to the unoptimized body.
+    /// On by default; `false` is the ablation/baseline configuration.
+    pub optimize: bool,
 }
 
 /// Default calibration for [`RuntimeConfig::cost_units_per_us`]: cost
@@ -137,6 +143,7 @@ impl Default for RuntimeConfig {
             max_inflight: env_usize("SLEDGE_MAX_INFLIGHT").unwrap_or(0),
             max_connections: env_usize("SLEDGE_MAX_CONNS").unwrap_or(0),
             reactor: env_usize("SLEDGE_REACTOR").map(|v| v != 0).unwrap_or(true),
+            optimize: env_usize("SLEDGE_OPT").map(|v| v != 0).unwrap_or(true),
         }
     }
 }
@@ -470,6 +477,11 @@ impl RuntimeConfig {
             cfg.reactor = r
                 .as_bool()
                 .ok_or_else(|| ConfigError::Schema("reactor must be a bool".into()))?;
+        }
+        if let Some(o) = v.get("optimize") {
+            cfg.optimize = o
+                .as_bool()
+                .ok_or_else(|| ConfigError::Schema("optimize must be a bool".into()))?;
         }
         let mut funcs = Vec::new();
         if let Some(mods) = v.get("modules") {
@@ -882,6 +894,20 @@ mod tests {
         assert!(RuntimeConfig::from_json(r#"{"max_connections": "x"}"#).is_err());
         assert!(RuntimeConfig::from_json(r#"{"max_connections": -1}"#).is_err());
         assert!(RuntimeConfig::from_json(r#"{"reactor": 1}"#).is_err());
+    }
+
+    #[test]
+    fn optimize_knob_parsed() {
+        let (cfg, _) = RuntimeConfig::from_json(r#"{"optimize": false}"#).unwrap();
+        assert!(!cfg.optimize);
+        let (cfg, _) = RuntimeConfig::from_json(r#"{"optimize": true}"#).unwrap();
+        assert!(cfg.optimize);
+        // Explicit JSON wins over the SLEDGE_OPT env override; absent knobs
+        // match the (possibly env-overridden) default, so this test is green
+        // in both CI legs.
+        let (cfg, _) = RuntimeConfig::from_json("{}").unwrap();
+        assert_eq!(cfg.optimize, RuntimeConfig::default().optimize);
+        assert!(RuntimeConfig::from_json(r#"{"optimize": 1}"#).is_err());
     }
 
     #[test]

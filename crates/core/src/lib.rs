@@ -77,7 +77,8 @@ pub use json::{parse as parse_json, Json, JsonError};
 pub use listener::AnyResponder;
 pub use metrics::{
     render_json, render_prometheus, summary_line, AdmissionFnSnapshot, AdmissionReport,
-    CapabilityReport, LatencyReport, MetricsHandle, PhaseHistograms, PhaseSnapshot, PHASES,
+    CapabilityReport, LatencyReport, MetricsHandle, OptGateReport, PhaseHistograms, PhaseSnapshot,
+    PHASES,
 };
 pub use pool::{PoolStats, PoolStatsSnapshot, SandboxPool};
 pub use registry::{FunctionId, RegisterError, RegisteredFunction, Registry};
@@ -211,6 +212,7 @@ impl Runtime {
         registry.set_shards(workers);
         registry.set_pool_capacity(config.pool_size);
         registry.set_calibration(config.cost_units_per_us);
+        registry.set_optimize(config.optimize);
         let shared = Arc::new(Shared {
             config,
             registry: RwLock::new(registry),

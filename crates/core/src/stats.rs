@@ -127,6 +127,12 @@ pub struct RegistryStats {
     /// Modules rejected by a capability policy (also counted in
     /// `modules_rejected`).
     pub capability_rejected: AtomicU64,
+    /// Modules registered with a validated optimization certificate
+    /// (translate-time optimizer on, translation validation passed).
+    pub opt_modules: AtomicU64,
+    /// Modules whose optimization certificate failed validation and were
+    /// reverted to the unoptimized bodies before registration.
+    pub opt_fallbacks: AtomicU64,
 }
 
 impl RegistryStats {
@@ -141,6 +147,8 @@ impl RegistryStats {
             certificate_rejected: self.certificate_rejected.load(Ordering::Relaxed),
             capability_certified: self.capability_certified.load(Ordering::Relaxed),
             capability_rejected: self.capability_rejected.load(Ordering::Relaxed),
+            opt_modules: self.opt_modules.load(Ordering::Relaxed),
+            opt_fallbacks: self.opt_fallbacks.load(Ordering::Relaxed),
             // Pool counters live on each function; `Registry::stats_snapshot`
             // folds them in on top of this raw counter copy.
             pool: crate::pool::PoolStatsSnapshot::default(),
@@ -163,6 +171,10 @@ pub struct RegistryStatsSnapshot {
     pub capability_certified: u64,
     /// Modules rejected by a capability policy.
     pub capability_rejected: u64,
+    /// Modules registered with a validated optimization certificate.
+    pub opt_modules: u64,
+    /// Modules reverted to unoptimized bodies on certificate failure.
+    pub opt_fallbacks: u64,
     /// Warm sandbox-pool counters, summed over all functions.
     pub pool: crate::pool::PoolStatsSnapshot,
 }
