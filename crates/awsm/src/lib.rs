@@ -48,6 +48,7 @@
 //! ```
 
 pub mod analysis;
+pub mod artifact;
 pub mod code;
 mod exec;
 mod host;
@@ -62,6 +63,7 @@ pub use analysis::opt::{
     revert_optimizations, validate as validate_opt, ClaimBase, OptClaim, OptFuncReport, OptReport,
 };
 pub use analysis::{AnalysisReport, Diagnostic, Severity, StackBound};
+pub use artifact::{decode as decode_artifact, encode as encode_artifact, ArtifactError};
 pub use code::{CompiledModule, HostImport, Op};
 pub use exec::{Limits, StepResult};
 pub use host::{Host, HostOutcome, NullHost};

@@ -25,9 +25,9 @@ use sledge_bench::{fmt_dur, LatencyStats};
 use sledge_core::{FunctionConfig, Runtime, RuntimeConfig};
 use sledge_guestc::dsl::*;
 use sledge_guestc::{FuncBuilder, ModuleBuilder};
+use sledge_http::{format_request, ClientConfig, HttpClient};
 use sledge_wasm::module::Module;
 use sledge_wasm::types::ValType;
-use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -112,43 +112,9 @@ impl RunResult {
     }
 }
 
-/// Read one HTTP/1.1 response off a buffered stream; returns the body.
-fn read_response(r: &mut BufReader<TcpStream>) -> std::io::Result<Vec<u8>> {
-    let mut line = String::new();
-    let mut content_length = 0usize;
-    let mut saw_status = false;
-    loop {
-        line.clear();
-        if r.read_line(&mut line)? == 0 {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "eof mid-response",
-            ));
-        }
-        let t = line.trim_end();
-        if !saw_status {
-            if !t.starts_with("HTTP/1.1 2") {
-                return Err(std::io::Error::other(format!("bad status: {t}")));
-            }
-            saw_status = true;
-            continue;
-        }
-        if t.is_empty() {
-            break;
-        }
-        if let Some((k, v)) = t.split_once(':') {
-            if k.eq_ignore_ascii_case("content-length") {
-                content_length = v.trim().parse().map_err(std::io::Error::other)?;
-            }
-        }
-    }
-    let mut body = vec![0u8; content_length];
-    r.read_exact(&mut body)?;
-    Ok(body)
-}
-
 /// Closed-loop keep-alive client loop: write `pipeline` requests in one
-/// burst, read all responses, repeat until `stop`.
+/// burst, read all responses, repeat until `stop`. Connection handling and
+/// response parsing come from `sledge_http::HttpClient`.
 #[allow(clippy::too_many_arguments)]
 fn client_loop(
     addr: SocketAddr,
@@ -161,18 +127,14 @@ fn client_loop(
     failed: &AtomicU64,
     samples: &mut Vec<Duration>,
 ) {
-    let Ok(stream) = TcpStream::connect(addr) else {
-        failed.fetch_add(1, Ordering::Relaxed);
-        return;
-    };
-    stream.set_nodelay(true).ok();
-    stream.set_read_timeout(Some(Duration::from_secs(10))).ok();
-    let mut reader = BufReader::new(stream);
-    let request = format!(
-        "POST {route} HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
-        body.len()
+    let mut client = HttpClient::with_config(
+        addr,
+        ClientConfig {
+            read_timeout: Some(Duration::from_secs(10)),
+            ..Default::default()
+        },
     );
-    let burst: Vec<u8> = request.as_bytes().repeat(pipeline);
+    let burst: Vec<u8> = format_request("POST", route, &[], body.as_bytes()).repeat(pipeline);
     // Open-loop pacing: fire a burst every `interval` regardless of how
     // long the previous one took (interval ZERO = closed loop).
     let mut next_fire = Instant::now();
@@ -185,16 +147,16 @@ fn client_loop(
             next_fire += interval;
         }
         let t0 = Instant::now();
-        if reader.get_mut().write_all(&burst).is_err() {
+        if client.send_raw(&burst).is_err() {
             failed.fetch_add(1, Ordering::Relaxed);
             return;
         }
         for _ in 0..pipeline {
-            match read_response(&mut reader) {
-                Ok(_) => {
+            match client.read_response() {
+                Ok(resp) if resp.is_success() => {
                     completed.fetch_add(1, Ordering::Relaxed);
                 }
-                Err(_) => {
+                _ => {
                     failed.fetch_add(1, Ordering::Relaxed);
                     return;
                 }

@@ -1,0 +1,187 @@
+//! Per-node health: failure counters feeding a circuit breaker with the
+//! same threshold/cooldown/half-open-probe discipline the runtime's
+//! per-function breakers use, plus the prober's liveness and warm-pool
+//! observations.
+
+pub use sledge_core::BreakerConfig;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BreakerState {
+    /// Normal operation.
+    Closed,
+    /// Tripped: fast-skip this node until `until_ns` (epoch-relative).
+    Open { until_ns: u64 },
+    /// Cooldown elapsed and one probe request is in flight; its outcome
+    /// decides between `Closed` and another `Open` round.
+    HalfOpen,
+}
+
+/// One node's health, shared between the forwarders and the prober.
+#[derive(Debug)]
+pub struct NodeHealth {
+    /// Last liveness verdict from the prober (`GET /healthz` == 200).
+    /// Nodes start healthy so the ring serves before the first probe.
+    healthy: AtomicBool,
+    /// Whether the node's `/stats` last reported parked warm instances
+    /// (`pool.size > 0`) — the locality-steering signal.
+    hot_pool: AtomicBool,
+    /// Consecutive request/probe failures (reset on any success).
+    consecutive: AtomicU32,
+    /// Lifetime failure count (exposed in the ring metrics).
+    pub failures: AtomicU64,
+    /// Lifetime probe count.
+    pub probes: AtomicU64,
+    /// Last `counters.completed` observed in the node's `/stats`, for the
+    /// ring-level downstream aggregation.
+    pub downstream_completed: AtomicU64,
+    state: Mutex<BreakerState>,
+}
+
+impl Default for NodeHealth {
+    fn default() -> Self {
+        NodeHealth {
+            healthy: AtomicBool::new(true),
+            hot_pool: AtomicBool::new(false),
+            consecutive: AtomicU32::new(0),
+            failures: AtomicU64::new(0),
+            probes: AtomicU64::new(0),
+            downstream_completed: AtomicU64::new(0),
+            state: Mutex::new(BreakerState::Closed),
+        }
+    }
+}
+
+impl NodeHealth {
+    /// Whether the last probe found the node serving.
+    pub fn is_healthy(&self) -> bool {
+        self.healthy.load(Ordering::Relaxed)
+    }
+
+    /// Whether the node last reported a warm pool.
+    pub fn is_hot(&self) -> bool {
+        self.hot_pool.load(Ordering::Relaxed)
+    }
+
+    /// Prober verdicts.
+    pub fn set_probed(&self, healthy: bool, hot_pool: bool) {
+        self.healthy.store(healthy, Ordering::Relaxed);
+        self.hot_pool.store(hot_pool, Ordering::Relaxed);
+    }
+
+    /// Consecutive failure count (diagnostics).
+    pub fn consecutive_failures(&self) -> u32 {
+        self.consecutive.load(Ordering::Relaxed)
+    }
+
+    /// Breaker admission for one attempt at this node. `Ok(false)` is the
+    /// normal closed-state pass, `Ok(true)` admits the single half-open
+    /// probe, `Err(retry_after)` fast-skips a tripped node.
+    pub fn admit(&self, now_ns: u64) -> Result<bool, Duration> {
+        let mut st = self.state.lock().expect("breaker lock");
+        match *st {
+            BreakerState::Closed => Ok(false),
+            BreakerState::Open { until_ns } if now_ns >= until_ns => {
+                *st = BreakerState::HalfOpen;
+                Ok(true)
+            }
+            BreakerState::Open { until_ns } => {
+                Err(Duration::from_nanos(until_ns.saturating_sub(now_ns)))
+            }
+            // One probe at a time: concurrent attempts keep skipping until
+            // the in-flight probe settles the state.
+            BreakerState::HalfOpen => Err(Duration::from_millis(1)),
+        }
+    }
+
+    /// A request (or probe) against this node succeeded: reset the failure
+    /// streak and close the breaker.
+    pub fn record_success(&self) {
+        self.consecutive.store(0, Ordering::Relaxed);
+        *self.state.lock().expect("breaker lock") = BreakerState::Closed;
+    }
+
+    /// A request (or probe) against this node failed: bump the streak and
+    /// trip the breaker at the configured threshold. A half-open probe
+    /// failure re-opens immediately regardless of the streak.
+    pub fn record_failure(&self, cfg: &BreakerConfig, now_ns: u64) {
+        self.failures.fetch_add(1, Ordering::Relaxed);
+        let streak = self.consecutive.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut st = self.state.lock().expect("breaker lock");
+        let reopen = matches!(*st, BreakerState::HalfOpen) || streak >= cfg.threshold;
+        if reopen {
+            *st = BreakerState::Open {
+                until_ns: now_ns + cfg.cooldown.as_nanos() as u64,
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig {
+            threshold: 3,
+            cooldown: Duration::from_millis(100),
+        }
+    }
+
+    const MS: u64 = 1_000_000;
+
+    #[test]
+    fn trips_after_threshold_and_half_opens_after_cooldown() {
+        let h = NodeHealth::default();
+        assert_eq!(h.admit(0), Ok(false));
+        h.record_failure(&cfg(), 0);
+        h.record_failure(&cfg(), 0);
+        assert_eq!(h.admit(0), Ok(false), "below threshold stays closed");
+        h.record_failure(&cfg(), 0);
+        let wait = h.admit(MS).unwrap_err();
+        assert!(wait > Duration::ZERO && wait <= Duration::from_millis(100));
+        // Cooldown elapsed: exactly one probe is admitted.
+        assert_eq!(h.admit(101 * MS), Ok(true));
+        assert!(h.admit(101 * MS).is_err(), "second probe must wait");
+        // Probe success closes the breaker and resets the streak.
+        h.record_success();
+        assert_eq!(h.admit(102 * MS), Ok(false));
+        assert_eq!(h.consecutive_failures(), 0);
+    }
+
+    #[test]
+    fn failed_probe_reopens_for_another_cooldown() {
+        let h = NodeHealth::default();
+        for _ in 0..3 {
+            h.record_failure(&cfg(), 0);
+        }
+        assert_eq!(h.admit(101 * MS), Ok(true));
+        h.record_failure(&cfg(), 101 * MS);
+        let wait = h.admit(102 * MS).unwrap_err();
+        assert!(wait > Duration::from_millis(90), "reopened for {wait:?}");
+        assert_eq!(h.failures.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn success_resets_the_streak() {
+        let h = NodeHealth::default();
+        h.record_failure(&cfg(), 0);
+        h.record_failure(&cfg(), 0);
+        h.record_success();
+        h.record_failure(&cfg(), 0);
+        h.record_failure(&cfg(), 0);
+        assert_eq!(h.admit(0), Ok(false), "streak was reset by the success");
+    }
+
+    #[test]
+    fn probe_observations_are_visible() {
+        let h = NodeHealth::default();
+        assert!(h.is_healthy(), "nodes start healthy");
+        assert!(!h.is_hot());
+        h.set_probed(false, true);
+        assert!(!h.is_healthy());
+        assert!(h.is_hot());
+    }
+}

@@ -106,6 +106,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let faults = config.fault_plan.is_some();
     let pool = (config.pool_size, config.prewarm, config.recycle);
     let fairness = (config.fairness, config.max_inflight);
+    let admin = config.admin_routes;
     let rt = Runtime::with_http(config, listen)?;
     let mut loaded = 0usize;
     for (fc, wasm_rel) in functions.into_iter().zip(module_paths) {
@@ -205,6 +206,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 "uncapped".into()
             }
         );
+    }
+    if admin {
+        println!("  admin: module ingest enabled (POST /admin/modules)");
     }
     if faults {
         println!("  FAULT INJECTION ACTIVE (chaos configuration)");

@@ -104,6 +104,12 @@ pub struct RuntimeConfig {
     /// the registry re-checks; failures fall back to the unoptimized body.
     /// On by default; `false` is the ablation/baseline configuration.
     pub optimize: bool,
+    /// Serve `POST /admin/modules` on the HTTP front end: certificate-
+    /// carrying module ingest for cluster-mode distribution (the router
+    /// pushes compiled artifacts; the node re-validates every certificate
+    /// before registering). Off by default — a node without the knob is
+    /// byte-identical to earlier releases.
+    pub admin_routes: bool,
 }
 
 /// Default calibration for [`RuntimeConfig::cost_units_per_us`]: cost
@@ -144,6 +150,7 @@ impl Default for RuntimeConfig {
             max_connections: env_usize("SLEDGE_MAX_CONNS").unwrap_or(0),
             reactor: env_usize("SLEDGE_REACTOR").map(|v| v != 0).unwrap_or(true),
             optimize: env_usize("SLEDGE_OPT").map(|v| v != 0).unwrap_or(true),
+            admin_routes: env_usize("SLEDGE_ADMIN").map(|v| v != 0).unwrap_or(false),
         }
     }
 }
@@ -483,6 +490,11 @@ impl RuntimeConfig {
                 .as_bool()
                 .ok_or_else(|| ConfigError::Schema("optimize must be a bool".into()))?;
         }
+        if let Some(a) = v.get("admin_routes") {
+            cfg.admin_routes = a
+                .as_bool()
+                .ok_or_else(|| ConfigError::Schema("admin_routes must be a bool".into()))?;
+        }
         let mut funcs = Vec::new();
         if let Some(mods) = v.get("modules") {
             let arr = mods
@@ -566,7 +578,7 @@ fn parse_fault_plan(fp: &Json) -> Result<FaultPlan, ConfigError> {
     Ok(plan)
 }
 
-fn parse_function(m: &Json) -> Result<FunctionConfig, ConfigError> {
+pub(crate) fn parse_function(m: &Json) -> Result<FunctionConfig, ConfigError> {
     let name = m
         .get("name")
         .and_then(Json::as_str)
@@ -908,6 +920,20 @@ mod tests {
         let (cfg, _) = RuntimeConfig::from_json("{}").unwrap();
         assert_eq!(cfg.optimize, RuntimeConfig::default().optimize);
         assert!(RuntimeConfig::from_json(r#"{"optimize": 1}"#).is_err());
+    }
+
+    #[test]
+    fn admin_routes_knob_parsed() {
+        let (cfg, _) = RuntimeConfig::from_json(r#"{"admin_routes": true}"#).unwrap();
+        assert!(cfg.admin_routes);
+        let (cfg, _) = RuntimeConfig::from_json(r#"{"admin_routes": false}"#).unwrap();
+        assert!(!cfg.admin_routes);
+        // Explicit JSON wins over the SLEDGE_ADMIN env override; absent knobs
+        // match the (possibly env-overridden) default, so this test is green
+        // in both CI legs.
+        let (cfg, _) = RuntimeConfig::from_json("{}").unwrap();
+        assert_eq!(cfg.admin_routes, RuntimeConfig::default().admin_routes);
+        assert!(RuntimeConfig::from_json(r#"{"admin_routes": 1}"#).is_err());
     }
 
     #[test]

@@ -277,6 +277,52 @@ fn admit(
     deque.push(sandbox);
 }
 
+/// Handle one `POST /admin/modules` ingest: parse the framed body, decode
+/// the artifact (checksum-verified), and register it through the strict
+/// path that re-validates every certificate instead of re-translating.
+///
+/// Frame layout: `u32 LE config length | function-config JSON | artifact`.
+fn ingest_module(shared: &Shared, body: &[u8]) -> Response {
+    match try_ingest(shared, body) {
+        Ok((name, route)) => {
+            Response::ok(format!("{{\"registered\":{name:?},\"route\":{route:?}}}").into_bytes())
+                .header("Content-Type", "application/json")
+        }
+        Err(why) => Response::error(StatusCode::BadRequest, &why),
+    }
+}
+
+fn try_ingest(shared: &Shared, body: &[u8]) -> Result<(String, String), String> {
+    if shared.draining.load(Ordering::Acquire) {
+        return Err("draining".into());
+    }
+    let Some(len_bytes) = body.get(..4) else {
+        return Err("truncated frame: missing config length".into());
+    };
+    let cfg_len = u32::from_le_bytes(len_bytes.try_into().expect("4 bytes")) as usize;
+    let rest = &body[4..];
+    if rest.len() < cfg_len {
+        return Err(format!(
+            "truncated frame: config length {cfg_len} exceeds remaining {} bytes",
+            rest.len()
+        ));
+    }
+    let cfg_text =
+        std::str::from_utf8(&rest[..cfg_len]).map_err(|_| "config is not UTF-8".to_string())?;
+    let doc = crate::json::parse(cfg_text).map_err(|e| format!("config: {e}"))?;
+    let config = crate::config::parse_function(&doc).map_err(|e| format!("config: {e}"))?;
+    let artifact = &rest[cfg_len..];
+    let compiled = awsm::decode_artifact(artifact).map_err(|e| format!("artifact: {e}"))?;
+    let name = config.name.clone();
+    let route = config.http_route();
+    shared
+        .registry
+        .write()
+        .register_artifact(config, compiled, artifact.len())
+        .map_err(|e| format!("register: {e}"))?;
+    Ok((name, route))
+}
+
 /// The listener loop. Owns the deque, the intake channel, and (optionally)
 /// the HTTP front end.
 pub(crate) fn listener_loop(
@@ -325,6 +371,30 @@ pub(crate) fn listener_loop(
                 worked = true;
                 match ev {
                     ConnectionEvent::Request(conn, req) => {
+                        // Dependency-free liveness probe, always on and
+                        // reserved ahead of function routes: 200 while
+                        // serving, 503 once the drain has started (load
+                        // balancers steer away before intake rejects).
+                        if req.method == "GET" && req.path == "/healthz" {
+                            let resp = if shared.draining.load(Ordering::Acquire) {
+                                Response::error(StatusCode::ServiceUnavailable, "draining")
+                            } else {
+                                Response::ok(b"ok".to_vec())
+                            };
+                            server.send(conn, &resp.to_bytes());
+                            continue;
+                        }
+                        // Cluster-mode module ingest, gated by `admin_routes`
+                        // (default off: the route falls through to the 404
+                        // below and the node is byte-identical to earlier
+                        // releases).
+                        if shared.config.admin_routes
+                            && req.method == "POST"
+                            && req.path == "/admin/modules"
+                        {
+                            server.send(conn, &ingest_module(&shared, &req.body).to_bytes());
+                            continue;
+                        }
                         // Observability endpoints are served inline on the
                         // listener thread (merging shards is read-only and
                         // cheap) and take precedence over function routes.

@@ -123,6 +123,13 @@ pub enum RegisterError {
     /// point can reach a host call outside the allowed set, or its certified
     /// write footprint exceeds the configured bound.
     Capability(Vec<Diagnostic>),
+    /// Strict (ingest) registration only: the optimizer's translation-
+    /// validation certificate failed re-verification. The local path falls
+    /// back to the preserved unoptimized bodies instead; a distributed
+    /// artifact is rejected outright — a peer shipping a module whose
+    /// certificate does not re-prove is not trusted to have translated it
+    /// honestly.
+    OptValidation(String),
 }
 
 impl fmt::Display for RegisterError {
@@ -148,6 +155,9 @@ impl fmt::Display for RegisterError {
                     write!(f, "; {d}")?;
                 }
                 Ok(())
+            }
+            RegisterError::OptValidation(e) => {
+                write!(f, "optimization certificate rejected: {e}")
             }
         }
     }
@@ -268,6 +278,33 @@ impl Registry {
                 .unwrap_or_else(|| TranslateOptions::default().optimize),
         };
         let compiled = translate_with(module, tier, opts).map_err(RegisterError::Translate)?;
+        self.register_compiled(config, compiled, wasm_size)
+    }
+
+    /// Register an already-translated module received as a distributed
+    /// artifact (cluster-mode ingest). Unlike [`Registry::register_compiled`]
+    /// — which reverts a module with a bad optimization certificate to its
+    /// preserved unoptimized bodies — the strict path **rejects** it: the
+    /// artifact crossed a trust boundary, and a certificate that does not
+    /// re-prove means the payload cannot be trusted at all.
+    ///
+    /// # Errors
+    ///
+    /// [`RegisterError::OptValidation`] on certificate re-verification
+    /// failure; otherwise everything [`Registry::register_compiled`] returns.
+    pub fn register_artifact(
+        &mut self,
+        config: FunctionConfig,
+        compiled: CompiledModule,
+        wasm_size: usize,
+    ) -> Result<FunctionId, RegisterError> {
+        use std::sync::atomic::Ordering;
+        if compiled.analysis.opt.is_some() {
+            if let Err(e) = awsm::validate_opt(&compiled) {
+                self.stats.modules_rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(RegisterError::OptValidation(e));
+            }
+        }
         self.register_compiled(config, compiled, wasm_size)
     }
 
@@ -647,6 +684,54 @@ mod tests {
             "fallback must strip the rejected certificate"
         );
         assert_eq!(run_main(Arc::clone(&rf.module)), expect);
+    }
+
+    #[test]
+    fn strict_ingest_rejects_bad_certificate_instead_of_falling_back() {
+        let m = optimizable_module("ingest");
+        let opts = TranslateOptions {
+            max_check_gap: awsm::DEFAULT_MAX_CHECK_GAP,
+            optimize: true,
+        };
+        // An honest artifact passes the strict gate and registers.
+        let mut r = Registry::new();
+        let good = translate_with(&m, Tier::Optimized, opts).unwrap();
+        assert!(good.analysis.opt.is_some());
+        let id = r
+            .register_artifact(FunctionConfig::new("good"), good, 0)
+            .unwrap();
+        assert!(r.get(id).unwrap().analysis().opt.is_some());
+        assert_eq!(r.stats.snapshot().opt_modules, 1);
+
+        // The same tamper the local path survives by reverting is a hard
+        // rejection on the ingest path.
+        let mut bad = translate_with(&m, Tier::Optimized, opts).unwrap();
+        let mut tampered = false;
+        'outer: for func in &mut bad.funcs {
+            if let Some(cs) = &mut func.code_static {
+                for op in cs.iter_mut() {
+                    if let awsm::Op::StoreNc(kind, off) = *op {
+                        *op = awsm::Op::Store(kind, off);
+                        tampered = true;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        assert!(tampered, "workout must elide at least one store");
+        let err = r
+            .register_artifact(FunctionConfig::new("bad"), bad, 0)
+            .unwrap_err();
+        assert!(matches!(err, RegisterError::OptValidation(_)), "{err}");
+        assert!(err.to_string().contains("certificate rejected"));
+        // Rejected, not reverted: no fallback counted, nothing registered,
+        // and the node keeps serving what it already has.
+        let snap = r.stats.snapshot();
+        assert_eq!(snap.opt_fallbacks, 0);
+        assert_eq!(snap.modules_rejected, 1);
+        assert_eq!(r.len(), 1);
+        assert!(r.by_name("good").is_some());
+        assert!(r.by_name("bad").is_none());
     }
 
     #[test]

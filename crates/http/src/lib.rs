@@ -28,12 +28,14 @@
 //! assert!(resp.starts_with(b"HTTP/1.1 200 OK\r\n"));
 //! ```
 
+pub mod client;
 mod parse;
 mod reactor;
 mod response;
 mod server;
 pub mod sys;
 
+pub use client::{format_request, ClientConfig, ClientResponse, HttpClient};
 pub use parse::{HttpError, ParseStatus, Request, RequestParser};
 pub use reactor::ReactorServer;
 pub use response::{Response, StatusCode};
